@@ -1,0 +1,58 @@
+// Ablation: the ε0 share of MultiR-DS. The paper fixes ε0 = 0.05ε for the
+// degree-estimation round; this harness sweeps the fraction and reports
+// the MAE, exposing the trade-off between degree-estimate quality (drives
+// the allocation optimizer) and the budget left for the estimate itself.
+// MultiR-DS* (public degrees, ε0 = 0) is the reference floor.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/multir_ds.h"
+#include "eval/experiment.h"
+#include "eval/query_sampler.h"
+#include "util/table.h"
+
+using namespace cne;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  if (options.datasets.empty()) options.datasets = {"RM", "DA", "TM"};
+  bench::PrintHeader("Ablation", "epsilon0 fraction of MultiR-DS",
+                     options);
+
+  for (const DatasetSpec& spec : ResolveDatasets(options.datasets)) {
+    const BipartiteGraph& g = bench::CachedDataset(spec);
+    Rng rng(options.seed);
+    const auto pairs =
+        SampleUniformPairs(g, spec.query_layer, options.pairs, rng);
+    ExperimentConfig config;
+    config.epsilon = options.epsilon;
+    config.trials_per_pair = options.trials;
+
+    TextTable table({"eps0 fraction", "MAE"});
+    for (double frac : {0.01, 0.025, 0.05, 0.1, 0.2, 0.4}) {
+      MultiRDSOptions ds_options;
+      ds_options.epsilon0_fraction = frac;
+      ds_options.name = "MultiR-DS";
+      MultiRDSEstimator ds(ds_options);
+      Rng run_rng(options.seed + static_cast<uint64_t>(frac * 1e4));
+      const EstimatorMetrics m = RunEstimator(g, ds, pairs, config, run_rng);
+      table.NewRow().AddDouble(frac, 3).AddDouble(m.mean_absolute_error, 3);
+    }
+    auto star = MakeMultiRDSStar();
+    Rng star_rng(options.seed + 424242);
+    const EstimatorMetrics star_m =
+        RunEstimator(g, *star, pairs, config, star_rng);
+
+    std::cout << "\n--- " << spec.code << " (" << spec.name << ") ---\n";
+    options.csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+    std::printf("MultiR-DS* (public degrees, eps0=0): MAE = %.3f\n",
+                star_m.mean_absolute_error);
+  }
+  std::printf(
+      "\nExpected: a shallow optimum around the paper's 0.05; very small\n"
+      "eps0 hurts the allocation (noisy degrees), very large eps0 starves\n"
+      "the estimate. MultiR-DS* lower-bounds all fractions.\n");
+  return 0;
+}

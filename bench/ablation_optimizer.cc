@@ -1,0 +1,79 @@
+// Ablation: the budget-allocation optimizer. Compares safeguarded Newton
+// (the paper's choice), plain golden-section, and a brute-force grid on
+// the double-source loss F(eps1, alpha) across degree configurations —
+// solution quality (loss vs grid optimum) and iteration counts.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/allocation.h"
+#include "core/theory.h"
+#include "util/newton.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace cne;
+
+namespace {
+
+// Dense grid reference optimum.
+double GridOptimum(double epsilon, double du, double dw) {
+  double best = 1e300;
+  for (double eps1 = 0.01; eps1 < epsilon; eps1 += 0.002) {
+    const double eps2 = epsilon - eps1;
+    const double alpha = OptimalAlpha(du, dw, eps1, eps2);
+    best = std::min(best,
+                    DoubleSourceExpectedL2(du, dw, alpha, eps1, eps2));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  bench::PrintHeader("Ablation", "Newton vs golden-section vs grid search",
+                     options);
+
+  const double epsilon = options.epsilon;
+  TextTable table({"du", "dw", "grid loss", "newton loss", "golden loss",
+                   "newton iters", "newton us", "grid us"});
+  for (auto [du, dw] : {std::pair{2.0, 2.0},
+                        {5.0, 10.0},
+                        {5.0, 100.0},
+                        {50.0, 50.0},
+                        {2.0, 2000.0},
+                        {500.0, 800.0}}) {
+    Timer tg;
+    const double grid = GridOptimum(epsilon, du, dw);
+    const double grid_us = tg.Seconds() * 1e6;
+
+    Timer tn;
+    const AllocationResult newton = OptimizeDoubleSource(epsilon, du, dw);
+    const double newton_us = tn.Seconds() * 1e6;
+
+    auto loss_at = [&](double eps1) {
+      const double eps2 = epsilon - eps1;
+      return DoubleSourceExpectedL2(
+          du, dw, OptimalAlpha(du, dw, eps1, eps2), eps1, eps2);
+    };
+    const MinimizeResult golden = GoldenSectionMinimize(
+        loss_at, 0.02 * epsilon, 0.98 * epsilon, 1e-8);
+
+    table.NewRow()
+        .AddDouble(du, 0)
+        .AddDouble(dw, 0)
+        .AddDouble(grid, 4)
+        .AddDouble(newton.predicted_loss, 4)
+        .AddDouble(golden.value, 4)
+        .AddInt(newton.iterations)
+        .AddDouble(newton_us, 1)
+        .AddDouble(grid_us, 1);
+  }
+  options.csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  std::printf(
+      "\nExpected: Newton matches the grid optimum to 4 decimals at a\n"
+      "fraction of the evaluations; golden-section agrees (safeguard).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Extension experiment: (2,2)-biclique (butterfly) counting under edge
+// LDP via pair-sampled common-neighborhood estimation — the follow-up
+// problem the paper names in its introduction. Reports the exact count,
+// the private estimate, and the relative error across budgets on small
+// dataset analogs, alongside the bipartite clustering coefficient.
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/butterfly.h"
+#include "bench_common.h"
+#include "core/multir_ds.h"
+#include "util/statistics.h"
+#include "util/table.h"
+
+using namespace cne;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  if (options.datasets.empty()) options.datasets = {"RM", "AC"};
+  const CommandLine cl(argc, argv);
+  const int repeats = static_cast<int>(cl.GetInt("repeats", 20));
+  const size_t sample_pairs =
+      static_cast<size_t>(cl.GetInt("sample-pairs", 400));
+  bench::PrintHeader("Extension", "private butterfly counting", options);
+
+  auto estimator = MakeMultiRDSStar();
+  for (const DatasetSpec& spec : ResolveDatasets(options.datasets)) {
+    const BipartiteGraph& g = bench::CachedDataset(spec);
+    const double exact = static_cast<double>(ExactButterflies(g));
+    const double cc = BipartiteClusteringCoefficient(g);
+    std::printf("\n--- %s: exact butterflies = %.3e, clustering = %.4f ---\n",
+                spec.code.c_str(), exact, cc);
+
+    TextTable table({"eps per pair", "mean estimate", "rel err of mean",
+                     "stddev/exact"});
+    for (double eps : {1.0, 2.0, 4.0}) {
+      Rng rng(options.seed + static_cast<uint64_t>(eps * 100));
+      RunningStats stats;
+      for (int r = 0; r < repeats; ++r) {
+        stats.Add(EstimateButterflies(g, spec.query_layer, *estimator, eps,
+                                      sample_pairs, rng)
+                      .butterflies);
+      }
+      table.NewRow()
+          .AddDouble(eps, 1)
+          .AddSci(stats.Mean(), 3)
+          .AddDouble(std::abs(stats.Mean() - exact) / exact, 3)
+          .AddDouble(stats.StdDev() / exact, 3);
+    }
+    options.csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  }
+  std::printf(
+      "\nExpected: the mean estimate converges on the exact count (the\n"
+      "pair-sampled estimator is unbiased); per-run spread shrinks with\n"
+      "the budget and the number of sampled pairs.\n");
+  return 0;
+}

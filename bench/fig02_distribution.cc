@@ -1,0 +1,89 @@
+// Regenerates Fig. 2: the estimate distribution of Naive, OneR, MultiR-SS,
+// and MultiR-DS on the rmwiki analog at ε = 1, for a query pair with
+// highly imbalanced degrees (paper uses degrees 556 and 2). Prints summary
+// statistics and ASCII densities for each algorithm.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/multir_ds.h"
+#include "core/multir_ss.h"
+#include "core/naive.h"
+#include "core/oner.h"
+#include "eval/query_sampler.h"
+#include "util/statistics.h"
+#include "util/table.h"
+
+using namespace cne;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  const CommandLine cl(argc, argv);
+  const double epsilon = cl.GetDouble("epsilon", 1.0);  // paper: ε = 1
+  const int runs = static_cast<int>(cl.GetInt("runs", 1000));
+  bench::PrintHeader("Figure 2",
+                     "estimate distributions on rmwiki, imbalanced pair",
+                     options);
+
+  const DatasetSpec spec = *FindDataset("RM");
+  const BipartiteGraph& g = bench::CachedDataset(spec);
+
+  // The paper's pair has degrees 556 and 2; find the closest analog pair.
+  const QueryPair query =
+      FindPairWithDegrees(g, spec.query_layer, 556, 2);
+  const double truth = static_cast<double>(
+      g.CountCommonNeighbors(query.layer, query.u, query.w));
+  std::printf("query pair degrees: %u and %u, true C2 = %.0f, eps = %.2f\n\n",
+              g.Degree(query.layer, query.u), g.Degree(query.layer, query.w),
+              truth, epsilon);
+
+  std::vector<std::unique_ptr<CommonNeighborEstimator>> algorithms;
+  algorithms.push_back(std::make_unique<NaiveEstimator>());
+  algorithms.push_back(std::make_unique<OneREstimator>());
+  algorithms.push_back(std::make_unique<MultiRSSEstimator>());
+  algorithms.push_back(MakeMultiRDS());
+
+  TextTable table({"algorithm", "mean", "stddev", "p05", "median", "p95",
+                   "bias"});
+  Rng master(options.seed);
+  for (const auto& algorithm : algorithms) {
+    Rng rng = master.Split();
+    std::vector<double> estimates;
+    estimates.reserve(runs);
+    for (int t = 0; t < runs; ++t) {
+      estimates.push_back(
+          algorithm->Estimate(g, query, epsilon, rng).estimate);
+    }
+    const Summary s = Summarize(estimates);
+    table.NewRow()
+        .Add(algorithm->Name())
+        .AddDouble(s.mean, 2)
+        .AddDouble(s.stddev, 2)
+        .AddDouble(s.p05, 2)
+        .AddDouble(s.median, 2)
+        .AddDouble(s.p95, 2)
+        .AddDouble(s.mean - truth, 2);
+
+    if (!options.csv) {
+      // Render the density over a window matched to the paper's x-axis.
+      Histogram hist(-400, 800, 24);
+      for (double e : estimates) hist.Add(e);
+      std::printf("--- %s (true count marked by bucket containing %.0f)\n",
+                  algorithm->Name().c_str(), truth);
+      std::fputs(hist.ToAscii(46).c_str(), stdout);
+      std::printf("\n");
+    }
+  }
+  if (options.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  std::printf(
+      "\nExpected shape (paper): Naive shifted far right of the true\n"
+      "count; OneR centered but wide; MultiR-SS tighter; MultiR-DS\n"
+      "tightest because it down-weights the high-degree source.\n");
+  return 0;
+}

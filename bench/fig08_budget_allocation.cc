@@ -1,0 +1,58 @@
+// Regenerates Fig. 8: effectiveness of the privacy-budget allocation
+// optimization. MultiR-DS-Basic is swept over fixed ε1 ∈ {0.1ε ... 0.7ε}
+// and compared against MultiR-DS (which chooses ε1 and α per query pair),
+// on TM, BX, DUI, OG at ε = 2.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/multir_ds.h"
+#include "eval/experiment.h"
+#include "eval/query_sampler.h"
+#include "util/table.h"
+
+using namespace cne;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  if (options.datasets.empty()) {
+    options.datasets = {"TM", "BX", "DUI", "OG"};
+  }
+  bench::PrintHeader("Figure 8",
+                     "privacy-budget allocation optimization (eps = 2)",
+                     options);
+
+  for (const DatasetSpec& spec : ResolveDatasets(options.datasets)) {
+    const BipartiteGraph& g = bench::CachedDataset(spec);
+    Rng rng(options.seed);
+    const auto pairs =
+        SampleUniformPairs(g, spec.query_layer, options.pairs, rng);
+    ExperimentConfig config;
+    config.epsilon = options.epsilon;
+    config.trials_per_pair = options.trials;
+
+    TextTable table({"eps1", "MAE MultiR-DS-Basic"});
+    for (double frac : {0.1, 0.3, 0.5, 0.7}) {
+      auto basic = MakeMultiRDSBasic(frac);
+      Rng run_rng(options.seed + static_cast<uint64_t>(frac * 1000));
+      const EstimatorMetrics m =
+          RunEstimator(g, *basic, pairs, config, run_rng);
+      table.NewRow()
+          .Add(FormatDouble(frac, 1) + "eps")
+          .AddDouble(m.mean_absolute_error, 3);
+    }
+    auto ds = MakeMultiRDS();
+    Rng ds_rng(options.seed + 9999);
+    const EstimatorMetrics ds_metrics =
+        RunEstimator(g, *ds, pairs, config, ds_rng);
+
+    std::cout << "\n--- " << spec.code << " (" << spec.name << ") ---\n";
+    options.csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+    std::cout << "MultiR-DS (optimized per pair): MAE = "
+              << FormatDouble(ds_metrics.mean_absolute_error, 3) << "\n";
+  }
+  std::cout
+      << "\nExpected shape (paper): the best fixed eps1 varies by dataset;\n"
+         "MultiR-DS is close to or below the best fixed allocation on each.\n";
+  return 0;
+}

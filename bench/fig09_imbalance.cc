@@ -1,0 +1,62 @@
+// Regenerates Fig. 9: robustness to query pairs with imbalanced degrees.
+// κ sweeps 1, 10, 100, 1000 where sampled pairs satisfy
+// max(deg) > κ · min(deg); MAE of MultiR-SS, MultiR-DS-Basic, MultiR-DS
+// on TM, BX, DUI, OG at ε = 2.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/multir_ds.h"
+#include "core/multir_ss.h"
+#include "eval/experiment.h"
+#include "eval/query_sampler.h"
+#include "util/table.h"
+
+using namespace cne;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  if (options.datasets.empty()) {
+    options.datasets = {"TM", "BX", "DUI", "OG"};
+  }
+  bench::PrintHeader("Figure 9",
+                     "effectiveness on imbalanced-degree pairs (eps = 2)",
+                     options);
+
+  std::vector<std::unique_ptr<CommonNeighborEstimator>> roster;
+  roster.push_back(std::make_unique<MultiRSSEstimator>());
+  roster.push_back(MakeMultiRDSBasic(0.5));
+  roster.push_back(MakeMultiRDS());
+
+  for (const DatasetSpec& spec : ResolveDatasets(options.datasets)) {
+    const BipartiteGraph& g = bench::CachedDataset(spec);
+    std::vector<std::string> header = {"kappa"};
+    for (const auto& e : roster) header.push_back(e->Name());
+    TextTable table(header);
+
+    for (double kappa : {1.0, 10.0, 100.0, 1000.0}) {
+      Rng rng(options.seed + static_cast<uint64_t>(kappa));
+      const auto pairs = SampleImbalancedPairs(g, spec.query_layer, kappa,
+                                               options.pairs, rng);
+      if (pairs.empty()) {
+        table.NewRow().AddDouble(kappa, 0).Add("(no such pairs)");
+        continue;
+      }
+      ExperimentConfig config;
+      config.epsilon = options.epsilon;
+      config.trials_per_pair = options.trials;
+      const auto metrics = RunAllEstimators(g, roster, pairs, config, rng);
+      table.NewRow().AddDouble(kappa, 0);
+      for (const EstimatorMetrics& m : metrics) {
+        table.AddDouble(m.mean_absolute_error, 3);
+      }
+    }
+    std::cout << "\n--- " << spec.code << " (" << spec.name << ") ---\n";
+    options.csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  }
+  std::cout
+      << "\nExpected shape (paper): MultiR-SS and MultiR-DS-Basic degrade\n"
+         "as kappa grows; MultiR-DS stays roughly flat because alpha\n"
+         "shifts weight to the low-degree vertex.\n";
+  return 0;
+}

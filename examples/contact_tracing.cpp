@@ -1,0 +1,62 @@
+// Contact-tracing scenario from the paper's introduction: a person-location
+// bipartite graph where the number of commonly visited locations between
+// two people is sensitive. This example compares all estimators on
+// person pairs, showing how the multi-round algorithms make the private
+// count usable while Naive drowns it in noise.
+//
+//   ./contact_tracing [--people=3000] [--places=800] [--visits=30000]
+//                     [--epsilon=2.0] [--pairs=15] [--runs=30] [--seed=3]
+
+#include <cstdio>
+#include <vector>
+
+#include "core/estimator.h"
+#include "eval/query_sampler.h"
+#include "graph/generators.h"
+#include "util/cli.h"
+#include "util/statistics.h"
+
+using namespace cne;
+
+int main(int argc, char** argv) {
+  const CommandLine cl(argc, argv);
+  const VertexId people = static_cast<VertexId>(cl.GetInt("people", 3000));
+  const VertexId places = static_cast<VertexId>(cl.GetInt("places", 800));
+  const uint64_t visits = static_cast<uint64_t>(cl.GetInt("visits", 30000));
+  const double epsilon = cl.GetDouble("epsilon", 2.0);
+  const size_t pairs = static_cast<size_t>(cl.GetInt("pairs", 15));
+  const int runs = static_cast<int>(cl.GetInt("runs", 30));
+  Rng rng(static_cast<uint64_t>(cl.GetInt("seed", 3)));
+
+  // People upper, locations lower. Power-law: few hub locations
+  // (supermarkets) and many rarely-visited ones.
+  const BipartiteGraph graph =
+      ChungLuPowerLaw(people, places, visits, 2.1, rng);
+  std::printf("person-location graph: %s\n", graph.ToString().c_str());
+  std::printf("\"how many places did persons u and w both visit?\" under "
+              "eps=%.2f edge LDP\n\n", epsilon);
+
+  const auto queries = SampleUniformPairs(graph, Layer::kUpper, pairs, rng);
+  const auto roster = MakeAllEstimators();
+
+  std::printf("mean |error| per algorithm, averaged over %zu pairs x %d "
+              "runs:\n", queries.size(), runs);
+  for (const auto& estimator : roster) {
+    RunningStats err;
+    for (const QueryPair& q : queries) {
+      const double truth = static_cast<double>(
+          graph.CountCommonNeighbors(q.layer, q.u, q.w));
+      for (int t = 0; t < runs; ++t) {
+        err.Add(std::abs(
+            estimator->Estimate(graph, q, epsilon, rng).estimate - truth));
+      }
+    }
+    std::printf("  %-16s MAE = %8.3f\n", estimator->Name().c_str(),
+                err.Mean());
+  }
+  std::printf(
+      "\nThe multi-round estimators keep the common-place count usable for\n"
+      "exposure screening; the Naive count on the noisy graph is dominated\n"
+      "by the %u-location candidate pool.\n", places);
+  return 0;
+}

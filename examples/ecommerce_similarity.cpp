@@ -1,0 +1,59 @@
+// E-commerce scenario from the paper's introduction: a user-item network
+// where disclosing identical items in two users' carts compromises
+// privacy. This example computes private Jaccard/cosine similarity between
+// user pairs with MultiR-DS supplying the common-neighbor estimates, and
+// reports the error against the exact similarities.
+//
+//   ./ecommerce_similarity [--users=2000] [--items=5000] [--edges=40000]
+//                          [--epsilon=2.0] [--pairs=20] [--seed=1]
+
+#include <cstdio>
+
+#include "apps/similarity.h"
+#include "core/multir_ds.h"
+#include "eval/query_sampler.h"
+#include "graph/generators.h"
+#include "util/cli.h"
+#include "util/statistics.h"
+
+using namespace cne;
+
+int main(int argc, char** argv) {
+  const CommandLine cl(argc, argv);
+  const VertexId users = static_cast<VertexId>(cl.GetInt("users", 2000));
+  const VertexId items = static_cast<VertexId>(cl.GetInt("items", 5000));
+  const uint64_t edges = static_cast<uint64_t>(cl.GetInt("edges", 40000));
+  const double epsilon = cl.GetDouble("epsilon", 2.0);
+  const size_t pairs = static_cast<size_t>(cl.GetInt("pairs", 20));
+  Rng rng(static_cast<uint64_t>(cl.GetInt("seed", 1)));
+
+  // Users are the upper layer ("who bought"), items the lower layer.
+  const BipartiteGraph graph =
+      ChungLuPowerLaw(users, items, edges, 2.1, rng);
+  std::printf("user-item graph: %s\n", graph.ToString().c_str());
+  std::printf("estimating Jaccard/cosine similarity under eps=%.2f edge "
+              "LDP\n\n", epsilon);
+
+  PrivateSimilarityEstimator similarity(MakeMultiRDS(),
+                                        /*degree_fraction=*/0.2);
+  const auto queries = SampleUniformPairs(graph, Layer::kUpper, pairs, rng);
+
+  std::printf("%8s %8s %6s | %9s %9s | %9s %9s\n", "user u", "user w", "C2",
+              "jacc(true)", "jacc(est)", "cos(true)", "cos(est)");
+  RunningStats jaccard_err, cosine_err;
+  for (const QueryPair& q : queries) {
+    const SimilarityResult r = similarity.Estimate(graph, q, epsilon, rng);
+    const double true_jaccard = ExactJaccard(graph, q);
+    const double true_cosine = ExactCosine(graph, q);
+    jaccard_err.Add(std::abs(r.jaccard - true_jaccard));
+    cosine_err.Add(std::abs(r.cosine - true_cosine));
+    std::printf("%8u %8u %6llu | %9.4f %9.4f | %9.4f %9.4f\n", q.u, q.w,
+                static_cast<unsigned long long>(
+                    graph.CountCommonNeighbors(q.layer, q.u, q.w)),
+                true_jaccard, r.jaccard, true_cosine, r.cosine);
+  }
+  std::printf("\nmean |error|: jaccard=%.4f cosine=%.4f over %zu pairs\n",
+              jaccard_err.Mean(), cosine_err.Mean(), queries.size());
+  std::printf("No user's item list ever leaves their device unperturbed.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// User-page analysis from the paper's introduction: project a user-page
+// bipartite graph onto the user layer (connect users co-editing enough
+// pages) under edge LDP, and report projection quality plus the graph's
+// butterfly statistics.
+//
+//   ./wiki_projection [--users=400 --pages=1500 --edits=12000]
+//                     [--threshold=3] [--epsilon=8] [--seed=9]
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/butterfly.h"
+#include "apps/projection.h"
+#include "core/multir_ds.h"
+#include "graph/generators.h"
+#include "util/cli.h"
+
+using namespace cne;
+
+int main(int argc, char** argv) {
+  const CommandLine cl(argc, argv);
+  const VertexId users = static_cast<VertexId>(cl.GetInt("users", 400));
+  const VertexId pages = static_cast<VertexId>(cl.GetInt("pages", 1500));
+  const uint64_t edits = static_cast<uint64_t>(cl.GetInt("edits", 12000));
+  const double threshold = cl.GetDouble("threshold", 3.0);
+  const double epsilon = cl.GetDouble("epsilon", 8.0);
+  Rng rng(static_cast<uint64_t>(cl.GetInt("seed", 9)));
+
+  const BipartiteGraph graph =
+      ChungLuPowerLaw(users, pages, edits, 2.1, rng);
+  std::printf("user-page graph: %s\n", graph.ToString().c_str());
+  std::printf("butterflies = %llu, caterpillars = %llu, bipartite "
+              "clustering = %.4f\n\n",
+              static_cast<unsigned long long>(ExactButterflies(graph)),
+              static_cast<unsigned long long>(ExactCaterpillars(graph)),
+              BipartiteClusteringCoefficient(graph));
+
+  // Candidate pairs: restrict to the most active users so each user's
+  // exposure (number of C2 protocols it joins) stays small.
+  std::vector<VertexId> active;
+  for (VertexId u = 0; u < users && active.size() < 25; ++u) {
+    if (graph.Degree(Layer::kUpper, u) >= 8) active.push_back(u);
+  }
+  std::vector<QueryPair> candidates;
+  for (size_t i = 0; i < active.size(); ++i) {
+    for (size_t j = i + 1; j < active.size(); ++j) {
+      candidates.push_back({Layer::kUpper, active[i], active[j]});
+    }
+  }
+  std::printf("projecting %zu active users (%zu candidate pairs), "
+              "threshold C2 >= %.0f, eps=%.1f per pair\n",
+              active.size(), candidates.size(), threshold, epsilon);
+
+  const auto exact = ExactProjection(graph, candidates, threshold);
+  auto estimator = MakeMultiRDSStar();
+  const auto priv = PrivateProjection(graph, candidates, threshold,
+                                      *estimator, epsilon, rng);
+  const ProjectionQuality q = CompareProjections(exact, priv);
+
+  std::printf("\nexact projection: %zu edges; private projection: %zu "
+              "edges\n", exact.size(), priv.size());
+  std::printf("precision=%.3f recall=%.3f f1=%.3f\n", q.precision, q.recall,
+              q.f1);
+  std::printf(
+      "\nThe projection is computed without any user revealing which pages\n"
+      "they actually edited; thresholding the noisy counts is free\n"
+      "post-processing.\n");
+  return 0;
+}

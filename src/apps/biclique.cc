@@ -1,0 +1,153 @@
+#include "apps/biclique.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/query_sampler.h"
+#include "util/logging.h"
+
+namespace cne {
+
+namespace {
+
+double ChooseDouble(double n, int q) {
+  double result = 1.0;
+  for (int i = 0; i < q; ++i) result *= (n - i) / (i + 1);
+  return result;
+}
+
+uint64_t ChooseExact(uint64_t n, int q) {
+  if (n < static_cast<uint64_t>(q)) return 0;
+  uint64_t result = 1;
+  for (int i = 0; i < q; ++i) {
+    result = result * (n - i) / (i + 1);
+  }
+  return result;
+}
+
+// Co-occurrence counts over same-layer pairs, built by wedge enumeration
+// from the opposite layer. Key packs the (smaller, larger) vertex pair.
+std::unordered_map<uint64_t, uint32_t> PairCooccurrence(
+    const BipartiteGraph& graph, Layer layer) {
+  const Layer center = Opposite(layer);
+  std::unordered_map<uint64_t, uint32_t> counts;
+  const VertexId n = graph.NumVertices(center);
+  for (VertexId c = 0; c < n; ++c) {
+    const auto nb = graph.Neighbors(center, c);
+    for (size_t i = 0; i < nb.size(); ++i) {
+      for (size_t j = i + 1; j < nb.size(); ++j) {
+        ++counts[(static_cast<uint64_t>(nb[i]) << 32) | nb[j]];
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+uint64_t ExactBicliques2q(const BipartiteGraph& graph, Layer layer, int q) {
+  CNE_CHECK(q >= 1) << "q must be positive";
+  if (q == 1) {
+    // K_{2,1} are exactly the wedges centered on the opposite layer.
+    uint64_t wedges = 0;
+    const Layer center = Opposite(layer);
+    const VertexId n = graph.NumVertices(center);
+    for (VertexId c = 0; c < n; ++c) {
+      wedges += ChooseExact(graph.Degree(center, c), 2);
+    }
+    return wedges;
+  }
+  uint64_t total = 0;
+  for (const auto& [key, count] : PairCooccurrence(graph, layer)) {
+    total += ChooseExact(count, q);
+  }
+  return total;
+}
+
+uint64_t ExactBicliques3q(const BipartiteGraph& graph, Layer layer, int q) {
+  CNE_CHECK(q >= 1) << "q must be positive";
+  uint64_t total = 0;
+  for (const auto& [key, count] : PairCooccurrence(graph, layer)) {
+    // Pruning (paper, Section 1): a pair whose common-neighbor count
+    // cannot reach q admits no K_{3,q} extension.
+    if (count < static_cast<uint32_t>(q)) continue;
+    const VertexId u = static_cast<VertexId>(key >> 32);
+    const VertexId w = static_cast<VertexId>(key & 0xffffffffu);
+    // Materialize I = N(u) ∩ N(w) on the opposite layer.
+    const auto nu = graph.Neighbors(layer, u);
+    const auto nw = graph.Neighbors(layer, w);
+    std::vector<VertexId> common;
+    std::set_intersection(nu.begin(), nu.end(), nw.begin(), nw.end(),
+                          std::back_inserter(common));
+    // For every third vertex x > w, t(x) = |N(x) ∩ I| by scanning the
+    // layer-side neighbors of I's members.
+    std::unordered_map<VertexId, uint32_t> t;
+    const Layer opposite = Opposite(layer);
+    for (VertexId c : common) {
+      for (VertexId x : graph.Neighbors(opposite, c)) {
+        if (x > w) ++t[x];
+      }
+    }
+    for (const auto& [x, shared] : t) {
+      total += ChooseExact(shared, q);
+    }
+  }
+  return total;
+}
+
+double UnbiasedChooseFromRuns(const double* runs, int q) {
+  switch (q) {
+    case 1:
+      return runs[0];
+    case 2: {
+      // C(x,2) = (x² - x)/2 with E[f1 f2] = x².
+      return (runs[0] * runs[1] - (runs[0] + runs[1]) / 2.0) / 2.0;
+    }
+    case 3: {
+      // C(x,3) = (x³ - 3x² + 2x)/6 via elementary symmetric polynomials:
+      // E[e3] = x³, E[e2] = 3x², E[e1] = 3x.
+      const double e1 = runs[0] + runs[1] + runs[2];
+      const double e2 =
+          runs[0] * runs[1] + runs[0] * runs[2] + runs[1] * runs[2];
+      const double e3 = runs[0] * runs[1] * runs[2];
+      return (e3 - e2 + 2.0 / 3.0 * e1) / 6.0;
+    }
+    default:
+      CNE_CHECK(false) << "q must be 1, 2, or 3; got " << q;
+      return 0.0;
+  }
+}
+
+BicliqueEstimate EstimateBicliques2q(const BipartiteGraph& graph,
+                                     Layer layer,
+                                     const CommonNeighborEstimator& estimator,
+                                     int q, double epsilon, size_t num_pairs,
+                                     Rng& rng) {
+  CNE_CHECK(q >= 1 && q <= 3) << "private estimation supports q in {1,2,3}";
+  CNE_CHECK(estimator.IsUnbiased())
+      << "biclique estimation requires an unbiased C2 estimator";
+  CNE_CHECK(num_pairs > 0) << "need at least one sampled pair";
+  const uint64_t n = graph.NumVertices(layer);
+  CNE_CHECK(n >= 2) << "layer has fewer than two vertices";
+
+  const auto pairs = SampleUniformPairs(graph, layer, num_pairs, rng);
+  const double eps_per_run = epsilon / q;
+  double contribution_sum = 0.0;
+  double runs[3] = {0, 0, 0};
+  for (const QueryPair& pair : pairs) {
+    for (int r = 0; r < q; ++r) {
+      runs[r] = estimator.Estimate(graph, pair, eps_per_run, rng).estimate;
+    }
+    contribution_sum += UnbiasedChooseFromRuns(runs, q);
+  }
+  BicliqueEstimate result;
+  result.q = q;
+  result.sampled_pairs = pairs.size();
+  result.epsilon_per_run = eps_per_run;
+  result.count = contribution_sum / static_cast<double>(pairs.size()) *
+                 ChooseDouble(static_cast<double>(n), 2);
+  return result;
+}
+
+}  // namespace cne

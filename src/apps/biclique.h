@@ -1,0 +1,67 @@
+// (p,q)-biclique counting — exact counters with common-neighbor pruning
+// and private estimation of K_{2,q} counts under edge LDP.
+//
+// The paper motivates common-neighborhood estimation as the pruning
+// primitive for (p,q)-biclique counting and names private biclique
+// counting as the follow-up problem. This module delivers both sides:
+//
+//  * Exact counts. K_{p,q} with the smaller side p on `layer`:
+//      K_{2,q} = Σ_{u<w}           C(C2(u,w), q)
+//      K_{3,q} = Σ_{u<w<x}         C(|N(u)∩N(w)∩N(x)|, q)
+//    enumerated with exactly the pruning the paper describes: a pair
+//    (triple) is expanded only while its running common-neighbor count
+//    can still reach q.
+//
+//  * Private K_{2,q} estimation for q ∈ {1, 2, 3}. C(x, q) is a degree-q
+//    polynomial in x, so q independent unbiased C2 estimates f1..fq (each
+//    at ε/q — sequential composition) yield an unbiased estimate through
+//    elementary symmetric polynomials:
+//      E[e1] = q·x, E[e2] = C(q,2)·x², E[e3] = C(q,3)·x³,
+//    giving unbiased x, x², x³ and hence any cubic in x.
+
+#ifndef CNE_APPS_BICLIQUE_H_
+#define CNE_APPS_BICLIQUE_H_
+
+#include <cstdint>
+
+#include "core/estimator.h"
+#include "graph/bipartite_graph.h"
+#include "util/rng.h"
+
+namespace cne {
+
+/// Exact number of K_{2,q} bicliques whose 2-side lies on `layer`.
+/// Wedge-based: O(Σ_v deg(v)²) over the opposite layer.
+uint64_t ExactBicliques2q(const BipartiteGraph& graph, Layer layer, int q);
+
+/// Exact number of K_{3,q} bicliques whose 3-side lies on `layer`.
+/// Enumerates pairs via wedges, extends each surviving pair by a third
+/// vertex through the pruned intersection of its common neighborhood.
+/// Intended for small/medium graphs (tests, examples, benches).
+uint64_t ExactBicliques3q(const BipartiteGraph& graph, Layer layer, int q);
+
+/// Unbiased estimate of the polynomial C(x, q) at x = C2(u, w) from q
+/// independent unbiased estimates (q ∈ {1, 2, 3}). Exposed for testing.
+double UnbiasedChooseFromRuns(const double* runs, int q);
+
+/// Result of a private K_{2,q} estimate.
+struct BicliqueEstimate {
+  double count = 0.0;
+  int q = 2;
+  size_t sampled_pairs = 0;
+  double epsilon_per_run = 0.0;
+};
+
+/// Estimates the K_{2,q} count (q ∈ {1,2,3}) under edge LDP by sampling
+/// `num_pairs` uniform pairs on `layer` and running the unbiased
+/// `estimator` q times per pair at ε/q. q = 1 estimates the number of
+/// wedges through the layer; q = 2 the butterflies.
+BicliqueEstimate EstimateBicliques2q(const BipartiteGraph& graph,
+                                     Layer layer,
+                                     const CommonNeighborEstimator& estimator,
+                                     int q, double epsilon, size_t num_pairs,
+                                     Rng& rng);
+
+}  // namespace cne
+
+#endif  // CNE_APPS_BICLIQUE_H_

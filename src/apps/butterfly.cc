@@ -1,0 +1,106 @@
+#include "apps/butterfly.h"
+
+#include <unordered_map>
+
+#include "eval/query_sampler.h"
+#include "util/logging.h"
+
+namespace cne {
+
+namespace {
+
+uint64_t Choose2(uint64_t n) { return n < 2 ? 0 : n * (n - 1) / 2; }
+
+}  // namespace
+
+uint64_t ExactWedges(const BipartiteGraph& graph, Layer center_layer) {
+  uint64_t wedges = 0;
+  const VertexId n = graph.NumVertices(center_layer);
+  for (VertexId v = 0; v < n; ++v) {
+    wedges += Choose2(graph.Degree(center_layer, v));
+  }
+  return wedges;
+}
+
+uint64_t ExactButterflies(const BipartiteGraph& graph) {
+  // Enumerate wedges centered on the layer with the smaller wedge count:
+  // for every center c and ordered pair of its neighbors (a, b), bump a
+  // counter for the endpoint pair; each endpoint pair seen k times closes
+  // C(k, 2) butterflies.
+  const Layer center =
+      ExactWedges(graph, Layer::kUpper) <= ExactWedges(graph, Layer::kLower)
+          ? Layer::kUpper
+          : Layer::kLower;
+  const VertexId n = graph.NumVertices(center);
+  std::unordered_map<uint64_t, uint64_t> pair_counts;
+  for (VertexId c = 0; c < n; ++c) {
+    const auto nb = graph.Neighbors(center, c);
+    for (size_t i = 0; i < nb.size(); ++i) {
+      for (size_t j = i + 1; j < nb.size(); ++j) {
+        const uint64_t key =
+            (static_cast<uint64_t>(nb[i]) << 32) | nb[j];
+        ++pair_counts[key];
+      }
+    }
+  }
+  uint64_t butterflies = 0;
+  for (const auto& [key, count] : pair_counts) {
+    butterflies += Choose2(count);
+  }
+  return butterflies;
+}
+
+uint64_t ExactCaterpillars(const BipartiteGraph& graph) {
+  uint64_t caterpillars = 0;
+  for (VertexId u = 0; u < graph.NumUpper(); ++u) {
+    const uint64_t du = graph.Degree(Layer::kUpper, u);
+    if (du == 0) continue;
+    for (VertexId l : graph.Neighbors(Layer::kUpper, u)) {
+      const uint64_t dl = graph.Degree(Layer::kLower, l);
+      caterpillars += (du - 1) * (dl - 1);
+    }
+  }
+  return caterpillars;
+}
+
+double BipartiteClusteringCoefficient(const BipartiteGraph& graph) {
+  const uint64_t caterpillars = ExactCaterpillars(graph);
+  if (caterpillars == 0) return 0.0;
+  return 4.0 * static_cast<double>(ExactButterflies(graph)) /
+         static_cast<double>(caterpillars);
+}
+
+ButterflyEstimate EstimateButterflies(
+    const BipartiteGraph& graph, Layer layer,
+    const CommonNeighborEstimator& estimator, double epsilon,
+    size_t num_pairs, Rng& rng) {
+  CNE_CHECK(estimator.IsUnbiased())
+      << "butterfly estimation requires an unbiased C2 estimator; "
+      << estimator.Name() << " is biased";
+  CNE_CHECK(num_pairs > 0) << "need at least one sampled pair";
+  const uint64_t n = graph.NumVertices(layer);
+  CNE_CHECK(n >= 2) << "layer has fewer than two vertices";
+
+  const auto pairs = SampleUniformPairs(graph, layer, num_pairs, rng);
+  const double eps_per_run = epsilon / 2.0;
+  double contribution_sum = 0.0;
+  for (const QueryPair& pair : pairs) {
+    // Two independent runs at half budget: sequential composition keeps
+    // the pair's total at epsilon.
+    const double f1 = estimator.Estimate(graph, pair, eps_per_run, rng)
+                          .estimate;
+    const double f2 = estimator.Estimate(graph, pair, eps_per_run, rng)
+                          .estimate;
+    // E[f1 f2] = C2^2, E[(f1 + f2)/2] = C2 -> unbiased C(C2, 2).
+    contribution_sum += (f1 * f2 - (f1 + f2) / 2.0) / 2.0;
+  }
+  ButterflyEstimate result;
+  result.sampled_pairs = pairs.size();
+  result.epsilon_per_run = eps_per_run;
+  const double total_pairs = static_cast<double>(Choose2(n));
+  result.butterflies =
+      contribution_sum / static_cast<double>(pairs.size()) * total_pairs;
+  return result;
+}
+
+}  // namespace cne

@@ -1,0 +1,68 @@
+// Butterfly ((2,2)-biclique) counting — exact and under edge LDP.
+//
+// The paper positions common-neighborhood estimation as "the first step in
+// addressing other problems under edge LDP, such as (p,q)-biclique
+// counting". This module builds that step: the number of butterflies is
+//
+//   B = Σ_{u < w same layer} C(C2(u, w), 2),
+//
+// so an unbiased per-pair estimator of C(C2, 2), averaged over sampled
+// pairs and scaled by the total number of pairs, estimates B. A single
+// unbiased estimate f of C2 cannot produce an unbiased f² (it is inflated
+// by Var(f)); instead each sampled pair runs the C2 protocol TWICE with
+// budget ε/2 each (sequential composition keeps the total at ε). The two
+// runs f1, f2 are independent and unbiased, so
+//
+//   E[f1·f2] = C2²  and  Ĉ(C2,2) = (f1·f2 − (f1+f2)/2) / 2
+//
+// is unbiased for C(C2, 2) with no knowledge of the estimator's variance.
+//
+// Also provides exact wedge/caterpillar counts and the bipartite global
+// clustering coefficient 4B / W from the intro's motivating tasks.
+
+#ifndef CNE_APPS_BUTTERFLY_H_
+#define CNE_APPS_BUTTERFLY_H_
+
+#include <cstdint>
+
+#include "core/estimator.h"
+#include "graph/bipartite_graph.h"
+#include "util/rng.h"
+
+namespace cne {
+
+/// Exact butterfly count of the graph. Enumerates wedges centered on the
+/// layer whose wedge count is smaller; O(Σ_v deg(v)²) time.
+uint64_t ExactButterflies(const BipartiteGraph& graph);
+
+/// Exact number of wedges (paths of length 2) centered on vertices of
+/// `center_layer`: Σ_v C(deg(v), 2).
+uint64_t ExactWedges(const BipartiteGraph& graph, Layer center_layer);
+
+/// Exact number of caterpillars (paths of length 3):
+/// Σ_{(u,l) ∈ E} (deg(u) - 1)(deg(l) - 1).
+uint64_t ExactCaterpillars(const BipartiteGraph& graph);
+
+/// Bipartite global clustering coefficient 4B / W (W = caterpillars);
+/// 0 when the graph has no caterpillars.
+double BipartiteClusteringCoefficient(const BipartiteGraph& graph);
+
+/// Result of a private butterfly estimate.
+struct ButterflyEstimate {
+  double butterflies = 0.0;       ///< estimated B
+  size_t sampled_pairs = 0;       ///< pairs whose C2 protocol ran
+  double epsilon_per_run = 0.0;   ///< budget of each of the two runs
+};
+
+/// Estimates the butterfly count under edge LDP: samples `num_pairs`
+/// uniform same-layer pairs on `layer`, runs `estimator` twice per pair at
+/// ε/2, de-biases the product, and scales the mean contribution by the
+/// C(n, 2) total pairs. Requires an unbiased estimator (checked).
+ButterflyEstimate EstimateButterflies(
+    const BipartiteGraph& graph, Layer layer,
+    const CommonNeighborEstimator& estimator, double epsilon,
+    size_t num_pairs, Rng& rng);
+
+}  // namespace cne
+
+#endif  // CNE_APPS_BUTTERFLY_H_

@@ -1,0 +1,91 @@
+#include "apps/projection.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cne {
+
+std::vector<ProjectionEdge> ExactProjection(
+    const BipartiteGraph& graph, const std::vector<QueryPair>& candidates,
+    double threshold) {
+  std::vector<ProjectionEdge> edges;
+  for (const QueryPair& pair : candidates) {
+    const double c2 = static_cast<double>(
+        graph.CountCommonNeighbors(pair.layer, pair.u, pair.w));
+    if (c2 >= threshold) {
+      edges.push_back({pair.u, pair.w, c2});
+    }
+  }
+  return edges;
+}
+
+std::vector<ProjectionEdge> ExactProjectionAllPairs(
+    const BipartiteGraph& graph, Layer layer, double threshold) {
+  // Wedge enumeration from the opposite layer: every center vertex
+  // contributes one co-occurrence per pair of its neighbors.
+  const Layer center = Opposite(layer);
+  const VertexId n = graph.NumVertices(center);
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (VertexId c = 0; c < n; ++c) {
+    const auto nb = graph.Neighbors(center, c);
+    for (size_t i = 0; i < nb.size(); ++i) {
+      for (size_t j = i + 1; j < nb.size(); ++j) {
+        const uint64_t key = (static_cast<uint64_t>(nb[i]) << 32) | nb[j];
+        ++counts[key];
+      }
+    }
+  }
+  std::vector<ProjectionEdge> edges;
+  for (const auto& [key, count] : counts) {
+    if (static_cast<double>(count) >= threshold) {
+      edges.push_back({static_cast<VertexId>(key >> 32),
+                       static_cast<VertexId>(key & 0xffffffffu),
+                       static_cast<double>(count)});
+    }
+  }
+  return edges;
+}
+
+std::vector<ProjectionEdge> PrivateProjection(
+    const BipartiteGraph& graph, const std::vector<QueryPair>& candidates,
+    double threshold, const CommonNeighborEstimator& estimator,
+    double epsilon_per_pair, Rng& rng) {
+  CNE_CHECK(epsilon_per_pair > 0.0) << "privacy budget must be positive";
+  std::vector<ProjectionEdge> edges;
+  for (const QueryPair& pair : candidates) {
+    const double estimate =
+        estimator.Estimate(graph, pair, epsilon_per_pair, rng).estimate;
+    if (estimate >= threshold) {
+      edges.push_back({pair.u, pair.w, estimate});
+    }
+  }
+  return edges;
+}
+
+ProjectionQuality CompareProjections(
+    const std::vector<ProjectionEdge>& exact,
+    const std::vector<ProjectionEdge>& estimated) {
+  auto key = [](const ProjectionEdge& e) {
+    const VertexId lo = e.a < e.b ? e.a : e.b;
+    const VertexId hi = e.a < e.b ? e.b : e.a;
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  };
+  std::unordered_set<uint64_t> truth;
+  for (const ProjectionEdge& e : exact) truth.insert(key(e));
+  size_t hits = 0;
+  for (const ProjectionEdge& e : estimated) hits += truth.count(key(e));
+
+  ProjectionQuality q;
+  q.precision = estimated.empty()
+                    ? 1.0
+                    : static_cast<double>(hits) / estimated.size();
+  q.recall = truth.empty() ? 1.0 : static_cast<double>(hits) / truth.size();
+  q.f1 = (q.precision + q.recall) > 0
+             ? 2 * q.precision * q.recall / (q.precision + q.recall)
+             : 0.0;
+  return q;
+}
+
+}  // namespace cne

@@ -1,0 +1,64 @@
+#include "apps/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/degree_estimation.h"
+#include "util/logging.h"
+
+namespace cne {
+
+PrivateSimilarityEstimator::PrivateSimilarityEstimator(
+    std::shared_ptr<const CommonNeighborEstimator> c2_estimator,
+    double degree_fraction)
+    : c2_estimator_(std::move(c2_estimator)),
+      degree_fraction_(degree_fraction) {
+  CNE_CHECK(c2_estimator_ != nullptr);
+  CNE_CHECK(degree_fraction > 0.0 && degree_fraction < 1.0)
+      << "degree fraction must lie in (0, 1)";
+}
+
+SimilarityResult PrivateSimilarityEstimator::Estimate(
+    const BipartiteGraph& graph, const QueryPair& query, double epsilon,
+    Rng& rng) const {
+  const double eps_deg = epsilon * degree_fraction_;
+  const double eps_c2 = epsilon - eps_deg;
+
+  SimilarityResult result;
+  // The two degree releases act on disjoint neighbor lists, so they
+  // compose in parallel at eps_deg; the C2 protocol follows sequentially.
+  result.deg_u_estimate =
+      EstimateDegree(graph, {query.layer, query.u}, eps_deg, rng);
+  result.deg_w_estimate =
+      EstimateDegree(graph, {query.layer, query.w}, eps_deg, rng);
+  result.c2_estimate =
+      c2_estimator_->Estimate(graph, query, eps_c2, rng).estimate;
+
+  // Post-processing (privacy-free): clamp into feasible ranges.
+  const double du = std::max(result.deg_u_estimate, 1.0);
+  const double dw = std::max(result.deg_w_estimate, 1.0);
+  const double c2 =
+      std::clamp(result.c2_estimate, 0.0, std::min(du, dw));
+  const double union_size = std::max(du + dw - c2, 1.0);
+  result.jaccard = std::clamp(c2 / union_size, 0.0, 1.0);
+  result.cosine = std::clamp(c2 / std::sqrt(du * dw), 0.0, 1.0);
+  return result;
+}
+
+double ExactJaccard(const BipartiteGraph& graph, const QueryPair& query) {
+  const double c2 = static_cast<double>(
+      graph.CountCommonNeighbors(query.layer, query.u, query.w));
+  const double uni = static_cast<double>(
+      graph.CountUnionNeighbors(query.layer, query.u, query.w));
+  return uni > 0.0 ? c2 / uni : 0.0;
+}
+
+double ExactCosine(const BipartiteGraph& graph, const QueryPair& query) {
+  const double c2 = static_cast<double>(
+      graph.CountCommonNeighbors(query.layer, query.u, query.w));
+  const double du = graph.Degree(query.layer, query.u);
+  const double dw = graph.Degree(query.layer, query.w);
+  return (du > 0 && dw > 0) ? c2 / std::sqrt(du * dw) : 0.0;
+}
+
+}  // namespace cne

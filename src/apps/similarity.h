@@ -1,0 +1,55 @@
+// Privacy-preserving vertex similarity on top of common-neighborhood
+// estimation — the first downstream task motivating the paper (Jaccard
+// similarity is C2 / |N(u) ∪ N(w)|).
+//
+// The protocol spends a configurable slice of the budget on Laplace-noised
+// degrees of both query vertices and the rest on a C2 estimate from any
+// CommonNeighborEstimator, then post-processes (clamping into valid
+// ranges, which is privacy-free).
+
+#ifndef CNE_APPS_SIMILARITY_H_
+#define CNE_APPS_SIMILARITY_H_
+
+#include <memory>
+
+#include "core/estimator.h"
+
+namespace cne {
+
+/// Private similarity scores between two same-layer vertices.
+struct SimilarityResult {
+  double jaccard = 0.0;  ///< C2 / (deg_u + deg_w - C2), clamped to [0, 1]
+  double cosine = 0.0;   ///< C2 / sqrt(deg_u * deg_w), clamped to [0, 1]
+  double c2_estimate = 0.0;
+  double deg_u_estimate = 0.0;
+  double deg_w_estimate = 0.0;
+};
+
+/// Estimates Jaccard and cosine similarity under ε-edge LDP.
+class PrivateSimilarityEstimator {
+ public:
+  /// `c2_estimator` supplies the common-neighbor estimate;
+  /// `degree_fraction` of the budget goes to the two degree releases
+  /// (parallel composition across u and w) and the rest to C2.
+  PrivateSimilarityEstimator(
+      std::shared_ptr<const CommonNeighborEstimator> c2_estimator,
+      double degree_fraction = 0.2);
+
+  SimilarityResult Estimate(const BipartiteGraph& graph,
+                            const QueryPair& query, double epsilon,
+                            Rng& rng) const;
+
+ private:
+  std::shared_ptr<const CommonNeighborEstimator> c2_estimator_;
+  double degree_fraction_;
+};
+
+/// Exact (non-private) Jaccard similarity, for error reporting.
+double ExactJaccard(const BipartiteGraph& graph, const QueryPair& query);
+
+/// Exact (non-private) cosine similarity.
+double ExactCosine(const BipartiteGraph& graph, const QueryPair& query);
+
+}  // namespace cne
+
+#endif  // CNE_APPS_SIMILARITY_H_

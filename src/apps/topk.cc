@@ -1,0 +1,72 @@
+#include "apps/topk.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cne {
+
+namespace {
+
+void SortAndTruncate(std::vector<ScoredVertex>& scored, size_t k) {
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredVertex& a, const ScoredVertex& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.vertex < b.vertex;  // deterministic tie-break
+            });
+  if (scored.size() > k) scored.resize(k);
+}
+
+}  // namespace
+
+TopKResult PrivateTopKCommonNeighbors(
+    const BipartiteGraph& graph, const CommonNeighborEstimator& estimator,
+    LayeredVertex source, const std::vector<VertexId>& candidates, size_t k,
+    double epsilon, Rng& rng) {
+  CNE_CHECK(!candidates.empty()) << "no candidates";
+  CNE_CHECK(epsilon > 0.0) << "privacy budget must be positive";
+  TopKResult result;
+  result.epsilon_per_candidate =
+      epsilon / static_cast<double>(candidates.size());
+  result.ranked.reserve(candidates.size());
+  for (VertexId candidate : candidates) {
+    if (candidate == source.id) continue;
+    const QueryPair query{source.layer, source.id, candidate};
+    const double score =
+        estimator.Estimate(graph, query, result.epsilon_per_candidate, rng)
+            .estimate;
+    result.ranked.push_back({candidate, score});
+  }
+  SortAndTruncate(result.ranked, k);
+  return result;
+}
+
+TopKResult ExactTopKCommonNeighbors(const BipartiteGraph& graph,
+                                    LayeredVertex source,
+                                    const std::vector<VertexId>& candidates,
+                                    size_t k) {
+  TopKResult result;
+  result.ranked.reserve(candidates.size());
+  for (VertexId candidate : candidates) {
+    if (candidate == source.id) continue;
+    result.ranked.push_back(
+        {candidate, static_cast<double>(graph.CountCommonNeighbors(
+                        source.layer, source.id, candidate))});
+  }
+  SortAndTruncate(result.ranked, k);
+  return result;
+}
+
+double TopKRecall(const TopKResult& exact, const TopKResult& estimated) {
+  if (exact.ranked.empty()) return 1.0;
+  std::unordered_set<VertexId> truth;
+  for (const ScoredVertex& sv : exact.ranked) truth.insert(sv.vertex);
+  size_t hits = 0;
+  for (const ScoredVertex& sv : estimated.ranked) {
+    if (truth.count(sv.vertex)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace cne

@@ -1,0 +1,48 @@
+// Private top-k common-neighbor search: given a source vertex, rank a set
+// of same-layer candidates by their estimated common-neighbor count with
+// the source under a total privacy budget (split evenly across the
+// candidate protocols by sequential composition over the source's
+// neighbor list).
+
+#ifndef CNE_APPS_TOPK_H_
+#define CNE_APPS_TOPK_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace cne {
+
+/// One ranked candidate.
+struct ScoredVertex {
+  VertexId vertex = 0;
+  double score = 0.0;  ///< estimated C2 with the source
+};
+
+/// Result of a top-k query.
+struct TopKResult {
+  std::vector<ScoredVertex> ranked;  ///< best k candidates, descending
+  double epsilon_per_candidate = 0.0;
+};
+
+/// Runs the C2 protocol between `source` and every candidate with budget
+/// ε / |candidates| each (sequential composition bounds the source's total
+/// leakage by ε) and returns the k highest estimates.
+TopKResult PrivateTopKCommonNeighbors(
+    const BipartiteGraph& graph, const CommonNeighborEstimator& estimator,
+    LayeredVertex source, const std::vector<VertexId>& candidates, size_t k,
+    double epsilon, Rng& rng);
+
+/// Exact (non-private) top-k, for precision/recall reporting in examples.
+TopKResult ExactTopKCommonNeighbors(const BipartiteGraph& graph,
+                                    LayeredVertex source,
+                                    const std::vector<VertexId>& candidates,
+                                    size_t k);
+
+/// Fraction of the exact top-k recovered by the private top-k.
+double TopKRecall(const TopKResult& exact, const TopKResult& estimated);
+
+}  // namespace cne
+
+#endif  // CNE_APPS_TOPK_H_

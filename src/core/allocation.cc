@@ -1,0 +1,89 @@
+#include "core/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/theory.h"
+#include "ldp/laplace_mechanism.h"
+#include "ldp/randomized_response.h"
+#include "util/logging.h"
+#include "util/newton.h"
+
+namespace cne {
+
+namespace {
+
+// Variance coefficients of the double-source loss at a given split:
+// A multiplies the degree terms (randomized-response error), B multiplies
+// the α-mixing terms (Laplace error).
+struct LossCoefficients {
+  double a;
+  double b;
+};
+
+LossCoefficients Coefficients(double epsilon1, double epsilon2) {
+  const double p = FlipProbability(epsilon1);
+  const double q = 1.0 - 2.0 * p;
+  return {p * (1.0 - p) / (q * q),
+          LaplaceVariance(SingleSourceSensitivity(epsilon1), epsilon2)};
+}
+
+// Keep ε1 and ε2 away from 0, where the loss diverges and FlipProbability
+// degenerates.
+constexpr double kMarginFraction = 0.02;
+
+}  // namespace
+
+double OptimalAlpha(double deg_u, double deg_w, double epsilon1,
+                    double epsilon2) {
+  const auto [a, b] = Coefficients(epsilon1, epsilon2);
+  // dF/dα = 2A(α d_u - (1-α) d_w) + 2B(2α - 1) = 0.
+  const double alpha = (a * deg_w + b) / (a * (deg_u + deg_w) + 2.0 * b);
+  return std::clamp(alpha, 0.0, 1.0);
+}
+
+AllocationResult OptimizeDoubleSource(double epsilon_available, double deg_u,
+                                      double deg_w) {
+  CNE_CHECK(epsilon_available > 0.0) << "no budget available";
+  CNE_CHECK(deg_u > 0.0 && deg_w > 0.0)
+      << "degrees must be positive (correct noisy estimates first)";
+  const double margin = epsilon_available * kMarginFraction;
+  const double lo = margin;
+  const double hi = epsilon_available - margin;
+
+  auto loss_at = [&](double eps1) {
+    const double eps2 = epsilon_available - eps1;
+    const double alpha = OptimalAlpha(deg_u, deg_w, eps1, eps2);
+    return DoubleSourceExpectedL2(deg_u, deg_w, alpha, eps1, eps2);
+  };
+
+  const MinimizeResult min = NewtonMinimize(loss_at, lo, hi, 1e-8);
+  AllocationResult result;
+  result.epsilon1 = min.x;
+  result.epsilon2 = epsilon_available - min.x;
+  result.alpha = OptimalAlpha(deg_u, deg_w, result.epsilon1, result.epsilon2);
+  result.predicted_loss = min.value;
+  result.iterations = min.iterations;
+  return result;
+}
+
+AllocationResult OptimizeSingleSource(double epsilon_available,
+                                      double deg_u) {
+  CNE_CHECK(epsilon_available > 0.0) << "no budget available";
+  CNE_CHECK(deg_u > 0.0) << "degree must be positive";
+  const double margin = epsilon_available * kMarginFraction;
+  auto loss_at = [&](double eps1) {
+    return SingleSourceExpectedL2(deg_u, eps1, epsilon_available - eps1);
+  };
+  const MinimizeResult min =
+      NewtonMinimize(loss_at, margin, epsilon_available - margin, 1e-8);
+  AllocationResult result;
+  result.epsilon1 = min.x;
+  result.epsilon2 = epsilon_available - min.x;
+  result.alpha = 1.0;
+  result.predicted_loss = min.value;
+  result.iterations = min.iterations;
+  return result;
+}
+
+}  // namespace cne

@@ -1,0 +1,43 @@
+// Privacy-budget allocation optimization for the double-source estimator
+// (Section 4.2). The loss
+//   F(ε1, α) = A(ε1)·(α² d_u + (1-α)² d_w) + B(ε1, ε2)·(α² + (1-α)²),
+// with ε2 = ε_available - ε1, is quadratic in α, so the inner problem has
+// the closed form
+//   α*(ε1) = (A d_w + B) / (A (d_u + d_w) + 2B).
+// The outer problem over ε1 is transcendental (the paper resorts to
+// Newton's method); we run safeguarded Newton with a golden-section
+// fallback on G(ε1) = F(ε1, α*(ε1)).
+
+#ifndef CNE_CORE_ALLOCATION_H_
+#define CNE_CORE_ALLOCATION_H_
+
+namespace cne {
+
+/// Optimized budget split and estimator weighting.
+struct AllocationResult {
+  double epsilon1 = 0.0;  ///< budget for randomized response
+  double epsilon2 = 0.0;  ///< budget for the Laplace mechanism
+  double alpha = 0.5;     ///< weight of f̃_u in f* = α f̃_u + (1-α) f̃_w
+  double predicted_loss = 0.0;
+  int iterations = 0;
+};
+
+/// Closed-form minimizer of F(ε1, ·): the α that balances the RR error of
+/// the two single-source estimators against the Laplace error.
+double OptimalAlpha(double deg_u, double deg_w, double epsilon1,
+                    double epsilon2);
+
+/// Minimizes F over ε1 ∈ (margin, ε_available - margin) and α ∈ [0, 1].
+/// `deg_u`, `deg_w` are (estimates of) the query degrees; they must be
+/// positive — callers are expected to have corrected noisy estimates first
+/// (see degree_estimation.h).
+AllocationResult OptimizeDoubleSource(double epsilon_available, double deg_u,
+                                      double deg_w);
+
+/// Minimizes the single-source loss (α pinned to 1) over ε1 — the
+/// "optimized MultiR-SS" special case discussed in Section 4.2.
+AllocationResult OptimizeSingleSource(double epsilon_available, double deg_u);
+
+}  // namespace cne
+
+#endif  // CNE_CORE_ALLOCATION_H_

@@ -1,0 +1,76 @@
+#include "core/batch.h"
+
+#include <unordered_map>
+
+#include "core/oner.h"
+#include "util/logging.h"
+
+namespace cne {
+
+namespace {
+
+// Releases one noisy set per distinct query vertex and hands each pair's
+// sets to `combine`.
+template <typename Combine>
+BatchResult RunBatch(const BipartiteGraph& graph,
+                     const std::vector<QueryPair>& queries, double epsilon,
+                     Rng& rng, Combine combine) {
+  CNE_CHECK(!queries.empty()) << "empty batch";
+  const Layer layer = queries.front().layer;
+  for (const QueryPair& q : queries) {
+    CNE_CHECK(q.layer == layer) << "batch mixes query layers";
+  }
+
+  BatchResult result;
+  std::unordered_map<VertexId, NoisyNeighborSet> released;
+  auto release = [&](VertexId v) -> const NoisyNeighborSet& {
+    auto it = released.find(v);
+    if (it == released.end()) {
+      it = released
+               .emplace(v, ApplyRandomizedResponse(graph, {layer, v},
+                                                   epsilon, rng))
+               .first;
+      result.uploaded_bytes += 4.0 * static_cast<double>(it->second.Size());
+      ++result.vertices_released;
+    }
+    return it->second;
+  };
+
+  result.answers.reserve(queries.size());
+  for (const QueryPair& q : queries) {
+    const NoisyNeighborSet& noisy_u = release(q.u);
+    const NoisyNeighborSet& noisy_w = release(q.w);
+    result.answers.push_back({q, combine(noisy_u, noisy_w)});
+  }
+  return result;
+}
+
+}  // namespace
+
+BatchResult BatchOneR(const BipartiteGraph& graph,
+                      const std::vector<QueryPair>& queries, double epsilon,
+                      Rng& rng) {
+  const VertexId opposite =
+      graph.NumVertices(Opposite(queries.empty() ? Layer::kLower
+                                                 : queries.front().layer));
+  return RunBatch(
+      graph, queries, epsilon, rng,
+      [&](const NoisyNeighborSet& a, const NoisyNeighborSet& b) {
+        const uint64_t n1 = SortedIntersectionSize(a.SortedMembers(),
+                                                   b.SortedMembers());
+        const uint64_t n2 = a.Size() + b.Size() - n1;
+        return OneRClosedForm(n1, n2, opposite, a.flip_probability());
+      });
+}
+
+BatchResult BatchNaive(const BipartiteGraph& graph,
+                       const std::vector<QueryPair>& queries, double epsilon,
+                       Rng& rng) {
+  return RunBatch(graph, queries, epsilon, rng,
+                  [](const NoisyNeighborSet& a, const NoisyNeighborSet& b) {
+                    return static_cast<double>(SortedIntersectionSize(
+                        a.SortedMembers(), b.SortedMembers()));
+                  });
+}
+
+}  // namespace cne

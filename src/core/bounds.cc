@@ -1,0 +1,34 @@
+#include "core/bounds.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cne {
+
+double ChebyshevMultiple(double delta) {
+  CNE_CHECK(delta > 0.0 && delta <= 1.0) << "delta must lie in (0, 1]";
+  return 1.0 / std::sqrt(delta);
+}
+
+ConfidenceInterval ChebyshevInterval(double estimate, double variance,
+                                     double confidence) {
+  CNE_CHECK(confidence > 0.0 && confidence < 1.0)
+      << "confidence must lie in (0, 1)";
+  CNE_CHECK(variance >= 0.0) << "variance must be non-negative";
+  const double k = ChebyshevMultiple(1.0 - confidence);
+  const double radius = k * std::sqrt(variance);
+  return {estimate - radius, estimate + radius, confidence};
+}
+
+ConfidenceInterval LaplaceInterval(double estimate, double scale,
+                                   double confidence) {
+  CNE_CHECK(confidence > 0.0 && confidence < 1.0)
+      << "confidence must lie in (0, 1)";
+  CNE_CHECK(scale > 0.0) << "scale must be positive";
+  // P(|Lap(b)| > t) = exp(-t/b); invert for the two-sided tail.
+  const double radius = scale * std::log(1.0 / (1.0 - confidence));
+  return {estimate - radius, estimate + radius, confidence};
+}
+
+}  // namespace cne

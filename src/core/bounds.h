@@ -1,0 +1,41 @@
+// Confidence bounds for the unbiased estimators. The paper closes its
+// analysis by noting that Chebyshev's inequality converts the expected L2
+// losses into deviation bounds:
+//   P(|f - C2| >= k sqrt(Var f)) <= 1/k².
+// This module packages that into usable intervals, with the variance
+// supplied by the closed forms in core/theory.h.
+
+#ifndef CNE_CORE_BOUNDS_H_
+#define CNE_CORE_BOUNDS_H_
+
+namespace cne {
+
+/// A two-sided interval around an estimate.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double confidence = 0.0;  ///< at least this coverage probability
+
+  double Width() const { return upper - lower; }
+  bool Contains(double x) const { return lower <= x && x <= upper; }
+};
+
+/// Chebyshev interval: for an unbiased estimator with the given variance,
+/// [estimate ± k·sqrt(variance)] with k = 1/sqrt(1 - confidence) covers
+/// the true value with probability at least `confidence` ∈ (0, 1).
+ConfidenceInterval ChebyshevInterval(double estimate, double variance,
+                                     double confidence);
+
+/// The deviation multiple k such that P(|f - C2| >= k·sigma) <= delta,
+/// i.e. k = 1/sqrt(delta) for delta ∈ (0, 1].
+double ChebyshevMultiple(double delta);
+
+/// Exact two-sided interval for a pure Laplace release (CentralDP):
+/// [estimate ± b·ln(1/(1-confidence))] with scale b — tighter than
+/// Chebyshev because the noise law is known.
+ConfidenceInterval LaplaceInterval(double estimate, double scale,
+                                   double confidence);
+
+}  // namespace cne
+
+#endif  // CNE_CORE_BOUNDS_H_

@@ -1,0 +1,19 @@
+#include "core/central_dp.h"
+
+#include "ldp/laplace_mechanism.h"
+
+namespace cne {
+
+EstimateResult CentralDpEstimator::Estimate(const BipartiteGraph& graph,
+                                            const QueryPair& query,
+                                            double epsilon, Rng& rng) const {
+  const double c2 = static_cast<double>(
+      graph.CountCommonNeighbors(query.layer, query.u, query.w));
+  EstimateResult result;
+  result.estimate = LaplaceMechanism(c2, /*sensitivity=*/1.0, epsilon, rng);
+  result.rounds = 0;  // no vertex/curator interaction in the central model
+  result.epsilon2 = epsilon;
+  return result;
+}
+
+}  // namespace cne

@@ -1,0 +1,25 @@
+// CentralDP baseline: a trusted curator with access to the whole graph
+// releases C2(u, w) + Lap(1/ε). The global sensitivity of a common-
+// neighbor count under central edge DP is 1 (one edge changes the count by
+// at most one). Not an edge-LDP protocol; included for the utility
+// comparison in the paper's experiments.
+
+#ifndef CNE_CORE_CENTRAL_DP_H_
+#define CNE_CORE_CENTRAL_DP_H_
+
+#include "core/estimator.h"
+
+namespace cne {
+
+class CentralDpEstimator : public CommonNeighborEstimator {
+ public:
+  std::string Name() const override { return "CentralDP"; }
+  bool IsUnbiased() const override { return true; }
+  bool IsLocal() const override { return false; }
+  EstimateResult Estimate(const BipartiteGraph& graph, const QueryPair& query,
+                          double epsilon, Rng& rng) const override;
+};
+
+}  // namespace cne
+
+#endif  // CNE_CORE_CENTRAL_DP_H_

@@ -1,0 +1,46 @@
+#include "core/degree_estimation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ldp/laplace_mechanism.h"
+#include "util/logging.h"
+
+namespace cne {
+
+namespace {
+// Above this layer size the mean of the per-vertex Laplace noises is drawn
+// from its Gaussian CLT limit instead of being summed term by term.
+constexpr VertexId kCltThreshold = 4096;
+}  // namespace
+
+double EstimateDegree(const BipartiteGraph& graph, LayeredVertex v,
+                      double epsilon0, Rng& rng) {
+  return LaplaceMechanism(static_cast<double>(graph.Degree(v)),
+                          kDegreeSensitivity, epsilon0, rng);
+}
+
+double EstimateAverageDegree(const BipartiteGraph& graph, Layer layer,
+                             double epsilon0, Rng& rng) {
+  CNE_CHECK(epsilon0 > 0.0) << "privacy budget must be positive";
+  const VertexId n = graph.NumVertices(layer);
+  if (n == 0) return 0.0;
+  const double true_average = graph.AverageDegree(layer);
+  const double b = 1.0 / epsilon0;  // per-vertex Laplace scale
+  if (n <= kCltThreshold) {
+    double noise_sum = 0.0;
+    for (VertexId v = 0; v < n; ++v) noise_sum += rng.Laplace(b);
+    return true_average + noise_sum / static_cast<double>(n);
+  }
+  // Mean of n iid Laplace(b) noises: variance 2b²/n, CLT-normal at this n.
+  const double sigma = std::sqrt(2.0 * b * b / static_cast<double>(n));
+  return true_average + sigma * rng.Gaussian();
+}
+
+double CorrectDegreeEstimate(double noisy_degree, double average_degree,
+                             double min_degree) {
+  if (noisy_degree > 0.0) return noisy_degree;
+  return std::max(average_degree, min_degree);
+}
+
+}  // namespace cne

@@ -1,0 +1,34 @@
+// Private degree estimation, the ε0 round of MultiR-DS (Alg. 4, lines 1-5):
+// each vertex reports deg + Lap(1/ε0); negative reports are corrected with
+// the (privately estimated) average degree of the query layer.
+
+#ifndef CNE_CORE_DEGREE_ESTIMATION_H_
+#define CNE_CORE_DEGREE_ESTIMATION_H_
+
+#include "graph/bipartite_graph.h"
+#include "util/rng.h"
+
+namespace cne {
+
+/// Releases deg(v) + Lap(1/epsilon0). Sensitivity of a degree is 1.
+double EstimateDegree(const BipartiteGraph& graph, LayeredVertex v,
+                      double epsilon0, Rng& rng);
+
+/// Mean of the noisy degrees of every vertex in `layer`, each perturbed
+/// with Lap(1/epsilon0). For layers larger than an internal threshold the
+/// aggregate Laplace noise on the mean is drawn from its CLT Gaussian
+/// approximation instead of summing n individual draws — statistically
+/// equivalent at that scale and O(1) instead of O(n). (Communication is
+/// still O(n) scalars; callers account for it.)
+double EstimateAverageDegree(const BipartiteGraph& graph, Layer layer,
+                             double epsilon0, Rng& rng);
+
+/// Correction of Alg. 4 line 5: replaces a non-positive degree estimate by
+/// the average-degree estimate (floored at `min_degree` so downstream
+/// optimization stays well-posed).
+double CorrectDegreeEstimate(double noisy_degree, double average_degree,
+                             double min_degree = 1.0);
+
+}  // namespace cne
+
+#endif  // CNE_CORE_DEGREE_ESTIMATION_H_

@@ -1,0 +1,22 @@
+#include "core/estimator.h"
+
+#include "core/central_dp.h"
+#include "core/multir_ds.h"
+#include "core/multir_ss.h"
+#include "core/naive.h"
+#include "core/oner.h"
+
+namespace cne {
+
+std::vector<std::unique_ptr<CommonNeighborEstimator>> MakeAllEstimators() {
+  std::vector<std::unique_ptr<CommonNeighborEstimator>> estimators;
+  estimators.push_back(std::make_unique<NaiveEstimator>());
+  estimators.push_back(std::make_unique<OneREstimator>());
+  estimators.push_back(std::make_unique<MultiRSSEstimator>());
+  estimators.push_back(MakeMultiRDS());
+  estimators.push_back(MakeMultiRDSStar());
+  estimators.push_back(std::make_unique<CentralDpEstimator>());
+  return estimators;
+}
+
+}  // namespace cne

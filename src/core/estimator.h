@@ -1,0 +1,83 @@
+// Public interface of the common-neighborhood estimators.
+//
+// Every algorithm in the paper — Naive (Alg. 1), OneR (Alg. 2), MultiR-SS
+// (Alg. 3), MultiR-DS (Alg. 4) and its variants, plus the CentralDP
+// baseline — implements `CommonNeighborEstimator`. One call simulates a
+// full protocol execution between the query vertices and the data curator
+// for a single query pair and privacy budget, and reports the estimate
+// together with the protocol's round count and communication volume.
+
+#ifndef CNE_CORE_ESTIMATOR_H_
+#define CNE_CORE_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "ldp/budget.h"
+#include "util/rng.h"
+
+namespace cne {
+
+/// Outcome of one protocol execution.
+struct EstimateResult {
+  /// The (possibly noisy) estimate of C2(u, w).
+  double estimate = 0.0;
+
+  /// Number of interaction rounds between vertices and curator.
+  int rounds = 0;
+
+  /// Simulated communication volume (see ldp/comm_model.h).
+  double uploaded_bytes = 0.0;
+  double downloaded_bytes = 0.0;
+
+  double TotalBytes() const { return uploaded_bytes + downloaded_bytes; }
+
+  // --- diagnostics (filled by algorithms that use them, else 0) ---
+  double epsilon0 = 0.0;  ///< budget spent on degree estimation
+  double epsilon1 = 0.0;  ///< budget spent on randomized response
+  double epsilon2 = 0.0;  ///< budget spent on the Laplace mechanism
+  double alpha = 0.0;     ///< weighting of f_u in the double-source combo
+  double noisy_degree_u = 0.0;  ///< degree estimate for u (MultiR-DS)
+  double noisy_degree_w = 0.0;  ///< degree estimate for w (MultiR-DS)
+};
+
+/// A same-layer query pair.
+struct QueryPair {
+  Layer layer = Layer::kLower;
+  VertexId u = 0;
+  VertexId w = 0;
+};
+
+/// Interface of every common-neighborhood estimation protocol.
+class CommonNeighborEstimator {
+ public:
+  virtual ~CommonNeighborEstimator() = default;
+
+  /// Short display name, e.g. "MultiR-DS".
+  virtual std::string Name() const = 0;
+
+  /// Runs one protocol execution estimating C2(query.u, query.w) on
+  /// `graph` under total privacy budget `epsilon`. Randomness is drawn
+  /// exclusively from `rng` so runs are reproducible.
+  virtual EstimateResult Estimate(const BipartiteGraph& graph,
+                                  const QueryPair& query, double epsilon,
+                                  Rng& rng) const = 0;
+
+  /// True when E[estimate] = C2 for every graph/query/budget.
+  virtual bool IsUnbiased() const = 0;
+
+  /// True for protocols satisfying ε-edge LDP (everything except the
+  /// CentralDP baseline, which assumes a trusted curator).
+  virtual bool IsLocal() const { return true; }
+};
+
+/// Builds the full algorithm roster used across the paper's experiments:
+/// Naive, OneR, MultiR-SS, MultiR-DS, MultiR-DS-Basic, MultiR-DS*,
+/// CentralDP.
+std::vector<std::unique_ptr<CommonNeighborEstimator>> MakeAllEstimators();
+
+}  // namespace cne
+
+#endif  // CNE_CORE_ESTIMATOR_H_

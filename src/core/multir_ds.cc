@@ -1,0 +1,135 @@
+#include "core/multir_ds.h"
+
+#include "core/allocation.h"
+#include "core/degree_estimation.h"
+#include "core/multir_ss.h"
+#include "ldp/comm_model.h"
+#include "ldp/laplace_mechanism.h"
+#include "ldp/randomized_response.h"
+#include "util/logging.h"
+
+namespace cne {
+
+MultiRDSEstimator::MultiRDSEstimator(MultiRDSOptions options)
+    : options_(options) {
+  CNE_CHECK(options_.epsilon0_fraction > 0.0 &&
+            options_.epsilon0_fraction < 1.0)
+      << "epsilon0 fraction must lie in (0, 1)";
+  CNE_CHECK(options_.basic_epsilon1_fraction > 0.0 &&
+            options_.basic_epsilon1_fraction < 1.0)
+      << "basic epsilon1 fraction must lie in (0, 1)";
+}
+
+std::string MultiRDSEstimator::Name() const {
+  if (!options_.name.empty()) return options_.name;
+  if (!options_.optimize) return "MultiR-DS-Basic";
+  if (options_.public_degrees) return "MultiR-DS*";
+  return "MultiR-DS";
+}
+
+EstimateResult MultiRDSEstimator::Estimate(const BipartiteGraph& graph,
+                                           const QueryPair& query,
+                                           double epsilon, Rng& rng) const {
+  CommLedger ledger;
+  EstimateResult result;
+
+  const LayeredVertex u{query.layer, query.u};
+  const LayeredVertex w{query.layer, query.w};
+
+  // ---- Round 1: degree estimation and allocation optimization ----
+  double epsilon0 = 0.0;
+  double deg_u_est = 0.0;
+  double deg_w_est = 0.0;
+  int rounds = 0;
+  if (options_.optimize && !options_.public_degrees) {
+    epsilon0 = epsilon * options_.epsilon0_fraction;
+    deg_u_est = EstimateDegree(graph, u, epsilon0, rng);
+    deg_w_est = EstimateDegree(graph, w, epsilon0, rng);
+    // Every vertex of the query layer reports its noisy degree so the
+    // curator can form the average used to correct negative estimates
+    // (parallel composition over disjoint neighbor lists: still ε0).
+    const double avg =
+        EstimateAverageDegree(graph, query.layer, epsilon0, rng);
+    deg_u_est = CorrectDegreeEstimate(deg_u_est, avg);
+    deg_w_est = CorrectDegreeEstimate(deg_w_est, avg);
+    ledger.UploadScalars(graph.NumVertices(query.layer));
+    ++rounds;
+  } else {
+    deg_u_est = static_cast<double>(graph.Degree(u));
+    deg_w_est = static_cast<double>(graph.Degree(w));
+    // Degenerate isolated vertices: keep the optimizer well-posed.
+    deg_u_est = CorrectDegreeEstimate(deg_u_est, 1.0);
+    deg_w_est = CorrectDegreeEstimate(deg_w_est, 1.0);
+  }
+
+  const double remaining = epsilon - epsilon0;
+  double epsilon1 = 0.0;
+  double alpha = 0.5;
+  if (options_.optimize) {
+    const AllocationResult allocation =
+        OptimizeDoubleSource(remaining, deg_u_est, deg_w_est);
+    epsilon1 = allocation.epsilon1;
+    alpha = allocation.alpha;
+  } else {
+    epsilon1 = remaining * options_.basic_epsilon1_fraction;
+    alpha = 0.5;
+  }
+  const double epsilon2 = remaining - epsilon1;
+
+  // ---- Round 2: randomized responses from both query vertices ----
+  const NoisyNeighborSet noisy_u =
+      ApplyRandomizedResponse(graph, u, epsilon1, rng);
+  const NoisyNeighborSet noisy_w =
+      ApplyRandomizedResponse(graph, w, epsilon1, rng);
+  ledger.UploadEdges(noisy_u.Size());
+  ledger.UploadEdges(noisy_w.Size());
+  // u downloads w's noisy edges and vice versa.
+  ledger.DownloadEdges(noisy_u.Size());
+  ledger.DownloadEdges(noisy_w.Size());
+  ++rounds;
+
+  // ---- Round 3: single-source estimators, released via Laplace ----
+  // f̃_u combines N(u, G) with w's noisy edges; f̃_w the reverse. They
+  // depend on disjoint noisy edges and their Laplace releases are applied
+  // to disjoint neighbor lists (u's and w's), so the round composes in
+  // parallel at ε2.
+  const double sensitivity = SingleSourceSensitivity(epsilon1);
+  const double f_u = LaplaceMechanism(
+      SingleSourceEstimate(graph, u, noisy_w), sensitivity, epsilon2, rng);
+  const double f_w = LaplaceMechanism(
+      SingleSourceEstimate(graph, w, noisy_u), sensitivity, epsilon2, rng);
+  ledger.UploadScalars(2);
+  ++rounds;
+
+  result.estimate = alpha * f_u + (1.0 - alpha) * f_w;
+  result.rounds = rounds;
+  result.uploaded_bytes = ledger.UploadedBytes();
+  result.downloaded_bytes = ledger.DownloadedBytes();
+  result.epsilon0 = epsilon0;
+  result.epsilon1 = epsilon1;
+  result.epsilon2 = epsilon2;
+  result.alpha = alpha;
+  result.noisy_degree_u = deg_u_est;
+  result.noisy_degree_w = deg_w_est;
+  return result;
+}
+
+std::unique_ptr<MultiRDSEstimator> MakeMultiRDS() {
+  return std::make_unique<MultiRDSEstimator>(MultiRDSOptions{});
+}
+
+std::unique_ptr<MultiRDSEstimator> MakeMultiRDSBasic(
+    double epsilon1_fraction) {
+  MultiRDSOptions options;
+  options.optimize = false;
+  options.basic_epsilon1_fraction = epsilon1_fraction;
+  return std::make_unique<MultiRDSEstimator>(options);
+}
+
+std::unique_ptr<MultiRDSEstimator> MakeMultiRDSStar() {
+  MultiRDSOptions options;
+  options.public_degrees = true;
+  return std::make_unique<MultiRDSEstimator>(options);
+}
+
+}  // namespace cne

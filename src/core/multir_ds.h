@@ -1,0 +1,74 @@
+// Algorithm 4 (MultiR-DS): three-round double-source estimation.
+//
+// Round 1 (ε0): u, w, and every vertex on the query layer report
+// Laplace-noised degrees; negative reports for u/w are corrected with the
+// layer's noisy average degree. The curator solves for the (ε1, α) pair
+// minimizing the predicted loss of f* = α f̃_u + (1-α) f̃_w.
+// Round 2 (ε1): both query vertices run randomized response; each
+// downloads the other's noisy edges.
+// Round 3 (ε2): each query vertex builds its single-source estimator and
+// releases it via the Laplace mechanism; the curator returns the weighted
+// average.
+//
+// Variants (paper, Section 5.1):
+//  * MultiR-DS-Basic — fixed ε1 fraction, α = 1/2, no degree round.
+//  * MultiR-DS*      — degrees public: optimization without the ε0 round.
+
+#ifndef CNE_CORE_MULTIR_DS_H_
+#define CNE_CORE_MULTIR_DS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/estimator.h"
+
+namespace cne {
+
+/// Configuration of the double-source family.
+struct MultiRDSOptions {
+  /// Fraction of ε reserved for the degree-estimation round (paper: 0.05).
+  double epsilon0_fraction = 0.05;
+
+  /// When true, skip the ε0 round and use the exact degrees (MultiR-DS*).
+  bool public_degrees = false;
+
+  /// When false, skip optimization: α = 1/2 and ε1 = basic_epsilon1_fraction
+  /// of the post-ε0 budget (MultiR-DS-Basic, which also skips the ε0 round).
+  bool optimize = true;
+
+  /// RR budget share for the non-optimized variant.
+  double basic_epsilon1_fraction = 0.5;
+
+  /// Display name override; empty -> derived from the flags.
+  std::string name;
+};
+
+/// The MultiR-DS estimator family.
+class MultiRDSEstimator : public CommonNeighborEstimator {
+ public:
+  explicit MultiRDSEstimator(MultiRDSOptions options = {});
+
+  std::string Name() const override;
+  bool IsUnbiased() const override { return true; }
+  EstimateResult Estimate(const BipartiteGraph& graph, const QueryPair& query,
+                          double epsilon, Rng& rng) const override;
+
+  const MultiRDSOptions& options() const { return options_; }
+
+ private:
+  MultiRDSOptions options_;
+};
+
+/// Paper-default MultiR-DS (ε0 = 0.05ε, optimized ε1 and α).
+std::unique_ptr<MultiRDSEstimator> MakeMultiRDS();
+
+/// MultiR-DS-Basic: (f̃_u + f̃_w)/2 with a fixed ε1 fraction, no ε0 round.
+std::unique_ptr<MultiRDSEstimator> MakeMultiRDSBasic(
+    double epsilon1_fraction = 0.5);
+
+/// MultiR-DS*: public degrees, optimized allocation, no ε0 round.
+std::unique_ptr<MultiRDSEstimator> MakeMultiRDSStar();
+
+}  // namespace cne
+
+#endif  // CNE_CORE_MULTIR_DS_H_

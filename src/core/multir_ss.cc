@@ -1,0 +1,127 @@
+#include "core/multir_ss.h"
+
+#include "core/allocation.h"
+#include "core/degree_estimation.h"
+#include "ldp/comm_model.h"
+#include "ldp/laplace_mechanism.h"
+#include "util/logging.h"
+
+namespace cne {
+
+double SingleSourceEstimate(const BipartiteGraph& graph, LayeredVertex u,
+                            const NoisyNeighborSet& noisy_w) {
+  const double p = noisy_w.flip_probability();
+  const double q = 1.0 - 2.0 * p;
+  const auto neighbors = graph.Neighbors(u);
+  // S1 = neighbors of u that are noisy neighbors of w; S2 = the rest.
+  const uint64_t s1 =
+      SortedIntersectionSize(neighbors, noisy_w.SortedMembers());
+  const uint64_t s2 = neighbors.size() - s1;
+  return static_cast<double>(s1) * (1.0 - p) / q -
+         static_cast<double>(s2) * p / q;
+}
+
+MultiRSSEstimator::MultiRSSEstimator(double epsilon1_fraction)
+    : epsilon1_fraction_(epsilon1_fraction) {
+  CNE_CHECK(epsilon1_fraction > 0.0 && epsilon1_fraction < 1.0)
+      << "epsilon1 fraction must lie in (0, 1)";
+}
+
+EstimateResult MultiRSSEstimator::Estimate(const BipartiteGraph& graph,
+                                           const QueryPair& query,
+                                           double epsilon, Rng& rng) const {
+  const double epsilon1 = epsilon * epsilon1_fraction_;
+  const double epsilon2 = epsilon - epsilon1;
+  CommLedger ledger;
+
+  // Round 1: w perturbs its neighbor list with ε1; u downloads the noisy
+  // edges from the curator.
+  const NoisyNeighborSet noisy_w =
+      ApplyRandomizedResponse(graph, {query.layer, query.w}, epsilon1, rng);
+  ledger.UploadEdges(noisy_w.Size());
+  ledger.DownloadEdges(noisy_w.Size());
+
+  // Round 2: u builds f_u locally and releases it with the Laplace
+  // mechanism at sensitivity (1-p)/(1-2p).
+  const double f_u =
+      SingleSourceEstimate(graph, {query.layer, query.u}, noisy_w);
+  const double released = LaplaceMechanism(
+      f_u, SingleSourceSensitivity(epsilon1), epsilon2, rng);
+  ledger.UploadScalars(1);
+
+  EstimateResult result;
+  result.estimate = released;
+  result.rounds = 2;
+  result.uploaded_bytes = ledger.UploadedBytes();
+  result.downloaded_bytes = ledger.DownloadedBytes();
+  result.epsilon1 = epsilon1;
+  result.epsilon2 = epsilon2;
+  result.alpha = 1.0;
+  return result;
+}
+
+MultiRSSOptEstimator::MultiRSSOptEstimator(double epsilon0_fraction,
+                                           bool public_degrees)
+    : epsilon0_fraction_(epsilon0_fraction),
+      public_degrees_(public_degrees) {
+  CNE_CHECK(epsilon0_fraction > 0.0 && epsilon0_fraction < 1.0)
+      << "epsilon0 fraction must lie in (0, 1)";
+}
+
+EstimateResult MultiRSSOptEstimator::Estimate(const BipartiteGraph& graph,
+                                              const QueryPair& query,
+                                              double epsilon,
+                                              Rng& rng) const {
+  CommLedger ledger;
+  const LayeredVertex u{query.layer, query.u};
+  const LayeredVertex w{query.layer, query.w};
+  int rounds = 0;
+
+  // Optional ε0 round: estimate deg(u) to drive the split optimization.
+  double epsilon0 = 0.0;
+  double deg_u_est;
+  if (public_degrees_) {
+    deg_u_est =
+        CorrectDegreeEstimate(static_cast<double>(graph.Degree(u)), 1.0);
+  } else {
+    epsilon0 = epsilon * epsilon0_fraction_;
+    const double noisy = EstimateDegree(graph, u, epsilon0, rng);
+    const double avg =
+        EstimateAverageDegree(graph, query.layer, epsilon0, rng);
+    deg_u_est = CorrectDegreeEstimate(noisy, avg);
+    ledger.UploadScalars(graph.NumVertices(query.layer));
+    ++rounds;
+  }
+
+  const AllocationResult allocation =
+      OptimizeSingleSource(epsilon - epsilon0, deg_u_est);
+
+  // Round: w's randomized response, downloaded by u.
+  const NoisyNeighborSet noisy_w =
+      ApplyRandomizedResponse(graph, w, allocation.epsilon1, rng);
+  ledger.UploadEdges(noisy_w.Size());
+  ledger.DownloadEdges(noisy_w.Size());
+  ++rounds;
+
+  // Round: Laplace release of f_u.
+  const double f_u = SingleSourceEstimate(graph, u, noisy_w);
+  const double released =
+      LaplaceMechanism(f_u, SingleSourceSensitivity(allocation.epsilon1),
+                       allocation.epsilon2, rng);
+  ledger.UploadScalars(1);
+  ++rounds;
+
+  EstimateResult result;
+  result.estimate = released;
+  result.rounds = rounds;
+  result.uploaded_bytes = ledger.UploadedBytes();
+  result.downloaded_bytes = ledger.DownloadedBytes();
+  result.epsilon0 = epsilon0;
+  result.epsilon1 = allocation.epsilon1;
+  result.epsilon2 = allocation.epsilon2;
+  result.alpha = 1.0;
+  result.noisy_degree_u = deg_u_est;
+  return result;
+}
+
+}  // namespace cne

@@ -1,0 +1,64 @@
+// Algorithm 3 (MultiR-SS): two-round single-source estimation.
+//
+// Round 1: vertex w applies ε1-randomized response and uploads its noisy
+// edges; vertex u downloads them. Round 2: u combines its *true* neighbor
+// list with w's noisy edges into the unbiased estimator
+//   f_u = S1 (1-p)/(1-2p) - S2 p/(1-2p),
+// where S1 = |N(u,G) ∩ N(w,G'_ε1)| and S2 = |N(u,G) \ N(w,G'_ε1)|, and
+// releases it through the Laplace mechanism with sensitivity
+// (1-p)/(1-2p) and budget ε2.
+
+#ifndef CNE_CORE_MULTIR_SS_H_
+#define CNE_CORE_MULTIR_SS_H_
+
+#include "core/estimator.h"
+#include "ldp/randomized_response.h"
+
+namespace cne {
+
+/// The noiseless single-source estimator f_u built from u's true neighbors
+/// and w's noisy neighbor set (before the Laplace release). Exposed for
+/// MultiR-DS and for tests.
+double SingleSourceEstimate(const BipartiteGraph& graph, LayeredVertex u,
+                            const NoisyNeighborSet& noisy_w);
+
+/// MultiR-SS with an even ε1 = ε2 = ε/2 split (the paper's default).
+class MultiRSSEstimator : public CommonNeighborEstimator {
+ public:
+  /// `epsilon1_fraction` is the share of ε spent on randomized response.
+  explicit MultiRSSEstimator(double epsilon1_fraction = 0.5);
+
+  std::string Name() const override { return "MultiR-SS"; }
+  bool IsUnbiased() const override { return true; }
+  EstimateResult Estimate(const BipartiteGraph& graph, const QueryPair& query,
+                          double epsilon, Rng& rng) const override;
+
+ private:
+  double epsilon1_fraction_;
+};
+
+/// The "optimized MultiR-SS" discussed in Section 4.2: spends ε0 on a
+/// noisy estimate of deg(u), then picks the (ε1, ε2) split minimizing the
+/// predicted Theorem-6 loss with Newton's method. Equivalent to MultiR-DS
+/// pinned at α = 1; only outperforms the even split when deg(u) is large.
+class MultiRSSOptEstimator : public CommonNeighborEstimator {
+ public:
+  /// `epsilon0_fraction` is the degree-round share (paper's DS uses 0.05);
+  /// with `public_degrees` the ε0 round is skipped and the true degree
+  /// drives the optimization.
+  explicit MultiRSSOptEstimator(double epsilon0_fraction = 0.05,
+                                bool public_degrees = false);
+
+  std::string Name() const override { return "MultiR-SS-Opt"; }
+  bool IsUnbiased() const override { return true; }
+  EstimateResult Estimate(const BipartiteGraph& graph, const QueryPair& query,
+                          double epsilon, Rng& rng) const override;
+
+ private:
+  double epsilon0_fraction_;
+  bool public_degrees_;
+};
+
+}  // namespace cne
+
+#endif  // CNE_CORE_MULTIR_SS_H_

@@ -1,0 +1,35 @@
+#include "core/naive.h"
+
+#include "ldp/comm_model.h"
+#include "ldp/randomized_response.h"
+
+namespace cne {
+
+EstimateResult NaiveEstimator::Estimate(const BipartiteGraph& graph,
+                                        const QueryPair& query,
+                                        double epsilon, Rng& rng) const {
+  // Vertex side: u and w perturb their neighbor lists with the full budget
+  // and upload the noisy edges.
+  const NoisyNeighborSet noisy_u =
+      ApplyRandomizedResponse(graph, {query.layer, query.u}, epsilon, rng);
+  const NoisyNeighborSet noisy_w =
+      ApplyRandomizedResponse(graph, {query.layer, query.w}, epsilon, rng);
+
+  CommLedger ledger;
+  ledger.UploadEdges(noisy_u.Size());
+  ledger.UploadEdges(noisy_w.Size());
+
+  // Curator side: intersect the two noisy neighbor sets.
+  const uint64_t intersection = SortedIntersectionSize(
+      noisy_u.SortedMembers(), noisy_w.SortedMembers());
+
+  EstimateResult result;
+  result.estimate = static_cast<double>(intersection);
+  result.rounds = 1;
+  result.uploaded_bytes = ledger.UploadedBytes();
+  result.downloaded_bytes = ledger.DownloadedBytes();
+  result.epsilon1 = epsilon;  // everything goes to randomized response
+  return result;
+}
+
+}  // namespace cne

@@ -1,0 +1,23 @@
+// Algorithm 1 (Naive): count common neighbors directly on the noisy graph
+// built by ε-randomized response. Satisfies ε-edge LDP but overcounts
+// severely because the noisy graph is much denser than the input.
+
+#ifndef CNE_CORE_NAIVE_H_
+#define CNE_CORE_NAIVE_H_
+
+#include "core/estimator.h"
+
+namespace cne {
+
+/// The Naive estimator f̃1 = |N(u, G'_ε) ∩ N(w, G'_ε)|.
+class NaiveEstimator : public CommonNeighborEstimator {
+ public:
+  std::string Name() const override { return "Naive"; }
+  bool IsUnbiased() const override { return false; }
+  EstimateResult Estimate(const BipartiteGraph& graph, const QueryPair& query,
+                          double epsilon, Rng& rng) const override;
+};
+
+}  // namespace cne
+
+#endif  // CNE_CORE_NAIVE_H_

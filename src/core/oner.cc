@@ -1,0 +1,49 @@
+#include "core/oner.h"
+
+#include "ldp/comm_model.h"
+#include "ldp/randomized_response.h"
+
+namespace cne {
+
+double OneRClosedForm(uint64_t noisy_intersection, uint64_t noisy_union,
+                      uint64_t opposite_size, double flip_probability) {
+  const double p = flip_probability;
+  const double q = 1.0 - 2.0 * p;
+  const double n1 = static_cast<double>(noisy_intersection);
+  const double n2 = static_cast<double>(noisy_union);
+  const double n = static_cast<double>(opposite_size);
+  return (n1 * (1.0 - p) * (1.0 - p) - (n2 - n1) * (1.0 - p) * p +
+          (n - n2) * p * p) /
+         (q * q);
+}
+
+EstimateResult OneREstimator::Estimate(const BipartiteGraph& graph,
+                                       const QueryPair& query, double epsilon,
+                                       Rng& rng) const {
+  const NoisyNeighborSet noisy_u =
+      ApplyRandomizedResponse(graph, {query.layer, query.u}, epsilon, rng);
+  const NoisyNeighborSet noisy_w =
+      ApplyRandomizedResponse(graph, {query.layer, query.w}, epsilon, rng);
+
+  CommLedger ledger;
+  ledger.UploadEdges(noisy_u.Size());
+  ledger.UploadEdges(noisy_w.Size());
+
+  const uint64_t intersection = SortedIntersectionSize(
+      noisy_u.SortedMembers(), noisy_w.SortedMembers());
+  const uint64_t union_size =
+      noisy_u.Size() + noisy_w.Size() - intersection;
+
+  EstimateResult result;
+  result.estimate =
+      OneRClosedForm(intersection, union_size,
+                     graph.NumVertices(Opposite(query.layer)),
+                     noisy_u.flip_probability());
+  result.rounds = 1;
+  result.uploaded_bytes = ledger.UploadedBytes();
+  result.downloaded_bytes = ledger.DownloadedBytes();
+  result.epsilon1 = epsilon;
+  return result;
+}
+
+}  // namespace cne

@@ -1,0 +1,33 @@
+// Algorithm 2 (OneR): one-round unbiased estimation. Each candidate v on
+// the opposite layer contributes φ(u,v)·φ(v,w) where
+// φ(i,j) = (A'[i,j] - p) / (1 - 2p) is the unbiased de-biased bit
+// (Section 3.1). Implemented with the closed-form expansion over the
+// intersection/union sizes of the two noisy neighbor sets, so the curator
+// never scans all n1 candidates.
+
+#ifndef CNE_CORE_ONER_H_
+#define CNE_CORE_ONER_H_
+
+#include "core/estimator.h"
+
+namespace cne {
+
+/// The OneR estimator f̃2 of Theorem 3.
+class OneREstimator : public CommonNeighborEstimator {
+ public:
+  std::string Name() const override { return "OneR"; }
+  bool IsUnbiased() const override { return true; }
+  EstimateResult Estimate(const BipartiteGraph& graph, const QueryPair& query,
+                          double epsilon, Rng& rng) const override;
+};
+
+/// The closed-form expansion of Equation 2:
+///   f̃2 = N1 (1-p)²/(1-2p)² - (N2-N1)(1-p)p/(1-2p)² + (n1-N2) p²/(1-2p)²
+/// where N1/N2 are the intersection/union sizes of the noisy neighbor sets
+/// and n1 the opposite-layer size. Exposed for direct testing.
+double OneRClosedForm(uint64_t noisy_intersection, uint64_t noisy_union,
+                      uint64_t opposite_size, double flip_probability);
+
+}  // namespace cne
+
+#endif  // CNE_CORE_ONER_H_

@@ -1,0 +1,103 @@
+#include "core/theory.h"
+
+#include <cmath>
+
+#include "ldp/laplace_mechanism.h"
+#include "ldp/randomized_response.h"
+
+namespace cne {
+
+namespace {
+
+/// Success probabilities of the product bit A'[u,v]·A'[v,w] for the three
+/// candidate classes: common neighbor, exclusive neighbor, non-neighbor.
+struct CandidateClasses {
+  double q_common;     ///< both true bits 1 -> (1-p)^2
+  double q_exclusive;  ///< exactly one true bit 1 -> p(1-p)
+  double q_neither;    ///< both true bits 0 -> p^2
+  double n_common;
+  double n_exclusive;
+  double n_neither;
+};
+
+CandidateClasses Classify(double n1, double deg_u, double deg_w, double c2,
+                          double p) {
+  CandidateClasses c;
+  c.q_common = (1.0 - p) * (1.0 - p);
+  c.q_exclusive = p * (1.0 - p);
+  c.q_neither = p * p;
+  c.n_common = c2;
+  c.n_exclusive = (deg_u - c2) + (deg_w - c2);
+  c.n_neither = n1 - deg_u - deg_w + c2;
+  return c;
+}
+
+}  // namespace
+
+double NaiveExpectedValue(double n1, double deg_u, double deg_w, double c2,
+                          double epsilon) {
+  const double p = FlipProbability(epsilon);
+  const CandidateClasses c = Classify(n1, deg_u, deg_w, c2, p);
+  return c.n_common * c.q_common + c.n_exclusive * c.q_exclusive +
+         c.n_neither * c.q_neither;
+}
+
+double NaiveExpectedL2(double n1, double deg_u, double deg_w, double c2,
+                       double epsilon) {
+  const double p = FlipProbability(epsilon);
+  const CandidateClasses c = Classify(n1, deg_u, deg_w, c2, p);
+  // The naive count is a sum of independent Bernoulli(q_v) bits, so its
+  // variance is sum q_v (1 - q_v) and its bias is E - c2.
+  const double variance = c.n_common * c.q_common * (1.0 - c.q_common) +
+                          c.n_exclusive * c.q_exclusive * (1.0 - c.q_exclusive) +
+                          c.n_neither * c.q_neither * (1.0 - c.q_neither);
+  const double bias = NaiveExpectedValue(n1, deg_u, deg_w, c2, epsilon) - c2;
+  return variance + bias * bias;
+}
+
+double OneRExpectedL2(double n1, double deg_u, double deg_w, double epsilon) {
+  const double p = FlipProbability(epsilon);
+  const double s = p * (1.0 - p);            // Var of a shifted RR bit
+  const double q = 1.0 - 2.0 * p;            // de-biasing denominator
+  return s * s / (q * q * q * q) * n1 + s / (q * q) * (deg_u + deg_w);
+}
+
+double SingleSourceExpectedL2(double deg_u, double epsilon1,
+                              double epsilon2) {
+  const double p = FlipProbability(epsilon1);
+  const double q = 1.0 - 2.0 * p;
+  const double rr_term = p * (1.0 - p) / (q * q) * deg_u;
+  const double laplace_term =
+      LaplaceVariance(SingleSourceSensitivity(epsilon1), epsilon2);
+  return rr_term + laplace_term;
+}
+
+double DoubleSourceExpectedL2(double deg_u, double deg_w, double alpha,
+                              double epsilon1, double epsilon2) {
+  // f̃_u and f̃_w depend on disjoint noisy edges, so they are independent
+  // and the variance of the weighted average is the weighted sum.
+  const double beta = 1.0 - alpha;
+  const double p = FlipProbability(epsilon1);
+  const double q = 1.0 - 2.0 * p;
+  const double a = p * (1.0 - p) / (q * q);
+  const double b = LaplaceVariance(SingleSourceSensitivity(epsilon1),
+                                   epsilon2);
+  return a * (alpha * alpha * deg_u + beta * beta * deg_w) +
+         b * (alpha * alpha + beta * beta);
+}
+
+double CentralDpExpectedL2(double epsilon) {
+  return LaplaceVariance(/*sensitivity=*/1.0, epsilon);
+}
+
+double NaiveL2Order(double n1, double epsilon) {
+  const double e = std::exp(epsilon);
+  return n1 * n1 * e * e * e * e / std::pow(1.0 + e, 4.0);
+}
+
+double OneRL2Order(double n1, double epsilon) {
+  const double e = std::exp(epsilon);
+  return n1 * e * e / std::pow(1.0 - e, 4.0);
+}
+
+}  // namespace cne

@@ -1,0 +1,49 @@
+// Closed-form expected-L2-loss expressions of every estimator (Theorems 1,
+// 4, 6, 8 and the CentralDP baseline). These drive the Fig. 5 landscape
+// bench, the Table 3 summary bench, and the variance property tests, which
+// assert that the Monte-Carlo variance of each estimator matches these
+// formulas.
+
+#ifndef CNE_CORE_THEORY_H_
+#define CNE_CORE_THEORY_H_
+
+namespace cne {
+
+/// Exact expected L2 loss of the Naive estimator (Alg. 1):
+/// bias^2 + variance of |N(u,G') ∩ N(w,G')| where each candidate v is a
+/// common noisy neighbor independently with probability q_v determined by
+/// its true adjacency. Parameters: opposite-layer size n1, true degrees,
+/// and the true common-neighbor count c2.
+double NaiveExpectedL2(double n1, double deg_u, double deg_w, double c2,
+                       double epsilon);
+
+/// Expected value of the Naive estimator (shows the overcounting bias).
+double NaiveExpectedValue(double n1, double deg_u, double deg_w, double c2,
+                          double epsilon);
+
+/// Exact expected L2 loss (= variance; unbiased) of OneR (Theorem 4,
+/// tightened to the exact expression derived in its proof):
+/// p²(1-p)²/(1-2p)⁴ · n1 + p(1-p)/(1-2p)² · (deg_u + deg_w).
+double OneRExpectedL2(double n1, double deg_u, double deg_w, double epsilon);
+
+/// Exact expected L2 loss (= variance) of the single-source estimator f̃_u
+/// (Theorem 6): p(1-p)/(1-2p)² · deg_u + 2(1-p)²/((1-2p)² ε2²), with
+/// p = FlipProbability(epsilon1).
+double SingleSourceExpectedL2(double deg_u, double epsilon1, double epsilon2);
+
+/// Exact expected L2 loss (= variance) of the double-source estimator
+/// f* = α f̃_u + (1-α) f̃_w (Theorem 8).
+double DoubleSourceExpectedL2(double deg_u, double deg_w, double alpha,
+                              double epsilon1, double epsilon2);
+
+/// Expected L2 loss of CentralDP: Var(Lap(1/ε)) = 2/ε².
+double CentralDpExpectedL2(double epsilon);
+
+/// Asymptotic (big-O constant dropped) L2-loss orders from Table 3, used
+/// for cross-checking growth rates in tests.
+double NaiveL2Order(double n1, double epsilon);
+double OneRL2Order(double n1, double epsilon);
+
+}  // namespace cne
+
+#endif  // CNE_CORE_THEORY_H_

@@ -1,0 +1,64 @@
+// Registry of the paper's 15 KONECT datasets (Table 2) as synthetic
+// power-law analogs.
+//
+// KONECT downloads are unavailable offline, so each dataset is generated
+// as a bipartite Chung–Lu graph. Graphs up to ~2M edges use the paper's
+// exact |U|, |L|, |E|; the six larger graphs are scaled down with edges
+// scaled by `edge_scale` and vertices by sqrt(edge_scale) (which preserves
+// density and hence the degree structure), with two extra-large lower
+// layers capped explicitly. The substitution and its effect on each figure
+// are documented in DESIGN.md and EXPERIMENTS.md. Generation is
+// deterministic given the per-dataset seed, so every bench sees identical
+// graphs.
+
+#ifndef CNE_EVAL_DATASETS_H_
+#define CNE_EVAL_DATASETS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace cne {
+
+/// Description of one dataset analog.
+struct DatasetSpec {
+  std::string code;      ///< short code used in the paper, e.g. "RM"
+  std::string name;      ///< full KONECT name, e.g. "Rmwiki"
+  uint64_t paper_upper;  ///< |U| reported in Table 2
+  uint64_t paper_lower;  ///< |L| reported in Table 2
+  uint64_t paper_edges;  ///< |E| reported in Table 2
+  uint64_t gen_upper;    ///< |U| of the generated analog
+  uint64_t gen_lower;    ///< |L| of the generated analog
+  uint64_t gen_edges;    ///< |E| of the generated analog
+  /// Query pairs are sampled from this layer (the "user"-like side listed
+  /// first in Table 2); the opposite layer is the candidate pool of size n1.
+  Layer query_layer = Layer::kUpper;
+  double exponent = 2.1;  ///< power-law exponent of the Chung–Lu weights
+  uint64_t seed = 0;      ///< generation seed
+
+  /// Size of the candidate pool n1 (the layer opposite the queries).
+  uint64_t CandidatePoolSize() const {
+    return query_layer == Layer::kUpper ? gen_lower : gen_upper;
+  }
+};
+
+/// All 15 dataset analogs in Table 2 order (RM ... OG).
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Looks up a dataset by its short code (case-insensitive); nullopt when
+/// unknown.
+std::optional<DatasetSpec> FindDataset(const std::string& code);
+
+/// Deterministically generates the analog graph for `spec`.
+BipartiteGraph MakeDataset(const DatasetSpec& spec);
+
+/// Resolves a list of codes to specs (fatal on unknown codes), or all
+/// datasets when `codes` is empty.
+std::vector<DatasetSpec> ResolveDatasets(
+    const std::vector<std::string>& codes);
+
+}  // namespace cne
+
+#endif  // CNE_EVAL_DATASETS_H_

@@ -1,0 +1,65 @@
+#include "eval/experiment.h"
+
+#include "util/statistics.h"
+#include "util/timer.h"
+
+namespace cne {
+
+EstimatorMetrics RunEstimator(const BipartiteGraph& graph,
+                              const CommonNeighborEstimator& estimator,
+                              const std::vector<QueryPair>& pairs,
+                              const ExperimentConfig& config, Rng& rng) {
+  EstimatorMetrics metrics;
+  metrics.estimator = estimator.Name();
+  metrics.num_queries = pairs.size() * config.trials_per_pair;
+
+  std::vector<double> estimates;
+  std::vector<double> truths;
+  estimates.reserve(metrics.num_queries);
+  truths.reserve(metrics.num_queries);
+  RunningStats upload, download;
+
+  Timer timer;
+  for (const QueryPair& pair : pairs) {
+    const double truth = static_cast<double>(
+        graph.CountCommonNeighbors(pair.layer, pair.u, pair.w));
+    for (size_t t = 0; t < config.trials_per_pair; ++t) {
+      const EstimateResult r =
+          estimator.Estimate(graph, pair, config.epsilon, rng);
+      estimates.push_back(r.estimate);
+      truths.push_back(truth);
+      upload.Add(r.uploaded_bytes);
+      download.Add(r.downloaded_bytes);
+    }
+  }
+  metrics.total_seconds = timer.Seconds();
+
+  metrics.mean_absolute_error = MeanAbsoluteError(estimates, truths);
+  metrics.mean_relative_error = MeanRelativeError(estimates, truths);
+  metrics.mean_squared_error = MeanSquaredError(estimates, truths);
+  metrics.mean_upload_bytes = upload.Mean();
+  metrics.mean_download_bytes = download.Mean();
+  metrics.mean_comm_bytes = upload.Mean() + download.Mean();
+  RunningStats est_stats, truth_stats;
+  for (double e : estimates) est_stats.Add(e);
+  for (double t : truths) truth_stats.Add(t);
+  metrics.mean_estimate = est_stats.Mean();
+  metrics.mean_truth = truth_stats.Mean();
+  return metrics;
+}
+
+std::vector<EstimatorMetrics> RunAllEstimators(
+    const BipartiteGraph& graph,
+    const std::vector<std::unique_ptr<CommonNeighborEstimator>>& estimators,
+    const std::vector<QueryPair>& pairs, const ExperimentConfig& config,
+    Rng& rng) {
+  std::vector<EstimatorMetrics> all;
+  all.reserve(estimators.size());
+  for (const auto& estimator : estimators) {
+    Rng stream = rng.Split();
+    all.push_back(RunEstimator(graph, *estimator, pairs, config, stream));
+  }
+  return all;
+}
+
+}  // namespace cne

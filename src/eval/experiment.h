@@ -1,0 +1,42 @@
+// Experiment runner: executes estimators over query workloads and
+// aggregates the paper's metrics.
+
+#ifndef CNE_EVAL_EXPERIMENT_H_
+#define CNE_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/estimator.h"
+#include "eval/metrics.h"
+#include "graph/bipartite_graph.h"
+#include "util/rng.h"
+
+namespace cne {
+
+/// Parameters of one experiment run.
+struct ExperimentConfig {
+  double epsilon = 2.0;        ///< total privacy budget per query
+  size_t trials_per_pair = 1;  ///< protocol executions averaged per pair
+};
+
+/// Runs `estimator` on every query pair and aggregates the error metrics
+/// against the exact C2 values. Each (pair, trial) uses fresh randomness
+/// from `rng`.
+EstimatorMetrics RunEstimator(const BipartiteGraph& graph,
+                              const CommonNeighborEstimator& estimator,
+                              const std::vector<QueryPair>& pairs,
+                              const ExperimentConfig& config, Rng& rng);
+
+/// Runs every estimator in the roster on the same workload. Each
+/// estimator receives an independent RNG stream split from `rng`, so
+/// adding or removing an estimator does not perturb the others' draws.
+std::vector<EstimatorMetrics> RunAllEstimators(
+    const BipartiteGraph& graph,
+    const std::vector<std::unique_ptr<CommonNeighborEstimator>>& estimators,
+    const std::vector<QueryPair>& pairs, const ExperimentConfig& config,
+    Rng& rng);
+
+}  // namespace cne
+
+#endif  // CNE_EVAL_EXPERIMENT_H_

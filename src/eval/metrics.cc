@@ -1,0 +1,5 @@
+#include "eval/metrics.h"
+
+// EstimatorMetrics is a plain aggregate; aggregation logic lives in
+// eval/experiment.cc. This translation unit exists so the header has a
+// home in the cne_eval library.

@@ -1,0 +1,29 @@
+// Error metrics aggregated over a set of query pairs, mirroring the
+// paper's reporting: mean absolute error across 100 sampled pairs, plus
+// the mean relative error, empirical L2, timing, and communication.
+
+#ifndef CNE_EVAL_METRICS_H_
+#define CNE_EVAL_METRICS_H_
+
+#include <string>
+
+namespace cne {
+
+/// Aggregated result of running one estimator over a query workload.
+struct EstimatorMetrics {
+  std::string estimator;
+  size_t num_queries = 0;
+  double mean_absolute_error = 0.0;
+  double mean_relative_error = 0.0;
+  double mean_squared_error = 0.0;   ///< empirical L2 loss
+  double total_seconds = 0.0;        ///< wall-clock over all queries
+  double mean_upload_bytes = 0.0;    ///< per query pair
+  double mean_download_bytes = 0.0;  ///< per query pair
+  double mean_comm_bytes = 0.0;      ///< upload + download per pair
+  double mean_estimate = 0.0;
+  double mean_truth = 0.0;
+};
+
+}  // namespace cne
+
+#endif  // CNE_EVAL_METRICS_H_

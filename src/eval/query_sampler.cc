@@ -1,0 +1,115 @@
+#include "eval/query_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace cne {
+
+std::vector<QueryPair> SampleUniformPairs(const BipartiteGraph& graph,
+                                          Layer layer, size_t count,
+                                          Rng& rng) {
+  const VertexId n = graph.NumVertices(layer);
+  CNE_CHECK(n >= 2) << "layer has fewer than two vertices";
+  std::vector<QueryPair> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.UniformInt(n));
+    VertexId w = static_cast<VertexId>(rng.UniformInt(n - 1));
+    if (w >= u) ++w;  // uniform over distinct pairs
+    pairs.push_back({layer, u, w});
+  }
+  return pairs;
+}
+
+std::vector<QueryPair> SampleImbalancedPairs(const BipartiteGraph& graph,
+                                             Layer layer, double kappa,
+                                             size_t count, Rng& rng) {
+  CNE_CHECK(kappa >= 1.0) << "kappa must be >= 1";
+  const VertexId n = graph.NumVertices(layer);
+  // Split non-isolated vertices into candidates by degree.
+  std::vector<VertexId> vertices;
+  vertices.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (graph.Degree(layer, v) >= 1) vertices.push_back(v);
+  }
+  if (vertices.size() < 2) return {};
+  // Sort by degree so low/high candidates can be found by position.
+  std::sort(vertices.begin(), vertices.end(), [&](VertexId a, VertexId b) {
+    return graph.Degree(layer, a) < graph.Degree(layer, b);
+  });
+  auto degree_at = [&](size_t i) {
+    return static_cast<double>(graph.Degree(layer, vertices[i]));
+  };
+
+  std::vector<QueryPair> pairs;
+  pairs.reserve(count);
+  const size_t max_attempts = count * 200 + 1000;
+  size_t attempts = 0;
+  while (pairs.size() < count && attempts < max_attempts) {
+    ++attempts;
+    // Draw a low-degree vertex from the lower half and find the boundary
+    // above which partners satisfy the imbalance constraint.
+    const size_t lo_idx = rng.UniformInt(vertices.size() / 2 + 1);
+    const double lo_deg = degree_at(lo_idx);
+    const double threshold = kappa * lo_deg;
+    // First index with degree > threshold.
+    size_t first = std::upper_bound(
+                       vertices.begin(), vertices.end(), threshold,
+                       [&](double value, VertexId v) {
+                         return value <
+                                static_cast<double>(graph.Degree(layer, v));
+                       }) -
+                   vertices.begin();
+    if (first >= vertices.size()) continue;  // no partner big enough
+    const size_t hi_idx =
+        first + rng.UniformInt(vertices.size() - first);
+    if (hi_idx == lo_idx) continue;
+    // Randomize the (u, w) orientation: the querier does not know which
+    // vertex has the smaller degree, and single-source estimators are
+    // sensitive to the roles.
+    if (rng.Bernoulli(0.5)) {
+      pairs.push_back({layer, vertices[lo_idx], vertices[hi_idx]});
+    } else {
+      pairs.push_back({layer, vertices[hi_idx], vertices[lo_idx]});
+    }
+  }
+  if (pairs.size() < count) {
+    CNE_LOG(kWarning) << "imbalance sampler produced " << pairs.size()
+                      << " of " << count << " pairs at kappa=" << kappa;
+  }
+  return pairs;
+}
+
+QueryPair FindPairWithDegrees(const BipartiteGraph& graph, Layer layer,
+                              VertexId target_deg_u, VertexId target_deg_w) {
+  const VertexId n = graph.NumVertices(layer);
+  CNE_CHECK(n >= 2) << "layer has fewer than two vertices";
+  VertexId best_u = 0;
+  VertexId best_w = 1;
+  long best_u_gap = -1;
+  long best_w_gap = -1;
+  for (VertexId v = 0; v < n; ++v) {
+    const long deg = graph.Degree(layer, v);
+    const long u_gap = std::labs(deg - static_cast<long>(target_deg_u));
+    const long w_gap = std::labs(deg - static_cast<long>(target_deg_w));
+    // Assign v to whichever role it fits better, keeping roles distinct.
+    if (best_u_gap < 0 || u_gap < best_u_gap) {
+      if (v != best_w) {
+        best_u = v;
+        best_u_gap = u_gap;
+      }
+    }
+    if (best_w_gap < 0 || w_gap < best_w_gap) {
+      if (v != best_u) {
+        best_w = v;
+        best_w_gap = w_gap;
+      }
+    }
+  }
+  return {layer, best_u, best_w};
+}
+
+}  // namespace cne

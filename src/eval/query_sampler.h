@@ -1,0 +1,39 @@
+// Query-pair sampling. The paper's experiments sample 100 uniform
+// same-layer pairs per dataset (Fig. 6, 7, 10, 11), one hand-picked
+// imbalanced pair (Fig. 2), and pairs whose degree ratio exceeds a given
+// κ (Fig. 9).
+
+#ifndef CNE_EVAL_QUERY_SAMPLER_H_
+#define CNE_EVAL_QUERY_SAMPLER_H_
+
+#include <vector>
+
+#include "core/estimator.h"
+#include "graph/bipartite_graph.h"
+#include "util/rng.h"
+
+namespace cne {
+
+/// Samples `count` uniform pairs of distinct vertices from `layer`.
+/// Requires the layer to have at least two vertices.
+std::vector<QueryPair> SampleUniformPairs(const BipartiteGraph& graph,
+                                          Layer layer, size_t count,
+                                          Rng& rng);
+
+/// Samples `count` pairs with max(deg) > kappa * min(deg) and min(deg) >= 1
+/// (the Fig. 9 imbalance workload). Vertices are bucketed by degree so the
+/// sampler stays cheap even at kappa = 1000. Returns fewer pairs when the
+/// graph cannot supply them; emits a warning in that case.
+std::vector<QueryPair> SampleImbalancedPairs(const BipartiteGraph& graph,
+                                             Layer layer, double kappa,
+                                             size_t count, Rng& rng);
+
+/// Finds a pair whose degrees are as close as possible to the requested
+/// values (the Fig. 2 workload uses degrees 556 and 2). Deterministic:
+/// scans the layer once.
+QueryPair FindPairWithDegrees(const BipartiteGraph& graph, Layer layer,
+                              VertexId target_deg_u, VertexId target_deg_w);
+
+}  // namespace cne
+
+#endif  // CNE_EVAL_QUERY_SAMPLER_H_

@@ -1,0 +1,163 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace cne {
+
+const char* LayerName(Layer layer) {
+  return layer == Layer::kUpper ? "upper" : "lower";
+}
+
+BipartiteGraph::BipartiteGraph() = default;
+
+BipartiteGraph::BipartiteGraph(VertexId num_upper, VertexId num_lower,
+                               const std::vector<Edge>& sorted_edges)
+    : num_upper_(num_upper), num_lower_(num_lower) {
+  upper_offsets_.assign(static_cast<size_t>(num_upper) + 1, 0);
+  lower_offsets_.assign(static_cast<size_t>(num_lower) + 1, 0);
+  upper_adj_.resize(sorted_edges.size());
+  lower_adj_.resize(sorted_edges.size());
+
+  for (const Edge& e : sorted_edges) {
+    CNE_CHECK(e.upper < num_upper && e.lower < num_lower)
+        << "edge (" << e.upper << ", " << e.lower << ") out of range";
+    ++upper_offsets_[e.upper + 1];
+    ++lower_offsets_[e.lower + 1];
+  }
+  for (size_t i = 1; i < upper_offsets_.size(); ++i) {
+    upper_offsets_[i] += upper_offsets_[i - 1];
+  }
+  for (size_t i = 1; i < lower_offsets_.size(); ++i) {
+    lower_offsets_[i] += lower_offsets_[i - 1];
+  }
+
+  // Edges are sorted by (upper, lower), so filling upper_adj_ in order keeps
+  // each upper adjacency list sorted. Lower lists are filled with a cursor
+  // and are also sorted because within a lower vertex the upper ids arrive
+  // in increasing order.
+  std::vector<uint64_t> lower_cursor(lower_offsets_.begin(),
+                                     lower_offsets_.end() - 1);
+  uint64_t pos = 0;
+  for (const Edge& e : sorted_edges) {
+    upper_adj_[pos++] = e.lower;
+    lower_adj_[lower_cursor[e.lower]++] = e.upper;
+  }
+#ifndef NDEBUG
+  for (VertexId u = 0; u < num_upper_; ++u) {
+    auto nb = Neighbors(Layer::kUpper, u);
+    assert(std::is_sorted(nb.begin(), nb.end()));
+    assert(std::adjacent_find(nb.begin(), nb.end()) == nb.end());
+  }
+#endif
+}
+
+std::span<const VertexId> BipartiteGraph::Neighbors(Layer layer,
+                                                    VertexId v) const {
+  if (layer == Layer::kUpper) {
+    CNE_CHECK(v < num_upper_) << "upper vertex " << v << " out of range";
+    return {upper_adj_.data() + upper_offsets_[v],
+            upper_adj_.data() + upper_offsets_[v + 1]};
+  }
+  CNE_CHECK(v < num_lower_) << "lower vertex " << v << " out of range";
+  return {lower_adj_.data() + lower_offsets_[v],
+          lower_adj_.data() + lower_offsets_[v + 1]};
+}
+
+VertexId BipartiteGraph::Degree(Layer layer, VertexId v) const {
+  return static_cast<VertexId>(Neighbors(layer, v).size());
+}
+
+bool BipartiteGraph::HasEdge(VertexId upper, VertexId lower) const {
+  auto nb = Neighbors(Layer::kUpper, upper);
+  return std::binary_search(nb.begin(), nb.end(), lower);
+}
+
+uint64_t SortedIntersectionSize(std::span<const VertexId> a,
+                                std::span<const VertexId> b) {
+  // Galloping merge: when one list is much shorter, binary-search from it.
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  uint64_t count = 0;
+  if (b.size() / (a.size() + 1) >= 32) {
+    auto it = b.begin();
+    for (VertexId x : a) {
+      it = std::lower_bound(it, b.end(), x);
+      if (it == b.end()) break;
+      if (*it == x) {
+        ++count;
+        ++it;
+      }
+    }
+    return count;
+  }
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint64_t SortedUnionSize(std::span<const VertexId> a,
+                         std::span<const VertexId> b) {
+  return a.size() + b.size() - SortedIntersectionSize(a, b);
+}
+
+uint64_t BipartiteGraph::CountCommonNeighbors(Layer layer, VertexId a,
+                                              VertexId b) const {
+  return SortedIntersectionSize(Neighbors(layer, a), Neighbors(layer, b));
+}
+
+uint64_t BipartiteGraph::CountUnionNeighbors(Layer layer, VertexId a,
+                                             VertexId b) const {
+  return SortedUnionSize(Neighbors(layer, a), Neighbors(layer, b));
+}
+
+VertexId BipartiteGraph::MaxDegree(Layer layer) const {
+  VertexId best = 0;
+  const VertexId n = NumVertices(layer);
+  for (VertexId v = 0; v < n; ++v) best = std::max(best, Degree(layer, v));
+  return best;
+}
+
+double BipartiteGraph::AverageDegree(Layer layer) const {
+  const VertexId n = NumVertices(layer);
+  if (n == 0) return 0.0;
+  return static_cast<double>(NumEdges()) / static_cast<double>(n);
+}
+
+std::vector<Edge> BipartiteGraph::EdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (VertexId u = 0; u < num_upper_; ++u) {
+    for (VertexId l : Neighbors(Layer::kUpper, u)) {
+      edges.push_back({u, l});
+    }
+  }
+  return edges;
+}
+
+uint64_t BipartiteGraph::MemoryBytes() const {
+  return upper_offsets_.size() * sizeof(uint64_t) +
+         lower_offsets_.size() * sizeof(uint64_t) +
+         upper_adj_.size() * sizeof(VertexId) +
+         lower_adj_.size() * sizeof(VertexId);
+}
+
+std::string BipartiteGraph::ToString() const {
+  return "BipartiteGraph(|U|=" + std::to_string(num_upper_) +
+         ", |L|=" + std::to_string(num_lower_) +
+         ", m=" + std::to_string(NumEdges()) + ")";
+}
+
+}  // namespace cne

@@ -1,0 +1,145 @@
+// Immutable CSR bipartite graph. This is the substrate every estimator in
+// the paper runs on: vertices live in two layers (upper U and lower L),
+// edges connect layers, and adjacency lists are sorted so membership tests
+// and common-neighbor counting are logarithmic / linear-merge.
+
+#ifndef CNE_GRAPH_BIPARTITE_GRAPH_H_
+#define CNE_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cne {
+
+/// Vertex identifier, local to its layer: upper vertices are
+/// [0, NumUpper()) and lower vertices are [0, NumLower()).
+using VertexId = uint32_t;
+
+/// The two vertex layers of a bipartite graph.
+enum class Layer : uint8_t { kUpper = 0, kLower = 1 };
+
+/// The layer opposite to `layer`.
+constexpr Layer Opposite(Layer layer) {
+  return layer == Layer::kUpper ? Layer::kLower : Layer::kUpper;
+}
+
+/// Human-readable layer name ("upper"/"lower").
+const char* LayerName(Layer layer);
+
+/// A vertex qualified by its layer, e.g. a query vertex.
+struct LayeredVertex {
+  Layer layer;
+  VertexId id;
+
+  friend bool operator==(const LayeredVertex&, const LayeredVertex&) = default;
+};
+
+/// An undirected bipartite edge (upper endpoint, lower endpoint).
+struct Edge {
+  VertexId upper;
+  VertexId lower;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge& a, const Edge& b) {
+    if (auto c = a.upper <=> b.upper; c != 0) return c;
+    return a.lower <=> b.lower;
+  }
+};
+
+/// Immutable bipartite graph in compressed sparse row form, stored in both
+/// directions (upper->lower and lower->upper) with sorted adjacency.
+///
+/// Construction goes through `GraphBuilder` (graph_builder.h) or the
+/// generators (generators.h); this class only exposes queries.
+class BipartiteGraph {
+ public:
+  /// Builds from per-layer counts and a *sorted, deduplicated* edge list.
+  /// Most callers should use GraphBuilder instead, which sorts and dedups.
+  BipartiteGraph(VertexId num_upper, VertexId num_lower,
+                 const std::vector<Edge>& sorted_edges);
+
+  /// An empty graph with no vertices and no edges.
+  BipartiteGraph();
+
+  /// Number of vertices in the upper layer (n1 when queries are lower).
+  VertexId NumUpper() const { return num_upper_; }
+
+  /// Number of vertices in the lower layer.
+  VertexId NumLower() const { return num_lower_; }
+
+  /// Number of vertices in `layer`.
+  VertexId NumVertices(Layer layer) const {
+    return layer == Layer::kUpper ? num_upper_ : num_lower_;
+  }
+
+  /// Total number of vertices |U| + |L|.
+  uint64_t TotalVertices() const {
+    return static_cast<uint64_t>(num_upper_) + num_lower_;
+  }
+
+  /// Number of edges m.
+  uint64_t NumEdges() const { return upper_adj_.size(); }
+
+  /// Sorted neighbors (opposite-layer ids) of vertex `v` in `layer`.
+  std::span<const VertexId> Neighbors(Layer layer, VertexId v) const;
+
+  /// Convenience overload for a layered vertex.
+  std::span<const VertexId> Neighbors(LayeredVertex v) const {
+    return Neighbors(v.layer, v.id);
+  }
+
+  /// Degree of vertex `v` in `layer`.
+  VertexId Degree(Layer layer, VertexId v) const;
+
+  VertexId Degree(LayeredVertex v) const { return Degree(v.layer, v.id); }
+
+  /// True if the edge (upper, lower) exists. O(log deg).
+  bool HasEdge(VertexId upper, VertexId lower) const;
+
+  /// Exact number of common neighbors C2(a, b) for two vertices on the
+  /// same layer. Linear merge over the two sorted adjacency lists.
+  uint64_t CountCommonNeighbors(Layer layer, VertexId a, VertexId b) const;
+
+  /// Exact size of N(a) ∪ N(b) for two same-layer vertices.
+  uint64_t CountUnionNeighbors(Layer layer, VertexId a, VertexId b) const;
+
+  /// Maximum degree within `layer`.
+  VertexId MaxDegree(Layer layer) const;
+
+  /// Average degree within `layer` (0 for an empty layer).
+  double AverageDegree(Layer layer) const;
+
+  /// Materializes the (sorted) edge list.
+  std::vector<Edge> EdgeList() const;
+
+  /// Approximate resident memory in bytes (CSR arrays only).
+  uint64_t MemoryBytes() const;
+
+  /// One-line description, e.g. "BipartiteGraph(|U|=3, |L|=4, m=6)".
+  std::string ToString() const;
+
+ private:
+  VertexId num_upper_ = 0;
+  VertexId num_lower_ = 0;
+  // CSR from the upper layer: neighbors of upper vertex u are
+  // upper_adj_[upper_offsets_[u] .. upper_offsets_[u+1]).
+  std::vector<uint64_t> upper_offsets_;
+  std::vector<VertexId> upper_adj_;
+  // CSR from the lower layer.
+  std::vector<uint64_t> lower_offsets_;
+  std::vector<VertexId> lower_adj_;
+};
+
+/// Counts the size of the intersection of two sorted id ranges.
+uint64_t SortedIntersectionSize(std::span<const VertexId> a,
+                                std::span<const VertexId> b);
+
+/// Counts the size of the union of two sorted id ranges.
+uint64_t SortedUnionSize(std::span<const VertexId> a,
+                         std::span<const VertexId> b);
+
+}  // namespace cne
+
+#endif  // CNE_GRAPH_BIPARTITE_GRAPH_H_

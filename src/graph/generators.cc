@@ -1,0 +1,179 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace cne {
+
+namespace {
+
+/// Walker alias table for O(1) sampling from a discrete distribution.
+class AliasTable {
+ public:
+  explicit AliasTable(const std::vector<double>& weights) {
+    const size_t n = weights.size();
+    CNE_CHECK(n > 0) << "alias table needs at least one weight";
+    prob_.resize(n);
+    alias_.resize(n);
+    const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    CNE_CHECK(total > 0) << "alias table needs positive total weight";
+    std::vector<double> scaled(n);
+    for (size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+    }
+    std::vector<size_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+      const size_t s = small.back();
+      small.pop_back();
+      const size_t l = large.back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    for (size_t l : large) {
+      prob_[l] = 1.0;
+      alias_[l] = l;
+    }
+    for (size_t s : small) {
+      prob_[s] = 1.0;
+      alias_[s] = s;
+    }
+  }
+
+  size_t Sample(Rng& rng) const {
+    const size_t i = rng.UniformInt(prob_.size());
+    return rng.NextDouble() < prob_[i] ? i : alias_[i];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+uint64_t EdgeKey(VertexId upper, VertexId lower) {
+  return (static_cast<uint64_t>(upper) << 32) | lower;
+}
+
+}  // namespace
+
+BipartiteGraph ErdosRenyiBipartite(VertexId num_upper, VertexId num_lower,
+                                   uint64_t num_edges, Rng& rng) {
+  const uint64_t grid =
+      static_cast<uint64_t>(num_upper) * static_cast<uint64_t>(num_lower);
+  CNE_CHECK(num_edges <= grid)
+      << "cannot place " << num_edges << " edges in a " << num_upper << "x"
+      << num_lower << " grid";
+  GraphBuilder builder(num_upper, num_lower);
+  if (num_edges > grid / 2) {
+    // Dense regime: Floyd sampling over the flattened grid.
+    for (uint64_t cell : rng.SampleWithoutReplacement(grid, num_edges)) {
+      builder.AddEdge(static_cast<VertexId>(cell / num_lower),
+                      static_cast<VertexId>(cell % num_lower));
+    }
+  } else {
+    // Sparse regime: rejection sampling of fresh cells.
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(num_edges * 2);
+    while (seen.size() < num_edges) {
+      const VertexId u = static_cast<VertexId>(rng.UniformInt(num_upper));
+      const VertexId l = static_cast<VertexId>(rng.UniformInt(num_lower));
+      if (seen.insert(EdgeKey(u, l)).second) builder.AddEdge(u, l);
+    }
+  }
+  return builder.Build();
+}
+
+std::vector<double> PowerLawWeights(VertexId n, double exponent) {
+  CNE_CHECK(exponent > 1.0) << "power-law exponent must exceed 1";
+  std::vector<double> weights(n);
+  const double gamma = 1.0 / (exponent - 1.0);
+  double total = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + 1.0, -gamma);
+    total += weights[i];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+BipartiteGraph ChungLuFromWeights(const std::vector<double>& upper_weights,
+                                  const std::vector<double>& lower_weights,
+                                  uint64_t num_edges, Rng& rng) {
+  CNE_CHECK(!upper_weights.empty() && !lower_weights.empty());
+  AliasTable upper_table(upper_weights);
+  AliasTable lower_table(lower_weights);
+  GraphBuilder builder(static_cast<VertexId>(upper_weights.size()),
+                       static_cast<VertexId>(lower_weights.size()));
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  // Draw until num_edges distinct pairs are found, but cap the attempts so
+  // that adversarial weight vectors (e.g. a single hot pair) terminate.
+  const uint64_t max_attempts = num_edges * 50 + 1000;
+  uint64_t attempts = 0;
+  while (seen.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = static_cast<VertexId>(upper_table.Sample(rng));
+    const VertexId l = static_cast<VertexId>(lower_table.Sample(rng));
+    if (seen.insert(EdgeKey(u, l)).second) builder.AddEdge(u, l);
+  }
+  if (seen.size() < num_edges) {
+    CNE_LOG(kWarning) << "ChungLu: placed " << seen.size() << " of "
+                      << num_edges << " requested edges (duplicate cap hit)";
+  }
+  return builder.Build();
+}
+
+BipartiteGraph ChungLuPowerLaw(VertexId num_upper, VertexId num_lower,
+                               uint64_t num_edges, double exponent,
+                               Rng& rng) {
+  return ChungLuFromWeights(PowerLawWeights(num_upper, exponent),
+                            PowerLawWeights(num_lower, exponent), num_edges,
+                            rng);
+}
+
+BipartiteGraph CompleteBipartite(VertexId num_upper, VertexId num_lower) {
+  GraphBuilder builder(num_upper, num_lower);
+  for (VertexId u = 0; u < num_upper; ++u) {
+    for (VertexId l = 0; l < num_lower; ++l) builder.AddEdge(u, l);
+  }
+  return builder.Build();
+}
+
+BipartiteGraph Star(VertexId num_upper) {
+  GraphBuilder builder(num_upper, 1);
+  for (VertexId u = 0; u < num_upper; ++u) builder.AddEdge(u, 0);
+  return builder.Build();
+}
+
+BipartiteGraph PlantedCommonNeighbors(VertexId common, VertexId only_u,
+                                      VertexId only_w,
+                                      VertexId num_isolated_upper,
+                                      VertexId extra_lower) {
+  const VertexId num_upper = common + only_u + only_w + num_isolated_upper;
+  const VertexId num_lower = 2 + extra_lower;
+  GraphBuilder builder(std::max<VertexId>(num_upper, 1), num_lower);
+  VertexId next = 0;
+  for (VertexId i = 0; i < common; ++i, ++next) {
+    builder.AddEdge(next, 0);
+    builder.AddEdge(next, 1);
+  }
+  for (VertexId i = 0; i < only_u; ++i, ++next) builder.AddEdge(next, 0);
+  for (VertexId i = 0; i < only_w; ++i, ++next) builder.AddEdge(next, 1);
+  return builder.Build();
+}
+
+}  // namespace cne

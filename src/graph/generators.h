@@ -1,0 +1,60 @@
+// Synthetic bipartite graph generators.
+//
+// The evaluation harness cannot download the paper's 15 KONECT datasets in
+// an offline environment, so `eval/datasets` builds power-law Chung–Lu
+// analogs with matched vertex and edge counts using these generators (the
+// substitution is documented in DESIGN.md). The remaining generators exist
+// for tests and examples.
+
+#ifndef CNE_GRAPH_GENERATORS_H_
+#define CNE_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "util/rng.h"
+
+namespace cne {
+
+/// G(n1, n2, m): m distinct edges sampled uniformly from the n1 x n2 grid.
+/// Requires m <= n1 * n2.
+BipartiteGraph ErdosRenyiBipartite(VertexId num_upper, VertexId num_lower,
+                                   uint64_t num_edges, Rng& rng);
+
+/// Bipartite Chung–Lu model: vertex v is endpoint of an edge with
+/// probability proportional to weights[v]; approximately `num_edges` edges
+/// after deduplication. Weights follow a power law with the given exponent
+/// (heavier tail for smaller exponents; typical social graphs are ~2.1).
+BipartiteGraph ChungLuPowerLaw(VertexId num_upper, VertexId num_lower,
+                               uint64_t num_edges, double exponent, Rng& rng);
+
+/// Chung–Lu with explicit expected-degree weights per vertex.
+BipartiteGraph ChungLuFromWeights(const std::vector<double>& upper_weights,
+                                  const std::vector<double>& lower_weights,
+                                  uint64_t num_edges, Rng& rng);
+
+/// Complete bipartite graph K(n1, n2).
+BipartiteGraph CompleteBipartite(VertexId num_upper, VertexId num_lower);
+
+/// A star: one lower-layer hub connected to every upper vertex.
+BipartiteGraph Star(VertexId num_upper);
+
+/// Fixture for estimator tests: two lower-layer query vertices (ids 0, 1)
+/// with exactly `common` shared upper neighbors, `only_u` neighbors
+/// exclusive to vertex 0, `only_w` exclusive to vertex 1, and
+/// `num_isolated_upper` extra upper vertices adjacent to neither. The upper
+/// layer has common + only_u + only_w + num_isolated_upper vertices; the
+/// lower layer has exactly the two query vertices plus `extra_lower`
+/// vertices of degree 0.
+BipartiteGraph PlantedCommonNeighbors(VertexId common, VertexId only_u,
+                                      VertexId only_w,
+                                      VertexId num_isolated_upper,
+                                      VertexId extra_lower = 0);
+
+/// Power-law weights w_i proportional to (i + 1)^(-1/(exponent - 1)),
+/// normalized to sum to 1. Exposed for tests of the Chung–Lu generator.
+std::vector<double> PowerLawWeights(VertexId n, double exponent);
+
+}  // namespace cne
+
+#endif  // CNE_GRAPH_GENERATORS_H_

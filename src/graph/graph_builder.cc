@@ -1,0 +1,44 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cne {
+
+GraphBuilder::GraphBuilder(VertexId num_upper, VertexId num_lower)
+    : fixed_(true), num_upper_(num_upper), num_lower_(num_lower) {}
+
+GraphBuilder::GraphBuilder() = default;
+
+GraphBuilder& GraphBuilder::AddEdge(VertexId upper, VertexId lower) {
+  if (fixed_) {
+    CNE_CHECK(upper < num_upper_ && lower < num_lower_)
+        << "edge (" << upper << ", " << lower << ") outside fixed layers ("
+        << num_upper_ << ", " << num_lower_ << ")";
+  } else {
+    num_upper_ = std::max(num_upper_, upper + 1);
+    num_lower_ = std::max(num_lower_, lower + 1);
+  }
+  edges_.push_back({upper, lower});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  for (const Edge& e : edges) AddEdge(e.upper, e.lower);
+  return *this;
+}
+
+BipartiteGraph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  BipartiteGraph graph(num_upper_, num_lower_, edges_);
+  edges_.clear();
+  if (!fixed_) {
+    num_upper_ = 0;
+    num_lower_ = 0;
+  }
+  return graph;
+}
+
+}  // namespace cne

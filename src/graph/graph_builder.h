@@ -1,0 +1,47 @@
+// Mutable edge accumulator that produces an immutable BipartiteGraph.
+// Handles unsorted input, duplicate edges, and automatic vertex-count
+// discovery.
+
+#ifndef CNE_GRAPH_GRAPH_BUILDER_H_
+#define CNE_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace cne {
+
+/// Accumulates edges and builds a BipartiteGraph. Edges may be added in any
+/// order and duplicates are removed at Build() time.
+class GraphBuilder {
+ public:
+  /// Creates a builder with fixed layer sizes. Edges referencing vertices
+  /// outside the layers are rejected with a fatal check.
+  GraphBuilder(VertexId num_upper, VertexId num_lower);
+
+  /// Creates a builder that grows layer sizes to fit the added edges.
+  GraphBuilder();
+
+  /// Adds the edge (upper, lower).
+  GraphBuilder& AddEdge(VertexId upper, VertexId lower);
+
+  /// Adds all edges in the list.
+  GraphBuilder& AddEdges(const std::vector<Edge>& edges);
+
+  /// Number of edges accumulated so far (before dedup).
+  size_t PendingEdges() const { return edges_.size(); }
+
+  /// Sorts, deduplicates, and produces the graph. The builder is left empty
+  /// and reusable afterwards.
+  BipartiteGraph Build();
+
+ private:
+  bool fixed_ = false;
+  VertexId num_upper_ = 0;
+  VertexId num_lower_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace cne
+
+#endif  // CNE_GRAPH_GRAPH_BUILDER_H_

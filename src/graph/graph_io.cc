@@ -1,0 +1,131 @@
+#include "graph/graph_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace cne {
+
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x434e45475250481ULL;  // "CNEGRPH" + v1
+constexpr uint32_t kBinaryVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("truncated binary graph file");
+  return value;
+}
+
+}  // namespace
+
+BipartiteGraph ReadEdgeListStream(std::istream& in) {
+  std::vector<std::pair<uint64_t, uint64_t>> raw;
+  uint64_t min_upper = std::numeric_limits<uint64_t>::max();
+  uint64_t min_lower = std::numeric_limits<uint64_t>::max();
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and blank lines.
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '%' || line[first] == '#') continue;
+    std::istringstream ls(line);
+    uint64_t a = 0, b = 0;
+    if (!(ls >> a >> b)) {
+      throw std::runtime_error("malformed edge at line " +
+                               std::to_string(lineno) + ": '" + line + "'");
+    }
+    raw.emplace_back(a, b);
+    min_upper = std::min(min_upper, a);
+    min_lower = std::min(min_lower, b);
+  }
+  GraphBuilder builder;
+  if (!raw.empty()) {
+    // Map 1-based ids to 0-based when no 0 id appears.
+    const uint64_t upper_base = (min_upper >= 1) ? min_upper : 0;
+    const uint64_t lower_base = (min_lower >= 1) ? min_lower : 0;
+    for (const auto& [a, b] : raw) {
+      builder.AddEdge(static_cast<VertexId>(a - upper_base),
+                      static_cast<VertexId>(b - lower_base));
+    }
+  }
+  return builder.Build();
+}
+
+BipartiteGraph ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return ReadEdgeListStream(in);
+}
+
+void WriteEdgeListStream(const BipartiteGraph& graph, std::ostream& out) {
+  out << "% bipartite edge list: " << graph.ToString() << "\n";
+  for (VertexId u = 0; u < graph.NumUpper(); ++u) {
+    for (VertexId l : graph.Neighbors(Layer::kUpper, u)) {
+      out << u << ' ' << l << '\n';
+    }
+  }
+}
+
+void WriteEdgeListFile(const BipartiteGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  WriteEdgeListStream(graph, out);
+}
+
+void WriteBinaryFile(const BipartiteGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  WritePod(out, kBinaryMagic);
+  WritePod(out, kBinaryVersion);
+  WritePod(out, graph.NumUpper());
+  WritePod(out, graph.NumLower());
+  WritePod(out, graph.NumEdges());
+  for (VertexId u = 0; u < graph.NumUpper(); ++u) {
+    for (VertexId l : graph.Neighbors(Layer::kUpper, u)) {
+      WritePod(out, u);
+      WritePod(out, l);
+    }
+  }
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+
+BipartiteGraph ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  if (ReadPod<uint64_t>(in) != kBinaryMagic) {
+    throw std::runtime_error(path + ": bad magic number");
+  }
+  if (ReadPod<uint32_t>(in) != kBinaryVersion) {
+    throw std::runtime_error(path + ": unsupported version");
+  }
+  const VertexId num_upper = ReadPod<VertexId>(in);
+  const VertexId num_lower = ReadPod<VertexId>(in);
+  const uint64_t num_edges = ReadPod<uint64_t>(in);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    const VertexId u = ReadPod<VertexId>(in);
+    const VertexId l = ReadPod<VertexId>(in);
+    edges.push_back({u, l});
+  }
+  // Binary files are written in sorted order, so no re-sort is needed; the
+  // BipartiteGraph constructor validates ranges.
+  return BipartiteGraph(num_upper, num_lower, edges);
+}
+
+}  // namespace cne

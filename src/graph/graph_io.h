@@ -1,0 +1,43 @@
+// Text and binary serialization of bipartite graphs.
+//
+// The text format is KONECT-style: one `upper lower` pair per line,
+// whitespace separated, with `%` or `#` comment lines. Vertex ids in text
+// files are 1-based or 0-based (auto-detected: the minimum id seen maps to
+// 0 when it is 1).
+//
+// The binary format is a fixed little-endian layout with a magic header,
+// used to cache generated datasets between bench runs.
+
+#ifndef CNE_GRAPH_GRAPH_IO_H_
+#define CNE_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/bipartite_graph.h"
+
+namespace cne {
+
+/// Parses a KONECT-style edge-list stream. Throws std::runtime_error on
+/// malformed input.
+BipartiteGraph ReadEdgeListStream(std::istream& in);
+
+/// Reads a KONECT-style edge-list file. Throws std::runtime_error if the
+/// file cannot be opened or parsed.
+BipartiteGraph ReadEdgeListFile(const std::string& path);
+
+/// Writes the graph as `upper lower` lines (0-based ids) with a header
+/// comment.
+void WriteEdgeListStream(const BipartiteGraph& graph, std::ostream& out);
+void WriteEdgeListFile(const BipartiteGraph& graph, const std::string& path);
+
+/// Writes the graph in the libcne binary format.
+void WriteBinaryFile(const BipartiteGraph& graph, const std::string& path);
+
+/// Reads a libcne binary graph file. Throws std::runtime_error on a bad
+/// magic number, version, or truncated file.
+BipartiteGraph ReadBinaryFile(const std::string& path);
+
+}  // namespace cne
+
+#endif  // CNE_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,56 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cne {
+
+std::vector<uint64_t> DegreeHistogram(const BipartiteGraph& graph,
+                                      Layer layer) {
+  std::vector<uint64_t> counts(graph.MaxDegree(layer) + 1, 0);
+  const VertexId n = graph.NumVertices(layer);
+  for (VertexId v = 0; v < n; ++v) ++counts[graph.Degree(layer, v)];
+  return counts;
+}
+
+LayerDegreeStats ComputeLayerDegreeStats(const BipartiteGraph& graph,
+                                         Layer layer) {
+  LayerDegreeStats stats;
+  stats.num_vertices = graph.NumVertices(layer);
+  if (stats.num_vertices == 0) return stats;
+  std::vector<VertexId> degrees(stats.num_vertices);
+  for (VertexId v = 0; v < stats.num_vertices; ++v) {
+    degrees[v] = graph.Degree(layer, v);
+    if (degrees[v] == 0) ++stats.isolated;
+  }
+  stats.max_degree = *std::max_element(degrees.begin(), degrees.end());
+  stats.average_degree = graph.AverageDegree(layer);
+  std::nth_element(degrees.begin(), degrees.begin() + degrees.size() / 2,
+                   degrees.end());
+  stats.median_degree = degrees[degrees.size() / 2];
+  return stats;
+}
+
+GraphStats ComputeGraphStats(const BipartiteGraph& graph) {
+  GraphStats stats;
+  stats.num_edges = graph.NumEdges();
+  stats.upper = ComputeLayerDegreeStats(graph, Layer::kUpper);
+  stats.lower = ComputeLayerDegreeStats(graph, Layer::kLower);
+  const double grid = static_cast<double>(graph.NumUpper()) *
+                      static_cast<double>(graph.NumLower());
+  stats.density = grid > 0 ? static_cast<double>(stats.num_edges) / grid : 0;
+  return stats;
+}
+
+std::string ToString(const GraphStats& stats) {
+  std::ostringstream os;
+  os << "|U|=" << stats.upper.num_vertices
+     << " |L|=" << stats.lower.num_vertices << " m=" << stats.num_edges
+     << " d_max(U)=" << stats.upper.max_degree
+     << " d_max(L)=" << stats.lower.max_degree << " d_avg(U)="
+     << stats.upper.average_degree << " d_avg(L)="
+     << stats.lower.average_degree;
+  return os.str();
+}
+
+}  // namespace cne

@@ -1,0 +1,46 @@
+// Descriptive statistics over bipartite graphs: degree distributions and
+// the Table 2-style dataset summary used by the bench harnesses.
+
+#ifndef CNE_GRAPH_GRAPH_STATS_H_
+#define CNE_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace cne {
+
+/// Degree histogram of one layer: counts[d] = number of vertices of degree d.
+std::vector<uint64_t> DegreeHistogram(const BipartiteGraph& graph,
+                                      Layer layer);
+
+/// Per-layer degree summary.
+struct LayerDegreeStats {
+  VertexId num_vertices = 0;
+  VertexId max_degree = 0;
+  double average_degree = 0.0;
+  double median_degree = 0.0;
+  uint64_t isolated = 0;  ///< vertices of degree 0
+};
+
+LayerDegreeStats ComputeLayerDegreeStats(const BipartiteGraph& graph,
+                                         Layer layer);
+
+/// Whole-graph summary (Table 2 row).
+struct GraphStats {
+  uint64_t num_edges = 0;
+  LayerDegreeStats upper;
+  LayerDegreeStats lower;
+  double density = 0.0;  ///< m / (|U| * |L|)
+};
+
+GraphStats ComputeGraphStats(const BipartiteGraph& graph);
+
+/// Formats GraphStats as a one-line summary.
+std::string ToString(const GraphStats& stats);
+
+}  // namespace cne
+
+#endif  // CNE_GRAPH_GRAPH_STATS_H_

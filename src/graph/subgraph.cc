@@ -1,0 +1,73 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace cne {
+
+namespace {
+
+constexpr VertexId kAbsent = std::numeric_limits<VertexId>::max();
+
+// Maps old ids to compact new ids; kAbsent for dropped vertices.
+std::vector<VertexId> BuildRemap(VertexId n, const std::vector<VertexId>& keep) {
+  std::vector<VertexId> remap(n, kAbsent);
+  VertexId next = 0;
+  for (VertexId v : keep) {
+    CNE_CHECK(v < n) << "keep-list vertex " << v << " out of range";
+    if (remap[v] == kAbsent) remap[v] = next++;
+  }
+  return remap;
+}
+
+}  // namespace
+
+BipartiteGraph InducedSubgraph(const BipartiteGraph& graph,
+                               std::vector<VertexId> keep_upper,
+                               std::vector<VertexId> keep_lower) {
+  std::sort(keep_upper.begin(), keep_upper.end());
+  keep_upper.erase(std::unique(keep_upper.begin(), keep_upper.end()),
+                   keep_upper.end());
+  std::sort(keep_lower.begin(), keep_lower.end());
+  keep_lower.erase(std::unique(keep_lower.begin(), keep_lower.end()),
+                   keep_lower.end());
+
+  const std::vector<VertexId> upper_map =
+      BuildRemap(graph.NumUpper(), keep_upper);
+  const std::vector<VertexId> lower_map =
+      BuildRemap(graph.NumLower(), keep_lower);
+
+  GraphBuilder builder(static_cast<VertexId>(keep_upper.size()),
+                       static_cast<VertexId>(keep_lower.size()));
+  for (VertexId u : keep_upper) {
+    for (VertexId l : graph.Neighbors(Layer::kUpper, u)) {
+      if (lower_map[l] != kAbsent) {
+        builder.AddEdge(upper_map[u], lower_map[l]);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+BipartiteGraph InducedSubgraphByVertexFraction(const BipartiteGraph& graph,
+                                               double fraction, Rng& rng) {
+  CNE_CHECK(fraction > 0.0 && fraction <= 1.0)
+      << "fraction must be in (0, 1], got " << fraction;
+  auto sample_layer = [&](VertexId n) {
+    const uint64_t k = std::max<uint64_t>(
+        1, static_cast<uint64_t>(fraction * static_cast<double>(n)));
+    std::vector<VertexId> keep;
+    keep.reserve(k);
+    for (uint64_t v : rng.SampleWithoutReplacement(n, std::min<uint64_t>(k, n))) {
+      keep.push_back(static_cast<VertexId>(v));
+    }
+    return keep;
+  };
+  return InducedSubgraph(graph, sample_layer(graph.NumUpper()),
+                         sample_layer(graph.NumLower()));
+}
+
+}  // namespace cne

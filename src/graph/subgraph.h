@@ -1,0 +1,28 @@
+// Vertex-sampled induced subgraphs, used by the Fig. 11 scalability
+// experiment (the paper runs every algorithm on subgraphs induced by 20%,
+// 40%, ..., 100% of the vertices).
+
+#ifndef CNE_GRAPH_SUBGRAPH_H_
+#define CNE_GRAPH_SUBGRAPH_H_
+
+#include "graph/bipartite_graph.h"
+#include "util/rng.h"
+
+namespace cne {
+
+/// Samples `fraction` of the vertices in each layer uniformly at random and
+/// returns the induced subgraph with vertices re-labeled compactly
+/// (preserving relative order). fraction must lie in (0, 1].
+BipartiteGraph InducedSubgraphByVertexFraction(const BipartiteGraph& graph,
+                                               double fraction, Rng& rng);
+
+/// Returns the subgraph induced by explicit per-layer keep-lists (sorted,
+/// deduplicated internally). Vertices are re-labeled compactly in the order
+/// of the sorted keep-lists.
+BipartiteGraph InducedSubgraph(const BipartiteGraph& graph,
+                               std::vector<VertexId> keep_upper,
+                               std::vector<VertexId> keep_lower);
+
+}  // namespace cne
+
+#endif  // CNE_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,52 @@
+#include "ldp/budget.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+
+namespace cne {
+
+void BudgetAccountant::ChargeSequential(const std::string& mechanism,
+                                        double epsilon) {
+  CNE_CHECK(epsilon >= 0.0) << "negative budget charge";
+  charges_.push_back({mechanism, epsilon, 0});
+}
+
+void BudgetAccountant::ChargeParallel(const std::string& mechanism,
+                                      double epsilon, int group) {
+  CNE_CHECK(epsilon >= 0.0) << "negative budget charge";
+  CNE_CHECK(group >= 1) << "parallel group ids start at 1";
+  charges_.push_back({mechanism, epsilon, group});
+}
+
+double BudgetAccountant::TotalEpsilon() const {
+  double sequential = 0.0;
+  std::map<int, double> group_max;
+  for (const BudgetCharge& c : charges_) {
+    if (c.parallel_group == 0) {
+      sequential += c.epsilon;
+    } else {
+      auto [it, inserted] = group_max.emplace(c.parallel_group, c.epsilon);
+      if (!inserted) it->second = std::max(it->second, c.epsilon);
+    }
+  }
+  for (const auto& [group, eps] : group_max) sequential += eps;
+  return sequential;
+}
+
+BudgetSplit EvenTwoWaySplit(double epsilon) {
+  CNE_CHECK(epsilon > 0.0) << "privacy budget must be positive";
+  return {0.0, epsilon / 2.0, epsilon / 2.0};
+}
+
+void ValidateSplit(const BudgetSplit& split, double epsilon) {
+  CNE_CHECK(split.epsilon0 >= 0.0 && split.epsilon1 > 0.0 &&
+            split.epsilon2 > 0.0)
+      << "budget split parts must be positive (ε0 may be zero)";
+  CNE_CHECK(std::abs(split.Total() - epsilon) < 1e-9)
+      << "budget split sums to " << split.Total() << ", expected " << epsilon;
+}
+
+}  // namespace cne

@@ -1,0 +1,71 @@
+// Privacy-budget bookkeeping.
+//
+// Edge LDP composes: sequential composition sums the budgets of successive
+// mechanisms applied to the same neighbor lists; parallel composition over
+// disjoint data takes the maximum (Section 2.2 of the paper). The
+// accountant records each mechanism invocation so tests — and callers who
+// care — can assert that a protocol's total consumption equals the budget
+// the user granted.
+
+#ifndef CNE_LDP_BUDGET_H_
+#define CNE_LDP_BUDGET_H_
+
+#include <string>
+#include <vector>
+
+namespace cne {
+
+/// One recorded mechanism application.
+struct BudgetCharge {
+  std::string mechanism;  ///< e.g. "randomized_response", "laplace"
+  double epsilon = 0.0;
+  /// Charges in the same parallel group (> 0) compose by max; group 0 means
+  /// a plain sequential charge.
+  int parallel_group = 0;
+};
+
+/// Records budget charges and computes the total consumed budget under
+/// sequential + parallel composition.
+class BudgetAccountant {
+ public:
+  /// Records a sequential charge of `epsilon`.
+  void ChargeSequential(const std::string& mechanism, double epsilon);
+
+  /// Records a charge inside parallel group `group` (>= 1). All charges in
+  /// the same group cover disjoint data and compose by max.
+  void ChargeParallel(const std::string& mechanism, double epsilon,
+                      int group);
+
+  /// Total ε consumed: sum of sequential charges plus, per parallel group,
+  /// the maximum charge in the group.
+  double TotalEpsilon() const;
+
+  const std::vector<BudgetCharge>& charges() const { return charges_; }
+
+  void Reset() { charges_.clear(); }
+
+ private:
+  std::vector<BudgetCharge> charges_;
+};
+
+/// An (ε0, ε1, ε2) split of a total budget: ε0 for degree estimation,
+/// ε1 for randomized response, ε2 for the Laplace mechanism. Invariant:
+/// all parts non-negative and summing to `total`.
+struct BudgetSplit {
+  double epsilon0 = 0.0;
+  double epsilon1 = 0.0;
+  double epsilon2 = 0.0;
+
+  double Total() const { return epsilon0 + epsilon1 + epsilon2; }
+};
+
+/// Even two-way split used by MultiR-SS: ε1 = ε2 = ε / 2, ε0 = 0.
+BudgetSplit EvenTwoWaySplit(double epsilon);
+
+/// Validates a split against a total budget within floating tolerance;
+/// fatal check on violation.
+void ValidateSplit(const BudgetSplit& split, double epsilon);
+
+}  // namespace cne
+
+#endif  // CNE_LDP_BUDGET_H_

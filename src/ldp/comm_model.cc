@@ -1,0 +1,13 @@
+#include "ldp/comm_model.h"
+
+#include "ldp/randomized_response.h"
+
+namespace cne {
+
+double ExpectedRrUploadBytes(double degree, double opposite_size,
+                             double epsilon, CommModel model) {
+  return model.bytes_per_edge *
+         ExpectedNoisyDegree(degree, opposite_size, epsilon);
+}
+
+}  // namespace cne

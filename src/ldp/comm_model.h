@@ -1,0 +1,59 @@
+// Communication-cost accounting for the simulated vertex/curator protocol.
+//
+// The paper's Fig. 10 reports per-query-pair communication in megabytes.
+// We model each transmitted noisy edge as one 4-byte vertex id (the sender
+// is implicit in the upload), each scalar (estimator value, noisy degree)
+// as 8 bytes, and count both uploads to the curator and downloads to the
+// query vertices.
+
+#ifndef CNE_LDP_COMM_MODEL_H_
+#define CNE_LDP_COMM_MODEL_H_
+
+#include <cstdint>
+
+namespace cne {
+
+/// Byte sizes of protocol messages.
+struct CommModel {
+  double bytes_per_edge = 4.0;    ///< one opposite-layer vertex id
+  double bytes_per_scalar = 8.0;  ///< a double (estimate, noisy degree)
+};
+
+/// Accumulates the bytes moved during one protocol execution.
+class CommLedger {
+ public:
+  explicit CommLedger(CommModel model = CommModel{}) : model_(model) {}
+
+  /// Vertex uploads `count` noisy edges to the curator.
+  void UploadEdges(uint64_t count) {
+    uploaded_ += model_.bytes_per_edge * static_cast<double>(count);
+  }
+
+  /// Query vertex downloads `count` noisy edges from the curator.
+  void DownloadEdges(uint64_t count) {
+    downloaded_ += model_.bytes_per_edge * static_cast<double>(count);
+  }
+
+  /// Vertex uploads `count` scalars (estimators, noisy degrees).
+  void UploadScalars(uint64_t count) {
+    uploaded_ += model_.bytes_per_scalar * static_cast<double>(count);
+  }
+
+  double UploadedBytes() const { return uploaded_; }
+  double DownloadedBytes() const { return downloaded_; }
+  double TotalBytes() const { return uploaded_ + downloaded_; }
+
+ private:
+  CommModel model_;
+  double uploaded_ = 0.0;
+  double downloaded_ = 0.0;
+};
+
+/// Closed-form expected communication (bytes) of ε-RR on one vertex of
+/// degree d against an opposite layer of size n (upload only).
+double ExpectedRrUploadBytes(double degree, double opposite_size,
+                             double epsilon, CommModel model = CommModel{});
+
+}  // namespace cne
+
+#endif  // CNE_LDP_COMM_MODEL_H_

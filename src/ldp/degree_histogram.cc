@@ -1,0 +1,64 @@
+#include "ldp/degree_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ldp/laplace_mechanism.h"
+#include "util/logging.h"
+
+namespace cne {
+
+DegreeHistogramEstimate EstimateDegreeHistogram(const BipartiteGraph& graph,
+                                                Layer layer, double epsilon,
+                                                size_t num_buckets,
+                                                Rng& rng) {
+  CNE_CHECK(epsilon > 0.0) << "privacy budget must be positive";
+  CNE_CHECK(num_buckets >= 2) << "need at least two buckets";
+  DegreeHistogramEstimate estimate;
+  estimate.epsilon = epsilon;
+  estimate.num_vertices = graph.NumVertices(layer);
+  estimate.counts.assign(num_buckets, 0.0);
+  const long max_bucket = static_cast<long>(num_buckets) - 1;
+  const VertexId n = graph.NumVertices(layer);
+  for (VertexId v = 0; v < n; ++v) {
+    // Vertex side: one Laplace-noised degree report (sensitivity 1).
+    const double noisy = LaplaceMechanism(
+        static_cast<double>(graph.Degree(layer, v)), kDegreeSensitivity,
+        epsilon, rng);
+    // Curator side (post-processing): round and clamp into the buckets.
+    const long bucket =
+        std::clamp(std::lround(noisy), 0L, max_bucket);
+    estimate.counts[static_cast<size_t>(bucket)] += 1.0;
+  }
+  return estimate;
+}
+
+std::vector<double> ExactDegreeHistogram(const BipartiteGraph& graph,
+                                         Layer layer, size_t num_buckets) {
+  CNE_CHECK(num_buckets >= 2) << "need at least two buckets";
+  std::vector<double> counts(num_buckets, 0.0);
+  const VertexId n = graph.NumVertices(layer);
+  for (VertexId v = 0; v < n; ++v) {
+    const size_t bucket = std::min<size_t>(graph.Degree(layer, v),
+                                           num_buckets - 1);
+    counts[bucket] += 1.0;
+  }
+  return counts;
+}
+
+double HistogramTotalVariation(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  CNE_CHECK(a.size() == b.size()) << "histogram sizes differ";
+  double total_a = 0.0, total_b = 0.0;
+  for (double x : a) total_a += x;
+  for (double x : b) total_b += x;
+  if (total_a <= 0.0 && total_b <= 0.0) return 0.0;
+  if (total_a <= 0.0 || total_b <= 0.0) return 1.0;
+  double tv = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    tv += std::abs(a[i] / total_a - b[i] / total_b);
+  }
+  return tv / 2.0;
+}
+
+}  // namespace cne

@@ -1,0 +1,51 @@
+// Degree-histogram release under edge LDP — supporting substrate for the
+// degree-driven optimizations (MultiR-DS corrects negative degree
+// estimates with the layer's average; analysts also want the degree
+// distribution itself, a classic LDP graph statistic the paper cites).
+//
+// Protocol: every vertex of the layer reports deg + Lap(1/ε); the reports
+// cover disjoint neighbor lists, so the round satisfies ε-edge LDP by
+// parallel composition. The curator bins the noisy reports (binning and
+// the consistency fix-ups are post-processing, which is privacy-free).
+
+#ifndef CNE_LDP_DEGREE_HISTOGRAM_H_
+#define CNE_LDP_DEGREE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "util/rng.h"
+
+namespace cne {
+
+/// A (noisy) degree histogram: counts[d] estimates the number of vertices
+/// with degree d; the last bucket aggregates degrees >= counts.size()-1.
+struct DegreeHistogramEstimate {
+  std::vector<double> counts;
+  double epsilon = 0.0;
+  uint64_t num_vertices = 0;
+};
+
+/// Runs the ε-edge-LDP degree-histogram protocol on `layer` with
+/// `num_buckets` buckets (bucket b = degree b, last bucket = overflow).
+/// Post-processing: noisy reports are rounded and clamped into the bucket
+/// range; bucket totals are then non-negative and sum to the number of
+/// vertices (which is public).
+DegreeHistogramEstimate EstimateDegreeHistogram(const BipartiteGraph& graph,
+                                                Layer layer, double epsilon,
+                                                size_t num_buckets,
+                                                Rng& rng);
+
+/// Exact histogram with the same bucketing, for error reporting.
+std::vector<double> ExactDegreeHistogram(const BipartiteGraph& graph,
+                                         Layer layer, size_t num_buckets);
+
+/// Total variation distance between two histograms over the same buckets
+/// (normalized to probability vectors; 0 when both are empty).
+double HistogramTotalVariation(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+}  // namespace cne
+
+#endif  // CNE_LDP_DEGREE_HISTOGRAM_H_

@@ -1,0 +1,29 @@
+#include "ldp/laplace_mechanism.h"
+
+#include "ldp/randomized_response.h"
+#include "util/logging.h"
+
+namespace cne {
+
+double LaplaceScale(double sensitivity, double epsilon) {
+  CNE_CHECK(sensitivity > 0.0) << "sensitivity must be positive";
+  CNE_CHECK(epsilon > 0.0) << "privacy budget must be positive";
+  return sensitivity / epsilon;
+}
+
+double LaplaceMechanism(double value, double sensitivity, double epsilon,
+                        Rng& rng) {
+  return value + rng.Laplace(LaplaceScale(sensitivity, epsilon));
+}
+
+double LaplaceVariance(double sensitivity, double epsilon) {
+  const double b = LaplaceScale(sensitivity, epsilon);
+  return 2.0 * b * b;
+}
+
+double SingleSourceSensitivity(double epsilon_rr) {
+  const double p = FlipProbability(epsilon_rr);
+  return (1.0 - p) / (1.0 - 2.0 * p);
+}
+
+}  // namespace cne

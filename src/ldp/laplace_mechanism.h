@@ -1,0 +1,34 @@
+// The Laplace mechanism (Definition 5): releases f + Lap(Δf / ε), where Δf
+// is the global sensitivity of f over neighbor lists differing in one bit.
+
+#ifndef CNE_LDP_LAPLACE_MECHANISM_H_
+#define CNE_LDP_LAPLACE_MECHANISM_H_
+
+#include "util/rng.h"
+
+namespace cne {
+
+/// Releases `value` with Laplace noise scaled to sensitivity / epsilon.
+/// Requires sensitivity > 0 and epsilon > 0.
+double LaplaceMechanism(double value, double sensitivity, double epsilon,
+                        Rng& rng);
+
+/// Scale parameter b = sensitivity / epsilon of the injected noise.
+double LaplaceScale(double sensitivity, double epsilon);
+
+/// Variance 2 b^2 of Laplace noise with scale b = sensitivity / epsilon.
+double LaplaceVariance(double sensitivity, double epsilon);
+
+/// Global sensitivity of the single-source estimator f_u (Section 4.1):
+/// (1 - p) / (1 - 2p), where p = FlipProbability(epsilon_rr). One changed
+/// bit in N(u) adds or removes one phi term whose magnitude is at most
+/// (1 - p) / (1 - 2p).
+double SingleSourceSensitivity(double epsilon_rr);
+
+/// Global sensitivity of a vertex degree: 1 (one bit changes the degree by
+/// exactly one).
+constexpr double kDegreeSensitivity = 1.0;
+
+}  // namespace cne
+
+#endif  // CNE_LDP_LAPLACE_MECHANISM_H_

@@ -1,0 +1,104 @@
+#include "ldp/randomized_response.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cne {
+
+double FlipProbability(double epsilon) {
+  CNE_CHECK(epsilon > 0.0) << "privacy budget must be positive";
+  return 1.0 / (1.0 + std::exp(epsilon));
+}
+
+NoisyNeighborSet::NoisyNeighborSet(std::vector<VertexId> members,
+                                   VertexId domain_size,
+                                   double flip_probability)
+    : members_(std::move(members)),
+      domain_size_(domain_size),
+      flip_probability_(flip_probability) {
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+  CNE_CHECK(members_.empty() || members_.back() < domain_size_)
+      << "noisy member outside domain";
+}
+
+bool NoisyNeighborSet::Contains(VertexId v) const {
+  return std::binary_search(members_.begin(), members_.end(), v);
+}
+
+NoisyNeighborSet ApplyRandomizedResponse(const BipartiteGraph& graph,
+                                         LayeredVertex vertex, double epsilon,
+                                         Rng& rng) {
+  const double p = FlipProbability(epsilon);
+  const auto neighbors = graph.Neighbors(vertex);
+  const VertexId domain = graph.NumVertices(Opposite(vertex.layer));
+  const uint64_t degree = neighbors.size();
+
+  std::vector<VertexId> members;
+  members.reserve(static_cast<size_t>(
+      ExpectedNoisyDegree(static_cast<double>(degree),
+                          static_cast<double>(domain), epsilon) *
+          1.2 +
+      16));
+
+  // True neighbors survive independently with probability 1 - p.
+  for (VertexId v : neighbors) {
+    if (!rng.Bernoulli(p)) members.push_back(v);
+  }
+
+  // Non-neighbors flip in: their count is Binomial(n - d, p), identities
+  // uniform without replacement among the non-neighbors. Sample positions
+  // in [0, n - d) and map them around the sorted true-neighbor list.
+  const uint64_t num_non_neighbors = static_cast<uint64_t>(domain) - degree;
+  const uint64_t flipped_in = rng.Binomial(num_non_neighbors, p);
+  if (flipped_in > 0) {
+    std::vector<uint64_t> positions =
+        rng.SampleWithoutReplacement(num_non_neighbors, flipped_in);
+    // Map the k-th non-neighbor position to an actual vertex id: for each
+    // position q, the vertex id is q plus the number of true neighbors with
+    // id <= mapped value. Sorting positions makes the mapping a single
+    // linear merge.
+    std::sort(positions.begin(), positions.end());
+    size_t ni = 0;  // index into sorted true neighbors
+    for (uint64_t q : positions) {
+      // Advance: vertex id candidate = q + ni, but adding neighbors below
+      // shifts the candidate upward.
+      VertexId candidate = static_cast<VertexId>(q + ni);
+      while (ni < neighbors.size() && neighbors[ni] <= candidate) {
+        ++ni;
+        ++candidate;
+      }
+      members.push_back(candidate);
+    }
+  }
+  return NoisyNeighborSet(std::move(members), domain, p);
+}
+
+NoisyNeighborSet ApplyRandomizedResponseDense(const BipartiteGraph& graph,
+                                              LayeredVertex vertex,
+                                              double epsilon, Rng& rng) {
+  const double p = FlipProbability(epsilon);
+  const VertexId domain = graph.NumVertices(Opposite(vertex.layer));
+  const auto neighbors = graph.Neighbors(vertex);
+  std::unordered_set<VertexId> neighbor_set(neighbors.begin(),
+                                            neighbors.end());
+  std::vector<VertexId> members;
+  for (VertexId v = 0; v < domain; ++v) {
+    const bool bit = neighbor_set.count(v) > 0;
+    const bool noisy_bit = rng.Bernoulli(p) ? !bit : bit;
+    if (noisy_bit) members.push_back(v);
+  }
+  return NoisyNeighborSet(std::move(members), domain, p);
+}
+
+double ExpectedNoisyDegree(double degree, double opposite_size,
+                           double epsilon) {
+  const double p = FlipProbability(epsilon);
+  return degree * (1.0 - p) + (opposite_size - degree) * p;
+}
+
+}  // namespace cne

@@ -1,0 +1,77 @@
+// Warner randomized response over bipartite neighbor lists (Section 2.2).
+//
+// Given privacy budget ε, every bit of a vertex's neighbor list is flipped
+// independently with probability p = 1 / (1 + e^ε). Materializing the
+// length-n noisy row is O(n); instead we sample the *noisy neighbor set*
+// sparsely and exactly:
+//   * each true neighbor stays with probability 1 - p,
+//   * the number of flipped-in non-neighbors is Binomial(n - d, p) and
+//     their identities are uniform without replacement.
+// The resulting set has exactly the distribution of bit-by-bit RR at cost
+// O(d + pn) expected.
+
+#ifndef CNE_LDP_RANDOMIZED_RESPONSE_H_
+#define CNE_LDP_RANDOMIZED_RESPONSE_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "util/rng.h"
+
+namespace cne {
+
+/// Flip probability p = 1 / (1 + e^ε) of Warner's randomized response.
+double FlipProbability(double epsilon);
+
+/// The noisy neighbor set of one vertex after randomized response: the set
+/// of opposite-layer vertices whose noisy adjacency bit is 1.
+class NoisyNeighborSet {
+ public:
+  NoisyNeighborSet() = default;
+
+  /// `members` need not be sorted; `domain_size` is the size of the
+  /// opposite layer (the length of the perturbed neighbor list).
+  NoisyNeighborSet(std::vector<VertexId> members, VertexId domain_size,
+                   double flip_probability);
+
+  /// True if the noisy bit A'[v] is 1. O(log size).
+  bool Contains(VertexId v) const;
+
+  /// Number of 1-bits in the noisy row (the vertex's noisy degree).
+  size_t Size() const { return members_.size(); }
+
+  /// Size of the perturbed domain (opposite-layer vertex count).
+  VertexId DomainSize() const { return domain_size_; }
+
+  /// The flip probability the set was generated with.
+  double flip_probability() const { return flip_probability_; }
+
+  /// Sorted members, for set algebra (intersection/union) by the curator.
+  const std::vector<VertexId>& SortedMembers() const { return members_; }
+
+ private:
+  std::vector<VertexId> members_;  // sorted
+  VertexId domain_size_ = 0;
+  double flip_probability_ = 0.0;
+};
+
+/// Applies ε-randomized response to the neighbor list of `vertex` and
+/// returns its noisy neighbor set. Exactly distributed as bit-by-bit RR.
+NoisyNeighborSet ApplyRandomizedResponse(const BipartiteGraph& graph,
+                                         LayeredVertex vertex, double epsilon,
+                                         Rng& rng);
+
+/// Reference O(n) implementation that flips every bit explicitly. Used by
+/// tests to validate the sparse sampler; do not call on large layers.
+NoisyNeighborSet ApplyRandomizedResponseDense(const BipartiteGraph& graph,
+                                              LayeredVertex vertex,
+                                              double epsilon, Rng& rng);
+
+/// Expected number of noisy edges produced by ε-RR on a vertex of degree d
+/// with opposite layer size n: d(1-p) + (n-d)p.
+double ExpectedNoisyDegree(double degree, double opposite_size,
+                           double epsilon);
+
+}  // namespace cne
+
+#endif  // CNE_LDP_RANDOMIZED_RESPONSE_H_

@@ -1,0 +1,55 @@
+// Lightweight leveled logging for the library. Benches and examples use
+// INFO; the library itself only logs at WARNING and above so that embedding
+// applications stay quiet by default.
+
+#ifndef CNE_UTIL_LOGGING_H_
+#define CNE_UTIL_LOGGING_H_
+
+#include <sstream>
+
+namespace cne {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction. When
+/// `fatal` is set, the destructor aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cne
+
+/// Streams a log line at the given level, e.g. CNE_LOG(kInfo) << "msg".
+#define CNE_LOG(level) \
+  ::cne::internal::LogMessage(::cne::LogLevel::level, __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Active in all build types.
+#define CNE_CHECK(cond)                                                    \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::cne::internal::LogMessage(::cne::LogLevel::kError, __FILE__,         \
+                                __LINE__, /*fatal=*/true)                  \
+        << "Check failed: " #cond " "
+
+#endif  // CNE_UTIL_LOGGING_H_

@@ -1,0 +1,122 @@
+#include "util/newton.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cne {
+
+MinimizeResult GoldenSectionMinimize(const std::function<double(double)>& f,
+                                     double lo, double hi, double tol,
+                                     int max_iter) {
+  assert(hi >= lo);
+  static const double kInvPhi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo, b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c), fd = f(d);
+  MinimizeResult res;
+  int it = 0;
+  while (b - a > tol && it < max_iter) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+    ++it;
+  }
+  res.x = (a + b) / 2.0;
+  res.value = f(res.x);
+  res.iterations = it;
+  res.converged = (b - a) <= tol;
+  // The endpoints can beat the interior point when the minimum lies on the
+  // boundary of the original interval.
+  const double flo = f(lo), fhi = f(hi);
+  if (flo < res.value) {
+    res.x = lo;
+    res.value = flo;
+  }
+  if (fhi < res.value) {
+    res.x = hi;
+    res.value = fhi;
+  }
+  return res;
+}
+
+MinimizeResult NewtonMinimize(const std::function<double(double)>& f,
+                              double lo, double hi, double tol,
+                              int max_iter) {
+  assert(hi >= lo);
+  if (hi - lo < tol) {
+    MinimizeResult res;
+    res.x = (lo + hi) / 2.0;
+    res.value = f(res.x);
+    res.converged = true;
+    return res;
+  }
+  // Finite-difference step scaled to the interval width.
+  const double h = std::max(1e-7, (hi - lo) * 1e-6);
+  double x = (lo + hi) / 2.0;
+  MinimizeResult res;
+  bool ok = false;
+  for (int it = 0; it < max_iter; ++it) {
+    res.iterations = it + 1;
+    const double fp = (f(x + h) - f(x - h)) / (2.0 * h);
+    const double fpp = (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+    if (!(fpp > 0.0) || !std::isfinite(fp) || !std::isfinite(fpp)) {
+      ok = false;
+      break;
+    }
+    double step = fp / fpp;
+    double nx = x - step;
+    if (nx <= lo || nx >= hi) {
+      ok = false;
+      break;
+    }
+    if (std::abs(nx - x) < tol) {
+      x = nx;
+      ok = true;
+      break;
+    }
+    x = nx;
+  }
+  if (ok) {
+    res.x = x;
+    res.value = f(x);
+    res.converged = true;
+    // Verify Newton did not converge to a boundary-dominated local point.
+    MinimizeResult golden = GoldenSectionMinimize(f, lo, hi, tol, 200);
+    if (golden.value < res.value) return golden;
+    return res;
+  }
+  return GoldenSectionMinimize(f, lo, hi, tol, 200);
+}
+
+double BisectRoot(const std::function<double(double)>& f, double lo,
+                  double hi, double tol, int max_iter) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  assert(flo * fhi <= 0.0 && "BisectRoot requires a sign change");
+  (void)fhi;
+  for (int it = 0; it < max_iter && hi - lo > tol; ++it) {
+    const double mid = (lo + hi) / 2.0;
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if ((flo < 0) == (fmid < 0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace cne

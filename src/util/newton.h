@@ -1,0 +1,42 @@
+// One-dimensional minimization used by the privacy-budget allocation
+// optimizer (Section 4.2 of the paper resorts to Newton's method because the
+// stationarity conditions are transcendental).
+
+#ifndef CNE_UTIL_NEWTON_H_
+#define CNE_UTIL_NEWTON_H_
+
+#include <functional>
+
+namespace cne {
+
+/// Result of a 1-D minimization.
+struct MinimizeResult {
+  double x = 0.0;        ///< Arg-min found.
+  double value = 0.0;    ///< Objective at `x`.
+  int iterations = 0;    ///< Iterations used.
+  bool converged = false;
+};
+
+/// Minimizes `f` over the closed interval [lo, hi] by golden-section search.
+/// `f` must be unimodal on the interval for a guaranteed global minimum;
+/// otherwise a local minimum is returned.
+MinimizeResult GoldenSectionMinimize(const std::function<double(double)>& f,
+                                     double lo, double hi,
+                                     double tol = 1e-9, int max_iter = 200);
+
+/// Minimizes `f` over [lo, hi] with safeguarded Newton iteration on the
+/// derivative (central finite differences). Falls back to golden-section
+/// whenever a Newton step leaves the interval or the curvature is not
+/// positive, so the result is always at least as good as golden-section.
+MinimizeResult NewtonMinimize(const std::function<double(double)>& f,
+                              double lo, double hi,
+                              double tol = 1e-9, int max_iter = 100);
+
+/// Finds a root of `f` on [lo, hi] by bisection; requires a sign change.
+/// Returns the midpoint of the final bracket.
+double BisectRoot(const std::function<double(double)>& f, double lo,
+                  double hi, double tol = 1e-12, int max_iter = 200);
+
+}  // namespace cne
+
+#endif  // CNE_UTIL_NEWTON_H_

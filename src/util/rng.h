@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation for libcne.
+//
+// The library is a simulation of a randomized privacy protocol, so every
+// source of randomness flows through an explicit `Rng` instance. `Rng`
+// implements xoshiro256++ (Blackman & Vigna, 2019), seeded through
+// SplitMix64 so that any 64-bit seed yields a well-mixed state. It
+// satisfies the C++ `UniformRandomBitGenerator` concept, which lets the
+// standard `<random>` distributions (binomial, etc.) run on top of it.
+
+#ifndef CNE_UTIL_RNG_H_
+#define CNE_UTIL_RNG_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace cne {
+
+/// xoshiro256++ generator with SplitMix64 seeding.
+///
+/// Not thread-safe; create one instance per thread (use `Split()` to derive
+/// independent streams deterministically).
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs a generator from a 64-bit seed. Equal seeds give equal
+  /// streams on every platform.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t operator()() { return NextU64(); }
+
+  /// Returns the next 64 random bits.
+  uint64_t NextU64();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double NextDouble();
+
+  /// Returns an integer uniformly distributed in [0, bound). Requires
+  /// bound > 0. Uses Lemire's nearly-divisionless rejection method.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Draws from the Laplace distribution with location 0 and scale b > 0.
+  double Laplace(double scale);
+
+  /// Draws from the exponential distribution with rate lambda > 0.
+  double Exponential(double lambda);
+
+  /// Draws from the standard normal distribution (Marsaglia polar method).
+  double Gaussian();
+
+  /// Draws from Binomial(n, p). Exact: delegates to
+  /// std::binomial_distribution (BTPE-style internally) on top of this
+  /// generator's bits.
+  uint64_t Binomial(uint64_t n, double p);
+
+  /// Samples k distinct integers uniformly from [0, n) using Robert Floyd's
+  /// algorithm. Returns them in unspecified order. Requires k <= n.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  /// Derives an independent generator deterministically from this one.
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace cne
+
+#endif  // CNE_UTIL_RNG_H_

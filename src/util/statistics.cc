@@ -1,0 +1,158 @@
+#include "util/statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace cne {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::StdError() const {
+  if (count_ == 0) return 0.0;
+  return StdDev() / std::sqrt(static_cast<double>(count_));
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t i = static_cast<size_t>(pos);
+  if (i + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(i);
+  return sorted[i] * (1.0 - frac) + sorted[i + 1] * frac;
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  RunningStats rs;
+  for (double v : sorted) rs.Add(v);
+  s.mean = rs.Mean();
+  s.variance = rs.Variance();
+  s.stddev = rs.StdDev();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = QuantileSorted(sorted, 0.5);
+  s.p05 = QuantileSorted(sorted, 0.05);
+  s.p95 = QuantileSorted(sorted, 0.95);
+  return s;
+}
+
+double MeanAbsoluteError(const std::vector<double>& estimates,
+                         const std::vector<double>& truths) {
+  assert(estimates.size() == truths.size());
+  if (estimates.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    sum += std::abs(estimates[i] - truths[i]);
+  }
+  return sum / static_cast<double>(estimates.size());
+}
+
+double MeanRelativeError(const std::vector<double>& estimates,
+                         const std::vector<double>& truths) {
+  assert(estimates.size() == truths.size());
+  if (estimates.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    sum += std::abs(estimates[i] - truths[i]) / std::max(truths[i], 1.0);
+  }
+  return sum / static_cast<double>(estimates.size());
+}
+
+double MeanSquaredError(const std::vector<double>& estimates,
+                        const std::vector<double>& truths) {
+  assert(estimates.size() == truths.size());
+  if (estimates.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    const double d = estimates[i] - truths[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(estimates.size());
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void Histogram::Add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double pos = (x - lo_) / width;
+  long bucket = static_cast<long>(std::floor(pos));
+  bucket = std::clamp<long>(bucket, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bucket)];
+  ++total_;
+}
+
+double Histogram::BucketLow(size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::BucketHigh(size_t i) const { return BucketLow(i + 1); }
+
+std::string Histogram::ToAscii(size_t width) const {
+  size_t max_count = 0;
+  for (size_t c : counts_) max_count = std::max(max_count, c);
+  if (max_count == 0) max_count = 1;
+  std::string out;
+  char line[128];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const size_t bar = counts_[i] * width / max_count;
+    std::snprintf(line, sizeof(line), "[%10.2f, %10.2f) %7zu ",
+                  BucketLow(i), BucketHigh(i), counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cne

@@ -1,0 +1,109 @@
+// Streaming and batch descriptive statistics used by the evaluation harness
+// and by the Monte-Carlo test suites.
+
+#ifndef CNE_UTIL_STATISTICS_H_
+#define CNE_UTIL_STATISTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cne {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added so far.
+  size_t Count() const { return count_; }
+
+  /// Sample mean; 0 when empty.
+  double Mean() const;
+
+  /// Unbiased sample variance (n-1 denominator); 0 when fewer than two
+  /// observations.
+  double Variance() const;
+
+  /// Square root of `Variance()`.
+  double StdDev() const;
+
+  /// Standard error of the mean: StdDev / sqrt(n).
+  double StdError() const;
+
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample: order statistics plus moments.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p05 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes a `Summary` of `values` (copies and sorts internally).
+Summary Summarize(const std::vector<double>& values);
+
+/// Linear-interpolated quantile of a *sorted* sample, q in [0, 1].
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Mean of |estimate[i] - truth[i]| over paired samples.
+double MeanAbsoluteError(const std::vector<double>& estimates,
+                         const std::vector<double>& truths);
+
+/// Mean of |estimate[i] - truth[i]| / max(truth[i], 1) over paired samples.
+/// The max(., 1) guard matches the convention for count data where the true
+/// value may be zero.
+double MeanRelativeError(const std::vector<double>& estimates,
+                         const std::vector<double>& truths);
+
+/// Mean of (estimate[i] - truth[i])^2 over paired samples (empirical L2).
+double MeanSquaredError(const std::vector<double>& estimates,
+                        const std::vector<double>& truths);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+
+  size_t BucketCount() const { return counts_.size(); }
+  size_t BucketValue(size_t i) const { return counts_[i]; }
+  double BucketLow(size_t i) const;
+  double BucketHigh(size_t i) const;
+  size_t Total() const { return total_; }
+
+  /// Renders an ASCII bar chart, one line per bucket, bars scaled so the
+  /// fullest bucket has `width` characters.
+  std::string ToAscii(size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace cne
+
+#endif  // CNE_UTIL_STATISTICS_H_

@@ -1,0 +1,98 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace cne {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TextTable& TextTable::NewRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::Add(const std::string& cell) {
+  assert(!rows_.empty());
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+TextTable& TextTable::AddDouble(double value, int precision) {
+  return Add(FormatDouble(value, precision));
+}
+
+TextTable& TextTable::AddSci(double value, int precision) {
+  return Add(FormatSci(value, precision));
+}
+
+TextTable& TextTable::AddInt(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return Add(buf);
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << cell;
+      if (i + 1 < widths.size()) {
+        os << std::string(widths[i] - cell.size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TextTable::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatSci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[u]);
+  return buf;
+}
+
+}  // namespace cne

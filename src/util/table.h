@@ -1,0 +1,54 @@
+// Aligned text-table and CSV emission for benchmark harnesses. The bench
+// binaries print paper-style tables with these helpers so every figure's
+// rows/series are regenerated in a uniform format.
+
+#ifndef CNE_UTIL_TABLE_H_
+#define CNE_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cne {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with sensible defaults.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent `Add*` calls append cells to it.
+  TextTable& NewRow();
+
+  TextTable& Add(const std::string& cell);
+  TextTable& AddDouble(double value, int precision = 4);
+  /// Scientific notation, for error magnitudes spanning many decades.
+  TextTable& AddSci(double value, int precision = 3);
+  TextTable& AddInt(long long value);
+
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Writes the table with aligned columns.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as CSV (comma-separated, no quoting of commas —
+  /// callers must not put commas in cells).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double in fixed notation with the given precision.
+std::string FormatDouble(double value, int precision = 4);
+
+/// Formats a double in scientific notation with the given precision.
+std::string FormatSci(double value, int precision = 3);
+
+/// Formats a byte count as a human-readable string (B/KB/MB/GB).
+std::string FormatBytes(double bytes);
+
+}  // namespace cne
+
+#endif  // CNE_UTIL_TABLE_H_

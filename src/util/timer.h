@@ -1,0 +1,32 @@
+// Wall-clock timing helper (header-only).
+
+#ifndef CNE_UTIL_TIMER_H_
+#define CNE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace cne {
+
+/// Measures elapsed wall-clock time since construction or the last Reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cne
+
+#endif  // CNE_UTIL_TIMER_H_

@@ -1,0 +1,159 @@
+#include "apps/biclique.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/butterfly.h"
+#include "core/central_dp.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "util/statistics.h"
+
+namespace cne {
+namespace {
+
+uint64_t Choose(uint64_t n, uint64_t k) {
+  if (n < k) return 0;
+  uint64_t r = 1;
+  for (uint64_t i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+TEST(ExactBicliques2qTest, CompleteBipartite) {
+  // K(a,b) contains C(a,2)·C(b,q) copies of K_{2,q} with the 2-side on
+  // the a-layer.
+  const BipartiteGraph g = CompleteBipartite(4, 5);
+  for (int q = 1; q <= 4; ++q) {
+    EXPECT_EQ(ExactBicliques2q(g, Layer::kUpper, q),
+              Choose(4, 2) * Choose(5, q))
+        << "q=" << q;
+  }
+}
+
+TEST(ExactBicliques2qTest, QEquals2MatchesButterflies) {
+  Rng rng(1);
+  const BipartiteGraph g = ChungLuPowerLaw(200, 200, 1500, 2.1, rng);
+  EXPECT_EQ(ExactBicliques2q(g, Layer::kUpper, 2), ExactButterflies(g));
+  EXPECT_EQ(ExactBicliques2q(g, Layer::kLower, 2), ExactButterflies(g));
+}
+
+TEST(ExactBicliques2qTest, QEquals1MatchesWedges) {
+  Rng rng(2);
+  const BipartiteGraph g = ChungLuPowerLaw(100, 100, 600, 2.1, rng);
+  // K_{2,1} with the 2-side on `layer` = wedges centered on the opposite
+  // layer.
+  EXPECT_EQ(ExactBicliques2q(g, Layer::kUpper, 1),
+            ExactWedges(g, Layer::kLower));
+}
+
+TEST(ExactBicliques2qTest, PlantedConfiguration) {
+  // c2=6 common neighbors: C(6,q) bicliques through the one pair.
+  const BipartiteGraph g = PlantedCommonNeighbors(6, 2, 2, 10);
+  EXPECT_EQ(ExactBicliques2q(g, Layer::kLower, 3), Choose(6, 3));
+  EXPECT_EQ(ExactBicliques2q(g, Layer::kLower, 6), 1u);
+  EXPECT_EQ(ExactBicliques2q(g, Layer::kLower, 7), 0u);
+}
+
+TEST(ExactBicliques3qTest, CompleteBipartite) {
+  const BipartiteGraph g = CompleteBipartite(5, 4);
+  for (int q = 1; q <= 3; ++q) {
+    EXPECT_EQ(ExactBicliques3q(g, Layer::kUpper, q),
+              Choose(5, 3) * Choose(4, q))
+        << "q=" << q;
+  }
+}
+
+TEST(ExactBicliques3qTest, NoTripleSharesNeighbors) {
+  // Planted: only lower 0 and 1 share anything; no triple exists on a
+  // 2-vertex layer... use a graph with 3+ lower vertices and disjoint
+  // neighborhoods.
+  GraphBuilder b(9, 3);
+  for (VertexId i = 0; i < 9; ++i) b.AddEdge(i, i / 3);
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(ExactBicliques3q(g, Layer::kLower, 1), 0u);
+}
+
+TEST(ExactBicliques3qTest, HandValidated) {
+  // Lower vertices 0,1,2 all adjacent to upper 0,1; lower 2 also to 2.
+  GraphBuilder b(3, 3);
+  for (VertexId l = 0; l < 3; ++l) {
+    b.AddEdge(0, l);
+    b.AddEdge(1, l);
+  }
+  b.AddEdge(2, 2);
+  const BipartiteGraph g = b.Build();
+  // Triple {0,1,2} shares {u0,u1}: C(2,1)=2 copies of K_{3,1}, 1 of
+  // K_{3,2}.
+  EXPECT_EQ(ExactBicliques3q(g, Layer::kLower, 1), 2u);
+  EXPECT_EQ(ExactBicliques3q(g, Layer::kLower, 2), 1u);
+  EXPECT_EQ(ExactBicliques3q(g, Layer::kLower, 3), 0u);
+}
+
+TEST(UnbiasedChooseTest, ExactOnNoiselessRuns) {
+  // With runs all equal to the true x, the estimator returns C(x,q)
+  // exactly (the polynomial identities hold pointwise).
+  const double x = 7.0;
+  const double runs[3] = {x, x, x};
+  EXPECT_DOUBLE_EQ(UnbiasedChooseFromRuns(runs, 1), 7.0);
+  EXPECT_DOUBLE_EQ(UnbiasedChooseFromRuns(runs, 2), 21.0);
+  EXPECT_DOUBLE_EQ(UnbiasedChooseFromRuns(runs, 3), 35.0);
+}
+
+TEST(UnbiasedChooseTest, UnbiasedUnderSymmetricNoise) {
+  // Independent noisy runs f_i = x + Z_i with E[Z]=0: the estimator's
+  // Monte-Carlo mean must equal C(x,q).
+  Rng rng(3);
+  const double x = 5.0;
+  for (int q = 1; q <= 3; ++q) {
+    RunningStats stats;
+    for (int t = 0; t < 200000; ++t) {
+      double runs[3];
+      for (int r = 0; r < q; ++r) runs[r] = x + rng.Laplace(2.0);
+      stats.Add(UnbiasedChooseFromRuns(runs, q));
+    }
+    EXPECT_NEAR(stats.Mean(), Choose(5, q), 5 * stats.StdError())
+        << "q=" << q;
+  }
+}
+
+TEST(EstimateBicliques2qTest, UnbiasedAcrossQ) {
+  const BipartiteGraph g = PlantedCommonNeighbors(6, 2, 2, 30);
+  CentralDpEstimator central;
+  Rng rng(4);
+  for (int q = 1; q <= 3; ++q) {
+    const double truth =
+        static_cast<double>(ExactBicliques2q(g, Layer::kLower, q));
+    RunningStats stats;
+    for (int t = 0; t < 4000; ++t) {
+      stats.Add(
+          EstimateBicliques2q(g, Layer::kLower, central, q, 6.0, 1, rng)
+              .count);
+    }
+    EXPECT_NEAR(stats.Mean(), truth, 5 * stats.StdError()) << "q=" << q;
+  }
+}
+
+TEST(EstimateBicliques2qTest, ReportsConfiguration) {
+  const BipartiteGraph g = CompleteBipartite(4, 4);
+  CentralDpEstimator central;
+  Rng rng(5);
+  const BicliqueEstimate e =
+      EstimateBicliques2q(g, Layer::kUpper, central, 3, 6.0, 5, rng);
+  EXPECT_EQ(e.q, 3);
+  EXPECT_EQ(e.sampled_pairs, 5u);
+  EXPECT_DOUBLE_EQ(e.epsilon_per_run, 2.0);
+}
+
+TEST(EstimateBicliques2qDeathTest, RejectsBadConfigurations) {
+  const BipartiteGraph g = CompleteBipartite(4, 4);
+  CentralDpEstimator central;
+  Rng rng(6);
+  EXPECT_DEATH(
+      EstimateBicliques2q(g, Layer::kUpper, central, 4, 2.0, 5, rng),
+      "q in");
+  EXPECT_DEATH(
+      EstimateBicliques2q(g, Layer::kUpper, central, 2, 2.0, 0, rng),
+      "at least one");
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,118 @@
+#include "apps/butterfly.h"
+
+#include <gtest/gtest.h>
+
+#include "core/central_dp.h"
+#include "core/multir_ds.h"
+#include "core/naive.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "util/statistics.h"
+
+namespace cne {
+namespace {
+
+TEST(ExactButterfliesTest, CompleteBipartite) {
+  // K(a, b) has C(a,2) * C(b,2) butterflies.
+  EXPECT_EQ(ExactButterflies(CompleteBipartite(2, 2)), 1u);
+  EXPECT_EQ(ExactButterflies(CompleteBipartite(3, 3)), 9u);
+  EXPECT_EQ(ExactButterflies(CompleteBipartite(4, 5)), 60u);
+}
+
+TEST(ExactButterfliesTest, NoButterflyWithoutSharedPairs) {
+  EXPECT_EQ(ExactButterflies(Star(10)), 0u);
+  // A perfect matching has no wedges at all.
+  GraphBuilder b(4, 4);
+  for (VertexId v = 0; v < 4; ++v) b.AddEdge(v, v);
+  EXPECT_EQ(ExactButterflies(b.Build()), 0u);
+}
+
+TEST(ExactButterfliesTest, PlantedConfiguration) {
+  // c common neighbors between the two lower query vertices form C(c, 2)
+  // butterflies; exclusive neighbors add none.
+  const BipartiteGraph g = PlantedCommonNeighbors(5, 3, 2, 10);
+  EXPECT_EQ(ExactButterflies(g), 10u);  // C(5,2)
+}
+
+TEST(ExactButterfliesTest, HandValidatedSmallGraph) {
+  // u0-{l0,l1}, u1-{l0,l1}, u2-{l1,l2}: only (u0,u1) x (l0,l1) closes.
+  GraphBuilder b(3, 3);
+  b.AddEdge(0, 0).AddEdge(0, 1).AddEdge(1, 0).AddEdge(1, 1);
+  b.AddEdge(2, 1).AddEdge(2, 2);
+  EXPECT_EQ(ExactButterflies(b.Build()), 1u);
+}
+
+TEST(ExactWedgesTest, Formula) {
+  // Complete bipartite K(3,4): wedges centered upper = 3 * C(4,2) = 18.
+  const BipartiteGraph g = CompleteBipartite(3, 4);
+  EXPECT_EQ(ExactWedges(g, Layer::kUpper), 18u);
+  EXPECT_EQ(ExactWedges(g, Layer::kLower), 4u * 3u);
+}
+
+TEST(ExactCaterpillarsTest, CompleteBipartite) {
+  // K(a,b): every edge has (b-1)(a-1) extensions.
+  const BipartiteGraph g = CompleteBipartite(3, 4);
+  EXPECT_EQ(ExactCaterpillars(g), 12u * 2u * 3u);
+}
+
+TEST(ClusteringCoefficientTest, CompleteBipartiteIsMaximallyClustered) {
+  // For K(n,m): 4B / W = 4 * C(n,2)C(m,2) / (nm (n-1)(m-1)) = 1.
+  EXPECT_DOUBLE_EQ(BipartiteClusteringCoefficient(CompleteBipartite(3, 4)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(BipartiteClusteringCoefficient(CompleteBipartite(5, 5)),
+                   1.0);
+}
+
+TEST(ClusteringCoefficientTest, ZeroWithoutCaterpillars) {
+  EXPECT_DOUBLE_EQ(BipartiteClusteringCoefficient(Star(5)), 0.0);
+}
+
+TEST(EstimateButterfliesTest, UnbiasedWithCentralBaseline) {
+  // CentralDP has no RR noise, so the butterfly estimator's unbiasedness
+  // can be verified quickly at a moderate budget.
+  const BipartiteGraph g = CompleteBipartite(6, 6);
+  const double truth = static_cast<double>(ExactButterflies(g));  // 225
+  CentralDpEstimator central;
+  Rng rng(1);
+  RunningStats stats;
+  for (int t = 0; t < 3000; ++t) {
+    stats.Add(EstimateButterflies(g, Layer::kUpper, central, 4.0, 10, rng)
+                  .butterflies);
+  }
+  EXPECT_NEAR(stats.Mean(), truth, 5 * stats.StdError());
+}
+
+TEST(EstimateButterfliesTest, UnbiasedWithMultiRDS) {
+  const BipartiteGraph g = PlantedCommonNeighbors(6, 2, 2, 30);
+  const double truth = static_cast<double>(ExactButterflies(g));  // C(6,2)
+  auto ds = MakeMultiRDSStar();
+  Rng rng(2);
+  RunningStats stats;
+  for (int t = 0; t < 4000; ++t) {
+    stats.Add(EstimateButterflies(g, Layer::kLower, *ds, 4.0, 1, rng)
+                  .butterflies);
+  }
+  EXPECT_NEAR(stats.Mean(), truth, 5 * stats.StdError());
+}
+
+TEST(EstimateButterfliesTest, ReportsBudgetSplit) {
+  const BipartiteGraph g = CompleteBipartite(4, 4);
+  CentralDpEstimator central;
+  Rng rng(3);
+  const ButterflyEstimate e =
+      EstimateButterflies(g, Layer::kUpper, central, 2.0, 3, rng);
+  EXPECT_EQ(e.sampled_pairs, 3u);
+  EXPECT_DOUBLE_EQ(e.epsilon_per_run, 1.0);
+}
+
+TEST(EstimateButterfliesDeathTest, RejectsBiasedEstimator) {
+  const BipartiteGraph g = CompleteBipartite(4, 4);
+  NaiveEstimator naive;
+  Rng rng(4);
+  EXPECT_DEATH(
+      EstimateButterflies(g, Layer::kUpper, naive, 2.0, 3, rng),
+      "unbiased");
+}
+
+}  // namespace
+}  // namespace cne

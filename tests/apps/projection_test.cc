@@ -1,0 +1,128 @@
+#include "apps/projection.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/central_dp.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace cne {
+namespace {
+
+// Lower-layer fixture: pairs (0,1) share 3, (0,2) share 1, (1,2) share 0.
+BipartiteGraph MakeFixture() {
+  GraphBuilder b(6, 3);
+  b.AddEdge(0, 0).AddEdge(1, 0).AddEdge(2, 0).AddEdge(3, 0);
+  b.AddEdge(0, 1).AddEdge(1, 1).AddEdge(2, 1);
+  b.AddEdge(3, 2).AddEdge(4, 2).AddEdge(5, 2);
+  return b.Build();
+}
+
+TEST(ExactProjectionTest, ThresholdFiltersPairs) {
+  const BipartiteGraph g = MakeFixture();
+  const std::vector<QueryPair> candidates = {
+      {Layer::kLower, 0, 1}, {Layer::kLower, 0, 2}, {Layer::kLower, 1, 2}};
+  const auto strict = ExactProjection(g, candidates, 2.0);
+  ASSERT_EQ(strict.size(), 1u);
+  EXPECT_EQ(strict[0].a, 0u);
+  EXPECT_EQ(strict[0].b, 1u);
+  EXPECT_DOUBLE_EQ(strict[0].weight, 3.0);
+
+  const auto loose = ExactProjection(g, candidates, 1.0);
+  EXPECT_EQ(loose.size(), 2u);
+}
+
+TEST(ExactProjectionAllPairsTest, MatchesCandidateEnumeration) {
+  const BipartiteGraph g = MakeFixture();
+  const auto all = ExactProjectionAllPairs(g, Layer::kLower, 1.0);
+  // Pairs (0,1) weight 3 and (0,2) weight 1.
+  ASSERT_EQ(all.size(), 2u);
+  double total_weight = 0;
+  for (const auto& e : all) total_weight += e.weight;
+  EXPECT_DOUBLE_EQ(total_weight, 4.0);
+}
+
+TEST(ExactProjectionAllPairsTest, CompleteBipartiteProjectsToClique) {
+  const BipartiteGraph g = CompleteBipartite(4, 3);
+  const auto proj = ExactProjectionAllPairs(g, Layer::kUpper, 1.0);
+  EXPECT_EQ(proj.size(), 6u);  // C(4,2)
+  for (const auto& e : proj) EXPECT_DOUBLE_EQ(e.weight, 3.0);
+}
+
+TEST(PrivateProjectionTest, HighBudgetMatchesExact) {
+  const BipartiteGraph g = MakeFixture();
+  const std::vector<QueryPair> candidates = {
+      {Layer::kLower, 0, 1}, {Layer::kLower, 0, 2}, {Layer::kLower, 1, 2}};
+  CentralDpEstimator central;
+  Rng rng(1);
+  int perfect = 0;
+  const auto exact = ExactProjection(g, candidates, 2.0);
+  for (int t = 0; t < 100; ++t) {
+    const auto priv =
+        PrivateProjection(g, candidates, 2.0, central, 100.0, rng);
+    const ProjectionQuality q = CompareProjections(exact, priv);
+    perfect += (q.f1 == 1.0);
+  }
+  EXPECT_GT(perfect, 95);
+}
+
+TEST(PrivateProjectionTest, LowBudgetDegradesQuality) {
+  Rng gen(2);
+  const BipartiteGraph g = ErdosRenyiBipartite(40, 40, 400, gen);
+  std::vector<QueryPair> candidates;
+  for (VertexId u = 0; u < 10; ++u) {
+    for (VertexId w = u + 1; w < 10; ++w) {
+      candidates.push_back({Layer::kLower, u, w});
+    }
+  }
+  CentralDpEstimator central;
+  Rng rng(3);
+  const auto exact = ExactProjection(g, candidates, 3.0);
+  double f1_strong = 0, f1_weak = 0;
+  const int runs = 50;
+  for (int t = 0; t < runs; ++t) {
+    f1_strong += CompareProjections(
+                     exact, PrivateProjection(g, candidates, 3.0, central,
+                                              20.0, rng))
+                     .f1;
+    f1_weak += CompareProjections(
+                   exact, PrivateProjection(g, candidates, 3.0, central,
+                                            0.05, rng))
+                   .f1;
+  }
+  EXPECT_GT(f1_strong / runs, f1_weak / runs);
+}
+
+TEST(CompareProjectionsTest, Metrics) {
+  const std::vector<ProjectionEdge> exact = {{0, 1, 3.0}, {0, 2, 1.0}};
+  const std::vector<ProjectionEdge> est = {{1, 0, 2.5}, {1, 2, 4.0}};
+  // Endpoint order must not matter: {1,0} matches {0,1}.
+  const ProjectionQuality q = CompareProjections(exact, est);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+  EXPECT_DOUBLE_EQ(q.f1, 0.5);
+}
+
+TEST(CompareProjectionsTest, EmptyCases) {
+  const ProjectionQuality both = CompareProjections({}, {});
+  EXPECT_DOUBLE_EQ(both.precision, 1.0);
+  EXPECT_DOUBLE_EQ(both.recall, 1.0);
+  const ProjectionQuality spurious =
+      CompareProjections({}, {{0, 1, 1.0}});
+  EXPECT_DOUBLE_EQ(spurious.precision, 0.0);
+  EXPECT_DOUBLE_EQ(spurious.recall, 1.0);
+}
+
+TEST(PrivateProjectionDeathTest, RejectsZeroBudget) {
+  const BipartiteGraph g = MakeFixture();
+  CentralDpEstimator central;
+  Rng rng(4);
+  EXPECT_DEATH(PrivateProjection(g, {{Layer::kLower, 0, 1}}, 1.0, central,
+                                 0.0, rng),
+               "budget");
+}
+
+}  // namespace
+}  // namespace cne

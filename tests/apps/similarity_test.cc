@@ -1,0 +1,92 @@
+#include "apps/similarity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/central_dp.h"
+#include "core/multir_ds.h"
+#include "graph/generators.h"
+#include "util/statistics.h"
+
+namespace cne {
+namespace {
+
+TEST(ExactSimilarityTest, KnownValues) {
+  // deg(u)=8, deg(w)=5, C2=3 -> union 10.
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  const QueryPair q{Layer::kLower, 0, 1};
+  EXPECT_DOUBLE_EQ(ExactJaccard(g, q), 0.3);
+  EXPECT_DOUBLE_EQ(ExactCosine(g, q), 3.0 / std::sqrt(40.0));
+}
+
+TEST(ExactSimilarityTest, DisjointNeighborhoods) {
+  const BipartiteGraph g = PlantedCommonNeighbors(0, 4, 4, 10);
+  const QueryPair q{Layer::kLower, 0, 1};
+  EXPECT_DOUBLE_EQ(ExactJaccard(g, q), 0.0);
+  EXPECT_DOUBLE_EQ(ExactCosine(g, q), 0.0);
+}
+
+TEST(ExactSimilarityTest, IdenticalNeighborhoods) {
+  const BipartiteGraph g = PlantedCommonNeighbors(6, 0, 0, 10);
+  const QueryPair q{Layer::kLower, 0, 1};
+  EXPECT_DOUBLE_EQ(ExactJaccard(g, q), 1.0);
+  EXPECT_DOUBLE_EQ(ExactCosine(g, q), 1.0);
+}
+
+TEST(ExactSimilarityTest, IsolatedVertexIsZero) {
+  const BipartiteGraph g = PlantedCommonNeighbors(2, 2, 2, 5, 1);
+  const QueryPair q{Layer::kLower, 0, 2};  // lower 2 is isolated
+  EXPECT_DOUBLE_EQ(ExactJaccard(g, q), 0.0);
+  EXPECT_DOUBLE_EQ(ExactCosine(g, q), 0.0);
+}
+
+TEST(PrivateSimilarityTest, ScoresAreInUnitInterval) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  PrivateSimilarityEstimator sim(MakeMultiRDSStar());
+  Rng rng(1);
+  for (int t = 0; t < 200; ++t) {
+    const SimilarityResult r =
+        sim.Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+    EXPECT_GE(r.jaccard, 0.0);
+    EXPECT_LE(r.jaccard, 1.0);
+    EXPECT_GE(r.cosine, 0.0);
+    EXPECT_LE(r.cosine, 1.0);
+  }
+}
+
+TEST(PrivateSimilarityTest, ConcentratesNearTruthAtHighBudget) {
+  const BipartiteGraph g = PlantedCommonNeighbors(12, 4, 4, 40);
+  PrivateSimilarityEstimator sim(
+      std::make_shared<CentralDpEstimator>(), 0.5);
+  Rng rng(2);
+  RunningStats jac;
+  for (int t = 0; t < 3000; ++t) {
+    jac.Add(sim.Estimate(g, {Layer::kLower, 0, 1}, 20.0, rng).jaccard);
+  }
+  EXPECT_NEAR(jac.Mean(), ExactJaccard(g, {Layer::kLower, 0, 1}), 0.05);
+}
+
+TEST(PrivateSimilarityTest, HigherBudgetReducesError) {
+  const BipartiteGraph g = PlantedCommonNeighbors(6, 6, 6, 60);
+  PrivateSimilarityEstimator sim(MakeMultiRDSStar());
+  const double truth = ExactJaccard(g, {Layer::kLower, 0, 1});
+  Rng rng(3);
+  RunningStats lo_err, hi_err;
+  for (int t = 0; t < 1500; ++t) {
+    lo_err.Add(std::abs(
+        sim.Estimate(g, {Layer::kLower, 0, 1}, 1.0, rng).jaccard - truth));
+    hi_err.Add(std::abs(
+        sim.Estimate(g, {Layer::kLower, 0, 1}, 4.0, rng).jaccard - truth));
+  }
+  EXPECT_LT(hi_err.Mean(), lo_err.Mean());
+}
+
+TEST(PrivateSimilarityDeathTest, RejectsBadConfig) {
+  EXPECT_DEATH(PrivateSimilarityEstimator(nullptr), "");
+  EXPECT_DEATH(
+      PrivateSimilarityEstimator(MakeMultiRDSStar(), 1.5), "fraction");
+}
+
+}  // namespace
+}  // namespace cne

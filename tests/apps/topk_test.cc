@@ -1,0 +1,95 @@
+#include "apps/topk.h"
+
+#include <gtest/gtest.h>
+
+#include "core/central_dp.h"
+#include "graph/graph_builder.h"
+
+namespace cne {
+namespace {
+
+// Lower-layer source 0 with candidates 1..4 sharing 4, 3, 1, 0 upper
+// neighbors respectively.
+BipartiteGraph MakeRankedFixture() {
+  GraphBuilder b(8, 5);
+  for (VertexId v = 0; v < 6; ++v) b.AddEdge(v, 0);  // deg(source) = 6
+  for (VertexId v = 0; v < 4; ++v) b.AddEdge(v, 1);  // C2 = 4
+  for (VertexId v = 0; v < 3; ++v) b.AddEdge(v, 2);  // C2 = 3
+  b.AddEdge(5, 3);                                   // C2 = 1
+  b.AddEdge(7, 4);                                   // C2 = 0
+  return b.Build();
+}
+
+TEST(ExactTopKTest, RanksByCommonNeighbors) {
+  const BipartiteGraph g = MakeRankedFixture();
+  const TopKResult r = ExactTopKCommonNeighbors(
+      g, {Layer::kLower, 0}, {1, 2, 3, 4}, 2);
+  ASSERT_EQ(r.ranked.size(), 2u);
+  EXPECT_EQ(r.ranked[0].vertex, 1u);
+  EXPECT_DOUBLE_EQ(r.ranked[0].score, 4.0);
+  EXPECT_EQ(r.ranked[1].vertex, 2u);
+}
+
+TEST(ExactTopKTest, ExcludesSourceFromCandidates) {
+  const BipartiteGraph g = MakeRankedFixture();
+  const TopKResult r = ExactTopKCommonNeighbors(
+      g, {Layer::kLower, 0}, {0, 1}, 5);
+  ASSERT_EQ(r.ranked.size(), 1u);
+  EXPECT_EQ(r.ranked[0].vertex, 1u);
+}
+
+TEST(ExactTopKTest, KLargerThanCandidates) {
+  const BipartiteGraph g = MakeRankedFixture();
+  const TopKResult r = ExactTopKCommonNeighbors(
+      g, {Layer::kLower, 0}, {1, 2}, 10);
+  EXPECT_EQ(r.ranked.size(), 2u);
+}
+
+TEST(PrivateTopKTest, SplitsBudgetAcrossCandidates) {
+  const BipartiteGraph g = MakeRankedFixture();
+  CentralDpEstimator central;
+  Rng rng(1);
+  const TopKResult r = PrivateTopKCommonNeighbors(
+      g, central, {Layer::kLower, 0}, {1, 2, 3, 4}, 2, 8.0, rng);
+  EXPECT_DOUBLE_EQ(r.epsilon_per_candidate, 2.0);
+  EXPECT_EQ(r.ranked.size(), 2u);
+}
+
+TEST(PrivateTopKTest, HighBudgetRecoversExactRanking) {
+  const BipartiteGraph g = MakeRankedFixture();
+  CentralDpEstimator central;
+  Rng rng(2);
+  int perfect = 0;
+  const TopKResult exact = ExactTopKCommonNeighbors(
+      g, {Layer::kLower, 0}, {1, 2, 3, 4}, 2);
+  for (int t = 0; t < 100; ++t) {
+    const TopKResult priv = PrivateTopKCommonNeighbors(
+        g, central, {Layer::kLower, 0}, {1, 2, 3, 4}, 2, 400.0, rng);
+    perfect += TopKRecall(exact, priv) == 1.0;
+  }
+  EXPECT_GT(perfect, 95);
+}
+
+TEST(TopKRecallTest, Values) {
+  TopKResult exact;
+  exact.ranked = {{1, 4.0}, {2, 3.0}};
+  TopKResult est;
+  est.ranked = {{2, 9.0}, {7, 8.0}};
+  EXPECT_DOUBLE_EQ(TopKRecall(exact, est), 0.5);
+  est.ranked = {{1, 1.0}, {2, 1.0}};
+  EXPECT_DOUBLE_EQ(TopKRecall(exact, est), 1.0);
+  exact.ranked.clear();
+  EXPECT_DOUBLE_EQ(TopKRecall(exact, est), 1.0);
+}
+
+TEST(PrivateTopKDeathTest, RejectsEmptyCandidates) {
+  const BipartiteGraph g = MakeRankedFixture();
+  CentralDpEstimator central;
+  Rng rng(3);
+  EXPECT_DEATH(PrivateTopKCommonNeighbors(g, central, {Layer::kLower, 0}, {},
+                                          2, 1.0, rng),
+               "candidates");
+}
+
+}  // namespace
+}  // namespace cne

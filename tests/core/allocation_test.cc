@@ -1,0 +1,125 @@
+#include "core/allocation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/theory.h"
+
+namespace cne {
+namespace {
+
+TEST(OptimalAlphaTest, StationaryPointOfQuadratic) {
+  // At the closed-form alpha the derivative of F w.r.t. alpha vanishes.
+  const double du = 5, dw = 100, eps1 = 1.0, eps2 = 0.9;
+  const double alpha = OptimalAlpha(du, dw, eps1, eps2);
+  const double h = 1e-6;
+  const double up = DoubleSourceExpectedL2(du, dw, alpha + h, eps1, eps2);
+  const double down = DoubleSourceExpectedL2(du, dw, alpha - h, eps1, eps2);
+  const double grad = (up - down) / (2 * h);
+  EXPECT_NEAR(grad, 0.0, 1e-6);
+}
+
+TEST(OptimalAlphaTest, SymmetricDegreesGiveHalf) {
+  EXPECT_NEAR(OptimalAlpha(10, 10, 1.0, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(OptimalAlpha(1, 1, 0.4, 1.6), 0.5, 1e-12);
+}
+
+TEST(OptimalAlphaTest, FavorsLowDegreeVertex) {
+  // f̃_u gets weight alpha; a huge deg_u pushes alpha toward 0.
+  EXPECT_LT(OptimalAlpha(1000, 2, 1.0, 1.0), 0.1);
+  EXPECT_GT(OptimalAlpha(2, 1000, 1.0, 1.0), 0.9);
+}
+
+TEST(OptimalAlphaTest, SwapSymmetry) {
+  const double a = OptimalAlpha(7, 31, 0.8, 1.2);
+  const double b = OptimalAlpha(31, 7, 0.8, 1.2);
+  EXPECT_NEAR(a + b, 1.0, 1e-12);
+}
+
+TEST(OptimalAlphaTest, LaplaceDominanceDrivesAlphaToHalf) {
+  // Tiny eps2 -> huge Laplace term B -> averaging wins regardless of the
+  // degree imbalance.
+  EXPECT_NEAR(OptimalAlpha(5, 500, 1.99, 0.01), 0.5, 0.05);
+}
+
+TEST(OptimizeDoubleSourceTest, SplitsSumToBudget) {
+  const AllocationResult r = OptimizeDoubleSource(2.0, 5, 10);
+  EXPECT_NEAR(r.epsilon1 + r.epsilon2, 2.0, 1e-9);
+  EXPECT_GT(r.epsilon1, 0.0);
+  EXPECT_GT(r.epsilon2, 0.0);
+  EXPECT_GE(r.alpha, 0.0);
+  EXPECT_LE(r.alpha, 1.0);
+}
+
+TEST(OptimizeDoubleSourceTest, BeatsFixedGridOfAllocations) {
+  // Theorem 9-style check: the optimized loss is no worse than any grid
+  // alternative, including the single-source corner cases alpha=0/1.
+  for (auto [du, dw] : {std::pair{5.0, 10.0}, {5.0, 100.0}, {50.0, 50.0}}) {
+    const AllocationResult best = OptimizeDoubleSource(2.0, du, dw);
+    for (double eps1 = 0.1; eps1 < 2.0; eps1 += 0.1) {
+      for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const double loss =
+            DoubleSourceExpectedL2(du, dw, alpha, eps1, 2.0 - eps1);
+        EXPECT_LE(best.predicted_loss, loss + 1e-6)
+            << "du=" << du << " dw=" << dw << " eps1=" << eps1
+            << " alpha=" << alpha;
+      }
+    }
+  }
+}
+
+TEST(OptimizeDoubleSourceTest, PredictedLossMatchesFormula) {
+  const AllocationResult r = OptimizeDoubleSource(2.0, 5, 100);
+  const double recomputed =
+      DoubleSourceExpectedL2(5, 100, r.alpha, r.epsilon1, r.epsilon2);
+  EXPECT_NEAR(r.predicted_loss, recomputed, 1e-9);
+}
+
+TEST(OptimizeDoubleSourceTest, LargerDegreesShiftBudgetToRr)  {
+  // Paper: with large degrees MultiR-DS devotes more budget to noisy graph
+  // construction (ε1).
+  const AllocationResult small = OptimizeDoubleSource(2.0, 3, 3);
+  const AllocationResult large = OptimizeDoubleSource(2.0, 300, 300);
+  EXPECT_GT(large.epsilon1, small.epsilon1);
+}
+
+TEST(OptimizeDoubleSourceTest, Figure5LeftPanel) {
+  // du=5, dw=10, ε=2: the balanced average (alpha≈0.5) is near-optimal
+  // (left panel of Fig. 5).
+  const AllocationResult r = OptimizeDoubleSource(2.0, 5, 10);
+  EXPECT_GT(r.alpha, 0.4);
+  EXPECT_LT(r.alpha, 0.7);
+}
+
+TEST(OptimizeDoubleSourceTest, Figure5RightPanel) {
+  // du=5, dw=100: f̃_u dominates (alpha near 1), matching the right panel
+  // where the alpha=1 curve attains the global minimum.
+  const AllocationResult r = OptimizeDoubleSource(2.0, 5, 100);
+  EXPECT_GT(r.alpha, 0.8);
+}
+
+TEST(OptimizeSingleSourceTest, AlphaPinnedToOne) {
+  const AllocationResult r = OptimizeSingleSource(2.0, 20);
+  EXPECT_DOUBLE_EQ(r.alpha, 1.0);
+  EXPECT_NEAR(r.epsilon1 + r.epsilon2, 2.0, 1e-9);
+}
+
+TEST(OptimizeSingleSourceTest, BeatsEvenSplitForLargeDegrees) {
+  // Section 4.2: optimizing the SS split only pays off when deg(u) is
+  // large; verify it never loses to the even split.
+  for (double deg : {2.0, 20.0, 200.0, 2000.0}) {
+    const AllocationResult r = OptimizeSingleSource(2.0, deg);
+    const double even = SingleSourceExpectedL2(deg, 1.0, 1.0);
+    EXPECT_LE(r.predicted_loss, even + 1e-9) << "deg " << deg;
+  }
+}
+
+TEST(OptimizeDoubleSourceDeathTest, RejectsBadInputs) {
+  EXPECT_DEATH(OptimizeDoubleSource(0.0, 5, 5), "budget");
+  EXPECT_DEATH(OptimizeDoubleSource(2.0, 0.0, 5), "positive");
+  EXPECT_DEATH(OptimizeDoubleSource(2.0, 5, -1.0), "positive");
+}
+
+}  // namespace
+}  // namespace cne

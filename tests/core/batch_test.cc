@@ -1,0 +1,93 @@
+#include "core/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/statistics.h"
+
+namespace cne {
+namespace {
+
+std::vector<QueryPair> StarQueries(VertexId hub_count) {
+  // Pairs (0, 1), (0, 2), ..., (0, hub_count): vertex 0 joins every pair.
+  std::vector<QueryPair> queries;
+  for (VertexId w = 1; w <= hub_count; ++w) {
+    queries.push_back({Layer::kLower, 0, w});
+  }
+  return queries;
+}
+
+TEST(BatchOneRTest, OneReleasePerDistinctVertex) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40, 8);
+  Rng rng(1);
+  const BatchResult r = BatchOneR(g, StarQueries(8), 2.0, rng);
+  EXPECT_EQ(r.answers.size(), 8u);
+  // Vertices involved: hub 0 plus 8 partners.
+  EXPECT_EQ(r.vertices_released, 9u);
+  EXPECT_GT(r.uploaded_bytes, 0.0);
+}
+
+TEST(BatchOneRTest, UnbiasedPerQuery) {
+  const BipartiteGraph g = PlantedCommonNeighbors(4, 3, 3, 40);
+  const std::vector<QueryPair> queries = {{Layer::kLower, 0, 1}};
+  Rng rng(2);
+  RunningStats stats;
+  for (int t = 0; t < 20000; ++t) {
+    stats.Add(BatchOneR(g, queries, 1.5, rng).answers[0].estimate);
+  }
+  EXPECT_NEAR(stats.Mean(), 4.0, 4.5 * stats.StdError());
+}
+
+TEST(BatchOneRTest, SharedReleaseIsConsistentAcrossQueries) {
+  // With a shared noisy graph, identical queries in one batch must get
+  // identical answers (pure post-processing on the same sets).
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  const std::vector<QueryPair> queries = {{Layer::kLower, 0, 1},
+                                          {Layer::kLower, 0, 1}};
+  Rng rng(3);
+  const BatchResult r = BatchOneR(g, queries, 2.0, rng);
+  EXPECT_DOUBLE_EQ(r.answers[0].estimate, r.answers[1].estimate);
+}
+
+TEST(BatchNaiveTest, MatchesIntersectionSemantics) {
+  // With a huge budget the noisy sets equal the true neighborhoods, so
+  // the naive batch returns the exact counts.
+  const BipartiteGraph g = PlantedCommonNeighbors(5, 2, 2, 20, 3);
+  const std::vector<QueryPair> queries = {{Layer::kLower, 0, 1},
+                                          {Layer::kLower, 0, 2}};
+  Rng rng(4);
+  const BatchResult r = BatchNaive(g, queries, 50.0, rng);
+  EXPECT_DOUBLE_EQ(r.answers[0].estimate, 5.0);
+  EXPECT_DOUBLE_EQ(r.answers[1].estimate, 0.0);
+}
+
+TEST(BatchTest, UploadGrowsWithDistinctVerticesNotQueries) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 500, 20);
+  Rng rng_a(5), rng_b(5);
+  // Same distinct vertex set {0..5}; different numbers of queries.
+  std::vector<QueryPair> few, many;
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId w = u + 1; w < 6; ++w) {
+      many.push_back({Layer::kLower, u, w});
+      if (w == u + 1) few.push_back({Layer::kLower, u, w});
+    }
+  }
+  const BatchResult a = BatchOneR(g, few, 2.0, rng_a);
+  const BatchResult b = BatchOneR(g, many, 2.0, rng_b);
+  EXPECT_EQ(a.vertices_released, 6u);
+  EXPECT_EQ(b.vertices_released, 6u);
+  EXPECT_DOUBLE_EQ(a.uploaded_bytes, b.uploaded_bytes);
+  EXPECT_GT(b.answers.size(), a.answers.size());
+}
+
+TEST(BatchDeathTest, RejectsEmptyAndMixedLayerBatches) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  Rng rng(6);
+  EXPECT_DEATH(BatchOneR(g, {}, 2.0, rng), "empty batch");
+  const std::vector<QueryPair> mixed = {{Layer::kLower, 0, 1},
+                                        {Layer::kUpper, 0, 1}};
+  EXPECT_DEATH(BatchOneR(g, mixed, 2.0, rng), "mixes");
+}
+
+}  // namespace
+}  // namespace cne

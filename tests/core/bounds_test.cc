@@ -1,0 +1,100 @@
+#include "core/bounds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/oner.h"
+#include "core/theory.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace cne {
+namespace {
+
+TEST(ChebyshevMultipleTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(ChebyshevMultiple(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ChebyshevMultiple(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(ChebyshevMultiple(0.01), 10.0);
+}
+
+TEST(ChebyshevIntervalTest, GeometryAndContainment) {
+  const ConfidenceInterval ci = ChebyshevInterval(10.0, 4.0, 0.75);
+  // k = 1/sqrt(0.25) = 2, sigma = 2 -> radius 4.
+  EXPECT_DOUBLE_EQ(ci.lower, 6.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 14.0);
+  EXPECT_DOUBLE_EQ(ci.Width(), 8.0);
+  EXPECT_TRUE(ci.Contains(10.0));
+  EXPECT_TRUE(ci.Contains(6.0));
+  EXPECT_FALSE(ci.Contains(14.0001));
+}
+
+TEST(ChebyshevIntervalTest, ZeroVarianceCollapses) {
+  const ConfidenceInterval ci = ChebyshevInterval(5.0, 0.0, 0.9);
+  EXPECT_DOUBLE_EQ(ci.Width(), 0.0);
+  EXPECT_TRUE(ci.Contains(5.0));
+}
+
+TEST(ChebyshevIntervalTest, EmpiricalCoverageOnOneR) {
+  // The interval built from the Theorem-4 variance must cover the true
+  // count at least `confidence` of the time (Chebyshev is conservative,
+  // so usually far more often).
+  const double c2 = 3, du = 8, dw = 5, n1 = 50, eps = 1.0;
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  const double variance = OneRExpectedL2(n1, du, dw, eps);
+  OneREstimator oner;
+  Rng rng(7);
+  const double confidence = 0.75;
+  int covered = 0;
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    const double f =
+        oner.Estimate(g, {Layer::kLower, 0, 1}, eps, rng).estimate;
+    covered += ChebyshevInterval(f, variance, confidence).Contains(c2);
+  }
+  EXPECT_GT(static_cast<double>(covered) / trials, confidence);
+}
+
+TEST(LaplaceIntervalTest, ExactTailInversion) {
+  // b = 2, confidence 1 - e^{-1}: radius must be exactly 2.
+  const double confidence = 1.0 - std::exp(-1.0);
+  const ConfidenceInterval ci = LaplaceInterval(0.0, 2.0, confidence);
+  EXPECT_NEAR(ci.upper, 2.0, 1e-12);
+  EXPECT_NEAR(ci.lower, -2.0, 1e-12);
+}
+
+TEST(LaplaceIntervalTest, TighterThanChebyshevAtHighConfidence) {
+  const double scale = 1.0;
+  const double variance = 2.0 * scale * scale;
+  const double confidence = 0.95;
+  const ConfidenceInterval laplace =
+      LaplaceInterval(0.0, scale, confidence);
+  const ConfidenceInterval chebyshev =
+      ChebyshevInterval(0.0, variance, confidence);
+  EXPECT_LT(laplace.Width(), chebyshev.Width());
+}
+
+TEST(LaplaceIntervalTest, EmpiricalCoverageIsExact) {
+  Rng rng(9);
+  const double scale = 1.5;
+  const double confidence = 0.9;
+  int covered = 0;
+  const int trials = 100000;
+  for (int t = 0; t < trials; ++t) {
+    const double noisy = 7.0 + rng.Laplace(scale);
+    covered += LaplaceInterval(noisy, scale, confidence).Contains(7.0);
+  }
+  // Exact coverage (within Monte-Carlo noise), not conservative.
+  EXPECT_NEAR(static_cast<double>(covered) / trials, confidence, 0.005);
+}
+
+TEST(BoundsDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH(ChebyshevInterval(0, 1, 0.0), "confidence");
+  EXPECT_DEATH(ChebyshevInterval(0, 1, 1.0), "confidence");
+  EXPECT_DEATH(ChebyshevInterval(0, -1, 0.5), "variance");
+  EXPECT_DEATH(LaplaceInterval(0, 0.0, 0.5), "scale");
+  EXPECT_DEATH(ChebyshevMultiple(0.0), "delta");
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,129 @@
+// Property suite: every protocol's reported budget diagnostics must
+// reconstruct exactly the ε the caller granted, its round count must
+// match its protocol definition, and its communication must scale the
+// way the Table 3 formulas say — across estimators, budgets, and graph
+// shapes.
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/central_dp.h"
+#include "core/multir_ds.h"
+#include "core/multir_ss.h"
+#include "core/naive.h"
+#include "core/oner.h"
+#include "graph/generators.h"
+#include "ldp/comm_model.h"
+
+namespace cne {
+namespace {
+
+struct RosterEntry {
+  const char* name;
+  int rounds;
+};
+
+std::unique_ptr<CommonNeighborEstimator> MakeByName(
+    const std::string& name) {
+  if (name == "Naive") return std::make_unique<NaiveEstimator>();
+  if (name == "OneR") return std::make_unique<OneREstimator>();
+  if (name == "MultiR-SS") return std::make_unique<MultiRSSEstimator>();
+  if (name == "MultiR-SS-Opt")
+    return std::make_unique<MultiRSSOptEstimator>();
+  if (name == "MultiR-DS") return MakeMultiRDS();
+  if (name == "MultiR-DS-Basic") return MakeMultiRDSBasic();
+  if (name == "MultiR-DS*") return MakeMultiRDSStar();
+  return std::make_unique<CentralDpEstimator>();
+}
+
+using Param = std::tuple<std::string, double>;
+
+class BudgetAccountingTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(BudgetAccountingTest, DiagnosticsReconstructEpsilon) {
+  const auto& [name, epsilon] = GetParam();
+  const auto estimator = MakeByName(name);
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  Rng rng(11);
+  for (int t = 0; t < 20; ++t) {
+    const EstimateResult r =
+        estimator->Estimate(g, {Layer::kLower, 0, 1}, epsilon, rng);
+    EXPECT_NEAR(r.epsilon0 + r.epsilon1 + r.epsilon2, epsilon, 1e-9)
+        << name;
+    EXPECT_GE(r.epsilon0, 0.0);
+    EXPECT_GE(r.epsilon1, 0.0);
+    EXPECT_GE(r.epsilon2, 0.0);
+  }
+}
+
+TEST_P(BudgetAccountingTest, RoundCountMatchesProtocol) {
+  const auto& [name, epsilon] = GetParam();
+  const auto estimator = MakeByName(name);
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  Rng rng(13);
+  const EstimateResult r =
+      estimator->Estimate(g, {Layer::kLower, 0, 1}, epsilon, rng);
+  int expected_rounds = 0;
+  if (name == "Naive" || name == "OneR") expected_rounds = 1;
+  if (name == "MultiR-SS" || name == "MultiR-DS-Basic" ||
+      name == "MultiR-DS*") {
+    expected_rounds = 2;
+  }
+  if (name == "MultiR-DS" || name == "MultiR-SS-Opt") expected_rounds = 3;
+  EXPECT_EQ(r.rounds, expected_rounds) << name;
+}
+
+TEST_P(BudgetAccountingTest, CommunicationShrinksWithEpsilon) {
+  // All local protocols are dominated by the RR edge volume, which is
+  // decreasing in the RR budget; compare ε to 4ε on a sparse graph.
+  const auto& [name, epsilon] = GetParam();
+  if (name == "CentralDP") return;  // no communication at all
+  const auto estimator = MakeByName(name);
+  const BipartiteGraph g = PlantedCommonNeighbors(2, 3, 3, 3000);
+  Rng rng(17);
+  double lo = 0, hi = 0;
+  for (int t = 0; t < 10; ++t) {
+    lo += estimator->Estimate(g, {Layer::kLower, 0, 1}, epsilon, rng)
+              .TotalBytes();
+    hi += estimator->Estimate(g, {Layer::kLower, 0, 1}, 4 * epsilon, rng)
+              .TotalBytes();
+  }
+  EXPECT_GT(lo, hi) << name;
+}
+
+TEST_P(BudgetAccountingTest, CentralHasZeroBytesLocalHasSome) {
+  const auto& [name, epsilon] = GetParam();
+  const auto estimator = MakeByName(name);
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 200);
+  Rng rng(19);
+  const EstimateResult r =
+      estimator->Estimate(g, {Layer::kLower, 0, 1}, epsilon, rng);
+  if (estimator->IsLocal()) {
+    EXPECT_GT(r.TotalBytes(), 0.0) << name;
+  } else {
+    EXPECT_DOUBLE_EQ(r.TotalBytes(), 0.0) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Roster, BudgetAccountingTest,
+    ::testing::Combine(
+        ::testing::Values("Naive", "OneR", "MultiR-SS", "MultiR-SS-Opt",
+                          "MultiR-DS", "MultiR-DS-Basic", "MultiR-DS*",
+                          "CentralDP"),
+        ::testing::Values(0.5, 2.0)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string label = std::get<0>(info.param) + "_eps" +
+                          std::to_string(static_cast<int>(
+                              std::get<1>(info.param) * 10));
+      for (char& c : label) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return label;
+    });
+
+}  // namespace
+}  // namespace cne

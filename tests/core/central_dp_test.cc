@@ -1,0 +1,64 @@
+#include "core/central_dp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/theory.h"
+#include "estimator_test_util.h"
+#include "graph/generators.h"
+
+namespace cne {
+namespace {
+
+using testing_util::MeanWithin;
+using testing_util::RunTrials;
+
+TEST(CentralDpTest, NameAndProperties) {
+  CentralDpEstimator central;
+  EXPECT_EQ(central.Name(), "CentralDP");
+  EXPECT_TRUE(central.IsUnbiased());
+  EXPECT_FALSE(central.IsLocal());
+}
+
+TEST(CentralDpTest, NoCommunication) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  CentralDpEstimator central;
+  Rng rng(1);
+  const EstimateResult r =
+      central.Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_DOUBLE_EQ(r.TotalBytes(), 0.0);
+}
+
+TEST(CentralDpTest, Unbiased) {
+  const BipartiteGraph g = PlantedCommonNeighbors(7, 5, 2, 40);
+  CentralDpEstimator central;
+  const RunningStats stats =
+      RunTrials(central, g, {Layer::kLower, 0, 1}, 2.0, 50000, 2);
+  EXPECT_TRUE(MeanWithin(stats, 7.0));
+}
+
+TEST(CentralDpTest, VarianceIsTwoOverEpsilonSquared) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  CentralDpEstimator central;
+  for (double eps : {1.0, 2.0}) {
+    const RunningStats stats =
+        RunTrials(central, g, {Layer::kLower, 0, 1}, eps, 50000,
+                  static_cast<uint64_t>(eps * 100));
+    const double theory = CentralDpExpectedL2(eps);
+    EXPECT_NEAR(stats.Variance(), theory, theory * 0.08) << "eps " << eps;
+  }
+}
+
+TEST(CentralDpTest, ErrorIndependentOfGraphSize) {
+  CentralDpEstimator central;
+  const BipartiteGraph small = PlantedCommonNeighbors(2, 2, 2, 10);
+  const BipartiteGraph large = PlantedCommonNeighbors(2, 2, 2, 5000);
+  const RunningStats s1 =
+      RunTrials(central, small, {Layer::kLower, 0, 1}, 2.0, 30000, 5);
+  const RunningStats s2 =
+      RunTrials(central, large, {Layer::kLower, 0, 1}, 2.0, 30000, 6);
+  EXPECT_NEAR(s1.Variance(), s2.Variance(), s1.Variance() * 0.1);
+}
+
+}  // namespace
+}  // namespace cne

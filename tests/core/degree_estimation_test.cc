@@ -1,0 +1,78 @@
+#include "core/degree_estimation.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "util/statistics.h"
+
+namespace cne {
+namespace {
+
+TEST(EstimateDegreeTest, UnbiasedWithLaplaceVariance) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  Rng rng(1);
+  const double eps0 = 0.5;
+  RunningStats stats;
+  for (int t = 0; t < 50000; ++t) {
+    stats.Add(EstimateDegree(g, {Layer::kLower, 0}, eps0, rng));
+  }
+  EXPECT_NEAR(stats.Mean(), 8.0, 5 * stats.StdError());
+  // Var = 2 / eps0^2 = 8.
+  EXPECT_NEAR(stats.Variance(), 8.0, 0.4);
+}
+
+TEST(EstimateAverageDegreeTest, SmallLayerExactPath) {
+  // 3 upper vertices with degrees 2, 1, 1 -> average 4/3.
+  GraphBuilder b(3, 4);
+  b.AddEdge(0, 0).AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3);
+  const BipartiteGraph g = b.Build();
+  Rng rng(2);
+  RunningStats stats;
+  for (int t = 0; t < 20000; ++t) {
+    stats.Add(EstimateAverageDegree(g, Layer::kUpper, 1.0, rng));
+  }
+  EXPECT_NEAR(stats.Mean(), 4.0 / 3.0, 5 * stats.StdError());
+  // Variance of the mean of 3 Laplace(1) draws: 2/3... plus nothing else.
+  EXPECT_NEAR(stats.Variance(), 2.0 / 3.0, 0.05);
+}
+
+TEST(EstimateAverageDegreeTest, LargeLayerCltPath) {
+  Rng gen(3);
+  const BipartiteGraph g = ErdosRenyiBipartite(10000, 100, 30000, gen);
+  Rng rng(4);
+  RunningStats stats;
+  const double eps0 = 0.1;
+  for (int t = 0; t < 5000; ++t) {
+    stats.Add(EstimateAverageDegree(g, Layer::kUpper, eps0, rng));
+  }
+  EXPECT_NEAR(stats.Mean(), 3.0, 5 * stats.StdError());
+  // Var = 2 / (eps0^2 n) = 200 / 10000 = 0.02.
+  EXPECT_NEAR(stats.Variance(), 0.02, 0.004);
+}
+
+TEST(EstimateAverageDegreeTest, EmptyLayerIsZero) {
+  const BipartiteGraph g;
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(EstimateAverageDegree(g, Layer::kUpper, 1.0, rng), 0.0);
+}
+
+TEST(CorrectDegreeEstimateTest, PassesThroughPositive) {
+  EXPECT_DOUBLE_EQ(CorrectDegreeEstimate(5.5, 3.0), 5.5);
+  EXPECT_DOUBLE_EQ(CorrectDegreeEstimate(0.1, 3.0), 0.1);
+}
+
+TEST(CorrectDegreeEstimateTest, ReplacesNonPositiveWithAverage) {
+  EXPECT_DOUBLE_EQ(CorrectDegreeEstimate(-2.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(CorrectDegreeEstimate(0.0, 3.0), 3.0);
+}
+
+TEST(CorrectDegreeEstimateTest, FloorsAtMinDegree) {
+  // Average itself may be tiny or negative from noise.
+  EXPECT_DOUBLE_EQ(CorrectDegreeEstimate(-2.0, 0.2), 1.0);
+  EXPECT_DOUBLE_EQ(CorrectDegreeEstimate(-2.0, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(CorrectDegreeEstimate(-2.0, 0.2, 0.1), 0.2);
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,40 @@
+// Shared Monte-Carlo helpers for the estimator test suites.
+
+#ifndef CNE_TESTS_CORE_ESTIMATOR_TEST_UTIL_H_
+#define CNE_TESTS_CORE_ESTIMATOR_TEST_UTIL_H_
+
+#include "core/estimator.h"
+#include "graph/bipartite_graph.h"
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace cne {
+namespace testing_util {
+
+/// Runs `trials` independent protocol executions and accumulates the
+/// estimates.
+inline RunningStats RunTrials(const CommonNeighborEstimator& estimator,
+                              const BipartiteGraph& graph,
+                              const QueryPair& query, double epsilon,
+                              int trials, uint64_t seed) {
+  Rng rng(seed);
+  RunningStats stats;
+  for (int t = 0; t < trials; ++t) {
+    stats.Add(estimator.Estimate(graph, query, epsilon, rng).estimate);
+  }
+  return stats;
+}
+
+/// Asserts-by-return that a Monte-Carlo mean is within `sigmas` standard
+/// errors of `expected` (the caller EXPECTs on the result for a readable
+/// failure message).
+inline bool MeanWithin(const RunningStats& stats, double expected,
+                       double sigmas = 4.0) {
+  return std::abs(stats.Mean() - expected) <=
+         sigmas * stats.StdError() + 1e-9;
+}
+
+}  // namespace testing_util
+}  // namespace cne
+
+#endif  // CNE_TESTS_CORE_ESTIMATOR_TEST_UTIL_H_

@@ -1,0 +1,100 @@
+// Robustness at budget extremes: tiny ε (near-maximal noise) must not
+// break numerics or unbiasedness, and huge ε (near-zero noise) must
+// recover the exact count.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/central_dp.h"
+#include "core/multir_ds.h"
+#include "core/multir_ss.h"
+#include "core/naive.h"
+#include "core/oner.h"
+#include "estimator_test_util.h"
+#include "graph/generators.h"
+
+namespace cne {
+namespace {
+
+using testing_util::MeanWithin;
+using testing_util::RunTrials;
+
+class ExtremeBudgetTest : public ::testing::Test {
+ protected:
+  const BipartiteGraph graph_ = PlantedCommonNeighbors(3, 4, 2, 30);
+  const QueryPair query_{Layer::kLower, 0, 1};
+};
+
+TEST_F(ExtremeBudgetTest, AllEstimatesFiniteAtTinyEpsilon) {
+  const double epsilon = 0.05;
+  Rng rng(1);
+  for (const auto& estimator : MakeAllEstimators()) {
+    for (int t = 0; t < 200; ++t) {
+      const double e =
+          estimator->Estimate(graph_, query_, epsilon, rng).estimate;
+      EXPECT_TRUE(std::isfinite(e)) << estimator->Name();
+    }
+  }
+}
+
+TEST_F(ExtremeBudgetTest, OneRStillUnbiasedAtTinyEpsilon) {
+  // p -> 1/2 makes the de-biasing denominator small; the estimator stays
+  // unbiased, just wildly spread.
+  OneREstimator oner;
+  const RunningStats stats = RunTrials(oner, graph_, query_, 0.2, 60000, 2);
+  EXPECT_TRUE(MeanWithin(stats, 3.0, 5.0))
+      << "mean " << stats.Mean() << " se " << stats.StdError();
+}
+
+TEST_F(ExtremeBudgetTest, NaiveApproachesHalfDomainAtTinyEpsilon) {
+  // At p ~ 1/2 every candidate is a noisy common neighbor w.p. ~1/4.
+  NaiveEstimator naive;
+  const RunningStats stats =
+      RunTrials(naive, graph_, query_, 0.01, 5000, 3);
+  const double n1 = 39.0;
+  EXPECT_NEAR(stats.Mean(), n1 / 4.0, 1.0);
+}
+
+TEST_F(ExtremeBudgetTest, HugeEpsilonRecoversExactCount) {
+  // ε = 25: flip probability ~1e-11 and Laplace scales ~1e-1 or less.
+  Rng rng(4);
+  for (const auto& estimator : MakeAllEstimators()) {
+    RunningStats stats;
+    for (int t = 0; t < 300; ++t) {
+      stats.Add(
+          estimator->Estimate(graph_, query_, 25.0, rng).estimate);
+    }
+    EXPECT_NEAR(stats.Mean(), 3.0, 0.2) << estimator->Name();
+  }
+}
+
+TEST_F(ExtremeBudgetTest, MultiRDSAllocationStaysInsideBudgetAtExtremes) {
+  auto ds = MakeMultiRDS();
+  Rng rng(5);
+  for (double epsilon : {0.05, 0.5, 8.0, 25.0}) {
+    const EstimateResult r = ds->Estimate(graph_, query_, epsilon, rng);
+    EXPECT_GT(r.epsilon1, 0.0) << "eps " << epsilon;
+    EXPECT_GT(r.epsilon2, 0.0) << "eps " << epsilon;
+    EXPECT_NEAR(r.epsilon0 + r.epsilon1 + r.epsilon2, epsilon, 1e-9);
+    EXPECT_GE(r.alpha, 0.0);
+    EXPECT_LE(r.alpha, 1.0);
+  }
+}
+
+TEST_F(ExtremeBudgetTest, ErrorMonotoneOverWideBudgetRange) {
+  MultiRSSEstimator ss;
+  double previous = 1e300;
+  for (double epsilon : {0.25, 1.0, 4.0, 16.0}) {
+    const RunningStats stats =
+        RunTrials(ss, graph_, query_, epsilon,
+                  8000, static_cast<uint64_t>(epsilon * 1000));
+    // The estimator is unbiased, so the spread is an error proxy.
+    const double mae_proxy = stats.StdDev();
+    EXPECT_LT(mae_proxy, previous) << "eps " << epsilon;
+    previous = mae_proxy;
+  }
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,189 @@
+#include "core/multir_ds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/multir_ss.h"
+#include "core/theory.h"
+#include "estimator_test_util.h"
+#include "graph/generators.h"
+
+namespace cne {
+namespace {
+
+using testing_util::MeanWithin;
+using testing_util::RunTrials;
+
+TEST(MultiRDSTest, VariantNames) {
+  EXPECT_EQ(MakeMultiRDS()->Name(), "MultiR-DS");
+  EXPECT_EQ(MakeMultiRDSBasic()->Name(), "MultiR-DS-Basic");
+  EXPECT_EQ(MakeMultiRDSStar()->Name(), "MultiR-DS*");
+}
+
+TEST(MultiRDSTest, BudgetAccounting) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  auto ds = MakeMultiRDS();
+  Rng rng(1);
+  const EstimateResult r = ds->Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+  EXPECT_EQ(r.rounds, 3);
+  EXPECT_DOUBLE_EQ(r.epsilon0, 0.1);  // 0.05 * 2.0
+  EXPECT_NEAR(r.epsilon0 + r.epsilon1 + r.epsilon2, 2.0, 1e-12);
+  EXPECT_GT(r.epsilon1, 0.0);
+  EXPECT_GT(r.epsilon2, 0.0);
+  EXPECT_GE(r.alpha, 0.0);
+  EXPECT_LE(r.alpha, 1.0);
+}
+
+TEST(MultiRDSTest, StarVariantSkipsDegreeRound) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  auto star = MakeMultiRDSStar();
+  Rng rng(2);
+  const EstimateResult r =
+      star->Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+  EXPECT_EQ(r.rounds, 2);
+  EXPECT_DOUBLE_EQ(r.epsilon0, 0.0);
+  EXPECT_NEAR(r.epsilon1 + r.epsilon2, 2.0, 1e-12);
+  // Star uses exact degrees.
+  EXPECT_DOUBLE_EQ(r.noisy_degree_u, 8.0);
+  EXPECT_DOUBLE_EQ(r.noisy_degree_w, 5.0);
+}
+
+TEST(MultiRDSTest, BasicVariantUsesFixedSplitAndHalfAlpha) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  auto basic = MakeMultiRDSBasic(0.3);
+  Rng rng(3);
+  const EstimateResult r =
+      basic->Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+  EXPECT_DOUBLE_EQ(r.epsilon0, 0.0);
+  EXPECT_DOUBLE_EQ(r.epsilon1, 0.6);
+  EXPECT_DOUBLE_EQ(r.epsilon2, 1.4);
+  EXPECT_DOUBLE_EQ(r.alpha, 0.5);
+}
+
+TEST(MultiRDSTest, UnbiasedDefaultVariant) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  auto ds = MakeMultiRDS();
+  const RunningStats stats =
+      RunTrials(*ds, g, {Layer::kLower, 0, 1}, 2.0, 25000, 4);
+  EXPECT_TRUE(MeanWithin(stats, 3.0))
+      << "mean " << stats.Mean() << " se " << stats.StdError();
+}
+
+TEST(MultiRDSTest, UnbiasedStarVariant) {
+  const BipartiteGraph g = PlantedCommonNeighbors(5, 3, 7, 60);
+  auto star = MakeMultiRDSStar();
+  const RunningStats stats =
+      RunTrials(*star, g, {Layer::kLower, 0, 1}, 2.0, 25000, 5);
+  EXPECT_TRUE(MeanWithin(stats, 5.0));
+}
+
+TEST(MultiRDSTest, UnbiasedBasicVariant) {
+  const BipartiteGraph g = PlantedCommonNeighbors(4, 4, 4, 50);
+  auto basic = MakeMultiRDSBasic();
+  const RunningStats stats =
+      RunTrials(*basic, g, {Layer::kLower, 0, 1}, 2.0, 25000, 6);
+  EXPECT_TRUE(MeanWithin(stats, 4.0));
+}
+
+TEST(MultiRDSTest, BasicVarianceMatchesTheorem8) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  const double du = 8, dw = 5;
+  auto basic = MakeMultiRDSBasic(0.5);
+  const RunningStats stats =
+      RunTrials(*basic, g, {Layer::kLower, 0, 1}, 2.0, 40000, 7);
+  const double theory = DoubleSourceExpectedL2(du, dw, 0.5, 1.0, 1.0);
+  EXPECT_NEAR(stats.Variance(), theory, theory * 0.1);
+}
+
+TEST(MultiRDSTest, StarBeatsSSOnImbalancedDegrees) {
+  // deg(u0) = 202, deg(u1) = 2: the paper's motivating case. The
+  // double-source optimizer should shift weight to the low-degree vertex
+  // and beat single-source-from-u.
+  const BipartiteGraph g = PlantedCommonNeighbors(2, 200, 0, 100);
+  auto star = MakeMultiRDSStar();
+  MultiRSSEstimator ss;
+  const QueryPair q{Layer::kLower, 0, 1};
+  const RunningStats star_stats = RunTrials(*star, g, q, 2.0, 15000, 8);
+  const RunningStats ss_stats = RunTrials(ss, g, q, 2.0, 15000, 9);
+  EXPECT_LT(star_stats.Variance(), ss_stats.Variance() * 0.5);
+}
+
+TEST(MultiRDSTest, AlphaFavorsLowDegreeVertex) {
+  const BipartiteGraph g = PlantedCommonNeighbors(2, 200, 0, 100);
+  auto star = MakeMultiRDSStar();
+  Rng rng(10);
+  // u has degree 202, w degree 2: f̃_w (weight 1 - alpha) should dominate.
+  const EstimateResult r =
+      star->Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+  EXPECT_LT(r.alpha, 0.3);
+  // Swapped: alpha should flip symmetrically.
+  const EstimateResult r2 =
+      star->Estimate(g, {Layer::kLower, 1, 0}, 2.0, rng);
+  EXPECT_GT(r2.alpha, 0.7);
+  EXPECT_NEAR(r.alpha + r2.alpha, 1.0, 1e-9);
+}
+
+TEST(MultiRDSTest, BalancedDegreesGiveHalfAlpha) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 4, 4, 50);
+  auto star = MakeMultiRDSStar();
+  Rng rng(11);
+  const EstimateResult r =
+      star->Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+  EXPECT_NEAR(r.alpha, 0.5, 1e-9);
+}
+
+TEST(MultiRDSTest, DegreeRoundProducesPlausibleEstimates) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  auto ds = MakeMultiRDS();
+  Rng rng(12);
+  RunningStats du_stats;
+  for (int t = 0; t < 2000; ++t) {
+    const EstimateResult r =
+        ds->Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+    EXPECT_GT(r.noisy_degree_u, 0.0);  // corrected to positive
+    du_stats.Add(r.noisy_degree_u);
+  }
+  // True degree 8. At ε0 = 0.1 the Laplace scale is 10, so ~22% of raw
+  // estimates are negative and get replaced by the layer average (~6.5);
+  // the corrected mean therefore sits above 8 but within a few units.
+  EXPECT_NEAR(du_stats.Mean(), 8.0, 4.0);
+}
+
+TEST(MultiRDSTest, CommunicationIncludesDegreeRound) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40, 100);
+  auto ds = MakeMultiRDS();
+  auto star = MakeMultiRDSStar();
+  Rng rng(13);
+  const double ds_bytes =
+      ds->Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng).uploaded_bytes;
+  const double star_bytes =
+      star->Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng).uploaded_bytes;
+  // DS uploads one scalar per query-layer vertex (102 of them) on top.
+  EXPECT_GT(ds_bytes, star_bytes + 8.0 * 100);
+}
+
+TEST(MultiRDSTest, OptimizerAllocatesMoreRrBudgetForLargeDegrees) {
+  auto star = MakeMultiRDSStar();
+  const BipartiteGraph small_deg = PlantedCommonNeighbors(2, 3, 3, 50);
+  const BipartiteGraph large_deg = PlantedCommonNeighbors(2, 300, 300, 50);
+  Rng rng(14);
+  const double eps1_small =
+      star->Estimate(small_deg, {Layer::kLower, 0, 1}, 2.0, rng).epsilon1;
+  const double eps1_large =
+      star->Estimate(large_deg, {Layer::kLower, 0, 1}, 2.0, rng).epsilon1;
+  EXPECT_GT(eps1_large, eps1_small);
+}
+
+TEST(MultiRDSTest, HandlesIsolatedQueryVertices) {
+  // Both query vertices isolated: protocol must not crash and stays
+  // unbiased around 0.
+  const BipartiteGraph g = PlantedCommonNeighbors(0, 0, 0, 30, 2);
+  auto ds = MakeMultiRDS();
+  const RunningStats stats =
+      RunTrials(*ds, g, {Layer::kLower, 2, 3}, 2.0, 8000, 15);
+  EXPECT_TRUE(MeanWithin(stats, 0.0, 5.0));
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/multir_ss.h"
+#include "core/theory.h"
+#include "estimator_test_util.h"
+#include "graph/generators.h"
+
+namespace cne {
+namespace {
+
+using testing_util::MeanWithin;
+using testing_util::RunTrials;
+
+TEST(MultiRSSOptTest, NameAndProperties) {
+  MultiRSSOptEstimator opt;
+  EXPECT_EQ(opt.Name(), "MultiR-SS-Opt");
+  EXPECT_TRUE(opt.IsUnbiased());
+}
+
+TEST(MultiRSSOptTest, PublicDegreeVariantSkipsDegreeRound) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  MultiRSSOptEstimator opt(0.05, /*public_degrees=*/true);
+  Rng rng(1);
+  const EstimateResult r = opt.Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+  EXPECT_EQ(r.rounds, 2);
+  EXPECT_DOUBLE_EQ(r.epsilon0, 0.0);
+  EXPECT_NEAR(r.epsilon1 + r.epsilon2, 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.noisy_degree_u, 8.0);
+  EXPECT_DOUBLE_EQ(r.alpha, 1.0);
+}
+
+TEST(MultiRSSOptTest, PrivateDegreeVariantChargesEpsilon0) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  MultiRSSOptEstimator opt;
+  Rng rng(2);
+  const EstimateResult r = opt.Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+  EXPECT_EQ(r.rounds, 3);
+  EXPECT_DOUBLE_EQ(r.epsilon0, 0.1);
+  EXPECT_NEAR(r.epsilon0 + r.epsilon1 + r.epsilon2, 2.0, 1e-12);
+}
+
+TEST(MultiRSSOptTest, Unbiased) {
+  const BipartiteGraph g = PlantedCommonNeighbors(4, 6, 3, 50);
+  MultiRSSOptEstimator opt;
+  const RunningStats stats =
+      RunTrials(opt, g, {Layer::kLower, 0, 1}, 2.0, 25000, 3);
+  EXPECT_TRUE(MeanWithin(stats, 4.0))
+      << "mean " << stats.Mean() << " se " << stats.StdError();
+}
+
+TEST(MultiRSSOptTest, BeatsEvenSplitOnLargeDegrees) {
+  // Section 4.2: the optimization pays off when deg(u) is large.
+  const BipartiteGraph g = PlantedCommonNeighbors(5, 400, 0, 100);
+  MultiRSSOptEstimator opt(0.05, /*public_degrees=*/true);
+  MultiRSSEstimator even;
+  const QueryPair q{Layer::kLower, 0, 1};
+  const RunningStats v_opt = RunTrials(opt, g, q, 2.0, 15000, 4);
+  const RunningStats v_even = RunTrials(even, g, q, 2.0, 15000, 5);
+  EXPECT_LT(v_opt.Variance(), v_even.Variance());
+}
+
+TEST(MultiRSSOptTest, NearEvenSplitOnSmallDegreesIsHarmless) {
+  // With small deg(u), the optimum is close to even and the optimized
+  // variant must not be substantially worse.
+  const BipartiteGraph g = PlantedCommonNeighbors(2, 2, 2, 60);
+  MultiRSSOptEstimator opt(0.05, /*public_degrees=*/true);
+  MultiRSSEstimator even;
+  const QueryPair q{Layer::kLower, 0, 1};
+  const RunningStats v_opt = RunTrials(opt, g, q, 2.0, 15000, 6);
+  const RunningStats v_even = RunTrials(even, g, q, 2.0, 15000, 7);
+  EXPECT_LT(v_opt.Variance(), v_even.Variance() * 1.15);
+}
+
+TEST(MultiRSSOptTest, PredictedSplitMatchesTheorySingleSourceOptimum) {
+  const BipartiteGraph g = PlantedCommonNeighbors(5, 95, 0, 50);
+  MultiRSSOptEstimator opt(0.05, /*public_degrees=*/true);
+  Rng rng(8);
+  const EstimateResult r = opt.Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+  // Re-derive: at the reported split, no nearby split should be better.
+  const double here =
+      SingleSourceExpectedL2(100.0, r.epsilon1, r.epsilon2);
+  for (double d : {-0.05, 0.05}) {
+    const double nearby = SingleSourceExpectedL2(
+        100.0, r.epsilon1 + d, r.epsilon2 - d);
+    EXPECT_GE(nearby, here - 1e-9);
+  }
+}
+
+TEST(MultiRSSOptDeathTest, RejectsBadEpsilon0Fraction) {
+  EXPECT_DEATH(MultiRSSOptEstimator(0.0), "fraction");
+  EXPECT_DEATH(MultiRSSOptEstimator(1.0), "fraction");
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,146 @@
+#include "core/multir_ss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/theory.h"
+#include "estimator_test_util.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "ldp/randomized_response.h"
+
+namespace cne {
+namespace {
+
+using testing_util::MeanWithin;
+using testing_util::RunTrials;
+
+TEST(MultiRSSTest, NameAndProperties) {
+  MultiRSSEstimator ss;
+  EXPECT_EQ(ss.Name(), "MultiR-SS");
+  EXPECT_TRUE(ss.IsUnbiased());
+}
+
+TEST(MultiRSSTest, TwoRoundsAndBudgetSplit) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  MultiRSSEstimator ss;
+  Rng rng(1);
+  const EstimateResult r = ss.Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+  EXPECT_EQ(r.rounds, 2);
+  EXPECT_DOUBLE_EQ(r.epsilon1, 1.0);
+  EXPECT_DOUBLE_EQ(r.epsilon2, 1.0);
+  EXPECT_DOUBLE_EQ(r.epsilon1 + r.epsilon2, 2.0);
+  EXPECT_GT(r.downloaded_bytes, 0.0);  // u downloads w's noisy edges
+}
+
+TEST(SingleSourceEstimateTest, ExactWhenNoisySetIsTruth) {
+  // If the "noisy" set equals w's true neighborhood and p -> 0, the
+  // estimator recovers C2 exactly.
+  GraphBuilder b(6, 2);
+  // u (lower 0): neighbors {0,1,2}; w (lower 1): neighbors {1,2,3}.
+  b.AddEdge(0, 0).AddEdge(1, 0).AddEdge(2, 0);
+  b.AddEdge(1, 1).AddEdge(2, 1).AddEdge(3, 1);
+  const BipartiteGraph g = b.Build();
+  const NoisyNeighborSet fake({1, 2, 3}, 6, /*flip_probability=*/1e-12);
+  const double f =
+      SingleSourceEstimate(g, {Layer::kLower, 0}, fake);
+  EXPECT_NEAR(f, 2.0, 1e-6);
+}
+
+TEST(SingleSourceEstimateTest, S1S2Decomposition) {
+  GraphBuilder b(10, 2);
+  for (VertexId v = 0; v < 5; ++v) b.AddEdge(v, 0);  // deg(u) = 5
+  b.AddEdge(0, 1);
+  const BipartiteGraph g = b.Build();
+  const double p = 0.25;
+  // Noisy set of w contains 2 of u's neighbors (0, 3) and 1 outsider (9).
+  const NoisyNeighborSet noisy({0, 3, 9}, 10, p);
+  const double q = 1 - 2 * p;
+  const double expected = 2 * (1 - p) / q - 3 * p / q;
+  EXPECT_NEAR(SingleSourceEstimate(g, {Layer::kLower, 0}, noisy), expected,
+              1e-12);
+}
+
+TEST(MultiRSSTest, UnbiasedOnPlantedGraph) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  MultiRSSEstimator ss;
+  const RunningStats stats =
+      RunTrials(ss, g, {Layer::kLower, 0, 1}, 2.0, 30000, 2);
+  EXPECT_TRUE(MeanWithin(stats, 3.0))
+      << "mean " << stats.Mean() << " se " << stats.StdError();
+}
+
+TEST(MultiRSSTest, UnbiasedAtLowBudget) {
+  const BipartiteGraph g = PlantedCommonNeighbors(4, 2, 2, 30);
+  MultiRSSEstimator ss;
+  const RunningStats stats =
+      RunTrials(ss, g, {Layer::kLower, 0, 1}, 0.5, 40000, 3);
+  EXPECT_TRUE(MeanWithin(stats, 4.0));
+}
+
+TEST(MultiRSSTest, VarianceMatchesTheorem6) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  const double du = 8;  // deg of lower vertex 0
+  MultiRSSEstimator ss;
+  const double epsilon = 2.0;
+  const RunningStats stats =
+      RunTrials(ss, g, {Layer::kLower, 0, 1}, epsilon, 40000, 5);
+  const double theory = SingleSourceExpectedL2(du, 1.0, 1.0);
+  EXPECT_NEAR(stats.Variance(), theory, theory * 0.1);
+}
+
+TEST(MultiRSSTest, LossIndependentOfCandidatePoolSize) {
+  // Unlike OneR, adding isolated opposite-layer vertices must not change
+  // the variance (Theorem 6 depends only on deg(u) and the split).
+  MultiRSSEstimator ss;
+  const BipartiteGraph small = PlantedCommonNeighbors(3, 5, 2, 20);
+  const BipartiteGraph large = PlantedCommonNeighbors(3, 5, 2, 2000);
+  const RunningStats s1 =
+      RunTrials(ss, small, {Layer::kLower, 0, 1}, 2.0, 20000, 7);
+  const RunningStats s2 =
+      RunTrials(ss, large, {Layer::kLower, 0, 1}, 2.0, 20000, 8);
+  EXPECT_NEAR(s1.Variance(), s2.Variance(), s1.Variance() * 0.15);
+}
+
+TEST(MultiRSSTest, AsymmetricInQueryOrder) {
+  // f̃_u uses deg(u); swapping the pair changes the variance when degrees
+  // are imbalanced.
+  const BipartiteGraph g = PlantedCommonNeighbors(2, 100, 0, 30);
+  MultiRSSEstimator ss;
+  // deg(u0)=102, deg(u1)=2.
+  const RunningStats big_first =
+      RunTrials(ss, g, {Layer::kLower, 0, 1}, 2.0, 15000, 9);
+  const RunningStats small_first =
+      RunTrials(ss, g, {Layer::kLower, 1, 0}, 2.0, 15000, 10);
+  EXPECT_GT(big_first.Variance(), 3 * small_first.Variance());
+}
+
+TEST(MultiRSSTest, CustomBudgetFraction) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  MultiRSSEstimator ss(0.25);
+  Rng rng(11);
+  const EstimateResult r = ss.Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+  EXPECT_DOUBLE_EQ(r.epsilon1, 0.5);
+  EXPECT_DOUBLE_EQ(r.epsilon2, 1.5);
+}
+
+TEST(MultiRSSDeathTest, RejectsDegenerateFraction) {
+  EXPECT_DEATH(MultiRSSEstimator(0.0), "fraction");
+  EXPECT_DEATH(MultiRSSEstimator(1.0), "fraction");
+}
+
+TEST(MultiRSSTest, CommunicationScalesWithOppositeLayer) {
+  MultiRSSEstimator ss;
+  const BipartiteGraph small = PlantedCommonNeighbors(2, 2, 2, 50);
+  const BipartiteGraph large = PlantedCommonNeighbors(2, 2, 2, 5000);
+  Rng rng(13);
+  const double small_bytes =
+      ss.Estimate(small, {Layer::kLower, 0, 1}, 2.0, rng).TotalBytes();
+  const double large_bytes =
+      ss.Estimate(large, {Layer::kLower, 0, 1}, 2.0, rng).TotalBytes();
+  EXPECT_GT(large_bytes, 10 * small_bytes);
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,115 @@
+#include "core/naive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/theory.h"
+#include "estimator_test_util.h"
+#include "graph/generators.h"
+
+namespace cne {
+namespace {
+
+using testing_util::MeanWithin;
+using testing_util::RunTrials;
+
+TEST(NaiveTest, NameAndProperties) {
+  NaiveEstimator naive;
+  EXPECT_EQ(naive.Name(), "Naive");
+  EXPECT_FALSE(naive.IsUnbiased());
+  EXPECT_TRUE(naive.IsLocal());
+}
+
+TEST(NaiveTest, SingleRoundAndCommunication) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  NaiveEstimator naive;
+  Rng rng(1);
+  const EstimateResult r =
+      naive.Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_GT(r.uploaded_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(r.downloaded_bytes, 0.0);
+}
+
+TEST(NaiveTest, EstimateIsNonNegativeInteger) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  NaiveEstimator naive;
+  Rng rng(2);
+  for (int t = 0; t < 50; ++t) {
+    const double e =
+        naive.Estimate(g, {Layer::kLower, 0, 1}, 1.0, rng).estimate;
+    EXPECT_GE(e, 0.0);
+    EXPECT_DOUBLE_EQ(e, std::floor(e));
+  }
+}
+
+TEST(NaiveTest, MeanMatchesTheoreticalExpectation) {
+  // Theory: E = c2 (1-p)^2 + exclusive p(1-p) + neither p^2.
+  const double c2 = 3, only_u = 5, only_w = 2, isolated = 40;
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  const double n1 = c2 + only_u + only_w + isolated;
+  const double epsilon = 1.0;
+  NaiveEstimator naive;
+  const RunningStats stats =
+      RunTrials(naive, g, {Layer::kLower, 0, 1}, epsilon, 20000, 3);
+  const double expected =
+      NaiveExpectedValue(n1, c2 + only_u, c2 + only_w, c2, epsilon);
+  EXPECT_TRUE(MeanWithin(stats, expected))
+      << "mean " << stats.Mean() << " expected " << expected;
+}
+
+TEST(NaiveTest, OvercountsOnSparseGraphs) {
+  // The headline failure: on a sparse graph the noisy graph is much denser
+  // and the naive count blows past the true value.
+  const BipartiteGraph g = PlantedCommonNeighbors(2, 3, 3, 500);
+  NaiveEstimator naive;
+  const RunningStats stats =
+      RunTrials(naive, g, {Layer::kLower, 0, 1}, 1.0, 4000, 5);
+  EXPECT_GT(stats.Mean(), 10.0);  // true count is 2
+}
+
+TEST(NaiveTest, EmpiricalL2MatchesTheory) {
+  const double c2 = 3, du = 8, dw = 5, n1 = 50;
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  const double epsilon = 2.0;
+  NaiveEstimator naive;
+  Rng rng(7);
+  RunningStats sq_err;
+  for (int t = 0; t < 20000; ++t) {
+    const double e =
+        naive.Estimate(g, {Layer::kLower, 0, 1}, epsilon, rng).estimate;
+    sq_err.Add((e - c2) * (e - c2));
+  }
+  const double theory = NaiveExpectedL2(n1, du, dw, c2, epsilon);
+  EXPECT_NEAR(sq_err.Mean(), theory, 5 * sq_err.StdError());
+}
+
+TEST(NaiveTest, HigherBudgetReducesError) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 200);
+  NaiveEstimator naive;
+  const QueryPair q{Layer::kLower, 0, 1};
+  RunningStats lo_err, hi_err;
+  Rng rng(9);
+  for (int t = 0; t < 3000; ++t) {
+    const double lo = naive.Estimate(g, q, 1.0, rng).estimate;
+    const double hi = naive.Estimate(g, q, 3.0, rng).estimate;
+    lo_err.Add(std::abs(lo - 3.0));
+    hi_err.Add(std::abs(hi - 3.0));
+  }
+  EXPECT_LT(hi_err.Mean(), lo_err.Mean());
+}
+
+TEST(NaiveTest, WorksOnUpperLayerQueries) {
+  // Two upper vertices sharing lower neighbors.
+  const BipartiteGraph g = CompleteBipartite(3, 10);
+  NaiveEstimator naive;
+  Rng rng(11);
+  const EstimateResult r =
+      naive.Estimate(g, {Layer::kUpper, 0, 1}, 2.0, rng);
+  EXPECT_GE(r.estimate, 0.0);
+  EXPECT_LE(r.estimate, 10.0);
+}
+
+}  // namespace
+}  // namespace cne

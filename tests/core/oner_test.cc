@@ -1,0 +1,121 @@
+#include "core/oner.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/theory.h"
+#include "estimator_test_util.h"
+#include "graph/generators.h"
+#include "ldp/randomized_response.h"
+
+namespace cne {
+namespace {
+
+using testing_util::MeanWithin;
+using testing_util::RunTrials;
+
+TEST(OneRTest, NameAndProperties) {
+  OneREstimator oner;
+  EXPECT_EQ(oner.Name(), "OneR");
+  EXPECT_TRUE(oner.IsUnbiased());
+  EXPECT_TRUE(oner.IsLocal());
+}
+
+TEST(OneRClosedFormTest, MatchesDirectSummation) {
+  // Direct sum of (A'[u,v]-p)(A'[v,w]-p)/(1-2p)^2 over all candidates vs
+  // the N1/N2 expansion, for a hand-built configuration.
+  const double p = 0.2;
+  const double q = 1.0 - 2 * p;
+  // 60 candidates: 4 in both noisy sets, 6 in exactly one, 50 in neither.
+  const double direct = (4 * (1 - p) * (1 - p) + 6 * (1 - p) * (0 - p) +
+                         50 * (0 - p) * (0 - p)) /
+                        (q * q);
+  const double closed = OneRClosedForm(4, 10, 60, p);
+  EXPECT_NEAR(closed, direct, 1e-12);
+}
+
+TEST(OneRClosedFormTest, PerfectRecoveryAtZeroFlip) {
+  // p = 0: noisy graph equals the true graph; the estimator returns N1.
+  EXPECT_DOUBLE_EQ(OneRClosedForm(7, 20, 100, 0.0), 7.0);
+}
+
+TEST(OneRTest, UnbiasedOnPlantedGraph) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  OneREstimator oner;
+  const RunningStats stats =
+      RunTrials(oner, g, {Layer::kLower, 0, 1}, 1.0, 20000, 2);
+  EXPECT_TRUE(MeanWithin(stats, 3.0))
+      << "mean " << stats.Mean() << " se " << stats.StdError();
+}
+
+TEST(OneRTest, UnbiasedWithZeroCommonNeighbors) {
+  const BipartiteGraph g = PlantedCommonNeighbors(0, 6, 6, 60);
+  OneREstimator oner;
+  const RunningStats stats =
+      RunTrials(oner, g, {Layer::kLower, 0, 1}, 1.5, 20000, 3);
+  EXPECT_TRUE(MeanWithin(stats, 0.0));
+}
+
+TEST(OneRTest, VarianceMatchesTheorem4) {
+  const double du = 8, dw = 5, n1 = 50;
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  OneREstimator oner;
+  const double epsilon = 1.0;
+  const RunningStats stats =
+      RunTrials(oner, g, {Layer::kLower, 0, 1}, epsilon, 40000, 5);
+  const double theory = OneRExpectedL2(n1, du, dw, epsilon);
+  // Variance of the sample variance: allow 10% tolerance at 40k samples.
+  EXPECT_NEAR(stats.Variance(), theory, theory * 0.1);
+}
+
+TEST(OneRTest, LowerVarianceThanNaiveBias) {
+  // OneR concentrates around the truth while Naive is shifted; compare
+  // mean absolute errors on a sparse graph.
+  const BipartiteGraph g = PlantedCommonNeighbors(2, 3, 3, 500);
+  OneREstimator oner;
+  Rng rng(7);
+  RunningStats abs_err;
+  for (int t = 0; t < 4000; ++t) {
+    abs_err.Add(std::abs(
+        oner.Estimate(g, {Layer::kLower, 0, 1}, 1.0, rng).estimate - 2.0));
+  }
+  // Naive's mean on this graph is > 10 (see naive_test); OneR's MAE must
+  // be far below that shift.
+  EXPECT_LT(abs_err.Mean(), 25.0);
+}
+
+TEST(OneRTest, SingleRoundCommunicationMatchesNaive) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  OneREstimator oner;
+  Rng rng(11);
+  const EstimateResult r = oner.Estimate(g, {Layer::kLower, 0, 1}, 2.0, rng);
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_GT(r.uploaded_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(r.downloaded_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(r.epsilon1, 2.0);
+}
+
+TEST(OneRTest, EstimateCanBeNegative) {
+  // Unbiasedness around small counts requires negative mass.
+  const BipartiteGraph g = PlantedCommonNeighbors(0, 2, 2, 300);
+  OneREstimator oner;
+  Rng rng(13);
+  bool saw_negative = false;
+  for (int t = 0; t < 2000 && !saw_negative; ++t) {
+    saw_negative =
+        oner.Estimate(g, {Layer::kLower, 0, 1}, 1.0, rng).estimate < 0;
+  }
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(OneRTest, UpperLayerQueriesUseLowerDomain) {
+  const BipartiteGraph g = CompleteBipartite(4, 25);
+  OneREstimator oner;
+  const RunningStats stats =
+      RunTrials(oner, g, {Layer::kUpper, 0, 1}, 2.0, 8000, 17);
+  EXPECT_TRUE(MeanWithin(stats, 25.0));
+}
+
+}  // namespace
+}  // namespace cne

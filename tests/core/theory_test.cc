@@ -1,0 +1,107 @@
+#include "core/theory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ldp/randomized_response.h"
+
+namespace cne {
+namespace {
+
+TEST(NaiveTheoryTest, ExpectedValueAtFullPrivacyLimit) {
+  // As epsilon -> infinity, p -> 0 and the naive count is exact.
+  EXPECT_NEAR(NaiveExpectedValue(1000, 20, 30, 7, 30.0), 7.0, 1e-6);
+}
+
+TEST(NaiveTheoryTest, OvercountGrowsWithGraphSize) {
+  const double small = NaiveExpectedValue(100, 10, 10, 2, 1.0);
+  const double large = NaiveExpectedValue(10000, 10, 10, 2, 1.0);
+  EXPECT_GT(large, small);
+  EXPECT_GT(large, 2.0);  // biased upward
+}
+
+TEST(NaiveTheoryTest, L2IncludesBiasSquared) {
+  // At any finite epsilon on a sparse graph, the bias dominates: L2 must
+  // be at least bias^2.
+  const double n1 = 10000, du = 10, dw = 10, c2 = 2, eps = 1.0;
+  const double bias = NaiveExpectedValue(n1, du, dw, c2, eps) - c2;
+  EXPECT_GE(NaiveExpectedL2(n1, du, dw, c2, eps), bias * bias);
+}
+
+TEST(OneRTheoryTest, ScalesLinearlyInN1) {
+  const double base = OneRExpectedL2(1000, 0, 0, 2.0);
+  const double doubled = OneRExpectedL2(2000, 0, 0, 2.0);
+  EXPECT_NEAR(doubled / base, 2.0, 1e-9);
+}
+
+TEST(OneRTheoryTest, DecreasesInEpsilon) {
+  EXPECT_GT(OneRExpectedL2(1000, 10, 10, 1.0),
+            OneRExpectedL2(1000, 10, 10, 2.0));
+  EXPECT_GT(OneRExpectedL2(1000, 10, 10, 2.0),
+            OneRExpectedL2(1000, 10, 10, 3.0));
+}
+
+TEST(OneRTheoryTest, MatchesManualFormula) {
+  const double eps = 1.7, n1 = 500, du = 12, dw = 7;
+  const double p = FlipProbability(eps);
+  const double s = p * (1 - p);
+  const double q = 1 - 2 * p;
+  const double expected = s * s / (q * q * q * q) * n1 + s / (q * q) * (du + dw);
+  EXPECT_NEAR(OneRExpectedL2(n1, du, dw, eps), expected, 1e-12);
+}
+
+TEST(SingleSourceTheoryTest, IndependentOfN1) {
+  // The expression takes no n1 argument at all — structural guarantee —
+  // but also verify it only depends on deg_u and the split.
+  EXPECT_DOUBLE_EQ(SingleSourceExpectedL2(10, 1.0, 1.0),
+                   SingleSourceExpectedL2(10, 1.0, 1.0));
+}
+
+TEST(SingleSourceTheoryTest, SplitsIntoRrAndLaplaceTerms) {
+  const double eps1 = 1.0, eps2 = 1.0;
+  const double with_deg = SingleSourceExpectedL2(10, eps1, eps2);
+  const double zero_deg = SingleSourceExpectedL2(0, eps1, eps2);
+  const double p = FlipProbability(eps1);
+  const double q = 1 - 2 * p;
+  // Degree contribution is p(1-p)/(1-2p)^2 per neighbor.
+  EXPECT_NEAR(with_deg - zero_deg, 10 * p * (1 - p) / (q * q), 1e-12);
+}
+
+TEST(DoubleSourceTheoryTest, CornersEqualSingleSource) {
+  const double du = 5, dw = 100, eps1 = 0.9, eps2 = 1.1;
+  EXPECT_NEAR(DoubleSourceExpectedL2(du, dw, 1.0, eps1, eps2),
+              SingleSourceExpectedL2(du, eps1, eps2), 1e-12);
+  EXPECT_NEAR(DoubleSourceExpectedL2(du, dw, 0.0, eps1, eps2),
+              SingleSourceExpectedL2(dw, eps1, eps2), 1e-12);
+}
+
+TEST(DoubleSourceTheoryTest, AveragingHalvesLaplaceTerm) {
+  // With equal degrees, alpha=1/2 halves the Laplace variance relative to
+  // a single source: F(1/2) = A d/2 + B/2 vs F(1) = A d + B.
+  const double d = 20, eps1 = 1.0, eps2 = 1.0;
+  const double half = DoubleSourceExpectedL2(d, d, 0.5, eps1, eps2);
+  const double single = DoubleSourceExpectedL2(d, d, 1.0, eps1, eps2);
+  EXPECT_NEAR(half, single / 2.0, 1e-12);
+}
+
+TEST(CentralTheoryTest, TwoOverEpsilonSquared) {
+  EXPECT_DOUBLE_EQ(CentralDpExpectedL2(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(CentralDpExpectedL2(2.0), 0.5);
+}
+
+TEST(OrderTest, Table3Hierarchy) {
+  // At realistic sizes: Naive >> OneR >> multi-round losses.
+  const double n1 = 1e5, eps = 2.0;
+  EXPECT_GT(NaiveL2Order(n1, eps), OneRL2Order(n1, eps));
+  EXPECT_GT(OneRL2Order(n1, eps), SingleSourceExpectedL2(100, 1.0, 1.0));
+}
+
+TEST(OrderTest, NaiveQuadraticOneRLinear) {
+  const double eps = 2.0;
+  EXPECT_NEAR(NaiveL2Order(2000, eps) / NaiveL2Order(1000, eps), 4.0, 1e-9);
+  EXPECT_NEAR(OneRL2Order(2000, eps) / OneRL2Order(1000, eps), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cne

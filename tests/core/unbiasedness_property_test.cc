@@ -1,0 +1,94 @@
+// Property suite: every estimator that claims IsUnbiased() must have
+// Monte-Carlo mean equal to C2(u, w) — across privacy budgets, graph
+// shapes, and degree configurations.
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/central_dp.h"
+#include "core/multir_ds.h"
+#include "core/multir_ss.h"
+#include "core/oner.h"
+#include "estimator_test_util.h"
+#include "graph/generators.h"
+
+namespace cne {
+namespace {
+
+using testing_util::RunTrials;
+
+// A graph shape with a known query pair and C2.
+struct Shape {
+  std::string name;
+  VertexId common;
+  VertexId only_u;
+  VertexId only_w;
+  VertexId isolated;
+};
+
+std::unique_ptr<CommonNeighborEstimator> MakeByName(const std::string& name) {
+  if (name == "OneR") return std::make_unique<OneREstimator>();
+  if (name == "MultiR-SS") return std::make_unique<MultiRSSEstimator>();
+  if (name == "MultiR-DS") return MakeMultiRDS();
+  if (name == "MultiR-DS-Basic") return MakeMultiRDSBasic();
+  if (name == "MultiR-DS*") return MakeMultiRDSStar();
+  if (name == "CentralDP") return std::make_unique<CentralDpEstimator>();
+  ADD_FAILURE() << "unknown estimator " << name;
+  return nullptr;
+}
+
+using Param = std::tuple<std::string, double, Shape>;
+
+class UnbiasednessTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(UnbiasednessTest, MeanEqualsTrueCount) {
+  const auto& [name, epsilon, shape] = GetParam();
+  const auto estimator = MakeByName(name);
+  ASSERT_NE(estimator, nullptr);
+  ASSERT_TRUE(estimator->IsUnbiased());
+  const BipartiteGraph g = PlantedCommonNeighbors(
+      shape.common, shape.only_u, shape.only_w, shape.isolated);
+  const double truth = shape.common;
+  // Seed derived from the parameters for reproducibility.
+  const uint64_t seed = std::hash<std::string>{}(name) ^
+                        static_cast<uint64_t>(epsilon * 1000) ^
+                        (shape.common * 131);
+  const RunningStats stats = RunTrials(*estimator, g, {Layer::kLower, 0, 1},
+                                       epsilon, 6000, seed);
+  // 4.5-sigma band plus a small absolute tolerance for rounding.
+  EXPECT_NEAR(stats.Mean(), truth, 4.5 * stats.StdError() + 0.02)
+      << name << " eps=" << epsilon << " shape=" << shape.name;
+}
+
+const Shape kShapes[] = {
+    {"balanced", 3, 5, 5, 40},
+    {"zero-common", 0, 6, 6, 50},
+    {"imbalanced", 2, 60, 1, 30},
+    {"dense-common", 20, 2, 2, 10},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnbiasedEstimators, UnbiasednessTest,
+    ::testing::Combine(
+        ::testing::Values("OneR", "MultiR-SS", "MultiR-DS", "MultiR-DS-Basic",
+                          "MultiR-DS*", "CentralDP"),
+        ::testing::Values(0.5, 1.0, 2.0, 3.0),
+        ::testing::ValuesIn(kShapes)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      const std::string& name = std::get<0>(info.param);
+      const double epsilon = std::get<1>(info.param);
+      const Shape& shape = std::get<2>(info.param);
+      std::string label = name + "_eps" +
+                          std::to_string(static_cast<int>(epsilon * 10)) +
+                          "_" + shape.name;
+      for (char& c : label) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return label;
+    });
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,112 @@
+#include "eval/datasets.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace cne {
+namespace {
+
+TEST(DatasetRegistryTest, FifteenDatasetsInTableOrder) {
+  const auto& all = AllDatasets();
+  ASSERT_EQ(all.size(), 15u);
+  EXPECT_EQ(all.front().code, "RM");
+  EXPECT_EQ(all.back().code, "OG");
+}
+
+TEST(DatasetRegistryTest, CodesAreUnique) {
+  std::set<std::string> codes;
+  for (const auto& spec : AllDatasets()) codes.insert(spec.code);
+  EXPECT_EQ(codes.size(), AllDatasets().size());
+}
+
+TEST(DatasetRegistryTest, PaperSizesMatchTable2) {
+  const auto rm = FindDataset("RM");
+  ASSERT_TRUE(rm.has_value());
+  EXPECT_EQ(rm->paper_upper, 1200u);
+  EXPECT_EQ(rm->paper_lower, 8100u);
+  EXPECT_EQ(rm->paper_edges, 58000u);
+  const auto og = FindDataset("OG");
+  ASSERT_TRUE(og.has_value());
+  EXPECT_EQ(og->paper_edges, 327'000'000u);
+}
+
+TEST(DatasetRegistryTest, SmallDatasetsAreFullScale) {
+  for (const char* code : {"RM", "AC", "OC", "DA", "BP", "MT", "BX", "SO",
+                           "TM"}) {
+    const auto spec = FindDataset(code);
+    ASSERT_TRUE(spec.has_value()) << code;
+    EXPECT_EQ(spec->gen_upper, spec->paper_upper) << code;
+    EXPECT_EQ(spec->gen_lower, spec->paper_lower) << code;
+    EXPECT_EQ(spec->gen_edges, spec->paper_edges) << code;
+  }
+}
+
+TEST(DatasetRegistryTest, LargeDatasetsAreScaledDown) {
+  for (const char* code : {"WC", "ML", "ER", "NX", "DUI", "OG"}) {
+    const auto spec = FindDataset(code);
+    ASSERT_TRUE(spec.has_value()) << code;
+    EXPECT_LT(spec->gen_edges, spec->paper_edges) << code;
+    EXPECT_LE(spec->gen_edges, 2'100'000u) << code;
+  }
+}
+
+TEST(DatasetRegistryTest, LookupIsCaseInsensitiveWithAlias) {
+  EXPECT_TRUE(FindDataset("rm").has_value());
+  EXPECT_TRUE(FindDataset("Rm").has_value());
+  // Fig. 6 axis label "DU" aliases Delicious-ui.
+  const auto du = FindDataset("DU");
+  ASSERT_TRUE(du.has_value());
+  EXPECT_EQ(du->code, "DUI");
+  EXPECT_FALSE(FindDataset("NOPE").has_value());
+}
+
+TEST(DatasetRegistryTest, CandidatePoolIsOppositeLayer) {
+  const auto rm = FindDataset("RM");
+  ASSERT_TRUE(rm.has_value());
+  ASSERT_EQ(rm->query_layer, Layer::kUpper);
+  EXPECT_EQ(rm->CandidatePoolSize(), rm->gen_lower);
+}
+
+TEST(MakeDatasetTest, GeneratesRequestedShape) {
+  const auto rm = FindDataset("RM");
+  ASSERT_TRUE(rm.has_value());
+  const BipartiteGraph g = MakeDataset(*rm);
+  EXPECT_EQ(g.NumUpper(), rm->gen_upper);
+  EXPECT_EQ(g.NumLower(), rm->gen_lower);
+  EXPECT_EQ(g.NumEdges(), rm->gen_edges);
+}
+
+TEST(MakeDatasetTest, DeterministicAcrossCalls) {
+  const auto rm = FindDataset("RM");
+  ASSERT_TRUE(rm.has_value());
+  const BipartiteGraph g1 = MakeDataset(*rm);
+  const BipartiteGraph g2 = MakeDataset(*rm);
+  EXPECT_EQ(g1.EdgeList(), g2.EdgeList());
+}
+
+TEST(MakeDatasetTest, PowerLawSkew) {
+  const auto rm = FindDataset("RM");
+  ASSERT_TRUE(rm.has_value());
+  const BipartiteGraph g = MakeDataset(*rm);
+  EXPECT_GT(g.MaxDegree(Layer::kUpper),
+            5 * static_cast<VertexId>(g.AverageDegree(Layer::kUpper)));
+}
+
+TEST(ResolveDatasetsTest, EmptyMeansAll) {
+  EXPECT_EQ(ResolveDatasets({}).size(), 15u);
+}
+
+TEST(ResolveDatasetsTest, SubsetInOrderGiven) {
+  const auto specs = ResolveDatasets({"TM", "RM"});
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].code, "TM");
+  EXPECT_EQ(specs[1].code, "RM");
+}
+
+TEST(ResolveDatasetsDeathTest, UnknownCodeIsFatal) {
+  EXPECT_DEATH(ResolveDatasets({"XX"}), "unknown dataset");
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,93 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/central_dp.h"
+#include "core/multir_ss.h"
+#include "core/naive.h"
+#include "eval/query_sampler.h"
+#include "graph/generators.h"
+
+namespace cne {
+namespace {
+
+TEST(RunEstimatorTest, PopulatesAllMetrics) {
+  Rng gen(1);
+  const BipartiteGraph g = ErdosRenyiBipartite(60, 60, 600, gen);
+  Rng rng(2);
+  const auto pairs = SampleUniformPairs(g, Layer::kLower, 20, rng);
+  MultiRSSEstimator ss;
+  ExperimentConfig config;
+  config.epsilon = 2.0;
+  const EstimatorMetrics m = RunEstimator(g, ss, pairs, config, rng);
+  EXPECT_EQ(m.estimator, "MultiR-SS");
+  EXPECT_EQ(m.num_queries, 20u);
+  EXPECT_GE(m.mean_absolute_error, 0.0);
+  EXPECT_GE(m.mean_squared_error, 0.0);
+  EXPECT_GT(m.mean_comm_bytes, 0.0);
+  EXPECT_GT(m.total_seconds, 0.0);
+  EXPECT_GE(m.mean_truth, 0.0);
+}
+
+TEST(RunEstimatorTest, TrialsMultiplyQueries) {
+  Rng gen(3);
+  const BipartiteGraph g = ErdosRenyiBipartite(30, 30, 200, gen);
+  Rng rng(4);
+  const auto pairs = SampleUniformPairs(g, Layer::kLower, 5, rng);
+  CentralDpEstimator central;
+  ExperimentConfig config;
+  config.trials_per_pair = 7;
+  const EstimatorMetrics m = RunEstimator(g, central, pairs, config, rng);
+  EXPECT_EQ(m.num_queries, 35u);
+}
+
+TEST(RunEstimatorTest, CentralDpErrorNearLaplaceExpectation) {
+  Rng gen(5);
+  const BipartiteGraph g = ErdosRenyiBipartite(40, 40, 300, gen);
+  Rng rng(6);
+  const auto pairs = SampleUniformPairs(g, Layer::kLower, 50, rng);
+  CentralDpEstimator central;
+  ExperimentConfig config;
+  config.epsilon = 2.0;
+  config.trials_per_pair = 40;
+  const EstimatorMetrics m = RunEstimator(g, central, pairs, config, rng);
+  // E|Lap(1/2)| = 1/2.
+  EXPECT_NEAR(m.mean_absolute_error, 0.5, 0.08);
+}
+
+TEST(RunAllEstimatorsTest, OneMetricsPerEstimator) {
+  Rng gen(7);
+  const BipartiteGraph g = ErdosRenyiBipartite(50, 50, 400, gen);
+  Rng rng(8);
+  const auto pairs = SampleUniformPairs(g, Layer::kLower, 10, rng);
+  std::vector<std::unique_ptr<CommonNeighborEstimator>> roster;
+  roster.push_back(std::make_unique<NaiveEstimator>());
+  roster.push_back(std::make_unique<MultiRSSEstimator>());
+  const auto all = RunAllEstimators(g, roster, pairs, {}, rng);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].estimator, "Naive");
+  EXPECT_EQ(all[1].estimator, "MultiR-SS");
+}
+
+TEST(RunAllEstimatorsTest, IndependentStreamsAreReproducible) {
+  Rng gen(9);
+  const BipartiteGraph g = ErdosRenyiBipartite(50, 50, 400, gen);
+  Rng sample_rng(10);
+  const auto pairs = SampleUniformPairs(g, Layer::kLower, 10, sample_rng);
+  std::vector<std::unique_ptr<CommonNeighborEstimator>> roster;
+  roster.push_back(std::make_unique<MultiRSSEstimator>());
+  Rng rng_a(42), rng_b(42);
+  const auto a = RunAllEstimators(g, roster, pairs, {}, rng_a);
+  const auto b = RunAllEstimators(g, roster, pairs, {}, rng_b);
+  EXPECT_DOUBLE_EQ(a[0].mean_absolute_error, b[0].mean_absolute_error);
+}
+
+TEST(MakeAllEstimatorsTest, FullRoster) {
+  const auto roster = MakeAllEstimators();
+  ASSERT_EQ(roster.size(), 6u);
+  EXPECT_EQ(roster[0]->Name(), "Naive");
+  EXPECT_EQ(roster[5]->Name(), "CentralDP");
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,104 @@
+#include "eval/query_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace cne {
+namespace {
+
+TEST(UniformPairsTest, CountLayerAndDistinctness) {
+  Rng gen(1);
+  const BipartiteGraph g = ErdosRenyiBipartite(100, 80, 500, gen);
+  Rng rng(2);
+  const auto pairs = SampleUniformPairs(g, Layer::kUpper, 50, rng);
+  ASSERT_EQ(pairs.size(), 50u);
+  for (const QueryPair& p : pairs) {
+    EXPECT_EQ(p.layer, Layer::kUpper);
+    EXPECT_NE(p.u, p.w);
+    EXPECT_LT(p.u, 100u);
+    EXPECT_LT(p.w, 100u);
+  }
+}
+
+TEST(UniformPairsTest, CoversTheLayer) {
+  Rng gen(3);
+  const BipartiteGraph g = ErdosRenyiBipartite(10, 10, 50, gen);
+  Rng rng(4);
+  const auto pairs = SampleUniformPairs(g, Layer::kLower, 500, rng);
+  std::vector<int> seen(10, 0);
+  for (const QueryPair& p : pairs) {
+    ++seen[p.u];
+    ++seen[p.w];
+  }
+  for (int c : seen) EXPECT_GT(c, 50);  // expected 100 each
+}
+
+TEST(UniformPairsTest, TwoVertexLayer) {
+  GraphBuilder b(2, 3);
+  b.AddEdge(0, 0).AddEdge(1, 1);
+  const BipartiteGraph g = b.Build();
+  Rng rng(5);
+  const auto pairs = SampleUniformPairs(g, Layer::kUpper, 10, rng);
+  for (const QueryPair& p : pairs) {
+    EXPECT_NE(p.u, p.w);
+  }
+}
+
+TEST(ImbalancedPairsTest, RespectsKappa) {
+  Rng gen(6);
+  const BipartiteGraph g = ChungLuPowerLaw(2000, 2000, 20000, 2.0, gen);
+  Rng rng(7);
+  for (double kappa : {1.0, 10.0, 50.0}) {
+    const auto pairs =
+        SampleImbalancedPairs(g, Layer::kUpper, kappa, 30, rng);
+    for (const QueryPair& p : pairs) {
+      const double du = g.Degree(p.layer, p.u);
+      const double dw = g.Degree(p.layer, p.w);
+      EXPECT_GE(std::min(du, dw), 1.0);
+      EXPECT_GT(std::max(du, dw), kappa * std::min(du, dw))
+          << "kappa=" << kappa;
+    }
+  }
+}
+
+TEST(ImbalancedPairsTest, ReturnsEmptyWhenImpossible) {
+  // Regular graph: every degree equal, no pair can exceed kappa=2.
+  const BipartiteGraph g = CompleteBipartite(10, 10);
+  Rng rng(8);
+  const auto pairs = SampleImbalancedPairs(g, Layer::kUpper, 2.0, 5, rng);
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(ImbalancedPairsTest, SkipsIsolatedVertices) {
+  // Isolated vertices can never appear (min degree 1 required).
+  const BipartiteGraph g = PlantedCommonNeighbors(2, 30, 0, 10, 5);
+  Rng rng(9);
+  const auto pairs = SampleImbalancedPairs(g, Layer::kLower, 3.0, 10, rng);
+  for (const QueryPair& p : pairs) {
+    EXPECT_GE(g.Degree(p.layer, p.u), 1u);
+    EXPECT_GE(g.Degree(p.layer, p.w), 1u);
+  }
+}
+
+TEST(FindPairWithDegreesTest, ExactMatchesWhenPresent) {
+  // Lower degrees: u0 -> 8, u1 -> 2 (planted 2+6 exclusive / 2+0).
+  const BipartiteGraph g = PlantedCommonNeighbors(2, 6, 0, 10);
+  const QueryPair p =
+      FindPairWithDegrees(g, Layer::kLower, 8, 2);
+  EXPECT_EQ(g.Degree(p.layer, p.u), 8u);
+  EXPECT_EQ(g.Degree(p.layer, p.w), 2u);
+  EXPECT_NE(p.u, p.w);
+}
+
+TEST(FindPairWithDegreesTest, ApproximatesWhenAbsent) {
+  const BipartiteGraph g = PlantedCommonNeighbors(2, 6, 0, 10);
+  // No vertex has degree 100; the closest (8) is chosen, distinct from w.
+  const QueryPair p = FindPairWithDegrees(g, Layer::kLower, 100, 2);
+  EXPECT_NE(p.u, p.w);
+  EXPECT_EQ(g.Degree(p.layer, p.u), 8u);
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,183 @@
+#include "graph/bipartite_graph.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cne {
+namespace {
+
+// Fixture graph:
+//   u0 - {l0, l1, l2}
+//   u1 - {l1, l2, l3}
+//   u2 - {l3}
+BipartiteGraph MakeFixture() {
+  GraphBuilder b(3, 4);
+  b.AddEdge(0, 0).AddEdge(0, 1).AddEdge(0, 2);
+  b.AddEdge(1, 1).AddEdge(1, 2).AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  return b.Build();
+}
+
+TEST(BipartiteGraphTest, EmptyGraph) {
+  BipartiteGraph g;
+  EXPECT_EQ(g.NumUpper(), 0u);
+  EXPECT_EQ(g.NumLower(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.TotalVertices(), 0u);
+}
+
+TEST(BipartiteGraphTest, Counts) {
+  const BipartiteGraph g = MakeFixture();
+  EXPECT_EQ(g.NumUpper(), 3u);
+  EXPECT_EQ(g.NumLower(), 4u);
+  EXPECT_EQ(g.NumEdges(), 7u);
+  EXPECT_EQ(g.TotalVertices(), 7u);
+  EXPECT_EQ(g.NumVertices(Layer::kUpper), 3u);
+  EXPECT_EQ(g.NumVertices(Layer::kLower), 4u);
+}
+
+TEST(BipartiteGraphTest, NeighborsSortedBothDirections) {
+  const BipartiteGraph g = MakeFixture();
+  const auto nb_u0 = g.Neighbors(Layer::kUpper, 0);
+  ASSERT_EQ(nb_u0.size(), 3u);
+  EXPECT_EQ(nb_u0[0], 0u);
+  EXPECT_EQ(nb_u0[1], 1u);
+  EXPECT_EQ(nb_u0[2], 2u);
+
+  const auto nb_l1 = g.Neighbors(Layer::kLower, 1);
+  ASSERT_EQ(nb_l1.size(), 2u);
+  EXPECT_EQ(nb_l1[0], 0u);
+  EXPECT_EQ(nb_l1[1], 1u);
+
+  const auto nb_l3 = g.Neighbors(Layer::kLower, 3);
+  ASSERT_EQ(nb_l3.size(), 2u);
+  EXPECT_EQ(nb_l3[0], 1u);
+  EXPECT_EQ(nb_l3[1], 2u);
+}
+
+TEST(BipartiteGraphTest, LayeredVertexOverloads) {
+  const BipartiteGraph g = MakeFixture();
+  const LayeredVertex v{Layer::kUpper, 1};
+  EXPECT_EQ(g.Neighbors(v).size(), 3u);
+  EXPECT_EQ(g.Degree(v), 3u);
+}
+
+TEST(BipartiteGraphTest, Degrees) {
+  const BipartiteGraph g = MakeFixture();
+  EXPECT_EQ(g.Degree(Layer::kUpper, 0), 3u);
+  EXPECT_EQ(g.Degree(Layer::kUpper, 2), 1u);
+  EXPECT_EQ(g.Degree(Layer::kLower, 0), 1u);
+  EXPECT_EQ(g.Degree(Layer::kLower, 3), 2u);
+}
+
+TEST(BipartiteGraphTest, HasEdge) {
+  const BipartiteGraph g = MakeFixture();
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(2, 0));
+}
+
+TEST(BipartiteGraphTest, CommonNeighborsUpperLayer) {
+  const BipartiteGraph g = MakeFixture();
+  // u0 and u1 share l1, l2.
+  EXPECT_EQ(g.CountCommonNeighbors(Layer::kUpper, 0, 1), 2u);
+  // u0 and u2 share nothing.
+  EXPECT_EQ(g.CountCommonNeighbors(Layer::kUpper, 0, 2), 0u);
+  // u1 and u2 share l3.
+  EXPECT_EQ(g.CountCommonNeighbors(Layer::kUpper, 1, 2), 1u);
+}
+
+TEST(BipartiteGraphTest, CommonNeighborsLowerLayer) {
+  const BipartiteGraph g = MakeFixture();
+  // l1 and l2 both see u0 and u1.
+  EXPECT_EQ(g.CountCommonNeighbors(Layer::kLower, 1, 2), 2u);
+  // l0 and l3 share nothing.
+  EXPECT_EQ(g.CountCommonNeighbors(Layer::kLower, 0, 3), 0u);
+}
+
+TEST(BipartiteGraphTest, CommonNeighborsSelfPair) {
+  const BipartiteGraph g = MakeFixture();
+  EXPECT_EQ(g.CountCommonNeighbors(Layer::kUpper, 0, 0), 3u);
+}
+
+TEST(BipartiteGraphTest, UnionNeighbors) {
+  const BipartiteGraph g = MakeFixture();
+  EXPECT_EQ(g.CountUnionNeighbors(Layer::kUpper, 0, 1), 4u);
+  EXPECT_EQ(g.CountUnionNeighbors(Layer::kUpper, 0, 2), 4u);
+}
+
+TEST(BipartiteGraphTest, MaxAndAverageDegree) {
+  const BipartiteGraph g = MakeFixture();
+  EXPECT_EQ(g.MaxDegree(Layer::kUpper), 3u);
+  EXPECT_EQ(g.MaxDegree(Layer::kLower), 2u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(Layer::kUpper), 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(Layer::kLower), 7.0 / 4.0);
+}
+
+TEST(BipartiteGraphTest, EdgeListRoundTrip) {
+  const BipartiteGraph g = MakeFixture();
+  const std::vector<Edge> edges = g.EdgeList();
+  ASSERT_EQ(edges.size(), 7u);
+  const BipartiteGraph g2(g.NumUpper(), g.NumLower(), edges);
+  EXPECT_EQ(g2.NumEdges(), g.NumEdges());
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    for (VertexId l = 0; l < g.NumLower(); ++l) {
+      EXPECT_EQ(g.HasEdge(u, l), g2.HasEdge(u, l));
+    }
+  }
+}
+
+TEST(BipartiteGraphTest, IsolatedVertices) {
+  GraphBuilder b(5, 5);
+  b.AddEdge(0, 0);
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.Degree(Layer::kUpper, 4), 0u);
+  EXPECT_TRUE(g.Neighbors(Layer::kUpper, 4).empty());
+  EXPECT_EQ(g.CountCommonNeighbors(Layer::kUpper, 3, 4), 0u);
+}
+
+TEST(BipartiteGraphTest, ToStringMentionsSizes) {
+  const BipartiteGraph g = MakeFixture();
+  const std::string s = g.ToString();
+  EXPECT_NE(s.find("|U|=3"), std::string::npos);
+  EXPECT_NE(s.find("|L|=4"), std::string::npos);
+  EXPECT_NE(s.find("m=7"), std::string::npos);
+}
+
+TEST(BipartiteGraphTest, MemoryBytesPositive) {
+  EXPECT_GT(MakeFixture().MemoryBytes(), 0u);
+}
+
+TEST(SortedSetOpsTest, IntersectionBasics) {
+  const std::vector<VertexId> a = {1, 3, 5, 7};
+  const std::vector<VertexId> b = {2, 3, 4, 7, 9};
+  EXPECT_EQ(SortedIntersectionSize(a, b), 2u);
+  EXPECT_EQ(SortedIntersectionSize(a, {}), 0u);
+  EXPECT_EQ(SortedIntersectionSize({}, {}), 0u);
+  EXPECT_EQ(SortedIntersectionSize(a, a), 4u);
+}
+
+TEST(SortedSetOpsTest, GallopingPathMatchesMergePath) {
+  // Large size imbalance triggers the galloping branch.
+  std::vector<VertexId> small = {10, 500, 900, 1500};
+  std::vector<VertexId> big;
+  for (VertexId i = 0; i < 2000; i += 2) big.push_back(i);  // evens
+  // Intersection: 10, 500, 900 are even and present; 1500 present.
+  EXPECT_EQ(SortedIntersectionSize(small, big), 4u);
+  small = {11, 501, 901, 1501};  // odds absent
+  EXPECT_EQ(SortedIntersectionSize(small, big), 0u);
+}
+
+TEST(SortedSetOpsTest, UnionBasics) {
+  const std::vector<VertexId> a = {1, 2, 3};
+  const std::vector<VertexId> b = {3, 4};
+  EXPECT_EQ(SortedUnionSize(a, b), 4u);
+  EXPECT_EQ(SortedUnionSize(a, {}), 3u);
+}
+
+}  // namespace
+}  // namespace cne

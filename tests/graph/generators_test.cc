@@ -1,0 +1,147 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace cne {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Rng rng(1);
+  const BipartiteGraph g = ErdosRenyiBipartite(50, 40, 300, rng);
+  EXPECT_EQ(g.NumUpper(), 50u);
+  EXPECT_EQ(g.NumLower(), 40u);
+  EXPECT_EQ(g.NumEdges(), 300u);
+}
+
+TEST(ErdosRenyiTest, DenseRegimeUsesFloydPath) {
+  Rng rng(2);
+  // > half the grid triggers the dense path.
+  const BipartiteGraph g = ErdosRenyiBipartite(10, 10, 80, rng);
+  EXPECT_EQ(g.NumEdges(), 80u);
+}
+
+TEST(ErdosRenyiTest, CompleteGrid) {
+  Rng rng(3);
+  const BipartiteGraph g = ErdosRenyiBipartite(5, 6, 30, rng);
+  EXPECT_EQ(g.NumEdges(), 30u);
+  for (VertexId u = 0; u < 5; ++u) {
+    EXPECT_EQ(g.Degree(Layer::kUpper, u), 6u);
+  }
+}
+
+TEST(ErdosRenyiTest, ZeroEdges) {
+  Rng rng(4);
+  const BipartiteGraph g = ErdosRenyiBipartite(5, 5, 0, rng);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(ErdosRenyiTest, DegreesAreBalanced) {
+  Rng rng(5);
+  const BipartiteGraph g = ErdosRenyiBipartite(100, 100, 2000, rng);
+  // Expected degree 20 per upper vertex; all degrees within a loose band.
+  for (VertexId u = 0; u < 100; ++u) {
+    EXPECT_GT(g.Degree(Layer::kUpper, u), 2u);
+    EXPECT_LT(g.Degree(Layer::kUpper, u), 60u);
+  }
+}
+
+TEST(PowerLawWeightsTest, NormalizedAndDecreasing) {
+  const auto w = PowerLawWeights(100, 2.1);
+  ASSERT_EQ(w.size(), 100u);
+  EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0), 1.0, 1e-12);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(PowerLawWeightsTest, SmallerExponentConcentratesMassOnHubs) {
+  // Smaller exponent -> heavier-tailed degree distribution -> the weight
+  // sequence decays faster, concentrating mass on the top vertices.
+  const auto heavy = PowerLawWeights(1000, 1.8);
+  const auto light = PowerLawWeights(1000, 3.0);
+  EXPECT_GT(heavy[0], light[0]);
+  EXPECT_LT(heavy[999] / heavy[0], light[999] / light[0]);
+}
+
+TEST(ChungLuTest, ApproximateEdgeCountAndSkew) {
+  Rng rng(6);
+  const BipartiteGraph g = ChungLuPowerLaw(2000, 3000, 20000, 2.1, rng);
+  EXPECT_EQ(g.NumEdges(), 20000u);
+  // Heavy-tailed: the max degree should far exceed the average.
+  const double avg = g.AverageDegree(Layer::kUpper);
+  EXPECT_GT(g.MaxDegree(Layer::kUpper), 5 * avg);
+}
+
+TEST(ChungLuTest, HighWeightVertexGetsHighDegree) {
+  Rng rng(7);
+  const BipartiteGraph g = ChungLuPowerLaw(500, 500, 5000, 2.1, rng);
+  // Vertex 0 has the largest weight; its degree should be near the top.
+  EXPECT_GE(g.Degree(Layer::kUpper, 0),
+            g.MaxDegree(Layer::kUpper) / 4);
+}
+
+TEST(ChungLuTest, ExplicitWeights) {
+  Rng rng(8);
+  // All mass on upper vertex 0: every edge is incident to it.
+  const std::vector<double> upper = {1.0, 0.0, 0.0};
+  const std::vector<double> lower = {1.0, 1.0, 1.0, 1.0};
+  const BipartiteGraph g = ChungLuFromWeights(upper, lower, 4, rng);
+  EXPECT_EQ(g.Degree(Layer::kUpper, 0), g.NumEdges());
+}
+
+TEST(ChungLuTest, DuplicateCapTerminates) {
+  Rng rng(9);
+  // Only one possible pair but many edges requested: must terminate with a
+  // warning rather than loop forever.
+  const std::vector<double> upper = {1.0};
+  const std::vector<double> lower = {1.0};
+  const BipartiteGraph g = ChungLuFromWeights(upper, lower, 10, rng);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(CompleteBipartiteTest, AllPairsPresent) {
+  const BipartiteGraph g = CompleteBipartite(3, 4);
+  EXPECT_EQ(g.NumEdges(), 12u);
+  EXPECT_EQ(g.CountCommonNeighbors(Layer::kUpper, 0, 1), 4u);
+  EXPECT_EQ(g.CountCommonNeighbors(Layer::kLower, 0, 3), 3u);
+}
+
+TEST(StarTest, HubSeesAll) {
+  const BipartiteGraph g = Star(7);
+  EXPECT_EQ(g.NumEdges(), 7u);
+  EXPECT_EQ(g.Degree(Layer::kLower, 0), 7u);
+  // Any two upper vertices share exactly the hub.
+  EXPECT_EQ(g.CountCommonNeighbors(Layer::kUpper, 0, 6), 1u);
+}
+
+TEST(PlantedTest, ExactCommonNeighborCount) {
+  // 5 common, 3 exclusive to u, 2 exclusive to w, 10 isolated upper.
+  const BipartiteGraph g = PlantedCommonNeighbors(5, 3, 2, 10);
+  EXPECT_EQ(g.NumUpper(), 20u);
+  EXPECT_EQ(g.NumLower(), 2u);
+  EXPECT_EQ(g.CountCommonNeighbors(Layer::kLower, 0, 1), 5u);
+  EXPECT_EQ(g.Degree(Layer::kLower, 0), 8u);
+  EXPECT_EQ(g.Degree(Layer::kLower, 1), 7u);
+}
+
+TEST(PlantedTest, ExtraLowerVerticesAreIsolated) {
+  const BipartiteGraph g = PlantedCommonNeighbors(2, 1, 1, 0, 3);
+  EXPECT_EQ(g.NumLower(), 5u);
+  for (VertexId l = 2; l < 5; ++l) EXPECT_EQ(g.Degree(Layer::kLower, l), 0u);
+}
+
+TEST(PlantedTest, ZeroCommon) {
+  const BipartiteGraph g = PlantedCommonNeighbors(0, 4, 4, 0);
+  EXPECT_EQ(g.CountCommonNeighbors(Layer::kLower, 0, 1), 0u);
+}
+
+TEST(GeneratorDeterminismTest, SameSeedSameGraph) {
+  Rng a(99), b(99);
+  const BipartiteGraph g1 = ChungLuPowerLaw(300, 300, 2000, 2.1, a);
+  const BipartiteGraph g2 = ChungLuPowerLaw(300, 300, 2000, 2.1, b);
+  EXPECT_EQ(g1.EdgeList(), g2.EdgeList());
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,68 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace cne {
+namespace {
+
+TEST(GraphBuilderTest, DeduplicatesEdges) {
+  GraphBuilder b(2, 2);
+  b.AddEdge(0, 0).AddEdge(0, 0).AddEdge(0, 0).AddEdge(1, 1);
+  EXPECT_EQ(b.PendingEdges(), 4u);
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(GraphBuilderTest, HandlesUnsortedInput) {
+  GraphBuilder b(3, 3);
+  b.AddEdge(2, 1).AddEdge(0, 2).AddEdge(1, 0).AddEdge(0, 1);
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 4u);
+  const auto nb = g.Neighbors(Layer::kUpper, 0);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0], 1u);
+  EXPECT_EQ(nb[1], 2u);
+}
+
+TEST(GraphBuilderTest, AutoGrowsLayerSizes) {
+  GraphBuilder b;
+  b.AddEdge(5, 10);
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.NumUpper(), 6u);
+  EXPECT_EQ(g.NumLower(), 11u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphBuilderTest, ReusableAfterBuild) {
+  GraphBuilder b(2, 2);
+  b.AddEdge(0, 0);
+  const BipartiteGraph g1 = b.Build();
+  EXPECT_EQ(g1.NumEdges(), 1u);
+  b.AddEdge(1, 1);
+  const BipartiteGraph g2 = b.Build();
+  EXPECT_EQ(g2.NumEdges(), 1u);
+  EXPECT_TRUE(g2.HasEdge(1, 1));
+  EXPECT_FALSE(g2.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, AddEdgesBatch) {
+  GraphBuilder b(3, 3);
+  b.AddEdges({{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_EQ(b.Build().NumEdges(), 3u);
+}
+
+TEST(GraphBuilderTest, EmptyBuild) {
+  GraphBuilder b(4, 4);
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.NumUpper(), 4u);
+}
+
+TEST(GraphBuilderDeathTest, RejectsOutOfRangeOnFixedLayers) {
+  GraphBuilder b(2, 2);
+  EXPECT_DEATH(b.AddEdge(2, 0), "outside fixed layers");
+  EXPECT_DEATH(b.AddEdge(0, 5), "outside fixed layers");
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,103 @@
+// Randomized invariant checks over generated graphs: whatever the
+// generator produced, the CSR structure must satisfy the bipartite-graph
+// algebra (degree sums, adjacency symmetry, intersection identities,
+// round-trips).
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/subgraph.h"
+
+namespace cne {
+namespace {
+
+class GraphFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+BipartiteGraph RandomGraph(uint64_t seed) {
+  Rng rng(seed);
+  const VertexId nu = 2 + static_cast<VertexId>(rng.UniformInt(60));
+  const VertexId nl = 2 + static_cast<VertexId>(rng.UniformInt(60));
+  const uint64_t grid = static_cast<uint64_t>(nu) * nl;
+  const uint64_t m = rng.UniformInt(grid + 1);
+  if (rng.Bernoulli(0.5)) {
+    return ErdosRenyiBipartite(nu, nl, m, rng);
+  }
+  return ChungLuPowerLaw(nu, nl, std::min<uint64_t>(m, grid / 2), 2.1, rng);
+}
+
+TEST_P(GraphFuzzTest, DegreeSumsEqualEdgeCount) {
+  const BipartiteGraph g = RandomGraph(GetParam());
+  uint64_t upper_sum = 0, lower_sum = 0;
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    upper_sum += g.Degree(Layer::kUpper, u);
+  }
+  for (VertexId l = 0; l < g.NumLower(); ++l) {
+    lower_sum += g.Degree(Layer::kLower, l);
+  }
+  EXPECT_EQ(upper_sum, g.NumEdges());
+  EXPECT_EQ(lower_sum, g.NumEdges());
+}
+
+TEST_P(GraphFuzzTest, AdjacencyIsSymmetricAcrossLayers) {
+  const BipartiteGraph g = RandomGraph(GetParam());
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    for (VertexId l : g.Neighbors(Layer::kUpper, u)) {
+      const auto back = g.Neighbors(Layer::kLower, l);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), u))
+          << "edge (" << u << "," << l << ") missing in lower CSR";
+    }
+  }
+}
+
+TEST_P(GraphFuzzTest, IntersectionUnionIdentity) {
+  const BipartiteGraph g = RandomGraph(GetParam());
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 20; ++i) {
+    const VertexId a = static_cast<VertexId>(rng.UniformInt(g.NumUpper()));
+    const VertexId b = static_cast<VertexId>(rng.UniformInt(g.NumUpper()));
+    const uint64_t inter = g.CountCommonNeighbors(Layer::kUpper, a, b);
+    const uint64_t uni = g.CountUnionNeighbors(Layer::kUpper, a, b);
+    EXPECT_EQ(inter + uni, static_cast<uint64_t>(
+                               g.Degree(Layer::kUpper, a)) +
+                               g.Degree(Layer::kUpper, b));
+    EXPECT_EQ(inter, g.CountCommonNeighbors(Layer::kUpper, b, a));
+    EXPECT_LE(inter, std::min<uint64_t>(g.Degree(Layer::kUpper, a),
+                                        g.Degree(Layer::kUpper, b)));
+  }
+}
+
+TEST_P(GraphFuzzTest, TextRoundTripPreservesAdjacency) {
+  const BipartiteGraph g = RandomGraph(GetParam());
+  if (g.NumEdges() == 0) return;  // empty files lose layer sizes by design
+  std::ostringstream out;
+  WriteEdgeListStream(g, out);
+  std::istringstream in(out.str());
+  const BipartiteGraph g2 = ReadEdgeListStream(in);
+  EXPECT_EQ(g2.NumEdges(), g.NumEdges());
+  for (const Edge& e : g.EdgeList()) {
+    EXPECT_TRUE(g2.HasEdge(e.upper, e.lower));
+  }
+}
+
+TEST_P(GraphFuzzTest, InducedSubgraphNeverInventsEdges) {
+  const BipartiteGraph g = RandomGraph(GetParam());
+  Rng rng(GetParam() + 17);
+  const BipartiteGraph sub = InducedSubgraphByVertexFraction(g, 0.5, rng);
+  EXPECT_LE(sub.NumEdges(), g.NumEdges());
+  uint64_t degree_sum = 0;
+  for (VertexId u = 0; u < sub.NumUpper(); ++u) {
+    degree_sum += sub.Degree(Layer::kUpper, u);
+  }
+  EXPECT_EQ(degree_sum, sub.NumEdges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzzTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,122 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cne {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+BipartiteGraph MakeFixture() {
+  GraphBuilder b(3, 4);
+  b.AddEdge(0, 0).AddEdge(0, 2).AddEdge(1, 1).AddEdge(2, 3);
+  return b.Build();
+}
+
+TEST(GraphIoTest, ParsesZeroBasedEdgeList) {
+  std::istringstream in("0 0\n0 2\n1 1\n");
+  const BipartiteGraph g = ReadEdgeListStream(in);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+}
+
+TEST(GraphIoTest, ParsesOneBasedEdgeList) {
+  // KONECT files are typically 1-based; minimum id 1 maps to 0.
+  std::istringstream in("1 1\n1 3\n2 2\n");
+  const BipartiteGraph g = ReadEdgeListStream(in);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(1, 1));
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "% KONECT header\n"
+      "# another comment\n"
+      "\n"
+      "   \n"
+      "0 1\n");
+  const BipartiteGraph g = ReadEdgeListStream(in);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphIoTest, ThrowsOnMalformedLine) {
+  std::istringstream in("0 1\nnot-an-edge\n");
+  EXPECT_THROW(ReadEdgeListStream(in), std::runtime_error);
+}
+
+TEST(GraphIoTest, ThrowsOnMissingFile) {
+  EXPECT_THROW(ReadEdgeListFile("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+TEST(GraphIoTest, TextRoundTrip) {
+  const BipartiteGraph g = MakeFixture();
+  std::ostringstream out;
+  WriteEdgeListStream(g, out);
+  std::istringstream in(out.str());
+  const BipartiteGraph g2 = ReadEdgeListStream(in);
+  EXPECT_EQ(g2.NumEdges(), g.NumEdges());
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    for (VertexId l = 0; l < g.NumLower(); ++l) {
+      EXPECT_EQ(g.HasEdge(u, l), g2.HasEdge(u, l));
+    }
+  }
+}
+
+TEST(GraphIoTest, BinaryRoundTrip) {
+  const BipartiteGraph g = MakeFixture();
+  const std::string path = TempPath("cne_io_test.bin");
+  WriteBinaryFile(g, path);
+  const BipartiteGraph g2 = ReadBinaryFile(path);
+  EXPECT_EQ(g2.NumUpper(), g.NumUpper());
+  EXPECT_EQ(g2.NumLower(), g.NumLower());
+  EXPECT_EQ(g2.NumEdges(), g.NumEdges());
+  for (const Edge& e : g.EdgeList()) EXPECT_TRUE(g2.HasEdge(e.upper, e.lower));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryPreservesIsolatedVertices) {
+  GraphBuilder b(10, 10);
+  b.AddEdge(0, 0);
+  const std::string path = TempPath("cne_io_isolated.bin");
+  WriteBinaryFile(b.Build(), path);
+  const BipartiteGraph g = ReadBinaryFile(path);
+  EXPECT_EQ(g.NumUpper(), 10u);
+  EXPECT_EQ(g.NumLower(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryRejectsBadMagic) {
+  const std::string path = TempPath("cne_io_badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a graph file at all, just text";
+  }
+  EXPECT_THROW(ReadBinaryFile(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryRejectsTruncatedFile) {
+  const BipartiteGraph g = MakeFixture();
+  const std::string path = TempPath("cne_io_trunc.bin");
+  WriteBinaryFile(g, path);
+  // Truncate to half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(ReadBinaryFile(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,70 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace cne {
+namespace {
+
+BipartiteGraph MakeFixture() {
+  // Degrees upper: 3, 1, 0; lower: 2, 1, 1, 0.
+  GraphBuilder b(3, 4);
+  b.AddEdge(0, 0).AddEdge(0, 1).AddEdge(0, 2).AddEdge(1, 0);
+  return b.Build();
+}
+
+TEST(DegreeHistogramTest, CountsPerDegree) {
+  const BipartiteGraph g = MakeFixture();
+  const auto upper = DegreeHistogram(g, Layer::kUpper);
+  ASSERT_EQ(upper.size(), 4u);  // max degree 3
+  EXPECT_EQ(upper[0], 1u);
+  EXPECT_EQ(upper[1], 1u);
+  EXPECT_EQ(upper[2], 0u);
+  EXPECT_EQ(upper[3], 1u);
+  const auto lower = DegreeHistogram(g, Layer::kLower);
+  ASSERT_EQ(lower.size(), 3u);
+  EXPECT_EQ(lower[0], 1u);
+  EXPECT_EQ(lower[1], 2u);
+  EXPECT_EQ(lower[2], 1u);
+}
+
+TEST(LayerDegreeStatsTest, Fixture) {
+  const BipartiteGraph g = MakeFixture();
+  const LayerDegreeStats s = ComputeLayerDegreeStats(g, Layer::kUpper);
+  EXPECT_EQ(s.num_vertices, 3u);
+  EXPECT_EQ(s.max_degree, 3u);
+  EXPECT_DOUBLE_EQ(s.average_degree, 4.0 / 3.0);
+  EXPECT_EQ(s.isolated, 1u);
+}
+
+TEST(LayerDegreeStatsTest, EmptyLayer) {
+  const BipartiteGraph g;
+  const LayerDegreeStats s = ComputeLayerDegreeStats(g, Layer::kUpper);
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.max_degree, 0u);
+}
+
+TEST(GraphStatsTest, DensityAndEdges) {
+  const BipartiteGraph g = MakeFixture();
+  const GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_DOUBLE_EQ(s.density, 4.0 / 12.0);
+}
+
+TEST(GraphStatsTest, ToStringContainsKeyFields) {
+  const GraphStats s = ComputeGraphStats(MakeFixture());
+  const std::string str = ToString(s);
+  EXPECT_NE(str.find("|U|=3"), std::string::npos);
+  EXPECT_NE(str.find("m=4"), std::string::npos);
+}
+
+TEST(GraphStatsTest, MedianDegree) {
+  const BipartiteGraph g = CompleteBipartite(4, 5);
+  const LayerDegreeStats s = ComputeLayerDegreeStats(g, Layer::kUpper);
+  EXPECT_DOUBLE_EQ(s.median_degree, 5.0);
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,95 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace cne {
+namespace {
+
+BipartiteGraph MakeFixture() {
+  GraphBuilder b(4, 4);
+  b.AddEdge(0, 0).AddEdge(0, 1).AddEdge(1, 1).AddEdge(2, 2).AddEdge(3, 3);
+  return b.Build();
+}
+
+TEST(InducedSubgraphTest, KeepsOnlyInternalEdges) {
+  const BipartiteGraph g = MakeFixture();
+  // Keep u0, u1 and l1: only edges (0,1) and (1,1) survive.
+  const BipartiteGraph sub = InducedSubgraph(g, {0, 1}, {1});
+  EXPECT_EQ(sub.NumUpper(), 2u);
+  EXPECT_EQ(sub.NumLower(), 1u);
+  EXPECT_EQ(sub.NumEdges(), 2u);
+  EXPECT_TRUE(sub.HasEdge(0, 0));
+  EXPECT_TRUE(sub.HasEdge(1, 0));
+}
+
+TEST(InducedSubgraphTest, RelabelsCompactlyPreservingOrder) {
+  const BipartiteGraph g = MakeFixture();
+  const BipartiteGraph sub = InducedSubgraph(g, {1, 3}, {1, 3});
+  // u1 -> 0, u3 -> 1; l1 -> 0, l3 -> 1. Edges (1,1) and (3,3) survive.
+  EXPECT_TRUE(sub.HasEdge(0, 0));
+  EXPECT_TRUE(sub.HasEdge(1, 1));
+  EXPECT_EQ(sub.NumEdges(), 2u);
+}
+
+TEST(InducedSubgraphTest, DeduplicatesKeepLists) {
+  const BipartiteGraph g = MakeFixture();
+  const BipartiteGraph sub = InducedSubgraph(g, {0, 0, 1, 1}, {0, 1, 1});
+  EXPECT_EQ(sub.NumUpper(), 2u);
+  EXPECT_EQ(sub.NumLower(), 2u);
+}
+
+TEST(InducedSubgraphTest, EmptyKeepLists) {
+  const BipartiteGraph g = MakeFixture();
+  const BipartiteGraph sub = InducedSubgraph(g, {}, {});
+  EXPECT_EQ(sub.NumUpper(), 0u);
+  EXPECT_EQ(sub.NumEdges(), 0u);
+}
+
+TEST(InducedSubgraphTest, FullKeepIsIdentity) {
+  const BipartiteGraph g = MakeFixture();
+  const BipartiteGraph sub = InducedSubgraph(g, {0, 1, 2, 3}, {0, 1, 2, 3});
+  EXPECT_EQ(sub.EdgeList(), g.EdgeList());
+}
+
+TEST(FractionSubgraphTest, SizesScaleWithFraction) {
+  Rng gen(5);
+  const BipartiteGraph g = ErdosRenyiBipartite(1000, 800, 5000, gen);
+  Rng rng(6);
+  const BipartiteGraph sub = InducedSubgraphByVertexFraction(g, 0.5, rng);
+  EXPECT_EQ(sub.NumUpper(), 500u);
+  EXPECT_EQ(sub.NumLower(), 400u);
+  // Edge survival probability is ~0.25; allow a wide band.
+  EXPECT_GT(sub.NumEdges(), 700u);
+  EXPECT_LT(sub.NumEdges(), 1900u);
+}
+
+TEST(FractionSubgraphTest, FullFractionKeepsEverything) {
+  Rng gen(7);
+  const BipartiteGraph g = ErdosRenyiBipartite(100, 100, 500, gen);
+  Rng rng(8);
+  const BipartiteGraph sub = InducedSubgraphByVertexFraction(g, 1.0, rng);
+  EXPECT_EQ(sub.NumEdges(), g.NumEdges());
+  EXPECT_EQ(sub.NumUpper(), g.NumUpper());
+}
+
+TEST(FractionSubgraphTest, TinyFractionKeepsAtLeastOneVertex) {
+  Rng gen(9);
+  const BipartiteGraph g = ErdosRenyiBipartite(100, 100, 500, gen);
+  Rng rng(10);
+  const BipartiteGraph sub = InducedSubgraphByVertexFraction(g, 0.001, rng);
+  EXPECT_GE(sub.NumUpper(), 1u);
+  EXPECT_GE(sub.NumLower(), 1u);
+}
+
+TEST(FractionSubgraphDeathTest, RejectsInvalidFraction) {
+  const BipartiteGraph g = MakeFixture();
+  Rng rng(11);
+  EXPECT_DEATH(InducedSubgraphByVertexFraction(g, 0.0, rng), "fraction");
+  EXPECT_DEATH(InducedSubgraphByVertexFraction(g, 1.5, rng), "fraction");
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,84 @@
+#include "ldp/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace cne {
+namespace {
+
+TEST(BudgetAccountantTest, EmptyIsZero) {
+  BudgetAccountant acc;
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 0.0);
+}
+
+TEST(BudgetAccountantTest, SequentialChargesSum) {
+  BudgetAccountant acc;
+  acc.ChargeSequential("rr", 1.0);
+  acc.ChargeSequential("laplace", 0.5);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 1.5);
+}
+
+TEST(BudgetAccountantTest, ParallelChargesTakeMax) {
+  BudgetAccountant acc;
+  // Degree reports of many vertices in one round: disjoint neighbor lists.
+  acc.ChargeParallel("degree", 0.1, 1);
+  acc.ChargeParallel("degree", 0.1, 1);
+  acc.ChargeParallel("degree", 0.1, 1);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 0.1);
+}
+
+TEST(BudgetAccountantTest, MixedComposition) {
+  // The MultiR-DS structure: ε0 parallel degree round, ε1 RR round
+  // (parallel over u and w), ε2 Laplace round (parallel over u and w).
+  BudgetAccountant acc;
+  acc.ChargeParallel("degree", 0.1, 1);
+  acc.ChargeParallel("degree", 0.1, 1);
+  acc.ChargeParallel("rr", 0.9, 2);
+  acc.ChargeParallel("rr", 0.9, 2);
+  acc.ChargeParallel("laplace", 1.0, 3);
+  acc.ChargeParallel("laplace", 1.0, 3);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 2.0);
+}
+
+TEST(BudgetAccountantTest, DistinctGroupsAddUp) {
+  BudgetAccountant acc;
+  acc.ChargeParallel("a", 0.3, 1);
+  acc.ChargeParallel("b", 0.7, 2);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 1.0);
+}
+
+TEST(BudgetAccountantTest, ResetClears) {
+  BudgetAccountant acc;
+  acc.ChargeSequential("x", 1.0);
+  acc.Reset();
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 0.0);
+  EXPECT_TRUE(acc.charges().empty());
+}
+
+TEST(BudgetAccountantDeathTest, RejectsNegativeCharge) {
+  BudgetAccountant acc;
+  EXPECT_DEATH(acc.ChargeSequential("x", -0.1), "negative");
+}
+
+TEST(BudgetSplitTest, EvenTwoWay) {
+  const BudgetSplit split = EvenTwoWaySplit(2.0);
+  EXPECT_DOUBLE_EQ(split.epsilon0, 0.0);
+  EXPECT_DOUBLE_EQ(split.epsilon1, 1.0);
+  EXPECT_DOUBLE_EQ(split.epsilon2, 1.0);
+  EXPECT_DOUBLE_EQ(split.Total(), 2.0);
+}
+
+TEST(BudgetSplitTest, ValidateAccepts) {
+  ValidateSplit({0.1, 0.9, 1.0}, 2.0);  // must not die
+  SUCCEED();
+}
+
+TEST(BudgetSplitDeathTest, ValidateRejectsBadTotal) {
+  EXPECT_DEATH(ValidateSplit({0.0, 1.0, 0.5}, 2.0), "split sums");
+}
+
+TEST(BudgetSplitDeathTest, ValidateRejectsZeroParts) {
+  EXPECT_DEATH(ValidateSplit({0.0, 0.0, 2.0}, 2.0), "positive");
+}
+
+}  // namespace
+}  // namespace cne

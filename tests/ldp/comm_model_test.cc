@@ -1,0 +1,46 @@
+#include "ldp/comm_model.h"
+
+#include <gtest/gtest.h>
+
+#include "ldp/randomized_response.h"
+
+namespace cne {
+namespace {
+
+TEST(CommLedgerTest, StartsEmpty) {
+  CommLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.TotalBytes(), 0.0);
+}
+
+TEST(CommLedgerTest, AccumulatesUploadsAndDownloads) {
+  CommLedger ledger;
+  ledger.UploadEdges(10);    // 40 bytes
+  ledger.DownloadEdges(5);   // 20 bytes
+  ledger.UploadScalars(2);   // 16 bytes
+  EXPECT_DOUBLE_EQ(ledger.UploadedBytes(), 56.0);
+  EXPECT_DOUBLE_EQ(ledger.DownloadedBytes(), 20.0);
+  EXPECT_DOUBLE_EQ(ledger.TotalBytes(), 76.0);
+}
+
+TEST(CommLedgerTest, CustomModel) {
+  CommModel model;
+  model.bytes_per_edge = 8.0;
+  model.bytes_per_scalar = 4.0;
+  CommLedger ledger(model);
+  ledger.UploadEdges(3);
+  ledger.UploadScalars(3);
+  EXPECT_DOUBLE_EQ(ledger.UploadedBytes(), 36.0);
+}
+
+TEST(ExpectedRrUploadTest, MatchesNoisyDegreeFormula) {
+  const double bytes = ExpectedRrUploadBytes(10, 1000, 2.0);
+  EXPECT_DOUBLE_EQ(bytes, 4.0 * ExpectedNoisyDegree(10, 1000, 2.0));
+}
+
+TEST(ExpectedRrUploadTest, ShrinksWithBudgetForSparseVertices) {
+  EXPECT_GT(ExpectedRrUploadBytes(10, 10000, 1.0),
+            ExpectedRrUploadBytes(10, 10000, 3.0));
+}
+
+}  // namespace
+}  // namespace cne

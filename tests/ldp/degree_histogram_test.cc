@@ -1,0 +1,76 @@
+#include "ldp/degree_histogram.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace cne {
+namespace {
+
+TEST(ExactDegreeHistogramTest, BucketsAndOverflow) {
+  // Upper degrees: 3, 1, 0.
+  GraphBuilder b(3, 4);
+  b.AddEdge(0, 0).AddEdge(0, 1).AddEdge(0, 2).AddEdge(1, 0);
+  const BipartiteGraph g = b.Build();
+  const auto h = ExactDegreeHistogram(g, Layer::kUpper, 3);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_DOUBLE_EQ(h[0], 1.0);
+  EXPECT_DOUBLE_EQ(h[1], 1.0);
+  EXPECT_DOUBLE_EQ(h[2], 1.0);  // degree 3 overflows into the last bucket
+}
+
+TEST(EstimateDegreeHistogramTest, PreservesVertexCount) {
+  Rng gen(1);
+  const BipartiteGraph g = ErdosRenyiBipartite(500, 500, 3000, gen);
+  Rng rng(2);
+  const auto est = EstimateDegreeHistogram(g, Layer::kUpper, 1.0, 20, rng);
+  EXPECT_EQ(est.num_vertices, 500u);
+  const double total =
+      std::accumulate(est.counts.begin(), est.counts.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 500.0);
+  for (double c : est.counts) EXPECT_GE(c, 0.0);
+}
+
+TEST(EstimateDegreeHistogramTest, HighBudgetApproachesExact) {
+  Rng gen(3);
+  const BipartiteGraph g = ErdosRenyiBipartite(2000, 500, 8000, gen);
+  Rng rng(4);
+  const auto exact = ExactDegreeHistogram(g, Layer::kUpper, 16);
+  const auto strong =
+      EstimateDegreeHistogram(g, Layer::kUpper, 8.0, 16, rng);
+  const auto weak =
+      EstimateDegreeHistogram(g, Layer::kUpper, 0.3, 16, rng);
+  const double tv_strong = HistogramTotalVariation(exact, strong.counts);
+  const double tv_weak = HistogramTotalVariation(exact, weak.counts);
+  EXPECT_LT(tv_strong, tv_weak);
+  EXPECT_LT(tv_strong, 0.15);
+}
+
+TEST(EstimateDegreeHistogramTest, EmptyLayerYieldsZeroCounts) {
+  GraphBuilder b(3, 0);
+  const BipartiteGraph g = b.Build();
+  Rng rng(5);
+  const auto est = EstimateDegreeHistogram(g, Layer::kLower, 1.0, 4, rng);
+  for (double c : est.counts) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(HistogramTotalVariationTest, Basics) {
+  EXPECT_DOUBLE_EQ(HistogramTotalVariation({1, 0}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramTotalVariation({1, 0}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramTotalVariation({2, 0}, {1, 1}), 0.5);
+  // Scale invariance.
+  EXPECT_DOUBLE_EQ(HistogramTotalVariation({4, 0}, {1, 1}), 0.5);
+  // Degenerate cases.
+  EXPECT_DOUBLE_EQ(HistogramTotalVariation({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramTotalVariation({0, 0}, {1, 0}), 1.0);
+}
+
+TEST(HistogramTotalVariationDeathTest, SizeMismatch) {
+  EXPECT_DEATH(HistogramTotalVariation({1.0}, {1.0, 2.0}), "sizes differ");
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,73 @@
+#include "ldp/laplace_mechanism.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ldp/randomized_response.h"
+#include "util/statistics.h"
+
+namespace cne {
+namespace {
+
+TEST(LaplaceScaleTest, Formula) {
+  EXPECT_DOUBLE_EQ(LaplaceScale(1.0, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(LaplaceScale(3.0, 1.5), 2.0);
+}
+
+TEST(LaplaceVarianceTest, Formula) {
+  // Var(Lap(b)) = 2 b^2.
+  EXPECT_DOUBLE_EQ(LaplaceVariance(1.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(LaplaceVariance(2.0, 1.0), 8.0);
+  EXPECT_DOUBLE_EQ(LaplaceVariance(1.0, 2.0), 0.5);
+}
+
+TEST(LaplaceMechanismTest, UnbiasedAndCorrectVariance) {
+  Rng rng(3);
+  const double value = 42.0;
+  const double sensitivity = 2.0;
+  const double epsilon = 0.8;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(LaplaceMechanism(value, sensitivity, epsilon, rng));
+  }
+  EXPECT_NEAR(stats.Mean(), value, 5 * stats.StdError());
+  EXPECT_NEAR(stats.Variance(), LaplaceVariance(sensitivity, epsilon),
+              LaplaceVariance(sensitivity, epsilon) * 0.05);
+}
+
+TEST(LaplaceMechanismDeathTest, RejectsNonPositiveParameters) {
+  Rng rng(5);
+  EXPECT_DEATH(LaplaceMechanism(0.0, 0.0, 1.0, rng), "sensitivity");
+  EXPECT_DEATH(LaplaceMechanism(0.0, 1.0, 0.0, rng), "budget");
+}
+
+TEST(SingleSourceSensitivityTest, Formula) {
+  // Δ = (1-p)/(1-2p) with p = 1/(1+e^ε).
+  const double eps = 1.0;
+  const double p = FlipProbability(eps);
+  EXPECT_DOUBLE_EQ(SingleSourceSensitivity(eps), (1 - p) / (1 - 2 * p));
+}
+
+TEST(SingleSourceSensitivityTest, ExceedsOneAndShrinksWithBudget) {
+  // The sensitivity is the max |phi| which is always > 1 and approaches 1
+  // as ε -> infinity (p -> 0).
+  EXPECT_GT(SingleSourceSensitivity(0.5), SingleSourceSensitivity(2.0));
+  EXPECT_GT(SingleSourceSensitivity(2.0), 1.0);
+  EXPECT_NEAR(SingleSourceSensitivity(20.0), 1.0, 1e-6);
+}
+
+TEST(SingleSourceSensitivityTest, DominatesBothPhiMagnitudes) {
+  // |phi| is either (1-p)/(1-2p) or p/(1-2p); the former is the max since
+  // p < 1/2.
+  for (double eps : {0.5, 1.0, 2.0, 3.0}) {
+    const double p = FlipProbability(eps);
+    const double hi = (1 - p) / (1 - 2 * p);
+    const double lo = p / (1 - 2 * p);
+    EXPECT_GT(hi, lo);
+    EXPECT_DOUBLE_EQ(SingleSourceSensitivity(eps), hi);
+  }
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,181 @@
+#include "ldp/randomized_response.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "util/statistics.h"
+
+namespace cne {
+namespace {
+
+TEST(FlipProbabilityTest, KnownValues) {
+  EXPECT_NEAR(FlipProbability(std::log(3.0)), 0.25, 1e-12);
+  EXPECT_NEAR(FlipProbability(1.0), 1.0 / (1.0 + std::exp(1.0)), 1e-12);
+  // Larger budget -> smaller flip probability, always below 1/2.
+  EXPECT_LT(FlipProbability(3.0), FlipProbability(1.0));
+  EXPECT_LT(FlipProbability(0.01), 0.5);
+  EXPECT_GT(FlipProbability(0.01), 0.49);
+}
+
+TEST(NoisyNeighborSetTest, SortsAndDeduplicates) {
+  NoisyNeighborSet set({5, 1, 3, 1}, 10, 0.2);
+  EXPECT_EQ(set.Size(), 3u);
+  EXPECT_TRUE(set.Contains(1));
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(2));
+  EXPECT_EQ(set.DomainSize(), 10u);
+}
+
+TEST(NoisyNeighborSetTest, EmptySet) {
+  NoisyNeighborSet set({}, 10, 0.2);
+  EXPECT_EQ(set.Size(), 0u);
+  EXPECT_FALSE(set.Contains(0));
+}
+
+class RrStatisticalTest : public ::testing::Test {
+ protected:
+  // u0 has neighbors {0..9} among 100 lower vertices.
+  BipartiteGraph MakeGraph() {
+    GraphBuilder b(1, 100);
+    for (VertexId l = 0; l < 10; ++l) b.AddEdge(0, l);
+    return b.Build();
+  }
+};
+
+TEST_F(RrStatisticalTest, PerBitFlipRateMatchesP) {
+  const BipartiteGraph g = MakeGraph();
+  const double epsilon = 1.0;
+  const double p = FlipProbability(epsilon);
+  Rng rng(123);
+  const int trials = 3000;
+  int kept_ones = 0;     // true neighbor survives
+  int flipped_zeros = 0; // non-neighbor appears
+  for (int t = 0; t < trials; ++t) {
+    const NoisyNeighborSet noisy =
+        ApplyRandomizedResponse(g, {Layer::kUpper, 0}, epsilon, rng);
+    for (VertexId l = 0; l < 10; ++l) kept_ones += noisy.Contains(l);
+    for (VertexId l = 10; l < 100; ++l) flipped_zeros += noisy.Contains(l);
+  }
+  const double keep_rate = static_cast<double>(kept_ones) / (trials * 10.0);
+  const double flip_rate =
+      static_cast<double>(flipped_zeros) / (trials * 90.0);
+  EXPECT_NEAR(keep_rate, 1.0 - p, 0.01);
+  EXPECT_NEAR(flip_rate, p, 0.01);
+}
+
+TEST_F(RrStatisticalTest, SparseMatchesDenseDistribution) {
+  // The sparse sampler must agree with explicit bit-by-bit RR in noisy
+  // degree distribution and per-bit marginals.
+  const BipartiteGraph g = MakeGraph();
+  const double epsilon = 1.5;
+  Rng rng_sparse(7), rng_dense(8);
+  RunningStats sparse_sizes, dense_sizes;
+  std::vector<int> sparse_hits(100, 0), dense_hits(100, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const auto sparse =
+        ApplyRandomizedResponse(g, {Layer::kUpper, 0}, epsilon, rng_sparse);
+    const auto dense = ApplyRandomizedResponseDense(g, {Layer::kUpper, 0},
+                                                    epsilon, rng_dense);
+    sparse_sizes.Add(static_cast<double>(sparse.Size()));
+    dense_sizes.Add(static_cast<double>(dense.Size()));
+    for (VertexId l = 0; l < 100; ++l) {
+      sparse_hits[l] += sparse.Contains(l);
+      dense_hits[l] += dense.Contains(l);
+    }
+  }
+  EXPECT_NEAR(sparse_sizes.Mean(), dense_sizes.Mean(),
+              4 * (sparse_sizes.StdError() + dense_sizes.StdError()));
+  // Marginals agree bit by bit within 5 sigma.
+  for (VertexId l = 0; l < 100; ++l) {
+    const double ps = static_cast<double>(sparse_hits[l]) / trials;
+    const double pd = static_cast<double>(dense_hits[l]) / trials;
+    const double se = std::sqrt(0.25 / trials);
+    EXPECT_NEAR(ps, pd, 10 * se) << "bit " << l;
+  }
+}
+
+TEST_F(RrStatisticalTest, ExpectedNoisyDegreeFormula) {
+  const BipartiteGraph g = MakeGraph();
+  const double epsilon = 2.0;
+  Rng rng(11);
+  RunningStats sizes;
+  for (int t = 0; t < 5000; ++t) {
+    sizes.Add(static_cast<double>(
+        ApplyRandomizedResponse(g, {Layer::kUpper, 0}, epsilon, rng).Size()));
+  }
+  const double expected = ExpectedNoisyDegree(10, 100, epsilon);
+  EXPECT_NEAR(sizes.Mean(), expected, 5 * sizes.StdError());
+}
+
+TEST(RrEdgeCasesTest, FullNeighborhood) {
+  // Every lower vertex is a neighbor: no zero bits to flip in.
+  const BipartiteGraph g = CompleteBipartite(1, 50);
+  Rng rng(13);
+  const auto noisy =
+      ApplyRandomizedResponse(g, {Layer::kUpper, 0}, 2.0, rng);
+  EXPECT_LE(noisy.Size(), 50u);
+  // All members must lie in the domain.
+  for (VertexId v : noisy.SortedMembers()) EXPECT_LT(v, 50u);
+}
+
+TEST(RrEdgeCasesTest, EmptyNeighborhood) {
+  GraphBuilder b(2, 50);
+  b.AddEdge(1, 0);  // u0 isolated
+  const BipartiteGraph g = b.Build();
+  Rng rng(17);
+  RunningStats sizes;
+  const double epsilon = 1.0;
+  for (int t = 0; t < 2000; ++t) {
+    sizes.Add(static_cast<double>(
+        ApplyRandomizedResponse(g, {Layer::kUpper, 0}, epsilon, rng).Size()));
+  }
+  const double p = FlipProbability(epsilon);
+  EXPECT_NEAR(sizes.Mean(), 50 * p, 5 * sizes.StdError());
+}
+
+TEST(RrEdgeCasesTest, LowerLayerVertexPerturbsUpperDomain) {
+  GraphBuilder b(30, 3);
+  b.AddEdge(0, 1).AddEdge(5, 1).AddEdge(29, 1);
+  const BipartiteGraph g = b.Build();
+  Rng rng(19);
+  const auto noisy =
+      ApplyRandomizedResponse(g, {Layer::kLower, 1}, 2.0, rng);
+  EXPECT_EQ(noisy.DomainSize(), 30u);
+  for (VertexId v : noisy.SortedMembers()) EXPECT_LT(v, 30u);
+}
+
+TEST(RrPositionMappingTest, FlippedInVerticesAreNeverTrueNeighborsArtifact) {
+  // With p extremely small, flipped-in vertices are rare; with a crafted
+  // seed loop we verify the non-neighbor mapping never emits a duplicate
+  // of a surviving neighbor (members are deduplicated, so size would drop).
+  GraphBuilder b(1, 20);
+  for (VertexId l = 0; l < 20; l += 2) b.AddEdge(0, l);  // evens
+  const BipartiteGraph g = b.Build();
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    const auto noisy =
+        ApplyRandomizedResponse(g, {Layer::kUpper, 0}, 0.5, rng);
+    // Check strictly sorted (no duplicates survived the merge).
+    const auto& m = noisy.SortedMembers();
+    for (size_t i = 1; i < m.size(); ++i) EXPECT_LT(m[i - 1], m[i]);
+  }
+}
+
+TEST(ExpectedNoisyDegreeTest, Monotonicity) {
+  // More budget -> fewer flipped zeros -> smaller noisy degree for sparse
+  // vertices.
+  EXPECT_GT(ExpectedNoisyDegree(10, 1000, 1.0),
+            ExpectedNoisyDegree(10, 1000, 3.0));
+  // Degenerate: degree equal to domain.
+  const double p = FlipProbability(2.0);
+  EXPECT_NEAR(ExpectedNoisyDegree(100, 100, 2.0), 100 * (1 - p), 1e-9);
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,83 @@
+#include "util/newton.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cne {
+namespace {
+
+TEST(GoldenSectionTest, Quadratic) {
+  auto f = [](double x) { return (x - 3.0) * (x - 3.0) + 1.0; };
+  const MinimizeResult r = GoldenSectionMinimize(f, 0.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 3.0, 1e-6);
+  EXPECT_NEAR(r.value, 1.0, 1e-10);
+}
+
+TEST(GoldenSectionTest, MinimumAtLeftBoundary) {
+  auto f = [](double x) { return x; };
+  const MinimizeResult r = GoldenSectionMinimize(f, 2.0, 5.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-6);
+  EXPECT_NEAR(r.value, 2.0, 1e-6);
+}
+
+TEST(GoldenSectionTest, MinimumAtRightBoundary) {
+  auto f = [](double x) { return -x; };
+  const MinimizeResult r = GoldenSectionMinimize(f, 2.0, 5.0);
+  EXPECT_NEAR(r.x, 5.0, 1e-6);
+}
+
+TEST(NewtonMinimizeTest, Quadratic) {
+  auto f = [](double x) { return 2.0 * (x - 1.5) * (x - 1.5); };
+  const MinimizeResult r = NewtonMinimize(f, 0.0, 4.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.5, 1e-6);
+}
+
+TEST(NewtonMinimizeTest, TranscendentalObjective) {
+  // Shape similar to the budget-allocation loss: diverges at both ends.
+  auto f = [](double x) { return std::exp(x) / (x * x) + 1.0 / (2.0 - x); };
+  const MinimizeResult r = NewtonMinimize(f, 0.05, 1.95);
+  // Verify stationarity numerically.
+  const double h = 1e-5;
+  const double grad = (f(r.x + h) - f(r.x - h)) / (2 * h);
+  EXPECT_NEAR(grad, 0.0, 1e-2);
+}
+
+TEST(NewtonMinimizeTest, FallsBackOnConcaveRegion) {
+  // -cos has negative curvature near the interval center x=pi; Newton must
+  // fall back to golden-section and still find the minimum at the boundary.
+  auto f = [](double x) { return std::cos(x); };
+  const MinimizeResult r = NewtonMinimize(f, 2.0, 4.5);
+  EXPECT_NEAR(r.x, M_PI, 1e-5);
+}
+
+TEST(NewtonMinimizeTest, DegenerateInterval) {
+  auto f = [](double x) { return x * x; };
+  const MinimizeResult r = NewtonMinimize(f, 1.0, 1.0 + 1e-12);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.0, 1e-9);
+}
+
+TEST(NewtonMinimizeTest, NeverWorseThanGolden) {
+  auto f = [](double x) {
+    return std::sin(3 * x) + 0.1 * (x - 2.0) * (x - 2.0);
+  };
+  const MinimizeResult newton = NewtonMinimize(f, 0.0, 4.0);
+  const MinimizeResult golden = GoldenSectionMinimize(f, 0.0, 4.0);
+  EXPECT_LE(newton.value, golden.value + 1e-9);
+}
+
+TEST(BisectRootTest, FindsRoot) {
+  auto f = [](double x) { return x * x - 2.0; };
+  EXPECT_NEAR(BisectRoot(f, 0.0, 2.0), std::sqrt(2.0), 1e-9);
+}
+
+TEST(BisectRootTest, LinearFunction) {
+  auto f = [](double x) { return 3.0 * x - 6.0; };
+  EXPECT_NEAR(BisectRoot(f, -10.0, 10.0), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cne

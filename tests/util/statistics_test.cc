@@ -1,0 +1,151 @@
+#include "util/statistics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cne {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.Count(), 0u);
+  EXPECT_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.Variance(), 0.0);
+  EXPECT_EQ(stats.StdError(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(3.5);
+  EXPECT_EQ(stats.Count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 3.5);
+  EXPECT_EQ(stats.Variance(), 0.0);
+  EXPECT_EQ(stats.Min(), 3.5);
+  EXPECT_EQ(stats.Max(), 3.5);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(stats.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.Min(), 2.0);
+  EXPECT_EQ(stats.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  RunningStats stats;
+  const double offset = 1e9;
+  for (double x : {offset + 1, offset + 2, offset + 3}) stats.Add(x);
+  EXPECT_NEAR(stats.Mean(), offset + 2, 1e-3);
+  EXPECT_NEAR(stats.Variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats combined, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    combined.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  EXPECT_NEAR(a.Mean(), combined.Mean(), 1e-12);
+  EXPECT_NEAR(a.Variance(), combined.Variance(), 1e-10);
+  EXPECT_EQ(a.Min(), combined.Min());
+  EXPECT_EQ(a.Max(), combined.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean = a.Mean();
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), mean);
+  empty.Merge(a);
+  EXPECT_EQ(empty.Count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.Mean(), mean);
+}
+
+TEST(SummarizeTest, EmptySample) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, OrderStatistics) {
+  const Summary s = Summarize({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+}
+
+TEST(QuantileTest, Interpolation) {
+  const std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.25), 2.5);
+}
+
+TEST(QuantileTest, ClampsOutOfRange) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 2.0), 3.0);
+}
+
+TEST(ErrorMetricsTest, MeanAbsoluteError) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2, 3}, {1, 4, 1}), (0 + 2 + 2) / 3.0);
+  EXPECT_EQ(MeanAbsoluteError({}, {}), 0.0);
+}
+
+TEST(ErrorMetricsTest, MeanRelativeErrorGuardsZeroTruth) {
+  // truth 0 -> denominator max(0, 1) = 1.
+  EXPECT_DOUBLE_EQ(MeanRelativeError({2.0}, {0.0}), 2.0);
+  EXPECT_DOUBLE_EQ(MeanRelativeError({8.0}, {4.0}), 1.0);
+}
+
+TEST(ErrorMetricsTest, MeanSquaredError) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({3.0, 1.0}, {1.0, 1.0}), 2.0);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);    // bucket 0
+  h.Add(9.9);    // bucket 4
+  h.Add(-5.0);   // clamped to bucket 0
+  h.Add(100.0);  // clamped to bucket 4
+  h.Add(5.0);    // bucket 2 (boundary rounds down into [4,6))
+  EXPECT_EQ(h.Total(), 5u);
+  EXPECT_EQ(h.BucketValue(0), 2u);
+  EXPECT_EQ(h.BucketValue(2), 1u);
+  EXPECT_EQ(h.BucketValue(4), 2u);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BucketLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketLow(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(4), 10.0);
+}
+
+TEST(HistogramTest, AsciiRendering) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(0.6);
+  h.Add(1.5);
+  const std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find("##########"), std::string::npos);  // full bar
+  EXPECT_NE(art.find("#####\n"), std::string::npos);     // half bar
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,52 @@
+#include "util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cne {
+namespace {
+
+TEST(TextTableTest, AlignedOutput) {
+  TextTable t({"name", "value"});
+  t.NewRow().Add("short").AddInt(1);
+  t.NewRow().Add("a-much-longer-name").AddInt(22);
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.NewRow().AddInt(1).AddDouble(2.5, 1);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+}
+
+TEST(TextTableTest, NumRows) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.NumRows(), 0u);
+  t.NewRow().AddInt(1);
+  t.NewRow().AddInt(2);
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(FormatTest, FixedAndScientific) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatSci(12345.0, 2), "1.23e+04");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(3.5 * 1024 * 1024), "3.50 MB");
+  EXPECT_EQ(FormatBytes(1024.0 * 1024 * 1024 * 2), "2.00 GB");
+}
+
+}  // namespace
+}  // namespace cne
