@@ -1,7 +1,8 @@
 // Ablation: sparse randomized response vs the textbook dense (bit-by-bit)
-// implementation. DESIGN.md claims the sparse sampler is distributionally
-// identical at O(d + pn) cost; this harness measures both the speedup and
-// the distributional agreement (noisy-degree mean over repeated runs).
+// implementation. docs/ARCHITECTURE.md claims the sparse sampler is
+// distributionally identical at O(d + pn) cost; this harness measures both
+// the speedup and the distributional agreement (noisy-degree mean over
+// repeated runs).
 
 #include <cstdio>
 #include <iostream>

@@ -25,10 +25,10 @@ void PrintHeader(const std::string& artifact, const std::string& summary,
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", artifact.c_str(), summary.c_str());
   std::printf("paper: Common Neighborhood Estimation over Bipartite Graphs\n");
-  std::printf("       under Local Differential Privacy (SIGMOD 2025)\n");
+  std::printf("       under Local Differential Privacy (SIGMOD 2024)\n");
   std::printf("datasets: synthetic Chung-Lu analogs of the KONECT graphs\n");
   std::printf("          (Table 2 sizes; >2M-edge graphs scaled, see "
-              "EXPERIMENTS.md)\n");
+              "docs/BENCHMARKS.md)\n");
   std::printf("pairs=%zu trials=%zu seed=%llu\n", options.pairs,
               options.trials,
               static_cast<unsigned long long>(options.seed));

@@ -7,9 +7,9 @@
 // scaled by `edge_scale` and vertices by sqrt(edge_scale) (which preserves
 // density and hence the degree structure), with two extra-large lower
 // layers capped explicitly. The substitution and its effect on each figure
-// are documented in DESIGN.md and EXPERIMENTS.md. Generation is
-// deterministic given the per-dataset seed, so every bench sees identical
-// graphs.
+// are documented in docs/ARCHITECTURE.md and docs/BENCHMARKS.md.
+// Generation is deterministic given the per-dataset seed, so every bench
+// sees identical graphs.
 
 #ifndef CNE_EVAL_DATASETS_H_
 #define CNE_EVAL_DATASETS_H_

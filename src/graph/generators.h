@@ -3,8 +3,8 @@
 // The evaluation harness cannot download the paper's 15 KONECT datasets in
 // an offline environment, so `eval/datasets` builds power-law Chung–Lu
 // analogs with matched vertex and edge counts using these generators (the
-// substitution is documented in DESIGN.md). The remaining generators exist
-// for tests and examples.
+// substitution is documented in docs/ARCHITECTURE.md). The remaining
+// generators exist for tests and examples.
 
 #ifndef CNE_GRAPH_GENERATORS_H_
 #define CNE_GRAPH_GENERATORS_H_

@@ -11,8 +11,9 @@ TEST(TimerTest, MonotoneNonNegative) {
   const double a = timer.Seconds();
   EXPECT_GE(a, 0.0);
   // Burn a little time deterministically.
+  // Compound assignment on volatile is deprecated in C++20.
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   const double b = timer.Seconds();
   EXPECT_GE(b, a);
   // Millis and Seconds use the same clock: successive reads stay ordered.
@@ -23,7 +24,7 @@ TEST(TimerTest, MonotoneNonNegative) {
 TEST(TimerTest, ResetRestartsClock) {
   Timer timer;
   volatile double sink = 0;
-  for (int i = 0; i < 1000000; ++i) sink += i;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
   const double before = timer.Seconds();
   timer.Reset();
   EXPECT_LT(timer.Seconds(), before + 1e-3);

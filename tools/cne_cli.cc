@@ -38,7 +38,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: cne <gen|stats|estimate|experiment> [--flags]\n"
+               "usage: cne_cli <gen|stats|estimate|experiment> [--flags]\n"
                "see the header of tools/cne_cli.cc for the full flag list\n");
   return 2;
 }
