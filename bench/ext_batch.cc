@@ -8,8 +8,8 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/batch.h"
 #include "core/oner.h"
+#include "service/batch.h"
 #include "eval/query_sampler.h"
 #include "util/statistics.h"
 #include "util/table.h"
@@ -23,9 +23,9 @@ int main(int argc, char** argv) {
   bench::PrintHeader("Extension", "batch vs per-pair query answering",
                      options);
 
-  TextTable table({"dataset", "queries", "distinct v", "MAE per-pair",
-                   "MAE batch", "upload per-pair", "upload batch",
-                   "time per-pair(s)", "time batch(s)"});
+  TextTable table({"dataset", "queries", "distinct v", "hit rate",
+                   "MAE per-pair", "MAE batch", "upload per-pair",
+                   "upload batch", "time per-pair(s)", "time batch(s)"});
   for (const DatasetSpec& spec : ResolveDatasets(options.datasets)) {
     const BipartiteGraph& g = bench::CachedDataset(spec);
     Rng rng(options.seed);
@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
         .Add(spec.code)
         .AddInt(static_cast<long long>(queries.size()))
         .AddInt(static_cast<long long>(batch.vertices_released))
+        .AddDouble(batch.cache_hit_rate, 3)
         .AddDouble(MeanAbsoluteError(per_pair, truths), 3)
         .AddDouble(MeanAbsoluteError(batch_estimates, truths), 3)
         .Add(FormatBytes(upload_pp))

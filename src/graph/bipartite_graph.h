@@ -36,6 +36,20 @@ struct LayeredVertex {
   friend bool operator==(const LayeredVertex&, const LayeredVertex&) = default;
 };
 
+/// Packs a layered vertex into one 64-bit hash-map key: layer in the
+/// high half, id in the low half. The single definition of this layout —
+/// anything keying per-vertex state (budget ledgers, view stores) must
+/// use it so the maps agree if VertexId ever widens.
+constexpr uint64_t PackLayeredVertex(LayeredVertex v) {
+  return (static_cast<uint64_t>(v.layer) << 32) | v.id;
+}
+
+/// Inverse of PackLayeredVertex.
+constexpr LayeredVertex UnpackLayeredVertex(uint64_t key) {
+  return {static_cast<Layer>(key >> 32),
+          static_cast<VertexId>(key & 0xffffffffULL)};
+}
+
 /// An undirected bipartite edge (upper endpoint, lower endpoint).
 struct Edge {
   VertexId upper;

@@ -128,4 +128,9 @@ BipartiteGraph ReadBinaryFile(const std::string& path) {
   return BipartiteGraph(num_upper, num_lower, edges);
 }
 
+BipartiteGraph ReadGraphFile(const std::string& path) {
+  return path.ends_with(".bin") ? ReadBinaryFile(path)
+                                : ReadEdgeListFile(path);
+}
+
 }  // namespace cne

@@ -38,6 +38,10 @@ void WriteBinaryFile(const BipartiteGraph& graph, const std::string& path);
 /// magic number, version, or truncated file.
 BipartiteGraph ReadBinaryFile(const std::string& path);
 
+/// Reads a graph file, dispatching on the extension: `.bin` uses the
+/// binary format, anything else the KONECT text format.
+BipartiteGraph ReadGraphFile(const std::string& path);
+
 }  // namespace cne
 
 #endif  // CNE_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,90 @@
+#include "ldp/budget_ledger.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cne {
+
+namespace {
+// Absorbs float drift when a split (ε1 + ε2) is meant to sum exactly to
+// the lifetime budget; far below any meaningful privacy increment.
+constexpr double kTolerance = 1e-9;
+}  // namespace
+
+BudgetLedger::BudgetLedger(double lifetime_budget)
+    : lifetime_budget_(lifetime_budget) {
+  CNE_CHECK(lifetime_budget > 0.0) << "lifetime budget must be positive";
+}
+
+bool BudgetLedger::TryCharge(LayeredVertex vertex, double epsilon) {
+  CNE_CHECK(epsilon > 0.0) << "charges must be positive";
+  const uint64_t key = PackLayeredVertex(vertex);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  double& spent = shard.spent[key];  // inserts 0 on first touch
+  if (spent + epsilon > lifetime_budget_ + kTolerance) {
+    if (spent == 0.0) shard.spent.erase(key);  // keep "charged" exact
+    return false;
+  }
+  spent += epsilon;
+  return true;
+}
+
+double BudgetLedger::Spent(LayeredVertex vertex) const {
+  const uint64_t key = PackLayeredVertex(vertex);
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.spent.find(key);
+  return it == shard.spent.end() ? 0.0 : it->second;
+}
+
+uint64_t BudgetLedger::NumChargedVertices() const {
+  uint64_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    count += shard.spent.size();
+  }
+  return count;
+}
+
+double BudgetLedger::TotalSpent() const {
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, spent] : shard.spent) total += spent;
+  }
+  return total;
+}
+
+double BudgetLedger::MinRemaining() const {
+  double max_spent = 0.0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, spent] : shard.spent) {
+      max_spent = std::max(max_spent, spent);
+    }
+  }
+  return lifetime_budget_ - max_spent;
+}
+
+std::vector<VertexBudget> BudgetLedger::Snapshot() const {
+  std::vector<VertexBudget> entries;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, spent] : shard.spent) {
+      entries.push_back(
+          {UnpackLayeredVertex(key), spent, lifetime_budget_ - spent});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const VertexBudget& a, const VertexBudget& b) {
+              if (a.vertex.layer != b.vertex.layer) {
+                return a.vertex.layer < b.vertex.layer;
+              }
+              return a.vertex.id < b.vertex.id;
+            });
+  return entries;
+}
+
+}  // namespace cne

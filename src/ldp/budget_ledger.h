@@ -1,0 +1,93 @@
+// Per-vertex privacy-budget ledger for long-lived services.
+//
+// The BudgetAccountant (budget.h) audits one protocol execution; this
+// ledger enforces composition across an *entire service lifetime*. Every
+// mechanism application to a vertex's neighbor list — a randomized
+// response release, a Laplace release of an estimator computed from that
+// list — sequentially composes on that vertex, while charges to different
+// vertices compose in parallel (disjoint neighbor lists). The ledger
+// therefore keeps one running ε total per (layer, vertex) and refuses any
+// charge that would push a vertex past the lifetime budget: an
+// over-budget release is rejected *before* noise is drawn, so nothing
+// private ever leaves the vertex.
+//
+// Thread safety: all methods may be called concurrently; the map is
+// sharded to keep contention low. Admission decisions that must be
+// deterministic across thread counts (the query service's) are made in a
+// sequential pass by the caller — the ledger itself only guarantees
+// atomicity of each charge.
+
+#ifndef CNE_LDP_BUDGET_LEDGER_H_
+#define CNE_LDP_BUDGET_LEDGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace cne {
+
+/// A vertex's entry in a ledger snapshot.
+struct VertexBudget {
+  LayeredVertex vertex;
+  double spent = 0.0;
+  double remaining = 0.0;
+};
+
+/// Tracks per-vertex ε consumption against a fixed lifetime budget.
+class BudgetLedger {
+ public:
+  /// Every vertex may spend at most `lifetime_budget` total ε.
+  explicit BudgetLedger(double lifetime_budget);
+
+  double lifetime_budget() const { return lifetime_budget_; }
+
+  /// Atomically charges `epsilon` to `vertex` if its remaining budget
+  /// allows it (within a tiny floating-point tolerance); returns whether
+  /// the charge was recorded. A rejected charge records nothing.
+  bool TryCharge(LayeredVertex vertex, double epsilon);
+
+  /// Total ε charged to `vertex` so far (0 if never charged).
+  double Spent(LayeredVertex vertex) const;
+
+  /// Budget `vertex` can still spend.
+  double Remaining(LayeredVertex vertex) const {
+    return lifetime_budget_ - Spent(vertex);
+  }
+
+  /// Number of distinct vertices with at least one recorded charge.
+  uint64_t NumChargedVertices() const;
+
+  /// Sum of ε across all vertices (parallel composition makes the
+  /// service-wide guarantee max over vertices, but the sum is useful for
+  /// reporting).
+  double TotalSpent() const;
+
+  /// Smallest remaining budget over charged vertices; the full lifetime
+  /// budget when nothing was charged.
+  double MinRemaining() const;
+
+  /// Every charged vertex with its spent/remaining budget, sorted by
+  /// (layer, id) so reports are deterministic.
+  std::vector<VertexBudget> Snapshot() const;
+
+ private:
+  static constexpr size_t kNumShards = 64;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<uint64_t, double> spent;  // key: packed vertex
+  };
+
+  Shard& ShardFor(uint64_t key) { return shards_[key % kNumShards]; }
+  const Shard& ShardFor(uint64_t key) const { return shards_[key % kNumShards]; }
+
+  double lifetime_budget_;
+  Shard shards_[kNumShards];
+};
+
+}  // namespace cne
+
+#endif  // CNE_LDP_BUDGET_LEDGER_H_

@@ -1,0 +1,59 @@
+#include "service/batch.h"
+
+#include "service/query_service.h"
+#include "util/logging.h"
+
+namespace cne {
+
+namespace {
+
+BatchResult RunBatch(const BipartiteGraph& graph,
+                     const std::vector<QueryPair>& queries,
+                     ServiceAlgorithm algorithm, double epsilon, Rng& rng) {
+  CNE_CHECK(!queries.empty()) << "empty batch";
+  const Layer layer = queries.front().layer;
+  for (const QueryPair& q : queries) {
+    CNE_CHECK(q.layer == layer) << "batch mixes query layers";
+  }
+
+  ServiceOptions options;
+  options.algorithm = algorithm;
+  options.epsilon = epsilon;
+  options.num_threads = 1;
+  // Derive the service seed from the caller's stream so repeated batches
+  // on the same Rng draw fresh noise, as the per-pair estimators do.
+  options.seed = rng.NextU64();
+  QueryService service(graph, options);
+  const ServiceReport report = service.Submit(queries);
+  // Every vertex fits one full-ε release under the default lifetime
+  // budget, so nothing can be rejected.
+  CNE_CHECK(report.rejected == 0) << "batch rejected queries";
+
+  BatchResult result;
+  result.answers.reserve(report.answers.size());
+  for (const ServiceAnswer& answer : report.answers) {
+    result.answers.push_back({answer.query, answer.estimate});
+  }
+  result.vertices_released = report.store.releases;
+  result.cache_hits = report.store.cache_hits;
+  result.cache_hit_rate = report.store.CacheHitRate();
+  result.uploaded_bytes = report.store.uploaded_bytes;
+  result.residual_budget = service.ledger().Snapshot();
+  return result;
+}
+
+}  // namespace
+
+BatchResult BatchOneR(const BipartiteGraph& graph,
+                      const std::vector<QueryPair>& queries, double epsilon,
+                      Rng& rng) {
+  return RunBatch(graph, queries, ServiceAlgorithm::kOneR, epsilon, rng);
+}
+
+BatchResult BatchNaive(const BipartiteGraph& graph,
+                       const std::vector<QueryPair>& queries, double epsilon,
+                       Rng& rng) {
+  return RunBatch(graph, queries, ServiceAlgorithm::kNaive, epsilon, rng);
+}
+
+}  // namespace cne

@@ -10,14 +10,19 @@
 // across vertices — a strictly better privacy/utility point than running
 // Q independent per-pair protocols (which would cost a vertex appearing in
 // k pairs a k·ε budget under sequential composition).
+//
+// These functions are thin single-threaded wrappers over the service
+// layer: QueryService + NoisyViewStore + BudgetLedger own the one sharing
+// implementation (query_service.h); this header keeps the simple
+// functional API and adds the historical same-layer restriction.
 
-#ifndef CNE_CORE_BATCH_H_
-#define CNE_CORE_BATCH_H_
+#ifndef CNE_SERVICE_BATCH_H_
+#define CNE_SERVICE_BATCH_H_
 
 #include <vector>
 
 #include "core/estimator.h"
-#include "ldp/randomized_response.h"
+#include "ldp/budget_ledger.h"
 
 namespace cne {
 
@@ -31,7 +36,14 @@ struct BatchAnswer {
 struct BatchResult {
   std::vector<BatchAnswer> answers;
   uint64_t vertices_released = 0;  ///< distinct vertices that ran RR
+  uint64_t cache_hits = 0;         ///< vertex lookups served by the store
+  double cache_hit_rate = 0.0;     ///< cache_hits / vertex lookups
   double uploaded_bytes = 0.0;     ///< total noisy edges uploaded
+  /// Residual lifetime budget of every vertex the batch touched, sorted
+  /// by (layer, id). Under the batch lifetime budget ε each released
+  /// vertex ends at 0 — the accounting proves no vertex can be released
+  /// twice.
+  std::vector<VertexBudget> residual_budget;
 };
 
 /// Answers every query with the OneR estimator over a single shared noisy
@@ -50,4 +62,4 @@ BatchResult BatchNaive(const BipartiteGraph& graph,
 
 }  // namespace cne
 
-#endif  // CNE_CORE_BATCH_H_
+#endif  // CNE_SERVICE_BATCH_H_

@@ -1,0 +1,138 @@
+#include "service/noisy_view_store.h"
+
+#include <utility>
+
+#include "ldp/comm_model.h"
+#include "util/logging.h"
+
+namespace cne {
+
+NoisyViewStore::NoisyViewStore(const BipartiteGraph& graph, double epsilon,
+                               const Rng& base_rng, BudgetLedger& ledger)
+    : graph_(graph), epsilon_(epsilon), base_rng_(base_rng), ledger_(ledger) {
+  CNE_CHECK(epsilon > 0.0) << "release budget must be positive";
+}
+
+NoisyViewStore::Admission NoisyViewStore::Authorize(LayeredVertex vertex) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t key = PackLayeredVertex(vertex);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.entries.contains(key)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return Admission::kCacheHit;
+  }
+  if (!ledger_.TryCharge(vertex, epsilon_)) {
+    rejections_.fetch_add(1, std::memory_order_relaxed);
+    return Admission::kRejected;
+  }
+  shard.entries.emplace(key, Entry{});
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> pending_lock(pending_mutex_);
+    pending_.push_back(vertex);
+  }
+  return Admission::kAuthorized;
+}
+
+bool NoisyViewStore::Contains(LayeredVertex vertex) const {
+  const uint64_t key = PackLayeredVertex(vertex);
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.entries.contains(key);
+}
+
+void NoisyViewStore::MaterializeAuthorized(ThreadPool& pool) {
+  std::vector<LayeredVertex> batch;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    batch.swap(pending_);
+  }
+  if (batch.empty()) return;
+  pool.ParallelFor(batch.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const LayeredVertex vertex = batch[i];
+      const uint64_t key = PackLayeredVertex(vertex);
+      Shard& shard = ShardFor(key);
+      {
+        // A lazy Get may have built this view already; both paths draw
+        // from the vertex's own substream, so whichever wins stores the
+        // same bytes — skip to avoid double-counting the upload.
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.entries.at(key).view != nullptr) continue;
+      }
+      std::unique_ptr<NoisyNeighborSet> view = Generate(vertex);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      Entry& entry = shard.entries.at(key);
+      if (entry.view == nullptr) {
+        RecordUpload(*view);
+        entry.view = std::move(view);
+      }
+    }
+  });
+}
+
+const NoisyNeighborSet* NoisyViewStore::Get(LayeredVertex vertex) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t key = PackLayeredVertex(vertex);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (it->second.view == nullptr) {
+      // Authorized earlier but never prefetched; build it now. Noise
+      // comes from the vertex's own substream, so the view is identical
+      // to what MaterializeAuthorized would have produced.
+      it->second.view = Generate(vertex);
+      RecordUpload(*it->second.view);
+    }
+    return it->second.view.get();
+  }
+  if (!ledger_.TryCharge(vertex, epsilon_)) {
+    rejections_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  Entry entry;
+  entry.view = Generate(vertex);
+  RecordUpload(*entry.view);
+  return shard.entries.emplace(key, std::move(entry))
+      .first->second.view.get();
+}
+
+const NoisyNeighborSet& NoisyViewStore::View(LayeredVertex vertex) const {
+  const uint64_t key = PackLayeredVertex(vertex);
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  CNE_CHECK(it != shard.entries.end() && it->second.view != nullptr)
+      << "view of " << LayerName(vertex.layer) << " vertex " << vertex.id
+      << " was never materialized";
+  return *it->second.view;
+}
+
+NoisyViewStore::Stats NoisyViewStore::stats() const {
+  Stats stats;
+  stats.lookups = lookups_.load(std::memory_order_relaxed);
+  stats.releases = releases_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.rejections = rejections_.load(std::memory_order_relaxed);
+  stats.uploaded_bytes =
+      CommModel{}.bytes_per_edge *
+      static_cast<double>(uploaded_edges_.load(std::memory_order_relaxed));
+  return stats;
+}
+
+std::unique_ptr<NoisyNeighborSet> NoisyViewStore::Generate(
+    LayeredVertex vertex) const {
+  Rng rng = base_rng_.Fork(PackLayeredVertex(vertex));
+  return std::make_unique<NoisyNeighborSet>(
+      ApplyRandomizedResponse(graph_, vertex, epsilon_, rng));
+}
+
+void NoisyViewStore::RecordUpload(const NoisyNeighborSet& view) {
+  uploaded_edges_.fetch_add(view.Size(), std::memory_order_relaxed);
+}
+
+}  // namespace cne

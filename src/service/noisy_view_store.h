@@ -1,0 +1,142 @@
+// Shared store of noisy neighbor-list views.
+//
+// The privacy insight behind the whole service layer (and src/service/
+// batch.h before it): once a vertex's ε-randomized-response release
+// exists, it is *public*, and every estimate computed from it is
+// privacy-free post-processing. The store therefore materializes each
+// vertex's noisy view at most once per service lifetime and hands out
+// const references — a second query touching the same vertex costs zero
+// privacy and zero vertex-side work.
+//
+// Budget: every materialization charges the store's release budget ε to
+// the vertex on the shared `BudgetLedger`; when the ledger refuses (the
+// vertex has already spent its lifetime budget on earlier releases), the
+// store rejects the release *before* any noise is drawn.
+//
+// Determinism: vertex v's view is generated from `base_rng.Fork(key(v))`,
+// a pure function of the store seed and the vertex identity. Views are
+// therefore byte-identical no matter which thread materializes them, in
+// what order, or whether they were built lazily (`Get`) or in a parallel
+// prefetch (`MaterializeAuthorized`).
+
+#ifndef CNE_SERVICE_NOISY_VIEW_STORE_H_
+#define CNE_SERVICE_NOISY_VIEW_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "ldp/budget_ledger.h"
+#include "ldp/randomized_response.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cne {
+
+/// Lazily materialized, budget-guarded cache of per-vertex noisy views.
+/// All methods are thread-safe.
+class NoisyViewStore {
+ public:
+  /// Outcome of an admission check for one vertex.
+  enum class Admission {
+    kCacheHit,    ///< view already authorized or materialized; no charge
+    kAuthorized,  ///< ε charged; view will materialize on first use
+    kRejected,    ///< ledger refused the charge; no release will happen
+  };
+
+  /// Cumulative counters over the store's lifetime.
+  struct Stats {
+    uint64_t lookups = 0;       ///< Authorize/Get calls
+    uint64_t releases = 0;      ///< vertices whose RR actually ran/will run
+    uint64_t cache_hits = 0;    ///< lookups served by an existing view
+    uint64_t rejections = 0;    ///< lookups refused by the ledger
+    double uploaded_bytes = 0;  ///< noisy edges uploaded, comm-model bytes
+
+    /// Fraction of lookups that needed no new release.
+    double CacheHitRate() const {
+      return lookups == 0
+                 ? 0.0
+                 : static_cast<double>(cache_hits) / static_cast<double>(lookups);
+    }
+  };
+
+  /// Views are released from `graph` with budget `epsilon` each, charged
+  /// to `ledger`. `base_rng` seeds the per-vertex noise substreams; the
+  /// graph and ledger must outlive the store.
+  NoisyViewStore(const BipartiteGraph& graph, double epsilon,
+                 const Rng& base_rng, BudgetLedger& ledger);
+
+  /// Admits `vertex` for release without materializing it: charges the
+  /// ledger on first touch, no-op on a repeat. Used by the query
+  /// service's sequential admission pass so that accept/reject decisions
+  /// are independent of thread count.
+  Admission Authorize(LayeredVertex vertex);
+
+  /// True if `vertex` has an authorized or materialized view.
+  bool Contains(LayeredVertex vertex) const;
+
+  /// Materializes every authorized-but-unbuilt view, fanning the RR
+  /// sampling across `pool`.
+  void MaterializeAuthorized(ThreadPool& pool);
+
+  /// Returns the view of `vertex`, authorizing and materializing it on
+  /// first access; nullptr if the ledger rejects the release. The pointer
+  /// stays valid for the store's lifetime.
+  const NoisyNeighborSet* Get(LayeredVertex vertex);
+
+  /// Returns the already-materialized view of `vertex`; fatal check if it
+  /// was never authorized or not yet materialized.
+  const NoisyNeighborSet& View(LayeredVertex vertex) const;
+
+  /// Randomized-response budget of each release.
+  double epsilon() const { return epsilon_; }
+
+  Stats stats() const;
+
+ private:
+  static constexpr size_t kNumShards = 64;
+
+  struct Entry {
+    std::unique_ptr<NoisyNeighborSet> view;  ///< null until materialized
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<uint64_t, Entry> entries;
+  };
+
+  Shard& ShardFor(uint64_t key) { return shards_[key % kNumShards]; }
+  const Shard& ShardFor(uint64_t key) const {
+    return shards_[key % kNumShards];
+  }
+
+  /// Generates vertex's noisy view from its dedicated substream.
+  std::unique_ptr<NoisyNeighborSet> Generate(LayeredVertex vertex) const;
+
+  /// Records the upload of a freshly built view.
+  void RecordUpload(const NoisyNeighborSet& view);
+
+  const BipartiteGraph& graph_;
+  const double epsilon_;
+  const Rng base_rng_;
+  BudgetLedger& ledger_;
+
+  Shard shards_[kNumShards];
+
+  std::mutex pending_mutex_;
+  std::vector<LayeredVertex> pending_;  ///< authorized, not yet built
+
+  std::atomic<uint64_t> lookups_{0};
+  std::atomic<uint64_t> releases_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> rejections_{0};
+  std::atomic<uint64_t> uploaded_edges_{0};
+};
+
+}  // namespace cne
+
+#endif  // CNE_SERVICE_NOISY_VIEW_STORE_H_

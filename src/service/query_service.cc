@@ -1,0 +1,233 @@
+#include "service/query_service.h"
+
+#include <array>
+
+#include "core/multir_ss.h"
+#include "core/oner.h"
+#include "ldp/laplace_mechanism.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace cne {
+
+namespace {
+
+// Mirrors BudgetLedger's float-drift tolerance so a check-then-commit
+// admission never commits a charge the ledger would refuse.
+constexpr double kBudgetTolerance = 1e-9;
+
+bool IsMultiR(ServiceAlgorithm algorithm) {
+  return algorithm == ServiceAlgorithm::kMultiRSS ||
+         algorithm == ServiceAlgorithm::kMultiRDS;
+}
+
+// Budget each release draws from the store (ε1 for the MultiR family,
+// the full ε for the pure post-processing algorithms).
+double RrEpsilon(const ServiceOptions& options) {
+  return IsMultiR(options.algorithm)
+             ? options.epsilon * options.epsilon1_fraction
+             : options.epsilon;
+}
+
+}  // namespace
+
+const char* ToString(ServiceAlgorithm algorithm) {
+  switch (algorithm) {
+    case ServiceAlgorithm::kNaive:
+      return "Naive";
+    case ServiceAlgorithm::kOneR:
+      return "OneR";
+    case ServiceAlgorithm::kMultiRSS:
+      return "MultiR-SS";
+    case ServiceAlgorithm::kMultiRDS:
+      return "MultiR-DS";
+  }
+  return "?";
+}
+
+std::optional<ServiceAlgorithm> ParseServiceAlgorithm(
+    const std::string& name) {
+  for (ServiceAlgorithm algorithm :
+       {ServiceAlgorithm::kNaive, ServiceAlgorithm::kOneR,
+        ServiceAlgorithm::kMultiRSS, ServiceAlgorithm::kMultiRDS}) {
+    if (name == ToString(algorithm)) return algorithm;
+  }
+  return std::nullopt;
+}
+
+QueryService::QueryService(const BipartiteGraph& graph,
+                           ServiceOptions options)
+    : graph_(graph),
+      options_(options),
+      epsilon1_(RrEpsilon(options)),
+      epsilon2_(options.epsilon - epsilon1_),
+      ledger_(options.lifetime_budget > 0.0 ? options.lifetime_budget
+                                            : options.epsilon),
+      root_(options.seed),
+      store_(graph, epsilon1_, root_.Fork(0), ledger_),
+      noise_root_(root_.Fork(1)),
+      pool_(options.num_threads) {
+  CNE_CHECK(options.epsilon > 0.0) << "epsilon must be positive";
+  CNE_CHECK(options.epsilon1_fraction > 0.0 &&
+            options.epsilon1_fraction < 1.0)
+      << "epsilon1 fraction must lie in (0, 1)";
+}
+
+ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
+  Timer timer;
+  ServiceReport report;
+  report.answers.resize(queries.size());
+  std::vector<PlannedQuery> plan(queries.size());
+
+  // Phase 1 — sequential admission in submission order. Cheap (no noise
+  // is drawn) and the only phase whose outcome depends on earlier
+  // queries, so running it sequentially makes accept/reject decisions —
+  // and hence everything downstream — independent of thread count.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryPair& query = queries[i];
+    CNE_CHECK(query.u < graph_.NumVertices(query.layer) &&
+              query.w < graph_.NumVertices(query.layer))
+        << "query vertex out of range";
+    plan[i].query = query;
+    plan[i].noise_stream = next_noise_stream_++;
+    plan[i].admitted = Admit(query);
+  }
+
+  // Phase 2 — materialize the newly authorized noisy views in parallel;
+  // each view comes from its vertex's own substream.
+  store_.MaterializeAuthorized(pool_);
+
+  // Phase 3 — answer every admitted query in parallel; pure reads of the
+  // store plus per-query Laplace substreams.
+  pool_.ParallelFor(plan.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ServiceAnswer& answer = report.answers[i];
+      answer.query = plan[i].query;
+      if (!plan[i].admitted) {
+        answer.rejected = true;
+        continue;
+      }
+      answer.estimate = Answer(plan[i]);
+    }
+  });
+
+  for (const ServiceAnswer& answer : report.answers) {
+    if (answer.rejected) {
+      ++report.rejected;
+    } else {
+      ++report.answered;
+    }
+  }
+  report.seconds = timer.Seconds();
+  report.store = store_.stats();
+  report.budget_vertices_charged = ledger_.NumChargedVertices();
+  report.budget_total_spent = ledger_.TotalSpent();
+  report.budget_min_remaining = ledger_.MinRemaining();
+  return report;
+}
+
+bool QueryService::Admit(const QueryPair& query) {
+  const LayeredVertex u{query.layer, query.u};
+  const LayeredVertex w{query.layer, query.w};
+  const bool same = query.u == query.w;
+
+  // Which mechanisms does this query run? RR releases are needed only
+  // for vertices without a stored view; Laplace releases recur per query.
+  const bool rr_u = options_.algorithm != ServiceAlgorithm::kMultiRSS;
+  const bool rr_w = true;
+  const bool lap_u = IsMultiR(options_.algorithm);
+  const bool lap_w = options_.algorithm == ServiceAlgorithm::kMultiRDS;
+
+  const bool rr_u_needed = rr_u && !store_.Contains(u);
+  const bool rr_w_needed =
+      rr_w && !(same && rr_u) && !store_.Contains(w);
+
+  // Merge the query's charges per distinct vertex, then test them against
+  // the residual budgets before committing anything: either the whole
+  // query is affordable or nothing is charged.
+  std::array<std::pair<LayeredVertex, double>, 2> needs;
+  size_t num_needs = 0;
+  const auto add = [&](LayeredVertex v, double epsilon) {
+    for (size_t i = 0; i < num_needs; ++i) {
+      if (needs[i].first == v) {
+        needs[i].second += epsilon;
+        return;
+      }
+    }
+    needs[num_needs++] = {v, epsilon};
+  };
+  if (rr_u_needed) add(u, epsilon1_);
+  if (rr_w_needed) add(w, epsilon1_);
+  if (lap_u) add(u, epsilon2_);
+  if (lap_w) add(w, epsilon2_);
+
+  for (size_t i = 0; i < num_needs; ++i) {
+    if (needs[i].second > ledger_.Remaining(needs[i].first) +
+                              kBudgetTolerance) {
+      return false;
+    }
+  }
+
+  if (rr_u_needed) {
+    CNE_CHECK(store_.Authorize(u) == NoisyViewStore::Admission::kAuthorized);
+  } else if (rr_u) {
+    store_.Authorize(u);  // records the cache hit
+  }
+  if (rr_w_needed) {
+    CNE_CHECK(store_.Authorize(w) == NoisyViewStore::Admission::kAuthorized);
+  } else if (rr_w && !(same && rr_u)) {
+    store_.Authorize(w);
+  }
+  if (lap_u) {
+    CNE_CHECK(ledger_.TryCharge(u, epsilon2_));
+  }
+  if (lap_w) {
+    CNE_CHECK(ledger_.TryCharge(w, epsilon2_));
+  }
+  return true;
+}
+
+double QueryService::Answer(const PlannedQuery& planned) const {
+  const QueryPair& query = planned.query;
+  const LayeredVertex u{query.layer, query.u};
+  const LayeredVertex w{query.layer, query.w};
+  switch (options_.algorithm) {
+    case ServiceAlgorithm::kNaive: {
+      const NoisyNeighborSet& noisy_u = store_.View(u);
+      const NoisyNeighborSet& noisy_w = store_.View(w);
+      return static_cast<double>(SortedIntersectionSize(
+          noisy_u.SortedMembers(), noisy_w.SortedMembers()));
+    }
+    case ServiceAlgorithm::kOneR: {
+      const NoisyNeighborSet& noisy_u = store_.View(u);
+      const NoisyNeighborSet& noisy_w = store_.View(w);
+      const uint64_t n1 = SortedIntersectionSize(noisy_u.SortedMembers(),
+                                                 noisy_w.SortedMembers());
+      const uint64_t n2 = noisy_u.Size() + noisy_w.Size() - n1;
+      return OneRClosedForm(n1, n2,
+                            graph_.NumVertices(Opposite(query.layer)),
+                            noisy_u.flip_probability());
+    }
+    case ServiceAlgorithm::kMultiRSS: {
+      const double f_u = SingleSourceEstimate(graph_, u, store_.View(w));
+      Rng rng = noise_root_.Fork(planned.noise_stream);
+      return LaplaceMechanism(f_u, SingleSourceSensitivity(epsilon1_),
+                              epsilon2_, rng);
+    }
+    case ServiceAlgorithm::kMultiRDS: {
+      Rng rng = noise_root_.Fork(planned.noise_stream);
+      const double sensitivity = SingleSourceSensitivity(epsilon1_);
+      const double f_u =
+          LaplaceMechanism(SingleSourceEstimate(graph_, u, store_.View(w)),
+                           sensitivity, epsilon2_, rng);
+      const double f_w =
+          LaplaceMechanism(SingleSourceEstimate(graph_, w, store_.View(u)),
+                           sensitivity, epsilon2_, rng);
+      return 0.5 * (f_u + f_w);
+    }
+  }
+  CNE_CHECK(false) << "unreachable";
+  return 0.0;
+}
+
+}  // namespace cne

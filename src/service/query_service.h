@@ -1,0 +1,160 @@
+// Concurrent common-neighborhood query service.
+//
+// The per-pair estimators (core/) simulate one protocol execution per
+// query; real deployments issue huge same-graph workloads where the same
+// vertices recur constantly. The service turns the roster into a
+// high-throughput engine built on three parts:
+//
+//   * a NoisyViewStore releasing each vertex's noisy neighbor list at
+//     most once per service lifetime (shared post-processing),
+//   * a BudgetLedger enforcing per-vertex edge-LDP composition across
+//     every release the service ever makes, and
+//   * a ThreadPool + Rng::Fork substreams making execution byte-identical
+//     to sequential for any thread count.
+//
+// Algorithms and their per-query budget charges (lifetime budget B,
+// default B = ε):
+//
+//   kNaive / kOneR   one ε-RR release per distinct vertex, then pure
+//                    post-processing — unlimited queries per vertex.
+//   kMultiRSS        w's ε1-RR release is shared; each query additionally
+//                    releases f_u through Laplace, charging ε2 to u.
+//   kMultiRDS        both ε1-RR releases shared; each query charges ε2 to
+//                    u and to w for the two Laplace releases (the
+//                    basic α = 1/2 combination — the per-query degree
+//                    round would cost every vertex ε0 per query, which a
+//                    lifetime ledger immediately exposes as unaffordable).
+//
+// A query whose charges do not fit in every participant's residual budget
+// is rejected (deterministically: admission runs in submission order)
+// and reported as such — never silently answered over budget.
+
+#ifndef CNE_SERVICE_QUERY_SERVICE_H_
+#define CNE_SERVICE_QUERY_SERVICE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "ldp/budget_ledger.h"
+#include "service/noisy_view_store.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cne {
+
+/// The estimators the service can run over the shared store.
+enum class ServiceAlgorithm { kNaive, kOneR, kMultiRSS, kMultiRDS };
+
+/// Display name, e.g. "OneR".
+const char* ToString(ServiceAlgorithm algorithm);
+
+/// Parses a display name ("Naive", "OneR", "MultiR-SS", "MultiR-DS").
+std::optional<ServiceAlgorithm> ParseServiceAlgorithm(
+    const std::string& name);
+
+/// Service configuration, fixed for the service lifetime.
+struct ServiceOptions {
+  ServiceAlgorithm algorithm = ServiceAlgorithm::kOneR;
+
+  /// Per-query protocol budget ε (split ε1/ε2 for the MultiR family).
+  double epsilon = 2.0;
+
+  /// Lifetime ε each vertex may spend across every release the service
+  /// makes; 0 means "equal to epsilon". Raising it above epsilon lets a
+  /// vertex source multiple MultiR releases at a correspondingly weaker
+  /// whole-lifetime guarantee.
+  double lifetime_budget = 0.0;
+
+  /// Share of ε spent on randomized response by kMultiRSS/kMultiRDS.
+  double epsilon1_fraction = 0.5;
+
+  /// Threads executing each Submit (<= 0: hardware concurrency).
+  int num_threads = 1;
+
+  /// Master seed; with everything else equal, answers are byte-identical
+  /// across runs and thread counts.
+  uint64_t seed = 7;
+};
+
+/// One answered (or rejected) query.
+struct ServiceAnswer {
+  QueryPair query;
+  double estimate = 0.0;
+  /// True when the budget ledger could not afford the query's releases;
+  /// `estimate` is meaningless then.
+  bool rejected = false;
+};
+
+/// Outcome of one Submit: answers plus service-lifetime accounting.
+struct ServiceReport {
+  std::vector<ServiceAnswer> answers;
+
+  // This submission.
+  uint64_t answered = 0;
+  uint64_t rejected = 0;
+  double seconds = 0.0;
+
+  // Cumulative over the service lifetime.
+  NoisyViewStore::Stats store;
+  uint64_t budget_vertices_charged = 0;
+  double budget_total_spent = 0.0;
+  double budget_min_remaining = 0.0;
+
+  /// Answered queries per second. Rejections are excluded — they take
+  /// only the admission fast path, so counting them would inflate
+  /// throughput for budget-constrained workloads.
+  double QueriesPerSecond() const {
+    return seconds > 0.0 ? static_cast<double>(answered) / seconds : 0.0;
+  }
+};
+
+/// A long-lived query engine over one graph. Submit may be called
+/// repeatedly — privacy accounting accumulates across calls — but from
+/// one caller at a time: the service parallelizes internally rather than
+/// supporting reentrant Submits.
+class QueryService {
+ public:
+  /// The graph must outlive the service.
+  QueryService(const BipartiteGraph& graph, ServiceOptions options);
+
+  /// Answers `queries` (any mix of layers) and returns answers in input
+  /// order. Deterministic: depends only on the graph, options, and the
+  /// submission history — never on num_threads or scheduling.
+  ServiceReport Submit(const std::vector<QueryPair>& queries);
+
+  const ServiceOptions& options() const { return options_; }
+  const BudgetLedger& ledger() const { return ledger_; }
+  const NoisyViewStore& store() const { return store_; }
+
+ private:
+  struct PlannedQuery {
+    QueryPair query;
+    bool admitted = false;
+    uint64_t noise_stream = 0;  ///< Laplace substream (MultiR family)
+  };
+
+  /// Sequential, deterministic admission of one query: checks that every
+  /// charge fits, then commits them all (or none).
+  bool Admit(const QueryPair& query);
+
+  /// Post-processing / release phase for one admitted query.
+  double Answer(const PlannedQuery& planned) const;
+
+  const BipartiteGraph& graph_;
+  const ServiceOptions options_;
+  const double epsilon1_;  ///< RR share (epsilon for kNaive/kOneR)
+  const double epsilon2_;  ///< Laplace share (0 for kNaive/kOneR)
+  BudgetLedger ledger_;
+  const Rng root_;
+  NoisyViewStore store_;
+  Rng noise_root_;  ///< parent of the per-query Laplace substreams
+  ThreadPool pool_;
+  uint64_t next_noise_stream_ = 0;
+};
+
+}  // namespace cne
+
+#endif  // CNE_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,92 @@
+#include "service/workload.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace cne {
+
+std::vector<QueryPair> ReadWorkloadStream(std::istream& in) {
+  std::vector<QueryPair> queries;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#' ||
+        line[first] == '%') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string layer_name;
+    long long u = -1;
+    long long w = -1;
+    if (!(fields >> layer_name >> u >> w) || u < 0 || w < 0 ||
+        u > std::numeric_limits<VertexId>::max() ||
+        w > std::numeric_limits<VertexId>::max()) {
+      throw std::runtime_error("workload line " + std::to_string(line_number) +
+                               ": expected '<upper|lower> <u> <w>'");
+    }
+    QueryPair query;
+    if (layer_name == "upper") {
+      query.layer = Layer::kUpper;
+    } else if (layer_name == "lower") {
+      query.layer = Layer::kLower;
+    } else {
+      throw std::runtime_error("workload line " + std::to_string(line_number) +
+                               ": unknown layer '" + layer_name + "'");
+    }
+    query.u = static_cast<VertexId>(u);
+    query.w = static_cast<VertexId>(w);
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+std::vector<QueryPair> ReadWorkloadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open workload file " + path);
+  return ReadWorkloadStream(in);
+}
+
+void WriteWorkloadStream(const std::vector<QueryPair>& queries,
+                         std::ostream& out) {
+  out << "# cne workload: <layer> <u> <w>, " << queries.size()
+      << " queries\n";
+  for (const QueryPair& query : queries) {
+    out << LayerName(query.layer) << ' ' << query.u << ' ' << query.w
+        << '\n';
+  }
+}
+
+void WriteWorkloadFile(const std::vector<QueryPair>& queries,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write workload file " + path);
+  WriteWorkloadStream(queries, out);
+  if (!out) throw std::runtime_error("failed writing workload file " + path);
+}
+
+std::vector<QueryPair> MakeHotSetWorkload(const BipartiteGraph& graph,
+                                          Layer layer, size_t count,
+                                          VertexId hot_set_size, Rng& rng) {
+  const VertexId layer_size = graph.NumVertices(layer);
+  CNE_CHECK(layer_size >= 2) << "hot-set workload needs >= 2 vertices";
+  const VertexId hot = std::max<VertexId>(
+      2, std::min<VertexId>(hot_set_size, layer_size));
+  std::vector<QueryPair> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.UniformInt(hot));
+    VertexId w = static_cast<VertexId>(rng.UniformInt(hot - 1));
+    if (w >= u) ++w;  // uniform over pairs with w != u
+    queries.push_back({layer, u, w});
+  }
+  return queries;
+}
+
+}  // namespace cne

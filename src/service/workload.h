@@ -1,0 +1,48 @@
+// Workload files and synthetic workload generation for the query service.
+//
+// A workload file is the on-disk form of a Submit batch: one query per
+// line, `<layer> <u> <w>` with `upper`/`lower` layer names, `#` or `%`
+// comment lines, blank lines ignored. `cne_serve` consumes them; the
+// generators below create the service-shaped workloads (hot-set reuse)
+// that make sharing measurable.
+
+#ifndef CNE_SERVICE_WORKLOAD_H_
+#define CNE_SERVICE_WORKLOAD_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "graph/bipartite_graph.h"
+#include "util/rng.h"
+
+namespace cne {
+
+/// Parses a workload stream. Throws std::runtime_error on malformed
+/// input (unknown layer, missing fields, ids that do not fit VertexId).
+std::vector<QueryPair> ReadWorkloadStream(std::istream& in);
+
+/// Reads a workload file. Throws std::runtime_error if the file cannot
+/// be opened or parsed.
+std::vector<QueryPair> ReadWorkloadFile(const std::string& path);
+
+/// Writes `queries` in the workload format with a header comment.
+void WriteWorkloadStream(const std::vector<QueryPair>& queries,
+                         std::ostream& out);
+void WriteWorkloadFile(const std::vector<QueryPair>& queries,
+                       const std::string& path);
+
+/// Samples `count` pairs of distinct vertices drawn uniformly from the
+/// `hot_set_size` lowest-id vertices of `layer` — the recommendation-
+/// frontend shape where a small set of heavy users is queried over and
+/// over, so the shared store's cache hit rate approaches 1. Requires the
+/// layer to hold at least two vertices; the hot set is clamped to the
+/// layer size.
+std::vector<QueryPair> MakeHotSetWorkload(const BipartiteGraph& graph,
+                                          Layer layer, size_t count,
+                                          VertexId hot_set_size, Rng& rng);
+
+}  // namespace cne
+
+#endif  // CNE_SERVICE_WORKLOAD_H_

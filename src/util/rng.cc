@@ -128,4 +128,18 @@ std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
 
 Rng Rng::Split() { return Rng(NextU64()); }
 
+Rng Rng::Fork(uint64_t stream) const {
+  // Hash the four state words together with the stream index through a
+  // SplitMix64 chain. The parent state is read, never advanced, so the
+  // child is a pure function of (state, stream); the Rng(seed) expansion
+  // then re-mixes the 64-bit digest into a full xoshiro state.
+  uint64_t x = stream;
+  uint64_t seed = SplitMix64(x);
+  for (uint64_t word : state_) {
+    x ^= word;
+    seed ^= SplitMix64(x);
+  }
+  return Rng(seed);
+}
+
 }  // namespace cne

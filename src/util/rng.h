@@ -68,7 +68,17 @@ class Rng {
   std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
 
   /// Derives an independent generator deterministically from this one.
+  /// Advances this generator's state, so successive calls yield distinct
+  /// children.
   Rng Split();
+
+  /// Derives an independent generator for substream `stream` without
+  /// advancing this generator. The child depends only on (current state,
+  /// stream), never on call order, so concurrent workers that fork the
+  /// same parent by work-item index draw byte-identical noise regardless
+  /// of thread count or scheduling. Distinct streams are independent
+  /// (splitmix64-hashed seeding).
+  Rng Fork(uint64_t stream) const;
 
  private:
   uint64_t state_[4];

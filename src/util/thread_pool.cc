@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace cne {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    body(0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ = n;
+    next_ = 0;
+    // ~4 claims per thread balances load without contending on the claim
+    // counter; results are identical for any chunking because work items
+    // are independent.
+    chunk_ = std::max<size_t>(1, n / (4 * static_cast<size_t>(NumThreads())));
+    body_ = &body;
+    active_workers_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  RunChunks();
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return active_workers_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_ready_.wait(lock, [&] {
+      return shutdown_ || generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    lock.unlock();
+    RunChunks();
+    lock.lock();
+    if (--active_workers_ == 0) work_done_.notify_one();
+  }
+}
+
+void ThreadPool::RunChunks() {
+  while (true) {
+    size_t begin;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (next_ >= total_) return;
+      begin = next_;
+      next_ += chunk_;
+    }
+    const size_t end = std::min(begin + chunk_, total_);
+    (*body_)(begin, end);
+  }
+}
+
+}  // namespace cne

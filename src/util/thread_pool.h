@@ -1,0 +1,71 @@
+// A small persistent thread pool for data-parallel loops.
+//
+// The pool exists so the service layer can fan independent work items
+// (noisy-view materialization, per-query post-processing) across cores
+// while staying byte-identical to sequential execution: callers give every
+// work item its own output slot and its own `Rng::Fork` substream, so the
+// result depends only on the item index, never on which thread ran it or
+// in what order. `ThreadPool(1)` spawns no workers and runs everything
+// inline, making "one thread" genuinely sequential for baselines.
+
+#ifndef CNE_UTIL_THREAD_POOL_H_
+#define CNE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cne {
+
+/// Fixed-size pool of worker threads executing chunked parallel-for loops.
+/// The calling thread participates as one of the `num_threads` workers.
+class ThreadPool {
+ public:
+  /// Creates a pool where `ParallelFor` runs on `num_threads` threads
+  /// (the caller plus `num_threads - 1` workers). `num_threads <= 0` is
+  /// clamped to the hardware concurrency.
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Outstanding loops must have returned.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads participating in a loop (workers + caller).
+  int NumThreads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `body(begin, end)` over a partition of [0, n) and blocks until
+  /// every index has been processed. Chunks are claimed dynamically, so
+  /// `body` must be safe to call concurrently on disjoint ranges and must
+  /// not itself call ParallelFor on this pool. With no workers the single
+  /// call `body(0, n)` runs inline on the caller.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t)>& body);
+
+ private:
+  void WorkerLoop();
+  /// Claims chunks until the current loop is exhausted.
+  void RunChunks();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  // State of the active ParallelFor, guarded by mutex_.
+  uint64_t generation_ = 0;  ///< bumped per loop; workers wake on change
+  bool shutdown_ = false;
+  size_t total_ = 0;
+  size_t next_ = 0;        ///< next unclaimed index
+  size_t chunk_ = 1;       ///< indices per claim
+  int active_workers_ = 0;  ///< workers still inside the current loop
+  const std::function<void(size_t, size_t)>* body_ = nullptr;
+};
+
+}  // namespace cne
+
+#endif  // CNE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,104 @@
+#include "ldp/budget_ledger.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cne {
+namespace {
+
+constexpr LayeredVertex kV0{Layer::kLower, 0};
+constexpr LayeredVertex kV1{Layer::kLower, 1};
+
+TEST(BudgetLedgerTest, ChargesUpToLifetimeBudget) {
+  BudgetLedger ledger(2.0);
+  EXPECT_TRUE(ledger.TryCharge(kV0, 1.0));
+  EXPECT_TRUE(ledger.TryCharge(kV0, 1.0));
+  EXPECT_DOUBLE_EQ(ledger.Spent(kV0), 2.0);
+  EXPECT_NEAR(ledger.Remaining(kV0), 0.0, 1e-12);
+}
+
+TEST(BudgetLedgerTest, RejectsOverBudgetChargeWithoutRecordingIt) {
+  BudgetLedger ledger(2.0);
+  EXPECT_TRUE(ledger.TryCharge(kV0, 1.5));
+  EXPECT_FALSE(ledger.TryCharge(kV0, 1.0));
+  // The rejected charge must not have consumed anything.
+  EXPECT_DOUBLE_EQ(ledger.Spent(kV0), 1.5);
+  EXPECT_TRUE(ledger.TryCharge(kV0, 0.5));
+}
+
+TEST(BudgetLedgerTest, SecondFullReleaseIsAlwaysRejected) {
+  // The service invariant: under one lifetime budget ε, a vertex's ε-RR
+  // neighbor-list release can happen exactly once.
+  BudgetLedger ledger(2.0);
+  EXPECT_TRUE(ledger.TryCharge(kV0, 2.0));
+  EXPECT_FALSE(ledger.TryCharge(kV0, 2.0));
+  EXPECT_FALSE(ledger.TryCharge(kV0, 0.1));
+}
+
+TEST(BudgetLedgerTest, VerticesComposeInParallel) {
+  BudgetLedger ledger(1.0);
+  EXPECT_TRUE(ledger.TryCharge(kV0, 1.0));
+  // A different vertex — and the same id on the other layer — have their
+  // own neighbor lists, hence their own budgets.
+  EXPECT_TRUE(ledger.TryCharge(kV1, 1.0));
+  EXPECT_TRUE(ledger.TryCharge({Layer::kUpper, 0}, 1.0));
+  EXPECT_EQ(ledger.NumChargedVertices(), 3u);
+  EXPECT_DOUBLE_EQ(ledger.TotalSpent(), 3.0);
+}
+
+TEST(BudgetLedgerTest, ToleratesSplitRoundingDrift) {
+  BudgetLedger ledger(2.0);
+  const double epsilon1 = 2.0 * 0.3;
+  const double epsilon2 = 2.0 - epsilon1;
+  EXPECT_TRUE(ledger.TryCharge(kV0, epsilon1));
+  EXPECT_TRUE(ledger.TryCharge(kV0, epsilon2));
+}
+
+TEST(BudgetLedgerTest, SnapshotIsSortedAndComplete) {
+  BudgetLedger ledger(3.0);
+  ASSERT_TRUE(ledger.TryCharge({Layer::kLower, 7}, 1.0));
+  ASSERT_TRUE(ledger.TryCharge({Layer::kUpper, 9}, 2.0));
+  ASSERT_TRUE(ledger.TryCharge({Layer::kLower, 2}, 3.0));
+  const auto snapshot = ledger.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].vertex, (LayeredVertex{Layer::kUpper, 9}));
+  EXPECT_EQ(snapshot[1].vertex, (LayeredVertex{Layer::kLower, 2}));
+  EXPECT_EQ(snapshot[2].vertex, (LayeredVertex{Layer::kLower, 7}));
+  EXPECT_DOUBLE_EQ(snapshot[1].spent, 3.0);
+  EXPECT_DOUBLE_EQ(snapshot[1].remaining, 0.0);
+  EXPECT_NEAR(ledger.MinRemaining(), 0.0, 1e-12);
+}
+
+TEST(BudgetLedgerTest, MinRemainingWithoutChargesIsFullBudget) {
+  BudgetLedger ledger(1.5);
+  EXPECT_DOUBLE_EQ(ledger.MinRemaining(), 1.5);
+}
+
+TEST(BudgetLedgerTest, ConcurrentChargesNeverExceedBudget) {
+  // 8 threads race to charge the same vertex; exactly 4 unit charges can
+  // fit in a budget of 4, no matter the interleaving.
+  BudgetLedger ledger(4.0);
+  std::atomic<int> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2; ++i) {
+        if (ledger.TryCharge(kV0, 1.0)) granted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(granted.load(), 4);
+  EXPECT_DOUBLE_EQ(ledger.Spent(kV0), 4.0);
+}
+
+TEST(BudgetLedgerDeathTest, RejectsInvalidConstructionAndCharges) {
+  EXPECT_DEATH(BudgetLedger(0.0), "positive");
+  BudgetLedger ledger(1.0);
+  EXPECT_DEATH(ledger.TryCharge(kV0, 0.0), "positive");
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,4 +1,4 @@
-#include "core/batch.h"
+#include "service/batch.h"
 
 #include <gtest/gtest.h>
 
@@ -25,6 +25,29 @@ TEST(BatchOneRTest, OneReleasePerDistinctVertex) {
   // Vertices involved: hub 0 plus 8 partners.
   EXPECT_EQ(r.vertices_released, 9u);
   EXPECT_GT(r.uploaded_bytes, 0.0);
+  // 16 vertex lookups (two per query), 9 of which released: the hub's 7
+  // repeats are cache hits.
+  EXPECT_EQ(r.cache_hits, 7u);
+  EXPECT_DOUBLE_EQ(r.cache_hit_rate, 7.0 / 16.0);
+}
+
+TEST(BatchOneRTest, ResidualBudgetAccountsEveryReleasedVertex) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40, 8);
+  Rng rng(9);
+  const double epsilon = 1.7;
+  const BatchResult r = BatchOneR(g, StarQueries(4), epsilon, rng);
+  ASSERT_EQ(r.residual_budget.size(), 5u);  // hub + 4 partners
+  for (const VertexBudget& vb : r.residual_budget) {
+    // Each vertex spent its full lifetime budget on the one release —
+    // the ledger would block any second release.
+    EXPECT_DOUBLE_EQ(vb.spent, epsilon);
+    EXPECT_NEAR(vb.remaining, 0.0, 1e-12);
+  }
+  // Snapshot is sorted by vertex id (all on the same layer here).
+  for (size_t i = 1; i < r.residual_budget.size(); ++i) {
+    EXPECT_LT(r.residual_budget[i - 1].vertex.id,
+              r.residual_budget[i].vertex.id);
+  }
 }
 
 TEST(BatchOneRTest, UnbiasedPerQuery) {

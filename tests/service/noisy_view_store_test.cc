@@ -1,0 +1,117 @@
+#include "service/noisy_view_store.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace cne {
+namespace {
+
+constexpr LayeredVertex kV0{Layer::kLower, 0};
+constexpr LayeredVertex kV1{Layer::kLower, 1};
+
+BipartiteGraph TestGraph() { return PlantedCommonNeighbors(3, 5, 2, 40, 8); }
+
+TEST(NoisyViewStoreTest, GetMaterializesOnceAndCaches) {
+  const BipartiteGraph g = TestGraph();
+  BudgetLedger ledger(2.0);
+  NoisyViewStore store(g, 2.0, Rng(1), ledger);
+
+  const NoisyNeighborSet* first = store.Get(kV0);
+  ASSERT_NE(first, nullptr);
+  const NoisyNeighborSet* second = store.Get(kV0);
+  // Same object: the release ran exactly once.
+  EXPECT_EQ(first, second);
+
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.releases, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_DOUBLE_EQ(ledger.Spent(kV0), 2.0);
+}
+
+TEST(NoisyViewStoreTest, RejectsWhenLedgerIsExhausted) {
+  const BipartiteGraph g = TestGraph();
+  BudgetLedger ledger(2.0);
+  // The vertex already spent everything elsewhere.
+  ASSERT_TRUE(ledger.TryCharge(kV0, 2.0));
+  NoisyViewStore store(g, 2.0, Rng(1), ledger);
+  EXPECT_EQ(store.Get(kV0), nullptr);
+  EXPECT_EQ(store.Get(kV0), nullptr);  // still rejected, still no charge
+  EXPECT_EQ(store.stats().rejections, 2u);
+  EXPECT_EQ(store.stats().releases, 0u);
+  // Other vertices are unaffected (parallel composition).
+  EXPECT_NE(store.Get(kV1), nullptr);
+}
+
+TEST(NoisyViewStoreTest, ViewsAreIdenticalForAnyMaterializationPath) {
+  // Lazy Get, prefetched MaterializeAuthorized, any thread count: vertex
+  // noise comes from its own substream, so the bytes never change.
+  const BipartiteGraph g = TestGraph();
+  const std::vector<LayeredVertex> vertices = {
+      {Layer::kLower, 0}, {Layer::kLower, 1}, {Layer::kLower, 2},
+      {Layer::kLower, 3}, {Layer::kUpper, 0}, {Layer::kUpper, 4}};
+
+  auto collect = [&](int threads, bool lazy) {
+    BudgetLedger ledger(2.0);
+    NoisyViewStore store(g, 2.0, Rng(99), ledger);
+    std::vector<std::vector<VertexId>> members;
+    if (lazy) {
+      for (LayeredVertex v : vertices) {
+        members.push_back(store.Get(v)->SortedMembers());
+      }
+    } else {
+      ThreadPool pool(threads);
+      for (LayeredVertex v : vertices) {
+        EXPECT_EQ(store.Authorize(v),
+                  NoisyViewStore::Admission::kAuthorized);
+      }
+      store.MaterializeAuthorized(pool);
+      for (LayeredVertex v : vertices) {
+        members.push_back(store.View(v).SortedMembers());
+      }
+    }
+    return members;
+  };
+
+  const auto lazy = collect(1, /*lazy=*/true);
+  EXPECT_EQ(lazy, collect(1, /*lazy=*/false));
+  EXPECT_EQ(lazy, collect(4, /*lazy=*/false));
+  EXPECT_EQ(lazy, collect(8, /*lazy=*/false));
+}
+
+TEST(NoisyViewStoreTest, AuthorizeChargesOnlyOnFirstTouch) {
+  const BipartiteGraph g = TestGraph();
+  BudgetLedger ledger(2.0);
+  NoisyViewStore store(g, 2.0, Rng(5), ledger);
+  EXPECT_EQ(store.Authorize(kV0), NoisyViewStore::Admission::kAuthorized);
+  EXPECT_EQ(store.Authorize(kV0), NoisyViewStore::Admission::kCacheHit);
+  EXPECT_DOUBLE_EQ(ledger.Spent(kV0), 2.0);
+  EXPECT_TRUE(store.Contains(kV0));
+  EXPECT_FALSE(store.Contains(kV1));
+}
+
+TEST(NoisyViewStoreTest, UploadedBytesMatchViewSizes) {
+  const BipartiteGraph g = TestGraph();
+  BudgetLedger ledger(2.0);
+  NoisyViewStore store(g, 2.0, Rng(7), ledger);
+  const NoisyNeighborSet* a = store.Get(kV0);
+  const NoisyNeighborSet* b = store.Get(kV1);
+  store.Get(kV0);  // cache hit: uploads nothing
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(store.stats().uploaded_bytes,
+                   4.0 * static_cast<double>(a->Size() + b->Size()));
+}
+
+TEST(NoisyViewStoreDeathTest, ViewOfUnmaterializedVertexDies) {
+  const BipartiteGraph g = TestGraph();
+  BudgetLedger ledger(2.0);
+  NoisyViewStore store(g, 2.0, Rng(11), ledger);
+  EXPECT_DEATH(store.View(kV0), "never materialized");
+}
+
+}  // namespace
+}  // namespace cne

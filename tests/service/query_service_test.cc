@@ -1,0 +1,267 @@
+#include "service/query_service.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "service/workload.h"
+#include "util/statistics.h"
+
+namespace cne {
+namespace {
+
+// Lower layer: query vertices 0 and 1 (C2 = 3) plus 8 isolated extras,
+// so hot-set workloads have ids 0..9 to draw from.
+BipartiteGraph TestGraph() { return PlantedCommonNeighbors(3, 5, 2, 40, 8); }
+
+std::vector<QueryPair> TestWorkload(const BipartiteGraph& g, size_t count) {
+  Rng rng(12345);
+  return MakeHotSetWorkload(g, Layer::kLower, count, 8, rng);
+}
+
+ServiceReport RunOnce(const BipartiteGraph& g, ServiceAlgorithm algorithm,
+                      int threads, const std::vector<QueryPair>& workload) {
+  ServiceOptions options;
+  options.algorithm = algorithm;
+  options.epsilon = 2.0;
+  options.num_threads = threads;
+  options.seed = 99;
+  QueryService service(g, options);
+  return service.Submit(workload);
+}
+
+// --- The headline property: answers are byte-identical for any thread
+// --- count, for every algorithm, including which queries get rejected.
+
+TEST(QueryServiceTest, AnswersAreIdenticalAcrossThreadCounts) {
+  const BipartiteGraph g = TestGraph();
+  const std::vector<QueryPair> workload = TestWorkload(g, 300);
+  for (ServiceAlgorithm algorithm :
+       {ServiceAlgorithm::kNaive, ServiceAlgorithm::kOneR,
+        ServiceAlgorithm::kMultiRSS, ServiceAlgorithm::kMultiRDS}) {
+    const ServiceReport sequential = RunOnce(g, algorithm, 1, workload);
+    for (int threads : {2, 8}) {
+      const ServiceReport parallel = RunOnce(g, algorithm, threads, workload);
+      ASSERT_EQ(parallel.answers.size(), sequential.answers.size());
+      for (size_t i = 0; i < sequential.answers.size(); ++i) {
+        EXPECT_EQ(parallel.answers[i].rejected,
+                  sequential.answers[i].rejected)
+            << ToString(algorithm) << " query " << i << " threads "
+            << threads;
+        // Bitwise equality, not approximate: the noise itself is shared.
+        EXPECT_EQ(parallel.answers[i].estimate,
+                  sequential.answers[i].estimate)
+            << ToString(algorithm) << " query " << i << " threads "
+            << threads;
+      }
+      EXPECT_EQ(parallel.store.releases, sequential.store.releases);
+      EXPECT_EQ(parallel.rejected, sequential.rejected);
+    }
+  }
+}
+
+TEST(QueryServiceTest, SubmitInTwoBatchesMatchesOneBatch) {
+  // Splitting a workload across Submit calls must not change any answer:
+  // admission order, store state, and noise substreams all continue.
+  const BipartiteGraph g = TestGraph();
+  const std::vector<QueryPair> workload = TestWorkload(g, 100);
+  const ServiceReport whole =
+      RunOnce(g, ServiceAlgorithm::kMultiRDS, 1, workload);
+
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kMultiRDS;
+  options.epsilon = 2.0;
+  options.num_threads = 4;
+  options.seed = 99;
+  QueryService service(g, options);
+  const std::vector<QueryPair> first(workload.begin(), workload.begin() + 37);
+  const std::vector<QueryPair> second(workload.begin() + 37, workload.end());
+  const ServiceReport a = service.Submit(first);
+  const ServiceReport b = service.Submit(second);
+  ASSERT_EQ(a.answers.size() + b.answers.size(), whole.answers.size());
+  for (size_t i = 0; i < whole.answers.size(); ++i) {
+    const ServiceAnswer& split =
+        i < first.size() ? a.answers[i] : b.answers[i - first.size()];
+    EXPECT_EQ(split.rejected, whole.answers[i].rejected) << "query " << i;
+    EXPECT_EQ(split.estimate, whole.answers[i].estimate) << "query " << i;
+  }
+}
+
+// --- Budget ledger properties.
+
+TEST(QueryServiceTest, VertexIsNeverReleasedTwiceUnderOneBudget) {
+  // Property test over many random workloads: however often a vertex is
+  // queried, the store releases it exactly once and charges exactly ε.
+  const BipartiteGraph g = TestGraph();
+  for (uint64_t trial = 0; trial < 20; ++trial) {
+    Rng rng(1000 + trial);
+    const auto workload =
+        MakeHotSetWorkload(g, Layer::kLower, 50, 5, rng);
+    ServiceOptions options;
+    options.algorithm = ServiceAlgorithm::kOneR;
+    options.epsilon = 2.0;
+    options.num_threads = 4;
+    options.seed = trial;
+    QueryService service(g, options);
+    const ServiceReport report = service.Submit(workload);
+    EXPECT_EQ(report.rejected, 0u);
+
+    // Count distinct vertices in the workload.
+    std::vector<bool> seen(g.NumLower(), false);
+    uint64_t distinct = 0;
+    for (const QueryPair& q : workload) {
+      for (VertexId v : {q.u, q.w}) {
+        if (!seen[v]) {
+          seen[v] = true;
+          ++distinct;
+        }
+      }
+    }
+    EXPECT_EQ(report.store.releases, distinct);
+    EXPECT_EQ(report.budget_vertices_charged, distinct);
+    for (const VertexBudget& vb : service.ledger().Snapshot()) {
+      EXPECT_DOUBLE_EQ(vb.spent, 2.0);  // exactly one full-ε release
+      EXPECT_NEAR(vb.remaining, 0.0, 1e-12);
+    }
+    // Re-submitting the same workload must release nothing new: every
+    // lookup is a cache hit on the public views.
+    const ServiceReport again = service.Submit(workload);
+    EXPECT_EQ(again.store.releases, distinct);
+    EXPECT_EQ(again.rejected, 0u);
+  }
+}
+
+TEST(QueryServiceTest, OverBudgetQueriesAreRejectedDeterministically) {
+  // MultiR-SS at ε = 2, split 1 + 1, lifetime budget 2: a vertex can
+  // afford two Laplace sourcings if it is never RR-released, one if it
+  // is, and an RR release is impossible once its budget is spent.
+  const BipartiteGraph g = TestGraph();
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kMultiRSS;
+  options.epsilon = 2.0;
+  options.num_threads = 2;
+  options.seed = 5;
+  QueryService service(g, options);
+  const std::vector<QueryPair> workload = {
+      {Layer::kLower, 0, 1},  // admit: RR(1)=1.0, Laplace(0)=1.0
+      {Layer::kLower, 0, 2},  // admit: RR(2)=1.0, Laplace(0)=1.0 -> 0 spent
+      {Layer::kLower, 0, 3},  // reject: vertex 0 has nothing left
+      {Layer::kLower, 1, 0},  // reject: vertex 0 cannot afford its RR
+      {Layer::kLower, 1, 2},  // admit: RR(2) cached, Laplace(1) -> 1 spent
+      {Layer::kLower, 2, 1},  // admit: RR(1) cached, Laplace(2) -> 2 spent
+      {Layer::kLower, 3, 4},  // admit: fresh pair
+      {Layer::kLower, 1, 3},  // reject: vertex 1 has nothing left
+  };
+  const ServiceReport report = service.Submit(workload);
+  const std::vector<bool> expected_rejected = {false, false, true, true,
+                                               false, false, false, true};
+  ASSERT_EQ(report.answers.size(), expected_rejected.size());
+  for (size_t i = 0; i < expected_rejected.size(); ++i) {
+    EXPECT_EQ(report.answers[i].rejected, expected_rejected[i])
+        << "query " << i;
+  }
+  EXPECT_EQ(report.answered, 5u);
+  EXPECT_EQ(report.rejected, 3u);
+  // A rejected query charges nothing: vertex 3's budget reflects only its
+  // admitted query (Laplace sourcing of q6... none; q6 charged RR of 4 and
+  // Laplace of 3).
+  EXPECT_DOUBLE_EQ(service.ledger().Spent({Layer::kLower, 3}), 1.0);
+}
+
+TEST(QueryServiceTest, RaisedLifetimeBudgetAdmitsMoreQueries) {
+  const BipartiteGraph g = TestGraph();
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kMultiRSS;
+  options.epsilon = 2.0;
+  options.lifetime_budget = 8.0;
+  options.seed = 5;
+  QueryService service(g, options);
+  std::vector<QueryPair> workload;
+  for (VertexId w = 1; w <= 6; ++w) workload.push_back({Layer::kLower, 0, w});
+  const ServiceReport report = service.Submit(workload);
+  // Vertex 0 sources ε2 = 1 per query: 8.0 of lifetime budget fits all 6.
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_DOUBLE_EQ(service.ledger().Spent({Layer::kLower, 0}), 6.0);
+}
+
+// --- Estimate semantics over the shared store.
+
+TEST(QueryServiceTest, IdenticalQueriesShareTheAnswerUnderPostProcessing) {
+  const BipartiteGraph g = TestGraph();
+  const std::vector<QueryPair> workload = {{Layer::kLower, 0, 1},
+                                           {Layer::kLower, 0, 1}};
+  const ServiceReport oner = RunOnce(g, ServiceAlgorithm::kOneR, 2, workload);
+  // Pure post-processing: same views, same answer.
+  EXPECT_DOUBLE_EQ(oner.answers[0].estimate, oner.answers[1].estimate);
+
+  const ServiceReport ss =
+      RunOnce(g, ServiceAlgorithm::kMultiRSS, 2, workload);
+  // Each MultiR-SS query draws a fresh Laplace release from its own
+  // substream: answers must differ even for identical queries.
+  EXPECT_NE(ss.answers[0].estimate, ss.answers[1].estimate);
+}
+
+TEST(QueryServiceTest, OneRServiceIsUnbiased) {
+  const BipartiteGraph g = PlantedCommonNeighbors(4, 3, 3, 40);
+  const std::vector<QueryPair> workload = {{Layer::kLower, 0, 1}};
+  RunningStats stats;
+  for (uint64_t t = 0; t < 4000; ++t) {
+    ServiceOptions options;
+    options.epsilon = 1.5;
+    options.seed = t;
+    QueryService service(g, options);
+    stats.Add(service.Submit(workload).answers[0].estimate);
+  }
+  EXPECT_NEAR(stats.Mean(), 4.0, 4.5 * stats.StdError());
+}
+
+TEST(QueryServiceTest, MultiRSSServiceIsUnbiased) {
+  const BipartiteGraph g = PlantedCommonNeighbors(4, 3, 3, 40);
+  const std::vector<QueryPair> workload = {{Layer::kLower, 0, 1}};
+  RunningStats stats;
+  for (uint64_t t = 0; t < 4000; ++t) {
+    ServiceOptions options;
+    options.algorithm = ServiceAlgorithm::kMultiRSS;
+    options.epsilon = 2.0;
+    options.seed = 70000 + t;
+    QueryService service(g, options);
+    stats.Add(service.Submit(workload).answers[0].estimate);
+  }
+  EXPECT_NEAR(stats.Mean(), 4.0, 4.5 * stats.StdError());
+}
+
+TEST(QueryServiceTest, MixedLayerSubmissionsShareOneStore) {
+  const BipartiteGraph g = TestGraph();
+  const std::vector<QueryPair> workload = {{Layer::kLower, 0, 1},
+                                           {Layer::kUpper, 0, 1},
+                                           {Layer::kLower, 0, 1}};
+  const ServiceReport report =
+      RunOnce(g, ServiceAlgorithm::kOneR, 2, workload);
+  EXPECT_EQ(report.rejected, 0u);
+  // Layers have separate budgets and separate views: 4 releases.
+  EXPECT_EQ(report.store.releases, 4u);
+  EXPECT_DOUBLE_EQ(report.answers[0].estimate, report.answers[2].estimate);
+}
+
+TEST(QueryServiceTest, AlgorithmNamesRoundTrip) {
+  for (ServiceAlgorithm algorithm :
+       {ServiceAlgorithm::kNaive, ServiceAlgorithm::kOneR,
+        ServiceAlgorithm::kMultiRSS, ServiceAlgorithm::kMultiRDS}) {
+    const auto parsed = ParseServiceAlgorithm(ToString(algorithm));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, algorithm);
+  }
+  EXPECT_FALSE(ParseServiceAlgorithm("CentralDP").has_value());
+}
+
+TEST(QueryServiceDeathTest, OutOfRangeQueryDies) {
+  const BipartiteGraph g = TestGraph();
+  ServiceOptions options;
+  QueryService service(g, options);
+  EXPECT_DEATH(service.Submit({{Layer::kLower, 0, 10}}), "out of range");
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,77 @@
+#include "service/workload.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace cne {
+namespace {
+
+TEST(WorkloadTest, ParsesLayersCommentsAndBlanks) {
+  std::istringstream in(
+      "# comment\n"
+      "% also a comment\n"
+      "\n"
+      "lower 0 1\n"
+      "upper 3 4\n");
+  const auto queries = ReadWorkloadStream(in);
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_EQ(queries[0].layer, Layer::kLower);
+  EXPECT_EQ(queries[0].u, 0u);
+  EXPECT_EQ(queries[0].w, 1u);
+  EXPECT_EQ(queries[1].layer, Layer::kUpper);
+  EXPECT_EQ(queries[1].u, 3u);
+  EXPECT_EQ(queries[1].w, 4u);
+}
+
+TEST(WorkloadTest, RoundTripsThroughTheTextFormat) {
+  const std::vector<QueryPair> queries = {{Layer::kLower, 0, 7},
+                                          {Layer::kUpper, 2, 5},
+                                          {Layer::kLower, 9, 9}};
+  std::ostringstream out;
+  WriteWorkloadStream(queries, out);
+  std::istringstream in(out.str());
+  const auto parsed = ReadWorkloadStream(in);
+  ASSERT_EQ(parsed.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(parsed[i].layer, queries[i].layer);
+    EXPECT_EQ(parsed[i].u, queries[i].u);
+    EXPECT_EQ(parsed[i].w, queries[i].w);
+  }
+}
+
+TEST(WorkloadTest, RejectsMalformedLines) {
+  for (const char* bad : {"middle 0 1\n", "lower 0\n", "lower -1 2\n",
+                          "lower 0 99999999999\n"}) {
+    std::istringstream in(bad);
+    EXPECT_THROW(ReadWorkloadStream(in), std::runtime_error) << bad;
+  }
+}
+
+TEST(WorkloadTest, HotSetWorkloadStaysInsideTheHotSet) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40, 8);
+  Rng rng(3);
+  const auto queries = MakeHotSetWorkload(g, Layer::kLower, 500, 6, rng);
+  ASSERT_EQ(queries.size(), 500u);
+  for (const QueryPair& q : queries) {
+    EXPECT_EQ(q.layer, Layer::kLower);
+    EXPECT_LT(q.u, 6u);
+    EXPECT_LT(q.w, 6u);
+    EXPECT_NE(q.u, q.w);
+  }
+}
+
+TEST(WorkloadTest, HotSetClampsToLayerSize) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);  // 2 lower
+  Rng rng(5);
+  const auto queries = MakeHotSetWorkload(g, Layer::kLower, 10, 100, rng);
+  for (const QueryPair& q : queries) {
+    EXPECT_LT(q.u, 2u);
+    EXPECT_LT(q.w, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace cne

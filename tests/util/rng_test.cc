@@ -202,6 +202,93 @@ TEST(RngTest, SplitStreamsAreIndependentlySeeded) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(RngTest, ForkIsDeterministicPerStream) {
+  const Rng parent(73);
+  Rng a = parent.Fork(5);
+  Rng b = parent.Fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, ForkDoesNotAdvanceParent) {
+  Rng forked(79), untouched(79);
+  forked.Fork(0);
+  forked.Fork(123456);
+  // Fork is const: the parent stream continues exactly as if Fork had
+  // never been called.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(forked.NextU64(), untouched.NextU64());
+  }
+}
+
+TEST(RngTest, ForkIsOrderIndependent) {
+  const Rng parent(83);
+  // Forking streams in any order — or from copies — yields identical
+  // children; this is what makes multi-threaded execution reproducible.
+  Rng first_then_second_a = parent.Fork(1);
+  Rng second = parent.Fork(2);
+  Rng first_then_second_b = parent.Fork(1);
+  (void)second;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(first_then_second_a.NextU64(), first_then_second_b.NextU64());
+  }
+}
+
+TEST(RngTest, ForkStreamsDiverge) {
+  const Rng parent(89);
+  Rng a = parent.Fork(0);
+  Rng b = parent.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkStreamsAreStatisticallyIndependent) {
+  // Pearson correlation between uniform draws of adjacent streams; also
+  // checks each stream's mean individually so a bad mix in either shows.
+  const Rng parent(97);
+  const int n = 50000;
+  for (uint64_t stream = 0; stream < 4; ++stream) {
+    Rng a = parent.Fork(stream);
+    Rng b = parent.Fork(stream + 1);
+    double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+    for (int i = 0; i < n; ++i) {
+      const double x = a.NextDouble();
+      const double y = b.NextDouble();
+      sum_a += x;
+      sum_b += y;
+      sum_aa += x * x;
+      sum_bb += y * y;
+      sum_ab += x * y;
+    }
+    const double mean_a = sum_a / n;
+    const double mean_b = sum_b / n;
+    const double cov = sum_ab / n - mean_a * mean_b;
+    const double var_a = sum_aa / n - mean_a * mean_a;
+    const double var_b = sum_bb / n - mean_b * mean_b;
+    const double corr = cov / std::sqrt(var_a * var_b);
+    // Under independence corr ~ N(0, 1/n): 5 sigma ~ 0.0224.
+    EXPECT_LT(std::abs(corr), 0.0224) << "streams " << stream << ", "
+                                      << stream + 1;
+    EXPECT_NEAR(mean_a, 0.5, 0.01);
+  }
+}
+
+TEST(RngTest, ForkOfForkDiverges) {
+  // Nested forks (service root -> store base -> per-vertex stream) must
+  // not collide with first-level streams of the same index.
+  const Rng root(101);
+  const Rng child = root.Fork(7);
+  Rng nested = child.Fork(7);
+  Rng flat = root.Fork(7);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (nested.NextU64() == flat.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
 TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
   static_assert(std::uniform_random_bit_generator<Rng>);
   SUCCEED();

@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cne {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.NumThreads(), 1);
+  std::vector<int> out(100, 0);
+  pool.ParallelFor(out.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = static_cast<int>(i);
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.NumThreads(), threads);
+    const size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, RangeSmallerThanThreadCount) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(hits.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(100, [&](size_t begin, size_t end) {
+      uint64_t local = 0;
+      for (size_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50ull * (99ull * 100ull / 2));
+}
+
+TEST(ThreadPoolTest, PerItemForkedNoiseIsThreadCountInvariant) {
+  // The pattern the service layer relies on: item i draws from
+  // root.Fork(i) into slot i, so the output vector is byte-identical for
+  // any thread count.
+  const Rng root(2024);
+  auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> out(5000);
+    pool.ParallelFor(out.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        Rng rng = root.Fork(i);
+        out[i] = rng.NextU64();
+      }
+    });
+    return out;
+  };
+  const std::vector<uint64_t> sequential = run(1);
+  EXPECT_EQ(sequential, run(2));
+  EXPECT_EQ(sequential, run(8));
+}
+
+}  // namespace
+}  // namespace cne

@@ -28,6 +28,7 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "tool_common.h"
 #include "util/cli.h"
 #include "util/statistics.h"
 #include "util/table.h"
@@ -41,24 +42,6 @@ int Usage() {
                "usage: cne_cli <gen|stats|estimate|experiment> [--flags]\n"
                "see the header of tools/cne_cli.cc for the full flag list\n");
   return 2;
-}
-
-bool EndsWith(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-BipartiteGraph LoadGraph(const CommandLine& cl) {
-  const std::string dataset = cl.GetString("dataset");
-  if (!dataset.empty()) {
-    auto spec = FindDataset(dataset);
-    if (!spec) throw std::runtime_error("unknown dataset " + dataset);
-    return MakeDataset(*spec);
-  }
-  const std::string path = cl.GetString("graph");
-  if (path.empty()) throw std::runtime_error("need --graph or --dataset");
-  return EndsWith(path, ".bin") ? ReadBinaryFile(path)
-                                : ReadEdgeListFile(path);
 }
 
 std::unique_ptr<CommonNeighborEstimator> MakeEstimator(
@@ -99,7 +82,7 @@ int CmdGen(const CommandLine& cl) {
       throw std::runtime_error("unknown model " + model);
     }
   }
-  if (EndsWith(out, ".bin")) {
+  if (out.ends_with(".bin")) {
     WriteBinaryFile(graph, out);
   } else {
     WriteEdgeListFile(graph, out);
@@ -109,17 +92,15 @@ int CmdGen(const CommandLine& cl) {
 }
 
 int CmdStats(const CommandLine& cl) {
-  const BipartiteGraph graph = LoadGraph(cl);
+  const BipartiteGraph graph = tools::LoadGraph(cl);
   std::printf("%s\n", ToString(ComputeGraphStats(graph)).c_str());
   return 0;
 }
 
 int CmdEstimate(const CommandLine& cl) {
-  const BipartiteGraph graph = LoadGraph(cl);
+  const BipartiteGraph graph = tools::LoadGraph(cl);
   QueryPair query;
-  query.layer =
-      cl.GetString("layer", "upper") == "lower" ? Layer::kLower
-                                                : Layer::kUpper;
+  query.layer = tools::ParseLayerFlag(cl, "upper");
   query.u = static_cast<VertexId>(cl.GetInt("u", 0));
   query.w = static_cast<VertexId>(cl.GetInt("w", 1));
   const double epsilon = cl.GetDouble("epsilon", 2.0);
@@ -143,10 +124,8 @@ int CmdEstimate(const CommandLine& cl) {
 }
 
 int CmdExperiment(const CommandLine& cl) {
-  const BipartiteGraph graph = LoadGraph(cl);
-  const Layer layer =
-      cl.GetString("layer", "upper") == "lower" ? Layer::kLower
-                                                : Layer::kUpper;
+  const BipartiteGraph graph = tools::LoadGraph(cl);
+  const Layer layer = tools::ParseLayerFlag(cl, "upper");
   ExperimentConfig config;
   config.epsilon = cl.GetDouble("epsilon", 2.0);
   config.trials_per_pair = static_cast<size_t>(cl.GetInt("trials", 1));

@@ -1,0 +1,166 @@
+// cne_serve — batch-serving front end over the concurrent query service.
+//
+// Reads a workload of query pairs, executes it against a graph under one
+// service-lifetime privacy budget, and prints the answers plus a
+// throughput / privacy-accounting report.
+//
+// Usage:
+//   cne_serve --graph=g.txt|--dataset=RM
+//             [--workload=w.txt | --pairs=10000 --hot=64 --layer=lower]
+//             [--algorithm=OneR --epsilon=2.0 --budget=0 --threads=4
+//              --seed=7 --out=answers.txt --json]
+//
+// Workload files hold one `<upper|lower> <u> <w>` query per line
+// (src/service/workload.h). Without --workload, a hot-set workload of
+// --pairs queries over the --hot lowest-id vertices of --layer is
+// generated. --budget sets the per-vertex lifetime budget (default: one
+// full ε per vertex). --out writes one `estimate` or `REJECTED` line per
+// query, in input order. --json switches the report to machine-readable
+// JSON.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/query_service.h"
+#include "service/workload.h"
+#include "tool_common.h"
+#include "util/cli.h"
+
+using namespace cne;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cne_serve --graph=g.txt|--dataset=RM "
+               "[--workload=w.txt | --pairs=N --hot=K --layer=lower]\n"
+               "                 [--algorithm=OneR --epsilon=2.0 --budget=0 "
+               "--threads=4 --seed=7 --out=answers.txt --json]\n"
+               "see the header of tools/cne_serve.cc for details\n");
+  return 2;
+}
+
+void PrintReport(const ServiceReport& report, const ServiceOptions& options,
+                 bool json) {
+  const double hit_rate = report.store.CacheHitRate();
+  if (json) {
+    std::printf(
+        "{\"algorithm\": \"%s\", \"epsilon\": %g, \"lifetime_budget\": %g,\n"
+        " \"threads\": %d, \"queries\": %zu, \"answered\": %llu, "
+        "\"rejected\": %llu,\n"
+        " \"seconds\": %.6f, \"qps\": %.1f,\n"
+        " \"vertices_released\": %llu, \"cache_hit_rate\": %.4f, "
+        "\"uploaded_bytes\": %.0f,\n"
+        " \"budget_vertices_charged\": %llu, \"budget_total_spent\": %.3f, "
+        "\"budget_min_remaining\": %.6f}\n",
+        ToString(options.algorithm), options.epsilon,
+        options.lifetime_budget > 0.0 ? options.lifetime_budget
+                                      : options.epsilon,
+        options.num_threads, report.answers.size(),
+        static_cast<unsigned long long>(report.answered),
+        static_cast<unsigned long long>(report.rejected), report.seconds,
+        report.QueriesPerSecond(),
+        static_cast<unsigned long long>(report.store.releases), hit_rate,
+        report.store.uploaded_bytes,
+        static_cast<unsigned long long>(report.budget_vertices_charged),
+        report.budget_total_spent, report.budget_min_remaining);
+    return;
+  }
+  std::printf("algorithm          %s (epsilon=%g, lifetime budget=%g)\n",
+              ToString(options.algorithm), options.epsilon,
+              options.lifetime_budget > 0.0 ? options.lifetime_budget
+                                            : options.epsilon);
+  std::printf("queries            %zu (%llu answered, %llu rejected)\n",
+              report.answers.size(),
+              static_cast<unsigned long long>(report.answered),
+              static_cast<unsigned long long>(report.rejected));
+  std::printf("throughput         %.1f queries/s (%.3fs on %d thread%s)\n",
+              report.QueriesPerSecond(), report.seconds,
+              options.num_threads, options.num_threads == 1 ? "" : "s");
+  std::printf("noisy-view store   %llu releases, %.1f%% cache hits, "
+              "%.0f bytes uploaded\n",
+              static_cast<unsigned long long>(report.store.releases),
+              100.0 * hit_rate, report.store.uploaded_bytes);
+  std::printf("budget ledger      %llu vertices charged, %.3f eps total, "
+              "min residual %.6f\n",
+              static_cast<unsigned long long>(report.budget_vertices_charged),
+              report.budget_total_spent, report.budget_min_remaining);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cl(argc, argv);
+  try {
+    if (!cl.Has("graph") && !cl.Has("dataset")) return Usage();
+    const BipartiteGraph graph = tools::LoadGraph(cl);
+
+    std::vector<QueryPair> workload;
+    const std::string workload_path = cl.GetString("workload");
+    if (!workload_path.empty()) {
+      workload = ReadWorkloadFile(workload_path);
+    } else {
+      const Layer layer = tools::ParseLayerFlag(cl, "lower");
+      Rng rng(static_cast<uint64_t>(cl.GetInt("seed", 7)));
+      workload = MakeHotSetWorkload(
+          graph, layer, static_cast<size_t>(cl.GetInt("pairs", 10000)),
+          static_cast<VertexId>(cl.GetInt("hot", 64)), rng);
+    }
+    if (workload.empty()) {
+      std::fprintf(stderr, "error: empty workload\n");
+      return 1;
+    }
+    for (size_t i = 0; i < workload.size(); ++i) {
+      const QueryPair& q = workload[i];
+      const VertexId layer_size = graph.NumVertices(q.layer);
+      if (q.u >= layer_size || q.w >= layer_size) {
+        std::fprintf(stderr,
+                     "error: workload query %zu (%s %u %u) is out of range "
+                     "for the graph (%u %s vertices)\n",
+                     i + 1, LayerName(q.layer), q.u, q.w, layer_size,
+                     LayerName(q.layer));
+        return 1;
+      }
+    }
+
+    ServiceOptions options;
+    const std::string algorithm_name = cl.GetString("algorithm", "OneR");
+    const auto algorithm = ParseServiceAlgorithm(algorithm_name);
+    if (!algorithm) {
+      std::fprintf(stderr, "error: unknown algorithm %s\n",
+                   algorithm_name.c_str());
+      return 1;
+    }
+    options.algorithm = *algorithm;
+    options.epsilon = cl.GetDouble("epsilon", 2.0);
+    options.lifetime_budget = cl.GetDouble("budget", 0.0);
+    options.num_threads = static_cast<int>(cl.GetInt("threads", 4));
+    options.seed = static_cast<uint64_t>(cl.GetInt("seed", 7));
+
+    QueryService service(graph, options);
+    const ServiceReport report = service.Submit(workload);
+    PrintReport(report, options, cl.GetBool("json"));
+
+    const std::string out_path = cl.GetString("out");
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out) throw std::runtime_error("cannot write " + out_path);
+      for (const ServiceAnswer& answer : report.answers) {
+        if (answer.rejected) {
+          out << "REJECTED\n";
+        } else {
+          out << answer.estimate << '\n';
+        }
+      }
+      std::fprintf(stderr, "wrote %zu answers to %s\n",
+                   report.answers.size(), out_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,47 @@
+// Flag-handling helpers shared by the command-line tools (cne_cli,
+// cne_serve): graph resolution from --graph/--dataset and strict layer
+// parsing. Header-only; tools are single translation units.
+
+#ifndef CNE_TOOLS_TOOL_COMMON_H_
+#define CNE_TOOLS_TOOL_COMMON_H_
+
+#include <stdexcept>
+#include <string>
+
+#include "eval/datasets.h"
+#include "graph/graph_io.h"
+#include "util/cli.h"
+
+namespace cne {
+namespace tools {
+
+/// Loads the graph named by --dataset (a registry code) or --graph (a
+/// KONECT text file, or the binary format for `.bin`). Throws
+/// std::runtime_error when neither flag is given or the name is unknown.
+inline BipartiteGraph LoadGraph(const CommandLine& cl) {
+  const std::string dataset = cl.GetString("dataset");
+  if (!dataset.empty()) {
+    auto spec = FindDataset(dataset);
+    if (!spec) throw std::runtime_error("unknown dataset " + dataset);
+    return MakeDataset(*spec);
+  }
+  const std::string path = cl.GetString("graph");
+  if (path.empty()) throw std::runtime_error("need --graph or --dataset");
+  return ReadGraphFile(path);
+}
+
+/// Parses a --layer value strictly: exactly "upper" or "lower"; anything
+/// else throws rather than silently defaulting.
+inline Layer ParseLayerFlag(const CommandLine& cl,
+                            const std::string& default_value) {
+  const std::string name = cl.GetString("layer", default_value);
+  if (name == "upper") return Layer::kUpper;
+  if (name == "lower") return Layer::kLower;
+  throw std::runtime_error("--layer must be 'upper' or 'lower', got '" +
+                           name + "'");
+}
+
+}  // namespace tools
+}  // namespace cne
+
+#endif  // CNE_TOOLS_TOOL_COMMON_H_
