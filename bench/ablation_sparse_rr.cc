@@ -22,8 +22,9 @@ int main(int argc, char** argv) {
                      options);
 
   TextTable table({"domain n", "deg d", "eps", "sparse us/run",
-                   "dense us/run", "speedup", "mean|noisy| sparse",
-                   "mean|noisy| dense", "E[noisy] theory"});
+                   "bitmap us/run", "dense us/run", "speedup",
+                   "mean|noisy| sparse", "mean|noisy| dense",
+                   "E[noisy] theory"});
   Rng gen(1);
   for (VertexId domain : {1000u, 10000u, 100000u}) {
     const VertexId degree = domain / 100;
@@ -31,18 +32,27 @@ int main(int argc, char** argv) {
     const BipartiteGraph g =
         ErdosRenyiBipartite(1, domain, degree, graph_rng);
     for (double eps : {1.0, 2.0}) {
-      // Dense runs are capped so the 100k domain stays fast.
+      // Dense runs are capped so the 100k domain stays fast. The sorted
+      // and bitmap samplers are pinned explicitly: at these eps kAuto
+      // would pick the bitmap, and this ablation is about each sampler.
       const int sparse_runs = 2000;
       const int dense_runs = domain > 50000 ? 50 : 400;
-      Rng rng_s(11), rng_d(12);
+      Rng rng_s(11), rng_b(11), rng_d(12);
       RunningStats size_s, size_d;
       Timer t1;
       for (int i = 0; i < sparse_runs; ++i) {
         size_s.Add(static_cast<double>(
-            ApplyRandomizedResponse(g, {Layer::kUpper, 0}, eps, rng_s)
+            ApplyRandomizedResponse(g, {Layer::kUpper, 0}, eps, rng_s,
+                                    RrStorage::kSorted)
                 .Size()));
       }
       const double sparse_us = t1.Seconds() * 1e6 / sparse_runs;
+      Timer tb;
+      for (int i = 0; i < sparse_runs; ++i) {
+        (void)ApplyRandomizedResponse(g, {Layer::kUpper, 0}, eps, rng_b,
+                                      RrStorage::kBitmap);
+      }
+      const double bitmap_us = tb.Seconds() * 1e6 / sparse_runs;
       Timer t2;
       for (int i = 0; i < dense_runs; ++i) {
         size_d.Add(static_cast<double>(
@@ -55,6 +65,7 @@ int main(int argc, char** argv) {
           .AddInt(degree)
           .AddDouble(eps, 1)
           .AddDouble(sparse_us, 1)
+          .AddDouble(bitmap_us, 1)
           .AddDouble(dense_us, 1)
           .AddDouble(dense_us / sparse_us, 1)
           .AddDouble(size_s.Mean(), 1)
@@ -65,9 +76,10 @@ int main(int argc, char** argv) {
   options.csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
   std::printf(
       "\nExpected: matching noisy-degree means (same distribution).\n"
-      "Runtime: at eps <= 2 the flipped-in fraction p*n is 12-27%% of the\n"
-      "domain, so the linear Bernoulli scan is competitive or faster; the\n"
-      "sparse sampler wins on memory (no n-bit row) and at larger eps\n"
-      "where p*n << n.\n");
+      "Runtime: both samplers beat the dense bit-by-bit scan. The bitmap\n"
+      "writer pays rejection probes per flip-in, so the sorted sampler\n"
+      "stays the fastest *generator* at scale — the bitmap's payoff is the\n"
+      "packed representation, which makes downstream intersections 20-70x\n"
+      "faster (see ext_intersect).\n");
   return 0;
 }

@@ -1,0 +1,294 @@
+// Extension experiment: adaptive set-intersection kernel throughput.
+// Sweeps density × size-skew over synthetic id sets and times every
+// applicable kernel on each configuration, then times the end-to-end
+// regime the estimators live in: ε-RR releases of the committed sample
+// graph, intersected pairwise in both representations. Emits
+// machine-readable JSON (stdout; progress to stderr) so CI can archive a
+// perf trajectory across commits (BENCH_intersect.json).
+//
+// Every timed configuration self-checks each kernel's count against the
+// scalar merge on the same inputs; any disagreement makes the process
+// exit non-zero, so the CI bench run doubles as a correctness gate.
+//
+// Extra flags on top of the shared bench set:
+//   --domain=N   id-domain of the synthetic sweep (default 1<<16)
+//   --reps=N     timed repetitions per kernel (default auto-scaled)
+//   --out=path   also write the JSON to a file
+//   --smoke      small CI configuration (domain 1<<14, fewer reps)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/graph_io.h"
+#include "graph/set_ops.h"
+#include "ldp/randomized_response.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace cne;
+
+namespace {
+
+std::vector<VertexId> RandomSortedSet(VertexId domain, double density,
+                                      Rng& rng) {
+  std::vector<VertexId> out;
+  out.reserve(static_cast<size_t>(density * domain * 1.2) + 16);
+  for (VertexId v = 0; v < domain; ++v) {
+    if (rng.Bernoulli(density)) out.push_back(v);
+  }
+  return out;
+}
+
+DenseBitset ToBitset(const std::vector<VertexId>& sorted, VertexId domain) {
+  DenseBitset bits(domain);
+  for (VertexId v : sorted) bits.Set(v);
+  return bits;
+}
+
+struct KernelResult {
+  std::string kernel;
+  double ns_per_op = 0.0;
+  double speedup_vs_scalar = 0.0;
+  uint64_t count = 0;
+};
+
+// Times `fn` (returning the intersection count) over `reps` repetitions.
+template <typename Fn>
+KernelResult TimeKernel(const std::string& name, size_t reps, Fn fn) {
+  KernelResult r;
+  r.kernel = name;
+  r.count = fn();  // warm + record the count for the self-check
+  Timer timer;
+  uint64_t sink = 0;
+  for (size_t i = 0; i < reps; ++i) sink += fn();
+  const double seconds = timer.Seconds();
+  // Fold the sink into the (already-validated) count so the timed calls
+  // cannot be optimized away.
+  if (sink != r.count * reps) r.count = ~uint64_t{0};
+  r.ns_per_op = seconds * 1e9 / static_cast<double>(reps);
+  return r;
+}
+
+bool g_self_check_ok = true;
+
+void SelfCheck(const std::vector<KernelResult>& results) {
+  for (const KernelResult& r : results) {
+    if (r.count != results.front().count) {
+      std::fprintf(stderr,
+                   "SELF-CHECK FAILED: kernel %s returned %llu, scalar "
+                   "merge returned %llu\n",
+                   r.kernel.c_str(),
+                   static_cast<unsigned long long>(r.count),
+                   static_cast<unsigned long long>(results.front().count));
+      g_self_check_ok = false;
+    }
+  }
+}
+
+void AppendKernels(std::ostringstream& json,
+                   std::vector<KernelResult>& results) {
+  SelfCheck(results);
+  const double scalar_ns = results.front().ns_per_op;
+  json << "\"kernels\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    KernelResult& r = results[i];
+    r.speedup_vs_scalar = r.ns_per_op > 0.0 ? scalar_ns / r.ns_per_op : 0.0;
+    if (i) json << ", ";
+    json << "{\"kernel\": \"" << r.kernel << "\", \"ns_per_op\": "
+         << r.ns_per_op << ", \"speedup_vs_scalar\": " << r.speedup_vs_scalar
+         << "}";
+  }
+  json << "]";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  const CommandLine cl(argc, argv);
+  const bool smoke = cl.GetBool("smoke");
+  const VertexId domain = static_cast<VertexId>(
+      cl.GetInt("domain", smoke ? (1 << 14) : (1 << 16)));
+  const size_t default_reps = smoke ? 20 : 100;
+  const size_t reps =
+      static_cast<size_t>(cl.GetInt("reps",
+                                    static_cast<int64_t>(default_reps)));
+
+  Rng rng(options.seed);
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"ext_intersect\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"domain\": " << domain << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"grid\": [\n";
+
+  // Density × skew sweep. density_b / density_a is the size skew; the
+  // 0.27-ish densities are the ε = 1 noisy-row regime.
+  const std::vector<std::pair<double, double>> grid = {
+      {0.001, 0.001}, {0.01, 0.01},  {0.1, 0.1},   {0.27, 0.27},
+      {0.5, 0.5},     {0.001, 0.27}, {0.001, 0.5}, {0.01, 0.27},
+      {0.0001, 0.27}, {0.1, 0.27},
+  };
+
+  bool first = true;
+  for (const auto& [da, db] : grid) {
+    const std::vector<VertexId> a = RandomSortedSet(domain, da, rng);
+    const std::vector<VertexId> b = RandomSortedSet(domain, db, rng);
+    const DenseBitset ba = ToBitset(a, domain);
+    const DenseBitset bb = ToBitset(b, domain);
+    const SetView va = SetView::Bitmap(ba, a.size());
+    const SetView vb = SetView::Bitmap(bb, b.size());
+    const SetView sa = SetView::Sorted(a);
+    const SetView sb = SetView::Sorted(b);
+
+    std::vector<KernelResult> results;
+    results.push_back(TimeKernel("scalar_merge", reps, [&] {
+      return IntersectScalarMerge(a, b);
+    }));
+    results.push_back(TimeKernel("galloping", reps, [&] {
+      return IntersectGalloping(a, b);
+    }));
+    results.push_back(TimeKernel("bitmap_and", reps, [&] {
+      return IntersectBitmapAnd(ba, bb);
+    }));
+    results.push_back(TimeKernel("probe_bitmap", reps, [&] {
+      return IntersectProbeBitmap(a, bb);
+    }));
+    // The dispatcher over the representations kAuto storage would pick
+    // for each side (bitmap at and above the density threshold).
+    const SetView auto_a = da >= kBitmapDensityThreshold ? va : sa;
+    const SetView auto_b = db >= kBitmapDensityThreshold ? vb : sb;
+    results.push_back(TimeKernel("dispatch_auto", reps, [&] {
+      return IntersectionSize(auto_a, auto_b);
+    }));
+
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"density_a\": " << da << ", \"density_b\": " << db
+         << ", \"size_a\": " << a.size() << ", \"size_b\": " << b.size()
+         << ",\n     \"dispatcher_choice\": \""
+         << DispatchedKernelName(auto_a, auto_b) << "\", ";
+    AppendKernels(json, results);
+    json << "}";
+    std::fprintf(stderr, "grid %.4f x %.4f done\n", da, db);
+  }
+  json << "\n  ],\n";
+
+  // End-to-end regime: ε ≤ 1 releases of the committed sample graph,
+  // pairwise-intersected across the upper layer — the Naive/OneR hot loop.
+  {
+    // The committed fixture when reachable (repo root or CNE_SOURCE_DIR),
+    // otherwise the RM analog — both are the paper's small-graph regime.
+    const char* root = std::getenv("CNE_SOURCE_DIR");
+    const std::string sample_path =
+        std::string(root ? root : ".") + "/data/sample_userpage.txt";
+    BipartiteGraph graph;
+    if (std::ifstream(sample_path).good()) {
+      graph = ReadGraphFile(sample_path);
+    } else {
+      graph = bench::CachedDataset(ResolveDatasets({"RM"})[0]);
+    }
+    const double epsilon = std::min(options.epsilon, 1.0);
+    const VertexId n = std::min<VertexId>(graph.NumUpper(), smoke ? 60 : 120);
+
+    std::vector<NoisyNeighborSet> sorted_views, bitmap_views;
+    for (VertexId u = 0; u < n; ++u) {
+      Rng view_rng = rng.Fork(u);
+      Rng view_rng2 = rng.Fork(u);
+      sorted_views.push_back(ApplyRandomizedResponse(
+          graph, {Layer::kUpper, u}, epsilon, view_rng, RrStorage::kSorted));
+      bitmap_views.push_back(ApplyRandomizedResponse(
+          graph, {Layer::kUpper, u}, epsilon, view_rng2,
+          RrStorage::kBitmap));
+    }
+
+    const size_t pair_reps = smoke ? 3 : 10;
+    uint64_t scalar_total = 0, bitmap_total = 0;
+    uint64_t pairs = 0;
+    Timer scalar_timer;
+    for (size_t rep = 0; rep < pair_reps; ++rep) {
+      scalar_total = 0;
+      for (VertexId u = 0; u < n; ++u) {
+        for (VertexId w = u + 1; w < n; ++w) {
+          scalar_total += IntersectScalarMerge(
+              sorted_views[u].SortedMembers(),
+              sorted_views[w].SortedMembers());
+        }
+      }
+    }
+    const double scalar_seconds = scalar_timer.Seconds();
+    Timer bitmap_timer;
+    for (size_t rep = 0; rep < pair_reps; ++rep) {
+      bitmap_total = 0;
+      for (VertexId u = 0; u < n; ++u) {
+        for (VertexId w = u + 1; w < n; ++w) {
+          bitmap_total +=
+              IntersectionSize(bitmap_views[u].View(), bitmap_views[w].View());
+        }
+      }
+    }
+    const double bitmap_seconds = bitmap_timer.Seconds();
+    pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+
+    // Self-check on real releases: for every pair, the bitmap kernel must
+    // equal the scalar merge over the decoded members of the same views.
+    for (VertexId u = 0; u < n && g_self_check_ok; ++u) {
+      const std::vector<VertexId> mu = bitmap_views[u].ToSortedVector();
+      for (VertexId w = u + 1; w < n; ++w) {
+        const std::vector<VertexId> mw = bitmap_views[w].ToSortedVector();
+        const uint64_t want = IntersectScalarMerge(mu, mw);
+        const uint64_t got = IntersectionSize(bitmap_views[u].View(),
+                                              bitmap_views[w].View());
+        if (want != got) {
+          std::fprintf(stderr,
+                       "SELF-CHECK FAILED: sample pair (%u, %u) bitmap %llu "
+                       "!= scalar %llu\n",
+                       u, w, static_cast<unsigned long long>(got),
+                       static_cast<unsigned long long>(want));
+          g_self_check_ok = false;
+          break;
+        }
+      }
+    }
+    (void)scalar_total;
+    (void)bitmap_total;
+
+    const double scalar_ns =
+        scalar_seconds * 1e9 / static_cast<double>(pairs * pair_reps);
+    const double bitmap_ns =
+        bitmap_seconds * 1e9 / static_cast<double>(pairs * pair_reps);
+    json << "  \"sample_graph\": {\"epsilon\": " << epsilon
+         << ", \"vertices\": " << n << ", \"pairs\": " << pairs
+         << ",\n    \"scalar_ns_per_pair\": " << scalar_ns
+         << ", \"bitmap_ns_per_pair\": " << bitmap_ns
+         << ", \"speedup\": " << (bitmap_ns > 0 ? scalar_ns / bitmap_ns : 0)
+         << "},\n";
+    std::fprintf(stderr,
+                 "sample graph: scalar %.1f ns/pair, bitmap %.1f ns/pair, "
+                 "speedup %.1fx\n",
+                 scalar_ns, bitmap_ns,
+                 bitmap_ns > 0 ? scalar_ns / bitmap_ns : 0.0);
+  }
+
+  json << "  \"self_check_passed\": " << (g_self_check_ok ? "true" : "false")
+       << "\n}\n";
+
+  std::cout << json.str();
+  const std::string out_path = cl.GetString("out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json.str();
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return g_self_check_ok ? 0 : 1;
+}

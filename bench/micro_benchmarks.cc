@@ -1,6 +1,7 @@
-// Google-benchmark micro-benchmarks of the substrate: sorted-set
-// intersection, sparse randomized response, graph generation, and
-// end-to-end estimator latency on the rmwiki analog.
+// Google-benchmark micro-benchmarks of the substrate: the adaptive
+// set-intersection kernels (scalar merge, galloping, bitmap AND, probe),
+// sparse and bitmap randomized response, graph generation, and end-to-end
+// estimator latency on the rmwiki analog.
 
 #include <benchmark/benchmark.h>
 
@@ -11,6 +12,7 @@
 #include "core/oner.h"
 #include "eval/datasets.h"
 #include "graph/generators.h"
+#include "graph/set_ops.h"
 #include "ldp/randomized_response.h"
 #include "util/rng.h"
 
@@ -39,6 +41,78 @@ void BM_SortedIntersection(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SortedIntersection)->Range(1 << 8, 1 << 16);
+
+// Two same-density random sets over a 10n domain; density n/(10n) = 0.1.
+void MakeRandomPair(size_t n, std::vector<VertexId>& a,
+                    std::vector<VertexId>& b, DenseBitset& ba,
+                    DenseBitset& bb) {
+  Rng rng(1);
+  const VertexId domain = static_cast<VertexId>(10 * n);
+  for (size_t i = 0; i < n; ++i) {
+    a.push_back(static_cast<VertexId>(rng.UniformInt(domain)));
+    b.push_back(static_cast<VertexId>(rng.UniformInt(domain)));
+  }
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  ba = DenseBitset(domain);
+  for (VertexId v : a) ba.Set(v);
+  bb = DenseBitset(domain);
+  for (VertexId v : b) bb.Set(v);
+}
+
+void BM_IntersectBitmapAnd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<VertexId> a, b;
+  DenseBitset ba, bb;
+  MakeRandomPair(n, a, b, ba, bb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectBitmapAnd(ba, bb));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IntersectBitmapAnd)->Range(1 << 8, 1 << 16);
+
+void BM_IntersectProbeBitmap(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<VertexId> a, b;
+  DenseBitset ba, bb;
+  MakeRandomPair(n, a, b, ba, bb);
+  // Probe a 64x smaller sorted set into the dense bitmap.
+  a.resize(std::max<size_t>(1, a.size() / 64));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectProbeBitmap(a, bb));
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_IntersectProbeBitmap)->Range(1 << 8, 1 << 16);
+
+void BM_IntersectGallopingSkewed(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<VertexId> a, b;
+  DenseBitset ba, bb;
+  MakeRandomPair(n, a, b, ba, bb);
+  a.resize(std::max<size_t>(1, a.size() / 64));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectGalloping(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_IntersectGallopingSkewed)->Range(1 << 8, 1 << 16);
+
+void BM_RandomizedResponseBitmap(benchmark::State& state) {
+  const VertexId domain = static_cast<VertexId>(state.range(0));
+  Rng gen(2);
+  const BipartiteGraph g = ErdosRenyiBipartite(1, domain, domain / 100, gen);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyRandomizedResponse(
+        g, {Layer::kUpper, 0}, 1.0, rng, RrStorage::kBitmap));
+  }
+  state.SetItemsProcessed(state.iterations() * domain);
+}
+BENCHMARK(BM_RandomizedResponseBitmap)->Range(1 << 10, 1 << 20);
 
 void BM_RandomizedResponseSparse(benchmark::State& state) {
   const VertexId domain = static_cast<VertexId>(state.range(0));

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "graph/set_ops.h"
 #include "util/logging.h"
 
 namespace cne {
@@ -11,9 +12,35 @@ std::vector<ProjectionEdge> ExactProjection(
     const BipartiteGraph& graph, const std::vector<QueryPair>& candidates,
     double threshold) {
   std::vector<ProjectionEdge> edges;
+  // Candidate lists are typically grouped by their first endpoint: once a
+  // pair *repeats* the previous pair's u, pack that row into a bitmap (if
+  // long enough to amortize the packing) and probe the rest of the run
+  // against it. The first pair of a run — and therefore every pair of an
+  // ungrouped list — takes the adaptive sorted kernels, so alternating
+  // endpoints never re-pack per pair.
+  DenseBitset u_bits;
+  bool have_bits = false;
+  bool have_prev = false;
+  LayeredVertex prev{Layer::kUpper, 0};
   for (const QueryPair& pair : candidates) {
-    const double c2 = static_cast<double>(
-        graph.CountCommonNeighbors(pair.layer, pair.u, pair.w));
+    const LayeredVertex u{pair.layer, pair.u};
+    const auto nb_u = graph.Neighbors(u);
+    if (!(have_prev && prev == u)) {
+      have_bits = false;
+    } else if (!have_bits) {
+      const VertexId domain = graph.NumVertices(Opposite(pair.layer));
+      if (nb_u.size() >= static_cast<size_t>(domain) / 64) {
+        u_bits = DenseBitset(domain);
+        for (VertexId v : nb_u) u_bits.Set(v);
+        have_bits = true;
+      }
+    }
+    have_prev = true;
+    prev = u;
+    const SetView u_view = have_bits ? SetView::Bitmap(u_bits, nb_u.size())
+                                     : SetView::Sorted(nb_u);
+    const double c2 = static_cast<double>(IntersectionSize(
+        SetView::Sorted(graph.Neighbors(pair.layer, pair.w)), u_view));
     if (c2 >= threshold) {
       edges.push_back({pair.u, pair.w, c2});
     }

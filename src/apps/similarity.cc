@@ -46,10 +46,12 @@ SimilarityResult PrivateSimilarityEstimator::Estimate(
 }
 
 double ExactJaccard(const BipartiteGraph& graph, const QueryPair& query) {
+  // One adaptive intersection; the union follows from the degrees.
   const double c2 = static_cast<double>(
       graph.CountCommonNeighbors(query.layer, query.u, query.w));
-  const double uni = static_cast<double>(
-      graph.CountUnionNeighbors(query.layer, query.u, query.w));
+  const double uni = static_cast<double>(graph.Degree(query.layer, query.u)) +
+                     static_cast<double>(graph.Degree(query.layer, query.w)) -
+                     c2;
   return uni > 0.0 ? c2 / uni : 0.0;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "graph/set_ops.h"
 #include "util/logging.h"
 
 namespace cne {
@@ -48,11 +49,29 @@ TopKResult ExactTopKCommonNeighbors(const BipartiteGraph& graph,
                                     size_t k) {
   TopKResult result;
   result.ranked.reserve(candidates.size());
+  // The source row is intersected against every candidate: pack it into a
+  // bitmap once and each candidate costs O(deg) O(1)-probes instead of a
+  // merge over both rows. Falls back to the adaptive sorted kernels when
+  // the one-off packing would dominate (short row, single candidate).
+  const auto source_nb = graph.Neighbors(source);
+  const VertexId domain = graph.NumVertices(Opposite(source.layer));
+  DenseBitset source_bits;
+  const bool pack = candidates.size() > 1 &&
+                    source_nb.size() >= static_cast<size_t>(domain) / 64;
+  if (pack) {
+    source_bits = DenseBitset(domain);
+    for (VertexId v : source_nb) source_bits.Set(v);
+  }
+  const SetView source_view =
+      pack ? SetView::Bitmap(source_bits, source_nb.size())
+           : SetView::Sorted(source_nb);
   for (VertexId candidate : candidates) {
     if (candidate == source.id) continue;
+    const SetView candidate_view =
+        SetView::Sorted(graph.Neighbors(source.layer, candidate));
     result.ranked.push_back(
-        {candidate, static_cast<double>(graph.CountCommonNeighbors(
-                        source.layer, source.id, candidate))});
+        {candidate, static_cast<double>(
+                        IntersectionSize(candidate_view, source_view))});
   }
   SortAndTruncate(result.ranked, k);
   return result;

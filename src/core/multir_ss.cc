@@ -2,6 +2,7 @@
 
 #include "core/allocation.h"
 #include "core/degree_estimation.h"
+#include "graph/set_ops.h"
 #include "ldp/comm_model.h"
 #include "ldp/laplace_mechanism.h"
 #include "util/logging.h"
@@ -14,8 +15,10 @@ double SingleSourceEstimate(const BipartiteGraph& graph, LayeredVertex u,
   const double q = 1.0 - 2.0 * p;
   const auto neighbors = graph.Neighbors(u);
   // S1 = neighbors of u that are noisy neighbors of w; S2 = the rest.
+  // The true list is small and the noisy row huge: the dispatcher probes
+  // the bitmap directly, or gallops when w's release stayed sorted.
   const uint64_t s1 =
-      SortedIntersectionSize(neighbors, noisy_w.SortedMembers());
+      IntersectionSize(SetView::Sorted(neighbors), noisy_w.View());
   const uint64_t s2 = neighbors.size() - s1;
   return static_cast<double>(s1) * (1.0 - p) / q -
          static_cast<double>(s2) * p / q;

@@ -1,5 +1,6 @@
 #include "core/naive.h"
 
+#include "graph/set_ops.h"
 #include "ldp/comm_model.h"
 #include "ldp/randomized_response.h"
 
@@ -19,9 +20,10 @@ EstimateResult NaiveEstimator::Estimate(const BipartiteGraph& graph,
   ledger.UploadEdges(noisy_u.Size());
   ledger.UploadEdges(noisy_w.Size());
 
-  // Curator side: intersect the two noisy neighbor sets.
-  const uint64_t intersection = SortedIntersectionSize(
-      noisy_u.SortedMembers(), noisy_w.SortedMembers());
+  // Curator side: intersect the two noisy neighbor sets through the
+  // adaptive dispatcher (word-AND when both releases are dense bitmaps).
+  const uint64_t intersection =
+      IntersectionSize(noisy_u.View(), noisy_w.View());
 
   EstimateResult result;
   result.estimate = static_cast<double>(intersection);

@@ -1,5 +1,6 @@
 #include "core/oner.h"
 
+#include "graph/set_ops.h"
 #include "ldp/comm_model.h"
 #include "ldp/randomized_response.h"
 
@@ -29,8 +30,8 @@ EstimateResult OneREstimator::Estimate(const BipartiteGraph& graph,
   ledger.UploadEdges(noisy_u.Size());
   ledger.UploadEdges(noisy_w.Size());
 
-  const uint64_t intersection = SortedIntersectionSize(
-      noisy_u.SortedMembers(), noisy_w.SortedMembers());
+  const uint64_t intersection =
+      IntersectionSize(noisy_u.View(), noisy_w.View());
   const uint64_t union_size =
       noisy_u.Size() + noisy_w.Size() - intersection;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "graph/set_ops.h"
 #include "util/logging.h"
 
 namespace cne {
@@ -77,35 +78,9 @@ bool BipartiteGraph::HasEdge(VertexId upper, VertexId lower) const {
 
 uint64_t SortedIntersectionSize(std::span<const VertexId> a,
                                 std::span<const VertexId> b) {
-  // Galloping merge: when one list is much shorter, binary-search from it.
-  if (a.size() > b.size()) std::swap(a, b);
-  if (a.empty()) return 0;
-  uint64_t count = 0;
-  if (b.size() / (a.size() + 1) >= 32) {
-    auto it = b.begin();
-    for (VertexId x : a) {
-      it = std::lower_bound(it, b.end(), x);
-      if (it == b.end()) break;
-      if (*it == x) {
-        ++count;
-        ++it;
-      }
-    }
-    return count;
-  }
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (b[j] < a[i]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
+  // The adaptive sorted × sorted path: scalar merge for comparable sizes,
+  // galloping search past kGallopRatio (set_ops.h).
+  return IntersectionSize(SetView::Sorted(a), SetView::Sorted(b));
 }
 
 uint64_t SortedUnionSize(std::span<const VertexId> a,

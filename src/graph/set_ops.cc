@@ -1,0 +1,118 @@
+#include "graph/set_ops.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace cne {
+
+uint64_t DenseBitset::Count() const {
+  uint64_t count = 0;
+  for (uint64_t word : words_) count += std::popcount(word);
+  return count;
+}
+
+std::vector<VertexId> DenseBitset::ToSortedVector(size_t hint) const {
+  std::vector<VertexId> out;
+  out.reserve(hint);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out.push_back(static_cast<VertexId>(w * 64 + bit));
+      word &= word - 1;  // clear lowest set bit
+    }
+  }
+  return out;
+}
+
+uint64_t IntersectScalarMerge(std::span<const VertexId> a,
+                              std::span<const VertexId> b) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint64_t IntersectGalloping(std::span<const VertexId> a,
+                            std::span<const VertexId> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  uint64_t count = 0;
+  // For each needle, gallop from the current cursor: double the step until
+  // overshooting, then binary-search the bracketed window. Needles are
+  // sorted, so the cursor only moves forward and the total cost is
+  // O(|a| log(|b|/|a|)).
+  size_t lo = 0;
+  for (VertexId x : a) {
+    size_t step = 1;
+    size_t hi = lo;
+    while (hi < b.size() && b[hi] < x) {
+      lo = hi + 1;
+      hi += step;
+      step <<= 1;
+    }
+    hi = std::min(hi, b.size());
+    const auto it = std::lower_bound(b.begin() + lo, b.begin() + hi, x);
+    lo = static_cast<size_t>(it - b.begin());
+    if (lo == b.size()) break;
+    if (b[lo] == x) {
+      ++count;
+      ++lo;
+    }
+  }
+  return count;
+}
+
+uint64_t IntersectBitmapAnd(const DenseBitset& a, const DenseBitset& b) {
+  const std::span<const uint64_t> wa = a.Words();
+  const std::span<const uint64_t> wb = b.Words();
+  const size_t n = std::min(wa.size(), wb.size());
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += std::popcount(wa[i] & wb[i]);
+  }
+  return count;
+}
+
+uint64_t IntersectProbeBitmap(std::span<const VertexId> probes,
+                              const DenseBitset& bits) {
+  uint64_t count = 0;
+  for (VertexId v : probes) {
+    if (v < bits.NumBits() && bits.Test(v)) ++count;
+  }
+  return count;
+}
+
+uint64_t IntersectionSize(const SetView& a, const SetView& b) {
+  if (a.IsBitmap() && b.IsBitmap()) {
+    return IntersectBitmapAnd(a.bitmap(), b.bitmap());
+  }
+  if (a.IsBitmap()) return IntersectProbeBitmap(b.sorted(), a.bitmap());
+  if (b.IsBitmap()) return IntersectProbeBitmap(a.sorted(), b.bitmap());
+  const uint64_t small = std::min(a.Size(), b.Size());
+  const uint64_t large = std::max(a.Size(), b.Size());
+  if (large / (small + 1) >= kGallopRatio) {
+    return IntersectGalloping(a.sorted(), b.sorted());
+  }
+  return IntersectScalarMerge(a.sorted(), b.sorted());
+}
+
+const char* DispatchedKernelName(const SetView& a, const SetView& b) {
+  if (a.IsBitmap() && b.IsBitmap()) return "bitmap_and";
+  if (a.IsBitmap() || b.IsBitmap()) return "probe_bitmap";
+  const uint64_t small = std::min(a.Size(), b.Size());
+  const uint64_t large = std::max(a.Size(), b.Size());
+  return large / (small + 1) >= kGallopRatio ? "galloping" : "scalar_merge";
+}
+
+}  // namespace cne

@@ -1,0 +1,140 @@
+// Adaptive set-intersection kernels over vertex-id sets.
+//
+// Every protocol in the paper bottoms out in set intersection over
+// randomized-response releases, and at practical ε those releases are
+// *dense*: the expected noisy degree is d(1-p) + (n-d)p, so at ε = 1
+// (p ≈ 0.269) a noisy row covers ~27% of the opposite layer. One scalar
+// sorted merge cannot serve that whole density range well, so this module
+// provides two set representations and four kernels, plus a dispatcher
+// that picks the kernel from the operand representations and sizes:
+//
+//   representation      kernel                    regime
+//   ------------------  ------------------------  --------------------------
+//   sorted × sorted     IntersectScalarMerge      comparable sizes
+//   sorted × sorted     IntersectGalloping        size ratio ≥ kGallopRatio
+//   bitmap × bitmap     IntersectBitmapAnd        dense × dense (word AND +
+//                                                 popcount, 64 ids/cycle-ish)
+//   sorted × bitmap     IntersectProbeBitmap      sparse × dense (O(1) probes)
+//
+// All four kernels return exactly the same count on equivalent inputs; the
+// property test (tests/graph/set_ops_test.cc) and the every-run self-check
+// in bench/ext_intersect.cc enforce this.
+
+#ifndef CNE_GRAPH_SET_OPS_H_
+#define CNE_GRAPH_SET_OPS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace cne {
+
+/// Packed bitmap over the id domain [0, NumBits()): bit i is stored in word
+/// i/64. The dense-set representation behind NoisyNeighborSet's bitmap
+/// storage mode and the bitmap intersection kernels.
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+
+  /// An all-zero bitset over `num_bits` ids. The trailing partial word (when
+  /// num_bits is not a multiple of 64) is kept zero beyond bit num_bits.
+  explicit DenseBitset(VertexId num_bits)
+      : words_((static_cast<size_t>(num_bits) + 63) / 64, 0),
+        num_bits_(num_bits) {}
+
+  VertexId NumBits() const { return num_bits_; }
+
+  void Set(VertexId i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+
+  bool Test(VertexId i) const {
+    return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+
+  /// Number of set bits (popcount over all words).
+  uint64_t Count() const;
+
+  std::span<const uint64_t> Words() const { return words_; }
+
+  /// Set bits in ascending id order; no sort needed, bit iteration is
+  /// naturally ordered. `hint` pre-reserves the output.
+  std::vector<VertexId> ToSortedVector(size_t hint = 0) const;
+
+ private:
+  std::vector<uint64_t> words_;
+  VertexId num_bits_ = 0;
+};
+
+/// A borrowed, read-only view of a vertex-id set in either representation.
+/// The dispatcher's operand type: build one with SetView::Sorted (over any
+/// sorted unique span, e.g. a CSR adjacency list) or SetView::Bitmap, and
+/// the viewed storage must outlive the view.
+class SetView {
+ public:
+  static SetView Sorted(std::span<const VertexId> ids) {
+    SetView v;
+    v.sorted_ = ids;
+    v.size_ = ids.size();
+    return v;
+  }
+
+  /// `size` is the number of set bits; pass it when cached (NoisyNeighborSet
+  /// caches it) to avoid a popcount pass.
+  static SetView Bitmap(const DenseBitset& bits, uint64_t size) {
+    SetView v;
+    v.bitmap_ = &bits;
+    v.size_ = size;
+    return v;
+  }
+
+  bool IsBitmap() const { return bitmap_ != nullptr; }
+  uint64_t Size() const { return size_; }
+  std::span<const VertexId> sorted() const { return sorted_; }
+  const DenseBitset& bitmap() const { return *bitmap_; }
+
+ private:
+  std::span<const VertexId> sorted_{};
+  const DenseBitset* bitmap_ = nullptr;
+  uint64_t size_ = 0;
+};
+
+/// Sorted × sorted size ratio beyond which the dispatcher switches from the
+/// scalar merge to galloping search.
+inline constexpr uint64_t kGallopRatio = 32;
+
+/// Scalar two-pointer merge over two sorted unique id ranges. The baseline
+/// every other kernel must agree with.
+uint64_t IntersectScalarMerge(std::span<const VertexId> a,
+                              std::span<const VertexId> b);
+
+/// Galloping (exponential-then-binary search) intersection for skewed
+/// sorted × sorted sizes: each element of the smaller range is located in
+/// the larger one in O(log gap). Swaps internally so argument order does
+/// not matter.
+uint64_t IntersectGalloping(std::span<const VertexId> a,
+                            std::span<const VertexId> b);
+
+/// Dense × dense kernel: 64-bit word AND + popcount. The bitsets may cover
+/// different domains; bits beyond the shorter domain cannot intersect.
+uint64_t IntersectBitmapAnd(const DenseBitset& a, const DenseBitset& b);
+
+/// Sparse × dense kernel: probe each sorted id into the bitmap, O(1) per
+/// probe. Ids at or beyond the bitmap's domain count as absent.
+uint64_t IntersectProbeBitmap(std::span<const VertexId> probes,
+                              const DenseBitset& bits);
+
+/// Adaptive dispatcher: picks the kernel from the operand representations
+/// (bitmap × bitmap → word AND, sorted × bitmap → probe) and, for
+/// sorted × sorted, from the size ratio (galloping past kGallopRatio,
+/// scalar merge otherwise). Always equals IntersectScalarMerge on the
+/// equivalent sorted inputs.
+uint64_t IntersectionSize(const SetView& a, const SetView& b);
+
+/// Name of the kernel the dispatcher would run for (a, b); for logs and the
+/// ext_intersect bench.
+const char* DispatchedKernelName(const SetView& a, const SetView& b);
+
+}  // namespace cne
+
+#endif  // CNE_GRAPH_SET_OPS_H_

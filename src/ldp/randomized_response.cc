@@ -1,8 +1,10 @@
 #include "ldp/randomized_response.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -22,60 +24,179 @@ NoisyNeighborSet::NoisyNeighborSet(std::vector<VertexId> members,
   std::sort(members_.begin(), members_.end());
   members_.erase(std::unique(members_.begin(), members_.end()),
                  members_.end());
+  size_ = members_.size();
   CNE_CHECK(members_.empty() || members_.back() < domain_size_)
       << "noisy member outside domain";
 }
 
+NoisyNeighborSet::NoisyNeighborSet(DenseBitset bits, double flip_probability)
+    : bits_(std::move(bits)),
+      size_(bits_.Count()),
+      domain_size_(bits_.NumBits()),
+      flip_probability_(flip_probability),
+      is_bitmap_(true) {}
+
+NoisyNeighborSet NoisyNeighborSet::FromSortedUnique(
+    std::vector<VertexId> members, VertexId domain_size,
+    double flip_probability) {
+#ifndef NDEBUG
+  assert(std::is_sorted(members.begin(), members.end()));
+  assert(std::adjacent_find(members.begin(), members.end()) ==
+         members.end());
+#endif
+  NoisyNeighborSet set;
+  set.members_ = std::move(members);
+  set.size_ = set.members_.size();
+  set.domain_size_ = domain_size;
+  set.flip_probability_ = flip_probability;
+  CNE_CHECK(set.members_.empty() || set.members_.back() < domain_size)
+      << "noisy member outside domain";
+  return set;
+}
+
 bool NoisyNeighborSet::Contains(VertexId v) const {
+  if (is_bitmap_) return v < bits_.NumBits() && bits_.Test(v);
   return std::binary_search(members_.begin(), members_.end(), v);
 }
 
-NoisyNeighborSet ApplyRandomizedResponse(const BipartiteGraph& graph,
-                                         LayeredVertex vertex, double epsilon,
-                                         Rng& rng) {
-  const double p = FlipProbability(epsilon);
-  const auto neighbors = graph.Neighbors(vertex);
-  const VertexId domain = graph.NumVertices(Opposite(vertex.layer));
+SetView NoisyNeighborSet::View() const {
+  if (is_bitmap_) return SetView::Bitmap(bits_, size_);
+  return SetView::Sorted(members_);
+}
+
+const std::vector<VertexId>& NoisyNeighborSet::SortedMembers() const {
+  CNE_CHECK(!is_bitmap_)
+      << "SortedMembers() on a bitmap-mode set; use ToSortedVector()";
+  return members_;
+}
+
+std::vector<VertexId> NoisyNeighborSet::ToSortedVector() const {
+  if (is_bitmap_) return bits_.ToSortedVector(size_);
+  return members_;
+}
+
+bool UseBitmapStorage(uint64_t degree, VertexId domain, double epsilon) {
+  if (domain < kBitmapMinDomain) return false;
+  const double expected = ExpectedNoisyDegree(
+      static_cast<double>(degree), static_cast<double>(domain), epsilon);
+  return expected >= kBitmapDensityThreshold * static_cast<double>(domain);
+}
+
+namespace {
+
+// Sparse-regime sampler: sorted-vector release in O(d + pn) expected.
+NoisyNeighborSet SampleSorted(std::span<const VertexId> neighbors,
+                              VertexId domain, double p, double epsilon,
+                              Rng& rng) {
   const uint64_t degree = neighbors.size();
-
   std::vector<VertexId> members;
-  members.reserve(static_cast<size_t>(
-      ExpectedNoisyDegree(static_cast<double>(degree),
-                          static_cast<double>(domain), epsilon) *
-          1.2 +
-      16));
+  members.reserve(NoisyDegreeReserveHint(degree, domain, epsilon));
 
-  // True neighbors survive independently with probability 1 - p.
+  // True neighbors survive independently with probability 1 - p; the
+  // adjacency list is sorted, so the survivors come out sorted.
   for (VertexId v : neighbors) {
     if (!rng.Bernoulli(p)) members.push_back(v);
   }
+  const auto survivors_end =
+      static_cast<std::vector<VertexId>::difference_type>(members.size());
 
-  // Non-neighbors flip in: their count is Binomial(n - d, p), identities
-  // uniform without replacement among the non-neighbors. Sample positions
-  // in [0, n - d) and map them around the sorted true-neighbor list.
+  // Non-neighbors flip in independently with probability p. Visit the
+  // flipped positions of [0, n - d) in increasing order directly:
+  // successive gaps of a Bernoulli(p) process are iid Geometric(p), so
+  // skip sampling emits the positions as sorted order statistics — no
+  // post-hoc sort, and the count is Binomial(n - d, p) by construction.
   const uint64_t num_non_neighbors = static_cast<uint64_t>(domain) - degree;
-  const uint64_t flipped_in = rng.Binomial(num_non_neighbors, p);
-  if (flipped_in > 0) {
-    std::vector<uint64_t> positions =
-        rng.SampleWithoutReplacement(num_non_neighbors, flipped_in);
-    // Map the k-th non-neighbor position to an actual vertex id: for each
-    // position q, the vertex id is q plus the number of true neighbors with
-    // id <= mapped value. Sorting positions makes the mapping a single
-    // linear merge.
-    std::sort(positions.begin(), positions.end());
+  if (num_non_neighbors > 0) {
     size_t ni = 0;  // index into sorted true neighbors
-    for (uint64_t q : positions) {
-      // Advance: vertex id candidate = q + ni, but adding neighbors below
-      // shifts the candidate upward.
+    uint64_t q = rng.Geometric(p);
+    while (q < num_non_neighbors) {
+      // Map the q-th non-neighbor position to a vertex id: adding the
+      // neighbors below shifts the candidate upward. Positions only grow,
+      // so the cursor sweep is a single linear merge overall.
       VertexId candidate = static_cast<VertexId>(q + ni);
       while (ni < neighbors.size() && neighbors[ni] <= candidate) {
         ++ni;
         ++candidate;
       }
       members.push_back(candidate);
+      // Advance to the next flipped position; the window check before the
+      // addition keeps a near-p-0 gap (up to UINT64_MAX) from overflowing.
+      const uint64_t gap = rng.Geometric(p);
+      if (gap >= num_non_neighbors - q - 1) break;
+      q += 1 + gap;
     }
   }
-  return NoisyNeighborSet(std::move(members), domain, p);
+
+  // Survivors and flipped-in ids are two sorted disjoint runs.
+  std::inplace_merge(members.begin(), members.begin() + survivors_end,
+                     members.end());
+  return NoisyNeighborSet::FromSortedUnique(std::move(members), domain, p);
+}
+
+// Dense-regime sampler: writes the release directly into bitmap words.
+// Same output distribution as SampleSorted (and as bit-by-bit RR), at
+// O(d + pn + n/64) with no sorted vector ever materialized.
+NoisyNeighborSet SampleBitmap(std::span<const VertexId> neighbors,
+                              VertexId domain, double p, Rng& rng) {
+  const uint64_t degree = neighbors.size();
+  DenseBitset bits(domain);
+  for (VertexId v : neighbors) {
+    if (!rng.Bernoulli(p)) bits.Set(v);
+  }
+
+  const uint64_t num_non_neighbors = static_cast<uint64_t>(domain) - degree;
+  uint64_t flips = rng.Binomial(num_non_neighbors, p);
+  if (flips == 0) return NoisyNeighborSet(std::move(bits), p);
+
+  if ((num_non_neighbors - flips) * 8 >= domain) {
+    // Rejection sampling draws a uniform flips-subset of the non-neighbors:
+    // reject survivors and earlier flip-ins via the bitmap (O(1)) and
+    // non-surviving true neighbors via binary search. The gate keeps the
+    // acceptance rate at ≥ 1/8, so expected trials stay O(flips).
+    while (flips > 0) {
+      const VertexId v = static_cast<VertexId>(rng.UniformInt(domain));
+      if (bits.Test(v) ||
+          std::binary_search(neighbors.begin(), neighbors.end(), v)) {
+        continue;
+      }
+      bits.Set(v);
+      --flips;
+    }
+  } else {
+    // Nearly every non-neighbor flips in (or nearly everything is a
+    // neighbor): enumerate the complement once and Floyd-sample among it.
+    std::vector<VertexId> complement;
+    complement.reserve(num_non_neighbors);
+    size_t ni = 0;
+    for (VertexId v = 0; v < domain; ++v) {
+      if (ni < neighbors.size() && neighbors[ni] == v) {
+        ++ni;
+        continue;
+      }
+      complement.push_back(v);
+    }
+    for (uint64_t idx : rng.SampleWithoutReplacement(num_non_neighbors,
+                                                     flips)) {
+      bits.Set(complement[idx]);
+    }
+  }
+  return NoisyNeighborSet(std::move(bits), p);
+}
+
+}  // namespace
+
+NoisyNeighborSet ApplyRandomizedResponse(const BipartiteGraph& graph,
+                                         LayeredVertex vertex, double epsilon,
+                                         Rng& rng, RrStorage storage) {
+  const double p = FlipProbability(epsilon);
+  const auto neighbors = graph.Neighbors(vertex);
+  const VertexId domain = graph.NumVertices(Opposite(vertex.layer));
+  const bool bitmap =
+      storage == RrStorage::kAuto
+          ? UseBitmapStorage(neighbors.size(), domain, epsilon)
+          : storage == RrStorage::kBitmap;
+  return bitmap ? SampleBitmap(neighbors, domain, p, rng)
+                : SampleSorted(neighbors, domain, p, epsilon, rng);
 }
 
 NoisyNeighborSet ApplyRandomizedResponseDense(const BipartiteGraph& graph,
@@ -87,6 +208,7 @@ NoisyNeighborSet ApplyRandomizedResponseDense(const BipartiteGraph& graph,
   std::unordered_set<VertexId> neighbor_set(neighbors.begin(),
                                             neighbors.end());
   std::vector<VertexId> members;
+  members.reserve(NoisyDegreeReserveHint(neighbors.size(), domain, epsilon));
   for (VertexId v = 0; v < domain; ++v) {
     const bool bit = neighbor_set.count(v) > 0;
     const bool noisy_bit = rng.Bernoulli(p) ? !bit : bit;
@@ -99,6 +221,14 @@ double ExpectedNoisyDegree(double degree, double opposite_size,
                            double epsilon) {
   const double p = FlipProbability(epsilon);
   return degree * (1.0 - p) + (opposite_size - degree) * p;
+}
+
+size_t NoisyDegreeReserveHint(uint64_t degree, VertexId domain,
+                              double epsilon) {
+  const double expected = ExpectedNoisyDegree(
+      static_cast<double>(degree), static_cast<double>(domain), epsilon);
+  return static_cast<size_t>(
+      std::min(expected * 1.2 + 16.0, static_cast<double>(domain)));
 }
 
 }  // namespace cne

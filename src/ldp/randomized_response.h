@@ -2,20 +2,32 @@
 //
 // Given privacy budget ε, every bit of a vertex's neighbor list is flipped
 // independently with probability p = 1 / (1 + e^ε). Materializing the
-// length-n noisy row is O(n); instead we sample the *noisy neighbor set*
-// sparsely and exactly:
+// length-n noisy row bit by bit is O(n) RNG draws; instead we sample the
+// *noisy neighbor set* sparsely and exactly:
 //   * each true neighbor stays with probability 1 - p,
-//   * the number of flipped-in non-neighbors is Binomial(n - d, p) and
-//     their identities are uniform without replacement.
+//   * flipped-in non-neighbors are the successes of a Bernoulli(p) process
+//     over the n - d non-neighbor positions, generated in sorted order by
+//     Geometric(p) skip sampling.
 // The resulting set has exactly the distribution of bit-by-bit RR at cost
 // O(d + pn) expected.
+//
+// Storage is hybrid: at practical ε the noisy row is *dense* (expected
+// density d/n (1-p) + (1-d/n) p ≥ p, i.e. ~27% at ε = 1), so the release
+// is packed into a 64-bit-word bitmap (DenseBitset) written directly —
+// no sorted vector, no sort — and intersections run through the word-AND
+// and probe kernels of graph/set_ops.h. In the sparse regime (large ε
+// and/or low degree) the sorted-vector representation is kept. The choice
+// is a pure function of (degree, domain, ε), so a release's representation
+// is deterministic and identical across threads.
 
 #ifndef CNE_LDP_RANDOMIZED_RESPONSE_H_
 #define CNE_LDP_RANDOMIZED_RESPONSE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "graph/set_ops.h"
 #include "util/rng.h"
 
 namespace cne {
@@ -24,21 +36,34 @@ namespace cne {
 double FlipProbability(double epsilon);
 
 /// The noisy neighbor set of one vertex after randomized response: the set
-/// of opposite-layer vertices whose noisy adjacency bit is 1.
+/// of opposite-layer vertices whose noisy adjacency bit is 1. Stored either
+/// as a sorted id vector (sparse regime) or a packed bitmap (dense regime);
+/// consumers should intersect through View() and the set_ops dispatcher,
+/// which picks the kernel from the representations.
 class NoisyNeighborSet {
  public:
   NoisyNeighborSet() = default;
 
-  /// `members` need not be sorted; `domain_size` is the size of the
-  /// opposite layer (the length of the perturbed neighbor list).
+  /// Sorted-vector mode. `members` need not be sorted; `domain_size` is the
+  /// size of the opposite layer (the length of the perturbed neighbor list).
   NoisyNeighborSet(std::vector<VertexId> members, VertexId domain_size,
                    double flip_probability);
 
-  /// True if the noisy bit A'[v] is 1. O(log size).
+  /// Bitmap mode; the domain is `bits.NumBits()`.
+  NoisyNeighborSet(DenseBitset bits, double flip_probability);
+
+  /// Sorted-vector mode from members already sorted and deduplicated
+  /// (skips the O(k log k) sort of the general constructor).
+  static NoisyNeighborSet FromSortedUnique(std::vector<VertexId> members,
+                                           VertexId domain_size,
+                                           double flip_probability);
+
+  /// True if the noisy bit A'[v] is 1. O(1) in bitmap mode, O(log size)
+  /// in sorted mode.
   bool Contains(VertexId v) const;
 
   /// Number of 1-bits in the noisy row (the vertex's noisy degree).
-  size_t Size() const { return members_.size(); }
+  size_t Size() const { return size_; }
 
   /// Size of the perturbed domain (opposite-layer vertex count).
   VertexId DomainSize() const { return domain_size_; }
@@ -46,23 +71,63 @@ class NoisyNeighborSet {
   /// The flip probability the set was generated with.
   double flip_probability() const { return flip_probability_; }
 
-  /// Sorted members, for set algebra (intersection/union) by the curator.
-  const std::vector<VertexId>& SortedMembers() const { return members_; }
+  /// True when the set is stored as a packed bitmap.
+  bool IsBitmap() const { return is_bitmap_; }
+
+  /// Representation-agnostic view for the set_ops intersection dispatcher.
+  SetView View() const;
+
+  /// Sorted members of a sorted-mode set; fatal check in bitmap mode
+  /// (use ToSortedVector there). Kept for the sparse-regime consumers and
+  /// tests that want zero-copy access.
+  const std::vector<VertexId>& SortedMembers() const;
+
+  /// Materializes the sorted member list in either mode (decoding a bitmap
+  /// yields ascending ids without sorting).
+  std::vector<VertexId> ToSortedVector() const;
 
  private:
-  std::vector<VertexId> members_;  // sorted
+  std::vector<VertexId> members_;  // sorted; empty in bitmap mode
+  DenseBitset bits_;               // empty in sorted mode
+  uint64_t size_ = 0;
   VertexId domain_size_ = 0;
   double flip_probability_ = 0.0;
+  bool is_bitmap_ = false;
 };
 
+/// Storage-mode override for ApplyRandomizedResponse. kAuto picks the
+/// bitmap when the expected noisy row is dense (UseBitmapStorage); the
+/// explicit hints pin a representation, for tests and benchmarks.
+enum class RrStorage { kAuto, kSorted, kBitmap };
+
+/// Expected-density threshold at and above which kAuto packs the release
+/// into a bitmap. At 1/16 the bitmap (n/8 bytes) is at most half the
+/// sorted vector's memory (4 bytes/id) and word-AND intersection is far
+/// past its win over the merge kernels (crossover near density 1/128).
+inline constexpr double kBitmapDensityThreshold = 1.0 / 16.0;
+
+/// Domains smaller than one bitmap word stay sorted under kAuto: there is
+/// nothing to win and the sorted path keeps the tiny-domain distribution
+/// tests on the code path their name promises.
+inline constexpr VertexId kBitmapMinDomain = 64;
+
+/// True when kAuto stores the ε-release of a degree-`degree` vertex over
+/// `domain` opposite vertices as a bitmap. Pure function of its arguments:
+/// representation choice is deterministic across threads and runs.
+bool UseBitmapStorage(uint64_t degree, VertexId domain, double epsilon);
+
 /// Applies ε-randomized response to the neighbor list of `vertex` and
-/// returns its noisy neighbor set. Exactly distributed as bit-by-bit RR.
+/// returns its noisy neighbor set. Exactly distributed as bit-by-bit RR in
+/// both storage modes; `storage` only changes the representation (and the
+/// RNG draw sequence), never the output distribution.
 NoisyNeighborSet ApplyRandomizedResponse(const BipartiteGraph& graph,
                                          LayeredVertex vertex, double epsilon,
-                                         Rng& rng);
+                                         Rng& rng,
+                                         RrStorage storage = RrStorage::kAuto);
 
 /// Reference O(n) implementation that flips every bit explicitly. Used by
-/// tests to validate the sparse sampler; do not call on large layers.
+/// tests to validate the sparse and bitmap samplers; do not call on large
+/// layers.
 NoisyNeighborSet ApplyRandomizedResponseDense(const BipartiteGraph& graph,
                                               LayeredVertex vertex,
                                               double epsilon, Rng& rng);
@@ -71,6 +136,11 @@ NoisyNeighborSet ApplyRandomizedResponseDense(const BipartiteGraph& graph,
 /// with opposite layer size n: d(1-p) + (n-d)p.
 double ExpectedNoisyDegree(double degree, double opposite_size,
                            double epsilon);
+
+/// Shared reserve() sizing for noisy-member vectors: the expected noisy
+/// degree plus slack, capped at the domain.
+size_t NoisyDegreeReserveHint(uint64_t degree, VertexId domain,
+                              double epsilon);
 
 }  // namespace cne
 

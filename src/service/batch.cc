@@ -37,7 +37,7 @@ BatchResult RunBatch(const BipartiteGraph& graph,
   result.vertices_released = report.store.releases;
   result.cache_hits = report.store.cache_hits;
   result.cache_hit_rate = report.store.CacheHitRate();
-  result.uploaded_bytes = report.store.uploaded_bytes;
+  result.uploaded_bytes = report.store.UploadedBytes();
   result.residual_budget = service.ledger().Snapshot();
   return result;
 }

@@ -2,7 +2,6 @@
 
 #include <utility>
 
-#include "ldp/comm_model.h"
 #include "util/logging.h"
 
 namespace cne {
@@ -118,9 +117,7 @@ NoisyViewStore::Stats NoisyViewStore::stats() const {
   stats.releases = releases_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   stats.rejections = rejections_.load(std::memory_order_relaxed);
-  stats.uploaded_bytes =
-      CommModel{}.bytes_per_edge *
-      static_cast<double>(uploaded_edges_.load(std::memory_order_relaxed));
+  stats.uploaded_edges = uploaded_edges_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -31,6 +31,7 @@
 
 #include "graph/bipartite_graph.h"
 #include "ldp/budget_ledger.h"
+#include "ldp/comm_model.h"
 #include "ldp/randomized_response.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -48,19 +49,26 @@ class NoisyViewStore {
     kRejected,    ///< ledger refused the charge; no release will happen
   };
 
-  /// Cumulative counters over the store's lifetime.
+  /// Cumulative counters over the store's lifetime. All integral: upload
+  /// accounting is kept in edges end to end and converted to comm-model
+  /// bytes exactly once, in UploadedBytes().
   struct Stats {
-    uint64_t lookups = 0;       ///< Authorize/Get calls
-    uint64_t releases = 0;      ///< vertices whose RR actually ran/will run
-    uint64_t cache_hits = 0;    ///< lookups served by an existing view
-    uint64_t rejections = 0;    ///< lookups refused by the ledger
-    double uploaded_bytes = 0;  ///< noisy edges uploaded, comm-model bytes
+    uint64_t lookups = 0;         ///< Authorize/Get calls
+    uint64_t releases = 0;        ///< vertices whose RR actually ran/will run
+    uint64_t cache_hits = 0;      ///< lookups served by an existing view
+    uint64_t rejections = 0;      ///< lookups refused by the ledger
+    uint64_t uploaded_edges = 0;  ///< noisy edges uploaded by releases
 
     /// Fraction of lookups that needed no new release.
     double CacheHitRate() const {
       return lookups == 0
                  ? 0.0
                  : static_cast<double>(cache_hits) / static_cast<double>(lookups);
+    }
+
+    /// Uploaded edges converted to bytes under `model`.
+    double UploadedBytes(const CommModel& model = CommModel{}) const {
+      return model.bytes_per_edge * static_cast<double>(uploaded_edges);
     }
   };
 

@@ -4,6 +4,7 @@
 
 #include "core/multir_ss.h"
 #include "core/oner.h"
+#include "graph/set_ops.h"
 #include "ldp/laplace_mechanism.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -195,14 +196,13 @@ double QueryService::Answer(const PlannedQuery& planned) const {
     case ServiceAlgorithm::kNaive: {
       const NoisyNeighborSet& noisy_u = store_.View(u);
       const NoisyNeighborSet& noisy_w = store_.View(w);
-      return static_cast<double>(SortedIntersectionSize(
-          noisy_u.SortedMembers(), noisy_w.SortedMembers()));
+      return static_cast<double>(
+          IntersectionSize(noisy_u.View(), noisy_w.View()));
     }
     case ServiceAlgorithm::kOneR: {
       const NoisyNeighborSet& noisy_u = store_.View(u);
       const NoisyNeighborSet& noisy_w = store_.View(w);
-      const uint64_t n1 = SortedIntersectionSize(noisy_u.SortedMembers(),
-                                                 noisy_w.SortedMembers());
+      const uint64_t n1 = IntersectionSize(noisy_u.View(), noisy_w.View());
       const uint64_t n2 = noisy_u.Size() + noisy_w.Size() - n1;
       return OneRClosedForm(n1, n2,
                             graph_.NumVertices(Opposite(query.layer)),

@@ -144,10 +144,12 @@ TEST(MultiRDSTest, DegreeRoundProducesPlausibleEstimates) {
     EXPECT_GT(r.noisy_degree_u, 0.0);  // corrected to positive
     du_stats.Add(r.noisy_degree_u);
   }
-  // True degree 8. At ε0 = 0.1 the Laplace scale is 10, so ~22% of raw
-  // estimates are negative and get replaced by the layer average (~6.5);
-  // the corrected mean therefore sits above 8 but within a few units.
-  EXPECT_NEAR(du_stats.Mean(), 8.0, 4.0);
+  // True degree 8. At ε0 = 0.1 the Laplace scale is b = 10, so
+  // P(raw ≤ 0) = e^{-0.8}/2 ≈ 0.225 and those draws are replaced by the
+  // (positive) layer-average estimate. The censoring inflates the mean:
+  // E[raw·1{raw>0}] = 8·0.775 + (8+b)·0.225 ≈ 10.3, plus ≈ 0.225·7.5 from
+  // the replacements ≈ 12.1 (confirmed by a 200k-trial isolation run).
+  EXPECT_NEAR(du_stats.Mean(), 12.1, 2.0);
 }
 
 TEST(MultiRDSTest, CommunicationIncludesDegreeRound) {

@@ -1,0 +1,179 @@
+// Property suite for the adaptive intersection kernels: every kernel and
+// the dispatcher must return exactly the scalar merge's count on the same
+// set pair, for every representation, across the full density range and
+// across skewed size ratios — including domains that are not multiples of
+// the 64-bit word size.
+
+#include "graph/set_ops.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cne {
+namespace {
+
+std::vector<VertexId> RandomSortedSet(VertexId domain, double density,
+                                      Rng& rng) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < domain; ++v) {
+    if (rng.Bernoulli(density)) out.push_back(v);
+  }
+  return out;
+}
+
+DenseBitset ToBitset(const std::vector<VertexId>& sorted, VertexId domain) {
+  DenseBitset bits(domain);
+  for (VertexId v : sorted) bits.Set(v);
+  return bits;
+}
+
+uint64_t ReferenceIntersection(const std::vector<VertexId>& a,
+                               const std::vector<VertexId>& b) {
+  std::vector<VertexId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out.size();
+}
+
+TEST(DenseBitsetTest, SetTestCountRoundTrip) {
+  DenseBitset bits(130);  // not a multiple of 64
+  EXPECT_EQ(bits.NumBits(), 130u);
+  EXPECT_EQ(bits.Count(), 0u);
+  for (VertexId v : {0u, 63u, 64u, 127u, 128u, 129u}) bits.Set(v);
+  EXPECT_EQ(bits.Count(), 6u);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_FALSE(bits.Test(126));
+  EXPECT_EQ(bits.ToSortedVector(),
+            (std::vector<VertexId>{0, 63, 64, 127, 128, 129}));
+}
+
+TEST(DenseBitsetTest, ToSortedVectorIsAscendingOnRandomInput) {
+  Rng rng(3);
+  DenseBitset bits(777);
+  std::vector<VertexId> truth;
+  for (VertexId v = 0; v < 777; ++v) {
+    if (rng.Bernoulli(0.3)) {
+      bits.Set(v);
+      truth.push_back(v);
+    }
+  }
+  EXPECT_EQ(bits.ToSortedVector(), truth);
+}
+
+TEST(SetOpsKernelsTest, AllKernelsAgreeAcrossDensityGrid) {
+  Rng rng(17);
+  // Domains straddle word boundaries on purpose.
+  for (VertexId domain : {VertexId{1}, VertexId{63}, VertexId{64},
+                          VertexId{65}, VertexId{100}, VertexId{1000},
+                          VertexId{4097}}) {
+    for (double da : {0.0, 0.01, 0.1, 0.3, 0.7, 1.0}) {
+      for (double db : {0.0, 0.05, 0.5, 1.0}) {
+        const auto a = RandomSortedSet(domain, da, rng);
+        const auto b = RandomSortedSet(domain, db, rng);
+        const DenseBitset ba = ToBitset(a, domain);
+        const DenseBitset bb = ToBitset(b, domain);
+        const uint64_t want = ReferenceIntersection(a, b);
+
+        EXPECT_EQ(IntersectScalarMerge(a, b), want);
+        EXPECT_EQ(IntersectGalloping(a, b), want);
+        EXPECT_EQ(IntersectGalloping(b, a), want);
+        EXPECT_EQ(IntersectBitmapAnd(ba, bb), want);
+        EXPECT_EQ(IntersectProbeBitmap(a, bb), want);
+        EXPECT_EQ(IntersectProbeBitmap(b, ba), want);
+
+        // Dispatcher, every representation pairing.
+        const SetView sa = SetView::Sorted(a);
+        const SetView sb = SetView::Sorted(b);
+        const SetView va = SetView::Bitmap(ba, a.size());
+        const SetView vb = SetView::Bitmap(bb, b.size());
+        for (const SetView& x : {sa, va}) {
+          for (const SetView& y : {sb, vb}) {
+            EXPECT_EQ(IntersectionSize(x, y), want)
+                << domain << " " << da << "x" << db << " "
+                << DispatchedKernelName(x, y);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SetOpsKernelsTest, FuzzRandomPairs) {
+  Rng rng(29);
+  for (int t = 0; t < 300; ++t) {
+    const VertexId domain =
+        static_cast<VertexId>(1 + rng.UniformInt(2000));
+    const double da = rng.NextDouble();
+    const double db = rng.NextDouble() * rng.NextDouble();  // skew sizes
+    const auto a = RandomSortedSet(domain, da, rng);
+    const auto b = RandomSortedSet(domain, db, rng);
+    const DenseBitset ba = ToBitset(a, domain);
+    const DenseBitset bb = ToBitset(b, domain);
+    const uint64_t want = ReferenceIntersection(a, b);
+    EXPECT_EQ(IntersectScalarMerge(a, b), want);
+    EXPECT_EQ(IntersectGalloping(a, b), want);
+    EXPECT_EQ(IntersectBitmapAnd(ba, bb), want);
+    EXPECT_EQ(IntersectProbeBitmap(a, bb), want);
+    EXPECT_EQ(
+        IntersectionSize(SetView::Sorted(a), SetView::Bitmap(bb, b.size())),
+        want);
+    EXPECT_EQ(IntersectionSize(SetView::Bitmap(ba, a.size()),
+                               SetView::Bitmap(bb, b.size())),
+              want);
+  }
+}
+
+TEST(SetOpsKernelsTest, GallopingHandlesExtremeSkew) {
+  // One needle against a huge haystack, hit and miss, ends included.
+  std::vector<VertexId> big;
+  for (VertexId v = 0; v < 100000; v += 2) big.push_back(v);
+  EXPECT_EQ(IntersectGalloping(std::vector<VertexId>{0}, big), 1u);
+  EXPECT_EQ(IntersectGalloping(std::vector<VertexId>{99998}, big), 1u);
+  EXPECT_EQ(IntersectGalloping(std::vector<VertexId>{99999}, big), 0u);
+  EXPECT_EQ(IntersectGalloping(std::vector<VertexId>{1}, big), 0u);
+  const std::vector<VertexId> needles = {0, 1, 50000, 50001, 99998};
+  EXPECT_EQ(IntersectGalloping(needles, big), 3u);
+  EXPECT_EQ(IntersectScalarMerge(needles, big), 3u);
+}
+
+TEST(SetOpsKernelsTest, BitmapAndToleratesDomainMismatch) {
+  // Bits past the shorter domain cannot intersect.
+  DenseBitset a(130), b(70);
+  for (VertexId v : {0u, 64u, 69u, 129u}) a.Set(v);
+  for (VertexId v : {0u, 64u, 69u}) b.Set(v);
+  EXPECT_EQ(IntersectBitmapAnd(a, b), 3u);
+  EXPECT_EQ(IntersectBitmapAnd(b, a), 3u);
+}
+
+TEST(SetOpsKernelsTest, ProbeIgnoresOutOfDomainIds) {
+  DenseBitset bits(65);
+  bits.Set(64);
+  const std::vector<VertexId> probes = {10, 64, 100, 4000000000u};
+  EXPECT_EQ(IntersectProbeBitmap(probes, bits), 1u);
+}
+
+TEST(SetOpsDispatchTest, PicksTheExpectedKernel) {
+  std::vector<VertexId> small = {1, 2, 3};
+  std::vector<VertexId> large(400);
+  for (VertexId v = 0; v < 400; ++v) large[v] = v;
+  DenseBitset bits(400);
+  bits.Set(1);
+
+  const SetView s = SetView::Sorted(small);
+  const SetView l = SetView::Sorted(large);
+  const SetView b = SetView::Bitmap(bits, 1);
+  EXPECT_STREQ(DispatchedKernelName(s, l), "galloping");
+  EXPECT_STREQ(DispatchedKernelName(s, s), "scalar_merge");
+  EXPECT_STREQ(DispatchedKernelName(l, l), "scalar_merge");
+  EXPECT_STREQ(DispatchedKernelName(s, b), "probe_bitmap");
+  EXPECT_STREQ(DispatchedKernelName(b, b), "bitmap_and");
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,5 +1,6 @@
 #include "ldp/randomized_response.h"
 
+#include <array>
 #include <cmath>
 #include <vector>
 
@@ -165,6 +166,155 @@ TEST(RrPositionMappingTest, FlippedInVerticesAreNeverTrueNeighborsArtifact) {
     const auto& m = noisy.SortedMembers();
     for (size_t i = 1; i < m.size(); ++i) EXPECT_LT(m[i - 1], m[i]);
   }
+}
+
+TEST(StorageModeTest, AutoPicksBitmapOnlyForDenseReleases) {
+  // ε = 1 → p ≈ 0.269: dense regime for any degree.
+  EXPECT_TRUE(UseBitmapStorage(0, 1000, 1.0));
+  EXPECT_TRUE(UseBitmapStorage(100, 1000, 1.0));
+  // ε = 4 → p ≈ 0.018 < 1/16: sparse unless the degree itself is dense.
+  EXPECT_FALSE(UseBitmapStorage(0, 1000, 4.0));
+  EXPECT_TRUE(UseBitmapStorage(500, 1000, 4.0));
+  // Tiny domains always stay sorted.
+  EXPECT_FALSE(UseBitmapStorage(10, kBitmapMinDomain - 1, 1.0));
+}
+
+TEST(StorageModeTest, ApplyRespectsAutoAndExplicitHints) {
+  GraphBuilder b(1, 100);
+  for (VertexId l = 0; l < 10; ++l) b.AddEdge(0, l);
+  const BipartiteGraph g = b.Build();
+  Rng rng(21);
+  // ε = 1 on a 100-domain: auto must pack a bitmap.
+  EXPECT_TRUE(ApplyRandomizedResponse(g, {Layer::kUpper, 0}, 1.0, rng)
+                  .IsBitmap());
+  // ε = 5 (p ≈ 0.0067) with degree 10 over a 1000-domain: expected noisy
+  // density ≈ 0.017 < 1/16, auto must stay sorted.
+  GraphBuilder sparse_b(1, 1000);
+  for (VertexId l = 0; l < 10; ++l) sparse_b.AddEdge(0, l);
+  const BipartiteGraph sparse_g = sparse_b.Build();
+  EXPECT_FALSE(ApplyRandomizedResponse(sparse_g, {Layer::kUpper, 0}, 5.0,
+                                       rng)
+                   .IsBitmap());
+  // Explicit hints pin the representation either way.
+  EXPECT_FALSE(ApplyRandomizedResponse(g, {Layer::kUpper, 0}, 1.0, rng,
+                                       RrStorage::kSorted)
+                   .IsBitmap());
+  EXPECT_TRUE(ApplyRandomizedResponse(g, {Layer::kUpper, 0}, 5.0, rng,
+                                      RrStorage::kBitmap)
+                  .IsBitmap());
+}
+
+TEST(BitmapModeTest, ViewContainsAndToSortedVectorAgree) {
+  GraphBuilder b(1, 130);  // domain not a multiple of 64
+  for (VertexId l = 0; l < 130; l += 3) b.AddEdge(0, l);
+  const BipartiteGraph g = b.Build();
+  Rng rng(31);
+  for (int t = 0; t < 50; ++t) {
+    const auto noisy = ApplyRandomizedResponse(g, {Layer::kUpper, 0}, 1.0,
+                                               rng, RrStorage::kBitmap);
+    ASSERT_TRUE(noisy.IsBitmap());
+    EXPECT_EQ(noisy.DomainSize(), 130u);
+    const std::vector<VertexId> members = noisy.ToSortedVector();
+    EXPECT_EQ(members.size(), noisy.Size());
+    // Strictly ascending, in domain, consistent with Contains().
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(members[i - 1], members[i]);
+      }
+      EXPECT_LT(members[i], 130u);
+      EXPECT_TRUE(noisy.Contains(members[i]));
+    }
+    size_t contained = 0;
+    for (VertexId v = 0; v < 130; ++v) contained += noisy.Contains(v);
+    EXPECT_EQ(contained, noisy.Size());
+  }
+}
+
+TEST(BitmapModeTest, TinyDomainDistributionMatchesAnalyticRr) {
+  // Forced-bitmap releases over an enumerable domain: the empirical
+  // distribution must match the exact per-bit RR law outcome by outcome,
+  // i.e. the direct-to-words writer realizes the proven mechanism.
+  GraphBuilder b(1, 3);
+  b.AddEdge(0, 0).AddEdge(0, 2);
+  const BipartiteGraph g = b.Build();
+  const std::vector<int> truth = {1, 0, 1};
+  const double epsilon = 1.0;
+  const double p = FlipProbability(epsilon);
+  const int trials = 200000;
+  std::array<int, 8> observed{};
+  Rng rng(47);
+  for (int t = 0; t < trials; ++t) {
+    const auto noisy = ApplyRandomizedResponse(g, {Layer::kUpper, 0},
+                                               epsilon, rng,
+                                               RrStorage::kBitmap);
+    int mask = 0;
+    for (int bit = 0; bit < 3; ++bit) {
+      if (noisy.Contains(static_cast<VertexId>(bit))) mask |= 1 << bit;
+    }
+    ++observed[mask];
+  }
+  for (int mask = 0; mask < 8; ++mask) {
+    double expected = 1.0;
+    for (int bit = 0; bit < 3; ++bit) {
+      const int out = (mask >> bit) & 1;
+      expected *= (out == truth[static_cast<size_t>(bit)]) ? (1.0 - p) : p;
+    }
+    const double freq = static_cast<double>(observed[mask]) / trials;
+    const double se = std::sqrt(expected * (1 - expected) / trials);
+    EXPECT_NEAR(freq, expected, 5 * se + 1e-4) << "outcome " << mask;
+  }
+}
+
+TEST(BitmapModeTest, MatchesDenseReferenceDistribution) {
+  // Auto-mode bitmap releases against the O(n) bit-by-bit reference, on a
+  // domain that is not a multiple of 64: noisy-degree moments and per-bit
+  // marginals must agree.
+  GraphBuilder b(1, 100);
+  for (VertexId l = 0; l < 10; ++l) b.AddEdge(0, l);
+  const BipartiteGraph g = b.Build();
+  const double epsilon = 1.0;
+  Rng rng_bitmap(7), rng_dense(8);
+  RunningStats bitmap_sizes, dense_sizes;
+  std::vector<int> bitmap_hits(100, 0), dense_hits(100, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const auto bitmap =
+        ApplyRandomizedResponse(g, {Layer::kUpper, 0}, epsilon, rng_bitmap);
+    ASSERT_TRUE(bitmap.IsBitmap());
+    const auto dense = ApplyRandomizedResponseDense(g, {Layer::kUpper, 0},
+                                                    epsilon, rng_dense);
+    bitmap_sizes.Add(static_cast<double>(bitmap.Size()));
+    dense_sizes.Add(static_cast<double>(dense.Size()));
+    for (VertexId l = 0; l < 100; ++l) {
+      bitmap_hits[l] += bitmap.Contains(l);
+      dense_hits[l] += dense.Contains(l);
+    }
+  }
+  EXPECT_NEAR(bitmap_sizes.Mean(), dense_sizes.Mean(),
+              4 * (bitmap_sizes.StdError() + dense_sizes.StdError()));
+  for (VertexId l = 0; l < 100; ++l) {
+    const double pb = static_cast<double>(bitmap_hits[l]) / trials;
+    const double pd = static_cast<double>(dense_hits[l]) / trials;
+    const double se = std::sqrt(0.25 / trials);
+    EXPECT_NEAR(pb, pd, 10 * se) << "bit " << l;
+  }
+}
+
+TEST(BitmapModeTest, SortedMembersOnBitmapDies) {
+  GraphBuilder b(1, 100);
+  b.AddEdge(0, 0);
+  const BipartiteGraph g = b.Build();
+  Rng rng(3);
+  const auto noisy = ApplyRandomizedResponse(g, {Layer::kUpper, 0}, 1.0,
+                                             rng, RrStorage::kBitmap);
+  EXPECT_DEATH(noisy.SortedMembers(), "ToSortedVector");
+}
+
+TEST(ReserveHintTest, TracksExpectedDegreeAndCapsAtDomain) {
+  EXPECT_GE(NoisyDegreeReserveHint(10, 100, 1.0),
+            static_cast<size_t>(ExpectedNoisyDegree(10, 100, 1.0)));
+  EXPECT_LE(NoisyDegreeReserveHint(10, 100, 1.0), 100u);
+  EXPECT_LE(NoisyDegreeReserveHint(50, 50, 0.1), 50u);
 }
 
 TEST(ExpectedNoisyDegreeTest, Monotonicity) {

@@ -102,7 +102,8 @@ TEST(NoisyViewStoreTest, UploadedBytesMatchViewSizes) {
   store.Get(kV0);  // cache hit: uploads nothing
   ASSERT_NE(a, nullptr);
   ASSERT_NE(b, nullptr);
-  EXPECT_DOUBLE_EQ(store.stats().uploaded_bytes,
+  EXPECT_EQ(store.stats().uploaded_edges, a->Size() + b->Size());
+  EXPECT_DOUBLE_EQ(store.stats().UploadedBytes(),
                    4.0 * static_cast<double>(a->Size() + b->Size()));
 }
 

@@ -64,7 +64,7 @@ void PrintReport(const ServiceReport& report, const ServiceOptions& options,
         static_cast<unsigned long long>(report.rejected), report.seconds,
         report.QueriesPerSecond(),
         static_cast<unsigned long long>(report.store.releases), hit_rate,
-        report.store.uploaded_bytes,
+        report.store.UploadedBytes(),
         static_cast<unsigned long long>(report.budget_vertices_charged),
         report.budget_total_spent, report.budget_min_remaining);
     return;
@@ -83,7 +83,7 @@ void PrintReport(const ServiceReport& report, const ServiceOptions& options,
   std::printf("noisy-view store   %llu releases, %.1f%% cache hits, "
               "%.0f bytes uploaded\n",
               static_cast<unsigned long long>(report.store.releases),
-              100.0 * hit_rate, report.store.uploaded_bytes);
+              100.0 * hit_rate, report.store.UploadedBytes());
   std::printf("budget ledger      %llu vertices charged, %.3f eps total, "
               "min residual %.6f\n",
               static_cast<unsigned long long>(report.budget_vertices_charged),
