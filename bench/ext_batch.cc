@@ -1,89 +1,289 @@
-// Extension experiment: batch amortization. Answering a workload of Q
-// query pairs with one shared noisy-graph release (post-processing reuse)
-// versus Q independent per-pair OneR protocols — accuracy is statistically
-// identical per pair, while upload volume and vertex-side work drop from
-// O(Q) releases to one release per distinct vertex.
+// Extension experiment: vertex-grouped batch execution. The paper's
+// applications (similarity, top-k, projection) are one-vs-many workloads:
+// one source vertex against hundreds of candidates. This bench measures
+// the three ways the repo can execute such a workload:
+//
+//   per_pair            PR 3's apps path — one full protocol execution per
+//                       candidate (fresh randomized response from both
+//                       vertices every time);
+//   service_unplanned   QueryService with the planner disabled — shared
+//                       noisy views, but per-query post-processing;
+//   service_planned     QueryService with the WorkloadPlanner — shared
+//                       views plus per-source grouped execution through
+//                       BatchIntersectionSize.
+//
+// Section `one_vs_many` runs a 1×N shared-source workload on the
+// committed sample graph at ε = 1 (N ≥ 256 distinct candidates, repeated
+// submissions so steady-state answering dominates); section
+// `grouped_sweep` runs hot-set workloads across datasets. Output is JSON
+// on stdout (progress on stderr) for the BENCH_* perf trajectory.
+//
+// Built-in self-check: planned and unplanned answers must be bitwise
+// identical (including at 2 threads); any mismatch exits non-zero, so CI
+// runs double as a correctness gate.
+//
+// Extra flags on top of the shared bench set:
+//   --candidates=256   candidates N of the 1×N section
+//   --repeats=64       submissions of the 1×N workload per timed path
+//   --hot=24           hot-set size of the grouped sweep
+//   --out=path         also write the JSON to a file
+//   --smoke            small CI configuration
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/oner.h"
-#include "service/batch.h"
-#include "eval/query_sampler.h"
-#include "util/statistics.h"
-#include "util/table.h"
+#include "graph/graph_io.h"
+#include "service/query_service.h"
+#include "service/workload.h"
+#include "util/cli.h"
 #include "util/timer.h"
 
 using namespace cne;
 
+namespace {
+
+bool AnswersIdentical(const std::vector<ServiceAnswer>& a,
+                      const std::vector<ServiceAnswer>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].rejected != b[i].rejected || a[i].estimate != b[i].estimate) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ServiceRun {
+  double seconds = 0.0;
+  std::vector<ServiceAnswer> answers;  ///< of the last submission
+  ServiceReport last;
+};
+
+// Submits `workload` `repeats` times to a fresh service and returns the
+// total wall time: one view materialization, then steady-state answering.
+ServiceRun RunService(const BipartiteGraph& graph, ServiceOptions options,
+                      const std::vector<QueryPair>& workload,
+                      size_t repeats) {
+  QueryService service(graph, options);
+  ServiceRun run;
+  Timer timer;
+  for (size_t r = 0; r < repeats; ++r) {
+    ServiceReport report = service.Submit(workload);
+    if (r + 1 == repeats) run.last = std::move(report);
+  }
+  run.seconds = timer.Seconds();
+  run.answers = run.last.answers;
+  return run;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::BenchOptions options = bench::ParseOptions(argc, argv);
-  if (options.datasets.empty()) options.datasets = {"RM", "AC", "DA"};
-  bench::PrintHeader("Extension", "batch vs per-pair query answering",
-                     options);
+  const CommandLine cl(argc, argv);
+  const bool smoke = cl.GetBool("smoke");
+  const size_t candidates_n =
+      static_cast<size_t>(cl.GetInt("candidates", 256));
+  const size_t repeats =
+      static_cast<size_t>(cl.GetInt("repeats", smoke ? 32 : 64));
+  const VertexId hot = static_cast<VertexId>(cl.GetInt("hot", 24));
+  if (options.datasets.empty()) {
+    options.datasets = smoke ? std::vector<std::string>{"RM"}
+                             : std::vector<std::string>{"RM", "DA"};
+  }
+  bool identity_ok = true;
 
-  TextTable table({"dataset", "queries", "distinct v", "hit rate",
-                   "MAE per-pair", "MAE batch", "upload per-pair",
-                   "upload batch", "time per-pair(s)", "time batch(s)"});
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"ext_batch\",\n"
+       << "  \"seed\": " << options.seed << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+
+  // ---- Section 1: 1×N shared-source workload, sample graph, ε = 1 ----
+  {
+    const char* root = std::getenv("CNE_SOURCE_DIR");
+    const std::string sample_path =
+        std::string(root ? root : ".") + "/data/sample_userpage.txt";
+    json << "  \"one_vs_many\": ";
+    if (!std::ifstream(sample_path).good()) {
+      std::fprintf(stderr,
+                   "sample graph not found at %s; skipping one_vs_many\n",
+                   sample_path.c_str());
+      json << "null,\n";
+    } else {
+      const BipartiteGraph g = ReadGraphFile(sample_path);
+      const double epsilon = 1.0;
+      // The busiest lower vertex plays the shared source, as in a top-k
+      // query for the platform's heaviest user.
+      const Layer layer = Layer::kLower;
+      LayeredVertex source{layer, 0};
+      for (VertexId v = 1; v < g.NumVertices(layer); ++v) {
+        if (g.Degree(layer, v) > g.Degree(source)) source = {layer, v};
+      }
+      std::vector<QueryPair> workload;
+      for (VertexId v = 0;
+           v < g.NumVertices(layer) && workload.size() < candidates_n; ++v) {
+        if (v != source.id) workload.push_back({layer, source.id, v});
+      }
+
+      ServiceOptions service_options;
+      service_options.algorithm = ServiceAlgorithm::kOneR;
+      service_options.epsilon = epsilon;
+      service_options.seed = options.seed;
+      service_options.num_threads = 1;
+
+      // PR 3's per-query path: one full OneR protocol per candidate, per
+      // repetition — every query pays two fresh ε-RR releases.
+      OneREstimator oner;
+      Rng per_pair_rng(options.seed + 1);
+      double checksum = 0.0;
+      Timer per_pair_timer;
+      for (size_t r = 0; r < repeats; ++r) {
+        for (const QueryPair& q : workload) {
+          checksum += oner.Estimate(g, q, epsilon, per_pair_rng).estimate;
+        }
+      }
+      const double per_pair_seconds = per_pair_timer.Seconds();
+
+      ServiceOptions unplanned = service_options;
+      unplanned.enable_planner = false;
+      const ServiceRun run_unplanned =
+          RunService(g, unplanned, workload, repeats);
+
+      ServiceOptions planned = service_options;
+      planned.enable_planner = true;
+      const ServiceRun run_planned =
+          RunService(g, planned, workload, repeats);
+
+      // Self-check: planned ≡ unplanned, also at 2 threads.
+      ServiceOptions planned2 = planned;
+      planned2.num_threads = 2;
+      const ServiceRun run_planned2 = RunService(g, planned2, workload, 1);
+      if (!AnswersIdentical(run_planned.answers, run_unplanned.answers) ||
+          !AnswersIdentical(run_planned2.answers, run_unplanned.answers)) {
+        std::fprintf(stderr,
+                     "SELF-CHECK FAILED: planned answers differ from the "
+                     "per-query path\n");
+        identity_ok = false;
+      }
+
+      const double total_queries =
+          static_cast<double>(workload.size() * repeats);
+      const double speedup_vs_per_pair =
+          run_planned.seconds > 0.0 ? per_pair_seconds / run_planned.seconds
+                                    : 0.0;
+      const double speedup_vs_unplanned =
+          run_planned.seconds > 0.0
+              ? run_unplanned.seconds / run_planned.seconds
+              : 0.0;
+      std::fprintf(stderr,
+                   "one_vs_many N=%zu x%zu: per_pair %.3fs, unplanned "
+                   "%.3fs, planned %.3fs (%.1fx vs per_pair, %.2fx vs "
+                   "unplanned, checksum %.1f)\n",
+                   workload.size(), repeats, per_pair_seconds,
+                   run_unplanned.seconds, run_planned.seconds,
+                   speedup_vs_per_pair, speedup_vs_unplanned, checksum);
+
+      json << "{\n"
+           << "    \"epsilon\": " << epsilon << ",\n"
+           << "    \"source_degree\": " << g.Degree(source) << ",\n"
+           << "    \"candidates\": " << workload.size() << ",\n"
+           << "    \"repeats\": " << repeats << ",\n"
+           << "    \"total_queries\": " << total_queries << ",\n"
+           << "    \"per_pair_seconds\": " << per_pair_seconds << ",\n"
+           << "    \"unplanned_seconds\": " << run_unplanned.seconds
+           << ",\n"
+           << "    \"planned_seconds\": " << run_planned.seconds << ",\n"
+           << "    \"planned_qps\": "
+           << (run_planned.seconds > 0.0 ? total_queries / run_planned.seconds
+                                         : 0.0)
+           << ",\n"
+           << "    \"speedup_vs_per_pair\": " << speedup_vs_per_pair
+           << ",\n"
+           << "    \"meets_3x_vs_per_pair\": "
+           << (speedup_vs_per_pair >= 3.0 ? "true" : "false") << ",\n"
+           << "    \"speedup_vs_unplanned\": " << speedup_vs_unplanned
+           << ",\n"
+           << "    \"groups_formed\": " << run_planned.last.groups_formed
+           << ",\n"
+           << "    \"avg_group_size\": " << run_planned.last.avg_group_size
+           << ",\n"
+           << "    \"planner_seconds_last_submit\": "
+           << run_planned.last.planner_seconds << ",\n"
+           << "    \"rejected\": " << run_planned.last.rejected << "\n"
+           << "  },\n";
+    }
+  }
+
+  // ---- Section 2: grouped hot-set sweep across datasets ----
+  json << "  \"grouped_sweep\": [\n";
+  bool first_row = true;
   for (const DatasetSpec& spec : ResolveDatasets(options.datasets)) {
     const BipartiteGraph& g = bench::CachedDataset(spec);
-    Rng rng(options.seed);
-    // A workload with vertex reuse: pairs drawn from a small hot set, as
-    // in a recommendation frontend querying the same heavy users.
-    const VertexId n = g.NumVertices(spec.query_layer);
-    const VertexId hot = std::min<VertexId>(n, 30);
-    std::vector<QueryPair> queries;
-    for (size_t i = 0; i < options.pairs; ++i) {
-      const VertexId u = static_cast<VertexId>(rng.UniformInt(hot));
-      VertexId w = static_cast<VertexId>(rng.UniformInt(hot - 1));
-      if (w >= u) ++w;
-      queries.push_back({spec.query_layer, u, w});
-    }
-    std::vector<double> truths;
-    for (const QueryPair& q : queries) {
-      truths.push_back(static_cast<double>(
-          g.CountCommonNeighbors(q.layer, q.u, q.w)));
-    }
+    const size_t queries = smoke ? 2000 : 8000;
+    Rng workload_rng(options.seed);
+    const std::vector<QueryPair> workload = MakeHotSetWorkload(
+        g, spec.query_layer, queries, hot, workload_rng);
+    for (ServiceAlgorithm algorithm :
+         {ServiceAlgorithm::kOneR, ServiceAlgorithm::kMultiRDS}) {
+      ServiceOptions base;
+      base.algorithm = algorithm;
+      base.epsilon = options.epsilon;
+      // Let the MultiR family answer a meaningful share of the hot-set
+      // workload before the ledger cuts it off.
+      base.lifetime_budget = options.epsilon * 64.0;
+      base.seed = options.seed;
+      base.num_threads = 1;
 
-    OneREstimator oner;
-    Rng rng_pp(options.seed + 1);
-    std::vector<double> per_pair;
-    double upload_pp = 0.0;
-    Timer t1;
-    for (const QueryPair& q : queries) {
-      const EstimateResult r =
-          oner.Estimate(g, q, options.epsilon, rng_pp);
-      per_pair.push_back(r.estimate);
-      upload_pp += r.uploaded_bytes;
-    }
-    const double time_pp = t1.Seconds();
+      ServiceOptions unplanned = base;
+      unplanned.enable_planner = false;
+      const ServiceRun off = RunService(g, unplanned, workload, 1);
+      ServiceOptions planned = base;
+      planned.enable_planner = true;
+      const ServiceRun on = RunService(g, planned, workload, 1);
+      if (!AnswersIdentical(on.answers, off.answers)) {
+        std::fprintf(stderr,
+                     "SELF-CHECK FAILED: %s %s planned != unplanned\n",
+                     spec.code.c_str(), ToString(algorithm));
+        identity_ok = false;
+      }
 
-    Rng rng_batch(options.seed + 2);
-    Timer t2;
-    const BatchResult batch =
-        BatchOneR(g, queries, options.epsilon, rng_batch);
-    const double time_batch = t2.Seconds();
-    std::vector<double> batch_estimates;
-    for (const BatchAnswer& a : batch.answers) {
-      batch_estimates.push_back(a.estimate);
+      if (!first_row) json << ",\n";
+      first_row = false;
+      json << "    {\"dataset\": \"" << spec.code << "\", \"algorithm\": \""
+           << ToString(algorithm) << "\", \"queries\": " << workload.size()
+           << ", \"hot_set\": " << hot
+           << ", \"answered\": " << on.last.answered
+           << ", \"rejected\": " << on.last.rejected
+           << ", \"groups_formed\": " << on.last.groups_formed
+           << ", \"avg_group_size\": " << on.last.avg_group_size
+           << ", \"planner_seconds\": " << on.last.planner_seconds
+           << ", \"unplanned_seconds\": " << off.seconds
+           << ", \"planned_seconds\": " << on.seconds
+           << ", \"speedup\": "
+           << (on.seconds > 0.0 ? off.seconds / on.seconds : 0.0) << "}";
+      std::fprintf(stderr, "%s %s: unplanned %.3fs, planned %.3fs\n",
+                   spec.code.c_str(), ToString(algorithm), off.seconds,
+                   on.seconds);
     }
-
-    table.NewRow()
-        .Add(spec.code)
-        .AddInt(static_cast<long long>(queries.size()))
-        .AddInt(static_cast<long long>(batch.vertices_released))
-        .AddDouble(batch.cache_hit_rate, 3)
-        .AddDouble(MeanAbsoluteError(per_pair, truths), 3)
-        .AddDouble(MeanAbsoluteError(batch_estimates, truths), 3)
-        .Add(FormatBytes(upload_pp))
-        .Add(FormatBytes(batch.uploaded_bytes))
-        .AddDouble(time_pp, 3)
-        .AddDouble(time_batch, 3);
   }
-  options.csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
-  std::printf(
-      "\nExpected: per-pair MAE comparable; batch upload and time smaller\n"
-      "by roughly queries / distinct-vertices (each vertex releases once).\n");
-  return 0;
+  json << "\n  ],\n"
+       << "  \"answers_identical\": " << (identity_ok ? "true" : "false")
+       << "\n}\n";
+
+  std::cout << json.str();
+  const std::string out_path = cl.GetString("out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json.str();
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return identity_ok ? 0 : 3;
 }

@@ -48,6 +48,9 @@ struct DatasetResult {
   uint64_t rejected = 0;
   double cache_hit_rate = 0.0;
   double min_residual_budget = 0.0;
+  uint64_t groups_formed = 0;
+  double avg_group_size = 0.0;
+  double planner_seconds = 0.0;
   bool answers_identical = true;
   std::vector<ThreadResult> runs;
 };
@@ -61,6 +64,9 @@ void AppendJson(std::ostringstream& out, const DatasetResult& r) {
       << "      \"rejected\": " << r.rejected << ",\n"
       << "      \"cache_hit_rate\": " << r.cache_hit_rate << ",\n"
       << "      \"min_residual_budget\": " << r.min_residual_budget << ",\n"
+      << "      \"groups_formed\": " << r.groups_formed << ",\n"
+      << "      \"avg_group_size\": " << r.avg_group_size << ",\n"
+      << "      \"planner_seconds\": " << r.planner_seconds << ",\n"
       << "      \"answers_identical_across_threads\": "
       << (r.answers_identical ? "true" : "false") << ",\n"
       << "      \"runs\": [";
@@ -177,6 +183,9 @@ int main(int argc, char** argv) {
         result.rejected = report.rejected;
         result.cache_hit_rate = report.store.CacheHitRate();
         result.min_residual_budget = report.budget_min_remaining;
+        result.groups_formed = report.groups_formed;
+        result.avg_group_size = report.avg_group_size;
+        result.planner_seconds = report.planner_seconds;
       } else {
         for (size_t i = 0; i < reference.size(); ++i) {
           if (reference[i].estimate != report.answers[i].estimate ||

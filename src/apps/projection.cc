@@ -91,6 +91,21 @@ std::vector<ProjectionEdge> PrivateProjection(
   return edges;
 }
 
+std::vector<ProjectionEdge> ServiceProjection(
+    QueryService& service, const std::vector<QueryPair>& candidates,
+    double threshold) {
+  std::vector<ProjectionEdge> edges;
+  if (candidates.empty()) return edges;
+  const ServiceReport report = service.Submit(candidates);
+  for (const ServiceAnswer& answer : report.answers) {
+    if (answer.rejected) continue;
+    if (answer.estimate >= threshold) {
+      edges.push_back({answer.query.u, answer.query.w, answer.estimate});
+    }
+  }
+  return edges;
+}
+
 ProjectionQuality CompareProjections(
     const std::vector<ProjectionEdge>& exact,
     const std::vector<ProjectionEdge>& estimated) {

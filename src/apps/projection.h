@@ -14,6 +14,7 @@
 
 #include "core/estimator.h"
 #include "graph/bipartite_graph.h"
+#include "service/query_service.h"
 #include "util/rng.h"
 
 namespace cne {
@@ -49,6 +50,15 @@ std::vector<ProjectionEdge> PrivateProjection(
     const BipartiteGraph& graph, const std::vector<QueryPair>& candidates,
     double threshold, const CommonNeighborEstimator& estimator,
     double epsilon_per_pair, Rng& rng);
+
+/// Service-backed private projection: answers every candidate pair through
+/// `service` — one shared release per distinct vertex instead of one full
+/// protocol per pair, with the workload planner grouping pairs around
+/// their shared endpoints — and keeps pairs whose estimate clears the
+/// threshold. Pairs rejected by the budget ledger produce no edge.
+std::vector<ProjectionEdge> ServiceProjection(
+    QueryService& service, const std::vector<QueryPair>& candidates,
+    double threshold);
 
 /// Precision/recall of an estimated projection against the exact one
 /// (edges matched on endpoints, weights ignored).

@@ -4,9 +4,26 @@
 #include <cmath>
 
 #include "core/degree_estimation.h"
+#include "core/protocol_pipeline.h"
 #include "util/logging.h"
 
 namespace cne {
+
+namespace {
+
+// Shared post-processing (privacy-free): clamp the raw estimates into
+// feasible ranges and derive the similarity scores.
+void FinishSimilarity(SimilarityResult& result) {
+  const double du = std::max(result.deg_u_estimate, 1.0);
+  const double dw = std::max(result.deg_w_estimate, 1.0);
+  const double c2 =
+      std::clamp(result.c2_estimate, 0.0, std::min(du, dw));
+  const double union_size = std::max(du + dw - c2, 1.0);
+  result.jaccard = std::clamp(c2 / union_size, 0.0, 1.0);
+  result.cosine = std::clamp(c2 / std::sqrt(du * dw), 0.0, 1.0);
+}
+
+}  // namespace
 
 PrivateSimilarityEstimator::PrivateSimilarityEstimator(
     std::shared_ptr<const CommonNeighborEstimator> c2_estimator,
@@ -34,14 +51,32 @@ SimilarityResult PrivateSimilarityEstimator::Estimate(
   result.c2_estimate =
       c2_estimator_->Estimate(graph, query, eps_c2, rng).estimate;
 
-  // Post-processing (privacy-free): clamp into feasible ranges.
-  const double du = std::max(result.deg_u_estimate, 1.0);
-  const double dw = std::max(result.deg_w_estimate, 1.0);
-  const double c2 =
-      std::clamp(result.c2_estimate, 0.0, std::min(du, dw));
-  const double union_size = std::max(du + dw - c2, 1.0);
-  result.jaccard = std::clamp(c2 / union_size, 0.0, 1.0);
-  result.cosine = std::clamp(c2 / std::sqrt(du * dw), 0.0, 1.0);
+  FinishSimilarity(result);
+  return result;
+}
+
+std::optional<SimilarityResult> ServiceSimilarity(QueryService& service,
+                                                  const QueryPair& query) {
+  const ServiceReport report = service.Submit({query});
+  const ServiceAnswer& answer = report.answers.front();
+  if (answer.rejected) return std::nullopt;
+
+  // Both endpoints' views exist now (fatal check for MultiR-SS, which
+  // never releases u): their sizes de-bias into degree estimates for free.
+  const NoisyNeighborSet& view_u =
+      service.store().View({query.layer, query.u});
+  const NoisyNeighborSet& view_w =
+      service.store().View({query.layer, query.w});
+
+  SimilarityResult result;
+  result.c2_estimate = answer.estimate;
+  const DebiasConstants debias =
+      MakeDebiasConstants(view_u.flip_probability());
+  result.deg_u_estimate = DebiasedDegreeFromViewSize(
+      debias, view_u.Size(), view_u.DomainSize());
+  result.deg_w_estimate = DebiasedDegreeFromViewSize(
+      debias, view_w.Size(), view_w.DomainSize());
+  FinishSimilarity(result);
   return result;
 }
 

@@ -11,8 +11,10 @@
 #define CNE_APPS_SIMILARITY_H_
 
 #include <memory>
+#include <optional>
 
 #include "core/estimator.h"
+#include "service/query_service.h"
 
 namespace cne {
 
@@ -43,6 +45,17 @@ class PrivateSimilarityEstimator {
   std::shared_ptr<const CommonNeighborEstimator> c2_estimator_;
   double degree_fraction_;
 };
+
+/// Service-backed similarity: the C2 estimate comes from one service
+/// answer over the shared noisy views, and both degrees are de-biased from
+/// the released view *sizes* — pure post-processing on releases that
+/// already exist, so the whole similarity costs no budget beyond the
+/// service's per-vertex release. Requires an algorithm that releases both
+/// endpoints' views (Naive, OneR, MultiR-DS — fatal check for MultiR-SS,
+/// whose u never releases randomized response). Returns nullopt when the
+/// budget ledger rejects the query.
+std::optional<SimilarityResult> ServiceSimilarity(QueryService& service,
+                                                  const QueryPair& query);
 
 /// Exact (non-private) Jaccard similarity, for error reporting.
 double ExactJaccard(const BipartiteGraph& graph, const QueryPair& query);

@@ -43,6 +43,30 @@ TopKResult PrivateTopKCommonNeighbors(
   return result;
 }
 
+TopKResult ServiceTopKCommonNeighbors(QueryService& service,
+                                      LayeredVertex source,
+                                      const std::vector<VertexId>& candidates,
+                                      size_t k) {
+  CNE_CHECK(!candidates.empty()) << "no candidates";
+  std::vector<QueryPair> workload;
+  workload.reserve(candidates.size());
+  for (VertexId candidate : candidates) {
+    if (candidate == source.id) continue;
+    workload.push_back({source.layer, source.id, candidate});
+  }
+  TopKResult result;
+  result.epsilon_per_candidate = service.options().epsilon;
+  if (workload.empty()) return result;
+  const ServiceReport report = service.Submit(workload);
+  result.ranked.reserve(report.answers.size());
+  for (const ServiceAnswer& answer : report.answers) {
+    if (answer.rejected) continue;
+    result.ranked.push_back({answer.query.w, answer.estimate});
+  }
+  SortAndTruncate(result.ranked, k);
+  return result;
+}
+
 TopKResult ExactTopKCommonNeighbors(const BipartiteGraph& graph,
                                     LayeredVertex source,
                                     const std::vector<VertexId>& candidates,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "service/query_service.h"
 
 namespace cne {
 
@@ -29,10 +30,29 @@ struct TopKResult {
 /// Runs the C2 protocol between `source` and every candidate with budget
 /// ε / |candidates| each (sequential composition bounds the source's total
 /// leakage by ε) and returns the k highest estimates.
+///
+/// This is the per-pair path: every candidate pays a full protocol
+/// execution (fresh releases from both vertices). Prefer
+/// ServiceTopKCommonNeighbors, which shares one release per distinct
+/// vertex across the whole candidate set.
 TopKResult PrivateTopKCommonNeighbors(
     const BipartiteGraph& graph, const CommonNeighborEstimator& estimator,
     LayeredVertex source, const std::vector<VertexId>& candidates, size_t k,
     double epsilon, Rng& rng);
+
+/// Service-backed top-k: submits the 1×N workload (source vs every
+/// candidate) to `service` and ranks the answers. Each distinct vertex
+/// releases randomized response at most once per service lifetime — the
+/// source's view is shared by all N protocols, and the workload planner
+/// collapses the submission into one source group probed in a single
+/// batch pass. Candidates equal to the source are skipped; candidates
+/// rejected by the budget ledger are excluded from the ranking.
+/// `result.epsilon_per_candidate` reports the service's per-release ε
+/// (the whole workload costs each vertex one release, not N).
+TopKResult ServiceTopKCommonNeighbors(QueryService& service,
+                                      LayeredVertex source,
+                                      const std::vector<VertexId>& candidates,
+                                      size_t k);
 
 /// Exact (non-private) top-k, for precision/recall reporting in examples.
 TopKResult ExactTopKCommonNeighbors(const BipartiteGraph& graph,

@@ -2,10 +2,8 @@
 
 #include "core/allocation.h"
 #include "core/degree_estimation.h"
-#include "core/multir_ss.h"
+#include "core/protocol_pipeline.h"
 #include "ldp/comm_model.h"
-#include "ldp/laplace_mechanism.h"
-#include "ldp/randomized_response.h"
 #include "util/logging.h"
 
 namespace cne {
@@ -76,35 +74,20 @@ EstimateResult MultiRDSEstimator::Estimate(const BipartiteGraph& graph,
   }
   const double epsilon2 = remaining - epsilon1;
 
-  // ---- Round 2: randomized responses from both query vertices ----
-  const NoisyNeighborSet noisy_u =
-      ApplyRandomizedResponse(graph, u, epsilon1, rng);
-  const NoisyNeighborSet noisy_w =
-      ApplyRandomizedResponse(graph, w, epsilon1, rng);
-  ledger.UploadEdges(noisy_u.Size());
-  ledger.UploadEdges(noisy_w.Size());
-  // u downloads w's noisy edges and vice versa.
-  ledger.DownloadEdges(noisy_u.Size());
-  ledger.DownloadEdges(noisy_w.Size());
-  ++rounds;
+  // ---- Remaining rounds: the shared pipeline with the chosen split ----
+  // Both vertices release ε1 randomized response and download each
+  // other's noisy edges; the two de-biased single-source estimators are
+  // released via Laplace at ε2 (disjoint neighbor lists: parallel
+  // composition) and α-combined.
+  const ProtocolPlan plan = MakeProtocolPlanSplit(
+      ProtocolKind::kMultiRDS, epsilon1, epsilon2, alpha);
+  const ProtocolOutcome outcome = ExecuteProtocol(graph, query, plan, rng);
 
-  // ---- Round 3: single-source estimators, released via Laplace ----
-  // f̃_u combines N(u, G) with w's noisy edges; f̃_w the reverse. They
-  // depend on disjoint noisy edges and their Laplace releases are applied
-  // to disjoint neighbor lists (u's and w's), so the round composes in
-  // parallel at ε2.
-  const double sensitivity = SingleSourceSensitivity(epsilon1);
-  const double f_u = LaplaceMechanism(
-      SingleSourceEstimate(graph, u, noisy_w), sensitivity, epsilon2, rng);
-  const double f_w = LaplaceMechanism(
-      SingleSourceEstimate(graph, w, noisy_u), sensitivity, epsilon2, rng);
-  ledger.UploadScalars(2);
-  ++rounds;
-
-  result.estimate = alpha * f_u + (1.0 - alpha) * f_w;
-  result.rounds = rounds;
-  result.uploaded_bytes = ledger.UploadedBytes();
-  result.downloaded_bytes = ledger.DownloadedBytes();
+  result.estimate = outcome.estimate;
+  result.rounds = rounds + outcome.rounds;
+  result.uploaded_bytes = ledger.UploadedBytes() + outcome.uploaded_bytes;
+  result.downloaded_bytes =
+      ledger.DownloadedBytes() + outcome.downloaded_bytes;
   result.epsilon0 = epsilon0;
   result.epsilon1 = epsilon1;
   result.epsilon2 = epsilon2;

@@ -2,27 +2,11 @@
 
 #include "core/allocation.h"
 #include "core/degree_estimation.h"
-#include "graph/set_ops.h"
+#include "core/protocol_pipeline.h"
 #include "ldp/comm_model.h"
-#include "ldp/laplace_mechanism.h"
 #include "util/logging.h"
 
 namespace cne {
-
-double SingleSourceEstimate(const BipartiteGraph& graph, LayeredVertex u,
-                            const NoisyNeighborSet& noisy_w) {
-  const double p = noisy_w.flip_probability();
-  const double q = 1.0 - 2.0 * p;
-  const auto neighbors = graph.Neighbors(u);
-  // S1 = neighbors of u that are noisy neighbors of w; S2 = the rest.
-  // The true list is small and the noisy row huge: the dispatcher probes
-  // the bitmap directly, or gallops when w's release stayed sorted.
-  const uint64_t s1 =
-      IntersectionSize(SetView::Sorted(neighbors), noisy_w.View());
-  const uint64_t s2 = neighbors.size() - s1;
-  return static_cast<double>(s1) * (1.0 - p) / q -
-         static_cast<double>(s2) * p / q;
-}
 
 MultiRSSEstimator::MultiRSSEstimator(double epsilon1_fraction)
     : epsilon1_fraction_(epsilon1_fraction) {
@@ -33,32 +17,19 @@ MultiRSSEstimator::MultiRSSEstimator(double epsilon1_fraction)
 EstimateResult MultiRSSEstimator::Estimate(const BipartiteGraph& graph,
                                            const QueryPair& query,
                                            double epsilon, Rng& rng) const {
-  const double epsilon1 = epsilon * epsilon1_fraction_;
-  const double epsilon2 = epsilon - epsilon1;
-  CommLedger ledger;
-
-  // Round 1: w perturbs its neighbor list with ε1; u downloads the noisy
-  // edges from the curator.
-  const NoisyNeighborSet noisy_w =
-      ApplyRandomizedResponse(graph, {query.layer, query.w}, epsilon1, rng);
-  ledger.UploadEdges(noisy_w.Size());
-  ledger.DownloadEdges(noisy_w.Size());
-
-  // Round 2: u builds f_u locally and releases it with the Laplace
-  // mechanism at sensitivity (1-p)/(1-2p).
-  const double f_u =
-      SingleSourceEstimate(graph, {query.layer, query.u}, noisy_w);
-  const double released = LaplaceMechanism(
-      f_u, SingleSourceSensitivity(epsilon1), epsilon2, rng);
-  ledger.UploadScalars(1);
+  // Thin driver: w's ε1 randomized response, downloaded by u; u releases
+  // the de-biased single-source estimator through Laplace at ε2.
+  const ProtocolPlan plan =
+      MakeProtocolPlan(ProtocolKind::kMultiRSS, epsilon, epsilon1_fraction_);
+  const ProtocolOutcome outcome = ExecuteProtocol(graph, query, plan, rng);
 
   EstimateResult result;
-  result.estimate = released;
-  result.rounds = 2;
-  result.uploaded_bytes = ledger.UploadedBytes();
-  result.downloaded_bytes = ledger.DownloadedBytes();
-  result.epsilon1 = epsilon1;
-  result.epsilon2 = epsilon2;
+  result.estimate = outcome.estimate;
+  result.rounds = outcome.rounds;
+  result.uploaded_bytes = outcome.uploaded_bytes;
+  result.downloaded_bytes = outcome.downloaded_bytes;
+  result.epsilon1 = plan.epsilon1;
+  result.epsilon2 = plan.epsilon2;
   result.alpha = 1.0;
   return result;
 }
@@ -77,7 +48,6 @@ EstimateResult MultiRSSOptEstimator::Estimate(const BipartiteGraph& graph,
                                               Rng& rng) const {
   CommLedger ledger;
   const LayeredVertex u{query.layer, query.u};
-  const LayeredVertex w{query.layer, query.w};
   int rounds = 0;
 
   // Optional ε0 round: estimate deg(u) to drive the split optimization.
@@ -99,26 +69,17 @@ EstimateResult MultiRSSOptEstimator::Estimate(const BipartiteGraph& graph,
   const AllocationResult allocation =
       OptimizeSingleSource(epsilon - epsilon0, deg_u_est);
 
-  // Round: w's randomized response, downloaded by u.
-  const NoisyNeighborSet noisy_w =
-      ApplyRandomizedResponse(graph, w, allocation.epsilon1, rng);
-  ledger.UploadEdges(noisy_w.Size());
-  ledger.DownloadEdges(noisy_w.Size());
-  ++rounds;
-
-  // Round: Laplace release of f_u.
-  const double f_u = SingleSourceEstimate(graph, u, noisy_w);
-  const double released =
-      LaplaceMechanism(f_u, SingleSourceSensitivity(allocation.epsilon1),
-                       allocation.epsilon2, rng);
-  ledger.UploadScalars(1);
-  ++rounds;
+  // Remaining rounds: the shared pipeline with the optimized split.
+  const ProtocolPlan plan = MakeProtocolPlanSplit(
+      ProtocolKind::kMultiRSS, allocation.epsilon1, allocation.epsilon2);
+  const ProtocolOutcome outcome = ExecuteProtocol(graph, query, plan, rng);
 
   EstimateResult result;
-  result.estimate = released;
-  result.rounds = rounds;
-  result.uploaded_bytes = ledger.UploadedBytes();
-  result.downloaded_bytes = ledger.DownloadedBytes();
+  result.estimate = outcome.estimate;
+  result.rounds = rounds + outcome.rounds;
+  result.uploaded_bytes = ledger.UploadedBytes() + outcome.uploaded_bytes;
+  result.downloaded_bytes =
+      ledger.DownloadedBytes() + outcome.downloaded_bytes;
   result.epsilon0 = epsilon0;
   result.epsilon1 = allocation.epsilon1;
   result.epsilon2 = allocation.epsilon2;

@@ -12,15 +12,10 @@
 #define CNE_CORE_MULTIR_SS_H_
 
 #include "core/estimator.h"
+#include "core/protocol_pipeline.h"  // SingleSourceEstimate and the plan
 #include "ldp/randomized_response.h"
 
 namespace cne {
-
-/// The noiseless single-source estimator f_u built from u's true neighbors
-/// and w's noisy neighbor set (before the Laplace release). Exposed for
-/// MultiR-DS and for tests.
-double SingleSourceEstimate(const BipartiteGraph& graph, LayeredVertex u,
-                            const NoisyNeighborSet& noisy_w);
 
 /// MultiR-SS with an even ε1 = ε2 = ε/2 split (the paper's default).
 class MultiRSSEstimator : public CommonNeighborEstimator {

@@ -1,35 +1,24 @@
 #include "core/naive.h"
 
-#include "graph/set_ops.h"
-#include "ldp/comm_model.h"
-#include "ldp/randomized_response.h"
+#include "core/protocol_pipeline.h"
 
 namespace cne {
 
 EstimateResult NaiveEstimator::Estimate(const BipartiteGraph& graph,
                                         const QueryPair& query,
                                         double epsilon, Rng& rng) const {
-  // Vertex side: u and w perturb their neighbor lists with the full budget
-  // and upload the noisy edges.
-  const NoisyNeighborSet noisy_u =
-      ApplyRandomizedResponse(graph, {query.layer, query.u}, epsilon, rng);
-  const NoisyNeighborSet noisy_w =
-      ApplyRandomizedResponse(graph, {query.layer, query.w}, epsilon, rng);
-
-  CommLedger ledger;
-  ledger.UploadEdges(noisy_u.Size());
-  ledger.UploadEdges(noisy_w.Size());
-
-  // Curator side: intersect the two noisy neighbor sets through the
-  // adaptive dispatcher (word-AND when both releases are dense bitmaps).
-  const uint64_t intersection =
-      IntersectionSize(noisy_u.View(), noisy_w.View());
+  // Thin driver: both vertices release randomized response with the full
+  // budget and the curator counts the raw noisy intersection — the
+  // pipeline with no de-biasing applied.
+  const ProtocolPlan plan =
+      MakeProtocolPlan(ProtocolKind::kNaive, epsilon, 0.5);
+  const ProtocolOutcome outcome = ExecuteProtocol(graph, query, plan, rng);
 
   EstimateResult result;
-  result.estimate = static_cast<double>(intersection);
-  result.rounds = 1;
-  result.uploaded_bytes = ledger.UploadedBytes();
-  result.downloaded_bytes = ledger.DownloadedBytes();
+  result.estimate = outcome.estimate;
+  result.rounds = outcome.rounds;
+  result.uploaded_bytes = outcome.uploaded_bytes;
+  result.downloaded_bytes = outcome.downloaded_bytes;
   result.epsilon1 = epsilon;  // everything goes to randomized response
   return result;
 }

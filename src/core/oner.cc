@@ -1,48 +1,29 @@
 #include "core/oner.h"
 
-#include "graph/set_ops.h"
-#include "ldp/comm_model.h"
-#include "ldp/randomized_response.h"
+#include "core/protocol_pipeline.h"
 
 namespace cne {
 
 double OneRClosedForm(uint64_t noisy_intersection, uint64_t noisy_union,
                       uint64_t opposite_size, double flip_probability) {
-  const double p = flip_probability;
-  const double q = 1.0 - 2.0 * p;
-  const double n1 = static_cast<double>(noisy_intersection);
-  const double n2 = static_cast<double>(noisy_union);
-  const double n = static_cast<double>(opposite_size);
-  return (n1 * (1.0 - p) * (1.0 - p) - (n2 - n1) * (1.0 - p) * p +
-          (n - n2) * p * p) /
-         (q * q);
+  return OneRFromCounts(MakeDebiasConstants(flip_probability),
+                        noisy_intersection, noisy_union, opposite_size);
 }
 
 EstimateResult OneREstimator::Estimate(const BipartiteGraph& graph,
                                        const QueryPair& query, double epsilon,
                                        Rng& rng) const {
-  const NoisyNeighborSet noisy_u =
-      ApplyRandomizedResponse(graph, {query.layer, query.u}, epsilon, rng);
-  const NoisyNeighborSet noisy_w =
-      ApplyRandomizedResponse(graph, {query.layer, query.w}, epsilon, rng);
-
-  CommLedger ledger;
-  ledger.UploadEdges(noisy_u.Size());
-  ledger.UploadEdges(noisy_w.Size());
-
-  const uint64_t intersection =
-      IntersectionSize(noisy_u.View(), noisy_w.View());
-  const uint64_t union_size =
-      noisy_u.Size() + noisy_w.Size() - intersection;
+  // Thin driver: same releases as Naive, with the φ(i, j) de-biasing
+  // applied by the shared pipeline.
+  const ProtocolPlan plan =
+      MakeProtocolPlan(ProtocolKind::kOneR, epsilon, 0.5);
+  const ProtocolOutcome outcome = ExecuteProtocol(graph, query, plan, rng);
 
   EstimateResult result;
-  result.estimate =
-      OneRClosedForm(intersection, union_size,
-                     graph.NumVertices(Opposite(query.layer)),
-                     noisy_u.flip_probability());
-  result.rounds = 1;
-  result.uploaded_bytes = ledger.UploadedBytes();
-  result.downloaded_bytes = ledger.DownloadedBytes();
+  result.estimate = outcome.estimate;
+  result.rounds = outcome.rounds;
+  result.uploaded_bytes = outcome.uploaded_bytes;
+  result.downloaded_bytes = outcome.downloaded_bytes;
   result.epsilon1 = epsilon;
   return result;
 }

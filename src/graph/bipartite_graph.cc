@@ -85,7 +85,9 @@ uint64_t SortedIntersectionSize(std::span<const VertexId> a,
 
 uint64_t SortedUnionSize(std::span<const VertexId> a,
                          std::span<const VertexId> b) {
-  return a.size() + b.size() - SortedIntersectionSize(a, b);
+  // The adaptive sorted × sorted union path (merge, or inclusion–exclusion
+  // over the galloping intersection for skewed sizes; set_ops.h).
+  return UnionSize(SetView::Sorted(a), SetView::Sorted(b));
 }
 
 uint64_t BipartiteGraph::CountCommonNeighbors(Layer layer, VertexId a,

@@ -107,12 +107,97 @@ uint64_t IntersectionSize(const SetView& a, const SetView& b) {
   return IntersectScalarMerge(a.sorted(), b.sorted());
 }
 
+void BatchIntersectionSize(const SetView& base,
+                           std::span<const SetView> candidates,
+                           std::span<uint64_t> out) {
+  if (base.IsBitmap()) {
+    const DenseBitset& bits = base.bitmap();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const SetView& c = candidates[i];
+      out[i] = c.IsBitmap() ? IntersectBitmapAnd(bits, c.bitmap())
+                            : IntersectProbeBitmap(c.sorted(), bits);
+    }
+    return;
+  }
+  const std::span<const VertexId> ids = base.sorted();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const SetView& c = candidates[i];
+    if (c.IsBitmap()) {
+      out[i] = IntersectProbeBitmap(ids, c.bitmap());
+      continue;
+    }
+    // Sorted × sorted falls back to the per-pair dispatcher so the
+    // galloping/merge choice — and therefore the count's cost profile —
+    // matches the unbatched path exactly.
+    out[i] = IntersectionSize(base, c);
+  }
+}
+
 const char* DispatchedKernelName(const SetView& a, const SetView& b) {
   if (a.IsBitmap() && b.IsBitmap()) return "bitmap_and";
   if (a.IsBitmap() || b.IsBitmap()) return "probe_bitmap";
   const uint64_t small = std::min(a.Size(), b.Size());
   const uint64_t large = std::max(a.Size(), b.Size());
   return large / (small + 1) >= kGallopRatio ? "galloping" : "scalar_merge";
+}
+
+uint64_t UnionScalarMerge(std::span<const VertexId> a,
+                          std::span<const VertexId> b) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    ++count;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return count + (a.size() - i) + (b.size() - j);
+}
+
+uint64_t UnionBitmapOr(const DenseBitset& a, const DenseBitset& b) {
+  const std::span<const uint64_t> wa = a.Words();
+  const std::span<const uint64_t> wb = b.Words();
+  const std::span<const uint64_t> longer = wa.size() >= wb.size() ? wa : wb;
+  const size_t n = std::min(wa.size(), wb.size());
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += std::popcount(wa[i] | wb[i]);
+  }
+  for (size_t i = n; i < longer.size(); ++i) {
+    count += std::popcount(longer[i]);
+  }
+  return count;
+}
+
+uint64_t UnionSize(const SetView& a, const SetView& b) {
+  if (a.IsBitmap() && b.IsBitmap()) {
+    return UnionBitmapOr(a.bitmap(), b.bitmap());
+  }
+  if (a.IsBitmap() || b.IsBitmap()) {
+    return a.Size() + b.Size() - IntersectionSize(a, b);
+  }
+  const uint64_t small = std::min(a.Size(), b.Size());
+  const uint64_t large = std::max(a.Size(), b.Size());
+  if (large / (small + 1) >= kGallopRatio) {
+    // Skewed sorted × sorted: inclusion–exclusion over the galloping
+    // intersection beats merging the large operand element by element.
+    return a.Size() + b.Size() - IntersectGalloping(a.sorted(), b.sorted());
+  }
+  return UnionScalarMerge(a.sorted(), b.sorted());
+}
+
+const char* DispatchedUnionKernelName(const SetView& a, const SetView& b) {
+  if (a.IsBitmap() && b.IsBitmap()) return "bitmap_or";
+  if (a.IsBitmap() || b.IsBitmap()) return "probe_complement";
+  const uint64_t small = std::min(a.Size(), b.Size());
+  const uint64_t large = std::max(a.Size(), b.Size());
+  return large / (small + 1) >= kGallopRatio ? "gallop_complement"
+                                             : "scalar_merge";
 }
 
 }  // namespace cne

@@ -131,9 +131,43 @@ uint64_t IntersectProbeBitmap(std::span<const VertexId> probes,
 /// equivalent sorted inputs.
 uint64_t IntersectionSize(const SetView& a, const SetView& b);
 
+/// One-vs-many intersection: writes |base ∩ candidates[i]| into out[i] for
+/// every candidate. Same counts as calling IntersectionSize per pair — the
+/// point is the execution shape: the base operand's representation is
+/// resolved once outside the loop (its words or its sorted span stay hot in
+/// cache while every candidate streams past it), instead of re-dispatching
+/// and re-loading the shared row N times. This is the kernel under the
+/// workload planner's grouped execution and the shared-source loops of
+/// apps/topk and apps/projection. Requires out.size() == candidates.size().
+void BatchIntersectionSize(const SetView& base,
+                           std::span<const SetView> candidates,
+                           std::span<uint64_t> out);
+
 /// Name of the kernel the dispatcher would run for (a, b); for logs and the
 /// ext_intersect bench.
 const char* DispatchedKernelName(const SetView& a, const SetView& b);
+
+// ---- union kernels (mirror of the intersection family) ----
+
+/// Scalar two-pointer merge counting |a ∪ b| over two sorted unique id
+/// ranges. The baseline every other union kernel must agree with.
+uint64_t UnionScalarMerge(std::span<const VertexId> a,
+                          std::span<const VertexId> b);
+
+/// Dense × dense union: 64-bit word OR + popcount over the overlapping
+/// words, plus the popcount of the longer operand's tail.
+uint64_t UnionBitmapOr(const DenseBitset& a, const DenseBitset& b);
+
+/// Adaptive union dispatcher: bitmap × bitmap → word OR + popcount; any
+/// mixed pair → |a| + |b| − |a ∩ b| through the intersection dispatcher
+/// (probe / galloping, inclusion–exclusion is exact on unique sets);
+/// sorted × sorted of comparable sizes → scalar merge. Always equals
+/// UnionScalarMerge on the equivalent sorted inputs.
+uint64_t UnionSize(const SetView& a, const SetView& b);
+
+/// Name of the kernel UnionSize would run for (a, b); for parity tests and
+/// logs.
+const char* DispatchedUnionKernelName(const SetView& a, const SetView& b);
 
 }  // namespace cne
 

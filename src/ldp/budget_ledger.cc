@@ -17,6 +17,12 @@ BudgetLedger::BudgetLedger(double lifetime_budget)
   CNE_CHECK(lifetime_budget > 0.0) << "lifetime budget must be positive";
 }
 
+void BudgetLedger::RaiseLifetimeBudget(double new_budget) {
+  CNE_CHECK(new_budget >= lifetime_budget_)
+      << "lifetime budgets only go up: recorded charges cannot be undone";
+  lifetime_budget_ = new_budget;
+}
+
 bool BudgetLedger::TryCharge(LayeredVertex vertex, double epsilon) {
   CNE_CHECK(epsilon > 0.0) << "charges must be positive";
   const uint64_t key = PackLayeredVertex(vertex);

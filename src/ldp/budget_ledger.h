@@ -44,6 +44,13 @@ class BudgetLedger {
 
   double lifetime_budget() const { return lifetime_budget_; }
 
+  /// Raises the lifetime budget to `new_budget` (a service-operator
+  /// "top-up": every vertex's privacy guarantee weakens to the new bound
+  /// and previously rejected charges may now fit). Must not be lower than
+  /// the current budget, and must not race with concurrent charges — top
+  /// up between submissions.
+  void RaiseLifetimeBudget(double new_budget);
+
   /// Atomically charges `epsilon` to `vertex` if its remaining budget
   /// allows it (within a tiny floating-point tolerance); returns whether
   /// the charge was recorded. A rejected charge records nothing.

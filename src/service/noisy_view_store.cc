@@ -10,14 +10,34 @@ NoisyViewStore::NoisyViewStore(const BipartiteGraph& graph, double epsilon,
                                const Rng& base_rng, BudgetLedger& ledger)
     : graph_(graph), epsilon_(epsilon), base_rng_(base_rng), ledger_(ledger) {
   CNE_CHECK(epsilon > 0.0) << "release budget must be positive";
+  for (Layer layer : {Layer::kUpper, Layer::kLower}) {
+    LayerTable& table = Table(layer);
+    const size_t n = graph.NumVertices(layer);
+    table.state = std::vector<std::atomic<uint8_t>>(n);
+    table.view = std::vector<std::atomic<NoisyNeighborSet*>>(n);
+  }
+}
+
+NoisyViewStore::~NoisyViewStore() {
+  for (LayerTable& table : tables_) {
+    for (std::atomic<NoisyNeighborSet*>& slot : table.view) {
+      delete slot.load(std::memory_order_relaxed);
+    }
+  }
 }
 
 NoisyViewStore::Admission NoisyViewStore::Authorize(LayeredVertex vertex) {
   lookups_.fetch_add(1, std::memory_order_relaxed);
-  const uint64_t key = PackLayeredVertex(vertex);
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  if (shard.entries.contains(key)) {
+  LayerTable& table = Table(vertex.layer);
+  CNE_CHECK(vertex.id < table.state.size()) << "vertex out of range";
+  // Fast path: an authorized or materialized vertex never charges again —
+  // one atomic load, no lock.
+  if (table.state[vertex.id].load(std::memory_order_acquire) != kUntouched) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return Admission::kCacheHit;
+  }
+  std::lock_guard<std::mutex> lock(slow_mutex_);
+  if (table.state[vertex.id].load(std::memory_order_acquire) != kUntouched) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return Admission::kCacheHit;
   }
@@ -25,47 +45,40 @@ NoisyViewStore::Admission NoisyViewStore::Authorize(LayeredVertex vertex) {
     rejections_.fetch_add(1, std::memory_order_relaxed);
     return Admission::kRejected;
   }
-  shard.entries.emplace(key, Entry{});
   releases_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> pending_lock(pending_mutex_);
-    pending_.push_back(vertex);
-  }
+  pending_.push_back(vertex);
+  table.state[vertex.id].store(kAuthorizedPending, std::memory_order_release);
   return Admission::kAuthorized;
 }
 
 bool NoisyViewStore::Contains(LayeredVertex vertex) const {
-  const uint64_t key = PackLayeredVertex(vertex);
-  const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.entries.contains(key);
+  return Table(vertex.layer).state[vertex.id].load(
+             std::memory_order_acquire) != kUntouched;
 }
 
 void NoisyViewStore::MaterializeAuthorized(ThreadPool& pool) {
   std::vector<LayeredVertex> batch;
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    std::lock_guard<std::mutex> lock(slow_mutex_);
     batch.swap(pending_);
   }
   if (batch.empty()) return;
   pool.ParallelFor(batch.size(), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       const LayeredVertex vertex = batch[i];
-      const uint64_t key = PackLayeredVertex(vertex);
-      Shard& shard = ShardFor(key);
-      {
-        // A lazy Get may have built this view already; both paths draw
-        // from the vertex's own substream, so whichever wins stores the
-        // same bytes — skip to avoid double-counting the upload.
-        std::lock_guard<std::mutex> lock(shard.mutex);
-        if (shard.entries.at(key).view != nullptr) continue;
+      LayerTable& table = Table(vertex.layer);
+      // A lazy Get may have built this view already; both paths draw from
+      // the vertex's own substream, so whichever wins stores the same
+      // bytes — skip to avoid double-counting the upload.
+      if (table.state[vertex.id].load(std::memory_order_acquire) ==
+          kMaterialized) {
+        continue;
       }
       std::unique_ptr<NoisyNeighborSet> view = Generate(vertex);
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      Entry& entry = shard.entries.at(key);
-      if (entry.view == nullptr) {
-        RecordUpload(*view);
-        entry.view = std::move(view);
+      std::lock_guard<std::mutex> lock(slow_mutex_);
+      if (table.state[vertex.id].load(std::memory_order_acquire) !=
+          kMaterialized) {
+        Publish(vertex, std::move(view));
       }
     }
   });
@@ -73,42 +86,46 @@ void NoisyViewStore::MaterializeAuthorized(ThreadPool& pool) {
 
 const NoisyNeighborSet* NoisyViewStore::Get(LayeredVertex vertex) {
   lookups_.fetch_add(1, std::memory_order_relaxed);
-  const uint64_t key = PackLayeredVertex(vertex);
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.entries.find(key);
-  if (it != shard.entries.end()) {
+  LayerTable& table = Table(vertex.layer);
+  CNE_CHECK(vertex.id < table.state.size()) << "vertex out of range";
+  // Fast path: the view exists — one atomic load.
+  if (const NoisyNeighborSet* view =
+          table.view[vertex.id].load(std::memory_order_acquire)) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    if (it->second.view == nullptr) {
-      // Authorized earlier but never prefetched; build it now. Noise
-      // comes from the vertex's own substream, so the view is identical
-      // to what MaterializeAuthorized would have produced.
-      it->second.view = Generate(vertex);
-      RecordUpload(*it->second.view);
+    return view;
+  }
+  std::unique_lock<std::mutex> lock(slow_mutex_);
+  const uint8_t state =
+      table.state[vertex.id].load(std::memory_order_acquire);
+  if (state == kMaterialized) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return table.view[vertex.id].load(std::memory_order_acquire);
+  }
+  if (state == kUntouched) {
+    if (!ledger_.TryCharge(vertex, epsilon_)) {
+      rejections_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
     }
-    return it->second.view.get();
+    releases_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Authorized earlier but never prefetched; build it now. Noise comes
+    // from the vertex's own substream, so the view is identical to what
+    // MaterializeAuthorized would have produced.
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (!ledger_.TryCharge(vertex, epsilon_)) {
-    rejections_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
-  }
-  releases_.fetch_add(1, std::memory_order_relaxed);
-  Entry entry;
-  entry.view = Generate(vertex);
-  RecordUpload(*entry.view);
-  return shard.entries.emplace(key, std::move(entry))
-      .first->second.view.get();
+  // Building under the lock is acceptable: lazy builds are the cold path
+  // (the service prefetches via MaterializeAuthorized).
+  Publish(vertex, Generate(vertex));
+  return table.view[vertex.id].load(std::memory_order_acquire);
 }
 
 const NoisyNeighborSet& NoisyViewStore::View(LayeredVertex vertex) const {
-  const uint64_t key = PackLayeredVertex(vertex);
-  const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.entries.find(key);
-  CNE_CHECK(it != shard.entries.end() && it->second.view != nullptr)
+  const NoisyNeighborSet* view =
+      Table(vertex.layer).view[vertex.id].load(std::memory_order_acquire);
+  CNE_CHECK(view != nullptr)
       << "view of " << LayerName(vertex.layer) << " vertex " << vertex.id
       << " was never materialized";
-  return *it->second.view;
+  return *view;
 }
 
 NoisyViewStore::Stats NoisyViewStore::stats() const {
@@ -128,8 +145,12 @@ std::unique_ptr<NoisyNeighborSet> NoisyViewStore::Generate(
       ApplyRandomizedResponse(graph_, vertex, epsilon_, rng));
 }
 
-void NoisyViewStore::RecordUpload(const NoisyNeighborSet& view) {
-  uploaded_edges_.fetch_add(view.Size(), std::memory_order_relaxed);
+void NoisyViewStore::Publish(LayeredVertex vertex,
+                             std::unique_ptr<NoisyNeighborSet> view) {
+  uploaded_edges_.fetch_add(view->Size(), std::memory_order_relaxed);
+  LayerTable& table = Table(vertex.layer);
+  table.view[vertex.id].store(view.release(), std::memory_order_release);
+  table.state[vertex.id].store(kMaterialized, std::memory_order_release);
 }
 
 }  // namespace cne

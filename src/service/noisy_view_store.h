@@ -18,6 +18,14 @@
 // therefore byte-identical no matter which thread materializes them, in
 // what order, or whether they were built lazily (`Get`) or in a parallel
 // prefetch (`MaterializeAuthorized`).
+//
+// Storage: the vertex universe is fixed by the graph at construction, so
+// per-vertex state lives in dense per-layer arrays — an atomic lifecycle
+// byte and an atomic view pointer per vertex — instead of a sharded hash
+// map. The hot paths (Contains, View, a cache-hit Authorize, Get of a
+// built view) are single atomic loads with no locking or hashing; one
+// mutex serializes only the rare transitions (first authorization, lazy
+// builds, the pending list).
 
 #ifndef CNE_SERVICE_NOISY_VIEW_STORE_H_
 #define CNE_SERVICE_NOISY_VIEW_STORE_H_
@@ -26,7 +34,6 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/bipartite_graph.h"
@@ -78,11 +85,26 @@ class NoisyViewStore {
   NoisyViewStore(const BipartiteGraph& graph, double epsilon,
                  const Rng& base_rng, BudgetLedger& ledger);
 
+  ~NoisyViewStore();
+
+  NoisyViewStore(const NoisyViewStore&) = delete;
+  NoisyViewStore& operator=(const NoisyViewStore&) = delete;
+
   /// Admits `vertex` for release without materializing it: charges the
   /// ledger on first touch, no-op on a repeat. Used by the query
   /// service's sequential admission pass so that accept/reject decisions
   /// are independent of thread count.
   Admission Authorize(LayeredVertex vertex);
+
+  /// Bulk stats recording for lookups the caller already resolved as
+  /// cache hits (via Contains): equivalent to `count` cache-hit Authorize
+  /// calls, without paying per-call atomic traffic on the hot admission
+  /// path.
+  void RecordCacheHits(uint64_t count) {
+    if (count == 0) return;
+    lookups_.fetch_add(count, std::memory_order_relaxed);
+    cache_hits_.fetch_add(count, std::memory_order_relaxed);
+  }
 
   /// True if `vertex` has an authorized or materialized view.
   bool Contains(LayeredVertex vertex) const;
@@ -106,36 +128,44 @@ class NoisyViewStore {
   Stats stats() const;
 
  private:
-  static constexpr size_t kNumShards = 64;
-
-  struct Entry {
-    std::unique_ptr<NoisyNeighborSet> view;  ///< null until materialized
+  /// Per-vertex lifecycle, stored release-ordered so a reader seeing
+  /// kMaterialized also sees the view pointer.
+  enum VertexState : uint8_t {
+    kUntouched = 0,
+    kAuthorizedPending = 1,  ///< ε charged, view not built yet
+    kMaterialized = 2,
   };
 
-  struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<uint64_t, Entry> entries;
+  /// Dense per-vertex state of one layer.
+  struct LayerTable {
+    std::vector<std::atomic<uint8_t>> state;
+    std::vector<std::atomic<NoisyNeighborSet*>> view;  ///< owned
   };
 
-  Shard& ShardFor(uint64_t key) { return shards_[key % kNumShards]; }
-  const Shard& ShardFor(uint64_t key) const {
-    return shards_[key % kNumShards];
+  LayerTable& Table(Layer layer) {
+    return tables_[static_cast<size_t>(layer)];
+  }
+  const LayerTable& Table(Layer layer) const {
+    return tables_[static_cast<size_t>(layer)];
   }
 
   /// Generates vertex's noisy view from its dedicated substream.
   std::unique_ptr<NoisyNeighborSet> Generate(LayeredVertex vertex) const;
 
-  /// Records the upload of a freshly built view.
-  void RecordUpload(const NoisyNeighborSet& view);
+  /// Publishes a freshly built view (slow_mutex_ must be held) and
+  /// records its upload.
+  void Publish(LayeredVertex vertex, std::unique_ptr<NoisyNeighborSet> view);
 
   const BipartiteGraph& graph_;
   const double epsilon_;
   const Rng base_rng_;
   BudgetLedger& ledger_;
 
-  Shard shards_[kNumShards];
+  LayerTable tables_[2];  ///< indexed by Layer
 
-  std::mutex pending_mutex_;
+  /// Serializes state transitions: first authorization, lazy builds, and
+  /// the pending list. Never taken on the read fast paths.
+  std::mutex slow_mutex_;
   std::vector<LayeredVertex> pending_;  ///< authorized, not yet built
 
   std::atomic<uint64_t> lookups_{0};

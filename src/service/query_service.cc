@@ -2,10 +2,7 @@
 
 #include <array>
 
-#include "core/multir_ss.h"
-#include "core/oner.h"
-#include "graph/set_ops.h"
-#include "ldp/laplace_mechanism.h"
+#include "service/workload_planner.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -17,61 +14,34 @@ namespace {
 // admission never commits a charge the ledger would refuse.
 constexpr double kBudgetTolerance = 1e-9;
 
-bool IsMultiR(ServiceAlgorithm algorithm) {
-  return algorithm == ServiceAlgorithm::kMultiRSS ||
-         algorithm == ServiceAlgorithm::kMultiRDS;
-}
-
-// Budget each release draws from the store (ε1 for the MultiR family,
-// the full ε for the pure post-processing algorithms).
-double RrEpsilon(const ServiceOptions& options) {
-  return IsMultiR(options.algorithm)
-             ? options.epsilon * options.epsilon1_fraction
-             : options.epsilon;
-}
+// Planner threshold: a submission below this size cannot amortize plan
+// construction, so it takes the per-query path unchanged.
+constexpr size_t kMinQueriesToPlan = 2;
 
 }  // namespace
-
-const char* ToString(ServiceAlgorithm algorithm) {
-  switch (algorithm) {
-    case ServiceAlgorithm::kNaive:
-      return "Naive";
-    case ServiceAlgorithm::kOneR:
-      return "OneR";
-    case ServiceAlgorithm::kMultiRSS:
-      return "MultiR-SS";
-    case ServiceAlgorithm::kMultiRDS:
-      return "MultiR-DS";
-  }
-  return "?";
-}
-
-std::optional<ServiceAlgorithm> ParseServiceAlgorithm(
-    const std::string& name) {
-  for (ServiceAlgorithm algorithm :
-       {ServiceAlgorithm::kNaive, ServiceAlgorithm::kOneR,
-        ServiceAlgorithm::kMultiRSS, ServiceAlgorithm::kMultiRDS}) {
-    if (name == ToString(algorithm)) return algorithm;
-  }
-  return std::nullopt;
-}
 
 QueryService::QueryService(const BipartiteGraph& graph,
                            ServiceOptions options)
     : graph_(graph),
       options_(options),
-      epsilon1_(RrEpsilon(options)),
-      epsilon2_(options.epsilon - epsilon1_),
+      plan_(MakeProtocolPlan(options.algorithm, options.epsilon,
+                             options.epsilon1_fraction)),
+      debias_(MakeDebiasConstantsForEpsilon(plan_.epsilon1)),
       ledger_(options.lifetime_budget > 0.0 ? options.lifetime_budget
                                             : options.epsilon),
       root_(options.seed),
-      store_(graph, epsilon1_, root_.Fork(0), ledger_),
+      store_(graph, plan_.epsilon1, root_.Fork(0), ledger_),
       noise_root_(root_.Fork(1)),
-      pool_(options.num_threads) {
+      pool_(options.num_threads),
+      planner_(graph) {
   CNE_CHECK(options.epsilon > 0.0) << "epsilon must be positive";
   CNE_CHECK(options.epsilon1_fraction > 0.0 &&
             options.epsilon1_fraction < 1.0)
       << "epsilon1 fraction must lie in (0, 1)";
+}
+
+void QueryService::RaiseLifetimeBudget(double new_budget) {
+  ledger_.RaiseLifetimeBudget(new_budget);
 }
 
 ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
@@ -84,6 +54,7 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   // is drawn) and the only phase whose outcome depends on earlier
   // queries, so running it sequentially makes accept/reject decisions —
   // and hence everything downstream — independent of thread count.
+  cache_hit_lookups_ = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
     const QueryPair& query = queries[i];
     CNE_CHECK(query.u < graph_.NumVertices(query.layer) &&
@@ -93,24 +64,31 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
     plan[i].noise_stream = next_noise_stream_++;
     plan[i].admitted = Admit(query);
   }
+  store_.RecordCacheHits(cache_hit_lookups_);
 
   // Phase 2 — materialize the newly authorized noisy views in parallel;
   // each view comes from its vertex's own substream.
   store_.MaterializeAuthorized(pool_);
 
-  // Phase 3 — answer every admitted query in parallel; pure reads of the
-  // store plus per-query Laplace substreams.
-  pool_.ParallelFor(plan.size(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      ServiceAnswer& answer = report.answers[i];
-      answer.query = plan[i].query;
-      if (!plan[i].admitted) {
-        answer.rejected = true;
-        continue;
+  // Phase 3 — answer every admitted query. The planner path groups by
+  // shared endpoint and reuses per-source state; the per-query path is
+  // the reference both for benchmarking and for submissions too small to
+  // plan. Either way the answers are byte-identical.
+  if (options_.enable_planner && queries.size() >= kMinQueriesToPlan) {
+    ExecutePlanned(plan, report);
+  } else {
+    pool_.ParallelFor(plan.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        ServiceAnswer& answer = report.answers[i];
+        answer.query = plan[i].query;
+        if (!plan[i].admitted) {
+          answer.rejected = true;
+          continue;
+        }
+        answer.estimate = Answer(plan[i]);
       }
-      answer.estimate = Answer(plan[i]);
-    }
-  });
+    });
+  }
 
   for (const ServiceAnswer& answer : report.answers) {
     if (answer.rejected) {
@@ -127,6 +105,44 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   return report;
 }
 
+void QueryService::ExecutePlanned(const std::vector<PlannedQuery>& plan,
+                                  ServiceReport& report) {
+  Timer plan_timer;
+  refs_.clear();
+  refs_.reserve(plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    ServiceAnswer& answer = report.answers[i];
+    answer.query = plan[i].query;
+    if (!plan[i].admitted) {
+      answer.rejected = true;
+      continue;
+    }
+    refs_.push_back({plan[i].query, i, plan[i].noise_stream});
+  }
+  const WorkloadPlan& workload = planner_.Plan(refs_);
+  report.planner_seconds = plan_timer.Seconds();
+  report.groups_formed = workload.groups.size();
+  report.avg_group_size = workload.AvgGroupSize();
+
+  // Group estimates land in their submission slots; every slot is written
+  // by exactly one group, so groups parallelize freely. Each worker chunk
+  // keeps one executor whose scratch survives across its groups.
+  // resize, not assign: rejected slots are never read, so stale values
+  // from the previous submission are harmless and re-zeroing is waste.
+  estimates_.resize(plan.size());
+  std::span<double> estimates(estimates_);
+  pool_.ParallelFor(
+      workload.groups.size(), [&](size_t begin, size_t end) {
+        GroupExecutor executor(graph_, plan_, debias_, store_, noise_root_);
+        for (size_t g = begin; g < end; ++g) {
+          executor.Execute(workload, workload.groups[g], estimates);
+        }
+      });
+  for (const GroupItem& item : workload.items) {
+    report.answers[item.slot].estimate = estimates[item.slot];
+  }
+}
+
 bool QueryService::Admit(const QueryPair& query) {
   const LayeredVertex u{query.layer, query.u};
   const LayeredVertex w{query.layer, query.w};
@@ -134,10 +150,10 @@ bool QueryService::Admit(const QueryPair& query) {
 
   // Which mechanisms does this query run? RR releases are needed only
   // for vertices without a stored view; Laplace releases recur per query.
-  const bool rr_u = options_.algorithm != ServiceAlgorithm::kMultiRSS;
-  const bool rr_w = true;
-  const bool lap_u = IsMultiR(options_.algorithm);
-  const bool lap_w = options_.algorithm == ServiceAlgorithm::kMultiRDS;
+  const bool rr_u = plan_.UsesNoisyViewU();
+  const bool rr_w = plan_.UsesNoisyViewW();
+  const bool lap_u = plan_.LaplaceFromU();
+  const bool lap_w = plan_.LaplaceFromW();
 
   const bool rr_u_needed = rr_u && !store_.Contains(u);
   const bool rr_w_needed =
@@ -157,10 +173,10 @@ bool QueryService::Admit(const QueryPair& query) {
     }
     needs[num_needs++] = {v, epsilon};
   };
-  if (rr_u_needed) add(u, epsilon1_);
-  if (rr_w_needed) add(w, epsilon1_);
-  if (lap_u) add(u, epsilon2_);
-  if (lap_w) add(w, epsilon2_);
+  if (rr_u_needed) add(u, plan_.epsilon1);
+  if (rr_w_needed) add(w, plan_.epsilon1);
+  if (lap_u) add(u, plan_.epsilon2);
+  if (lap_w) add(w, plan_.epsilon2);
 
   for (size_t i = 0; i < num_needs; ++i) {
     if (needs[i].second > ledger_.Remaining(needs[i].first) +
@@ -172,18 +188,18 @@ bool QueryService::Admit(const QueryPair& query) {
   if (rr_u_needed) {
     CNE_CHECK(store_.Authorize(u) == NoisyViewStore::Admission::kAuthorized);
   } else if (rr_u) {
-    store_.Authorize(u);  // records the cache hit
+    ++cache_hit_lookups_;  // recorded in bulk after the admission pass
   }
   if (rr_w_needed) {
     CNE_CHECK(store_.Authorize(w) == NoisyViewStore::Admission::kAuthorized);
   } else if (rr_w && !(same && rr_u)) {
-    store_.Authorize(w);
+    ++cache_hit_lookups_;  // Contains(w) held above: a pure cache hit
   }
   if (lap_u) {
-    CNE_CHECK(ledger_.TryCharge(u, epsilon2_));
+    CNE_CHECK(ledger_.TryCharge(u, plan_.epsilon2));
   }
   if (lap_w) {
-    CNE_CHECK(ledger_.TryCharge(w, epsilon2_));
+    CNE_CHECK(ledger_.TryCharge(w, plan_.epsilon2));
   }
   return true;
 }
@@ -192,42 +208,21 @@ double QueryService::Answer(const PlannedQuery& planned) const {
   const QueryPair& query = planned.query;
   const LayeredVertex u{query.layer, query.u};
   const LayeredVertex w{query.layer, query.w};
-  switch (options_.algorithm) {
-    case ServiceAlgorithm::kNaive: {
-      const NoisyNeighborSet& noisy_u = store_.View(u);
-      const NoisyNeighborSet& noisy_w = store_.View(w);
-      return static_cast<double>(
-          IntersectionSize(noisy_u.View(), noisy_w.View()));
-    }
-    case ServiceAlgorithm::kOneR: {
-      const NoisyNeighborSet& noisy_u = store_.View(u);
-      const NoisyNeighborSet& noisy_w = store_.View(w);
-      const uint64_t n1 = IntersectionSize(noisy_u.View(), noisy_w.View());
-      const uint64_t n2 = noisy_u.Size() + noisy_w.Size() - n1;
-      return OneRClosedForm(n1, n2,
-                            graph_.NumVertices(Opposite(query.layer)),
-                            noisy_u.flip_probability());
-    }
-    case ServiceAlgorithm::kMultiRSS: {
-      const double f_u = SingleSourceEstimate(graph_, u, store_.View(w));
-      Rng rng = noise_root_.Fork(planned.noise_stream);
-      return LaplaceMechanism(f_u, SingleSourceSensitivity(epsilon1_),
-                              epsilon2_, rng);
-    }
-    case ServiceAlgorithm::kMultiRDS: {
-      Rng rng = noise_root_.Fork(planned.noise_stream);
-      const double sensitivity = SingleSourceSensitivity(epsilon1_);
-      const double f_u =
-          LaplaceMechanism(SingleSourceEstimate(graph_, u, store_.View(w)),
-                           sensitivity, epsilon2_, rng);
-      const double f_w =
-          LaplaceMechanism(SingleSourceEstimate(graph_, w, store_.View(u)),
-                           sensitivity, epsilon2_, rng);
-      return 0.5 * (f_u + f_w);
-    }
+
+  ReleasedInputs inputs;
+  if (plan_.UsesNoisyViewU()) inputs.view_u = &store_.View(u);
+  inputs.view_w = &store_.View(w);
+  if (plan_.LaplaceFromU()) inputs.neighbors_u = graph_.Neighbors(u);
+  if (plan_.LaplaceFromW()) inputs.neighbors_w = graph_.Neighbors(w);
+  inputs.opposite_size = graph_.NumVertices(Opposite(query.layer));
+
+  if (plan_.NumLaplaceReleases() == 0) {
+    // Naive/OneR draw no per-query noise; skip the substream fork.
+    Rng unused(0);
+    return PostProcess(plan_, debias_, inputs, unused);
   }
-  CNE_CHECK(false) << "unreachable";
-  return 0.0;
+  Rng rng = noise_root_.Fork(planned.noise_stream);
+  return PostProcess(plan_, debias_, inputs, rng);
 }
 
 }  // namespace cne

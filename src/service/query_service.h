@@ -38,22 +38,24 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "core/protocol_pipeline.h"
 #include "ldp/budget_ledger.h"
 #include "service/noisy_view_store.h"
+#include "service/workload_planner.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace cne {
 
-/// The estimators the service can run over the shared store.
-enum class ServiceAlgorithm { kNaive, kOneR, kMultiRSS, kMultiRDS };
-
-/// Display name, e.g. "OneR".
-const char* ToString(ServiceAlgorithm algorithm);
+/// The estimators the service can run over the shared store — the four
+/// protocols of the shared pipeline (core/protocol_pipeline.h).
+using ServiceAlgorithm = ProtocolKind;
 
 /// Parses a display name ("Naive", "OneR", "MultiR-SS", "MultiR-DS").
-std::optional<ServiceAlgorithm> ParseServiceAlgorithm(
-    const std::string& name);
+inline std::optional<ServiceAlgorithm> ParseServiceAlgorithm(
+    const std::string& name) {
+  return ParseProtocolKind(name);
+}
 
 /// Service configuration, fixed for the service lifetime.
 struct ServiceOptions {
@@ -77,6 +79,12 @@ struct ServiceOptions {
   /// Master seed; with everything else equal, answers are byte-identical
   /// across runs and thread counts.
   uint64_t seed = 7;
+
+  /// Execute submissions through the WorkloadPlanner: admitted queries are
+  /// grouped by shared endpoint and each group runs with per-source reused
+  /// state (service/workload_planner.h). Answers are byte-identical to the
+  /// per-query path; disable only to measure the planner's benefit.
+  bool enable_planner = true;
 };
 
 /// One answered (or rejected) query.
@@ -96,6 +104,12 @@ struct ServiceReport {
   uint64_t answered = 0;
   uint64_t rejected = 0;
   double seconds = 0.0;
+
+  // Planner accounting for this submission (zero when the planner was
+  // disabled or nothing was admitted).
+  uint64_t groups_formed = 0;
+  double avg_group_size = 0.0;
+  double planner_seconds = 0.0;  ///< plan construction only, not execution
 
   // Cumulative over the service lifetime.
   NoisyViewStore::Stats store;
@@ -122,8 +136,15 @@ class QueryService {
 
   /// Answers `queries` (any mix of layers) and returns answers in input
   /// order. Deterministic: depends only on the graph, options, and the
-  /// submission history — never on num_threads or scheduling.
+  /// submission history — never on num_threads, scheduling, or whether the
+  /// planner is enabled.
   ServiceReport Submit(const std::vector<QueryPair>& queries);
+
+  /// Raises the lifetime budget every vertex may spend (see
+  /// BudgetLedger::RaiseLifetimeBudget): queries rejected earlier may be
+  /// resubmitted and admitted against the new bound. Must not race with a
+  /// concurrent Submit.
+  void RaiseLifetimeBudget(double new_budget);
 
   const ServiceOptions& options() const { return options_; }
   const BudgetLedger& ledger() const { return ledger_; }
@@ -140,19 +161,33 @@ class QueryService {
   /// charge fits, then commits them all (or none).
   bool Admit(const QueryPair& query);
 
-  /// Post-processing / release phase for one admitted query.
+  /// Post-processing / release phase for one admitted query — the
+  /// per-query driver over the shared pipeline's PostProcess.
   double Answer(const PlannedQuery& planned) const;
+
+  /// Planner path of phase 3: groups the admitted queries by shared
+  /// endpoint and executes each group with per-source reused state.
+  /// Byte-identical to the per-query path.
+  void ExecutePlanned(const std::vector<PlannedQuery>& plan,
+                      ServiceReport& report);
 
   const BipartiteGraph& graph_;
   const ServiceOptions options_;
-  const double epsilon1_;  ///< RR share (epsilon for kNaive/kOneR)
-  const double epsilon2_;  ///< Laplace share (0 for kNaive/kOneR)
+  const ProtocolPlan plan_;        ///< the protocol's release structure
+  const DebiasConstants debias_;   ///< φ constants of an ε1 release
   BudgetLedger ledger_;
   const Rng root_;
   NoisyViewStore store_;
   Rng noise_root_;  ///< parent of the per-query Laplace substreams
   ThreadPool pool_;
+  WorkloadPlanner planner_;
   uint64_t next_noise_stream_ = 0;
+
+  // Submit-level scratch, reused across submissions (Submit is not
+  // reentrant by contract).
+  std::vector<PlannedQueryRef> refs_;
+  std::vector<double> estimates_;
+  uint64_t cache_hit_lookups_ = 0;  ///< flushed to the store per Submit
 };
 
 }  // namespace cne

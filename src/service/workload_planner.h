@@ -1,0 +1,158 @@
+// Vertex-grouped batch planning for service submissions.
+//
+// The paper's applications — private similarity search, top-k, graph
+// projection — are one-vs-many workloads: one source vertex queried
+// against hundreds of candidates. Executing such a submission query by
+// query pays N store lookups of the same source view, N de-bias setups,
+// and N uncoordinated intersections. The planner instead groups a
+// submission's admitted queries by their most-shared endpoint and executes
+// each group with per-source reused state:
+//
+//   * the source's view (or true neighbor list) is resolved once,
+//   * the de-bias constants are applied from one precomputed set,
+//   * all candidates stream past the source row in one
+//     BatchIntersectionSize pass (graph/set_ops.h).
+//
+// Answers are byte-identical to the per-query path: intersection counts
+// are exact integers from the same kernels, the arithmetic runs through
+// the same core/protocol_pipeline.h helpers, and each query's Laplace
+// noise comes from its own admission-assigned substream — execution order
+// never touches the noise.
+
+#ifndef CNE_SERVICE_WORKLOAD_PLANNER_H_
+#define CNE_SERVICE_WORKLOAD_PLANNER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/protocol_pipeline.h"
+#include "service/noisy_view_store.h"
+#include "util/rng.h"
+
+namespace cne {
+
+/// One admitted query, as handed to the planner.
+struct PlannedQueryRef {
+  QueryPair query;
+  size_t slot = 0;            ///< index into the submission's answers
+  uint64_t noise_stream = 0;  ///< Laplace substream (MultiR family)
+};
+
+/// One query of a group: the endpoint that is not the group source, plus
+/// the role the source plays in the pair (the MultiR protocols are
+/// asymmetric in u and w).
+struct GroupItem {
+  VertexId candidate = 0;
+  size_t slot = 0;
+  uint64_t noise_stream = 0;
+  bool source_is_u = false;
+};
+
+/// Admitted queries sharing one endpoint: the half-open range
+/// [begin, end) of WorkloadPlan::items, role-partitioned so that the
+/// source plays u in items[begin .. begin + num_source_as_u) and w in the
+/// rest (within a role, submission order).
+struct QueryGroup {
+  LayeredVertex source{Layer::kLower, 0};
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  uint32_t num_source_as_u = 0;
+
+  uint32_t Size() const { return end - begin; }
+};
+
+/// A planned submission: all items in one flat buffer (CSR-style, so a
+/// plan costs two passes and zero per-group allocations) with groups
+/// ordered largest first — the shared rows that pay for reuse execute
+/// while the pool is fullest, singletons last.
+struct WorkloadPlan {
+  std::vector<QueryGroup> groups;
+  std::vector<GroupItem> items;
+  uint64_t num_queries = 0;
+
+  std::span<const GroupItem> Items(const QueryGroup& group) const {
+    return std::span<const GroupItem>(items).subspan(group.begin,
+                                                     group.Size());
+  }
+
+  double AvgGroupSize() const {
+    return groups.empty() ? 0.0
+                          : static_cast<double>(num_queries) /
+                                static_cast<double>(groups.size());
+  }
+};
+
+/// Builds workload plans: each query joins the group of whichever of its
+/// endpoints occurs more often in the submission (ties and self-pairs go
+/// to u). Deterministic — a plan depends only on the query list, never on
+/// hashing or thread count.
+///
+/// The planner keeps dense per-layer scratch (an epoch-stamped frequency
+/// and group slot per vertex, sized to the graph once), so planning costs
+/// two linear passes and no hashing — cheap enough to run on every
+/// submission of a long-lived service.
+class WorkloadPlanner {
+ public:
+  explicit WorkloadPlanner(const BipartiteGraph& graph);
+
+  /// Plans `queries`. The returned reference stays valid until the next
+  /// Plan call — the plan's buffers are reused across submissions.
+  const WorkloadPlan& Plan(std::span<const PlannedQueryRef> queries);
+
+ private:
+  struct LayerScratch {
+    std::vector<uint32_t> frequency;    ///< endpoint occurrences
+    std::vector<uint32_t> group;        ///< group index of a source vertex
+    std::vector<uint64_t> freq_stamp;   ///< epoch when `frequency` is valid
+    std::vector<uint64_t> group_stamp;  ///< epoch when `group` is valid
+  };
+
+  LayerScratch& Scratch(Layer layer) {
+    return scratch_[static_cast<size_t>(layer)];
+  }
+
+  LayerScratch scratch_[2];  ///< indexed by Layer
+  std::vector<uint32_t> u_cursor_;  ///< per-group placement cursors
+  std::vector<uint32_t> w_cursor_;
+  WorkloadPlan plan_;
+  uint64_t epoch_ = 0;
+};
+
+/// Executes planned groups against the shared store. One executor per
+/// worker; Execute may be called for any subset of groups in any order
+/// (scratch is reused across calls, results only touch each item's slot).
+class GroupExecutor {
+ public:
+  /// All referenced views must already be materialized. `noise_root` is
+  /// the parent of the per-query Laplace substreams.
+  GroupExecutor(const BipartiteGraph& graph, const ProtocolPlan& plan,
+                const DebiasConstants& debias, const NoisyViewStore& store,
+                const Rng& noise_root);
+
+  /// Computes every item's estimate into estimates[item.slot].
+  void Execute(const WorkloadPlan& plan, const QueryGroup& group,
+               std::span<double> estimates);
+
+ private:
+  /// Runs one role-homogeneous span of items (`source_as_u` tells which
+  /// role the source plays in all of them).
+  void ExecuteRun(const QueryGroup& group, std::span<const GroupItem> items,
+                  bool source_as_u, std::span<double> estimates);
+
+  const BipartiteGraph& graph_;
+  const ProtocolPlan& plan_;
+  const DebiasConstants& debias_;
+  const NoisyViewStore& store_;
+  const Rng& noise_root_;
+
+  // Scratch reused across groups.
+  std::vector<SetView> candidate_views_;
+  std::vector<SetView> candidate_sorted_;
+  std::vector<uint64_t> counts_;
+  std::vector<uint64_t> reverse_counts_;
+};
+
+}  // namespace cne
+
+#endif  // CNE_SERVICE_WORKLOAD_PLANNER_H_

@@ -95,6 +95,40 @@ TEST(PrivateProjectionTest, LowBudgetDegradesQuality) {
   EXPECT_GT(f1_strong / runs, f1_weak / runs);
 }
 
+TEST(ServiceProjectionTest, HighBudgetMatchesExactProjection) {
+  const BipartiteGraph g = MakeFixture();
+  const std::vector<QueryPair> candidates = {
+      {Layer::kLower, 0, 1}, {Layer::kLower, 0, 2}, {Layer::kLower, 1, 2}};
+  const auto exact = ExactProjection(g, candidates, 2.0);
+  int perfect = 0;
+  for (uint64_t t = 0; t < 50; ++t) {
+    ServiceOptions options;
+    options.algorithm = ServiceAlgorithm::kOneR;
+    options.epsilon = 12.0;
+    options.seed = t;
+    QueryService service(g, options);
+    const auto priv = ServiceProjection(service, candidates, 2.0);
+    const ProjectionQuality q = CompareProjections(exact, priv);
+    perfect += q.f1 == 1.0;
+    // All three pairs run over three shared releases (vertices 0, 1, 2).
+    EXPECT_EQ(service.store().stats().releases, 3u);
+  }
+  EXPECT_GT(perfect, 40);
+}
+
+TEST(ServiceProjectionTest, RejectedPairsProduceNoEdge) {
+  const BipartiteGraph g = MakeFixture();
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kOneR;
+  options.epsilon = 2.0;
+  options.lifetime_budget = 0.5;  // below one release: everything rejects
+  QueryService service(g, options);
+  const auto edges = ServiceProjection(
+      service, {{Layer::kLower, 0, 1}, {Layer::kLower, 0, 2}}, 0.0);
+  EXPECT_TRUE(edges.empty());
+  EXPECT_EQ(service.store().stats().releases, 0u);
+}
+
 TEST(CompareProjectionsTest, Metrics) {
   const std::vector<ProjectionEdge> exact = {{0, 1, 3.0}, {0, 2, 1.0}};
   const std::vector<ProjectionEdge> est = {{1, 0, 2.5}, {1, 2, 4.0}};

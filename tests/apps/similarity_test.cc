@@ -82,6 +82,49 @@ TEST(PrivateSimilarityTest, HigherBudgetReducesError) {
   EXPECT_LT(hi_err.Mean(), lo_err.Mean());
 }
 
+TEST(ServiceSimilarityTest, RecoversJaccardFromSharedViews) {
+  // deg(u)=8, deg(w)=5, C2=3 -> Jaccard 0.3. At a generous ε both the C2
+  // answer and the view-size degree de-bias concentrate near the truth.
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  const QueryPair q{Layer::kLower, 0, 1};
+  RunningStats jac, deg_u;
+  for (uint64_t t = 0; t < 2000; ++t) {
+    ServiceOptions options;
+    options.algorithm = ServiceAlgorithm::kOneR;
+    options.epsilon = 8.0;
+    options.seed = t;
+    QueryService service(g, options);
+    const auto result = ServiceSimilarity(service, q);
+    ASSERT_TRUE(result.has_value());
+    jac.Add(result->jaccard);
+    deg_u.Add(result->deg_u_estimate);
+  }
+  EXPECT_NEAR(jac.Mean(), ExactJaccard(g, q), 0.05);
+  EXPECT_NEAR(deg_u.Mean(), 8.0, 4.5 * deg_u.StdError());
+}
+
+TEST(ServiceSimilarityTest, RejectedQueryReturnsNullopt) {
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kOneR;
+  options.epsilon = 2.0;
+  options.lifetime_budget = 0.5;  // below one release
+  QueryService service(g, options);
+  EXPECT_FALSE(ServiceSimilarity(service, {Layer::kLower, 0, 1}).has_value());
+}
+
+TEST(ServiceSimilarityDeathTest, MultiRSSNeverReleasesU) {
+  // MultiR-SS releases only w's view, so the u-degree de-bias has nothing
+  // to read — the fatal check in NoisyViewStore::View fires.
+  const BipartiteGraph g = PlantedCommonNeighbors(3, 5, 2, 40);
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kMultiRSS;
+  options.epsilon = 2.0;
+  QueryService service(g, options);
+  EXPECT_DEATH(ServiceSimilarity(service, {Layer::kLower, 0, 1}),
+               "never materialized");
+}
+
 TEST(PrivateSimilarityDeathTest, RejectsBadConfig) {
   EXPECT_DEATH(PrivateSimilarityEstimator(nullptr), "");
   EXPECT_DEATH(

@@ -70,6 +70,47 @@ TEST(PrivateTopKTest, HighBudgetRecoversExactRanking) {
   EXPECT_GT(perfect, 95);
 }
 
+TEST(ServiceTopKTest, HighBudgetRecoversExactRankingOverSharedViews) {
+  const BipartiteGraph g = MakeRankedFixture();
+  const TopKResult exact = ExactTopKCommonNeighbors(
+      g, {Layer::kLower, 0}, {1, 2, 3, 4}, 2);
+  int perfect = 0;
+  for (uint64_t t = 0; t < 100; ++t) {
+    ServiceOptions options;
+    options.algorithm = ServiceAlgorithm::kOneR;
+    options.epsilon = 8.0;  // one shared release, not ε / N per pair
+    options.seed = t;
+    QueryService service(g, options);
+    const TopKResult priv = ServiceTopKCommonNeighbors(
+        service, {Layer::kLower, 0}, {1, 2, 3, 4}, 2);
+    EXPECT_EQ(priv.ranked.size(), 2u);
+    perfect += TopKRecall(exact, priv) == 1.0;
+  }
+  EXPECT_GT(perfect, 90);
+}
+
+TEST(ServiceTopKTest, SkipsSourceAndReleasesEachVertexOnce) {
+  const BipartiteGraph g = MakeRankedFixture();
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kOneR;
+  options.epsilon = 2.0;
+  QueryService service(g, options);
+  const TopKResult r = ServiceTopKCommonNeighbors(
+      service, {Layer::kLower, 0}, {0, 1, 2, 3, 4}, 10);
+  EXPECT_EQ(r.ranked.size(), 4u);  // the source itself is skipped
+  // One release per distinct vertex: source + 4 candidates.
+  EXPECT_EQ(service.store().stats().releases, 5u);
+  EXPECT_DOUBLE_EQ(r.epsilon_per_candidate, 2.0);
+  // A second top-k over the same candidates is pure post-processing.
+  const TopKResult again = ServiceTopKCommonNeighbors(
+      service, {Layer::kLower, 0}, {1, 2, 3, 4}, 10);
+  EXPECT_EQ(service.store().stats().releases, 5u);
+  ASSERT_EQ(again.ranked.size(), r.ranked.size());
+  for (size_t i = 0; i < r.ranked.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again.ranked[i].score, r.ranked[i].score);
+  }
+}
+
 TEST(TopKRecallTest, Values) {
   TopKResult exact;
   exact.ranked = {{1, 4.0}, {2, 3.0}};

@@ -158,6 +158,105 @@ TEST(SetOpsKernelsTest, ProbeIgnoresOutOfDomainIds) {
   EXPECT_EQ(IntersectProbeBitmap(probes, bits), 1u);
 }
 
+TEST(SetOpsUnionTest, AllUnionKernelsAgreeAcrossDensityGrid) {
+  Rng rng(41);
+  for (VertexId domain : {VertexId{1}, VertexId{63}, VertexId{64},
+                          VertexId{65}, VertexId{100}, VertexId{1000}}) {
+    for (double da : {0.0, 0.01, 0.1, 0.5, 1.0}) {
+      for (double db : {0.0, 0.05, 0.7, 1.0}) {
+        const auto a = RandomSortedSet(domain, da, rng);
+        const auto b = RandomSortedSet(domain, db, rng);
+        const DenseBitset ba = ToBitset(a, domain);
+        const DenseBitset bb = ToBitset(b, domain);
+        std::vector<VertexId> ref;
+        std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                       std::back_inserter(ref));
+        const uint64_t want = ref.size();
+
+        EXPECT_EQ(UnionScalarMerge(a, b), want);
+        EXPECT_EQ(UnionScalarMerge(b, a), want);
+        EXPECT_EQ(UnionBitmapOr(ba, bb), want);
+        EXPECT_EQ(UnionBitmapOr(bb, ba), want);
+
+        const SetView sa = SetView::Sorted(a);
+        const SetView sb = SetView::Sorted(b);
+        const SetView va = SetView::Bitmap(ba, a.size());
+        const SetView vb = SetView::Bitmap(bb, b.size());
+        for (const SetView& x : {sa, va}) {
+          for (const SetView& y : {sb, vb}) {
+            EXPECT_EQ(UnionSize(x, y), want)
+                << domain << " " << da << "x" << db << " "
+                << DispatchedUnionKernelName(x, y);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SetOpsUnionTest, BitmapOrHandlesDomainMismatch) {
+  // The longer operand's tail bits belong to the union.
+  DenseBitset a(130), b(70);
+  for (VertexId v : {0u, 64u, 129u}) a.Set(v);
+  for (VertexId v : {0u, 69u}) b.Set(v);
+  EXPECT_EQ(UnionBitmapOr(a, b), 4u);
+  EXPECT_EQ(UnionBitmapOr(b, a), 4u);
+}
+
+TEST(SetOpsUnionTest, PicksTheExpectedKernel) {
+  std::vector<VertexId> small = {1, 2, 3};
+  std::vector<VertexId> large(400);
+  for (VertexId v = 0; v < 400; ++v) large[v] = v;
+  DenseBitset bits(400);
+  bits.Set(1);
+
+  const SetView s = SetView::Sorted(small);
+  const SetView l = SetView::Sorted(large);
+  const SetView b = SetView::Bitmap(bits, 1);
+  EXPECT_STREQ(DispatchedUnionKernelName(s, l), "gallop_complement");
+  EXPECT_STREQ(DispatchedUnionKernelName(s, s), "scalar_merge");
+  EXPECT_STREQ(DispatchedUnionKernelName(s, b), "probe_complement");
+  EXPECT_STREQ(DispatchedUnionKernelName(b, b), "bitmap_or");
+}
+
+TEST(BatchIntersectionTest, MatchesPerPairDispatcherAcrossRepresentations) {
+  Rng rng(53);
+  for (VertexId domain : {VertexId{65}, VertexId{300}, VertexId{1000}}) {
+    for (double base_density : {0.02, 0.4}) {
+      const auto base_ids = RandomSortedSet(domain, base_density, rng);
+      const DenseBitset base_bits = ToBitset(base_ids, domain);
+      // A mixed bag of candidates: sparse sorted, dense sorted, bitmaps.
+      std::vector<std::vector<VertexId>> cand_ids;
+      std::vector<DenseBitset> cand_bits;
+      for (double d : {0.0, 0.01, 0.2, 0.9}) {
+        cand_ids.push_back(RandomSortedSet(domain, d, rng));
+        cand_bits.push_back(ToBitset(cand_ids.back(), domain));
+      }
+      std::vector<SetView> candidates;
+      for (size_t i = 0; i < cand_ids.size(); ++i) {
+        candidates.push_back(SetView::Sorted(cand_ids[i]));
+        candidates.push_back(
+            SetView::Bitmap(cand_bits[i], cand_ids[i].size()));
+      }
+      for (const SetView& base :
+           {SetView::Sorted(base_ids),
+            SetView::Bitmap(base_bits, base_ids.size())}) {
+        std::vector<uint64_t> got(candidates.size(), ~uint64_t{0});
+        BatchIntersectionSize(base, candidates, got);
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          EXPECT_EQ(got[i], IntersectionSize(base, candidates[i]))
+              << domain << " candidate " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchIntersectionTest, EmptyCandidateListIsANoOp) {
+  const std::vector<VertexId> ids = {1, 2, 3};
+  BatchIntersectionSize(SetView::Sorted(ids), {}, {});
+}
+
 TEST(SetOpsDispatchTest, PicksTheExpectedKernel) {
   std::vector<VertexId> small = {1, 2, 3};
   std::vector<VertexId> large(400);

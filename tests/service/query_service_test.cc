@@ -170,6 +170,109 @@ TEST(QueryServiceTest, OverBudgetQueriesAreRejectedDeterministically) {
   EXPECT_DOUBLE_EQ(service.ledger().Spent({Layer::kLower, 3}), 1.0);
 }
 
+TEST(QueryServiceTest, DuplicatePairsInOneSubmissionShareReleasesNotNoise) {
+  const BipartiteGraph g = TestGraph();
+  // OneR: a duplicated pair is pure post-processing on the same views —
+  // identical answers, one release per distinct vertex, one charge each.
+  const std::vector<QueryPair> workload = {{Layer::kLower, 0, 1},
+                                           {Layer::kLower, 0, 1},
+                                           {Layer::kLower, 0, 1}};
+  const ServiceReport oner = RunOnce(g, ServiceAlgorithm::kOneR, 2, workload);
+  EXPECT_EQ(oner.rejected, 0u);
+  EXPECT_EQ(oner.store.releases, 2u);
+  EXPECT_DOUBLE_EQ(oner.answers[0].estimate, oner.answers[1].estimate);
+  EXPECT_DOUBLE_EQ(oner.answers[0].estimate, oner.answers[2].estimate);
+
+  // MultiR-SS at ε = 2 (split 1 + 1): the duplicate costs u a fresh ε2
+  // sourcing, so under the default lifetime budget of 2 the first two
+  // instances fit (RR(1) = 1 once, Laplace(0) = 1 twice) and the third is
+  // rejected — duplicates are real repeat queries, not free cache hits.
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kMultiRSS;
+  options.epsilon = 2.0;
+  options.seed = 99;
+  QueryService service(g, options);
+  const ServiceReport ss = service.Submit(workload);
+  EXPECT_FALSE(ss.answers[0].rejected);
+  EXPECT_FALSE(ss.answers[1].rejected);
+  EXPECT_TRUE(ss.answers[2].rejected);
+  // Fresh Laplace noise per admitted duplicate.
+  EXPECT_NE(ss.answers[0].estimate, ss.answers[1].estimate);
+  EXPECT_DOUBLE_EQ(service.ledger().Spent({Layer::kLower, 0}), 2.0);
+}
+
+TEST(QueryServiceTest, SelfPairQueriesAreAnsweredOverOneView) {
+  const BipartiteGraph g = TestGraph();
+  const std::vector<QueryPair> workload = {{Layer::kLower, 2, 2}};
+
+  // Naive: |view ∩ view| is exactly the view's noisy degree.
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kNaive;
+  options.epsilon = 2.0;
+  options.seed = 7;
+  QueryService naive(g, options);
+  const ServiceReport report = naive.Submit(workload);
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_EQ(report.store.releases, 1u);  // one vertex, one release
+  EXPECT_DOUBLE_EQ(
+      report.answers[0].estimate,
+      static_cast<double>(naive.store().View({Layer::kLower, 2}).Size()));
+  EXPECT_DOUBLE_EQ(naive.ledger().Spent({Layer::kLower, 2}), 2.0);
+}
+
+TEST(QueryServiceTest, SelfPairMergesChargesInAdmission) {
+  // MultiR-DS self-pair: u = w, so one vertex owes ε1 + 2·ε2 at once.
+  // Under the default lifetime budget (= ε) that merged charge cannot
+  // fit; with a 3ε/2 budget it fits exactly. The merge must be atomic:
+  // the rejected self-pair charges nothing at all.
+  const BipartiteGraph g = TestGraph();
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kMultiRDS;
+  options.epsilon = 2.0;  // ε1 = ε2 = 1, self-pair needs 3
+  options.seed = 13;
+  {
+    QueryService service(g, options);
+    const ServiceReport report = service.Submit({{Layer::kLower, 2, 2}});
+    EXPECT_EQ(report.rejected, 1u);
+    EXPECT_DOUBLE_EQ(service.ledger().Spent({Layer::kLower, 2}), 0.0);
+    EXPECT_EQ(report.store.releases, 0u);
+  }
+  options.lifetime_budget = 3.0;
+  {
+    QueryService service(g, options);
+    const ServiceReport report = service.Submit({{Layer::kLower, 2, 2}});
+    EXPECT_EQ(report.rejected, 0u);
+    EXPECT_DOUBLE_EQ(service.ledger().Spent({Layer::kLower, 2}), 3.0);
+  }
+}
+
+TEST(QueryServiceTest, RejectedQueryIsAdmittedAfterLedgerTopUp) {
+  // A rejected query is not lost forever: raising the lifetime budget
+  // (the operator weakening the whole-lifetime guarantee) lets the same
+  // query be resubmitted and admitted, with charges picking up where the
+  // ledger left off.
+  const BipartiteGraph g = TestGraph();
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kMultiRSS;
+  options.epsilon = 2.0;
+  options.seed = 5;
+  QueryService service(g, options);
+
+  const ServiceReport first = service.Submit({{Layer::kLower, 0, 1},
+                                              {Layer::kLower, 0, 2},
+                                              {Layer::kLower, 0, 3}});
+  ASSERT_TRUE(first.answers[2].rejected);  // vertex 0 exhausted at 2.0
+  EXPECT_DOUBLE_EQ(service.ledger().Spent({Layer::kLower, 0}), 2.0);
+
+  service.RaiseLifetimeBudget(4.0);
+  const ServiceReport second = service.Submit({{Layer::kLower, 0, 3}});
+  EXPECT_FALSE(second.answers[0].rejected);
+  EXPECT_EQ(second.rejected, 0u);
+  // The resubmission charged RR(3) = 1 and Laplace(0) = 1 on top.
+  EXPECT_DOUBLE_EQ(service.ledger().Spent({Layer::kLower, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(service.ledger().Spent({Layer::kLower, 3}), 1.0);
+}
+
 TEST(QueryServiceTest, RaisedLifetimeBudgetAdmitsMoreQueries) {
   const BipartiteGraph g = TestGraph();
   ServiceOptions options;
