@@ -51,6 +51,12 @@ struct DatasetResult {
   uint64_t groups_formed = 0;
   double avg_group_size = 0.0;
   double planner_seconds = 0.0;
+  // Persistence accounting (ServiceReport): zero here — the bench runs
+  // ephemeral services — but kept in the JSON so the schema matches
+  // cne_serve and persistent deployments can diff against it.
+  double snapshot_load_seconds = 0.0;
+  uint64_t wal_replay_records = 0;
+  double checkpoint_seconds = 0.0;
   bool answers_identical = true;
   std::vector<ThreadResult> runs;
 };
@@ -67,6 +73,10 @@ void AppendJson(std::ostringstream& out, const DatasetResult& r) {
       << "      \"groups_formed\": " << r.groups_formed << ",\n"
       << "      \"avg_group_size\": " << r.avg_group_size << ",\n"
       << "      \"planner_seconds\": " << r.planner_seconds << ",\n"
+      << "      \"snapshot_load_seconds\": " << r.snapshot_load_seconds
+      << ",\n"
+      << "      \"wal_replay_records\": " << r.wal_replay_records << ",\n"
+      << "      \"checkpoint_seconds\": " << r.checkpoint_seconds << ",\n"
       << "      \"answers_identical_across_threads\": "
       << (r.answers_identical ? "true" : "false") << ",\n"
       << "      \"runs\": [";
@@ -186,6 +196,9 @@ int main(int argc, char** argv) {
         result.groups_formed = report.groups_formed;
         result.avg_group_size = report.avg_group_size;
         result.planner_seconds = report.planner_seconds;
+        result.snapshot_load_seconds = report.snapshot_load_seconds;
+        result.wal_replay_records = report.wal_replay_records;
+        result.checkpoint_seconds = report.checkpoint_seconds;
       } else {
         for (size_t i = 0; i < reference.size(); ++i) {
           if (reference[i].estimate != report.answers[i].estimate ||

@@ -2,8 +2,27 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
+
+#include "util/logging.h"
 
 namespace cne {
+
+DenseBitset DenseBitset::FromWords(std::vector<uint64_t> words,
+                                   VertexId num_bits) {
+  CNE_CHECK(words.size() == (static_cast<size_t>(num_bits) + 63) / 64)
+      << "word count " << words.size() << " does not match " << num_bits
+      << " bits";
+  if (num_bits % 64 != 0 && !words.empty()) {
+    const uint64_t tail_mask = (uint64_t{1} << (num_bits % 64)) - 1;
+    CNE_CHECK((words.back() & ~tail_mask) == 0)
+        << "bits set beyond the domain in the trailing word";
+  }
+  DenseBitset bits;
+  bits.words_ = std::move(words);
+  bits.num_bits_ = num_bits;
+  return bits;
+}
 
 uint64_t DenseBitset::Count() const {
   uint64_t count = 0;

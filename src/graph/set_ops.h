@@ -44,6 +44,13 @@ class DenseBitset {
       : words_((static_cast<size_t>(num_bits) + 63) / 64, 0),
         num_bits_(num_bits) {}
 
+  /// Rebuilds a bitset from its packed words — the snapshot-restore path
+  /// for bitmap-mode noisy views. `words` must be exactly
+  /// (num_bits + 63) / 64 long with every bit at or beyond num_bits zero
+  /// (fatal check otherwise: trailing garbage would corrupt popcounts).
+  static DenseBitset FromWords(std::vector<uint64_t> words,
+                               VertexId num_bits);
+
   VertexId NumBits() const { return num_bits_; }
 
   void Set(VertexId i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }

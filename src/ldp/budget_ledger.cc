@@ -74,6 +74,44 @@ double BudgetLedger::MinRemaining() const {
   return lifetime_budget_ - max_spent;
 }
 
+void BudgetLedger::Serialize(ByteWriter& out) const {
+  const std::vector<VertexBudget> entries = Snapshot();
+  out.F64(lifetime_budget_);
+  out.U64(entries.size());
+  for (const VertexBudget& entry : entries) {
+    out.U64(PackLayeredVertex(entry.vertex));
+    out.F64(entry.spent);
+  }
+}
+
+void BudgetLedger::Deserialize(ByteReader& in) {
+  CNE_CHECK(NumChargedVertices() == 0)
+      << "ledger restore requires a fresh ledger";
+  const double budget = in.F64();
+  CNE_CHECK(budget >= lifetime_budget_)
+      << "serialized lifetime budget " << budget
+      << " is below the constructed budget " << lifetime_budget_;
+  lifetime_budget_ = budget;
+  const uint64_t count = in.U64();
+  for (uint64_t i = 0; i < count; ++i) {
+    const LayeredVertex vertex = UnpackLayeredVertex(in.U64());
+    Replay(vertex, in.F64());
+  }
+}
+
+void BudgetLedger::Replay(LayeredVertex vertex, double epsilon) {
+  CNE_CHECK(epsilon > 0.0) << "replayed charges must be positive";
+  const uint64_t key = PackLayeredVertex(vertex);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  double& spent = shard.spent[key];
+  spent += epsilon;
+  CNE_CHECK(spent <= lifetime_budget_ + kTolerance)
+      << "replayed charge overdraws " << LayerName(vertex.layer)
+      << " vertex " << vertex.id << ": " << spent << " of "
+      << lifetime_budget_ << " — corrupt recovery input";
+}
+
 std::vector<VertexBudget> BudgetLedger::Snapshot() const {
   std::vector<VertexBudget> entries;
   for (const Shard& shard : shards_) {

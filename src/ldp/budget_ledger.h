@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "util/binary_io.h"
 
 namespace cne {
 
@@ -79,6 +80,32 @@ class BudgetLedger {
   /// Every charged vertex with its spent/remaining budget, sorted by
   /// (layer, id) so reports are deterministic.
   std::vector<VertexBudget> Snapshot() const;
+
+  // ---- persistence hooks (store/snapshot_format + store/budget_wal) ----
+  //
+  // The ledger is the service's lifetime privacy accounting: losing it on
+  // a crash means either refusing all future traffic or double-spending
+  // budget that was already released. Serialize/Deserialize move the full
+  // table through a snapshot section; Replay applies one recorded charge
+  // during write-ahead-log recovery. None of these may race with
+  // concurrent charges — persistence runs between submissions.
+
+  /// Writes the current lifetime budget and the full per-vertex spend
+  /// table to `out`, rows sorted by (layer, id) so equal ledgers always
+  /// serialize to equal bytes.
+  void Serialize(ByteWriter& out) const;
+
+  /// Restores a table written by Serialize into this ledger. The ledger
+  /// must be freshly constructed (no recorded charges); the serialized
+  /// lifetime budget must be at least the constructed one — it may be
+  /// higher when RaiseLifetimeBudget top-ups preceded the snapshot.
+  void Deserialize(ByteReader& in);
+
+  /// Re-applies one recorded charge unconditionally — recovery replays
+  /// decisions that already passed admission, so a charge that no longer
+  /// fits the lifetime budget means corrupt or mismatched recovery input
+  /// and is a fatal check, not a rejection.
+  void Replay(LayeredVertex vertex, double epsilon);
 
  private:
   static constexpr size_t kNumShards = 64;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "store/snapshot_format.h"
 #include "util/logging.h"
 
 namespace cne {
@@ -136,6 +137,116 @@ NoisyViewStore::Stats NoisyViewStore::stats() const {
   stats.rejections = rejections_.load(std::memory_order_relaxed);
   stats.uploaded_edges = uploaded_edges_.load(std::memory_order_relaxed);
   return stats;
+}
+
+void NoisyViewStore::Save(ByteWriter& out) const {
+  ViewsSection views;
+  views.epsilon = epsilon_;
+  views.lookups = lookups_.load(std::memory_order_relaxed);
+  views.releases = releases_.load(std::memory_order_relaxed);
+  views.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  views.rejections = rejections_.load(std::memory_order_relaxed);
+  views.uploaded_edges = uploaded_edges_.load(std::memory_order_relaxed);
+  for (Layer layer : {Layer::kUpper, Layer::kLower}) {
+    const LayerTable& table = Table(layer);
+    for (VertexId id = 0; id < table.state.size(); ++id) {
+      const uint8_t state =
+          table.state[id].load(std::memory_order_acquire);
+      if (state == kUntouched) continue;
+      ViewRecord record;
+      record.packed_vertex = PackLayeredVertex({layer, id});
+      record.state = state == kMaterialized
+                         ? ViewRecord::kStateMaterialized
+                         : ViewRecord::kStateAuthorizedPending;
+      if (state == kMaterialized) {
+        const NoisyNeighborSet* view =
+            table.view[id].load(std::memory_order_acquire);
+        CNE_CHECK(view != nullptr) << "materialized state without a view";
+        record.rng_stream = record.packed_vertex;
+        record.epsilon = epsilon_;
+        record.flip_probability = view->flip_probability();
+        record.domain = view->DomainSize();
+        record.bitmap = view->IsBitmap();
+        record.size = view->Size();
+        if (view->IsBitmap()) {
+          const auto words = view->View().bitmap().Words();
+          record.words.assign(words.begin(), words.end());
+        } else {
+          record.members = view->SortedMembers();
+        }
+      }
+      views.entries.push_back(std::move(record));
+    }
+  }
+  WriteViewsSection(views, out);
+}
+
+void NoisyViewStore::Restore(ByteReader& in) {
+  CNE_CHECK(lookups_.load(std::memory_order_relaxed) == 0 &&
+            releases_.load(std::memory_order_relaxed) == 0)
+      << "view restore requires a fresh store";
+  ViewsSection views = ReadViewsSection(in);
+  CNE_CHECK(views.epsilon == epsilon_)
+      << "snapshot views were released at epsilon " << views.epsilon
+      << ", store expects " << epsilon_;
+  for (ViewRecord& record : views.entries) {
+    const LayeredVertex vertex = UnpackLayeredVertex(record.packed_vertex);
+    LayerTable& table = Table(vertex.layer);
+    CNE_CHECK(vertex.id < table.state.size())
+        << "snapshot vertex out of range for this graph";
+    CNE_CHECK(table.state[vertex.id].load(std::memory_order_relaxed) ==
+              kUntouched)
+        << "duplicate snapshot entry for " << LayerName(vertex.layer)
+        << " vertex " << vertex.id;
+    if (record.state == ViewRecord::kStateAuthorizedPending) {
+      pending_.push_back(vertex);
+      table.state[vertex.id].store(kAuthorizedPending,
+                                   std::memory_order_release);
+      continue;
+    }
+    CNE_CHECK(record.rng_stream == record.packed_vertex)
+        << "view stream id does not match its vertex";
+    CNE_CHECK(record.domain ==
+              graph_.NumVertices(Opposite(vertex.layer)))
+        << "view domain does not match this graph";
+    auto view = std::make_unique<NoisyNeighborSet>(
+        record.bitmap
+            ? NoisyNeighborSet(
+                  DenseBitset::FromWords(std::move(record.words),
+                                         record.domain),
+                  record.flip_probability)
+            : NoisyNeighborSet::FromSortedUnique(std::move(record.members),
+                                                 record.domain,
+                                                 record.flip_probability));
+    CNE_CHECK(view->Size() == record.size)
+        << "restored view size disagrees with its record";
+    table.view[vertex.id].store(view.release(), std::memory_order_release);
+    table.state[vertex.id].store(kMaterialized, std::memory_order_release);
+  }
+  // Counters come from the snapshot, not from the installs above: restore
+  // is not a release, so nothing may be re-counted as uploaded.
+  lookups_.store(views.lookups, std::memory_order_relaxed);
+  releases_.store(views.releases, std::memory_order_relaxed);
+  cache_hits_.store(views.cache_hits, std::memory_order_relaxed);
+  rejections_.store(views.rejections, std::memory_order_relaxed);
+  uploaded_edges_.store(views.uploaded_edges, std::memory_order_relaxed);
+}
+
+void NoisyViewStore::RestoreAuthorized(LayeredVertex vertex) {
+  LayerTable& table = Table(vertex.layer);
+  CNE_CHECK(vertex.id < table.state.size())
+      << "WAL vertex out of range for this graph";
+  CNE_CHECK(table.state[vertex.id].load(std::memory_order_relaxed) ==
+            kUntouched)
+      << "WAL re-authorizes " << LayerName(vertex.layer) << " vertex "
+      << vertex.id << " — corrupt recovery input";
+  // Mirror what the original Authorize counted, so cumulative stats keep
+  // their meaning across restarts.
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  pending_.push_back(vertex);
+  table.state[vertex.id].store(kAuthorizedPending,
+                               std::memory_order_release);
 }
 
 std::unique_ptr<NoisyNeighborSet> NoisyViewStore::Generate(

@@ -40,6 +40,7 @@
 #include "ldp/budget_ledger.h"
 #include "ldp/comm_model.h"
 #include "ldp/randomized_response.h"
+#include "util/binary_io.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -115,7 +116,11 @@ class NoisyViewStore {
 
   /// Returns the view of `vertex`, authorizing and materializing it on
   /// first access; nullptr if the ledger rejects the release. The pointer
-  /// stays valid for the store's lifetime.
+  /// stays valid for the store's lifetime. Standalone-store use only: the
+  /// lazy first-touch charge is NOT write-ahead journaled, so a service
+  /// with persistence must admit through Authorize (which the query
+  /// service journals) and read through View — a Get-first-touch on a
+  /// persistent service would spend budget that recovery forgets.
   const NoisyNeighborSet* Get(LayeredVertex vertex);
 
   /// Returns the already-materialized view of `vertex`; fatal check if it
@@ -126,6 +131,34 @@ class NoisyViewStore {
   double epsilon() const { return epsilon_; }
 
   Stats stats() const;
+
+  // ---- persistence hooks (store/snapshot_format.h) ----
+  //
+  // A vertex's view is *public the moment it is released*: regenerating
+  // it with fresh randomness after a restart would be a second release —
+  // a privacy violation the ledger can no longer see. Save/Restore move
+  // every touched vertex through a snapshot's views section in its native
+  // sorted-or-bitmap representation, together with its ε and the RNG
+  // stream it was drawn from, so a restored store serves byte-identical
+  // views without drawing a single new bit. Neither may race with
+  // concurrent store access — persistence runs between submissions.
+
+  /// Writes a views section: the store's ε, its cumulative stats, and
+  /// every authorized or materialized vertex in (layer, id) order.
+  void Save(ByteWriter& out) const;
+
+  /// Restores a Save()d views section into this store, which must be
+  /// freshly constructed over the same graph with the same ε. Installs
+  /// materialized views verbatim (no RNG draws, no ledger charges — the
+  /// ledger is restored separately) and re-queues authorized-but-unbuilt
+  /// vertices for materialization.
+  void Restore(ByteReader& in);
+
+  /// Marks `vertex` authorized without charging the ledger — the WAL
+  /// replay path, where the ε charge replays as its own record. The view
+  /// itself needs no payload: it regenerates byte-identically from the
+  /// vertex's substream on the next materialization pass.
+  void RestoreAuthorized(LayeredVertex vertex);
 
  private:
   /// Per-vertex lifecycle, stored release-ordered so a reader seeing

@@ -1,8 +1,15 @@
 #include "service/query_service.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <array>
+#include <filesystem>
+#include <stdexcept>
 
 #include "service/workload_planner.h"
+#include "store/budget_wal.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -18,7 +25,37 @@ constexpr double kBudgetTolerance = 1e-9;
 // construction, so it takes the per-query path unchanged.
 constexpr size_t kMinQueriesToPlan = 2;
 
+WalRecord MakeCharge(LayeredVertex vertex, double epsilon) {
+  WalRecord record;
+  record.type = WalRecordType::kCharge;
+  record.vertex = PackLayeredVertex(vertex);
+  record.value = epsilon;
+  return record;
+}
+
+WalRecord MakeAuthorized(LayeredVertex vertex) {
+  WalRecord record;
+  record.type = WalRecordType::kViewAuthorized;
+  record.vertex = PackLayeredVertex(vertex);
+  return record;
+}
+
 }  // namespace
+
+/// Snapshot-directory paths plus the open WAL append handle and the
+/// directory's exclusive lock (held for the service lifetime).
+struct QueryService::Persistence {
+  std::string snapshot_path;
+  std::string wal_path;
+  uint64_t epoch = 0;  ///< of the snapshot the current WAL extends
+  int lock_fd = -1;    ///< flock on <dir>/lock; -1 until acquired
+  std::unique_ptr<BudgetWal> wal;
+  double last_checkpoint_seconds = 0.0;
+
+  ~Persistence() {
+    if (lock_fd >= 0) ::close(lock_fd);  // releases the flock
+  }
+};
 
 QueryService::QueryService(const BipartiteGraph& graph,
                            ServiceOptions options)
@@ -38,13 +75,197 @@ QueryService::QueryService(const BipartiteGraph& graph,
   CNE_CHECK(options.epsilon1_fraction > 0.0 &&
             options.epsilon1_fraction < 1.0)
       << "epsilon1 fraction must lie in (0, 1)";
+  if (!options_.snapshot_dir.empty()) OpenPersistent();
+}
+
+QueryService::~QueryService() = default;
+
+SnapshotConfig QueryService::CurrentConfig() const {
+  SnapshotConfig config;
+  config.protocol_kind = static_cast<uint32_t>(options_.algorithm);
+  config.epsilon = options_.epsilon;
+  config.epsilon1_fraction = options_.epsilon1_fraction;
+  config.alpha = plan_.alpha;
+  config.seed = options_.seed;
+  config.initial_lifetime_budget = options_.lifetime_budget > 0.0
+                                       ? options_.lifetime_budget
+                                       : options_.epsilon;
+  config.current_lifetime_budget = ledger_.lifetime_budget();
+  config.next_noise_stream = next_noise_stream_;
+  config.num_upper = graph_.NumUpper();
+  config.num_lower = graph_.NumLower();
+  config.num_edges = graph_.NumEdges();
+  return config;
+}
+
+void QueryService::OpenPersistent() {
+  persist_ = std::make_unique<Persistence>();
+  std::filesystem::create_directories(options_.snapshot_dir);
+  const std::filesystem::path dir(options_.snapshot_dir);
+  persist_->snapshot_path = (dir / kSnapshotFileName).string();
+  persist_->wal_path = (dir / kWalFileName).string();
+
+  // One service per snapshot directory, enforced with an flock on a
+  // dedicated lock file (not on the WAL itself — checkpoints replace the
+  // WAL inode, which would silently invalidate a lock held on it). Two
+  // services interleaving one journal would sum their charges on replay:
+  // exactly the accounting corruption this subsystem exists to prevent.
+  const std::string lock_path = (dir / "lock").string();
+  persist_->lock_fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (persist_->lock_fd < 0) {
+    throw std::runtime_error("cannot open " + lock_path);
+  }
+  if (::flock(persist_->lock_fd, LOCK_EX | LOCK_NB) != 0) {
+    throw std::runtime_error(options_.snapshot_dir +
+                             ": another service holds this snapshot "
+                             "directory");
+  }
+
+  Timer timer;
+  if (FileExists(persist_->snapshot_path)) {
+    const SnapshotReader reader(persist_->snapshot_path);
+    ByteReader config_section = reader.Section(SectionId::kConfig);
+    const SnapshotConfig saved = ReadConfigSection(config_section);
+    const SnapshotConfig expected = CurrentConfig();
+    // Restoring under different options would silently re-randomize
+    // every view (different seed / ε) or mis-account budget; refuse.
+    if (saved.protocol_kind != expected.protocol_kind ||
+        saved.epsilon != expected.epsilon ||
+        saved.epsilon1_fraction != expected.epsilon1_fraction ||
+        saved.alpha != expected.alpha || saved.seed != expected.seed ||
+        saved.initial_lifetime_budget != expected.initial_lifetime_budget) {
+      throw std::runtime_error(persist_->snapshot_path +
+                               ": snapshot was produced under different "
+                               "service options");
+    }
+    if (saved.num_upper != expected.num_upper ||
+        saved.num_lower != expected.num_lower ||
+        saved.num_edges != expected.num_edges) {
+      throw std::runtime_error(persist_->snapshot_path +
+                               ": snapshot was produced over a different "
+                               "graph");
+    }
+    ByteReader views_section = reader.Section(SectionId::kViews);
+    store_.Restore(views_section);
+    ByteReader ledger_section = reader.Section(SectionId::kLedger);
+    ledger_.Deserialize(ledger_section);
+    next_noise_stream_ = saved.next_noise_stream;
+    persist_->epoch = reader.epoch();
+    recovery_.snapshot_loaded = true;
+  }
+
+  if (FileExists(persist_->wal_path)) {
+    const WalReplay replay = BudgetWal::Read(persist_->wal_path);
+    if (replay.epoch == persist_->epoch) {
+      for (size_t i = 0; i < replay.committed; ++i) {
+        const WalRecord& record = replay.records[i];
+        switch (record.type) {
+          case WalRecordType::kCharge:
+            ledger_.Replay(UnpackLayeredVertex(record.vertex),
+                           record.value);
+            break;
+          case WalRecordType::kViewAuthorized:
+            store_.RestoreAuthorized(UnpackLayeredVertex(record.vertex));
+            break;
+          case WalRecordType::kRaiseBudget:
+            ledger_.RaiseLifetimeBudget(record.value);
+            break;
+          case WalRecordType::kSubmitSealed:
+            next_noise_stream_ = record.counter;
+            break;
+        }
+      }
+      recovery_.wal_replay_records = replay.committed;
+      recovery_.wal_discarded_records =
+          replay.records.size() - replay.committed;
+      recovery_.wal_torn_tail = replay.torn_tail;
+      recovery_.wal_dropped_bytes = replay.dropped_bytes;
+      // Compact: drop the torn tail and uncommitted records for good, so
+      // appends continue after a clean prefix.
+      if (replay.torn_tail || recovery_.wal_discarded_records > 0) {
+        BudgetWal::Rewrite(
+            persist_->wal_path, persist_->epoch,
+            std::span<const WalRecord>(replay.records.data(),
+                                       replay.committed));
+      }
+    } else if (replay.epoch < persist_->epoch) {
+      // A crash between snapshot rename and WAL reset: everything in this
+      // log is already inside the snapshot. Start the new epoch cleanly.
+      BudgetWal::Reset(persist_->wal_path, persist_->epoch);
+    } else {
+      throw std::runtime_error(persist_->wal_path +
+                               ": WAL epoch is ahead of the snapshot — "
+                               "the snapshot file was lost or replaced");
+    }
+  } else if (recovery_.snapshot_loaded) {
+    // A snapshot without its journal means the WAL was lost externally:
+    // every committed post-checkpoint charge would be forgotten and the
+    // noise-stream counter would roll back onto already-released Laplace
+    // draws. Refuse, like the symmetric snapshot-lost case.
+    throw std::runtime_error(persist_->wal_path +
+                             ": WAL is missing next to the snapshot — "
+                             "post-checkpoint budget charges were lost");
+  } else {
+    BudgetWal::Reset(persist_->wal_path, persist_->epoch);
+  }
+  recovery_.snapshot_load_seconds = timer.Seconds();
+  persist_->wal = std::make_unique<BudgetWal>(persist_->wal_path);
+}
+
+double QueryService::Checkpoint() {
+  CNE_CHECK(persistent())
+      << "Checkpoint() requires ServiceOptions::snapshot_dir";
+  Timer timer;
+  const uint64_t next_epoch = persist_->epoch + 1;
+  SnapshotWriter writer(next_epoch);
+  WriteConfigSection(CurrentConfig(),
+                     writer.BeginSection(SectionId::kConfig));
+  writer.EndSection();
+  WriteGraphSection(graph_, writer.BeginSection(SectionId::kGraph));
+  writer.EndSection();
+  store_.Save(writer.BeginSection(SectionId::kViews));
+  writer.EndSection();
+  ledger_.Serialize(writer.BeginSection(SectionId::kLedger));
+  writer.EndSection();
+  writer.Commit(persist_->snapshot_path);
+  // The committed snapshot owns everything the old-epoch WAL recorded;
+  // reset the log under the new epoch. A crash between the two steps
+  // leaves a stale-epoch WAL that recovery recognizes and discards.
+  try {
+    BudgetWal::Reset(persist_->wal_path, next_epoch);
+    persist_->wal = std::make_unique<BudgetWal>(persist_->wal_path);
+  } catch (...) {
+    // The snapshot committed but the journal could not restart. Keeping
+    // the old handle would append records recovery discards as stale
+    // (silent budget loss), so disable journaling and make the next
+    // journaled operation fail loudly instead.
+    persist_->wal.reset();
+    throw;
+  }
+  persist_->epoch = next_epoch;
+  persist_->last_checkpoint_seconds = timer.Seconds();
+  return persist_->last_checkpoint_seconds;
 }
 
 void QueryService::RaiseLifetimeBudget(double new_budget) {
+  CNE_CHECK(!persist_ || persist_->wal != nullptr)
+      << "persistence was broken by a failed checkpoint; restart the "
+         "service before raising the budget";
   ledger_.RaiseLifetimeBudget(new_budget);
+  if (persist_) {
+    // Durable before acknowledged: the raise is a commit barrier.
+    WalRecord record;
+    record.type = WalRecordType::kRaiseBudget;
+    record.value = new_budget;
+    persist_->wal->Append(record);
+    persist_->wal->Sync();
+  }
 }
 
 ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
+  CNE_CHECK(!persist_ || persist_->wal != nullptr)
+      << "persistence was broken by a failed checkpoint; restart the "
+         "service before accepting more queries";
   Timer timer;
   ServiceReport report;
   report.answers.resize(queries.size());
@@ -65,6 +286,18 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
     plan[i].admitted = Admit(query);
   }
   store_.RecordCacheHits(cache_hit_lookups_);
+
+  // Write-ahead barrier: seal the admission batch and fsync ONCE before
+  // any noise is sampled or any answer computed. After this line a crash
+  // replays to exactly this state; before it, recovery drops the whole
+  // unsealed batch — which the outside world never saw answers from.
+  if (persist_) {
+    WalRecord seal;
+    seal.type = WalRecordType::kSubmitSealed;
+    seal.counter = next_noise_stream_;
+    persist_->wal->Append(seal);
+    persist_->wal->Sync();
+  }
 
   // Phase 2 — materialize the newly authorized noisy views in parallel;
   // each view comes from its vertex's own substream.
@@ -102,6 +335,11 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   report.budget_vertices_charged = ledger_.NumChargedVertices();
   report.budget_total_spent = ledger_.TotalSpent();
   report.budget_min_remaining = ledger_.MinRemaining();
+  report.snapshot_load_seconds = recovery_.snapshot_load_seconds;
+  report.wal_replay_records = recovery_.wal_replay_records;
+  if (persist_) {
+    report.checkpoint_seconds = persist_->last_checkpoint_seconds;
+  }
   return report;
 }
 
@@ -185,21 +423,33 @@ bool QueryService::Admit(const QueryPair& query) {
     }
   }
 
+  // Commit, journaling every decision (buffered; the submit-level seal
+  // fsyncs them before anything acts on the admission).
   if (rr_u_needed) {
     CNE_CHECK(store_.Authorize(u) == NoisyViewStore::Admission::kAuthorized);
+    if (persist_) {
+      persist_->wal->Append(MakeAuthorized(u));
+      persist_->wal->Append(MakeCharge(u, plan_.epsilon1));
+    }
   } else if (rr_u) {
     ++cache_hit_lookups_;  // recorded in bulk after the admission pass
   }
   if (rr_w_needed) {
     CNE_CHECK(store_.Authorize(w) == NoisyViewStore::Admission::kAuthorized);
+    if (persist_) {
+      persist_->wal->Append(MakeAuthorized(w));
+      persist_->wal->Append(MakeCharge(w, plan_.epsilon1));
+    }
   } else if (rr_w && !(same && rr_u)) {
     ++cache_hit_lookups_;  // Contains(w) held above: a pure cache hit
   }
   if (lap_u) {
     CNE_CHECK(ledger_.TryCharge(u, plan_.epsilon2));
+    if (persist_) persist_->wal->Append(MakeCharge(u, plan_.epsilon2));
   }
   if (lap_w) {
     CNE_CHECK(ledger_.TryCharge(w, plan_.epsilon2));
+    if (persist_) persist_->wal->Append(MakeCharge(w, plan_.epsilon2));
   }
   return true;
 }

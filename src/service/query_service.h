@@ -42,6 +42,7 @@
 #include "ldp/budget_ledger.h"
 #include "service/noisy_view_store.h"
 #include "service/workload_planner.h"
+#include "store/snapshot_format.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -85,6 +86,29 @@ struct ServiceOptions {
   /// state (service/workload_planner.h). Answers are byte-identical to the
   /// per-query path; disable only to measure the planner's benefit.
   bool enable_planner = true;
+
+  /// Directory for crash-safe persistence (snapshot + budget write-ahead
+  /// log, store/). Empty disables persistence. When set, the service
+  /// recovers any existing state at construction (snapshot load + WAL
+  /// replay — throws std::runtime_error if the on-disk state was produced
+  /// under different options or a different graph), journals every budget
+  /// charge and view authorization ahead of acting on it, and persists
+  /// full state on Checkpoint(). A killed service reconstructed over the
+  /// same directory restarts byte-identical: same answers, same residual
+  /// budgets, zero re-randomized views.
+  std::string snapshot_dir;
+};
+
+/// What recovery found when a persistent service opened its directory.
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  double snapshot_load_seconds = 0.0;  ///< snapshot read + WAL replay
+  uint64_t wal_replay_records = 0;     ///< committed records re-applied
+  /// Complete records after the last commit barrier — an admission batch
+  /// whose fsync never finished; the service never acted on them.
+  uint64_t wal_discarded_records = 0;
+  bool wal_torn_tail = false;          ///< file ended in a torn record
+  uint64_t wal_dropped_bytes = 0;      ///< torn bytes discarded
 };
 
 /// One answered (or rejected) query.
@@ -117,6 +141,11 @@ struct ServiceReport {
   double budget_total_spent = 0.0;
   double budget_min_remaining = 0.0;
 
+  // Persistence accounting (all zero when persistence is disabled).
+  double snapshot_load_seconds = 0.0;  ///< recovery cost at service open
+  uint64_t wal_replay_records = 0;     ///< WAL records replayed at open
+  double checkpoint_seconds = 0.0;     ///< duration of the last Checkpoint()
+
   /// Answered queries per second. Rejections are excluded — they take
   /// only the admission fast path, so counting them would inflate
   /// throughput for budget-constrained workloads.
@@ -131,8 +160,13 @@ struct ServiceReport {
 /// supporting reentrant Submits.
 class QueryService {
  public:
-  /// The graph must outlive the service.
+  /// The graph must outlive the service. With options.snapshot_dir set,
+  /// opens (and if state exists, recovers) the persistent service there;
+  /// throws std::runtime_error when the on-disk state does not match the
+  /// options or the graph.
   QueryService(const BipartiteGraph& graph, ServiceOptions options);
+
+  ~QueryService();
 
   /// Answers `queries` (any mix of layers) and returns answers in input
   /// order. Deterministic: depends only on the graph, options, and the
@@ -146,11 +180,26 @@ class QueryService {
   /// concurrent Submit.
   void RaiseLifetimeBudget(double new_budget);
 
+  /// Writes a crash-consistent snapshot of the full service state (graph,
+  /// views, ledger, substream counter) to the snapshot directory with
+  /// atomic rename-on-commit, then starts a fresh WAL epoch. Requires
+  /// persistence; must not race with a concurrent Submit. Returns the
+  /// checkpoint duration in seconds.
+  double Checkpoint();
+
+  /// True when the service journals to a snapshot directory.
+  bool persistent() const { return persist_ != nullptr; }
+
+  /// Recovery accounting from construction (all zero when persistence is
+  /// disabled or the directory was empty).
+  const RecoveryStats& recovery() const { return recovery_; }
+
   const ServiceOptions& options() const { return options_; }
   const BudgetLedger& ledger() const { return ledger_; }
   const NoisyViewStore& store() const { return store_; }
 
  private:
+  struct Persistence;  // snapshot paths + WAL handle (query_service.cc)
   struct PlannedQuery {
     QueryPair query;
     bool admitted = false;
@@ -158,8 +207,17 @@ class QueryService {
   };
 
   /// Sequential, deterministic admission of one query: checks that every
-  /// charge fits, then commits them all (or none).
+  /// charge fits, then commits them all (or none). Committed charges and
+  /// view authorizations are journaled ahead of the release phase when
+  /// persistence is on.
   bool Admit(const QueryPair& query);
+
+  /// Opens the snapshot directory: recovers snapshot + WAL state when
+  /// present, then leaves a WAL handle ready for appending.
+  void OpenPersistent();
+
+  /// The service configuration as a snapshot config section.
+  SnapshotConfig CurrentConfig() const;
 
   /// Post-processing / release phase for one admitted query — the
   /// per-query driver over the shared pipeline's PostProcess.
@@ -182,6 +240,9 @@ class QueryService {
   ThreadPool pool_;
   WorkloadPlanner planner_;
   uint64_t next_noise_stream_ = 0;
+
+  std::unique_ptr<Persistence> persist_;  ///< null without snapshot_dir
+  RecoveryStats recovery_;
 
   // Submit-level scratch, reused across submissions (Submit is not
   // reentrant by contract).

@@ -1,0 +1,123 @@
+#include "util/binary_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace cne {
+
+void ByteWriter::F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+void ByteWriter::Bytes(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + len);
+}
+
+double ByteReader::F64() { return std::bit_cast<double>(U64()); }
+
+void ByteReader::Bytes(void* out, size_t len) {
+  Need(len);
+  std::memcpy(out, bytes_.data() + pos_, len);
+  pos_ += len;
+}
+
+std::span<const uint8_t> ByteReader::Borrow(size_t len) {
+  Need(len);
+  std::span<const uint8_t> view = bytes_.subspan(pos_, len);
+  pos_ += len;
+  return view;
+}
+
+void ByteReader::Need(size_t len) const {
+  if (len > bytes_.size() - pos_) {
+    throw std::runtime_error("truncated binary payload: need " +
+                             std::to_string(len) + " bytes, have " +
+                             std::to_string(bytes_.size() - pos_));
+  }
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    throw std::runtime_error("cannot read " + path);
+  }
+  return bytes;
+}
+
+namespace {
+
+void ThrowErrno(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+// fsync the directory holding `path` so the rename itself is durable.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir opens
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void WriteFileAtomic(const std::string& path,
+                     std::span<const uint8_t> bytes) {
+  const std::span<const uint8_t> parts[] = {bytes};
+  WriteFileAtomic(path, parts);
+}
+
+void WriteFileAtomic(const std::string& path,
+                     std::span<const std::span<const uint8_t>> parts) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) ThrowErrno("cannot create", tmp);
+  for (const std::span<const uint8_t> bytes : parts) {
+    size_t written = 0;
+    while (written < bytes.size()) {
+      const ssize_t n =
+          ::write(fd, bytes.data() + written, bytes.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        ThrowErrno("cannot write", tmp);
+      }
+      written += static_cast<size_t>(n);
+    }
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    ThrowErrno("cannot fsync", tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    ThrowErrno("cannot rename into", path);
+  }
+  SyncParentDir(path);
+}
+
+}  // namespace cne

@@ -1,0 +1,124 @@
+// Buffered little-endian binary encoding and crash-safe file helpers.
+//
+// The byte-level substrate of the persistence subsystem (store/): every
+// snapshot section and WAL record is built in memory with a `ByteWriter`,
+// decoded with a bounds-checked `ByteReader`, and reaches disk through
+// `WriteFileAtomic` — write to a temp file, fsync, rename over the target,
+// fsync the directory — so a reader never observes a half-written file.
+//
+// Encoding is explicit little-endian byte shifts, not memcpy of host
+// structs: snapshots must be readable across compilers and architectures,
+// and the explicit form costs nothing on the write-once paths it serves.
+
+#ifndef CNE_UTIL_BINARY_IO_H_
+#define CNE_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cne {
+
+/// Append-only little-endian encoder over a growable byte buffer.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+
+  void U32(uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      bytes_.push_back(static_cast<uint8_t>(v >> shift));
+    }
+  }
+
+  void U64(uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      bytes_.push_back(static_cast<uint8_t>(v >> shift));
+    }
+  }
+
+  /// IEEE-754 double, bit-exact through its 64-bit pattern.
+  void F64(double v);
+
+  void Bytes(const void* data, size_t len);
+
+  size_t size() const { return bytes_.size(); }
+  std::span<const uint8_t> data() const { return bytes_; }
+
+  /// Moves the buffer out, leaving the writer empty and reusable.
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte span. Every
+/// read past the end throws std::runtime_error — corrupted or truncated
+/// persistence files surface as exceptions, never as garbage values.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  uint8_t U8() {
+    Need(1);
+    return bytes_[pos_++];
+  }
+
+  uint32_t U32() {
+    Need(4);
+    uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      v |= static_cast<uint32_t>(bytes_[pos_++]) << shift;
+    }
+    return v;
+  }
+
+  uint64_t U64() {
+    Need(8);
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      v |= static_cast<uint64_t>(bytes_[pos_++]) << shift;
+    }
+    return v;
+  }
+
+  double F64();
+
+  void Bytes(void* out, size_t len);
+
+  /// Borrows the next `len` bytes without copying and advances past them.
+  std::span<const uint8_t> Borrow(size_t len);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  size_t consumed() const { return pos_; }
+
+ private:
+  void Need(size_t len) const;
+
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+/// True when `path` names an existing regular file.
+bool FileExists(const std::string& path);
+
+/// Reads a whole file into memory. Throws std::runtime_error when the
+/// file cannot be opened or read.
+std::vector<uint8_t> ReadFileBytes(const std::string& path);
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename over the target, fsync the directory. Readers see either
+/// the old complete file or the new complete file, never a mix — the
+/// commit primitive behind snapshot rename-on-commit and WAL resets.
+/// Throws std::runtime_error on any IO failure.
+void WriteFileAtomic(const std::string& path, std::span<const uint8_t> bytes);
+
+/// Multi-part variant: writes the concatenation of `parts` without ever
+/// materializing it in one buffer, so committing a section-structured
+/// file (header + payloads) peaks at one copy of the data, not two.
+void WriteFileAtomic(const std::string& path,
+                     std::span<const std::span<const uint8_t>> parts);
+
+}  // namespace cne
+
+#endif  // CNE_UTIL_BINARY_IO_H_

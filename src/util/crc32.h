@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges.
+//
+// The integrity check of the persistence subsystem: every snapshot
+// section, every CSR block, and every write-ahead-log record carries a
+// CRC so that torn writes and bit rot are *detected* instead of silently
+// replayed into the privacy accounting. Software table implementation —
+// the payloads it guards are written once per checkpoint, so portability
+// beats peak throughput here.
+
+#ifndef CNE_UTIL_CRC32_H_
+#define CNE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cne {
+
+/// CRC-32 of `len` bytes at `data`. Chainable: pass a previous result as
+/// `seed` to continue a running checksum over split buffers;
+/// Crc32(ab) == Crc32(b, Crc32(a)).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace cne
+
+#endif  // CNE_UTIL_CRC32_H_

@@ -1,5 +1,6 @@
 #include "ldp/budget_ledger.h"
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -92,6 +93,73 @@ TEST(BudgetLedgerTest, ConcurrentChargesNeverExceedBudget) {
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(granted.load(), 4);
   EXPECT_DOUBLE_EQ(ledger.Spent(kV0), 4.0);
+}
+
+TEST(BudgetLedgerTest, SerializeDeserializeRoundTripsExactly) {
+  BudgetLedger ledger(2.0);
+  ASSERT_TRUE(ledger.TryCharge(kV0, 0.75));
+  ASSERT_TRUE(ledger.TryCharge({Layer::kUpper, 3}, 2.0));
+  ledger.RaiseLifetimeBudget(3.0);
+  ASSERT_TRUE(ledger.TryCharge(kV0, 1.25));
+
+  ByteWriter out;
+  ledger.Serialize(out);
+  BudgetLedger restored(2.0);  // constructed as at service start
+  ByteReader in(out.data());
+  restored.Deserialize(in);
+
+  EXPECT_DOUBLE_EQ(restored.lifetime_budget(), 3.0);
+  EXPECT_EQ(restored.NumChargedVertices(), ledger.NumChargedVertices());
+  // Bitwise equality, not approximate: recovery must reproduce the exact
+  // accumulated doubles or residual-budget admission could diverge.
+  const auto a = ledger.Snapshot();
+  const auto b = restored.Snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vertex, b[i].vertex);
+    EXPECT_EQ(a[i].spent, b[i].spent);
+  }
+
+  // Serializing the restored ledger reproduces the same bytes.
+  ByteWriter again;
+  restored.Serialize(again);
+  ASSERT_EQ(again.size(), out.size());
+  EXPECT_TRUE(std::equal(out.data().begin(), out.data().end(),
+                         again.data().begin()));
+}
+
+TEST(BudgetLedgerTest, ReplayAccumulatesLikeTheOriginalCharges) {
+  BudgetLedger original(2.0);
+  ASSERT_TRUE(original.TryCharge(kV0, 0.5));
+  ASSERT_TRUE(original.TryCharge(kV0, 0.5));
+  ASSERT_TRUE(original.TryCharge(kV0, 1.0));
+
+  BudgetLedger replayed(2.0);
+  replayed.Replay(kV0, 0.5);
+  replayed.Replay(kV0, 0.5);
+  replayed.Replay(kV0, 1.0);
+  EXPECT_EQ(original.Spent(kV0), replayed.Spent(kV0));
+  // The vertex is exactly full: one more unit charge must still be
+  // rejected after replay, as it would have been before the crash.
+  EXPECT_FALSE(replayed.TryCharge(kV0, 1.0));
+}
+
+TEST(BudgetLedgerDeathTest, ReplayOverdraftIsFatalNotRejected) {
+  BudgetLedger ledger(1.0);
+  ledger.Replay(kV0, 1.0);
+  EXPECT_DEATH(ledger.Replay(kV0, 0.5), "overdraws");
+}
+
+TEST(BudgetLedgerDeathTest, DeserializeIntoChargedLedgerIsFatal) {
+  BudgetLedger source(1.0);
+  ASSERT_TRUE(source.TryCharge(kV0, 1.0));
+  ByteWriter out;
+  source.Serialize(out);
+
+  BudgetLedger target(1.0);
+  ASSERT_TRUE(target.TryCharge({Layer::kUpper, 9}, 0.5));
+  ByteReader in(out.data());
+  EXPECT_DEATH(target.Deserialize(in), "fresh ledger");
 }
 
 TEST(BudgetLedgerDeathTest, RejectsInvalidConstructionAndCharges) {

@@ -1,0 +1,394 @@
+// Budget safety across restarts — the acceptance property of the
+// persistence subsystem: a QueryService checkpointed mid-workload,
+// destroyed, and restored from snapshot + WAL produces byte-identical
+// answers and residual budgets to an uninterrupted run, for all four
+// protocols, with zero views re-randomized and no budget charge applied
+// twice. Includes the simulated torn-final-WAL-record crash, which must
+// be detected and dropped, never half-applied.
+
+#include <filesystem>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "service/query_service.h"
+#include "service/workload.h"
+#include "store/budget_wal.h"
+#include "util/binary_io.h"
+
+namespace cne {
+namespace {
+
+BipartiteGraph TestGraph() { return PlantedCommonNeighbors(3, 5, 2, 40, 8); }
+
+// A fresh directory per call so tests never see each other's state.
+std::string FreshDir(const std::string& name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   ("persistence_" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+ServiceOptions MakeOptions(ServiceAlgorithm algorithm,
+                           const std::string& snapshot_dir = "") {
+  ServiceOptions options;
+  options.algorithm = algorithm;
+  options.epsilon = 2.0;
+  options.lifetime_budget = 6.0;  // room for several MultiR sourcings
+  options.num_threads = 2;
+  options.seed = 99;
+  options.snapshot_dir = snapshot_dir;
+  return options;
+}
+
+std::vector<QueryPair> Workload(const BipartiteGraph& g, size_t count,
+                                uint64_t seed) {
+  Rng rng(seed);
+  return MakeHotSetWorkload(g, Layer::kLower, count, 8, rng);
+}
+
+void ExpectSameAnswers(const ServiceReport& a, const ServiceReport& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.answers.size(), b.answers.size()) << label;
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    EXPECT_EQ(a.answers[i].rejected, b.answers[i].rejected)
+        << label << " query " << i;
+    // Bitwise equality: restored noise substreams and views are shared,
+    // not merely statistically alike.
+    EXPECT_EQ(a.answers[i].estimate, b.answers[i].estimate)
+        << label << " query " << i;
+  }
+}
+
+void ExpectSameLedgers(const BudgetLedger& a, const BudgetLedger& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.lifetime_budget(), b.lifetime_budget()) << label;
+  const auto sa = a.Snapshot();
+  const auto sb = b.Snapshot();
+  ASSERT_EQ(sa.size(), sb.size()) << label;
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].vertex, sb[i].vertex) << label << " row " << i;
+    // Exact doubles: a restored ledger that is only approximately equal
+    // would eventually admit a query the uninterrupted service rejects.
+    EXPECT_EQ(sa[i].spent, sb[i].spent) << label << " row " << i;
+  }
+}
+
+// Every view present in both stores must hold identical bytes — a
+// re-randomized view would be a second release of the same neighbor list.
+void ExpectSameViews(const BipartiteGraph& g, const NoisyViewStore& a,
+                     const NoisyViewStore& b, const std::string& label) {
+  uint64_t compared = 0;
+  for (Layer layer : {Layer::kUpper, Layer::kLower}) {
+    for (VertexId id = 0; id < g.NumVertices(layer); ++id) {
+      const LayeredVertex v{layer, id};
+      if (!a.Contains(v) || !b.Contains(v)) continue;
+      const NoisyNeighborSet& va = a.View(v);
+      const NoisyNeighborSet& vb = b.View(v);
+      EXPECT_EQ(va.IsBitmap(), vb.IsBitmap()) << label;
+      EXPECT_EQ(va.ToSortedVector(), vb.ToSortedVector())
+          << label << " " << LayerName(layer) << " vertex " << id;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0u) << label;
+}
+
+constexpr ServiceAlgorithm kAllAlgorithms[] = {
+    ServiceAlgorithm::kNaive, ServiceAlgorithm::kOneR,
+    ServiceAlgorithm::kMultiRSS, ServiceAlgorithm::kMultiRDS};
+
+// --- The acceptance criterion: checkpoint mid-workload, kill, restore,
+// --- and the service is indistinguishable from one that never died.
+
+TEST(PersistenceTest, KillRestoreRoundTripIsByteIdenticalForAllProtocols) {
+  const BipartiteGraph g = TestGraph();
+  const auto w1 = Workload(g, 100, 1);
+  const auto w2 = Workload(g, 80, 2);
+  const auto w3 = Workload(g, 120, 3);
+
+  for (ServiceAlgorithm algorithm : kAllAlgorithms) {
+    const std::string label = ToString(algorithm);
+    const std::string dir = FreshDir("roundtrip_" + label);
+
+    // The uninterrupted reference run.
+    QueryService reference(g, MakeOptions(algorithm));
+    reference.Submit(w1);
+    reference.Submit(w2);
+
+    {
+      QueryService service(g, MakeOptions(algorithm, dir));
+      service.Submit(w1);
+      service.Checkpoint();         // snapshot holds w1's state
+      service.Submit(w2);           // w2 lives only in the WAL
+    }                               // kill: no final checkpoint
+
+    QueryService restored(g, MakeOptions(algorithm, dir));
+    EXPECT_TRUE(restored.recovery().snapshot_loaded) << label;
+    EXPECT_GT(restored.recovery().wal_replay_records, 0u) << label;
+    EXPECT_FALSE(restored.recovery().wal_torn_tail) << label;
+    ExpectSameLedgers(reference.ledger(), restored.ledger(), label);
+
+    const ServiceReport ref3 = reference.Submit(w3);
+    const ServiceReport got3 = restored.Submit(w3);
+    ExpectSameAnswers(ref3, got3, label);
+    ExpectSameLedgers(reference.ledger(), restored.ledger(),
+                      label + " after w3");
+    // Zero re-randomized views: every view both services hold is
+    // bit-for-bit the view released before the crash.
+    ExpectSameViews(g, reference.store(), restored.store(), label);
+    EXPECT_EQ(ref3.store.releases, got3.store.releases) << label;
+  }
+}
+
+TEST(PersistenceTest, RestartWithoutCheckpointReplaysTheWholeWal) {
+  // No checkpoint at all: recovery rebuilds everything from the journal
+  // of a fresh-epoch WAL (first-run crash coverage).
+  const BipartiteGraph g = TestGraph();
+  const auto w1 = Workload(g, 60, 4);
+  const auto w2 = Workload(g, 60, 5);
+  const std::string dir = FreshDir("wal_only");
+
+  QueryService reference(g, MakeOptions(ServiceAlgorithm::kMultiRDS));
+  reference.Submit(w1);
+
+  {
+    QueryService service(g, MakeOptions(ServiceAlgorithm::kMultiRDS, dir));
+    service.Submit(w1);
+  }
+  QueryService restored(g, MakeOptions(ServiceAlgorithm::kMultiRDS, dir));
+  EXPECT_FALSE(restored.recovery().snapshot_loaded);
+  EXPECT_GT(restored.recovery().wal_replay_records, 0u);
+  ExpectSameLedgers(reference.ledger(), restored.ledger(), "wal-only");
+  ExpectSameAnswers(reference.Submit(w2), restored.Submit(w2), "wal-only");
+}
+
+// --- Crash-mid-submit: the torn final record is detected and dropped,
+// --- and the state rolls back to the last sealed batch.
+
+TEST(PersistenceTest, TornFinalWalRecordIsDetectedAndDropped) {
+  const BipartiteGraph g = TestGraph();
+  const auto w1 = Workload(g, 70, 6);
+  const auto w2 = Workload(g, 50, 7);
+  const std::string dir = FreshDir("torn");
+
+  {
+    QueryService service(g, MakeOptions(ServiceAlgorithm::kMultiRSS, dir));
+    service.Submit(w1);
+    service.Checkpoint();
+    service.Submit(w2);
+  }
+  // Simulate a crash that tears w2's seal record mid-fsync: shave bytes
+  // off the end of the journal.
+  const std::string wal_path =
+      (std::filesystem::path(dir) / kWalFileName).string();
+  const auto size = std::filesystem::file_size(wal_path);
+  std::filesystem::resize_file(wal_path, size - 3);
+
+  {
+    QueryService restored(g, MakeOptions(ServiceAlgorithm::kMultiRSS, dir));
+    EXPECT_TRUE(restored.recovery().wal_torn_tail);
+    EXPECT_GT(restored.recovery().wal_dropped_bytes, 0u);
+    // The seal never committed, so the *whole* w2 batch rolls back: the
+    // restored service is the service as of the checkpoint.
+    EXPECT_EQ(restored.recovery().wal_replay_records, 0u);
+    QueryService reference(g, MakeOptions(ServiceAlgorithm::kMultiRSS));
+    reference.Submit(w1);
+    ExpectSameLedgers(reference.ledger(), restored.ledger(), "torn");
+
+    // Re-running w2 — the resubmission a client whose submit never
+    // returned would issue — matches the uninterrupted run exactly.
+    ExpectSameAnswers(reference.Submit(w2), restored.Submit(w2), "torn w2");
+    ExpectSameLedgers(reference.ledger(), restored.ledger(),
+                      "torn after w2");
+  }  // release the directory lock before reopening
+
+  // And the once-torn WAL was compacted: a second restart is clean.
+  QueryService again(g, MakeOptions(ServiceAlgorithm::kMultiRSS, dir));
+  EXPECT_FALSE(again.recovery().wal_torn_tail);
+}
+
+// --- Property test: across random kill points, no charge is applied
+// --- twice and no view is re-randomized.
+
+TEST(PersistenceTest, NoDoubleChargeNoReleaseAcrossRandomKillPoints) {
+  const BipartiteGraph g = TestGraph();
+  for (uint64_t trial = 0; trial < 8; ++trial) {
+    const ServiceAlgorithm algorithm =
+        kAllAlgorithms[trial % std::size(kAllAlgorithms)];
+    const std::string label =
+        std::string(ToString(algorithm)) + " trial " + std::to_string(trial);
+    const std::string dir = FreshDir("prop_" + std::to_string(trial));
+    std::vector<std::vector<QueryPair>> batches;
+    for (uint64_t b = 0; b < 3; ++b) {
+      batches.push_back(Workload(g, 40 + 10 * b, 100 * trial + b));
+    }
+    const size_t checkpoint_after = trial % (batches.size() + 1);
+
+    QueryService reference(g, MakeOptions(algorithm));
+    {
+      QueryService service(g, MakeOptions(algorithm, dir));
+      if (checkpoint_after == 0) service.Checkpoint();
+      for (size_t b = 0; b < batches.size(); ++b) {
+        ExpectSameAnswers(reference.Submit(batches[b]),
+                          service.Submit(batches[b]), label);
+        if (checkpoint_after == b + 1) service.Checkpoint();
+      }
+    }  // kill
+
+    QueryService restored(g, MakeOptions(algorithm, dir));
+    ExpectSameLedgers(reference.ledger(), restored.ledger(), label);
+    // The lifetime bound itself: nothing ever exceeds the budget.
+    for (const VertexBudget& row : restored.ledger().Snapshot()) {
+      EXPECT_LE(row.spent, restored.ledger().lifetime_budget() + 1e-9)
+          << label;
+    }
+    const auto probe = Workload(g, 50, 999 + trial);
+    const ServiceReport ref = reference.Submit(probe);
+    const ServiceReport got = restored.Submit(probe);
+    ExpectSameAnswers(ref, got, label);
+    EXPECT_EQ(ref.store.releases, got.store.releases) << label;
+    ExpectSameViews(g, reference.store(), restored.store(), label);
+  }
+}
+
+// --- Operational paths.
+
+TEST(PersistenceTest, RaiseLifetimeBudgetSurvivesTheCrash) {
+  const BipartiteGraph g = TestGraph();
+  ServiceOptions options = MakeOptions(ServiceAlgorithm::kMultiRSS);
+  options.lifetime_budget = 2.0;  // tight: vertex 0 exhausts fast
+  const std::string dir = FreshDir("raise");
+
+  const std::vector<QueryPair> exhausting = {{Layer::kLower, 0, 1},
+                                             {Layer::kLower, 0, 2},
+                                             {Layer::kLower, 0, 3}};
+  QueryService reference(g, options);
+  ASSERT_TRUE(reference.Submit(exhausting).answers[2].rejected);
+  reference.RaiseLifetimeBudget(5.0);
+
+  {
+    options.snapshot_dir = dir;
+    QueryService service(g, options);
+    service.Submit(exhausting);
+    service.RaiseLifetimeBudget(5.0);
+  }  // kill right after the raise — it must already be durable
+
+  QueryService restored(g, options);
+  EXPECT_EQ(restored.ledger().lifetime_budget(), 5.0);
+  const std::vector<QueryPair> retry = {{Layer::kLower, 0, 3}};
+  ExpectSameAnswers(reference.Submit(retry), restored.Submit(retry),
+                    "post-raise retry");
+}
+
+TEST(PersistenceTest, CheckpointAfterRestoreKeepsPendingViews) {
+  // A WAL-replayed view authorization is still pending (unmaterialized)
+  // when an operator checkpoints immediately after recovery; the pending
+  // mark must flow through the snapshot and materialize later.
+  const BipartiteGraph g = TestGraph();
+  const auto w1 = Workload(g, 60, 8);
+  const auto w2 = Workload(g, 60, 9);
+  const std::string dir = FreshDir("pending");
+
+  QueryService reference(g, MakeOptions(ServiceAlgorithm::kOneR));
+  reference.Submit(w1);
+
+  {
+    QueryService service(g, MakeOptions(ServiceAlgorithm::kOneR, dir));
+    service.Submit(w1);
+  }
+  {
+    QueryService restored(g, MakeOptions(ServiceAlgorithm::kOneR, dir));
+    restored.Checkpoint();  // pending views from WAL replay, no submit
+  }
+  QueryService final_service(g, MakeOptions(ServiceAlgorithm::kOneR, dir));
+  EXPECT_TRUE(final_service.recovery().snapshot_loaded);
+  EXPECT_EQ(final_service.recovery().wal_replay_records, 0u);
+  ExpectSameAnswers(reference.Submit(w2), final_service.Submit(w2),
+                    "pending");
+  ExpectSameViews(g, reference.store(), final_service.store(), "pending");
+}
+
+TEST(PersistenceTest, FreshDirectoryBehavesLikeAnEphemeralService) {
+  const BipartiteGraph g = TestGraph();
+  const auto w = Workload(g, 80, 10);
+  const std::string dir = FreshDir("fresh");
+
+  QueryService persistent(g, MakeOptions(ServiceAlgorithm::kOneR, dir));
+  EXPECT_FALSE(persistent.recovery().snapshot_loaded);
+  EXPECT_EQ(persistent.recovery().wal_replay_records, 0u);
+  QueryService ephemeral(g, MakeOptions(ServiceAlgorithm::kOneR));
+  ExpectSameAnswers(ephemeral.Submit(w), persistent.Submit(w), "fresh");
+  EXPECT_TRUE(FileExists(
+      (std::filesystem::path(dir) / kWalFileName).string()));
+}
+
+TEST(PersistenceTest, MismatchedOptionsOrGraphAreRefused) {
+  const BipartiteGraph g = TestGraph();
+  const std::string dir = FreshDir("mismatch");
+  {
+    QueryService service(g, MakeOptions(ServiceAlgorithm::kOneR, dir));
+    service.Submit(Workload(g, 40, 11));
+    service.Checkpoint();
+  }
+
+  ServiceOptions wrong_seed = MakeOptions(ServiceAlgorithm::kOneR, dir);
+  wrong_seed.seed = 100;  // different seed ⇒ different view randomness
+  EXPECT_THROW(QueryService(g, wrong_seed), std::runtime_error);
+
+  ServiceOptions wrong_epsilon = MakeOptions(ServiceAlgorithm::kOneR, dir);
+  wrong_epsilon.epsilon = 1.0;
+  EXPECT_THROW(QueryService(g, wrong_epsilon), std::runtime_error);
+
+  ServiceOptions wrong_algorithm =
+      MakeOptions(ServiceAlgorithm::kMultiRDS, dir);
+  EXPECT_THROW(QueryService(g, wrong_algorithm), std::runtime_error);
+
+  const BipartiteGraph other = PlantedCommonNeighbors(4, 4, 4, 10, 8);
+  EXPECT_THROW(
+      QueryService(other, MakeOptions(ServiceAlgorithm::kOneR, dir)),
+      std::runtime_error);
+
+  // The matching configuration still restores fine.
+  QueryService ok(g, MakeOptions(ServiceAlgorithm::kOneR, dir));
+  EXPECT_TRUE(ok.recovery().snapshot_loaded);
+}
+
+TEST(PersistenceTest, SecondServiceOnTheSameDirectoryIsRefused) {
+  // Two services interleaving one journal would sum their charges on
+  // replay; the directory flock turns the operator error into a loud
+  // failure at open.
+  const BipartiteGraph g = TestGraph();
+  const std::string dir = FreshDir("lock");
+  QueryService first(g, MakeOptions(ServiceAlgorithm::kOneR, dir));
+  EXPECT_THROW(QueryService(g, MakeOptions(ServiceAlgorithm::kOneR, dir)),
+               std::runtime_error);
+}
+
+TEST(PersistenceTest, MissingWalNextToSnapshotIsRefused) {
+  // Losing the journal loses every committed post-checkpoint charge and
+  // rolls the noise-stream counter back onto already-released draws;
+  // recovery must refuse rather than silently start a clean epoch.
+  const BipartiteGraph g = TestGraph();
+  const std::string dir = FreshDir("missing_wal");
+  {
+    QueryService service(g, MakeOptions(ServiceAlgorithm::kOneR, dir));
+    service.Submit(Workload(g, 40, 12));
+    service.Checkpoint();
+  }
+  std::filesystem::remove(std::filesystem::path(dir) / kWalFileName);
+  EXPECT_THROW(QueryService(g, MakeOptions(ServiceAlgorithm::kOneR, dir)),
+               std::runtime_error);
+}
+
+TEST(PersistenceDeathTest, CheckpointWithoutSnapshotDirIsFatal) {
+  const BipartiteGraph g = TestGraph();
+  QueryService service(g, MakeOptions(ServiceAlgorithm::kOneR));
+  EXPECT_DEATH(service.Checkpoint(), "snapshot_dir");
+}
+
+}  // namespace
+}  // namespace cne

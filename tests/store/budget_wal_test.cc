@@ -1,0 +1,195 @@
+#include "store/budget_wal.h"
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/bipartite_graph.h"
+#include "util/binary_io.h"
+
+namespace cne {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+WalRecord Charge(Layer layer, VertexId id, double epsilon) {
+  WalRecord record;
+  record.type = WalRecordType::kCharge;
+  record.vertex = PackLayeredVertex({layer, id});
+  record.value = epsilon;
+  return record;
+}
+
+WalRecord Authorized(Layer layer, VertexId id) {
+  WalRecord record;
+  record.type = WalRecordType::kViewAuthorized;
+  record.vertex = PackLayeredVertex({layer, id});
+  return record;
+}
+
+WalRecord Sealed(uint64_t counter) {
+  WalRecord record;
+  record.type = WalRecordType::kSubmitSealed;
+  record.counter = counter;
+  return record;
+}
+
+WalRecord Raise(double budget) {
+  WalRecord record;
+  record.type = WalRecordType::kRaiseBudget;
+  record.value = budget;
+  return record;
+}
+
+TEST(BudgetWalTest, AppendSyncReadRoundTrips) {
+  const std::string path = TempPath("wal_roundtrip.wal");
+  BudgetWal::Reset(path, /*epoch=*/3);
+  {
+    BudgetWal wal(path);
+    wal.Append(Authorized(Layer::kLower, 7));
+    wal.Append(Charge(Layer::kLower, 7, 1.0));
+    wal.Append(Charge(Layer::kUpper, 2, 0.5));
+    wal.Append(Sealed(12));
+    wal.Sync();
+    // A second batch over the same handle appends, not overwrites.
+    wal.Append(Charge(Layer::kLower, 9, 0.25));
+    wal.Append(Sealed(20));
+    wal.Sync();
+    EXPECT_EQ(wal.appended_records(), 6u);
+  }
+  const WalReplay replay = BudgetWal::Read(path);
+  EXPECT_EQ(replay.epoch, 3u);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.dropped_bytes, 0u);
+  ASSERT_EQ(replay.records.size(), 6u);
+  EXPECT_EQ(replay.committed, 6u);
+  EXPECT_EQ(replay.records[0], Authorized(Layer::kLower, 7));
+  EXPECT_EQ(replay.records[1], Charge(Layer::kLower, 7, 1.0));
+  EXPECT_EQ(replay.records[3], Sealed(12));
+  EXPECT_EQ(replay.records[5], Sealed(20));
+  std::filesystem::remove(path);
+}
+
+TEST(BudgetWalTest, EmptyWalReadsCleanly) {
+  const std::string path = TempPath("wal_empty.wal");
+  BudgetWal::Reset(path, 9);
+  const WalReplay replay = BudgetWal::Read(path);
+  EXPECT_EQ(replay.epoch, 9u);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.committed, 0u);
+  EXPECT_FALSE(replay.torn_tail);
+  std::filesystem::remove(path);
+}
+
+TEST(BudgetWalTest, UnsealedTailIsParsedButNotCommitted) {
+  const std::string path = TempPath("wal_unsealed.wal");
+  BudgetWal::Reset(path, 0);
+  {
+    BudgetWal wal(path);
+    wal.Append(Charge(Layer::kLower, 1, 1.0));
+    wal.Append(Sealed(1));
+    // A crash after this sync but before the next seal: the admission
+    // batch below reached disk but was never acted on.
+    wal.Append(Authorized(Layer::kLower, 2));
+    wal.Append(Charge(Layer::kLower, 2, 1.0));
+    wal.Sync();
+  }
+  const WalReplay replay = BudgetWal::Read(path);
+  ASSERT_EQ(replay.records.size(), 4u);
+  EXPECT_EQ(replay.committed, 2u);  // up to and including the seal
+  EXPECT_FALSE(replay.torn_tail);
+  std::filesystem::remove(path);
+}
+
+TEST(BudgetWalTest, RaiseBudgetIsACommitBarrier) {
+  const std::string path = TempPath("wal_raise.wal");
+  BudgetWal::Reset(path, 0);
+  {
+    BudgetWal wal(path);
+    wal.Append(Sealed(4));
+    wal.Append(Raise(8.0));
+    wal.Append(Charge(Layer::kLower, 3, 1.0));  // unsealed
+    wal.Sync();
+  }
+  const WalReplay replay = BudgetWal::Read(path);
+  ASSERT_EQ(replay.records.size(), 3u);
+  EXPECT_EQ(replay.committed, 2u);
+  EXPECT_EQ(replay.records[1], Raise(8.0));
+  std::filesystem::remove(path);
+}
+
+TEST(BudgetWalTest, TornFinalRecordIsDetectedAndDropped) {
+  const std::string path = TempPath("wal_torn.wal");
+  BudgetWal::Reset(path, 5);
+  {
+    BudgetWal wal(path);
+    wal.Append(Charge(Layer::kLower, 1, 1.0));
+    wal.Append(Sealed(1));
+    wal.Append(Charge(Layer::kLower, 2, 1.0));
+    wal.Append(Sealed(2));
+    wal.Sync();
+  }
+  const uint64_t full_size = std::filesystem::file_size(path);
+  // Tear the final record mid-way: a crash during the last fsync.
+  std::filesystem::resize_file(path, full_size - 5);
+  const WalReplay torn = BudgetWal::Read(path);
+  EXPECT_TRUE(torn.torn_tail);
+  EXPECT_EQ(torn.dropped_bytes, 21u - 5u);
+  ASSERT_EQ(torn.records.size(), 3u);
+  EXPECT_EQ(torn.committed, 2u);  // the torn seal never committed
+
+  // Corrupt (rather than shorten) the final record's CRC: same outcome.
+  {
+    BudgetWal::Rewrite(path, 5, torn.records);
+    auto bytes = ReadFileBytes(path);
+    bytes.back() ^= 0xFF;
+    WriteFileAtomic(path, bytes);
+  }
+  const WalReplay corrupt = BudgetWal::Read(path);
+  EXPECT_TRUE(corrupt.torn_tail);
+  ASSERT_EQ(corrupt.records.size(), 2u);
+  EXPECT_EQ(corrupt.committed, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(BudgetWalTest, RewriteCompactsToExactlyTheGivenRecords) {
+  const std::string path = TempPath("wal_rewrite.wal");
+  const std::vector<WalRecord> records = {Charge(Layer::kUpper, 1, 0.5),
+                                          Sealed(3)};
+  BudgetWal::Rewrite(path, 11, records);
+  const WalReplay replay = BudgetWal::Read(path);
+  EXPECT_EQ(replay.epoch, 11u);
+  EXPECT_EQ(replay.records, records);
+  EXPECT_EQ(replay.committed, 2u);
+  EXPECT_FALSE(replay.torn_tail);
+
+  // Appending after a rewrite continues the same stream.
+  {
+    BudgetWal wal(path);
+    wal.Append(Sealed(4));
+    wal.Sync();
+  }
+  EXPECT_EQ(BudgetWal::Read(path).records.size(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(BudgetWalTest, ForeignAndMissingFilesThrow) {
+  const std::string path = TempPath("wal_foreign.wal");
+  ByteWriter garbage;
+  garbage.U64(0xABCDEF);
+  garbage.U32(1);
+  garbage.U64(0);
+  WriteFileAtomic(path, garbage.data());
+  EXPECT_THROW(BudgetWal::Read(path), std::runtime_error);
+  EXPECT_THROW(BudgetWal::Read(TempPath("wal_missing.wal")),
+               std::runtime_error);
+  EXPECT_THROW(BudgetWal{TempPath("wal_missing.wal")}, std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,127 @@
+#include "util/binary_io.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/crc32.h"
+
+namespace cne {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The IEEE check value: CRC-32 of the ASCII digits "123456789".
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32(digits, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  const char empty_then_a[] = "a";
+  EXPECT_EQ(Crc32(empty_then_a, 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, ChainingEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  for (size_t split : {size_t{0}, size_t{1}, size_t{17}, data.size()}) {
+    const uint32_t first = Crc32(data.data(), split);
+    const uint32_t chained =
+        Crc32(data.data() + split, data.size() - split, first);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<uint8_t> bytes(64, 0xAB);
+  const uint32_t clean = Crc32(bytes.data(), bytes.size());
+  bytes[37] ^= 0x04;
+  EXPECT_NE(Crc32(bytes.data(), bytes.size()), clean);
+}
+
+TEST(ByteIoTest, RoundTripsEveryType) {
+  ByteWriter w;
+  w.U8(0xFE);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFull);
+  w.F64(-1234.5678);
+  w.F64(0.0);
+  const char blob[5] = {'c', 'n', 'e', '!', '\0'};
+  w.Bytes(blob, sizeof(blob));
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.U8(), 0xFE);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.F64(), -1234.5678);
+  EXPECT_EQ(r.F64(), 0.0);
+  char out[5];
+  r.Bytes(out, sizeof(out));
+  EXPECT_EQ(std::string(out), "cne!");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteIoTest, EncodingIsLittleEndian) {
+  ByteWriter w;
+  w.U32(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(ByteIoTest, OverrunThrowsInsteadOfReadingGarbage) {
+  ByteWriter w;
+  w.U32(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.U32(), 7u);
+  EXPECT_THROW(r.U8(), std::runtime_error);
+  ByteReader r2(w.data());
+  EXPECT_THROW(r2.U64(), std::runtime_error);
+  EXPECT_THROW(ByteReader(w.data()).Borrow(5), std::runtime_error);
+}
+
+TEST(ByteIoTest, BorrowAdvancesWithoutCopy) {
+  ByteWriter w;
+  w.U8(1);
+  w.U8(2);
+  w.U8(3);
+  ByteReader r(w.data());
+  const auto view = r.Borrow(2);
+  EXPECT_EQ(view[0], 1);
+  EXPECT_EQ(view[1], 2);
+  EXPECT_EQ(r.U8(), 3);
+}
+
+TEST(FileIoTest, AtomicWriteRoundTripsAndReplaces) {
+  const std::string path = TempPath("binary_io_atomic.bin");
+  ByteWriter w;
+  w.U64(42);
+  WriteFileAtomic(path, w.data());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_EQ(ByteReader(ReadFileBytes(path)).U64(), 42u);
+
+  // Overwrite: the reader must see the complete new content.
+  ByteWriter w2;
+  w2.U64(43);
+  w2.U64(44);
+  WriteFileAtomic(path, w2.data());
+  const auto bytes = ReadFileBytes(path);
+  ASSERT_EQ(bytes.size(), 16u);
+  EXPECT_EQ(ByteReader(bytes).U64(), 43u);
+  // No temp file left behind.
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(FileIoTest, MissingFileThrows) {
+  EXPECT_FALSE(FileExists(TempPath("does_not_exist.bin")));
+  EXPECT_THROW(ReadFileBytes(TempPath("does_not_exist.bin")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cne

@@ -9,6 +9,7 @@
 //             [--workload=w.txt | --pairs=10000 --hot=64 --layer=lower]
 //             [--algorithm=OneR --epsilon=2.0 --budget=0 --threads=4
 //              --seed=7 --out=answers.txt --json]
+//             [--snapshot-dir=DIR --checkpoint-every=N]
 //
 // Workload files hold one `<upper|lower> <u> <w>` query per line
 // (src/service/workload.h). Without --workload, a hot-set workload of
@@ -17,10 +18,20 @@
 // full ε per vertex). --out writes one `estimate` or `REJECTED` line per
 // query, in input order. --json switches the report to machine-readable
 // JSON.
+//
+// Persistence: --snapshot-dir makes the service crash-safe (store/). On
+// start it recovers any existing snapshot + budget WAL in DIR — a killed
+// server restarts byte-identical: same answers, same residual budgets,
+// zero re-released views. With --checkpoint-every=N the workload is
+// submitted in batches of N queries with a checkpoint after each batch
+// (and a final checkpoint at the end); N=0 (default) checkpoints once,
+// after the whole workload. Inspect DIR with `cne_snapshot --dir=DIR`.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -39,6 +50,7 @@ int Usage() {
                "[--workload=w.txt | --pairs=N --hot=K --layer=lower]\n"
                "                 [--algorithm=OneR --epsilon=2.0 --budget=0 "
                "--threads=4 --seed=7 --out=answers.txt --json]\n"
+               "                 [--snapshot-dir=DIR --checkpoint-every=N]\n"
                "see the header of tools/cne_serve.cc for details\n");
   return 2;
 }
@@ -55,7 +67,9 @@ void PrintReport(const ServiceReport& report, const ServiceOptions& options,
         " \"vertices_released\": %llu, \"cache_hit_rate\": %.4f, "
         "\"uploaded_bytes\": %.0f,\n"
         " \"budget_vertices_charged\": %llu, \"budget_total_spent\": %.3f, "
-        "\"budget_min_remaining\": %.6f}\n",
+        "\"budget_min_remaining\": %.6f,\n"
+        " \"snapshot_load_seconds\": %.6f, \"wal_replay_records\": %llu, "
+        "\"checkpoint_seconds\": %.6f}\n",
         ToString(options.algorithm), options.epsilon,
         options.lifetime_budget > 0.0 ? options.lifetime_budget
                                       : options.epsilon,
@@ -66,7 +80,10 @@ void PrintReport(const ServiceReport& report, const ServiceOptions& options,
         static_cast<unsigned long long>(report.store.releases), hit_rate,
         report.store.UploadedBytes(),
         static_cast<unsigned long long>(report.budget_vertices_charged),
-        report.budget_total_spent, report.budget_min_remaining);
+        report.budget_total_spent, report.budget_min_remaining,
+        report.snapshot_load_seconds,
+        static_cast<unsigned long long>(report.wal_replay_records),
+        report.checkpoint_seconds);
     return;
   }
   std::printf("algorithm          %s (epsilon=%g, lifetime budget=%g)\n",
@@ -88,6 +105,32 @@ void PrintReport(const ServiceReport& report, const ServiceOptions& options,
               "min residual %.6f\n",
               static_cast<unsigned long long>(report.budget_vertices_charged),
               report.budget_total_spent, report.budget_min_remaining);
+  if (!options.snapshot_dir.empty()) {
+    std::printf("persistence        %s: load %.3fs, %llu WAL records "
+                "replayed, last checkpoint %.3fs\n",
+                options.snapshot_dir.c_str(), report.snapshot_load_seconds,
+                static_cast<unsigned long long>(report.wal_replay_records),
+                report.checkpoint_seconds);
+  }
+}
+
+// Folds one batch's report into the whole-run report: answers append,
+// per-submission counters add, lifetime accounting takes the latest.
+void FoldReport(ServiceReport&& batch, ServiceReport& total) {
+  total.answered += batch.answered;
+  total.rejected += batch.rejected;
+  total.seconds += batch.seconds;
+  total.groups_formed += batch.groups_formed;
+  total.planner_seconds += batch.planner_seconds;
+  total.store = batch.store;
+  total.budget_vertices_charged = batch.budget_vertices_charged;
+  total.budget_total_spent = batch.budget_total_spent;
+  total.budget_min_remaining = batch.budget_min_remaining;
+  total.snapshot_load_seconds = batch.snapshot_load_seconds;
+  total.wal_replay_records = batch.wal_replay_records;
+  total.checkpoint_seconds = batch.checkpoint_seconds;
+  std::move(batch.answers.begin(), batch.answers.end(),
+            std::back_inserter(total.answers));
 }
 
 }  // namespace
@@ -139,9 +182,47 @@ int main(int argc, char** argv) {
     options.lifetime_budget = cl.GetDouble("budget", 0.0);
     options.num_threads = static_cast<int>(cl.GetInt("threads", 4));
     options.seed = static_cast<uint64_t>(cl.GetInt("seed", 7));
+    options.snapshot_dir = cl.GetString("snapshot-dir");
+    const size_t checkpoint_every = static_cast<size_t>(
+        std::max<long long>(0, cl.GetInt("checkpoint-every", 0)));
+    if (checkpoint_every > 0 && options.snapshot_dir.empty()) {
+      std::fprintf(stderr,
+                   "error: --checkpoint-every needs --snapshot-dir\n");
+      return 1;
+    }
 
     QueryService service(graph, options);
-    const ServiceReport report = service.Submit(workload);
+    if (service.persistent() && service.recovery().snapshot_loaded) {
+      std::fprintf(stderr,
+                   "recovered snapshot + %llu WAL records from %s "
+                   "in %.3fs%s\n",
+                   static_cast<unsigned long long>(
+                       service.recovery().wal_replay_records),
+                   options.snapshot_dir.c_str(),
+                   service.recovery().snapshot_load_seconds,
+                   service.recovery().wal_torn_tail
+                       ? " (torn WAL tail dropped)"
+                       : "");
+    }
+
+    // Submit in checkpoint-sized batches (one batch when N = 0), with a
+    // final checkpoint so a clean shutdown restarts from snapshot alone.
+    ServiceReport report;
+    const size_t batch_size =
+        checkpoint_every > 0 ? checkpoint_every : workload.size();
+    for (size_t begin = 0; begin < workload.size(); begin += batch_size) {
+      const size_t end = std::min(workload.size(), begin + batch_size);
+      FoldReport(service.Submit({workload.begin() + begin,
+                                 workload.begin() + end}),
+                 report);
+      if (service.persistent() && checkpoint_every > 0 &&
+          end < workload.size()) {
+        report.checkpoint_seconds = service.Checkpoint();
+      }
+    }
+    if (service.persistent()) {
+      report.checkpoint_seconds = service.Checkpoint();
+    }
     PrintReport(report, options, cl.GetBool("json"));
 
     const std::string out_path = cl.GetString("out");
