@@ -26,9 +26,13 @@
 //   --candidates=256   candidates N of the 1×N section
 //   --repeats=64       submissions of the 1×N workload per timed path
 //   --hot=24           hot-set size of the grouped sweep
+//   --scale=1e5,1e6    edge-draw targets for the scale section: the 1×N
+//                      workload on the top-degree source of generated
+//                      BX-shaped graphs, reduced repeats
 //   --out=path         also write the JSON to a file
 //   --smoke            small CI configuration
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -273,6 +277,81 @@ int main(int argc, char** argv) {
                    spec.code.c_str(), ToString(algorithm), off.seconds,
                    on.seconds);
     }
+  }
+  json << "\n  ],\n";
+
+  // ---- Section 3 (--scale): the 1×N workload on the top-degree source
+  // ---- of generated BX-shaped graphs. Reduced repeats — at 10⁶ edges
+  // ---- the per-query post-processing dominates, which is exactly the
+  // ---- regime the planner exists for. Planned qps is the scale metric.
+  json << "  \"scale\": [";
+  bool first_scale = true;
+  for (uint64_t target : bench::ParseScaleList(cl)) {
+    const bench::ScaleDataset dataset = bench::MakeScaleDataset(target);
+    const BipartiteGraph& g = dataset.graph;
+    const size_t scale_repeats = smoke ? 4 : 8;
+
+    // The busiest upper vertex is the shared source; the next
+    // `candidates_n` busiest upper vertices are its candidates (matching
+    // a top-k query against the head of the degree distribution).
+    const Layer layer = Layer::kUpper;
+    std::vector<VertexId> by_degree(g.NumVertices(layer));
+    for (VertexId v = 0; v < g.NumVertices(layer); ++v) by_degree[v] = v;
+    std::partial_sort(by_degree.begin(),
+                      by_degree.begin() +
+                          std::min<size_t>(candidates_n + 1, by_degree.size()),
+                      by_degree.end(), [&](VertexId a, VertexId b) {
+                        return g.Degree(layer, a) > g.Degree(layer, b);
+                      });
+    const VertexId source = by_degree.front();
+    std::vector<QueryPair> workload;
+    for (size_t i = 1; i < by_degree.size() && workload.size() < candidates_n;
+         ++i) {
+      workload.push_back({layer, source, by_degree[i]});
+    }
+
+    ServiceOptions base;
+    base.algorithm = ServiceAlgorithm::kOneR;
+    base.epsilon = 1.0;
+    base.seed = options.seed;
+    base.num_threads = 1;
+
+    ServiceOptions unplanned = base;
+    unplanned.enable_planner = false;
+    const ServiceRun off = RunService(g, unplanned, workload, scale_repeats);
+    ServiceOptions planned = base;
+    planned.enable_planner = true;
+    const ServiceRun on = RunService(g, planned, workload, scale_repeats);
+    if (!AnswersIdentical(on.answers, off.answers)) {
+      std::fprintf(stderr, "SELF-CHECK FAILED: scale %llu planned != "
+                           "unplanned\n",
+                   static_cast<unsigned long long>(target));
+      identity_ok = false;
+    }
+
+    const double total_queries =
+        static_cast<double>(workload.size() * scale_repeats);
+    const double planned_qps =
+        on.seconds > 0.0 ? total_queries / on.seconds : 0.0;
+    std::fprintf(stderr,
+                 "scale %llu 1x%zu x%zu: unplanned %.3fs, planned %.3fs "
+                 "(%.0f qps)\n",
+                 static_cast<unsigned long long>(target), workload.size(),
+                 scale_repeats, off.seconds, on.seconds, planned_qps);
+
+    if (!first_scale) json << ",";
+    first_scale = false;
+    json << "\n    {\"shape\": " << bench::GraphShapeJson(dataset)
+         << ",\n     \"source_degree\": " << g.Degree(layer, source)
+         << ", \"candidates\": " << workload.size()
+         << ", \"repeats\": " << scale_repeats
+         << ", \"unplanned_seconds\": " << off.seconds
+         << ", \"planned_seconds\": " << on.seconds
+         << ", \"speedup_vs_unplanned\": "
+         << (on.seconds > 0.0 ? off.seconds / on.seconds : 0.0)
+         << ", \"groups_formed\": " << on.last.groups_formed
+         << ",\n     \"scale_metric\": "
+         << bench::ScaleMetricJson("planned_qps", planned_qps, true) << "}";
   }
   json << "\n  ],\n"
        << "  \"answers_identical\": " << (identity_ok ? "true" : "false")

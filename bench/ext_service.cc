@@ -8,6 +8,9 @@
 //   --threads=1,2,4,8   thread counts to sweep
 //   --algorithm=OneR    service algorithm (Naive|OneR|MultiR-SS|MultiR-DS)
 //   --hot=64            hot-set size of the synthetic workload
+//   --scale=1e5,1e6     edge-draw targets for the scale section: hot-set
+//                       sweep over generated BX-shaped graphs, qps as the
+//                       canonical scale metric
 //   --out=path          also write the JSON to a file
 //   --smoke             small CI configuration (one dataset, 2k queries,
 //                       threads 1,2)
@@ -213,6 +216,49 @@ int main(int argc, char** argv) {
     if (!first_dataset) json << ",\n";
     first_dataset = false;
     AppendJson(json, result);
+  }
+  json << "\n  ],\n";
+
+  // ---- Scale section: hot-set-size sweep over generated BX-shaped
+  // ---- graphs. Queries/second under the widest thread count is the
+  // ---- canonical metric; the hot-set axis varies cache-sharing pressure.
+  json << "  \"scale\": [";
+  bool first_scale = true;
+  for (uint64_t target : bench::ParseScaleList(cl)) {
+    const bench::ScaleDataset dataset = bench::MakeScaleDataset(target);
+    const BipartiteGraph& g = dataset.graph;
+    const size_t scale_queries = smoke ? 2000 : queries;
+    const int threads = *std::max_element(thread_counts.begin(),
+                                          thread_counts.end());
+    for (VertexId scale_hot : {VertexId{16}, VertexId{64}, VertexId{256}}) {
+      Rng scale_rng(options.seed);
+      const std::vector<QueryPair> workload = MakeHotSetWorkload(
+          g, Layer::kUpper, scale_queries, scale_hot, scale_rng);
+      ServiceOptions service_options;
+      service_options.algorithm = *algorithm;
+      service_options.epsilon = options.epsilon;
+      service_options.num_threads = threads;
+      service_options.seed = options.seed;
+      QueryService service(g, service_options);
+      const ServiceReport report = service.Submit(workload);
+      std::fprintf(stderr,
+                   "scale %llu hot=%u: %.3fs, %.0f qps, %zu released\n",
+                   static_cast<unsigned long long>(target), scale_hot,
+                   report.seconds, report.QueriesPerSecond(),
+                   static_cast<size_t>(report.store.releases));
+      if (!first_scale) json << ",";
+      first_scale = false;
+      json << "\n    {\"shape\": " << bench::GraphShapeJson(dataset)
+           << ",\n     \"hot_set\": " << scale_hot
+           << ", \"queries\": " << workload.size()
+           << ", \"threads\": " << threads
+           << ", \"seconds\": " << report.seconds
+           << ", \"vertices_released\": " << report.store.releases
+           << ", \"cache_hit_rate\": " << report.store.CacheHitRate()
+           << ",\n     \"scale_metric\": "
+           << bench::ScaleMetricJson("qps", report.QueriesPerSecond(), true)
+           << "}";
+    }
   }
   json << "\n  ]\n}\n";
 

@@ -14,6 +14,9 @@
 //   --algorithm=OneR    service algorithm (Naive|OneR|MultiR-SS|MultiR-DS)
 //   --hot=48            hot-set size of the synthetic workload
 //   --repeats=5         save/load timing repetitions (median-free mean)
+//   --scale=1e5,1e6     edge-draw targets for the scale section:
+//                       checkpoint/warm/cold on generated BX-shaped graphs,
+//                       checkpoint MB/s as the canonical scale metric
 //   --out=path          also write the JSON to a file
 //   --smoke             small CI configuration
 
@@ -195,6 +198,114 @@ int main(int argc, char** argv) {
   }
   std::filesystem::remove_all(dir);
 
+  // ---- Scale section: the same checkpoint / warm-start / cold-start
+  // ---- cycle on generated BX-shaped graphs. Checkpoint MB/s is the
+  // ---- canonical metric — it tracks snapshot serialization throughput
+  // ---- as block-CSR sections and view stores grow.
+  std::vector<std::string> scale_entries;
+  for (uint64_t target : bench::ParseScaleList(cl)) {
+    const bench::ScaleDataset dataset = bench::MakeScaleDataset(target);
+    const BipartiteGraph& g = dataset.graph;
+    const size_t scale_queries = smoke ? 2000 : 4000;
+    const auto scale_dir =
+        std::filesystem::temp_directory_path() /
+        ("cne_ext_snapshot_scale_" + std::to_string(::getpid()) + "_" +
+         std::to_string(target));
+    std::filesystem::remove_all(scale_dir);
+
+    Rng scale_rng(options.seed);
+    const auto sw1 =
+        MakeHotSetWorkload(g, Layer::kUpper, scale_queries, hot, scale_rng);
+    const auto sw2 = MakeHotSetWorkload(g, Layer::kLower, scale_queries / 4,
+                                        hot, scale_rng);
+    const auto sprobe = MakeHotSetWorkload(
+        g, Layer::kUpper, scale_queries / 4, hot, scale_rng);
+
+    double s_save = 0.0;
+    uint64_t s_bytes = 0;
+    {
+      ServiceOptions persistent = service_options;
+      persistent.snapshot_dir = scale_dir.string();
+      QueryService service(g, persistent);
+      service.Submit(sw1);
+      for (size_t r = 0; r < repeats; ++r) s_save += service.Checkpoint();
+      s_save /= static_cast<double>(repeats);
+      s_bytes = std::filesystem::file_size(scale_dir / kSnapshotFileName);
+      service.Submit(sw2);  // lives only in the WAL
+    }  // kill: no final checkpoint
+
+    double s_warm = 0.0;
+    uint64_t s_wal_records = 0;
+    for (size_t r = 0; r < repeats; ++r) {
+      ServiceOptions persistent = service_options;
+      persistent.snapshot_dir = scale_dir.string();
+      Timer timer;
+      QueryService warm(g, persistent);
+      s_warm += timer.Seconds();
+      s_wal_records = warm.recovery().wal_replay_records;
+    }
+    s_warm /= static_cast<double>(repeats);
+
+    double s_cold = 0.0;
+    for (size_t r = 0; r < repeats; ++r) {
+      Timer timer;
+      QueryService cold(g, service_options);
+      cold.Submit(sw1);
+      cold.Submit(sw2);
+      s_cold += timer.Seconds();
+    }
+    s_cold /= static_cast<double>(repeats);
+
+    bool scale_identical = true;
+    {
+      ServiceOptions persistent = service_options;
+      persistent.snapshot_dir = scale_dir.string();
+      QueryService warm(g, persistent);
+      QueryService reference(g, service_options);
+      reference.Submit(sw1);
+      reference.Submit(sw2);
+      const ServiceReport got = warm.Submit(sprobe);
+      const ServiceReport want = reference.Submit(sprobe);
+      scale_identical = SameAnswers(want, got) &&
+                        SameLedgers(reference.ledger(), warm.ledger()) &&
+                        want.store.releases == got.store.releases;
+      if (!scale_identical) {
+        std::fprintf(stderr,
+                     "SELF-CHECK FAILED: scale %" PRIu64 " restored service "
+                     "diverges from the uninterrupted run\n",
+                     target);
+        identical = false;
+      }
+    }
+    std::filesystem::remove_all(scale_dir);
+
+    const double s_mb = static_cast<double>(s_bytes) / (1024.0 * 1024.0);
+    const double s_mbps = s_save > 0 ? s_mb / s_save : 0.0;
+    std::fprintf(stderr,
+                 "scale %" PRIu64 ": checkpoint %.4fs (%.1f MB/s), warm "
+                 "%.4fs, cold %.4fs\n",
+                 target, s_save, s_mbps, s_warm, s_cold);
+
+    std::ostringstream entry;
+    entry << "{\"shape\": " << bench::GraphShapeJson(dataset)
+          << ",\n     \"hot_set\": " << hot
+          << ", \"checkpointed_queries\": " << sw1.size()
+          << ", \"wal_queries\": " << sw2.size()
+          << ",\n     \"checkpoint_seconds\": " << s_save
+          << ", \"snapshot_bytes\": " << s_bytes
+          << ", \"warm_start_seconds\": " << s_warm
+          << ", \"wal_replay_records\": " << s_wal_records
+          << ", \"cold_start_seconds\": " << s_cold
+          << ",\n     \"cold_over_warm_speedup\": "
+          << (s_warm > 0 ? s_cold / s_warm : 0.0)
+          << ", \"round_trip_identical\": "
+          << (scale_identical ? "true" : "false")
+          << ",\n     \"scale_metric\": "
+          << bench::ScaleMetricJson("checkpoint_mb_per_second", s_mbps, true)
+          << "}";
+    scale_entries.push_back(entry.str());
+  }
+
   const double mb = static_cast<double>(snapshot_bytes) / (1024.0 * 1024.0);
   std::ostringstream json;
   json << "{\n"
@@ -222,6 +333,12 @@ int main(int argc, char** argv) {
        << "  \"cold_start\": {\"seconds\": " << cold_seconds << "},\n"
        << "  \"cold_over_warm_speedup\": "
        << (warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0) << ",\n"
+       << "  \"scale\": [";
+  for (size_t i = 0; i < scale_entries.size(); ++i) {
+    if (i) json << ",";
+    json << "\n    " << scale_entries[i];
+  }
+  json << "\n  ],\n"
        << "  \"round_trip_identical\": " << (identical ? "true" : "false")
        << "\n}\n";
 

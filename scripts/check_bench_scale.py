@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Gate on the scale-section perf trajectory of the ext_* benches.
+
+Compares the `scale` array of a freshly produced bench JSON against the
+committed baseline (BENCH_*.json). Every scale entry carries one canonical
+`scale_metric` object:
+
+    {"name": "...", "value": <number>, "higher_is_better": <bool>}
+
+Entries are matched across files by their axes: the generator draw count
+and exponent (from `shape`) plus whichever bench axis the entry carries
+(`hot_set` for ext_service, `candidates` for ext_batch; ext_intersect and
+ext_snapshot are fully identified by the shape). The check fails when a
+matched metric regresses by more than the threshold in the direction
+`higher_is_better` declares. Entries present on only one side are
+reported but not failures: the committed baselines deliberately carry
+larger scale points (10^6+) than the CI smoke run produces.
+
+Usage:
+    scripts/check_bench_scale.py BASELINE.json CURRENT.json [--threshold=0.2]
+
+Exit status: 0 when every matched metric is within the threshold,
+1 on regression or missing entry, 2 on malformed input.
+"""
+
+import json
+import signal
+import sys
+
+# Die quietly when piped into head & co. instead of tracebacking.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def entry_key(entry):
+    """Axes identifying a scale entry across runs of the same bench."""
+    shape = entry.get("shape", {})
+    return (
+        shape.get("draws"),
+        shape.get("exponent"),
+        entry.get("hot_set"),
+        entry.get("candidates"),
+    )
+
+
+def load_scale(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    entries = {}
+    for entry in doc.get("scale", []):
+        metric = entry.get("scale_metric")
+        if not metric or "value" not in metric:
+            print(f"error: scale entry without scale_metric in {path}",
+                  file=sys.stderr)
+            sys.exit(2)
+        entries[entry_key(entry)] = metric
+    return doc.get("bench", path), entries
+
+
+def describe(key):
+    draws, exponent, hot_set, candidates = key
+    parts = [f"draws={draws}", f"exp={exponent}"]
+    if hot_set is not None:
+        parts.append(f"hot_set={hot_set}")
+    if candidates is not None:
+        parts.append(f"candidates={candidates}")
+    return " ".join(parts)
+
+
+def main(argv):
+    threshold = 0.2
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    bench, baseline = load_scale(paths[0])
+    _, current = load_scale(paths[1])
+
+    if not baseline:
+        print(f"{bench}: baseline has no scale section; nothing to check")
+        return 0
+
+    failed = False
+    for key, base_metric in sorted(baseline.items(), key=str):
+        label = describe(key)
+        if key not in current:
+            print(f"skip {bench} [{label}]: not in current run")
+            continue
+        cur_metric = current[key]
+        if cur_metric.get("name") != base_metric.get("name"):
+            print(f"FAIL {bench} [{label}]: metric renamed "
+                  f"{base_metric.get('name')} -> {cur_metric.get('name')}")
+            failed = True
+            continue
+        base_value = float(base_metric["value"])
+        cur_value = float(cur_metric["value"])
+        higher_is_better = bool(base_metric.get("higher_is_better", True))
+        if base_value == 0:
+            print(f"skip {bench} [{label}]: zero baseline")
+            continue
+        # Signed relative change, oriented so positive = improvement.
+        change = (cur_value - base_value) / abs(base_value)
+        if not higher_is_better:
+            change = -change
+        status = "FAIL" if change < -threshold else "ok  "
+        print(f"{status} {bench} [{label}] {base_metric['name']}: "
+              f"{base_value:.4g} -> {cur_value:.4g} ({change:+.1%})")
+        if change < -threshold:
+            failed = True
+
+    new_keys = set(current) - set(baseline)
+    for key in sorted(new_keys, key=str):
+        print(f"new  {bench} [{describe(key)}]: no baseline, skipped")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,75 @@
+// Walker alias method for O(1) sampling from a fixed discrete
+// distribution. Shared by the in-memory Chung–Lu generators
+// (generators.cc) and the streamed scale-harness generator
+// (synthetic.cc); construction is a pure function of the weight vector,
+// so two tables built from equal weights sample identically given equal
+// RNG streams — the property the deterministic dataset cache relies on.
+
+#ifndef CNE_GRAPH_ALIAS_TABLE_H_
+#define CNE_GRAPH_ALIAS_TABLE_H_
+
+#include <numeric>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cne {
+
+/// Alias table over weights[0..n): Sample() returns index i with
+/// probability weights[i] / sum(weights) using one uniform integer and one
+/// uniform double per draw.
+class AliasTable {
+ public:
+  explicit AliasTable(const std::vector<double>& weights) {
+    const size_t n = weights.size();
+    CNE_CHECK(n > 0) << "alias table needs at least one weight";
+    prob_.resize(n);
+    alias_.resize(n);
+    const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    CNE_CHECK(total > 0) << "alias table needs positive total weight";
+    std::vector<double> scaled(n);
+    for (size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+    }
+    std::vector<size_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+      const size_t s = small.back();
+      small.pop_back();
+      const size_t l = large.back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    for (size_t l : large) {
+      prob_[l] = 1.0;
+      alias_[l] = l;
+    }
+    for (size_t s : small) {
+      prob_[s] = 1.0;
+      alias_[s] = s;
+    }
+  }
+
+  size_t Sample(Rng& rng) const {
+    const size_t i = rng.UniformInt(prob_.size());
+    return rng.NextDouble() < prob_[i] ? i : alias_[i];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace cne
+
+#endif  // CNE_GRAPH_ALIAS_TABLE_H_

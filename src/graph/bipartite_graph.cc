@@ -14,6 +14,14 @@ const char* LayerName(Layer layer) {
 
 BipartiteGraph::BipartiteGraph() = default;
 
+void CountsToOffsets(std::span<uint64_t> counts) {
+  uint64_t running = 0;
+  for (uint64_t& slot : counts) {
+    running += slot;
+    slot = running;
+  }
+}
+
 BipartiteGraph::BipartiteGraph(VertexId num_upper, VertexId num_lower,
                                const std::vector<Edge>& sorted_edges)
     : num_upper_(num_upper), num_lower_(num_lower) {
@@ -28,12 +36,8 @@ BipartiteGraph::BipartiteGraph(VertexId num_upper, VertexId num_lower,
     ++upper_offsets_[e.upper + 1];
     ++lower_offsets_[e.lower + 1];
   }
-  for (size_t i = 1; i < upper_offsets_.size(); ++i) {
-    upper_offsets_[i] += upper_offsets_[i - 1];
-  }
-  for (size_t i = 1; i < lower_offsets_.size(); ++i) {
-    lower_offsets_[i] += lower_offsets_[i - 1];
-  }
+  CountsToOffsets(upper_offsets_);
+  CountsToOffsets(lower_offsets_);
 
   // Edges are sorted by (upper, lower), so filling upper_adj_ in order keeps
   // each upper adjacency list sorted. Lower lists are filled with a cursor
@@ -53,6 +57,83 @@ BipartiteGraph::BipartiteGraph(VertexId num_upper, VertexId num_lower,
     assert(std::adjacent_find(nb.begin(), nb.end()) == nb.end());
   }
 #endif
+}
+
+BipartiteGraph BipartiteGraph::FromEdgeStream(VertexId num_upper,
+                                              VertexId num_lower,
+                                              const EdgeScan& scan) {
+  BipartiteGraph graph;
+  graph.num_upper_ = num_upper;
+  graph.num_lower_ = num_lower;
+
+  // Pass 1: per-upper-vertex emission counts (duplicates included).
+  graph.upper_offsets_.assign(static_cast<size_t>(num_upper) + 1, 0);
+  uint64_t emitted = 0;
+  scan([&](VertexId u, VertexId l) {
+    CNE_CHECK(u < num_upper && l < num_lower)
+        << "streamed edge (" << u << ", " << l << ") out of range";
+    ++graph.upper_offsets_[u + 1];
+    ++emitted;
+  });
+  CountsToOffsets(graph.upper_offsets_);
+
+  // Pass 2: fill the upper adjacency in emission order. The scan must
+  // replay the same sequence; the cursor check below catches producers
+  // that do not.
+  graph.upper_adj_.resize(emitted);
+  std::vector<uint64_t> cursor(graph.upper_offsets_.begin(),
+                               graph.upper_offsets_.end() - 1);
+  uint64_t refilled = 0;
+  scan([&](VertexId u, VertexId l) {
+    CNE_CHECK(u < num_upper && cursor[u] < graph.upper_offsets_[u + 1])
+        << "edge stream did not replay identically (vertex " << u << ")";
+    graph.upper_adj_[cursor[u]++] = l;
+    ++refilled;
+  });
+  CNE_CHECK(refilled == emitted)
+      << "edge stream emitted " << refilled << " edges on the fill pass, "
+      << emitted << " on the count pass";
+
+  // Sort + dedup each upper list, compacting in place. The write cursor
+  // never passes the read position (dedup only shrinks runs), so no
+  // second adjacency buffer is needed. Old offsets are consumed from
+  // `read_begin`/`upper_offsets_[u + 1]` one step ahead of the rewrite.
+  uint64_t write = 0;
+  uint64_t read_begin = 0;
+  for (VertexId u = 0; u < num_upper; ++u) {
+    const uint64_t read_end = graph.upper_offsets_[u + 1];
+    const auto first =
+        graph.upper_adj_.begin() + static_cast<ptrdiff_t>(read_begin);
+    const auto last =
+        graph.upper_adj_.begin() + static_cast<ptrdiff_t>(read_end);
+    std::sort(first, last);
+    const auto unique_end = std::unique(first, last);
+    const uint64_t kept = static_cast<uint64_t>(unique_end - first);
+    std::move(first, unique_end,
+              graph.upper_adj_.begin() + static_cast<ptrdiff_t>(write));
+    graph.upper_offsets_[u] = write;
+    write += kept;
+    read_begin = read_end;
+  }
+  graph.upper_offsets_[num_upper] = write;
+  graph.upper_adj_.resize(write);
+  graph.upper_adj_.shrink_to_fit();
+
+  // Transpose into the lower direction. Upper ids arrive in increasing
+  // order per lower vertex, so the lower lists come out sorted-unique.
+  graph.lower_offsets_.assign(static_cast<size_t>(num_lower) + 1, 0);
+  for (VertexId l : graph.upper_adj_) ++graph.lower_offsets_[l + 1];
+  CountsToOffsets(graph.lower_offsets_);
+  graph.lower_adj_.resize(write);
+  std::vector<uint64_t> lower_cursor(graph.lower_offsets_.begin(),
+                                     graph.lower_offsets_.end() - 1);
+  for (VertexId u = 0; u < num_upper; ++u) {
+    for (uint64_t i = graph.upper_offsets_[u]; i < graph.upper_offsets_[u + 1];
+         ++i) {
+      graph.lower_adj_[lower_cursor[graph.upper_adj_[i]]++] = u;
+    }
+  }
+  return graph;
 }
 
 BipartiteGraph::CsrParts BipartiteGraph::Csr(Layer layer) const {

@@ -7,6 +7,7 @@
 #define CNE_GRAPH_BIPARTITE_GRAPH_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -15,7 +16,18 @@ namespace cne {
 
 /// Vertex identifier, local to its layer: upper vertices are
 /// [0, NumUpper()) and lower vertices are [0, NumLower()).
+///
+/// 32 bits covers every layer of the paper's Table 2 (the largest is
+/// Delicious-ui's 33.8M-vertex lower layer); *edge* quantities — CSR
+/// offsets, adjacency positions, edge counts, uploaded-edge accounting —
+/// must be 64-bit, because Table 2 reaches 3.3×10⁸ edges and the scale
+/// harness targets 10⁸. tests/store/wide_index_test.cc pins the index
+/// arithmetic past the 2³² boundary.
 using VertexId = uint32_t;
+
+/// Largest usable vertex id. The all-ones value is reserved so that
+/// `id + 1` (layer-size discovery, offset slots) can never wrap.
+inline constexpr VertexId kMaxVertexId = 0xfffffffeU;
 
 /// The two vertex layers of a bipartite graph.
 enum class Layer : uint8_t { kUpper = 0, kLower = 1 };
@@ -73,6 +85,26 @@ class BipartiteGraph {
   /// Most callers should use GraphBuilder instead, which sorts and dedups.
   BipartiteGraph(VertexId num_upper, VertexId num_lower,
                  const std::vector<Edge>& sorted_edges);
+
+  /// A replayable edge producer: invoked with an emit callback and
+  /// expected to call emit(upper, lower) once per edge. FromEdgeStream
+  /// invokes the scan twice (count pass, fill pass); both invocations
+  /// must emit the identical sequence — e.g. re-reading a file or
+  /// re-running a seeded generator.
+  using EdgeEmit = std::function<void(VertexId, VertexId)>;
+  using EdgeScan = std::function<void(const EdgeEmit&)>;
+
+  /// Streamed two-pass CSR build for graphs whose edge list must never be
+  /// held twice in memory: pass 1 counts per-vertex degrees, pass 2 fills
+  /// the upper adjacency in place, which is then sorted, deduplicated and
+  /// compacted per vertex, and finally transposed into the lower
+  /// direction. Duplicate and unsorted emissions are fine (deduplication
+  /// matches GraphBuilder exactly, so the result is byte-identical to the
+  /// in-memory build of the same edge multiset). Peak memory is the
+  /// emitted-edge adjacency plus both offset arrays — strictly under
+  /// twice the final two-direction CSR for any duplicate rate below 2×.
+  static BipartiteGraph FromEdgeStream(VertexId num_upper, VertexId num_lower,
+                                       const EdgeScan& scan);
 
   /// An empty graph with no vertices and no edges.
   BipartiteGraph();
@@ -168,6 +200,14 @@ class BipartiteGraph {
   std::vector<uint64_t> lower_offsets_;
   std::vector<VertexId> lower_adj_;
 };
+
+/// In-place conversion of per-vertex counts into CSR offsets: on entry
+/// `counts[v + 1]` holds the degree of vertex v and `counts[0]` is 0; on
+/// exit `counts[v]` is the CSR offset of vertex v's adjacency. The one
+/// definition of the prefix-sum every CSR build uses — 64-bit throughout,
+/// so degree sums past 2³² (10⁸-edge graphs) cannot truncate
+/// (tests/store/wide_index_test.cc exercises the boundary).
+void CountsToOffsets(std::span<uint64_t> counts);
 
 /// Counts the size of the intersection of two sorted id ranges.
 uint64_t SortedIntersectionSize(std::span<const VertexId> a,

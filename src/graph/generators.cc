@@ -2,67 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <unordered_set>
 
+#include "graph/alias_table.h"
 #include "graph/graph_builder.h"
 #include "util/logging.h"
 
 namespace cne {
 
 namespace {
-
-/// Walker alias table for O(1) sampling from a discrete distribution.
-class AliasTable {
- public:
-  explicit AliasTable(const std::vector<double>& weights) {
-    const size_t n = weights.size();
-    CNE_CHECK(n > 0) << "alias table needs at least one weight";
-    prob_.resize(n);
-    alias_.resize(n);
-    const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
-    CNE_CHECK(total > 0) << "alias table needs positive total weight";
-    std::vector<double> scaled(n);
-    for (size_t i = 0; i < n; ++i) {
-      scaled[i] = weights[i] * static_cast<double>(n) / total;
-    }
-    std::vector<size_t> small, large;
-    small.reserve(n);
-    large.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      (scaled[i] < 1.0 ? small : large).push_back(i);
-    }
-    while (!small.empty() && !large.empty()) {
-      const size_t s = small.back();
-      small.pop_back();
-      const size_t l = large.back();
-      prob_[s] = scaled[s];
-      alias_[s] = l;
-      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
-      if (scaled[l] < 1.0) {
-        large.pop_back();
-        small.push_back(l);
-      }
-    }
-    for (size_t l : large) {
-      prob_[l] = 1.0;
-      alias_[l] = l;
-    }
-    for (size_t s : small) {
-      prob_[s] = 1.0;
-      alias_[s] = s;
-    }
-  }
-
-  size_t Sample(Rng& rng) const {
-    const size_t i = rng.UniformInt(prob_.size());
-    return rng.NextDouble() < prob_[i] ? i : alias_[i];
-  }
-
- private:
-  std::vector<double> prob_;
-  std::vector<size_t> alias_;
-};
 
 uint64_t EdgeKey(VertexId upper, VertexId lower) {
   return (static_cast<uint64_t>(upper) << 32) | lower;

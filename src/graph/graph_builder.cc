@@ -17,6 +17,9 @@ GraphBuilder& GraphBuilder::AddEdge(VertexId upper, VertexId lower) {
         << "edge (" << upper << ", " << lower << ") outside fixed layers ("
         << num_upper_ << ", " << num_lower_ << ")";
   } else {
+    CNE_CHECK(upper <= kMaxVertexId && lower <= kMaxVertexId)
+        << "vertex id " << std::max(upper, lower)
+        << " exceeds kMaxVertexId; layer-size discovery would wrap";
     num_upper_ = std::max(num_upper_, upper + 1);
     num_lower_ = std::max(num_lower_, lower + 1);
   }

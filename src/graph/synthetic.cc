@@ -1,0 +1,300 @@
+#include "graph/synthetic.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace cne {
+
+namespace {
+
+// Cache-file header, little-endian:
+//   magic "CNEGEN01" (8 bytes) | cache_version u32 | num_upper u32 |
+//   num_lower u32 | num_edges u64 | exponent_upper f64 |
+//   exponent_lower f64 | seed u64 | draws_per_chunk u64
+// followed by num_edges (upper u32, lower u32) pairs and a CRC-32 footer
+// (u32) over the pair payload.
+constexpr char kCacheMagic[8] = {'C', 'N', 'E', 'G', 'E', 'N', '0', '1'};
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
+constexpr size_t kPairBytes = 8;
+constexpr size_t kIoBufferPairs = 1 << 16;  // 512 KiB buffered IO
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t MixIn(uint64_t h, uint64_t v) { return SplitMix64(h ^ v); }
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void PutU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void PutU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void EncodeHeader(const SyntheticSpec& spec, uint8_t* out) {
+  std::memcpy(out, kCacheMagic, 8);
+  PutU32(out + 8, kSyntheticCacheVersion);
+  PutU32(out + 12, spec.num_upper);
+  PutU32(out + 16, spec.num_lower);
+  PutU64(out + 20, spec.num_edges);
+  PutU64(out + 28, DoubleBits(spec.exponent_upper));
+  PutU64(out + 36, DoubleBits(spec.exponent_lower));
+  PutU64(out + 44, spec.seed);
+  PutU64(out + 52, kSyntheticDrawsPerChunk);
+}
+
+// True when `header` (kHeaderBytes long) matches `spec` bit for bit.
+bool HeaderMatches(const SyntheticSpec& spec, const uint8_t* header) {
+  uint8_t want[kHeaderBytes];
+  EncodeHeader(spec, want);
+  return std::memcmp(header, want, kHeaderBytes) == 0;
+}
+
+uint64_t ExpectedFileBytes(const SyntheticSpec& spec) {
+  return kHeaderBytes + spec.num_edges * kPairBytes + 4;
+}
+
+}  // namespace
+
+std::string SyntheticSpec::Describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "chung_lu(|U|=%u, |L|=%u, draws=%llu, exp=%.3g/%.3g, "
+                "seed=%llu)",
+                num_upper, num_lower,
+                static_cast<unsigned long long>(num_edges), exponent_upper,
+                exponent_lower, static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+SyntheticSpec ScaledShapeSpec(uint64_t base_upper, uint64_t base_lower,
+                              uint64_t base_edges, uint64_t target_edges,
+                              double exponent, uint64_t seed) {
+  CNE_CHECK(base_upper > 0 && base_lower > 0 && base_edges > 0)
+      << "scaling needs a non-degenerate base shape";
+  const double ratio = static_cast<double>(target_edges) /
+                       static_cast<double>(base_edges);
+  const double vertex_scale = std::sqrt(ratio);
+  SyntheticSpec spec;
+  spec.num_upper = static_cast<VertexId>(std::max<uint64_t>(
+      2, static_cast<uint64_t>(
+             std::llround(static_cast<double>(base_upper) * vertex_scale))));
+  spec.num_lower = static_cast<VertexId>(std::max<uint64_t>(
+      2, static_cast<uint64_t>(
+             std::llround(static_cast<double>(base_lower) * vertex_scale))));
+  spec.num_edges = target_edges;
+  spec.exponent_upper = exponent;
+  spec.exponent_lower = exponent;
+  spec.seed = seed;
+  return spec;
+}
+
+uint64_t SyntheticCacheKey(const SyntheticSpec& spec) {
+  uint64_t h = MixIn(0x636e655f67656eULL, kSyntheticCacheVersion);
+  h = MixIn(h, spec.num_upper);
+  h = MixIn(h, spec.num_lower);
+  h = MixIn(h, spec.num_edges);
+  h = MixIn(h, DoubleBits(spec.exponent_upper));
+  h = MixIn(h, DoubleBits(spec.exponent_lower));
+  h = MixIn(h, spec.seed);
+  h = MixIn(h, kSyntheticDrawsPerChunk);
+  return h;
+}
+
+std::string SyntheticCacheFileName(const SyntheticSpec& spec) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "cne_gen_%016llx.edges",
+                static_cast<unsigned long long>(SyntheticCacheKey(spec)));
+  return buf;
+}
+
+std::string DefaultSyntheticCacheDir() {
+  if (const char* env = std::getenv("CNE_DATASET_CACHE");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return ".cne-cache";
+}
+
+SyntheticSampler::SyntheticSampler(const SyntheticSpec& spec)
+    : spec_(spec),
+      upper_table_(PowerLawWeights(spec.num_upper, spec.exponent_upper)),
+      lower_table_(PowerLawWeights(spec.num_lower, spec.exponent_lower)) {
+  CNE_CHECK(spec.num_upper > 0 && spec.num_lower > 0)
+      << "synthetic graph needs non-empty layers";
+}
+
+uint64_t SyntheticSampler::NumChunks() const {
+  return (spec_.num_edges + kSyntheticDrawsPerChunk - 1) /
+         kSyntheticDrawsPerChunk;
+}
+
+void SyntheticSampler::EmitChunk(
+    uint64_t chunk,
+    const std::function<void(VertexId, VertexId)>& emit) const {
+  const uint64_t first = chunk * kSyntheticDrawsPerChunk;
+  CNE_CHECK(first < spec_.num_edges) << "chunk " << chunk << " out of range";
+  const uint64_t count =
+      std::min(kSyntheticDrawsPerChunk, spec_.num_edges - first);
+  // The chunk substream depends only on (seed, chunk index), never on
+  // which chunks were emitted before — the whole determinism story.
+  Rng rng = Rng(spec_.seed).Fork(chunk);
+  for (uint64_t i = 0; i < count; ++i) {
+    const VertexId u = static_cast<VertexId>(upper_table_.Sample(rng));
+    const VertexId l = static_cast<VertexId>(lower_table_.Sample(rng));
+    emit(u, l);
+  }
+}
+
+void SyntheticSampler::EmitAll(
+    const std::function<void(VertexId, VertexId)>& emit) const {
+  const uint64_t chunks = NumChunks();
+  for (uint64_t c = 0; c < chunks; ++c) EmitChunk(c, emit);
+}
+
+EdgeCacheEntry EnsureEdgeCache(const SyntheticSpec& spec,
+                               const std::string& cache_dir) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      cache_dir.empty() ? fs::path(DefaultSyntheticCacheDir())
+                        : fs::path(cache_dir);
+  fs::create_directories(dir);
+  const fs::path path = dir / SyntheticCacheFileName(spec);
+
+  EdgeCacheEntry entry;
+  entry.path = path.string();
+
+  // A hit needs a bit-exact header and the exact expected length; the
+  // payload CRC footer is verified by every ForEachCachedEdge scan.
+  std::error_code ec;
+  if (fs::file_size(path, ec) == ExpectedFileBytes(spec) && !ec) {
+    std::ifstream in(path, std::ios::binary);
+    uint8_t header[kHeaderBytes];
+    if (in.read(reinterpret_cast<char*>(header), kHeaderBytes) &&
+        HeaderMatches(spec, header)) {
+      entry.file_bytes = ExpectedFileBytes(spec);
+      return entry;
+    }
+  }
+
+  // Miss (or corrupt/mismatched entry): regenerate atomically.
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot open " + tmp.string() +
+                               " for writing");
+    }
+    uint8_t header[kHeaderBytes];
+    EncodeHeader(spec, header);
+    out.write(reinterpret_cast<const char*>(header), kHeaderBytes);
+
+    const SyntheticSampler sampler(spec);
+    std::vector<uint8_t> buffer(kIoBufferPairs * kPairBytes);
+    size_t filled = 0;
+    uint32_t crc = 0;
+    const auto flush = [&] {
+      crc = Crc32(buffer.data(), filled, crc);
+      out.write(reinterpret_cast<const char*>(buffer.data()),
+                static_cast<std::streamsize>(filled));
+      filled = 0;
+    };
+    sampler.EmitAll([&](VertexId u, VertexId l) {
+      PutU32(buffer.data() + filled, u);
+      PutU32(buffer.data() + filled + 4, l);
+      filled += kPairBytes;
+      if (filled == buffer.size()) flush();
+    });
+    if (filled > 0) flush();
+    uint8_t footer[4];
+    PutU32(footer, crc);
+    out.write(reinterpret_cast<const char*>(footer), 4);
+    if (!out) throw std::runtime_error("write failed for " + tmp.string());
+  }
+  fs::rename(tmp, path);
+  entry.generated = true;
+  entry.file_bytes = ExpectedFileBytes(spec);
+  return entry;
+}
+
+void ForEachCachedEdge(const std::string& path, const SyntheticSpec& spec,
+                       const std::function<void(VertexId, VertexId)>& emit) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open edge cache " + path);
+  uint8_t header[kHeaderBytes];
+  if (!in.read(reinterpret_cast<char*>(header), kHeaderBytes)) {
+    throw std::runtime_error(path + ": truncated edge-cache header");
+  }
+  if (std::memcmp(header, kCacheMagic, 8) != 0) {
+    throw std::runtime_error(path + ": bad edge-cache magic");
+  }
+  if (!HeaderMatches(spec, header)) {
+    throw std::runtime_error(path + ": edge-cache header does not match " +
+                             spec.Describe());
+  }
+
+  std::vector<uint8_t> buffer(kIoBufferPairs * kPairBytes);
+  uint64_t remaining = spec.num_edges;
+  uint32_t crc = 0;
+  while (remaining > 0) {
+    const uint64_t batch = std::min<uint64_t>(remaining, kIoBufferPairs);
+    const size_t bytes = static_cast<size_t>(batch) * kPairBytes;
+    if (!in.read(reinterpret_cast<char*>(buffer.data()),
+                 static_cast<std::streamsize>(bytes))) {
+      throw std::runtime_error(path + ": truncated edge-cache payload");
+    }
+    crc = Crc32(buffer.data(), bytes, crc);
+    for (size_t i = 0; i < bytes; i += kPairBytes) {
+      emit(GetU32(buffer.data() + i), GetU32(buffer.data() + i + 4));
+    }
+    remaining -= batch;
+  }
+  uint8_t footer[4];
+  if (!in.read(reinterpret_cast<char*>(footer), 4)) {
+    throw std::runtime_error(path + ": missing edge-cache CRC footer");
+  }
+  if (GetU32(footer) != crc) {
+    throw std::runtime_error(path + ": edge-cache CRC mismatch");
+  }
+}
+
+BipartiteGraph BuildSyntheticGraph(const SyntheticSpec& spec,
+                                   const std::string& cache_dir,
+                                   EdgeCacheEntry* out_entry) {
+  const EdgeCacheEntry entry = EnsureEdgeCache(spec, cache_dir);
+  if (out_entry != nullptr) *out_entry = entry;
+  return BipartiteGraph::FromEdgeStream(
+      spec.num_upper, spec.num_lower,
+      [&](const std::function<void(VertexId, VertexId)>& emit) {
+        ForEachCachedEdge(entry.path, spec, emit);
+      });
+}
+
+}  // namespace cne

@@ -1,0 +1,148 @@
+// Seeded, streamed Chung–Lu bipartite generator for the million-edge
+// scale harness, with an on-disk edge cache.
+//
+// The paper (journals_pacmmod_HeWZLZ24) evaluates on KONECT bipartite
+// graphs of 10⁶–10⁸ edges with heavy power-law degree skew (Table 2);
+// reproducing that regime needs graphs far too large to regenerate per
+// bench run or to hold twice in memory while building. This module
+// provides:
+//
+//   SyntheticSpec      the generator parameters — layer sizes, edge-draw
+//                      count, per-layer power-law exponents, seed —
+//                      mirroring the paper's Table 2 shape statistics;
+//   SyntheticSampler   deterministic chunked edge-draw stream: draws are
+//                      partitioned into fixed chunks, chunk c is seeded
+//                      from Rng(seed).Fork(c), so the stream is a pure
+//                      function of the spec and identical no matter how
+//                      many threads consume or regenerate chunks;
+//   edge cache         draws persisted to `<cache_dir>/cne_gen_<key>.edges`
+//                      keyed by (format version, every spec field), with a
+//                      CRC-32 footer; CI and benches regenerate a dataset
+//                      at most once per (params, seed, version);
+//   BuildSyntheticGraph cache-backed streamed CSR build through
+//                      BipartiteGraph::FromEdgeStream — the edge list is
+//                      never materialized; peak memory stays under twice
+//                      the final CSR size.
+//
+// `num_edges` counts *draws*: the built graph deduplicates, so its edge
+// count is slightly below num_edges (collisions concentrate on hot
+// hub×hub pairs under power-law weights). The statistical test suite
+// (tests/graph/synthetic_test.cc) pins the collision loss and the degree
+// moments to analytic bounds.
+
+#ifndef CNE_GRAPH_SYNTHETIC_H_
+#define CNE_GRAPH_SYNTHETIC_H_
+
+#include <functional>
+#include <string>
+
+#include "graph/alias_table.h"
+#include "graph/bipartite_graph.h"
+
+namespace cne {
+
+/// Version of the on-disk edge-cache format. Part of the cache key: bump
+/// it whenever the draw algorithm or the file layout changes, and every
+/// stale cache entry is ignored rather than misread.
+inline constexpr uint32_t kSyntheticCacheVersion = 1;
+
+/// Edge draws per deterministic chunk. Each chunk is an independent RNG
+/// substream (Rng(seed).Fork(chunk)), so regeneration, parallel fills,
+/// and partial scans all see byte-identical draws.
+inline constexpr uint64_t kSyntheticDrawsPerChunk = uint64_t{1} << 16;
+
+/// Parameters of one synthetic dataset, shaped like a paper Table 2 row.
+struct SyntheticSpec {
+  VertexId num_upper = 0;  ///< |U| (users-like layer in Table 2)
+  VertexId num_lower = 0;  ///< |L|
+  /// Edge *draws*; the deduplicated graph has slightly fewer edges.
+  uint64_t num_edges = 0;
+  double exponent_upper = 2.1;  ///< power-law exponent of the U weights
+  double exponent_lower = 2.1;  ///< power-law exponent of the L weights
+  uint64_t seed = 1;
+
+  friend bool operator==(const SyntheticSpec&, const SyntheticSpec&) = default;
+
+  /// One-line description, e.g. "chung_lu(|U|=1200, |L|=8100, draws=58000,
+  /// exp=2.1/2.1, seed=1)".
+  std::string Describe() const;
+};
+
+/// Scales a Table 2 shape (base_upper × base_lower, base_edges) to
+/// `target_edges` draws: edges scale linearly, vertices by sqrt of the
+/// edge ratio, which preserves density and with it the degree structure —
+/// the same rule eval/datasets.cc applies to the >2M-edge KONECT graphs.
+/// Layers are floored at 2 vertices.
+SyntheticSpec ScaledShapeSpec(uint64_t base_upper, uint64_t base_lower,
+                              uint64_t base_edges, uint64_t target_edges,
+                              double exponent = 2.1, uint64_t seed = 1);
+
+/// 64-bit cache key covering kSyntheticCacheVersion and every spec field.
+uint64_t SyntheticCacheKey(const SyntheticSpec& spec);
+
+/// File name of the cache entry for `spec`: "cne_gen_<key-hex>.edges".
+std::string SyntheticCacheFileName(const SyntheticSpec& spec);
+
+/// Cache directory resolution: $CNE_DATASET_CACHE when set, else
+/// ".cne-cache" under the current working directory (what CI persists
+/// between runs via actions/cache).
+std::string DefaultSyntheticCacheDir();
+
+/// Deterministic chunked edge-draw stream over a spec. Construction cost
+/// is O(|U| + |L|) (power-law weights + alias tables); each draw is O(1).
+class SyntheticSampler {
+ public:
+  explicit SyntheticSampler(const SyntheticSpec& spec);
+
+  const SyntheticSpec& spec() const { return spec_; }
+
+  /// Number of draw chunks, ceil(num_edges / kSyntheticDrawsPerChunk).
+  uint64_t NumChunks() const;
+
+  /// Emits the draws of chunk `chunk` in order. Independent of every
+  /// other chunk: safe to call from any thread, in any order, repeatedly.
+  void EmitChunk(uint64_t chunk,
+                 const std::function<void(VertexId, VertexId)>& emit) const;
+
+  /// Emits all draws in chunk order — the canonical stream.
+  void EmitAll(const std::function<void(VertexId, VertexId)>& emit) const;
+
+ private:
+  SyntheticSpec spec_;
+  AliasTable upper_table_;
+  AliasTable lower_table_;
+};
+
+/// Result of EnsureEdgeCache: where the cache entry lives and whether
+/// this call generated it.
+struct EdgeCacheEntry {
+  std::string path;
+  bool generated = false;   ///< false: a valid entry already existed
+  uint64_t file_bytes = 0;
+};
+
+/// Ensures `<cache_dir>/cne_gen_<key>.edges` exists and is valid for
+/// `spec`, generating it atomically (tmp + rename) on a miss or on a
+/// corrupt/mismatched entry. Creates the directory if needed. Throws
+/// std::runtime_error on IO failure.
+EdgeCacheEntry EnsureEdgeCache(const SyntheticSpec& spec,
+                               const std::string& cache_dir);
+
+/// Streams every cached draw to `emit`, validating the header against
+/// `spec` and the payload CRC-32 footer along the way. Throws
+/// std::runtime_error on any mismatch, truncation, or IO failure.
+void ForEachCachedEdge(const std::string& path, const SyntheticSpec& spec,
+                       const std::function<void(VertexId, VertexId)>& emit);
+
+/// Cache-backed streamed build: ensures the edge cache for `spec`, then
+/// two-pass builds the CSR via BipartiteGraph::FromEdgeStream, scanning
+/// the cache file twice instead of holding an edge list in memory.
+/// `cache_dir` empty means DefaultSyntheticCacheDir(). If `out_entry` is
+/// non-null it receives the cache entry the build used.
+BipartiteGraph BuildSyntheticGraph(const SyntheticSpec& spec,
+                                   const std::string& cache_dir = "",
+                                   EdgeCacheEntry* out_entry = nullptr);
+
+}  // namespace cne
+
+#endif  // CNE_GRAPH_SYNTHETIC_H_

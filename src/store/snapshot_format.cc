@@ -1,6 +1,7 @@
 #include "store/snapshot_format.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -177,18 +178,18 @@ namespace {
 void WriteCsrDirection(BipartiteGraph::CsrParts csr, uint32_t block_edges,
                        ByteWriter& out) {
   for (uint64_t offset : csr.offsets) out.U64(offset);
-  const uint64_t num_blocks =
-      (csr.adj.size() + block_edges - 1) / block_edges;
+  const uint64_t num_blocks = CsrBlockCount(csr.adj.size(), block_edges);
+  CNE_CHECK(num_blocks <= std::numeric_limits<uint32_t>::max())
+      << "CSR direction needs " << num_blocks
+      << " blocks, beyond the format's u32 block count";
   out.U32(static_cast<uint32_t>(num_blocks));
   ByteWriter block;
   for (uint64_t b = 0; b < num_blocks; ++b) {
-    const uint64_t first = b * block_edges;
-    const uint32_t count = static_cast<uint32_t>(
-        std::min<uint64_t>(block_edges, csr.adj.size() - first));
+    const CsrBlockSpan span = CsrBlockAt(b, csr.adj.size(), block_edges);
     block = ByteWriter();
-    for (uint32_t i = 0; i < count; ++i) block.U32(csr.adj[first + i]);
-    out.U64(first);
-    out.U32(count);
+    for (uint32_t i = 0; i < span.count; ++i) block.U32(csr.adj[span.first + i]);
+    out.U64(span.first);
+    out.U32(span.count);
     out.U32(Crc32(block.data().data(), block.size()));
     out.Bytes(block.data().data(), block.size());
   }
@@ -202,8 +203,10 @@ struct CsrArrays {
 CsrArrays ReadCsrDirection(ByteReader& in, VertexId num_vertices,
                            uint64_t num_edges) {
   CsrArrays csr;
+  // 64-bit loop index: `v <= num_vertices` on VertexId would wrap forever
+  // at num_vertices == UINT32_MAX.
   csr.offsets.reserve(static_cast<size_t>(num_vertices) + 1);
-  for (VertexId v = 0; v <= num_vertices; ++v) csr.offsets.push_back(in.U64());
+  for (uint64_t v = 0; v <= num_vertices; ++v) csr.offsets.push_back(in.U64());
   csr.adj.reserve(num_edges);
   const uint32_t num_blocks = in.U32();
   for (uint32_t b = 0; b < num_blocks; ++b) {
@@ -262,7 +265,7 @@ GraphSectionSummary SummarizeGraphSection(ByteReader& in) {
   summary.num_edges = in.U64();
   summary.block_edges = in.U32();
   for (const VertexId n : {summary.num_upper, summary.num_lower}) {
-    for (VertexId v = 0; v <= n; ++v) in.U64();  // offsets
+    for (uint64_t v = 0; v <= n; ++v) in.U64();  // offsets (64-bit index)
     const uint32_t num_blocks = in.U32();
     for (uint32_t b = 0; b < num_blocks; ++b) {
       in.U64();  // first

@@ -160,6 +160,34 @@ SnapshotConfig ReadConfigSection(ByteReader& in);
 /// headers are noise.
 inline constexpr uint32_t kDefaultCsrBlockEdges = 65536;
 
+/// One block's slice of a CSR adjacency array: ids [first, first + count).
+struct CsrBlockSpan {
+  uint64_t first = 0;
+  uint32_t count = 0;
+
+  friend bool operator==(const CsrBlockSpan&, const CsrBlockSpan&) = default;
+};
+
+/// Number of blocks a CSR direction of `num_ids` adjacency ids occupies.
+/// 64-bit arithmetic end to end: a 10⁸-edge direction is ~1.5k blocks,
+/// and block indexing must stay exact far past the 2³² id boundary
+/// (tests/store/wide_index_test.cc). The single definition the writer,
+/// reader, and inspector all use.
+constexpr uint64_t CsrBlockCount(uint64_t num_ids, uint32_t block_edges) {
+  return block_edges == 0 ? 0 : (num_ids + block_edges - 1) / block_edges;
+}
+
+/// The id span of block `block` within a direction of `num_ids` ids.
+constexpr CsrBlockSpan CsrBlockAt(uint64_t block, uint64_t num_ids,
+                                  uint32_t block_edges) {
+  const uint64_t first = block * block_edges;
+  const uint64_t count =
+      first < num_ids ? (num_ids - first < block_edges ? num_ids - first
+                                                       : block_edges)
+                      : 0;
+  return {first, static_cast<uint32_t>(count)};
+}
+
 /// Writes `graph` as block-CSR: both directions, offsets then adjacency
 /// in blocks of `block_edges` ids, each block with its own CRC32.
 void WriteGraphSection(const BipartiteGraph& graph, ByteWriter& out,

@@ -1,0 +1,290 @@
+// Statistical and determinism tests over the synthetic scale generator
+// (graph/synthetic.h): exact per-seed determinism, chunk/thread
+// independence, degree-sequence moments against the Chung–Lu weights,
+// distinct-edge concentration within the analytic collision bound, and
+// byte-identical cache round trips.
+
+#include "graph/synthetic.h"
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace cne {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshCacheDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+SyntheticSpec SmallSpec() {
+  SyntheticSpec spec;
+  spec.num_upper = 500;
+  spec.num_lower = 800;
+  spec.num_edges = 200000;  // > kSyntheticDrawsPerChunk: multi-chunk
+  spec.seed = 42;
+  return spec;
+}
+
+std::vector<Edge> Draws(const SyntheticSampler& sampler) {
+  std::vector<Edge> draws;
+  draws.reserve(sampler.spec().num_edges);
+  sampler.EmitAll([&](VertexId u, VertexId l) { draws.push_back({u, l}); });
+  return draws;
+}
+
+std::vector<uint8_t> FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+TEST(SyntheticSamplerTest, ExactDeterminismPerSeed) {
+  const SyntheticSpec spec = SmallSpec();
+  const auto a = Draws(SyntheticSampler(spec));
+  const auto b = Draws(SyntheticSampler(spec));
+  ASSERT_EQ(a.size(), spec.num_edges);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SyntheticSamplerTest, DifferentSeedsDiverge) {
+  SyntheticSpec spec = SmallSpec();
+  const auto a = Draws(SyntheticSampler(spec));
+  spec.seed = 43;
+  const auto b = Draws(SyntheticSampler(spec));
+  EXPECT_NE(a, b);
+}
+
+TEST(SyntheticSamplerTest, ChunksComposeToFullStreamInAnyOrder) {
+  // Each chunk is an independent substream: emitting chunks in reverse
+  // order and reassembling must reproduce EmitAll exactly. This is the
+  // property that makes the stream independent of consumer thread count.
+  const SyntheticSpec spec = SmallSpec();
+  const SyntheticSampler sampler(spec);
+  const auto expected = Draws(sampler);
+
+  const uint64_t chunks = sampler.NumChunks();
+  ASSERT_GE(chunks, 3u);  // the test is vacuous on a single chunk
+  std::vector<std::vector<Edge>> parts(chunks);
+  for (uint64_t c = chunks; c-- > 0;) {
+    sampler.EmitChunk(
+        c, [&](VertexId u, VertexId l) { parts[c].push_back({u, l}); });
+  }
+  std::vector<Edge> reassembled;
+  for (const auto& part : parts) {
+    reassembled.insert(reassembled.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(reassembled, expected);
+}
+
+TEST(SyntheticSamplerTest, RepeatedChunkEmissionIsIdempotent) {
+  const SyntheticSpec spec = SmallSpec();
+  const SyntheticSampler sampler(spec);
+  std::vector<Edge> first, second;
+  sampler.EmitChunk(1, [&](VertexId u, VertexId l) { first.push_back({u, l}); });
+  sampler.EmitChunk(1,
+                    [&](VertexId u, VertexId l) { second.push_back({u, l}); });
+  EXPECT_EQ(first, second);
+}
+
+TEST(SyntheticSamplerTest, DegreeMomentsMatchChungLuWeights) {
+  // Draw counts per upper vertex are Binomial(T, w_i); check the head of
+  // the weight sequence within 6 binomial standard deviations, and the
+  // total exactly.
+  const SyntheticSpec spec = SmallSpec();
+  const double T = static_cast<double>(spec.num_edges);
+  const auto weights = PowerLawWeights(spec.num_upper, spec.exponent_upper);
+
+  std::vector<uint64_t> draw_count(spec.num_upper, 0);
+  uint64_t total = 0;
+  SyntheticSampler(spec).EmitAll([&](VertexId u, VertexId) {
+    ++draw_count[u];
+    ++total;
+  });
+  ASSERT_EQ(total, spec.num_edges);
+
+  for (VertexId i = 0; i < 20; ++i) {
+    const double mean = T * weights[i];
+    const double sigma = std::sqrt(mean * (1.0 - weights[i]));
+    EXPECT_NEAR(static_cast<double>(draw_count[i]), mean, 6.0 * sigma)
+        << "upper vertex " << i;
+  }
+
+  // Skew sanity: the top decile must out-draw the bottom decile per
+  // vertex by a wide margin under exponent 2.1.
+  const VertexId decile = spec.num_upper / 10;
+  uint64_t top = 0, bottom = 0;
+  for (VertexId i = 0; i < decile; ++i) top += draw_count[i];
+  for (VertexId i = spec.num_upper - decile; i < spec.num_upper; ++i) {
+    bottom += draw_count[i];
+  }
+  EXPECT_GT(top, 10 * bottom);
+}
+
+TEST(SyntheticSamplerTest, DistinctEdgeCountWithinCollisionBound) {
+  // E[draws - distinct] <= E[# colliding draw pairs]
+  //                      = C(T,2) * (sum w_u^2)(sum w_l^2),
+  // so the deduplicated graph keeps all but an analytically bounded
+  // number of draws. The lower bound uses 4x the expectation as slack
+  // (Markov keeps the violation probability under 25%; with a fixed seed
+  // the test is deterministic anyway).
+  const SyntheticSpec spec = SmallSpec();
+  const auto wu = PowerLawWeights(spec.num_upper, spec.exponent_upper);
+  const auto wl = PowerLawWeights(spec.num_lower, spec.exponent_lower);
+  const auto sum_sq = [](const std::vector<double>& w) {
+    double s = 0.0;
+    for (double x : w) s += x * x;
+    return s;
+  };
+  const double T = static_cast<double>(spec.num_edges);
+  const double expected_collisions = 0.5 * T * (T - 1.0) * sum_sq(wu) * sum_sq(wl);
+
+  const BipartiteGraph g = BuildSyntheticGraph(spec, FreshCacheDir("syn_bound"));
+  const double distinct = static_cast<double>(g.NumEdges());
+  EXPECT_LE(distinct, T);
+  EXPECT_GE(distinct, T - 4.0 * expected_collisions);
+  // Hub×hub repeats are near-certain at this scale: dedup must bite.
+  EXPECT_LT(distinct, T);
+}
+
+TEST(SyntheticCacheTest, RoundTripIsByteIdentical) {
+  const SyntheticSpec spec = SmallSpec();
+  const std::string dir = FreshCacheDir("syn_cache_rt");
+
+  const EdgeCacheEntry first = EnsureEdgeCache(spec, dir);
+  EXPECT_TRUE(first.generated);
+  const auto bytes = FileBytes(first.path);
+  ASSERT_EQ(bytes.size(), first.file_bytes);
+
+  // Second call is a hit and leaves the file untouched.
+  const EdgeCacheEntry second = EnsureEdgeCache(spec, dir);
+  EXPECT_FALSE(second.generated);
+  EXPECT_EQ(second.path, first.path);
+  EXPECT_EQ(FileBytes(second.path), bytes);
+
+  // Full regeneration from scratch is byte-identical.
+  fs::remove(first.path);
+  const EdgeCacheEntry third = EnsureEdgeCache(spec, dir);
+  EXPECT_TRUE(third.generated);
+  EXPECT_EQ(FileBytes(third.path), bytes);
+}
+
+TEST(SyntheticCacheTest, ScanMatchesDirectEmission) {
+  const SyntheticSpec spec = SmallSpec();
+  const std::string dir = FreshCacheDir("syn_cache_scan");
+  const EdgeCacheEntry entry = EnsureEdgeCache(spec, dir);
+
+  std::vector<Edge> scanned;
+  ForEachCachedEdge(entry.path, spec,
+                    [&](VertexId u, VertexId l) { scanned.push_back({u, l}); });
+  EXPECT_EQ(scanned, Draws(SyntheticSampler(spec)));
+}
+
+TEST(SyntheticCacheTest, CorruptPayloadFailsTheScan) {
+  const SyntheticSpec spec = SmallSpec();
+  const std::string dir = FreshCacheDir("syn_cache_corrupt");
+  const EdgeCacheEntry entry = EnsureEdgeCache(spec, dir);
+
+  auto bytes = FileBytes(entry.path);
+  bytes[bytes.size() / 2] ^= 0xff;  // flip a payload byte
+  std::ofstream(entry.path, std::ios::binary | std::ios::trunc)
+      .write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+
+  EXPECT_THROW(ForEachCachedEdge(entry.path, spec, [](VertexId, VertexId) {}),
+               std::runtime_error);
+}
+
+TEST(SyntheticCacheTest, TruncatedEntryIsRegenerated) {
+  const SyntheticSpec spec = SmallSpec();
+  const std::string dir = FreshCacheDir("syn_cache_trunc");
+  const EdgeCacheEntry entry = EnsureEdgeCache(spec, dir);
+  const auto bytes = FileBytes(entry.path);
+
+  fs::resize_file(entry.path, bytes.size() / 2);
+  const EdgeCacheEntry again = EnsureEdgeCache(spec, dir);
+  EXPECT_TRUE(again.generated);
+  EXPECT_EQ(FileBytes(again.path), bytes);
+}
+
+TEST(SyntheticCacheTest, DifferentSpecsGetDifferentEntries) {
+  SyntheticSpec a = SmallSpec();
+  SyntheticSpec b = a;
+  b.seed += 1;
+  SyntheticSpec c = a;
+  c.exponent_lower = 3.0;
+  EXPECT_NE(SyntheticCacheFileName(a), SyntheticCacheFileName(b));
+  EXPECT_NE(SyntheticCacheFileName(a), SyntheticCacheFileName(c));
+  EXPECT_NE(SyntheticCacheFileName(b), SyntheticCacheFileName(c));
+}
+
+TEST(SyntheticCacheTest, MismatchedSpecFailsTheScan) {
+  const SyntheticSpec spec = SmallSpec();
+  const std::string dir = FreshCacheDir("syn_cache_mismatch");
+  const EdgeCacheEntry entry = EnsureEdgeCache(spec, dir);
+
+  SyntheticSpec other = spec;
+  other.seed += 1;
+  EXPECT_THROW(ForEachCachedEdge(entry.path, other, [](VertexId, VertexId) {}),
+               std::runtime_error);
+}
+
+TEST(ScaledShapeSpecTest, PreservesDensityAndScalesEdgesLinearly) {
+  // BX's Table 2 shape scaled to 4x the edges: vertices scale by 2, so
+  // density m / (|U| |L|) is preserved.
+  const SyntheticSpec spec =
+      ScaledShapeSpec(105300, 340500, 1100000, 4400000, 2.1, 7);
+  EXPECT_EQ(spec.num_edges, 4400000u);
+  EXPECT_NEAR(static_cast<double>(spec.num_upper), 2.0 * 105300, 2.0);
+  EXPECT_NEAR(static_cast<double>(spec.num_lower), 2.0 * 340500, 2.0);
+  const double base_density = 1100000.0 / (105300.0 * 340500.0);
+  const double scaled_density =
+      static_cast<double>(spec.num_edges) /
+      (static_cast<double>(spec.num_upper) * spec.num_lower);
+  EXPECT_NEAR(scaled_density / base_density, 1.0, 0.01);
+}
+
+TEST(ScaledShapeSpecTest, TinyTargetsKeepNonDegenerateLayers) {
+  const SyntheticSpec spec = ScaledShapeSpec(100000, 300000, 1000000, 10);
+  EXPECT_GE(spec.num_upper, 2u);
+  EXPECT_GE(spec.num_lower, 2u);
+  EXPECT_EQ(spec.num_edges, 10u);
+}
+
+TEST(BuildSyntheticGraphTest, DeterministicAcrossCacheStates) {
+  // Build once (cache miss), again (cache hit), and once in a second
+  // cache directory (fresh generation): all three graphs are identical.
+  const SyntheticSpec spec = SmallSpec();
+  const std::string dir1 = FreshCacheDir("syn_build_1");
+  const std::string dir2 = FreshCacheDir("syn_build_2");
+
+  EdgeCacheEntry e1, e2, e3;
+  const BipartiteGraph g1 = BuildSyntheticGraph(spec, dir1, &e1);
+  const BipartiteGraph g2 = BuildSyntheticGraph(spec, dir1, &e2);
+  const BipartiteGraph g3 = BuildSyntheticGraph(spec, dir2, &e3);
+  EXPECT_TRUE(e1.generated);
+  EXPECT_FALSE(e2.generated);
+  EXPECT_TRUE(e3.generated);
+  EXPECT_EQ(g1.EdgeList(), g2.EdgeList());
+  EXPECT_EQ(g1.EdgeList(), g3.EdgeList());
+  EXPECT_EQ(g1.NumUpper(), spec.num_upper);
+  EXPECT_EQ(g1.NumLower(), spec.num_lower);
+}
+
+}  // namespace
+}  // namespace cne

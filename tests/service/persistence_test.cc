@@ -14,9 +14,11 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "graph/synthetic.h"
 #include "service/query_service.h"
 #include "service/workload.h"
 #include "store/budget_wal.h"
+#include "store/snapshot_format.h"
 #include "util/binary_io.h"
 
 namespace cne {
@@ -382,6 +384,82 @@ TEST(PersistenceTest, MissingWalNextToSnapshotIsRefused) {
   std::filesystem::remove(std::filesystem::path(dir) / kWalFileName);
   EXPECT_THROW(QueryService(g, MakeOptions(ServiceAlgorithm::kOneR, dir)),
                std::runtime_error);
+}
+
+// --- Scale: kill-restore on a generated 10⁵-edge power-law graph whose
+// --- snapshot spans multiple CSR blocks per direction and whose view
+// --- population mixes sorted and bitmap representations.
+
+TEST(PersistenceTest, KillRestoreOnGeneratedScaleGraph) {
+  SyntheticSpec spec;
+  spec.num_upper = 5000;
+  spec.num_lower = 20000;
+  spec.num_edges = 120000;  // ~1.1e5 distinct: > 65536 ids per direction
+  spec.seed = 21;
+  const std::string cache_dir = FreshDir("scale_cache");
+  const BipartiteGraph g = BuildSyntheticGraph(spec, cache_dir);
+  ASSERT_GT(g.NumEdges(), uint64_t{kDefaultCsrBlockEdges});
+
+  // ε1 = 3 puts the RR flip probability (~0.047) under the 1/16 bitmap
+  // density threshold, so hub views go bitmap via their d/n term while
+  // typical power-law vertices stay sorted — the mixed regime the views
+  // section must round-trip.
+  ServiceOptions options = MakeOptions(ServiceAlgorithm::kMultiRSS);
+  options.epsilon = 6.0;
+  options.lifetime_budget = 12.0;
+  // A wide hot set reaches past the hubs: its tail vertices have d/n
+  // below the bitmap threshold, so their views stay sorted.
+  Rng workload_rng(31);
+  const auto w1 = MakeHotSetWorkload(g, Layer::kLower, 120, 256, workload_rng);
+  const auto w2 = MakeHotSetWorkload(g, Layer::kLower, 100, 256, workload_rng);
+  const auto w3 = MakeHotSetWorkload(g, Layer::kLower, 120, 256, workload_rng);
+
+  QueryService reference(g, options);
+  reference.Submit(w1);
+  reference.Submit(w2);
+
+  const std::string dir = FreshDir("scale_roundtrip");
+  {
+    ServiceOptions persistent = options;
+    persistent.snapshot_dir = dir;
+    QueryService service(g, persistent);
+    service.Submit(w1);
+    service.Checkpoint();
+    service.Submit(w2);  // w2 lives only in the WAL
+  }  // kill
+
+  // The checkpoint's graph section really is multi-block CSR.
+  const SnapshotReader snapshot(
+      (std::filesystem::path(dir) / kSnapshotFileName).string());
+  ByteReader graph_section = snapshot.Section(SectionId::kGraph);
+  const GraphSectionSummary summary = SummarizeGraphSection(graph_section);
+  EXPECT_EQ(summary.num_edges, g.NumEdges());
+  EXPECT_GE(summary.num_blocks, 4u);  // >= 2 blocks per direction
+
+  ServiceOptions restored_options = options;
+  restored_options.snapshot_dir = dir;
+  QueryService restored(g, restored_options);
+  EXPECT_TRUE(restored.recovery().snapshot_loaded);
+  EXPECT_GT(restored.recovery().wal_replay_records, 0u);
+  ExpectSameLedgers(reference.ledger(), restored.ledger(), "scale");
+
+  ExpectSameAnswers(reference.Submit(w3), restored.Submit(w3), "scale w3");
+  ExpectSameViews(g, reference.store(), restored.store(), "scale");
+
+  // Both representations must be present among the materialized views —
+  // otherwise the test never exercised the bitmap (or sorted) record path.
+  uint64_t bitmap_views = 0, sorted_views = 0;
+  for (Layer layer : {Layer::kUpper, Layer::kLower}) {
+    for (VertexId id = 0; id < g.NumVertices(layer); ++id) {
+      const LayeredVertex v{layer, id};
+      if (!restored.store().Contains(v) || !reference.store().Contains(v)) {
+        continue;
+      }
+      (restored.store().View(v).IsBitmap() ? bitmap_views : sorted_views)++;
+    }
+  }
+  EXPECT_GT(bitmap_views, 0u) << "no hub crossed the bitmap threshold";
+  EXPECT_GT(sorted_views, 0u) << "no view stayed sorted";
 }
 
 TEST(PersistenceDeathTest, CheckpointWithoutSnapshotDirIsFatal) {

@@ -1,0 +1,142 @@
+// Overflow-regression tests for the 64-bit index arithmetic the scale
+// harness depends on: CSR offsets, snapshot block indexing, and
+// uploaded-edge accounting must all stay exact past the 2³² boundary.
+// Everything here tests the arithmetic directly on synthetic values — no
+// multi-GiB allocations.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/bipartite_graph.h"
+#include "service/noisy_view_store.h"
+#include "store/snapshot_format.h"
+
+namespace cne {
+namespace {
+
+constexpr uint64_t kTwo32 = uint64_t{1} << 32;
+
+TEST(WideIndexTest, CountsToOffsetsSumsPastTwo32) {
+  // Five degree buckets of 1.5e9 each: the running sum crosses 2³² after
+  // the third and must keep exact 64-bit values.
+  const uint64_t degree = 1'500'000'000;
+  std::vector<uint64_t> counts = {0, degree, degree, degree, degree, degree};
+  CountsToOffsets(counts);
+  for (size_t v = 0; v < counts.size(); ++v) {
+    EXPECT_EQ(counts[v], degree * v);
+  }
+  EXPECT_GT(counts.back(), kTwo32);
+}
+
+TEST(WideIndexTest, CountsToOffsetsNearUint64Limit) {
+  const uint64_t half = std::numeric_limits<uint64_t>::max() / 2;
+  std::vector<uint64_t> counts = {0, half, half};
+  CountsToOffsets(counts);
+  EXPECT_EQ(counts[1], half);
+  EXPECT_EQ(counts[2], 2 * half);
+}
+
+TEST(WideIndexTest, CsrBlockCountPastTwo32) {
+  const uint32_t block = kDefaultCsrBlockEdges;
+  // 10⁸-edge direction: the scale harness target.
+  EXPECT_EQ(CsrBlockCount(100'000'000, block), (100'000'000 + block - 1) / block);
+  // Past 2³² adjacency ids: 2³² + 5 ids is 65537 blocks, not a wrapped 1.
+  EXPECT_EQ(CsrBlockCount(kTwo32 + 5, block), kTwo32 / block + 1);
+  EXPECT_EQ(CsrBlockCount(0, block), 0u);
+  EXPECT_EQ(CsrBlockCount(1, block), 1u);
+  EXPECT_EQ(CsrBlockCount(block, block), 1u);
+  EXPECT_EQ(CsrBlockCount(block + 1, block), 2u);
+  EXPECT_EQ(CsrBlockCount(kTwo32, 0), 0u);  // degenerate block size
+}
+
+TEST(WideIndexTest, CsrBlockAtPastTwo32) {
+  const uint32_t block = kDefaultCsrBlockEdges;
+  const uint64_t num_ids = kTwo32 + 12345;
+  const uint64_t blocks = CsrBlockCount(num_ids, block);
+
+  // First block, the last full block ending exactly at 2³², and the
+  // ragged tail starting at 2³² (the boundary is a block multiple).
+  EXPECT_EQ(CsrBlockAt(0, num_ids, block), (CsrBlockSpan{0, block}));
+  const uint64_t boundary = kTwo32 / block;  // block starting at 2³²
+  const CsrBlockSpan before = CsrBlockAt(boundary - 1, num_ids, block);
+  EXPECT_EQ(before.first, kTwo32 - block);
+  EXPECT_EQ(before.count, block);
+  const CsrBlockSpan after = CsrBlockAt(boundary, num_ids, block);
+  EXPECT_EQ(after.first, kTwo32);
+  EXPECT_EQ(after.count, 12345u);
+
+  const CsrBlockSpan tail = CsrBlockAt(blocks - 1, num_ids, block);
+  EXPECT_EQ(tail.first + tail.count, num_ids);
+  EXPECT_GT(tail.count, 0u);
+  EXPECT_LE(tail.count, block);
+
+  // Out-of-range blocks are empty rather than wrapped.
+  EXPECT_EQ(CsrBlockAt(blocks, num_ids, block).count, 0u);
+}
+
+TEST(WideIndexTest, CsrBlockSpansTileTheIdRangeExactly) {
+  // Spans must partition [0, num_ids): contiguous, non-overlapping, and
+  // summing to the total — checked over a ragged shape near 2³².
+  const uint32_t block = kDefaultCsrBlockEdges;
+  const uint64_t num_ids = kTwo32 + 7 * block + 321;
+  const uint64_t blocks = CsrBlockCount(num_ids, block);
+  // Spot-check the boundary region instead of iterating 65k+ blocks.
+  for (uint64_t b : {uint64_t{0}, uint64_t{1}, blocks / 2, blocks - 2,
+                     blocks - 1}) {
+    const CsrBlockSpan span = CsrBlockAt(b, num_ids, block);
+    EXPECT_EQ(span.first, b * block);
+    if (b + 1 < blocks) {
+      EXPECT_EQ(span.count, block);
+    } else {
+      EXPECT_EQ(span.first + span.count, num_ids);
+    }
+  }
+}
+
+TEST(WideIndexTest, UploadedEdgeAccountingPastTwo32) {
+  // 10⁸-edge graphs at ε=1 upload ~n bits per release; cumulative edge
+  // uploads cross 2³² quickly. Stats must accumulate and convert without
+  // truncation.
+  NoisyViewStore::Stats stats;
+  stats.lookups = kTwo32 + 10;
+  stats.cache_hits = kTwo32 + 9;
+  stats.uploaded_edges = kTwo32 + 1000;
+
+  EXPECT_GT(stats.uploaded_edges, kTwo32);
+  const CommModel model{};
+  const double bytes = stats.UploadedBytes(model);
+  EXPECT_NEAR(bytes,
+              model.bytes_per_edge * static_cast<double>(kTwo32 + 1000),
+              1.0);
+  EXPECT_NEAR(stats.CacheHitRate(), 1.0, 1e-6);
+}
+
+TEST(WideIndexTest, PackLayeredVertexAtTheIdCeiling) {
+  // kMaxVertexId must survive the pack/unpack round trip in both layers,
+  // and the reserved all-ones id must stay distinct from it.
+  for (Layer layer : {Layer::kUpper, Layer::kLower}) {
+    const LayeredVertex v{layer, kMaxVertexId};
+    EXPECT_EQ(UnpackLayeredVertex(PackLayeredVertex(v)), v);
+  }
+  const uint64_t max_key =
+      PackLayeredVertex({Layer::kLower, kMaxVertexId});
+  const uint64_t reserved_key =
+      PackLayeredVertex({Layer::kLower, kMaxVertexId + 1});
+  EXPECT_NE(max_key, reserved_key);
+}
+
+TEST(WideIndexTest, ViewsSectionCountersAreSixtyFourBit) {
+  // The persisted counters mirror NoisyViewStore::Stats and must be wide
+  // enough for the same 10⁸-edge regime.
+  ViewsSection views;
+  views.uploaded_edges = 3 * kTwo32;
+  views.lookups = kTwo32 + 7;
+  EXPECT_EQ(views.uploaded_edges, 3 * kTwo32);
+  EXPECT_EQ(views.lookups, kTwo32 + 7);
+}
+
+}  // namespace
+}  // namespace cne
