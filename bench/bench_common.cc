@@ -4,6 +4,11 @@
 #include <cstdlib>
 #include <map>
 #include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "graph/graph_stats.h"
 #include "util/logging.h"
@@ -114,6 +119,44 @@ std::string ScaleMetricJson(const std::string& name, double value,
   out << "{\"name\": \"" << name << "\", \"value\": " << value
       << ", \"higher_is_better\": " << (higher_is_better ? "true" : "false")
       << "}";
+  return out.str();
+}
+
+std::string PhasesJson(const obs::MetricsSnapshot& metrics,
+                       const std::string& indent) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const obs::PhaseStats& phase : metrics.phases) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << indent << "  {\"name\": \"" << phase.name
+        << "\", \"count\": " << phase.count
+        << ", \"total_seconds\": " << phase.total_seconds
+        << ", \"mean_seconds\": " << phase.mean_seconds
+        << ", \"p50_seconds\": " << phase.p50_seconds
+        << ", \"p90_seconds\": " << phase.p90_seconds
+        << ", \"p99_seconds\": " << phase.p99_seconds
+        << ", \"p999_seconds\": " << phase.p999_seconds
+        << ", \"max_seconds\": " << phase.max_seconds << "}";
+  }
+  if (!first) out << "\n" << indent;
+  out << "]";
+  return out.str();
+}
+
+std::string HardwareContextJson() {
+  int affinity = -1;
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    affinity = CPU_COUNT(&mask);
+  }
+#endif
+  std::ostringstream out;
+  out << "{\"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ", \"affinity_cores\": " << affinity << "}";
   return out.str();
 }
 

@@ -221,7 +221,9 @@ int main(int argc, char** argv) {
            << ",\n"
            << "    \"planner_seconds_last_submit\": "
            << run_planned.last.planner_seconds << ",\n"
-           << "    \"rejected\": " << run_planned.last.rejected << "\n"
+           << "    \"rejected\": " << run_planned.last.rejected << ",\n"
+           << "    \"phases\": "
+           << bench::PhasesJson(run_planned.last.metrics, "    ") << "\n"
            << "  },\n";
     }
   }
@@ -272,7 +274,9 @@ int main(int argc, char** argv) {
            << ", \"unplanned_seconds\": " << off.seconds
            << ", \"planned_seconds\": " << on.seconds
            << ", \"speedup\": "
-           << (on.seconds > 0.0 ? off.seconds / on.seconds : 0.0) << "}";
+           << (on.seconds > 0.0 ? off.seconds / on.seconds : 0.0)
+           << ",\n     \"phases\": "
+           << bench::PhasesJson(on.last.metrics, "     ") << "}";
       std::fprintf(stderr, "%s %s: unplanned %.3fs, planned %.3fs\n",
                    spec.code.c_str(), ToString(algorithm), off.seconds,
                    on.seconds);
@@ -350,6 +354,8 @@ int main(int argc, char** argv) {
          << ", \"speedup_vs_unplanned\": "
          << (on.seconds > 0.0 ? off.seconds / on.seconds : 0.0)
          << ", \"groups_formed\": " << on.last.groups_formed
+         << ",\n     \"phases\": "
+         << bench::PhasesJson(on.last.metrics, "     ")
          << ",\n     \"scale_metric\": "
          << bench::ScaleMetricJson("planned_qps", planned_qps, true) << "}";
   }

@@ -33,6 +33,7 @@
 #include "graph/graph_io.h"
 #include "graph/set_ops.h"
 #include "ldp/randomized_response.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -61,6 +62,11 @@ struct KernelResult {
   std::string kernel;
   double ns_per_op = 0.0;
   double speedup_vs_scalar = 0.0;
+  // Per-call latency quantiles (obs/metrics.h histogram, ~2% relative
+  // error) from a second, individually-clocked pass.
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
   uint64_t count = 0;
 };
 
@@ -74,10 +80,26 @@ KernelResult TimeKernel(const std::string& name, size_t reps, Fn fn) {
   uint64_t sink = 0;
   for (size_t i = 0; i < reps; ++i) sink += fn();
   const double seconds = timer.Seconds();
-  // Fold the sink into the (already-validated) count so the timed calls
-  // cannot be optimized away.
-  if (sink != r.count * reps) r.count = ~uint64_t{0};
   r.ns_per_op = seconds * 1e9 / static_cast<double>(reps);
+  // Quantile pass: the same calls clocked one by one, kept out of the
+  // throughput loop above so ns_per_op never pays per-iteration clock
+  // reads.
+  obs::LatencyHistogram histogram;
+  uint64_t quantile_sink = 0;
+  for (size_t i = 0; i < reps; ++i) {
+    const uint64_t t0 = obs::NowNanos();
+    quantile_sink += fn();
+    histogram.Record(obs::NowNanos() - t0);
+  }
+  const obs::HistogramSnapshot snapshot = histogram.Snapshot();
+  r.p50_ns = snapshot.QuantileNanos(0.50);
+  r.p99_ns = snapshot.QuantileNanos(0.99);
+  r.p999_ns = snapshot.QuantileNanos(0.999);
+  // Fold the sinks into the (already-validated) count so the timed calls
+  // cannot be optimized away.
+  if (sink != r.count * reps || quantile_sink != sink) {
+    r.count = ~uint64_t{0};
+  }
   return r;
 }
 
@@ -105,10 +127,11 @@ void AppendKernels(std::ostringstream& json,
   for (size_t i = 0; i < results.size(); ++i) {
     KernelResult& r = results[i];
     r.speedup_vs_scalar = r.ns_per_op > 0.0 ? scalar_ns / r.ns_per_op : 0.0;
-    if (i) json << ", ";
-    json << "{\"kernel\": \"" << r.kernel << "\", \"ns_per_op\": "
+    if (i) json << ",";
+    json << "\n      {\"kernel\": \"" << r.kernel << "\", \"ns_per_op\": "
          << r.ns_per_op << ", \"speedup_vs_scalar\": " << r.speedup_vs_scalar
-         << "}";
+         << ", \"p50_ns\": " << r.p50_ns << ", \"p99_ns\": " << r.p99_ns
+         << ", \"p999_ns\": " << r.p999_ns << "}";
   }
   json << "]";
 }
@@ -218,9 +241,13 @@ int main(int argc, char** argv) {
     const size_t pair_reps = smoke ? 3 : 10;
     uint64_t scalar_total = 0, bitmap_total = 0;
     uint64_t pairs = 0;
+    // Per-rep sweep latencies feed the phase histograms; one clock pair
+    // per full n² sweep is negligible against the sweep itself.
+    obs::LatencyHistogram scalar_hist, bitmap_hist;
     Timer scalar_timer;
     for (size_t rep = 0; rep < pair_reps; ++rep) {
       scalar_total = 0;
+      const uint64_t t0 = obs::NowNanos();
       for (VertexId u = 0; u < n; ++u) {
         for (VertexId w = u + 1; w < n; ++w) {
           scalar_total += IntersectScalarMerge(
@@ -228,17 +255,20 @@ int main(int argc, char** argv) {
               sorted_views[w].SortedMembers());
         }
       }
+      scalar_hist.Record(obs::NowNanos() - t0);
     }
     const double scalar_seconds = scalar_timer.Seconds();
     Timer bitmap_timer;
     for (size_t rep = 0; rep < pair_reps; ++rep) {
       bitmap_total = 0;
+      const uint64_t t0 = obs::NowNanos();
       for (VertexId u = 0; u < n; ++u) {
         for (VertexId w = u + 1; w < n; ++w) {
           bitmap_total +=
               IntersectionSize(bitmap_views[u].View(), bitmap_views[w].View());
         }
       }
+      bitmap_hist.Record(obs::NowNanos() - t0);
     }
     const double bitmap_seconds = bitmap_timer.Seconds();
     pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
@@ -270,12 +300,18 @@ int main(int argc, char** argv) {
         scalar_seconds * 1e9 / static_cast<double>(pairs * pair_reps);
     const double bitmap_ns =
         bitmap_seconds * 1e9 / static_cast<double>(pairs * pair_reps);
+    obs::MetricsSnapshot sweep_metrics;
+    sweep_metrics.phases.push_back(
+        obs::MakePhaseStats("scalar_sweep", scalar_hist.Snapshot()));
+    sweep_metrics.phases.push_back(
+        obs::MakePhaseStats("bitmap_sweep", bitmap_hist.Snapshot()));
     json << "  \"sample_graph\": {\"epsilon\": " << epsilon
          << ", \"vertices\": " << n << ", \"pairs\": " << pairs
          << ",\n    \"scalar_ns_per_pair\": " << scalar_ns
          << ", \"bitmap_ns_per_pair\": " << bitmap_ns
          << ", \"speedup\": " << (bitmap_ns > 0 ? scalar_ns / bitmap_ns : 0)
-         << "},\n";
+         << ",\n    \"phases\": "
+         << bench::PhasesJson(sweep_metrics, "    ") << "},\n";
     std::fprintf(stderr,
                  "sample graph: scalar %.1f ns/pair, bitmap %.1f ns/pair, "
                  "speedup %.1fx\n",
@@ -332,6 +368,7 @@ int main(int argc, char** argv) {
         // gate diffs these numbers across runs at a 20% threshold.
         uint64_t scalar_total = 0, bitmap_total = 0;
         double scalar_best = 0.0, bitmap_best = 0.0;
+        obs::LatencyHistogram scalar_hist, bitmap_hist;
         for (size_t rep = 0; rep < pair_reps; ++rep) {
           scalar_total = 0;
           Timer timer;
@@ -343,6 +380,7 @@ int main(int argc, char** argv) {
             }
           }
           const double seconds = timer.Seconds();
+          scalar_hist.RecordSeconds(seconds);
           if (rep == 0 || seconds < scalar_best) scalar_best = seconds;
         }
         for (size_t rep = 0; rep < pair_reps; ++rep) {
@@ -355,6 +393,7 @@ int main(int argc, char** argv) {
             }
           }
           const double seconds = timer.Seconds();
+          bitmap_hist.RecordSeconds(seconds);
           if (rep == 0 || seconds < bitmap_best) bitmap_best = seconds;
         }
         (void)scalar_total;
@@ -389,6 +428,11 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(target), exponent,
                      scalar_ns, bitmap_ns);
 
+        obs::MetricsSnapshot sweep_metrics;
+        sweep_metrics.phases.push_back(
+            obs::MakePhaseStats("scalar_sweep", scalar_hist.Snapshot()));
+        sweep_metrics.phases.push_back(
+            obs::MakePhaseStats("bitmap_sweep", bitmap_hist.Snapshot()));
         if (!first_scale) json << ",";
         first_scale = false;
         json << "\n    {\"shape\": " << bench::GraphShapeJson(dataset)
@@ -398,6 +442,8 @@ int main(int argc, char** argv) {
              << ", \"bitmap_ns_per_pair\": " << bitmap_ns
              << ", \"speedup\": "
              << (bitmap_ns > 0 ? scalar_ns / bitmap_ns : 0.0)
+             << ",\n     \"phases\": "
+             << bench::PhasesJson(sweep_metrics, "     ")
              << ",\n     \"scale_metric\": "
              << bench::ScaleMetricJson("bitmap_ns_per_pair", bitmap_ns, false)
              << "}";

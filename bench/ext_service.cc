@@ -41,6 +41,10 @@ struct ThreadResult {
   int threads = 0;
   double seconds = 0.0;
   double qps = 0.0;
+  // Per-phase latency quantiles of this run's service (obs/metrics.h):
+  // one histogram per thread count, so the JSON shows how tail latency
+  // moves as the pool widens.
+  std::string phases_json;
 };
 
 struct DatasetResult {
@@ -84,12 +88,13 @@ void AppendJson(std::ostringstream& out, const DatasetResult& r) {
       << (r.answers_identical ? "true" : "false") << ",\n"
       << "      \"runs\": [";
   for (size_t i = 0; i < r.runs.size(); ++i) {
-    if (i) out << ", ";
-    out << "{\"threads\": " << r.runs[i].threads
+    if (i) out << ",";
+    out << "\n        {\"threads\": " << r.runs[i].threads
         << ", \"seconds\": " << r.runs[i].seconds
-        << ", \"qps\": " << r.runs[i].qps << "}";
+        << ", \"qps\": " << r.runs[i].qps << ",\n         \"phases\": "
+        << r.runs[i].phases_json << "}";
   }
-  out << "],\n";
+  out << "\n      ],\n";
   double base = 0.0;
   double peak = 0.0;
   for (const ThreadResult& run : r.runs) {
@@ -146,6 +151,7 @@ int main(int argc, char** argv) {
        << "  \"epsilon\": " << options.epsilon << ",\n"
        << "  \"seed\": " << options.seed << ",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"hardware\": " << bench::HardwareContextJson() << ",\n"
        << "  \"datasets\": [\n";
 
   bool first_dataset = true;
@@ -186,6 +192,7 @@ int main(int argc, char** argv) {
       run.threads = threads;
       run.seconds = report.seconds;
       run.qps = report.QueriesPerSecond();
+      run.phases_json = bench::PhasesJson(report.metrics, "         ");
       result.runs.push_back(run);
       std::fprintf(stderr, "%s  threads=%d  %.3fs  %.0f qps\n",
                    spec.code.c_str(), threads, run.seconds, run.qps);
@@ -248,6 +255,10 @@ int main(int argc, char** argv) {
                    static_cast<size_t>(report.store.releases));
       if (!first_scale) json << ",";
       first_scale = false;
+      // Admission tail latency rides along as a second gated metric
+      // (lower is better): it bounds per-query service overhead
+      // independently of the execution phase that dominates qps.
+      const obs::PhaseStats* admission = report.metrics.Phase("admission");
       json << "\n    {\"shape\": " << bench::GraphShapeJson(dataset)
            << ",\n     \"hot_set\": " << scale_hot
            << ", \"queries\": " << workload.size()
@@ -255,9 +266,15 @@ int main(int argc, char** argv) {
            << ", \"seconds\": " << report.seconds
            << ", \"vertices_released\": " << report.store.releases
            << ", \"cache_hit_rate\": " << report.store.CacheHitRate()
+           << ",\n     \"phases\": "
+           << bench::PhasesJson(report.metrics, "     ")
            << ",\n     \"scale_metric\": "
            << bench::ScaleMetricJson("qps", report.QueriesPerSecond(), true)
-           << "}";
+           << ",\n     \"extra_scale_metrics\": ["
+           << bench::ScaleMetricJson(
+                  "admission_p99_seconds",
+                  admission != nullptr ? admission->p99_seconds : 0.0, false)
+           << "]}";
     }
   }
   json << "\n  ]\n}\n";

@@ -132,6 +132,7 @@ int main(int argc, char** argv) {
   // --- Phase 1: run + checkpoint (save cost), then kill mid-stream.
   double save_seconds = 0.0;
   uint64_t snapshot_bytes = 0;
+  std::string phases_json;
   {
     ServiceOptions persistent = service_options;
     persistent.snapshot_dir = dir.string();
@@ -144,6 +145,9 @@ int main(int argc, char** argv) {
     snapshot_bytes =
         std::filesystem::file_size(dir / kSnapshotFileName);
     service.Submit(w2);  // lives only in the WAL
+    // Per-phase latency quantiles of the persistent run — the only
+    // section of any bench where the checkpoint histogram has counts.
+    phases_json = bench::PhasesJson(service.SnapshotMetrics(), "  ");
     std::fprintf(stderr, "checkpoint: %.4fs for %" PRIu64 " bytes\n",
                  save_seconds, snapshot_bytes);
   }  // kill: no final checkpoint
@@ -223,6 +227,7 @@ int main(int argc, char** argv) {
 
     double s_save = 0.0;
     uint64_t s_bytes = 0;
+    std::string s_phases;
     {
       ServiceOptions persistent = service_options;
       persistent.snapshot_dir = scale_dir.string();
@@ -232,6 +237,7 @@ int main(int argc, char** argv) {
       s_save /= static_cast<double>(repeats);
       s_bytes = std::filesystem::file_size(scale_dir / kSnapshotFileName);
       service.Submit(sw2);  // lives only in the WAL
+      s_phases = bench::PhasesJson(service.SnapshotMetrics(), "     ");
     }  // kill: no final checkpoint
 
     double s_warm = 0.0;
@@ -300,6 +306,7 @@ int main(int argc, char** argv) {
           << (s_warm > 0 ? s_cold / s_warm : 0.0)
           << ", \"round_trip_identical\": "
           << (scale_identical ? "true" : "false")
+          << ",\n     \"phases\": " << s_phases
           << ",\n     \"scale_metric\": "
           << bench::ScaleMetricJson("checkpoint_mb_per_second", s_mbps, true)
           << "}";
@@ -333,6 +340,7 @@ int main(int argc, char** argv) {
        << "  \"cold_start\": {\"seconds\": " << cold_seconds << "},\n"
        << "  \"cold_over_warm_speedup\": "
        << (warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0) << ",\n"
+       << "  \"phases\": " << phases_json << ",\n"
        << "  \"scale\": [";
   for (size_t i = 0; i < scale_entries.size(); ++i) {
     if (i) json << ",";

@@ -7,12 +7,23 @@ committed baseline (BENCH_*.json). Every scale entry carries one canonical
 
     {"name": "...", "value": <number>, "higher_is_better": <bool>}
 
-Entries are matched across files by their axes: the generator draw count
-and exponent (from `shape`) plus whichever bench axis the entry carries
-(`hot_set` for ext_service, `candidates` for ext_batch; ext_intersect and
-ext_snapshot are fully identified by the shape). The check fails when a
-matched metric regresses by more than the threshold in the direction
-`higher_is_better` declares. Entries present on only one side are
+and may carry `extra_scale_metrics`, a list of additional objects of the
+same shape (e.g. per-phase latency quantiles). Every metric is gated.
+
+Metrics are matched across files by the entry's axes — the generator draw
+count and exponent (from `shape`) plus whichever bench axis the entry
+carries (`hot_set` for ext_service, `candidates` for ext_batch;
+ext_intersect and ext_snapshot are fully identified by the shape) — plus
+the metric name. The check fails when a matched metric regresses by more
+than the threshold in the direction `higher_is_better` declares; metric
+names ending in `_p99_seconds` are always gated lower-is-better, whatever
+the file claims — a latency quantile that "improves" by growing is a bug
+in the emitter, not a better number. Sub-microsecond `_p99_seconds`
+values sit at the noise floor of the clock and the histogram's log
+buckets (a handful of ~100 ns samples flips buckets freely), so when both
+sides are under 1 us the delta is reported but never fails the gate; a
+regression that drags the quantile past 1 us still does.
+Metrics present on only one side are
 reported but not failures: the committed baselines deliberately carry
 larger scale points (10^6+) than the CI smoke run produces.
 
@@ -31,7 +42,7 @@ import sys
 signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 
 
-def entry_key(entry):
+def entry_axes(entry):
     """Axes identifying a scale entry across runs of the same bench."""
     shape = entry.get("shape", {})
     return (
@@ -40,6 +51,23 @@ def entry_key(entry):
         entry.get("hot_set"),
         entry.get("candidates"),
     )
+
+
+def entry_metrics(entry, path):
+    """The entry's gated metrics: scale_metric plus extra_scale_metrics."""
+    metric = entry.get("scale_metric")
+    if not metric or "value" not in metric:
+        print(f"error: scale entry without scale_metric in {path}",
+              file=sys.stderr)
+        sys.exit(2)
+    metrics = [metric]
+    for extra in entry.get("extra_scale_metrics", []):
+        if "name" not in extra or "value" not in extra:
+            print(f"error: malformed extra_scale_metrics in {path}",
+                  file=sys.stderr)
+            sys.exit(2)
+        metrics.append(extra)
+    return metrics
 
 
 def load_scale(path):
@@ -51,23 +79,27 @@ def load_scale(path):
         sys.exit(2)
     entries = {}
     for entry in doc.get("scale", []):
-        metric = entry.get("scale_metric")
-        if not metric or "value" not in metric:
-            print(f"error: scale entry without scale_metric in {path}",
-                  file=sys.stderr)
-            sys.exit(2)
-        entries[entry_key(entry)] = metric
+        axes = entry_axes(entry)
+        for metric in entry_metrics(entry, path):
+            entries[axes + (metric.get("name"),)] = metric
     return doc.get("bench", path), entries
 
 
 def describe(key):
-    draws, exponent, hot_set, candidates = key
+    draws, exponent, hot_set, candidates, _name = key
     parts = [f"draws={draws}", f"exp={exponent}"]
     if hot_set is not None:
         parts.append(f"hot_set={hot_set}")
     if candidates is not None:
         parts.append(f"candidates={candidates}")
     return " ".join(parts)
+
+
+def is_higher_better(metric):
+    name = metric.get("name") or ""
+    if name.endswith("_p99_seconds"):
+        return False
+    return bool(metric.get("higher_is_better", True))
 
 
 def main(argv):
@@ -93,33 +125,33 @@ def main(argv):
     for key, base_metric in sorted(baseline.items(), key=str):
         label = describe(key)
         if key not in current:
-            print(f"skip {bench} [{label}]: not in current run")
+            print(f"skip {bench} [{label}] {key[-1]}: not in current run")
             continue
         cur_metric = current[key]
-        if cur_metric.get("name") != base_metric.get("name"):
-            print(f"FAIL {bench} [{label}]: metric renamed "
-                  f"{base_metric.get('name')} -> {cur_metric.get('name')}")
-            failed = True
-            continue
         base_value = float(base_metric["value"])
         cur_value = float(cur_metric["value"])
-        higher_is_better = bool(base_metric.get("higher_is_better", True))
         if base_value == 0:
-            print(f"skip {bench} [{label}]: zero baseline")
+            print(f"skip {bench} [{label}] {key[-1]}: zero baseline")
             continue
         # Signed relative change, oriented so positive = improvement.
         change = (cur_value - base_value) / abs(base_value)
-        if not higher_is_better:
+        if not is_higher_better(base_metric):
             change = -change
-        status = "FAIL" if change < -threshold else "ok  "
+        below_noise_floor = (
+            (key[-1] or "").endswith("_p99_seconds")
+            and max(base_value, cur_value) < 1e-6
+        )
+        failing = change < -threshold and not below_noise_floor
+        status = "FAIL" if failing else "ok  "
         print(f"{status} {bench} [{label}] {base_metric['name']}: "
               f"{base_value:.4g} -> {cur_value:.4g} ({change:+.1%})")
-        if change < -threshold:
+        if failing:
             failed = True
 
     new_keys = set(current) - set(baseline)
     for key in sorted(new_keys, key=str):
-        print(f"new  {bench} [{describe(key)}]: no baseline, skipped")
+        print(f"new  {bench} [{describe(key)}] {key[-1]}: "
+              "no baseline, skipped")
 
     return 1 if failed else 0
 

@@ -1,0 +1,328 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace cne::obs {
+
+namespace {
+
+// floor(log2(v)) for v >= 1.
+inline int FloorLog2(uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return 63 - __builtin_clzll(v);
+#else
+  int e = 0;
+  while (v >>= 1) ++e;
+  return e;
+#endif
+}
+
+std::string FormatDuration(double seconds) {
+  char buf[32];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  }
+  return buf;
+}
+
+std::string FormatSecondsJson(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", seconds);
+  return buf;
+}
+
+}  // namespace
+
+const char* MetricsLevelName(MetricsLevel level) {
+  switch (level) {
+    case MetricsLevel::kOff:
+      return "off";
+    case MetricsLevel::kCounters:
+      return "counters";
+    case MetricsLevel::kFull:
+      return "full";
+  }
+  return "full";
+}
+
+MetricsLevel ParseMetricsLevel(const std::string& name) {
+  if (name == "off") return MetricsLevel::kOff;
+  if (name == "counters") return MetricsLevel::kCounters;
+  return MetricsLevel::kFull;
+}
+
+// ---- LatencyHistogram ----
+
+LatencyHistogram::LatencyHistogram() : shards_(kShards) {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t LatencyHistogram::BucketIndex(uint64_t nanos) {
+  if (nanos < 2 * kSubBuckets) return static_cast<size_t>(nanos);
+  const int e = FloorLog2(nanos);
+  if (e > kMaxExponent) return kNumBuckets - 1;
+  const uint64_t mantissa = nanos >> (e - kSubBits);  // in [32, 64)
+  return kSubBuckets * static_cast<size_t>(e - kSubBits) +
+         static_cast<size_t>(mantissa);
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(size_t index) {
+  if (index < 2 * kSubBuckets) return index;
+  const uint64_t mantissa = index % kSubBuckets + kSubBuckets;
+  const int shift = static_cast<int>(index / kSubBuckets) - 1;
+  return mantissa << shift;
+}
+
+size_t LatencyHistogram::ShardIndex() {
+  static std::atomic<uint32_t> next_thread{0};
+  thread_local uint32_t id =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return id & (kShards - 1);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot out;
+  // The shard count gates the scan and the high-water mark bounds it:
+  // snapshots run per submission, and sub-microsecond phases only ever
+  // touch the first ~200 of the 1216 buckets, so scanning (and zeroing)
+  // past the highest touched bucket would dominate Snapshot's cost.
+  // Count and high water are read before the buckets — records landing
+  // mid-scan are picked up by a later snapshot, never lost.
+  size_t needed = 0;
+  for (const Shard& shard : shards_) {
+    if (shard.count.load(std::memory_order_relaxed) == 0) continue;
+    const size_t top = static_cast<size_t>(
+        shard.high_water.load(std::memory_order_relaxed));
+    needed = std::max(needed, top + 1);
+  }
+  out.buckets.assign(needed, 0);
+  for (const Shard& shard : shards_) {
+    if (shard.count.load(std::memory_order_relaxed) == 0) continue;
+    out.sum_nanos += shard.sum_nanos.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < needed; ++i) {
+      const uint64_t c = shard.buckets[i].load(std::memory_order_relaxed);
+      out.buckets[i] += c;
+      out.count += c;
+    }
+  }
+  if (out.count == 0) out.buckets.clear();
+  return out;
+}
+
+// ---- HistogramSnapshot ----
+
+namespace {
+
+// Representative value of a bucket: exact for the unit buckets, midpoint
+// of [lower, upper) otherwise — worst-case relative error 1/64.
+double BucketRepresentative(size_t index) {
+  if (index < 2 * LatencyHistogram::kSubBuckets) {
+    return static_cast<double>(index);
+  }
+  const double lo =
+      static_cast<double>(LatencyHistogram::BucketLowerBound(index));
+  const double hi =
+      static_cast<double>(LatencyHistogram::BucketLowerBound(index + 1));
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
+
+double HistogramSnapshot::QuantileNanos(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count - 1);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) > target) {
+      return BucketRepresentative(i);
+    }
+  }
+  return BucketRepresentative(buckets.empty() ? 0 : buckets.size() - 1);
+}
+
+uint64_t HistogramSnapshot::MaxNanos() const {
+  for (size_t i = buckets.size(); i-- > 0;) {
+    if (buckets[i] == 0) continue;
+    if (i < 2 * LatencyHistogram::kSubBuckets) return i;
+    return LatencyHistogram::BucketLowerBound(i + 1) - 1;
+  }
+  return 0;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum_nanos += other.sum_nanos;
+}
+
+// ---- MetricsSnapshot ----
+
+PhaseStats MakePhaseStats(const std::string& name,
+                          const HistogramSnapshot& snapshot) {
+  PhaseStats s;
+  s.name = name;
+  s.count = snapshot.count;
+  s.total_seconds = snapshot.TotalSeconds();
+  s.mean_seconds = snapshot.MeanNanos() * 1e-9;
+  if (snapshot.count == 0) return s;
+  // All four quantiles and the max in ONE cumulative walk (phase stats
+  // are extracted per submission, so five separate 1216-bucket walks
+  // would show up in the overhead guard).
+  const double n = static_cast<double>(snapshot.count - 1);
+  const double targets[4] = {0.50 * n, 0.90 * n, 0.99 * n, 0.999 * n};
+  double* outputs[4] = {&s.p50_seconds, &s.p90_seconds, &s.p99_seconds,
+                        &s.p999_seconds};
+  size_t next = 0;
+  uint64_t cumulative = 0;
+  size_t last_nonempty = 0;
+  for (size_t i = 0; i < snapshot.buckets.size() && next < 4; ++i) {
+    if (snapshot.buckets[i] == 0) continue;
+    last_nonempty = i;
+    cumulative += snapshot.buckets[i];
+    while (next < 4 && static_cast<double>(cumulative) > targets[next]) {
+      *outputs[next] = BucketRepresentative(i) * 1e-9;
+      ++next;
+    }
+  }
+  for (; next < 4; ++next) {
+    *outputs[next] = BucketRepresentative(last_nonempty) * 1e-9;
+  }
+  s.max_seconds = static_cast<double>(snapshot.MaxNanos()) * 1e-9;
+  return s;
+}
+
+const PhaseStats* MetricsSnapshot::Phase(const std::string& name) const {
+  for (const PhaseStats& p : phases) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [counter_name, value] : counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+std::string MetricsSnapshot::ToJson(int indent) const {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  std::ostringstream out;
+  out << "{\n" << pad << "  \"metrics_version\": " << kVersion << ",\n";
+  out << pad << "  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i) out << ", ";
+    out << "\"" << counters[i].first << "\": " << counters[i].second;
+  }
+  out << "},\n" << pad << "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i) out << ", ";
+    out << "\"" << gauges[i].first << "\": " << gauges[i].second;
+  }
+  out << "},\n" << pad << "  \"phases\": [";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseStats& p = phases[i];
+    if (i) out << ",";
+    out << "\n"
+        << pad << "    {\"name\": \"" << p.name << "\", \"count\": " << p.count
+        << ", \"total_seconds\": " << FormatSecondsJson(p.total_seconds)
+        << ", \"mean_seconds\": " << FormatSecondsJson(p.mean_seconds)
+        << ", \"p50_seconds\": " << FormatSecondsJson(p.p50_seconds)
+        << ", \"p90_seconds\": " << FormatSecondsJson(p.p90_seconds)
+        << ", \"p99_seconds\": " << FormatSecondsJson(p.p99_seconds)
+        << ", \"p999_seconds\": " << FormatSecondsJson(p.p999_seconds)
+        << ", \"max_seconds\": " << FormatSecondsJson(p.max_seconds) << "}";
+  }
+  if (!phases.empty()) out << "\n" << pad << "  ";
+  out << "]\n" << pad << "}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToTable() const {
+  std::ostringstream out;
+  char line[192];
+  std::snprintf(line, sizeof(line), "%-14s %10s %10s %9s %9s %9s %9s %9s\n",
+                "phase", "count", "total", "mean", "p50", "p99", "p999",
+                "max");
+  out << line;
+  for (const PhaseStats& p : phases) {
+    std::snprintf(line, sizeof(line),
+                  "%-14s %10llu %10s %9s %9s %9s %9s %9s\n", p.name.c_str(),
+                  static_cast<unsigned long long>(p.count),
+                  FormatDuration(p.total_seconds).c_str(),
+                  FormatDuration(p.mean_seconds).c_str(),
+                  FormatDuration(p.p50_seconds).c_str(),
+                  FormatDuration(p.p99_seconds).c_str(),
+                  FormatDuration(p.p999_seconds).c_str(),
+                  FormatDuration(p.max_seconds).c_str());
+    out << line;
+  }
+  if (!counters.empty()) {
+    out << "counters:";
+    for (const auto& [name, value] : counters) {
+      out << " " << name << "=" << value;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+// ---- MetricsRegistry ----
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.phases.push_back(MakePhaseStats(name, histogram->Snapshot()));
+  }
+  return out;
+}
+
+}  // namespace cne::obs

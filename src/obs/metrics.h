@@ -1,0 +1,227 @@
+// Lock-free service metrics: named counters, gauges, and HDR-style
+// log-bucketed latency histograms with per-thread sharded recorders.
+//
+// Design (see docs/ARCHITECTURE.md "Observability"):
+//  - `LatencyHistogram` buckets nanosecond values logarithmically with 32
+//    sub-buckets per octave, so the relative width of any bucket is at most
+//    1/32 and the midpoint representative is within ~1.6% (< 2%) of any
+//    value in the bucket. Values below 64 ns land in exact unit buckets.
+//  - Recording is lock-free and allocation-free: relaxed fetch_adds into a
+//    bucket picked by arithmetic on the value, a running nanosecond sum,
+//    and a shard count, plus a rarely-taken high-water CAS that bounds how
+//    far Snapshot must scan.
+//  - Buckets are sharded `kShards` ways by a per-thread index so concurrent
+//    recorders do not contend on the same cache lines; `Snapshot()` merges
+//    the shards into a plain `HistogramSnapshot` for quantile extraction.
+//  - `MetricsRegistry` owns metrics by name and hands out stable pointers;
+//    a null metric pointer is the runtime kill switch (recording sites all
+//    accept and ignore nullptr).
+
+#ifndef CNE_OBS_METRICS_H_
+#define CNE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cne::obs {
+
+/// Runtime kill switch for the whole subsystem.
+///  - kOff: no metric is registered; every recording site sees nullptr and
+///    pays one predicted-not-taken branch.
+///  - kCounters: counters and gauges only; histograms (and the clock reads
+///    that feed them) stay off.
+///  - kFull: everything, including per-phase latency histograms.
+enum class MetricsLevel { kOff = 0, kCounters = 1, kFull = 2 };
+
+const char* MetricsLevelName(MetricsLevel level);
+
+/// Parses "off" / "counters" / "full"; returns kFull on unknown input.
+MetricsLevel ParseMetricsLevel(const std::string& name);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (thread counts, sizes, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Mergeable point-in-time copy of one histogram's buckets. All quantile
+/// math happens here, off the hot path.
+struct HistogramSnapshot {
+  /// Bucket counts, trimmed to the highest touched bucket (empty when
+  /// count == 0); index i corresponds to LatencyHistogram bucket i.
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  uint64_t sum_nanos = 0;
+
+  /// Quantile in nanoseconds, q in [0, 1]; 0 when empty. Uses the bucket
+  /// midpoint, so the result is within ~1.6% of the exact order statistic.
+  double QuantileNanos(double q) const;
+  double QuantileSeconds(double q) const { return QuantileNanos(q) * 1e-9; }
+
+  double MeanNanos() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_nanos) /
+                            static_cast<double>(count);
+  }
+  double TotalSeconds() const { return static_cast<double>(sum_nanos) * 1e-9; }
+
+  /// Largest recorded value's bucket upper bound (nanoseconds); 0 if empty.
+  uint64_t MaxNanos() const;
+
+  /// Element-wise accumulation; associative and commutative, so shard and
+  /// cross-thread merges compose in any order.
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Log-bucketed latency histogram over nanoseconds, u64 atomic buckets,
+/// sharded per thread. ~2% worst-case relative quantile error.
+class LatencyHistogram {
+ public:
+  // 32 sub-buckets per octave: bucket relative width 2^-5.
+  static constexpr int kSubBits = 5;
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBits;  // 32
+  // Largest bucketed exponent: values at or above 2^(kMaxExponent+1) ns
+  // (~73 minutes) clamp into the top bucket.
+  static constexpr int kMaxExponent = 41;
+  // Exact unit buckets for v < 2*kSubBuckets, then kSubBuckets per octave.
+  static constexpr size_t kNumBuckets =
+      kSubBuckets * static_cast<size_t>(kMaxExponent - kSubBits) +
+      2 * kSubBuckets;  // 1216
+  static constexpr size_t kShards = 8;
+
+  LatencyHistogram();
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Wait-free; safe from any thread. Three relaxed fetch_adds (bucket,
+  /// sum, shard count — the count lets Snapshot skip untouched shards)
+  /// plus a high-water check that bounds Snapshot's bucket scan; the CAS
+  /// only runs when a record lands above every previous one.
+  void Record(uint64_t nanos) {
+    Shard& shard = shards_[ShardIndex()];
+    const uint64_t index = BucketIndex(nanos);
+    shard.buckets[index].fetch_add(1, std::memory_order_relaxed);
+    shard.sum_nanos.fetch_add(nanos, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    uint64_t seen = shard.high_water.load(std::memory_order_relaxed);
+    while (index > seen &&
+           !shard.high_water.compare_exchange_weak(
+               seen, index, std::memory_order_relaxed)) {
+    }
+  }
+
+  void RecordSeconds(double seconds) {
+    if (seconds < 0) seconds = 0;
+    Record(static_cast<uint64_t>(seconds * 1e9));
+  }
+
+  /// Merges all shards into one snapshot. Concurrent-safe (values recorded
+  /// while snapshotting may or may not be included).
+  HistogramSnapshot Snapshot() const;
+
+  /// Maps a nanosecond value to its bucket.
+  static size_t BucketIndex(uint64_t nanos);
+
+  /// Inclusive lower bound (ns) of bucket `index`; the bucket's upper bound
+  /// is BucketLowerBound(index + 1).
+  static uint64_t BucketLowerBound(size_t index);
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<uint64_t> sum_nanos{0};
+    std::atomic<uint64_t> count{0};       ///< total records in this shard
+    std::atomic<uint64_t> high_water{0};  ///< highest touched bucket index
+    Shard() : buckets(kNumBuckets) {}
+  };
+
+  static size_t ShardIndex();
+
+  std::vector<Shard> shards_;
+};
+
+/// One phase's latency distribution, extracted for reports. All latency
+/// fields are seconds.
+struct PhaseStats {
+  std::string name;
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p90_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double p999_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// Point-in-time export of a registry: cumulative counters, gauges, and
+/// per-phase quantiles. Plain data, safe to copy into reports.
+struct MetricsSnapshot {
+  /// Schema version of ToJson(); bump on any field change.
+  static constexpr int kVersion = 1;
+
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<PhaseStats> phases;
+
+  /// Phase lookup by name; nullptr when absent.
+  const PhaseStats* Phase(const std::string& name) const;
+
+  /// Counter lookup by name; 0 when absent.
+  uint64_t CounterValue(const std::string& name) const;
+
+  /// Versioned JSON object ({"metrics_version": 1, ...}). `indent` spaces
+  /// of leading indentation on every line after the first.
+  std::string ToJson(int indent = 0) const;
+
+  /// Aligned human-readable phase table (one line per phase).
+  std::string ToTable() const;
+};
+
+/// Owns named metrics and hands out stable pointers. Registration takes a
+/// lock; recording through the returned pointers never does.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Snapshot of every registered metric, names sorted.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// Extracts PhaseStats from a histogram snapshot.
+PhaseStats MakePhaseStats(const std::string& name,
+                          const HistogramSnapshot& snapshot);
+
+}  // namespace cne::obs
+
+#endif  // CNE_OBS_METRICS_H_

@@ -1,0 +1,9 @@
+#include "obs/trace.h"
+
+namespace cne::obs {
+
+#if CNE_OBS_ENABLED
+thread_local TraceSpan* TraceSpan::current_ = nullptr;
+#endif
+
+}  // namespace cne::obs

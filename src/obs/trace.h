@@ -1,0 +1,103 @@
+// RAII latency spans over obs::LatencyHistogram, with nesting-aware
+// exclusive time and a compile-time kill switch.
+//
+// A TraceSpan constructed with a null histogram is a complete no-op (no
+// clock read). With a histogram it records, on destruction, the span's
+// *exclusive* time — wall time minus the wall time of spans nested inside
+// it on the same thread — so a phase table sums to the pipeline total
+// instead of double-counting parents and children.
+//
+// Compiling with -DCNE_OBS_ENABLED=0 reduces every span to an empty object
+// and NowNanos stays available for manual timing.
+
+#ifndef CNE_OBS_TRACE_H_
+#define CNE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+#ifndef CNE_OBS_ENABLED
+#define CNE_OBS_ENABLED 1
+#endif
+
+namespace cne::obs {
+
+/// Monotonic nanosecond clock (steady_clock; ~20-25 ns per read).
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if CNE_OBS_ENABLED
+
+class TraceSpan {
+ public:
+  /// Null histogram => no-op span (no clock read, no thread-local touch).
+  explicit TraceSpan(LatencyHistogram* histogram) : histogram_(histogram) {
+    if (histogram_ == nullptr) return;
+    parent_ = current_;
+    current_ = this;
+    start_nanos_ = NowNanos();
+  }
+
+  ~TraceSpan() {
+    if (histogram_ == nullptr) return;
+    const uint64_t total = NowNanos() - start_nanos_;
+    const uint64_t exclusive = total > child_nanos_ ? total - child_nanos_ : 0;
+    histogram_->Record(exclusive);
+    if (parent_ != nullptr) parent_->child_nanos_ += total;
+    current_ = parent_;
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  LatencyHistogram* histogram_;
+  TraceSpan* parent_ = nullptr;
+  uint64_t start_nanos_ = 0;
+  uint64_t child_nanos_ = 0;
+
+  static thread_local TraceSpan* current_;
+};
+
+#else  // !CNE_OBS_ENABLED
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(LatencyHistogram*) {}
+};
+
+#endif  // CNE_OBS_ENABLED
+
+/// Deterministic 1-in-N sampler for per-item spans on paths too hot to
+/// time every iteration. Not thread-safe; keep one per worker scope.
+class SampledRecorder {
+ public:
+  /// `shift`: sample every 2^shift-th call (default 1 in 8).
+  explicit SampledRecorder(LatencyHistogram* histogram, unsigned shift = 3)
+      : histogram_(histogram), mask_((1u << shift) - 1) {}
+
+  /// True when this iteration should be timed. Always false when disabled.
+  bool ShouldSample() {
+    if (histogram_ == nullptr) return false;
+    return (ticks_++ & mask_) == 0;
+  }
+
+  void Record(uint64_t nanos) {
+    if (histogram_ != nullptr) histogram_->Record(nanos);
+  }
+
+ private:
+  LatencyHistogram* histogram_;
+  uint32_t mask_;
+  uint32_t ticks_ = 0;
+};
+
+}  // namespace cne::obs
+
+#endif  // CNE_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "store/snapshot_format.h"
 #include "util/logging.h"
 
@@ -75,7 +76,11 @@ void NoisyViewStore::MaterializeAuthorized(ThreadPool& pool) {
           kMaterialized) {
         continue;
       }
+      const uint64_t t0 = build_histogram_ != nullptr ? obs::NowNanos() : 0;
       std::unique_ptr<NoisyNeighborSet> view = Generate(vertex);
+      if (build_histogram_ != nullptr) {
+        build_histogram_->Record(obs::NowNanos() - t0);
+      }
       std::lock_guard<std::mutex> lock(slow_mutex_);
       if (table.state[vertex.id].load(std::memory_order_acquire) !=
           kMaterialized) {
@@ -116,7 +121,12 @@ const NoisyNeighborSet* NoisyViewStore::Get(LayeredVertex vertex) {
   }
   // Building under the lock is acceptable: lazy builds are the cold path
   // (the service prefetches via MaterializeAuthorized).
-  Publish(vertex, Generate(vertex));
+  const uint64_t t0 = build_histogram_ != nullptr ? obs::NowNanos() : 0;
+  std::unique_ptr<NoisyNeighborSet> built = Generate(vertex);
+  if (build_histogram_ != nullptr) {
+    build_histogram_->Record(obs::NowNanos() - t0);
+  }
+  Publish(vertex, std::move(built));
   return table.view[vertex.id].load(std::memory_order_acquire);
 }
 

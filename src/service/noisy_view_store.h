@@ -40,6 +40,7 @@
 #include "ldp/budget_ledger.h"
 #include "ldp/comm_model.h"
 #include "ldp/randomized_response.h"
+#include "obs/metrics.h"
 #include "util/binary_io.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -130,6 +131,13 @@ class NoisyViewStore {
   /// Randomized-response budget of each release.
   double epsilon() const { return epsilon_; }
 
+  /// Installs a per-view build-latency histogram (nanoseconds per RR
+  /// generation; null disables, the default). Set before views start
+  /// materializing — the pointer is read without synchronization.
+  void set_build_histogram(obs::LatencyHistogram* histogram) {
+    build_histogram_ = histogram;
+  }
+
   Stats stats() const;
 
   // ---- persistence hooks (store/snapshot_format.h) ----
@@ -200,6 +208,8 @@ class NoisyViewStore {
   /// the pending list. Never taken on the read fast paths.
   std::mutex slow_mutex_;
   std::vector<LayeredVertex> pending_;  ///< authorized, not yet built
+
+  obs::LatencyHistogram* build_histogram_ = nullptr;  ///< null = off
 
   std::atomic<uint64_t> lookups_{0};
   std::atomic<uint64_t> releases_{0};

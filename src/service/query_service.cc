@@ -4,10 +4,12 @@
 #include <sys/file.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "service/workload_planner.h"
 #include "store/budget_wal.h"
 #include "util/logging.h"
@@ -75,7 +77,31 @@ QueryService::QueryService(const BipartiteGraph& graph,
   CNE_CHECK(options.epsilon1_fraction > 0.0 &&
             options.epsilon1_fraction < 1.0)
       << "epsilon1 fraction must lie in (0, 1)";
+  InitMetrics();
   if (!options_.snapshot_dir.empty()) OpenPersistent();
+}
+
+void QueryService::InitMetrics() {
+#if CNE_OBS_ENABLED
+  if (options_.metrics_level == obs::MetricsLevel::kOff) return;
+  c_queries_ = metrics_.GetCounter("queries_submitted");
+  c_answered_ = metrics_.GetCounter("queries_answered");
+  c_rejected_ = metrics_.GetCounter("queries_rejected");
+  c_submits_ = metrics_.GetCounter("submits");
+  c_checkpoints_ = metrics_.GetCounter("checkpoints");
+  metrics_.GetGauge("threads")->Set(pool_.NumThreads());
+  if (options_.metrics_level != obs::MetricsLevel::kFull) return;
+  // Register the full phase taxonomy up front so every snapshot carries
+  // every phase row, zero-count phases included — schema over sparsity.
+  h_admission_ = metrics_.GetHistogram("admission");
+  h_wal_fsync_ = metrics_.GetHistogram("wal_fsync");
+  h_release_ = metrics_.GetHistogram("release");
+  h_plan_ = metrics_.GetHistogram("plan");
+  h_execute_ = metrics_.GetHistogram("execute");
+  h_post_process_ = metrics_.GetHistogram("post_process");
+  h_checkpoint_ = metrics_.GetHistogram("checkpoint");
+  store_.set_build_histogram(metrics_.GetHistogram("release_build"));
+#endif
 }
 
 QueryService::~QueryService() = default;
@@ -215,6 +241,8 @@ void QueryService::OpenPersistent() {
 double QueryService::Checkpoint() {
   CNE_CHECK(persistent())
       << "Checkpoint() requires ServiceOptions::snapshot_dir";
+  const obs::TraceSpan span(h_checkpoint_);
+  if (c_checkpoints_ != nullptr) c_checkpoints_->Add();
   Timer timer;
   const uint64_t next_epoch = persist_->epoch + 1;
   SnapshotWriter writer(next_epoch);
@@ -276,7 +304,12 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   // queries, so running it sequentially makes accept/reject decisions —
   // and hence everything downstream — independent of thread count.
   cache_hit_lookups_ = 0;
-  for (size_t i = 0; i < queries.size(); ++i) {
+  // Per-query admission latency, one sample per 256-query chunk: a
+  // single Admit runs in ~100 ns, so clocking every query would cost more
+  // than the work it measures, and even the sampler's per-query branch is
+  // worth hoisting out of the loop (the histogram's quantiles only need
+  // a sample stream).
+  const auto admit_one = [&](size_t i) {
     const QueryPair& query = queries[i];
     CNE_CHECK(query.u < graph_.NumVertices(query.layer) &&
               query.w < graph_.NumVertices(query.layer))
@@ -284,14 +317,33 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
     plan[i].query = query;
     plan[i].noise_stream = next_noise_stream_++;
     plan[i].admitted = Admit(query);
+  };
+  if (h_admission_ == nullptr) {
+    for (size_t i = 0; i < queries.size(); ++i) admit_one(i);
+  } else {
+    constexpr size_t kAdmitStride = 256;
+    size_t i = 0;
+    while (i < queries.size()) {
+      const uint64_t t0 = obs::NowNanos();
+      admit_one(i);
+      h_admission_->Record(obs::NowNanos() - t0);
+      ++i;
+      const size_t chunk_end = std::min(queries.size(), i + (kAdmitStride - 1));
+      for (; i < chunk_end; ++i) admit_one(i);
+    }
   }
   store_.RecordCacheHits(cache_hit_lookups_);
+  if (c_submits_ != nullptr) {
+    c_submits_->Add();
+    c_queries_->Add(queries.size());
+  }
 
   // Write-ahead barrier: seal the admission batch and fsync ONCE before
   // any noise is sampled or any answer computed. After this line a crash
   // replays to exactly this state; before it, recovery drops the whole
   // unsealed batch — which the outside world never saw answers from.
   if (persist_) {
+    const obs::TraceSpan wal_span(h_wal_fsync_);
     WalRecord seal;
     seal.type = WalRecordType::kSubmitSealed;
     seal.counter = next_noise_stream_;
@@ -300,8 +352,13 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   }
 
   // Phase 2 — materialize the newly authorized noisy views in parallel;
-  // each view comes from its vertex's own substream.
-  store_.MaterializeAuthorized(pool_);
+  // each view comes from its vertex's own substream. The release span is
+  // the submit-level barrier wall time; per-view build latency lands in
+  // the store's release_build histogram.
+  {
+    const obs::TraceSpan release_span(h_release_);
+    store_.MaterializeAuthorized(pool_);
+  }
 
   // Phase 3 — answer every admitted query. The planner path groups by
   // shared endpoint and reuses per-source state; the per-query path is
@@ -310,7 +367,9 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   if (options_.enable_planner && queries.size() >= kMinQueriesToPlan) {
     ExecutePlanned(plan, report);
   } else {
+    const obs::TraceSpan execute_span(h_execute_);
     pool_.ParallelFor(plan.size(), [&](size_t begin, size_t end) {
+      obs::SampledRecorder sampler(h_post_process_);
       for (size_t i = begin; i < end; ++i) {
         ServiceAnswer& answer = report.answers[i];
         answer.query = plan[i].query;
@@ -318,7 +377,10 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
           answer.rejected = true;
           continue;
         }
+        const bool sampled = sampler.ShouldSample();
+        const uint64_t t0 = sampled ? obs::NowNanos() : 0;
         answer.estimate = Answer(plan[i]);
+        if (sampled) sampler.Record(obs::NowNanos() - t0);
       }
     });
   }
@@ -330,6 +392,10 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
       ++report.answered;
     }
   }
+  if (c_answered_ != nullptr) {
+    c_answered_->Add(report.answered);
+    c_rejected_->Add(report.rejected);
+  }
   report.seconds = timer.Seconds();
   report.store = store_.stats();
   report.budget_vertices_charged = ledger_.NumChargedVertices();
@@ -340,24 +406,32 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   if (persist_) {
     report.checkpoint_seconds = persist_->last_checkpoint_seconds;
   }
+  if (options_.metrics_level != obs::MetricsLevel::kOff) {
+    report.metrics = metrics_.Snapshot();
+  }
   return report;
 }
 
 void QueryService::ExecutePlanned(const std::vector<PlannedQuery>& plan,
                                   ServiceReport& report) {
   Timer plan_timer;
-  refs_.clear();
-  refs_.reserve(plan.size());
-  for (size_t i = 0; i < plan.size(); ++i) {
-    ServiceAnswer& answer = report.answers[i];
-    answer.query = plan[i].query;
-    if (!plan[i].admitted) {
-      answer.rejected = true;
-      continue;
+  const WorkloadPlan* planned = nullptr;
+  {
+    const obs::TraceSpan plan_span(h_plan_);
+    refs_.clear();
+    refs_.reserve(plan.size());
+    for (size_t i = 0; i < plan.size(); ++i) {
+      ServiceAnswer& answer = report.answers[i];
+      answer.query = plan[i].query;
+      if (!plan[i].admitted) {
+        answer.rejected = true;
+        continue;
+      }
+      refs_.push_back({plan[i].query, i, plan[i].noise_stream});
     }
-    refs_.push_back({plan[i].query, i, plan[i].noise_stream});
+    planned = &planner_.Plan(refs_);
   }
-  const WorkloadPlan& workload = planner_.Plan(refs_);
+  const WorkloadPlan& workload = *planned;
   report.planner_seconds = plan_timer.Seconds();
   report.groups_formed = workload.groups.size();
   report.avg_group_size = workload.AvgGroupSize();
@@ -369,9 +443,15 @@ void QueryService::ExecutePlanned(const std::vector<PlannedQuery>& plan,
   // from the previous submission are harmless and re-zeroing is waste.
   estimates_.resize(plan.size());
   std::span<double> estimates(estimates_);
+  // One execute span per worker chunk, not per group: a group runs in a
+  // few µs, so per-group spans would spend a measurable share of the
+  // execute phase measuring it. The histogram's quantiles describe chunk
+  // latencies; per-query tail latency lives in post_process.
   pool_.ParallelFor(
       workload.groups.size(), [&](size_t begin, size_t end) {
-        GroupExecutor executor(graph_, plan_, debias_, store_, noise_root_);
+        const obs::TraceSpan execute_span(h_execute_);
+        GroupExecutor executor(graph_, plan_, debias_, store_, noise_root_,
+                               h_post_process_);
         for (size_t g = begin; g < end; ++g) {
           executor.Execute(workload, workload.groups[g], estimates);
         }

@@ -40,6 +40,7 @@
 #include "core/estimator.h"
 #include "core/protocol_pipeline.h"
 #include "ldp/budget_ledger.h"
+#include "obs/metrics.h"
 #include "service/noisy_view_store.h"
 #include "service/workload_planner.h"
 #include "store/snapshot_format.h"
@@ -97,6 +98,13 @@ struct ServiceOptions {
   /// same directory restarts byte-identical: same answers, same residual
   /// budgets, zero re-randomized views.
   std::string snapshot_dir;
+
+  /// Observability level (obs/metrics.h). kFull records per-phase latency
+  /// histograms (admission, wal_fsync, release, plan, execute,
+  /// post_process, checkpoint) plus counters; kCounters keeps only the
+  /// counters; kOff registers nothing and reduces every recording site to
+  /// a null-pointer branch. Never affects answers.
+  obs::MetricsLevel metrics_level = obs::MetricsLevel::kFull;
 };
 
 /// What recovery found when a persistent service opened its directory.
@@ -145,6 +153,11 @@ struct ServiceReport {
   double snapshot_load_seconds = 0.0;  ///< recovery cost at service open
   uint64_t wal_replay_records = 0;     ///< WAL records replayed at open
   double checkpoint_seconds = 0.0;     ///< duration of the last Checkpoint()
+
+  /// Service-lifetime metrics (counters + per-phase latency quantiles,
+  /// obs/metrics.h). Empty at metrics_level = kOff; counters only at
+  /// kCounters. Cumulative, so the latest report supersedes earlier ones.
+  obs::MetricsSnapshot metrics;
 
   /// Answered queries per second. Rejections are excluded — they take
   /// only the admission fast path, so counting them would inflate
@@ -198,6 +211,10 @@ class QueryService {
   const BudgetLedger& ledger() const { return ledger_; }
   const NoisyViewStore& store() const { return store_; }
 
+  /// Current cumulative metrics without submitting anything (the same
+  /// snapshot every ServiceReport carries). Empty at kOff.
+  obs::MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
+
  private:
   struct Persistence;  // snapshot paths + WAL handle (query_service.cc)
   struct PlannedQuery {
@@ -229,6 +246,10 @@ class QueryService {
   void ExecutePlanned(const std::vector<PlannedQuery>& plan,
                       ServiceReport& report);
 
+  /// Registers metric handles per options_.metrics_level (constructor
+  /// helper). Null handles keep every recording site a branch.
+  void InitMetrics();
+
   const BipartiteGraph& graph_;
   const ServiceOptions options_;
   const ProtocolPlan plan_;        ///< the protocol's release structure
@@ -243,6 +264,23 @@ class QueryService {
 
   std::unique_ptr<Persistence> persist_;  ///< null without snapshot_dir
   RecoveryStats recovery_;
+
+  // Observability (obs/). The registry owns the metrics; the raw pointers
+  // are the hot-path handles, null whenever the metrics level (or the
+  // compile-time switch) disables them.
+  obs::MetricsRegistry metrics_;
+  obs::Counter* c_queries_ = nullptr;     ///< queries submitted
+  obs::Counter* c_answered_ = nullptr;    ///< queries answered
+  obs::Counter* c_rejected_ = nullptr;    ///< queries rejected at admission
+  obs::Counter* c_submits_ = nullptr;     ///< Submit calls
+  obs::Counter* c_checkpoints_ = nullptr; ///< Checkpoint calls
+  obs::LatencyHistogram* h_admission_ = nullptr;     ///< per query
+  obs::LatencyHistogram* h_wal_fsync_ = nullptr;     ///< per submit seal
+  obs::LatencyHistogram* h_release_ = nullptr;       ///< per submit barrier
+  obs::LatencyHistogram* h_plan_ = nullptr;          ///< per planned submit
+  obs::LatencyHistogram* h_execute_ = nullptr;       ///< per group / chunk
+  obs::LatencyHistogram* h_post_process_ = nullptr;  ///< per query, sampled
+  obs::LatencyHistogram* h_checkpoint_ = nullptr;    ///< per checkpoint
 
   // Submit-level scratch, reused across submissions (Submit is not
   // reentrant by contract).

@@ -110,12 +110,14 @@ GroupExecutor::GroupExecutor(const BipartiteGraph& graph,
                              const ProtocolPlan& plan,
                              const DebiasConstants& debias,
                              const NoisyViewStore& store,
-                             const Rng& noise_root)
+                             const Rng& noise_root,
+                             obs::LatencyHistogram* post_process)
     : graph_(graph),
       plan_(plan),
       debias_(debias),
       store_(store),
-      noise_root_(noise_root) {}
+      noise_root_(noise_root),
+      post_process_(post_process) {}
 
 void GroupExecutor::Execute(const WorkloadPlan& plan,
                             const QueryGroup& group,
@@ -157,17 +159,17 @@ void GroupExecutor::ExecuteRun(const QueryGroup& group,
       counts_.resize(items.size());
       BatchIntersectionSize(source_view.View(), candidate_views_, counts_);
       if (plan_.kind == ProtocolKind::kNaive) {
-        for (size_t i = 0; i < items.size(); ++i) {
+        ForEachSampled(items.size(), [&](size_t i) {
           estimates[items[i].slot] = static_cast<double>(counts_[i]);
-        }
+        });
       } else {
-        for (size_t i = 0; i < items.size(); ++i) {
+        ForEachSampled(items.size(), [&](size_t i) {
           const uint64_t n1 = counts_[i];
           const uint64_t n2 =
               source_view.Size() + candidate_views_[i].Size() - n1;
           estimates[items[i].slot] =
               OneRFromCounts(debias_, n1, n2, opposite);
-        }
+        });
       }
       return;
     }
@@ -186,13 +188,13 @@ void GroupExecutor::ExecuteRun(const QueryGroup& group,
         counts_.resize(items.size());
         BatchIntersectionSize(SetView::Sorted(neighbors), candidate_views_,
                               counts_);
-        for (size_t i = 0; i < items.size(); ++i) {
-          const double f_u =
-              SingleSourceFromCounts(debias_, counts_[i], neighbors.size());
+        ForEachSampled(items.size(), [&](size_t i) {
+          const double f_u = SingleSourceFromCounts(debias_, counts_[i],
+                                                    neighbors.size());
           Rng rng = noise_root_.Fork(items[i].noise_stream);
           estimates[items[i].slot] =
               LaplaceMechanism(f_u, debias_.stay, plan_.epsilon2, rng);
-        }
+        });
       } else {
         // The source is the released side: its view is resolved once and
         // every candidate's true neighbor list probes into it.
@@ -206,13 +208,13 @@ void GroupExecutor::ExecuteRun(const QueryGroup& group,
         counts_.resize(items.size());
         BatchIntersectionSize(source_view.View(), candidate_sorted_,
                               counts_);
-        for (size_t i = 0; i < items.size(); ++i) {
+        ForEachSampled(items.size(), [&](size_t i) {
           const double f_u = SingleSourceFromCounts(
               debias_, counts_[i], candidate_sorted_[i].Size());
           Rng rng = noise_root_.Fork(items[i].noise_stream);
           estimates[items[i].slot] =
               LaplaceMechanism(f_u, debias_.stay, plan_.epsilon2, rng);
-        }
+        });
       }
       return;
     }
@@ -239,11 +241,11 @@ void GroupExecutor::ExecuteRun(const QueryGroup& group,
                             candidate_views_, counts_);
       BatchIntersectionSize(source_view.View(), candidate_sorted_,
                             reverse_counts_);
-      for (size_t i = 0; i < items.size(); ++i) {
-        // counts_[i] pairs the source's neighbors with the candidate's
-        // view; reverse_counts_[i] the other way around. Map them onto the
-        // protocol's (u, w) roles and draw f_u's noise before f_w's,
-        // exactly as the per-query path does.
+      // counts_[i] pairs the source's neighbors with the candidate's
+      // view; reverse_counts_[i] the other way around. Map them onto the
+      // protocol's (u, w) roles and draw f_u's noise before f_w's,
+      // exactly as the per-query path does.
+      ForEachSampled(items.size(), [&](size_t i) {
         const double f_source = SingleSourceFromCounts(
             debias_, counts_[i], source_neighbors.size());
         const double f_candidate = SingleSourceFromCounts(
@@ -257,7 +259,7 @@ void GroupExecutor::ExecuteRun(const QueryGroup& group,
             LaplaceMechanism(second, debias_.stay, plan_.epsilon2, rng);
         estimates[items[i].slot] =
             CombineDoubleSource(plan_.alpha, f_u, f_w);
-      }
+      });
       return;
     }
   }

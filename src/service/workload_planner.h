@@ -22,11 +22,13 @@
 #ifndef CNE_SERVICE_WORKLOAD_PLANNER_H_
 #define CNE_SERVICE_WORKLOAD_PLANNER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/protocol_pipeline.h"
+#include "obs/trace.h"
 #include "service/noisy_view_store.h"
 #include "util/rng.h"
 
@@ -125,26 +127,56 @@ class WorkloadPlanner {
 class GroupExecutor {
  public:
   /// All referenced views must already be materialized. `noise_root` is
-  /// the parent of the per-query Laplace substreams.
+  /// the parent of the per-query Laplace substreams. `post_process`, when
+  /// non-null, receives chunk-sampled per-query post-processing latencies
+  /// (one item per kSampleStride is clocked; see ForEachSampled).
   GroupExecutor(const BipartiteGraph& graph, const ProtocolPlan& plan,
                 const DebiasConstants& debias, const NoisyViewStore& store,
-                const Rng& noise_root);
+                const Rng& noise_root,
+                obs::LatencyHistogram* post_process = nullptr);
 
   /// Computes every item's estimate into estimates[item.slot].
   void Execute(const WorkloadPlan& plan, const QueryGroup& group,
                std::span<double> estimates);
 
  private:
+  /// One item per stride gets the clock pair; the estimate loops run a few
+  /// ns per item, so the stride must amortize two ~40 ns clock reads to a
+  /// sub-ns per-item cost.
+  static constexpr size_t kSampleStride = 64;
+
   /// Runs one role-homogeneous span of items (`source_as_u` tells which
   /// role the source plays in all of them).
   void ExecuteRun(const QueryGroup& group, std::span<const GroupItem> items,
                   bool source_as_u, std::span<double> estimates);
+
+  /// Calls body(i) for i in [0, n). With post-process timing enabled, the
+  /// first item of every kSampleStride-item chunk is clocked and recorded;
+  /// the rest run in a tight inner loop with no per-item branch, so the
+  /// compiler optimizes the common path exactly as if timing were off.
+  template <typename Body>
+  void ForEachSampled(size_t n, Body&& body) {
+    if (post_process_ == nullptr) {
+      for (size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    size_t i = 0;
+    while (i < n) {
+      const uint64_t t0 = obs::NowNanos();
+      body(i);
+      post_process_->Record(obs::NowNanos() - t0);
+      ++i;
+      const size_t chunk_end = std::min(n, i + (kSampleStride - 1));
+      for (; i < chunk_end; ++i) body(i);
+    }
+  }
 
   const BipartiteGraph& graph_;
   const ProtocolPlan& plan_;
   const DebiasConstants& debias_;
   const NoisyViewStore& store_;
   const Rng& noise_root_;
+  obs::LatencyHistogram* post_process_;
 
   // Scratch reused across groups.
   std::vector<SetView> candidate_views_;

@@ -1,0 +1,71 @@
+// Minimal recursive-descent JSON parser (read-only DOM).
+//
+// Exists so tools can read the JSON this repo's own binaries emit
+// (bench JSON, `cne_serve --metrics-json`) without a third-party
+// dependency. Full RFC 8259 value grammar; numbers are doubles; object
+// member order is preserved.
+
+#ifndef CNE_UTIL_JSON_H_
+#define CNE_UTIL_JSON_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cne {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+  using Array = std::vector<JsonValue>;
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool IsNull() const { return type_ == Type::kNull; }
+  bool IsBool() const { return type_ == Type::kBool; }
+  bool IsNumber() const { return type_ == Type::kNumber; }
+  bool IsString() const { return type_ == Type::kString; }
+  bool IsArray() const { return type_ == Type::kArray; }
+  bool IsObject() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; return the fallback on type mismatch.
+  bool AsBool(bool fallback = false) const {
+    return IsBool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    return IsNumber() ? number_ : fallback;
+  }
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  const Object& AsObject() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// `Find`, but returns a shared null value when absent — chains safely:
+  /// `doc["a"]["b"].AsDouble()`.
+  const JsonValue& operator[](const std::string& key) const;
+
+  /// Parses `text` into `*out`. On failure returns false and, when `error`
+  /// is non-null, stores a message with the byte offset of the problem.
+  static bool Parse(const std::string& text, JsonValue* out,
+                    std::string* error = nullptr);
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace cne
+
+#endif  // CNE_UTIL_JSON_H_

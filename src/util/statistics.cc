@@ -24,6 +24,14 @@ void RunningStats::Add(double x) {
 
 double RunningStats::Mean() const { return count_ == 0 ? 0.0 : mean_; }
 
+double RunningStats::Min() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double RunningStats::Max() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
 double RunningStats::Variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);
@@ -79,6 +87,7 @@ Summary Summarize(const std::vector<double>& values) {
   s.median = QuantileSorted(sorted, 0.5);
   s.p05 = QuantileSorted(sorted, 0.05);
   s.p95 = QuantileSorted(sorted, 0.95);
+  s.p99 = QuantileSorted(sorted, 0.99);
   return s;
 }
 

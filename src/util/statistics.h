@@ -32,8 +32,10 @@ class RunningStats {
   /// Standard error of the mean: StdDev / sqrt(n).
   double StdError() const;
 
-  double Min() const { return min_; }
-  double Max() const { return max_; }
+  /// Smallest/largest observation; quiet NaN when empty so an empty
+  /// accumulator is distinguishable from one that saw a real 0.0.
+  double Min() const;
+  double Max() const;
 
   /// Merges another accumulator into this one (parallel Welford).
   void Merge(const RunningStats& other);
@@ -57,6 +59,7 @@ struct Summary {
   double median = 0.0;
   double p05 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 /// Computes a `Summary` of `values` (copies and sorts internally).

@@ -1,0 +1,256 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cne::obs {
+namespace {
+
+// The histogram's documented worst-case relative quantile error: bucket
+// midpoints are within 1/(2 * kSubBuckets) ≈ 1.6% of any bucketed value.
+constexpr double kQuantileTolerance = 0.02;
+
+// Ground truth: the order statistic the histogram targets (q * (count-1),
+// same convention as HistogramSnapshot::QuantileNanos).
+double ExactQuantile(std::vector<uint64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(values.size() - 1));
+  return static_cast<double>(values[index]);
+}
+
+void ExpectQuantilesWithinTolerance(const std::vector<uint64_t>& values) {
+  LatencyHistogram histogram;
+  for (uint64_t v : values) histogram.Record(v);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.count, values.size());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = ExactQuantile(values, q);
+    const double approx = snapshot.QuantileNanos(q);
+    // Unit buckets (v < 64) are exact; everything else is within the
+    // bucket-midpoint tolerance.
+    const double tolerance = exact < 64 ? 0.5 : kQuantileTolerance * exact;
+    EXPECT_NEAR(approx, exact, tolerance) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, UnitBucketsAreExact) {
+  // Values below 2 * kSubBuckets land in per-value buckets: index == value
+  // and the bucket spans exactly [v, v+1).
+  for (uint64_t v = 0; v < 2 * LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(v), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketBoundsBracketEveryValue) {
+  // For a spread of magnitudes (including every power of two and its
+  // neighbors), the value must fall inside its bucket's [lower, upper).
+  std::vector<uint64_t> probes;
+  for (int e = 0; e < 63; ++e) {
+    const uint64_t p = 1ull << e;
+    probes.push_back(p - 1);
+    probes.push_back(p);
+    probes.push_back(p + 1);
+    probes.push_back(p + p / 3);
+  }
+  for (uint64_t v : probes) {
+    const size_t index = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(index, LatencyHistogram::kNumBuckets);
+    if (index + 1 < LatencyHistogram::kNumBuckets) {
+      EXPECT_GE(v, LatencyHistogram::BucketLowerBound(index)) << "v=" << v;
+      EXPECT_LT(v, LatencyHistogram::BucketLowerBound(index + 1))
+          << "v=" << v;
+    } else {
+      // Top bucket: clamp region, lower bound still must not exceed v.
+      EXPECT_GE(v, LatencyHistogram::BucketLowerBound(index)) << "v=" << v;
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotone) {
+  size_t last = 0;
+  for (int e = 5; e < 42; ++e) {
+    for (uint64_t m = 0; m < 8; ++m) {
+      const uint64_t v = (1ull << e) + m * (1ull << (e - 3));
+      const size_t index = LatencyHistogram::BucketIndex(v);
+      EXPECT_GE(index, last) << "v=" << v;
+      last = index;
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, RelativeBucketWidthAtMostTwoPercent) {
+  // Above the unit-bucket region, (upper - lower) / lower <= 1/32.
+  for (size_t i = 2 * LatencyHistogram::kSubBuckets;
+       i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    const double lower =
+        static_cast<double>(LatencyHistogram::BucketLowerBound(i));
+    const double upper =
+        static_cast<double>(LatencyHistogram::BucketLowerBound(i + 1));
+    EXPECT_LE((upper - lower) / lower,
+              1.0 / static_cast<double>(LatencyHistogram::kSubBuckets) + 1e-12)
+        << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinTolerance_Uniform) {
+  Rng rng(11);
+  std::vector<uint64_t> values;
+  values.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    values.push_back(1 + rng.NextU64() % 10000000);
+  }
+  ExpectQuantilesWithinTolerance(values);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinTolerance_SingleBucket) {
+  // Every value identical: all quantiles must come back within the
+  // bucket's tolerance of that one value.
+  ExpectQuantilesWithinTolerance(std::vector<uint64_t>(5000, 123456));
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinTolerance_PowerLaw) {
+  // Heavy-tailed latencies: most records fast, a long slow tail — the
+  // regime p999 extraction exists for.
+  Rng rng(13);
+  std::vector<uint64_t> values;
+  values.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.NextDouble();
+    values.push_back(
+        100 + static_cast<uint64_t>(std::pow(2.0, 22.0 * u * u)));
+  }
+  ExpectQuantilesWithinTolerance(values);
+}
+
+TEST(LatencyHistogramTest, MaxNanosBoundsLargestValue) {
+  LatencyHistogram histogram;
+  histogram.Record(1000000);
+  histogram.Record(50);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_GE(snapshot.MaxNanos(), 1000000u);
+  EXPECT_LE(static_cast<double>(snapshot.MaxNanos()),
+            1000000.0 * (1.0 + kQuantileTolerance * 2));
+}
+
+TEST(HistogramSnapshotTest, EmptyIsZero) {
+  LatencyHistogram histogram;
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.QuantileNanos(0.5), 0.0);
+  EXPECT_EQ(snapshot.MeanNanos(), 0.0);
+  EXPECT_EQ(snapshot.MaxNanos(), 0u);
+}
+
+TEST(HistogramSnapshotTest, MergeIsAssociativeAndDeterministic) {
+  Rng rng(17);
+  LatencyHistogram ha, hb, hc;
+  for (int i = 0; i < 3000; ++i) ha.Record(1 + rng.NextU64() % 1000);
+  for (int i = 0; i < 2000; ++i) hb.Record(1000 + rng.NextU64() % 100000);
+  for (int i = 0; i < 1000; ++i) hc.Record(rng.NextU64() % 64);
+
+  const HistogramSnapshot a = ha.Snapshot();
+  const HistogramSnapshot b = hb.Snapshot();
+  const HistogramSnapshot c = hc.Snapshot();
+
+  HistogramSnapshot left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  HistogramSnapshot bc = b;     // a + (b + c)
+  bc.Merge(c);
+  HistogramSnapshot right = a;
+  right.Merge(bc);
+
+  EXPECT_EQ(left.count, 6000u);
+  EXPECT_EQ(left.count, right.count);
+  EXPECT_EQ(left.sum_nanos, right.sum_nanos);
+  EXPECT_EQ(left.buckets, right.buckets);
+  EXPECT_EQ(left.QuantileNanos(0.99), right.QuantileNanos(0.99));
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordersLoseNothing) {
+  LatencyHistogram histogram;
+  ThreadPool pool(4);
+  const size_t n = 200000;
+  pool.ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      histogram.Record(1 + (i % 1000));
+    }
+  });
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, n);
+  uint64_t want_sum = 0;
+  for (size_t i = 0; i < n; ++i) want_sum += 1 + (i % 1000);
+  EXPECT_EQ(snapshot.sum_nanos, want_sum);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("queries");
+  EXPECT_EQ(registry.GetCounter("queries"), c);
+  c->Add(3);
+  registry.GetGauge("threads")->Set(8);
+  registry.GetHistogram("admission")->Record(500);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("queries"), 3u);
+  EXPECT_EQ(snapshot.CounterValue("absent"), 0u);
+  ASSERT_NE(snapshot.Phase("admission"), nullptr);
+  EXPECT_EQ(snapshot.Phase("admission")->count, 1u);
+  EXPECT_EQ(snapshot.Phase("absent"), nullptr);
+}
+
+TEST(MetricsSnapshotTest, ToJsonRoundTripsThroughParser) {
+  MetricsRegistry registry;
+  registry.GetCounter("queries_submitted")->Add(42);
+  registry.GetGauge("threads")->Set(4);
+  LatencyHistogram* h = registry.GetHistogram("execute");
+  for (uint64_t v = 1; v <= 100; ++v) h->Record(v * 1000);
+  registry.GetHistogram("idle");  // zero-count phases must still appear
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(snapshot.ToJson(), &doc, &error)) << error;
+  EXPECT_EQ(doc["metrics_version"].AsDouble(), MetricsSnapshot::kVersion);
+  EXPECT_EQ(doc["counters"]["queries_submitted"].AsDouble(), 42.0);
+  EXPECT_EQ(doc["gauges"]["threads"].AsDouble(), 4.0);
+  ASSERT_EQ(doc["phases"].AsArray().size(), 2u);
+  bool saw_execute = false, saw_idle = false;
+  for (const JsonValue& phase : doc["phases"].AsArray()) {
+    if (phase["name"].AsString() == "execute") {
+      saw_execute = true;
+      EXPECT_EQ(phase["count"].AsDouble(), 100.0);
+      EXPECT_GT(phase["p99_seconds"].AsDouble(), 0.0);
+      EXPECT_GE(phase["p999_seconds"].AsDouble(),
+                phase["p50_seconds"].AsDouble());
+    }
+    if (phase["name"].AsString() == "idle") {
+      saw_idle = true;
+      EXPECT_EQ(phase["count"].AsDouble(), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_execute);
+  EXPECT_TRUE(saw_idle);
+}
+
+TEST(MetricsLevelTest, ParseAndName) {
+  EXPECT_EQ(ParseMetricsLevel("off"), MetricsLevel::kOff);
+  EXPECT_EQ(ParseMetricsLevel("counters"), MetricsLevel::kCounters);
+  EXPECT_EQ(ParseMetricsLevel("full"), MetricsLevel::kFull);
+  EXPECT_EQ(ParseMetricsLevel("bogus"), MetricsLevel::kFull);
+  EXPECT_STREQ(MetricsLevelName(MetricsLevel::kOff), "off");
+  EXPECT_STREQ(MetricsLevelName(MetricsLevel::kFull), "full");
+}
+
+}  // namespace
+}  // namespace cne::obs

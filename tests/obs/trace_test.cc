@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace cne::obs {
+namespace {
+
+TEST(TraceSpanTest, NullHistogramIsNoOp) {
+  // Must not crash, touch thread-locals, or record anywhere.
+  const TraceSpan span(nullptr);
+  {
+    const TraceSpan nested(nullptr);
+  }
+}
+
+TEST(TraceSpanTest, RecordsOneSamplePerSpan) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 5; ++i) {
+    const TraceSpan span(&histogram);
+  }
+  EXPECT_EQ(histogram.Snapshot().count, 5u);
+}
+
+TEST(TraceSpanTest, ExclusiveTimeExcludesNestedSpans) {
+  LatencyHistogram outer_hist, inner_hist;
+  {
+    const TraceSpan outer(&outer_hist);
+    {
+      const TraceSpan inner(&inner_hist);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  const HistogramSnapshot outer_snap = outer_hist.Snapshot();
+  const HistogramSnapshot inner_snap = inner_hist.Snapshot();
+  ASSERT_EQ(outer_snap.count, 1u);
+  ASSERT_EQ(inner_snap.count, 1u);
+  // The inner span holds the 20 ms sleep; the outer span's *exclusive*
+  // time is just span bookkeeping and must come in far under it.
+  EXPECT_GE(inner_snap.QuantileNanos(0.5), 15e6);
+  EXPECT_LT(outer_snap.QuantileNanos(0.5), inner_snap.QuantileNanos(0.5) / 2);
+}
+
+TEST(TraceSpanTest, NestedExclusiveTimesAttributeToEachLevel) {
+  LatencyHistogram a_hist, b_hist, c_hist;
+  {
+    const TraceSpan a(&a_hist);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    {
+      const TraceSpan b(&b_hist);
+      {
+        const TraceSpan c(&c_hist);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  }
+  // a's exclusive time covers its own 5 ms sleep but not b/c's 10 ms;
+  // b's exclusive time excludes c's sleep entirely (b itself only does
+  // span bookkeeping, so it stays far under c's sleep).
+  EXPECT_GE(a_hist.Snapshot().QuantileNanos(0.5), 3e6);
+  EXPECT_LT(b_hist.Snapshot().QuantileNanos(0.5), 5e6);
+  EXPECT_GE(c_hist.Snapshot().QuantileNanos(0.5), 8e6);
+}
+
+TEST(TraceSpanTest, SiblingsDoNotInheritChildTime) {
+  LatencyHistogram parent_hist, child_hist;
+  {
+    const TraceSpan parent(&parent_hist);
+    {
+      const TraceSpan child(&child_hist);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    {
+      const TraceSpan child(&child_hist);
+    }
+  }
+  const HistogramSnapshot child_snap = child_hist.Snapshot();
+  EXPECT_EQ(child_snap.count, 2u);
+  // The second child span is near-instant: its p-low must be far below
+  // the sleeping first span.
+  EXPECT_LT(child_snap.QuantileNanos(0.0), 5e6);
+  EXPECT_GE(child_snap.QuantileNanos(1.0), 8e6);
+}
+
+TEST(SampledRecorderTest, DisabledRecorderNeverSamples) {
+  SampledRecorder recorder(nullptr);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(recorder.ShouldSample());
+  }
+  recorder.Record(123);  // must be a no-op, not a crash
+}
+
+TEST(SampledRecorderTest, SamplesDeterministicallyOneInEight) {
+  LatencyHistogram histogram;
+  SampledRecorder recorder(&histogram);
+  int sampled = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (recorder.ShouldSample()) {
+      ++sampled;
+      EXPECT_EQ(i % 8, 0) << "sample at tick " << i;
+      recorder.Record(100);
+    }
+  }
+  EXPECT_EQ(sampled, 8);
+  EXPECT_EQ(histogram.Snapshot().count, 8u);
+}
+
+TEST(SampledRecorderTest, ShiftZeroSamplesEveryCall) {
+  LatencyHistogram histogram;
+  SampledRecorder recorder(&histogram, /*shift=*/0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(recorder.ShouldSample());
+    recorder.Record(1);
+  }
+  EXPECT_EQ(histogram.Snapshot().count, 10u);
+}
+
+TEST(NowNanosTest, IsMonotonic) {
+  const uint64_t a = NowNanos();
+  const uint64_t b = NowNanos();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace cne::obs

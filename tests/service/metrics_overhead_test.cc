@@ -1,0 +1,170 @@
+// Overhead guard for the observability layer: submitting a 10⁵-scale
+// workload with metrics_level=full must stay within a few percent of the
+// same submission with metrics off. The instrumented pipeline records
+// per-phase spans, sampled admission latencies, and chunk-sampled
+// per-query post-process latencies — this test is the budget those
+// choices must fit.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/synthetic.h"
+#include "obs/metrics.h"
+#include "service/query_service.h"
+#include "service/workload.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace cne {
+namespace {
+
+// The 10⁵-draw power-law graph the guard runs on: BX-like shape, the
+// regime the scale harness benches. Built through the streamed builder
+// into a per-process temp cache that the fixture removes.
+BipartiteGraph BuildGuardGraph(std::filesystem::path* cache_dir) {
+  *cache_dir = std::filesystem::temp_directory_path() /
+               ("cne_metrics_overhead_" + std::to_string(::getpid()));
+  SyntheticSpec spec;
+  spec.num_upper = 4000;
+  spec.num_lower = 10000;
+  spec.num_edges = 100000;
+  spec.exponent_upper = 2.1;
+  spec.exponent_lower = 2.1;
+  spec.seed = 107;
+  return BuildSyntheticGraph(spec, cache_dir->string());
+}
+
+ServiceOptions GuardOptions(obs::MetricsLevel level) {
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kOneR;
+  options.epsilon = 1.0;
+  options.num_threads = 1;
+  options.seed = 7;
+  options.metrics_level = level;
+  return options;
+}
+
+// Best-of-reps submission seconds for one pre-warmed service. Best-of
+// rather than mean: timing noise under CI is one-sided (preemption,
+// frequency scaling), and the guard compares two best cases.
+double TimedRep(QueryService& service,
+                const std::vector<QueryPair>& workload) {
+  Timer timer;
+  service.Submit(workload);
+  return timer.Seconds();
+}
+
+TEST(MetricsOverheadTest, FullInstrumentationCostsUnderFivePercent) {
+  std::filesystem::path cache_dir;
+  const BipartiteGraph graph = BuildGuardGraph(&cache_dir);
+  Rng workload_rng(7);
+  const std::vector<QueryPair> workload =
+      MakeHotSetWorkload(graph, Layer::kLower, 4000, 64, workload_rng);
+
+  // Two pre-warmed services, timed in alternating reps, best-of each:
+  // run-to-run noise on a loaded CI core exceeds the overhead budget
+  // itself, and rep-level interleaving keeps slow stretches (preemption,
+  // frequency drift) from landing entirely on one level. The warm
+  // submits mean the timed reps never pay view materialization.
+  QueryService off_service(graph, GuardOptions(obs::MetricsLevel::kOff));
+  QueryService full_service(graph, GuardOptions(obs::MetricsLevel::kFull));
+  off_service.Submit(workload);
+  full_service.Submit(workload);
+
+  // Up to three measurement blocks, keeping the smallest observed
+  // overhead: the gate exists to catch regressions an order of magnitude
+  // above the noise floor, and a retry absorbs the occasional block where
+  // scheduling noise lands asymmetrically despite the interleaving.
+  double off_best = 1e100;
+  double full_best = 1e100;
+  double overhead = 1.0;
+  for (int attempt = 0; attempt < 3 && !(overhead < 0.05); ++attempt) {
+    double off_block = 1e100;
+    double full_block = 1e100;
+    for (int rep = 0; rep < 24; ++rep) {
+      off_block = std::min(off_block, TimedRep(off_service, workload));
+      full_block = std::min(full_block, TimedRep(full_service, workload));
+    }
+    const double block_overhead = (full_block - off_block) / off_block;
+    if (block_overhead < overhead) {
+      overhead = block_overhead;
+      off_best = off_block;
+      full_best = full_block;
+    }
+  }
+
+  ASSERT_LT(off_best, 1e100);
+  ASSERT_LT(full_best, 1e100);
+  // <5% is the subsystem's contract (docs/ARCHITECTURE.md Observability).
+  EXPECT_LT(overhead, 0.05)
+      << "metrics_level=full costs " << overhead * 100 << "% ("
+      << off_best * 1e6 << " us off vs " << full_best * 1e6
+      << " us full per " << workload.size() << "-query submit)";
+  std::filesystem::remove_all(cache_dir);
+}
+
+TEST(MetricsOverheadTest, OffLevelReportsNoMetrics) {
+  Rng graph_rng(3);
+  const BipartiteGraph graph = ErdosRenyiBipartite(100, 200, 2000, graph_rng);
+  Rng workload_rng(7);
+  const std::vector<QueryPair> workload =
+      MakeHotSetWorkload(graph, Layer::kLower, 200, 16, workload_rng);
+
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kOneR;
+  options.epsilon = 1.0;
+  options.num_threads = 1;
+  options.seed = 7;
+  options.metrics_level = obs::MetricsLevel::kOff;
+  QueryService service(graph, options);
+  const ServiceReport report = service.Submit(workload);
+  EXPECT_TRUE(report.metrics.phases.empty());
+  EXPECT_TRUE(report.metrics.counters.empty());
+}
+
+TEST(MetricsOverheadTest, FullLevelReportsEveryPhase) {
+  Rng graph_rng(3);
+  const BipartiteGraph graph = ErdosRenyiBipartite(100, 200, 2000, graph_rng);
+  Rng workload_rng(7);
+  const std::vector<QueryPair> workload =
+      MakeHotSetWorkload(graph, Layer::kLower, 200, 16, workload_rng);
+
+  ServiceOptions options;
+  options.algorithm = ServiceAlgorithm::kOneR;
+  options.epsilon = 1.0;
+  options.num_threads = 1;
+  options.seed = 7;
+  QueryService service(graph, options);  // metrics_level defaults to full
+  const ServiceReport report = service.Submit(workload);
+
+  for (const char* phase : {"admission", "wal_fsync", "release", "plan",
+                            "execute", "post_process", "checkpoint",
+                            "release_build"}) {
+    ASSERT_NE(report.metrics.Phase(phase), nullptr) << phase;
+  }
+  EXPECT_GT(report.metrics.Phase("admission")->count, 0u);
+  EXPECT_GT(report.metrics.Phase("execute")->count, 0u);
+  EXPECT_EQ(report.metrics.Phase("checkpoint")->count, 0u);  // none yet
+  EXPECT_EQ(report.metrics.CounterValue("queries_submitted"),
+            workload.size());
+  // Answers must be byte-identical across metrics levels — observability
+  // never touches the noise or the estimates.
+  ServiceOptions off = options;
+  off.metrics_level = obs::MetricsLevel::kOff;
+  QueryService service_off(graph, off);
+  const ServiceReport report_off = service_off.Submit(workload);
+  ASSERT_EQ(report.answers.size(), report_off.answers.size());
+  for (size_t i = 0; i < report.answers.size(); ++i) {
+    EXPECT_EQ(report.answers[i].estimate, report_off.answers[i].estimate);
+    EXPECT_EQ(report.answers[i].rejected, report_off.answers[i].rejected);
+  }
+}
+
+}  // namespace
+}  // namespace cne

@@ -1,0 +1,111 @@
+#include "util/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cne {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(JsonValue::Parse(text, &doc, &error)) << error;
+  return doc;
+}
+
+bool Fails(const std::string& text) {
+  JsonValue doc;
+  return !JsonValue::Parse(text, &doc, nullptr);
+}
+
+TEST(JsonParserTest, Scalars) {
+  EXPECT_EQ(MustParse("null").type(), JsonValue::Type::kNull);
+  EXPECT_TRUE(MustParse("true").AsBool());
+  EXPECT_FALSE(MustParse("false").AsBool());
+  EXPECT_DOUBLE_EQ(MustParse("42").AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(MustParse("-3.25e2").AsDouble(), -325.0);
+  EXPECT_EQ(MustParse("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonParserTest, StringEscapes) {
+  EXPECT_EQ(MustParse("\"a\\n\\t\\\"b\\\\\"").AsString(), "a\n\t\"b\\");
+  EXPECT_EQ(MustParse("\"\\u0041\"").AsString(), "A");
+  // Two-byte and three-byte UTF-8 from \u escapes.
+  EXPECT_EQ(MustParse("\"\\u00e9\"").AsString(), "\xc3\xa9");
+  EXPECT_EQ(MustParse("\"\\u20ac\"").AsString(), "\xe2\x82\xac");
+}
+
+TEST(JsonParserTest, ObjectsKeepInsertionOrder) {
+  const JsonValue doc = MustParse("{\"z\": 1, \"a\": 2, \"m\": 3}");
+  const auto& members = doc.AsObject();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonParserTest, NestedStructures) {
+  const JsonValue doc = MustParse(
+      "{\"phases\": [{\"name\": \"admission\", \"p99_seconds\": 1.5e-6}],"
+      " \"counters\": {\"submits\": 7}}");
+  ASSERT_EQ(doc["phases"].AsArray().size(), 1u);
+  EXPECT_EQ(doc["phases"].AsArray()[0]["name"].AsString(), "admission");
+  EXPECT_DOUBLE_EQ(
+      doc["phases"].AsArray()[0]["p99_seconds"].AsDouble(), 1.5e-6);
+  EXPECT_DOUBLE_EQ(doc["counters"]["submits"].AsDouble(), 7.0);
+}
+
+TEST(JsonParserTest, MissingKeysChainSafely) {
+  const JsonValue doc = MustParse("{\"a\": 1}");
+  // operator[] on absent keys yields a null value, never a crash — so
+  // readers can probe optional fields without Find checks at each level.
+  EXPECT_EQ(doc["missing"]["deeper"]["still"].type(),
+            JsonValue::Type::kNull);
+  EXPECT_EQ(doc["missing"].AsDouble(), 0.0);
+  EXPECT_EQ(doc["missing"].AsString(), "");
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  EXPECT_NE(doc.Find("a"), nullptr);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_TRUE(Fails(""));
+  EXPECT_TRUE(Fails("{"));
+  EXPECT_TRUE(Fails("{\"a\": }"));
+  EXPECT_TRUE(Fails("[1, 2,]"));
+  EXPECT_TRUE(Fails("\"unterminated"));
+  EXPECT_TRUE(Fails("{\"a\": 1} trailing"));
+  EXPECT_TRUE(Fails("0x10"));
+  EXPECT_TRUE(Fails("+1"));
+  EXPECT_TRUE(Fails("nul"));
+}
+
+TEST(JsonParserTest, ReportsErrorOffset) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": !}", &doc, &error));
+  EXPECT_NE(error.find("6"), std::string::npos) << error;
+}
+
+TEST(JsonParserTest, DepthLimitStopsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_TRUE(Fails(deep));
+  // Within the limit, nesting is fine.
+  std::string ok;
+  for (int i = 0; i < 50; ++i) ok += "[";
+  for (int i = 0; i < 50; ++i) ok += "]";
+  JsonValue doc;
+  EXPECT_TRUE(JsonValue::Parse(ok, &doc, nullptr));
+}
+
+TEST(JsonParserTest, WhitespaceEverywhere) {
+  const JsonValue doc =
+      MustParse("  \n\t{ \"a\" :\n [ 1 ,\t2 ] }\r\n ");
+  ASSERT_EQ(doc["a"].AsArray().size(), 2u);
+  EXPECT_DOUBLE_EQ(doc["a"].AsArray()[1].AsDouble(), 2.0);
+}
+
+}  // namespace
+}  // namespace cne

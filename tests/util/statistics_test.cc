@@ -16,6 +16,16 @@ TEST(RunningStatsTest, EmptyIsZero) {
   EXPECT_EQ(stats.StdError(), 0.0);
 }
 
+TEST(RunningStatsTest, EmptyMinMaxAreNaN) {
+  // "No observations" must be distinguishable from "observed 0.0".
+  RunningStats stats;
+  EXPECT_TRUE(std::isnan(stats.Min()));
+  EXPECT_TRUE(std::isnan(stats.Max()));
+  stats.Add(0.0);
+  EXPECT_EQ(stats.Min(), 0.0);
+  EXPECT_EQ(stats.Max(), 0.0);
+}
+
 TEST(RunningStatsTest, SingleValue) {
   RunningStats stats;
   stats.Add(3.5);
@@ -85,6 +95,16 @@ TEST(SummarizeTest, OrderStatistics) {
   EXPECT_DOUBLE_EQ(s.median, 3.0);
   EXPECT_EQ(s.min, 1.0);
   EXPECT_EQ(s.max, 5.0);
+}
+
+TEST(SummarizeTest, P99TracksTheTail) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  const Summary s = Summarize(values);
+  // QuantileSorted interpolates at 0.99 * (100 - 1) = position 98.01.
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+  EXPECT_GE(s.p99, s.p95);
+  EXPECT_LE(s.p99, s.max);
 }
 
 TEST(QuantileTest, Interpolation) {

@@ -1,0 +1,201 @@
+// cne_metrics — pretty-print or diff metrics JSON for regression triage.
+//
+// Usage:
+//   cne_metrics FILE.json                  # phase table + counters
+//   cne_metrics BASELINE.json CURRENT.json # per-phase quantile diff
+//
+// Accepts either a bare metrics object (`cne_serve --metrics-json`) or any
+// JSON document carrying one under a top-level "metrics" key (`cne_serve
+// --json` output). The diff prints the relative change of every shared
+// phase's count, p50, p99, and p999 (positive = current is slower) and
+// the delta of every shared counter; phases or counters present on only
+// one side are listed as added/removed. Exit status: 0 on success, 2 on
+// unreadable or malformed input. The diff never fails the process — it is
+// a triage lens, not a CI gate (scripts/check_bench_scale.py gates).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+using cne::JsonValue;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cne_metrics FILE.json            (pretty-print)\n"
+               "       cne_metrics BASE.json CUR.json   (diff)\n");
+  return 2;
+}
+
+/// The metrics object of a parsed document: the document itself when it
+/// has "phases", else its "metrics" member.
+const JsonValue* MetricsRoot(const JsonValue& doc) {
+  if (doc.Find("phases") != nullptr) return &doc;
+  const JsonValue* nested = doc.Find("metrics");
+  if (nested != nullptr && nested->Find("phases") != nullptr) return nested;
+  return nullptr;
+}
+
+bool LoadMetrics(const std::string& path, JsonValue* doc,
+                 const JsonValue** metrics) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  if (!JsonValue::Parse(buffer.str(), doc, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  *metrics = MetricsRoot(*doc);
+  if (*metrics == nullptr) {
+    std::fprintf(stderr, "error: %s carries no metrics object\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string FormatDuration(double seconds) {
+  char buf[32];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  }
+  return buf;
+}
+
+void PrintTable(const JsonValue& metrics) {
+  std::printf("%-14s %10s %10s %9s %9s %9s %9s\n", "phase", "count", "total",
+              "p50", "p99", "p999", "max");
+  for (const JsonValue& phase : metrics["phases"].AsArray()) {
+    std::printf("%-14s %10.0f %10s %9s %9s %9s %9s\n",
+                phase["name"].AsString().c_str(), phase["count"].AsDouble(),
+                FormatDuration(phase["total_seconds"].AsDouble()).c_str(),
+                FormatDuration(phase["p50_seconds"].AsDouble()).c_str(),
+                FormatDuration(phase["p99_seconds"].AsDouble()).c_str(),
+                FormatDuration(phase["p999_seconds"].AsDouble()).c_str(),
+                FormatDuration(phase["max_seconds"].AsDouble()).c_str());
+  }
+  const auto& counters = metrics["counters"].AsObject();
+  if (!counters.empty()) {
+    std::printf("counters:");
+    for (const auto& [name, value] : counters) {
+      std::printf(" %s=%.0f", name.c_str(), value.AsDouble());
+    }
+    std::printf("\n");
+  }
+}
+
+const JsonValue* FindPhase(const JsonValue& metrics, const std::string& name) {
+  for (const JsonValue& phase : metrics["phases"].AsArray()) {
+    if (phase["name"].AsString() == name) return &phase;
+  }
+  return nullptr;
+}
+
+std::string Change(double base, double current) {
+  char buf[48];
+  if (base == 0.0 && current == 0.0) {
+    return "      =";
+  }
+  if (base == 0.0) {
+    return "    new";
+  }
+  std::snprintf(buf, sizeof(buf), "%+6.1f%%",
+                100.0 * (current - base) / base);
+  return buf;
+}
+
+void PrintDiff(const JsonValue& base, const JsonValue& current) {
+  std::printf("%-14s %12s %9s %9s %9s   (current p50/p99/p999 vs base; "
+              "positive = slower)\n",
+              "phase", "count", "p50", "p99", "p999");
+  for (const JsonValue& base_phase : base["phases"].AsArray()) {
+    const std::string& name = base_phase["name"].AsString();
+    const JsonValue* cur_phase = FindPhase(current, name);
+    if (cur_phase == nullptr) {
+      std::printf("%-14s removed\n", name.c_str());
+      continue;
+    }
+    char count_change[48];
+    std::snprintf(count_change, sizeof(count_change), "%.0f->%.0f",
+                  base_phase["count"].AsDouble(),
+                  (*cur_phase)["count"].AsDouble());
+    std::printf(
+        "%-14s %12s %9s %9s %9s   [%s -> %s p99]\n", name.c_str(),
+        count_change,
+        Change(base_phase["p50_seconds"].AsDouble(),
+               (*cur_phase)["p50_seconds"].AsDouble())
+            .c_str(),
+        Change(base_phase["p99_seconds"].AsDouble(),
+               (*cur_phase)["p99_seconds"].AsDouble())
+            .c_str(),
+        Change(base_phase["p999_seconds"].AsDouble(),
+               (*cur_phase)["p999_seconds"].AsDouble())
+            .c_str(),
+        FormatDuration(base_phase["p99_seconds"].AsDouble()).c_str(),
+        FormatDuration((*cur_phase)["p99_seconds"].AsDouble()).c_str());
+  }
+  for (const JsonValue& cur_phase : current["phases"].AsArray()) {
+    const std::string& name = cur_phase["name"].AsString();
+    if (FindPhase(base, name) == nullptr) {
+      std::printf("%-14s added (p99 %s)\n", name.c_str(),
+                  FormatDuration(cur_phase["p99_seconds"].AsDouble()).c_str());
+    }
+  }
+  for (const auto& [name, base_value] : base["counters"].AsObject()) {
+    const JsonValue* cur_value = current["counters"].Find(name);
+    if (cur_value == nullptr) {
+      std::printf("counter %-20s removed\n", name.c_str());
+      continue;
+    }
+    std::printf("counter %-20s %.0f -> %.0f (%+.0f)\n", name.c_str(),
+                base_value.AsDouble(), cur_value->AsDouble(),
+                cur_value->AsDouble() - base_value.AsDouble());
+  }
+  for (const auto& [name, cur_value] : current["counters"].AsObject()) {
+    if (base["counters"].Find(name) == nullptr) {
+      std::printf("counter %-20s added (%.0f)\n", name.c_str(),
+                  cur_value.AsDouble());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    paths.emplace_back(argv[i]);
+  }
+  if (paths.empty() || paths.size() > 2) return Usage();
+
+  JsonValue doc_a;
+  const JsonValue* metrics_a = nullptr;
+  if (!LoadMetrics(paths[0], &doc_a, &metrics_a)) return 2;
+
+  if (paths.size() == 1) {
+    PrintTable(*metrics_a);
+    return 0;
+  }
+
+  JsonValue doc_b;
+  const JsonValue* metrics_b = nullptr;
+  if (!LoadMetrics(paths[1], &doc_b, &metrics_b)) return 2;
+  PrintDiff(*metrics_a, *metrics_b);
+  return 0;
+}

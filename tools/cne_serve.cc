@@ -10,6 +10,7 @@
 //             [--algorithm=OneR --epsilon=2.0 --budget=0 --threads=4
 //              --seed=7 --out=answers.txt --json]
 //             [--snapshot-dir=DIR --checkpoint-every=N]
+//             [--metrics-level=off|counters|full --metrics-json=PATH]
 //
 // Workload files hold one `<upper|lower> <u> <w>` query per line
 // (src/service/workload.h). Without --workload, a hot-set workload of
@@ -26,6 +27,14 @@
 // submitted in batches of N queries with a checkpoint after each batch
 // (and a final checkpoint at the end); N=0 (default) checkpoints once,
 // after the whole workload. Inspect DIR with `cne_snapshot --dir=DIR`.
+//
+// Observability: the report always carries the service's cumulative
+// per-phase latency quantiles (admission, wal_fsync, release, plan,
+// execute, post_process, checkpoint — obs/metrics.h) as a table (text
+// mode) or a "metrics" object (--json). --metrics-json=PATH additionally
+// writes the metrics object alone to PATH (diff two with `cne_metrics`);
+// --metrics-level=off|counters|full (default full) is the runtime kill
+// switch.
 
 #include <algorithm>
 #include <cstdio>
@@ -51,6 +60,8 @@ int Usage() {
                "                 [--algorithm=OneR --epsilon=2.0 --budget=0 "
                "--threads=4 --seed=7 --out=answers.txt --json]\n"
                "                 [--snapshot-dir=DIR --checkpoint-every=N]\n"
+               "                 [--metrics-level=off|counters|full "
+               "--metrics-json=PATH]\n"
                "see the header of tools/cne_serve.cc for details\n");
   return 2;
 }
@@ -69,7 +80,7 @@ void PrintReport(const ServiceReport& report, const ServiceOptions& options,
         " \"budget_vertices_charged\": %llu, \"budget_total_spent\": %.3f, "
         "\"budget_min_remaining\": %.6f,\n"
         " \"snapshot_load_seconds\": %.6f, \"wal_replay_records\": %llu, "
-        "\"checkpoint_seconds\": %.6f}\n",
+        "\"checkpoint_seconds\": %.6f,\n \"metrics\": ",
         ToString(options.algorithm), options.epsilon,
         options.lifetime_budget > 0.0 ? options.lifetime_budget
                                       : options.epsilon,
@@ -84,6 +95,7 @@ void PrintReport(const ServiceReport& report, const ServiceOptions& options,
         report.snapshot_load_seconds,
         static_cast<unsigned long long>(report.wal_replay_records),
         report.checkpoint_seconds);
+    std::printf("%s}\n", report.metrics.ToJson(1).c_str());
     return;
   }
   std::printf("algorithm          %s (epsilon=%g, lifetime budget=%g)\n",
@@ -112,6 +124,9 @@ void PrintReport(const ServiceReport& report, const ServiceOptions& options,
                 static_cast<unsigned long long>(report.wal_replay_records),
                 report.checkpoint_seconds);
   }
+  if (!report.metrics.phases.empty() || !report.metrics.counters.empty()) {
+    std::printf("\n%s", report.metrics.ToTable().c_str());
+  }
 }
 
 // Folds one batch's report into the whole-run report: answers append,
@@ -129,6 +144,9 @@ void FoldReport(ServiceReport&& batch, ServiceReport& total) {
   total.snapshot_load_seconds = batch.snapshot_load_seconds;
   total.wal_replay_records = batch.wal_replay_records;
   total.checkpoint_seconds = batch.checkpoint_seconds;
+  // The metrics snapshot is cumulative over the service lifetime, so the
+  // latest one covers every earlier batch.
+  total.metrics = std::move(batch.metrics);
   std::move(batch.answers.begin(), batch.answers.end(),
             std::back_inserter(total.answers));
 }
@@ -183,6 +201,8 @@ int main(int argc, char** argv) {
     options.num_threads = static_cast<int>(cl.GetInt("threads", 4));
     options.seed = static_cast<uint64_t>(cl.GetInt("seed", 7));
     options.snapshot_dir = cl.GetString("snapshot-dir");
+    options.metrics_level =
+        obs::ParseMetricsLevel(cl.GetString("metrics-level", "full"));
     const size_t checkpoint_every = static_cast<size_t>(
         std::max<long long>(0, cl.GetInt("checkpoint-every", 0)));
     if (checkpoint_every > 0 && options.snapshot_dir.empty()) {
@@ -223,7 +243,21 @@ int main(int argc, char** argv) {
     if (service.persistent()) {
       report.checkpoint_seconds = service.Checkpoint();
     }
+    if (options.metrics_level != obs::MetricsLevel::kOff) {
+      // Re-snapshot after the final checkpoint so its span is included.
+      report.metrics = service.SnapshotMetrics();
+    }
     PrintReport(report, options, cl.GetBool("json"));
+
+    const std::string metrics_path = cl.GetString("metrics-json");
+    if (!metrics_path.empty()) {
+      std::ofstream metrics_out(metrics_path);
+      if (!metrics_out) {
+        throw std::runtime_error("cannot write " + metrics_path);
+      }
+      metrics_out << report.metrics.ToJson() << '\n';
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+    }
 
     const std::string out_path = cl.GetString("out");
     if (!out_path.empty()) {
