@@ -112,6 +112,18 @@ void BudgetLedger::Replay(LayeredVertex vertex, double epsilon) {
       << lifetime_budget_ << " — corrupt recovery input";
 }
 
+void BudgetLedger::RestoreSpent(LayeredVertex vertex, double spent) {
+  CNE_CHECK(spent >= 0.0) << "spent budgets cannot be negative";
+  const uint64_t key = PackLayeredVertex(vertex);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (spent == 0.0) {
+    shard.spent.erase(key);
+  } else {
+    shard.spent[key] = spent;
+  }
+}
+
 std::vector<VertexBudget> BudgetLedger::Snapshot() const {
   std::vector<VertexBudget> entries;
   for (const Shard& shard : shards_) {

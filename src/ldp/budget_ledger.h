@@ -107,6 +107,15 @@ class BudgetLedger {
   /// and is a fatal check, not a rejection.
   void Replay(LayeredVertex vertex, double epsilon);
 
+  /// Rollback hook for the query service's unsealed-submit recovery: sets
+  /// `vertex`'s recorded spend back to `spent`, a value previously read
+  /// via Spent(). An exact restore, not a subtraction — (x + ε) - ε can
+  /// drift in floating point, and the rolled-back ledger must serialize
+  /// byte-identically to one that never saw the batch. `spent` == 0
+  /// erases the row so NumChargedVertices stays exact. Must not race with
+  /// concurrent charges.
+  void RestoreSpent(LayeredVertex vertex, double spent);
+
  private:
   static constexpr size_t kNumShards = 64;
 

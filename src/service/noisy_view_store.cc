@@ -259,6 +259,32 @@ void NoisyViewStore::RestoreAuthorized(LayeredVertex vertex) {
                                std::memory_order_release);
 }
 
+void NoisyViewStore::RevokeAuthorized(LayeredVertex vertex) {
+  std::lock_guard<std::mutex> lock(slow_mutex_);
+  LayerTable& table = Table(vertex.layer);
+  CNE_CHECK(vertex.id < table.state.size()) << "vertex out of range";
+  CNE_CHECK(table.state[vertex.id].load(std::memory_order_acquire) ==
+            kAuthorizedPending)
+      << "revocation of " << LayerName(vertex.layer) << " vertex "
+      << vertex.id << " which is not authorized-pending — the release may "
+      << "already be public and cannot be taken back";
+  // The batch being rolled back authorized last, so its entries sit at
+  // the tail of pending_; reverse-order revocation pops from the back.
+  bool found = false;
+  for (size_t i = pending_.size(); i-- > 0;) {
+    if (pending_[i] == vertex) {
+      pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+      found = true;
+      break;
+    }
+  }
+  CNE_CHECK(found) << "authorized-pending vertex missing from the pending "
+                   << "list — store state is inconsistent";
+  table.state[vertex.id].store(kUntouched, std::memory_order_release);
+  lookups_.fetch_sub(1, std::memory_order_relaxed);
+  releases_.fetch_sub(1, std::memory_order_relaxed);
+}
+
 std::unique_ptr<NoisyNeighborSet> NoisyViewStore::Generate(
     LayeredVertex vertex) const {
   Rng rng = base_rng_.Fork(PackLayeredVertex(vertex));

@@ -168,6 +168,15 @@ class NoisyViewStore {
   /// vertex's substream on the next materialization pass.
   void RestoreAuthorized(LayeredVertex vertex);
 
+  /// Rolls back an Authorize whose journal record never became durable
+  /// (the query service's unsealed-submit recovery): `vertex` must still
+  /// be authorized-pending — revocation happens before any release phase
+  /// runs, so no noise was drawn for it. Reverses Authorize's bookkeeping
+  /// (lookup/release counters, the pending entry, the state byte); the
+  /// ledger charge is restored separately. Must not race with concurrent
+  /// store access.
+  void RevokeAuthorized(LayeredVertex vertex);
+
  private:
   /// Per-vertex lifecycle, stored release-ordered so a reader seeing
   /// kMaterialized also sees the view pointer.

@@ -6,12 +6,15 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/trace.h"
 #include "service/workload_planner.h"
 #include "store/budget_wal.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -43,6 +46,34 @@ WalRecord MakeAuthorized(LayeredVertex vertex) {
 }
 
 }  // namespace
+
+const char* ServiceHealthName(ServiceHealth health) {
+  switch (health) {
+    case ServiceHealth::kHealthy:
+      return "healthy";
+    case ServiceHealth::kDegradedReadOnly:
+      return "degraded-read-only";
+    case ServiceHealth::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kBudget:
+      return "budget";
+    case RejectReason::kReadOnly:
+      return "read-only";
+    case RejectReason::kDurability:
+      return "durability";
+    case RejectReason::kServiceFailed:
+      return "service-failed";
+  }
+  return "unknown";
+}
 
 /// Snapshot-directory paths plus the open WAL append handle and the
 /// directory's exclusive lock (held for the service lifetime).
@@ -89,6 +120,15 @@ void QueryService::InitMetrics() {
   c_rejected_ = metrics_.GetCounter("queries_rejected");
   c_submits_ = metrics_.GetCounter("submits");
   c_checkpoints_ = metrics_.GetCounter("checkpoints");
+  c_rejected_budget_ = metrics_.GetCounter("queries_rejected_budget");
+  c_rejected_unavailable_ = metrics_.GetCounter("queries_rejected_unavailable");
+  c_wal_failures_ = metrics_.GetCounter("wal_failures");
+  c_submit_rollbacks_ = metrics_.GetCounter("submit_rollbacks");
+  c_checkpoint_failures_ = metrics_.GetCounter("checkpoint_failures");
+  c_checkpoint_retries_ = metrics_.GetCounter("checkpoint_retries");
+  c_health_transitions_ = metrics_.GetCounter("health_transitions");
+  g_health_ = metrics_.GetGauge("health");
+  g_health_->Set(static_cast<int64_t>(health_));
   metrics_.GetGauge("threads")->Set(pool_.NumThreads());
   if (options_.metrics_level != obs::MetricsLevel::kFull) return;
   // Register the full phase taxonomy up front so every snapshot carries
@@ -241,62 +281,149 @@ void QueryService::OpenPersistent() {
 double QueryService::Checkpoint() {
   CNE_CHECK(persistent())
       << "Checkpoint() requires ServiceOptions::snapshot_dir";
+  if (health_ == ServiceHealth::kFailed) {
+    throw std::runtime_error(
+        "a failed service cannot checkpoint: in-memory state is not "
+        "trustworthy; restart and recover from the last durable state");
+  }
   const obs::TraceSpan span(h_checkpoint_);
   if (c_checkpoints_ != nullptr) c_checkpoints_->Add();
   Timer timer;
   const uint64_t next_epoch = persist_->epoch + 1;
-  SnapshotWriter writer(next_epoch);
-  WriteConfigSection(CurrentConfig(),
-                     writer.BeginSection(SectionId::kConfig));
-  writer.EndSection();
-  WriteGraphSection(graph_, writer.BeginSection(SectionId::kGraph));
-  writer.EndSection();
-  store_.Save(writer.BeginSection(SectionId::kViews));
-  writer.EndSection();
-  ledger_.Serialize(writer.BeginSection(SectionId::kLedger));
-  writer.EndSection();
-  writer.Commit(persist_->snapshot_path);
+
+  // Snapshot commit, with bounded retries: a transient IO failure (disk
+  // briefly full, a hiccuping volume) should not take the service down.
+  // Commit is atomic rename-on-success, so the last good snapshot stays
+  // readable across every failed attempt, and each attempt's temp file is
+  // quarantined rather than silently deleted (AtomicWriteOptions in
+  // snapshot_format.cc). If every attempt fails we rethrow — the current
+  // health stands, because the WAL (when healthy) still journals.
+  const int attempts = std::max(1, options_.checkpoint_attempts);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      SnapshotWriter writer(next_epoch);
+      WriteConfigSection(CurrentConfig(),
+                         writer.BeginSection(SectionId::kConfig));
+      writer.EndSection();
+      WriteGraphSection(graph_, writer.BeginSection(SectionId::kGraph));
+      writer.EndSection();
+      store_.Save(writer.BeginSection(SectionId::kViews));
+      writer.EndSection();
+      ledger_.Serialize(writer.BeginSection(SectionId::kLedger));
+      writer.EndSection();
+      writer.Commit(persist_->snapshot_path);
+      break;
+    } catch (const std::exception& e) {
+      if (c_checkpoint_failures_ != nullptr) c_checkpoint_failures_->Add();
+      if (attempt + 1 >= attempts) throw;
+      if (c_checkpoint_retries_ != nullptr) c_checkpoint_retries_->Add();
+      CNE_LOG(kWarning) << "checkpoint attempt " << attempt + 1 << " of "
+                        << attempts << " failed (" << e.what()
+                        << "); retrying";
+      if (options_.checkpoint_backoff_ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            options_.checkpoint_backoff_ms * static_cast<double>(1 << attempt)));
+      }
+    }
+  }
+
   // The committed snapshot owns everything the old-epoch WAL recorded;
   // reset the log under the new epoch. A crash between the two steps
   // leaves a stale-epoch WAL that recovery recognizes and discards.
   try {
     BudgetWal::Reset(persist_->wal_path, next_epoch);
     persist_->wal = std::make_unique<BudgetWal>(persist_->wal_path);
-  } catch (...) {
+  } catch (const std::exception& e) {
     // The snapshot committed but the journal could not restart. Keeping
     // the old handle would append records recovery discards as stale
-    // (silent budget loss), so disable journaling and make the next
-    // journaled operation fail loudly instead.
+    // (silent budget loss), so drop it and degrade: reads keep serving,
+    // new charges are refused until a later Checkpoint() re-establishes a
+    // journal or the operator restarts.
     persist_->wal.reset();
+    if (c_wal_failures_ != nullptr) c_wal_failures_->Add();
+    EnterDegraded(std::string("WAL reset after checkpoint failed: ") +
+                  e.what());
     throw;
   }
   persist_->epoch = next_epoch;
+
+  // A fresh epoch with an empty journal makes every in-memory fact
+  // durable again, and in-memory state is trustworthy in degraded mode
+  // (every unsealed batch was rolled back exactly) — so a successful
+  // checkpoint heals a degraded service.
+  if (health_ == ServiceHealth::kDegradedReadOnly) {
+    health_ = ServiceHealth::kHealthy;
+    if (c_health_transitions_ != nullptr) c_health_transitions_->Add();
+    if (g_health_ != nullptr) g_health_->Set(static_cast<int64_t>(health_));
+    CNE_LOG(kWarning) << "service healed: checkpoint epoch " << next_epoch
+                      << " re-established durability";
+  }
   persist_->last_checkpoint_seconds = timer.Seconds();
   return persist_->last_checkpoint_seconds;
 }
 
 void QueryService::RaiseLifetimeBudget(double new_budget) {
-  CNE_CHECK(!persist_ || persist_->wal != nullptr)
-      << "persistence was broken by a failed checkpoint; restart the "
-         "service before raising the budget";
-  ledger_.RaiseLifetimeBudget(new_budget);
+  if (health_ != ServiceHealth::kHealthy) {
+    throw std::runtime_error(
+        std::string("a ") + ServiceHealthName(health_) +
+        " service cannot raise the lifetime budget; checkpoint or restart "
+        "to restore durability first");
+  }
   if (persist_) {
-    // Durable before acknowledged: the raise is a commit barrier.
+    CNE_CHECK(persist_->wal != nullptr)
+        << "healthy persistent service has no WAL handle";
+    // Durable before applied: the raise is a commit barrier, and recovery
+    // replays it in journal order relative to the charges around it. If
+    // the sync fails the ledger is untouched (nothing to roll back) and
+    // the service degrades — the record may or may not have reached disk,
+    // which is the usual ambiguity of any failed commit.
     WalRecord record;
     record.type = WalRecordType::kRaiseBudget;
     record.value = new_budget;
-    persist_->wal->Append(record);
-    persist_->wal->Sync();
+    try {
+      persist_->wal->Append(record);
+      persist_->wal->Sync();
+    } catch (const std::exception& e) {
+      if (c_wal_failures_ != nullptr) c_wal_failures_->Add();
+      EnterDegraded(std::string("WAL raise-budget barrier failed: ") +
+                    e.what());
+      throw;
+    }
   }
+  ledger_.RaiseLifetimeBudget(new_budget);
 }
 
 ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
-  CNE_CHECK(!persist_ || persist_->wal != nullptr)
-      << "persistence was broken by a failed checkpoint; restart the "
-         "service before accepting more queries";
   Timer timer;
   ServiceReport report;
   report.answers.resize(queries.size());
+
+  // A failed service refuses everything — its in-memory state cannot be
+  // trusted, so even "free" read-only answers are off the table.
+  if (health_ == ServiceHealth::kFailed) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      report.answers[i].query = queries[i];
+      report.answers[i].rejected = true;
+      report.answers[i].reason = RejectReason::kServiceFailed;
+    }
+    report.sealed = false;
+    if (c_submits_ != nullptr) {
+      c_submits_->Add();
+      c_queries_->Add(queries.size());
+    }
+    FinalizeReport(report, timer.Seconds());
+    return report;
+  }
+
+  // A batch journals only while healthy: degraded mode admits nothing
+  // that needs a charge, so there is nothing to make durable.
+  const bool journaling =
+      persist_ != nullptr && health_ == ServiceHealth::kHealthy;
+  if (journaling) {
+    CNE_CHECK(persist_->wal != nullptr)
+        << "healthy persistent service has no WAL handle";
+  }
+
   std::vector<PlannedQuery> plan(queries.size());
 
   // Phase 1 — sequential admission in submission order. Cheap (no noise
@@ -304,6 +431,9 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   // queries, so running it sequentially makes accept/reject decisions —
   // and hence everything downstream — independent of thread count.
   cache_hit_lookups_ = 0;
+  rollback_charges_.clear();
+  rollback_authorized_.clear();
+  const uint64_t noise_stream_mark = next_noise_stream_;
   // Per-query admission latency, one sample per 256-query chunk: a
   // single Admit runs in ~100 ns, so clocking every query would cost more
   // than the work it measures, and even the sampler's per-query branch is
@@ -315,8 +445,13 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
               query.w < graph_.NumVertices(query.layer))
         << "query vertex out of range";
     plan[i].query = query;
-    plan[i].noise_stream = next_noise_stream_++;
-    plan[i].admitted = Admit(query);
+    plan[i].reason = Admit(query);
+    plan[i].admitted = plan[i].reason == RejectReason::kNone;
+    // Degraded mode leaves the substream counter untouched: nothing it
+    // answers draws Laplace noise, and no seal will record an advance.
+    if (health_ == ServiceHealth::kHealthy) {
+      plan[i].noise_stream = next_noise_stream_++;
+    }
   };
   if (h_admission_ == nullptr) {
     for (size_t i = 0; i < queries.size(); ++i) admit_one(i);
@@ -332,7 +467,6 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
       for (; i < chunk_end; ++i) admit_one(i);
     }
   }
-  store_.RecordCacheHits(cache_hit_lookups_);
   if (c_submits_ != nullptr) {
     c_submits_->Add();
     c_queries_->Add(queries.size());
@@ -341,53 +475,139 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   // Write-ahead barrier: seal the admission batch and fsync ONCE before
   // any noise is sampled or any answer computed. After this line a crash
   // replays to exactly this state; before it, recovery drops the whole
-  // unsealed batch — which the outside world never saw answers from.
-  if (persist_) {
-    const obs::TraceSpan wal_span(h_wal_fsync_);
-    WalRecord seal;
-    seal.type = WalRecordType::kSubmitSealed;
-    seal.counter = next_noise_stream_;
-    persist_->wal->Append(seal);
-    persist_->wal->Sync();
+  // unsealed batch — which the outside world never saw answers from. A
+  // seal that fails in-process gets the same treatment as a crash: the
+  // batch is rolled back exactly (no charge kept, no noise ever drawn —
+  // noise only flows after this barrier) and the service degrades to
+  // read-only instead of answering over a journal that never happened.
+  if (journaling) {
+    try {
+      const obs::TraceSpan wal_span(h_wal_fsync_);
+      WalRecord seal;
+      seal.type = WalRecordType::kSubmitSealed;
+      seal.counter = next_noise_stream_;
+      persist_->wal->Append(seal);
+      persist_->wal->Sync();
+    } catch (const std::exception& e) {
+      if (c_wal_failures_ != nullptr) c_wal_failures_->Add();
+      RollbackUnsealedSubmit(noise_stream_mark, plan, report);
+      EnterDegraded(std::string("WAL seal failed: ") + e.what());
+      report.sealed = false;
+      FinalizeReport(report, timer.Seconds());
+      return report;
+    }
+  } else if (persist_ != nullptr) {
+    // Degraded persistent service: read-only answers with no journal
+    // entry — recovery neither needs nor sees this batch.
+    report.sealed = false;
   }
+  // Cache-hit stats flush only after the batch is known to stand, so a
+  // rolled-back submission leaves the store's counters exactly as found.
+  store_.RecordCacheHits(cache_hit_lookups_);
 
-  // Phase 2 — materialize the newly authorized noisy views in parallel;
-  // each view comes from its vertex's own substream. The release span is
-  // the submit-level barrier wall time; per-view build latency lands in
-  // the store's release_build histogram.
-  {
-    const obs::TraceSpan release_span(h_release_);
-    store_.MaterializeAuthorized(pool_);
-  }
+  try {
+    // Deterministic mid-execution fault hook: fires after the seal, so a
+    // harness that catches this knows the batch is durable (and may
+    // mirror it) but in-memory execution state is suspect.
+    if (const fail::Injected fault = fail::Hit("service", ".execute")) {
+      (void)fault;
+      throw std::runtime_error("injected service.execute fault");
+    }
 
-  // Phase 3 — answer every admitted query. The planner path groups by
-  // shared endpoint and reuses per-source state; the per-query path is
-  // the reference both for benchmarking and for submissions too small to
-  // plan. Either way the answers are byte-identical.
-  if (options_.enable_planner && queries.size() >= kMinQueriesToPlan) {
-    ExecutePlanned(plan, report);
-  } else {
-    const obs::TraceSpan execute_span(h_execute_);
-    pool_.ParallelFor(plan.size(), [&](size_t begin, size_t end) {
-      obs::SampledRecorder sampler(h_post_process_);
-      for (size_t i = begin; i < end; ++i) {
-        ServiceAnswer& answer = report.answers[i];
-        answer.query = plan[i].query;
-        if (!plan[i].admitted) {
-          answer.rejected = true;
-          continue;
+    // Phase 2 — materialize the newly authorized noisy views in
+    // parallel; each view comes from its vertex's own substream. The
+    // release span is the submit-level barrier wall time; per-view build
+    // latency lands in the store's release_build histogram.
+    {
+      const obs::TraceSpan release_span(h_release_);
+      store_.MaterializeAuthorized(pool_);
+    }
+
+    // Phase 3 — answer every admitted query. The planner path groups by
+    // shared endpoint and reuses per-source state; the per-query path is
+    // the reference both for benchmarking and for submissions too small
+    // to plan. Either way the answers are byte-identical.
+    if (options_.enable_planner && queries.size() >= kMinQueriesToPlan) {
+      ExecutePlanned(plan, report);
+    } else {
+      const obs::TraceSpan execute_span(h_execute_);
+      pool_.ParallelFor(plan.size(), [&](size_t begin, size_t end) {
+        obs::SampledRecorder sampler(h_post_process_);
+        for (size_t i = begin; i < end; ++i) {
+          ServiceAnswer& answer = report.answers[i];
+          answer.query = plan[i].query;
+          if (!plan[i].admitted) {
+            answer.rejected = true;
+            answer.reason = plan[i].reason;
+            continue;
+          }
+          const bool sampled = sampler.ShouldSample();
+          const uint64_t t0 = sampled ? obs::NowNanos() : 0;
+          answer.estimate = Answer(plan[i]);
+          if (sampled) sampler.Record(obs::NowNanos() - t0);
         }
-        const bool sampled = sampler.ShouldSample();
-        const uint64_t t0 = sampled ? obs::NowNanos() : 0;
-        answer.estimate = Answer(plan[i]);
-        if (sampled) sampler.Record(obs::NowNanos() - t0);
-      }
-    });
+      });
+    }
+  } catch (const std::exception& e) {
+    // Past the seal there is no rollback: views may be half
+    // materialized, answers half computed. The durable state is fine —
+    // a restart recovers it — but this process must stop serving.
+    if (health_ != ServiceHealth::kFailed) {
+      health_ = ServiceHealth::kFailed;
+      if (c_health_transitions_ != nullptr) c_health_transitions_->Add();
+      if (g_health_ != nullptr) g_health_->Set(static_cast<int64_t>(health_));
+      CNE_LOG(kWarning) << "service failed mid-execution: " << e.what()
+                        << "; restart to recover from durable state";
+    }
+    throw;
   }
 
+  FinalizeReport(report, timer.Seconds());
+  return report;
+}
+
+void QueryService::RollbackUnsealedSubmit(
+    uint64_t noise_stream_mark, const std::vector<PlannedQuery>& plan,
+    ServiceReport& report) {
+  // Reverse order, exact values: a vertex charged twice in this batch
+  // (ε1 then ε2) steps back through its intermediate spend to the
+  // original, and restored doubles are the recorded priors — no refund
+  // subtraction that could drift.
+  for (size_t i = rollback_authorized_.size(); i-- > 0;) {
+    store_.RevokeAuthorized(rollback_authorized_[i]);
+  }
+  for (size_t i = rollback_charges_.size(); i-- > 0;) {
+    ledger_.RestoreSpent(rollback_charges_[i].first,
+                         rollback_charges_[i].second);
+  }
+  next_noise_stream_ = noise_stream_mark;
+  if (c_submit_rollbacks_ != nullptr) c_submit_rollbacks_->Add();
+  for (size_t i = 0; i < plan.size(); ++i) {
+    ServiceAnswer& answer = report.answers[i];
+    answer.query = plan[i].query;
+    answer.estimate = 0.0;
+    answer.rejected = true;
+    answer.reason = RejectReason::kDurability;
+  }
+}
+
+void QueryService::EnterDegraded(const std::string& why) {
+  if (health_ != ServiceHealth::kHealthy) return;
+  health_ = ServiceHealth::kDegradedReadOnly;
+  if (c_health_transitions_ != nullptr) c_health_transitions_->Add();
+  if (g_health_ != nullptr) g_health_->Set(static_cast<int64_t>(health_));
+  CNE_LOG(kWarning) << "service degraded to read-only: " << why;
+}
+
+void QueryService::FinalizeReport(ServiceReport& report, double seconds) {
   for (const ServiceAnswer& answer : report.answers) {
     if (answer.rejected) {
       ++report.rejected;
+      if (answer.reason == RejectReason::kBudget) {
+        ++report.rejected_budget;
+      } else {
+        ++report.rejected_unavailable;
+      }
     } else {
       ++report.answered;
     }
@@ -396,7 +616,12 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
     c_answered_->Add(report.answered);
     c_rejected_->Add(report.rejected);
   }
-  report.seconds = timer.Seconds();
+  if (c_rejected_budget_ != nullptr) {
+    c_rejected_budget_->Add(report.rejected_budget);
+    c_rejected_unavailable_->Add(report.rejected_unavailable);
+  }
+  report.seconds = seconds;
+  report.health = health_;
   report.store = store_.stats();
   report.budget_vertices_charged = ledger_.NumChargedVertices();
   report.budget_total_spent = ledger_.TotalSpent();
@@ -409,7 +634,6 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   if (options_.metrics_level != obs::MetricsLevel::kOff) {
     report.metrics = metrics_.Snapshot();
   }
-  return report;
 }
 
 void QueryService::ExecutePlanned(const std::vector<PlannedQuery>& plan,
@@ -425,6 +649,7 @@ void QueryService::ExecutePlanned(const std::vector<PlannedQuery>& plan,
       answer.query = plan[i].query;
       if (!plan[i].admitted) {
         answer.rejected = true;
+        answer.reason = plan[i].reason;
         continue;
       }
       refs_.push_back({plan[i].query, i, plan[i].noise_stream});
@@ -461,7 +686,7 @@ void QueryService::ExecutePlanned(const std::vector<PlannedQuery>& plan,
   }
 }
 
-bool QueryService::Admit(const QueryPair& query) {
+RejectReason QueryService::Admit(const QueryPair& query) {
   const LayeredVertex u{query.layer, query.u};
   const LayeredVertex w{query.layer, query.w};
   const bool same = query.u == query.w;
@@ -496,18 +721,33 @@ bool QueryService::Admit(const QueryPair& query) {
   if (lap_u) add(u, plan_.epsilon2);
   if (lap_w) add(w, plan_.epsilon2);
 
+  // Read-only gate before the budget gate: a degraded service cannot make
+  // a new charge durable, so affordability is moot. Zero-charge queries —
+  // pure post-processing of views that are already public — pass through
+  // and still answer.
+  if (health_ == ServiceHealth::kDegradedReadOnly && num_needs > 0) {
+    return RejectReason::kReadOnly;
+  }
+
   for (size_t i = 0; i < num_needs; ++i) {
     if (needs[i].second > ledger_.Remaining(needs[i].first) +
                               kBudgetTolerance) {
-      return false;
+      return RejectReason::kBudget;
     }
   }
 
   // Commit, journaling every decision (buffered; the submit-level seal
-  // fsyncs them before anything acts on the admission).
+  // fsyncs them before anything acts on the admission). Each mutation's
+  // prior state is recorded first so a failed seal can undo the batch
+  // exactly (RollbackUnsealedSubmit).
+  const bool journal = persist_ != nullptr && health_ == ServiceHealth::kHealthy;
   if (rr_u_needed) {
+    if (journal) {
+      rollback_charges_.emplace_back(u, ledger_.Spent(u));
+      rollback_authorized_.push_back(u);
+    }
     CNE_CHECK(store_.Authorize(u) == NoisyViewStore::Admission::kAuthorized);
-    if (persist_) {
+    if (journal) {
       persist_->wal->Append(MakeAuthorized(u));
       persist_->wal->Append(MakeCharge(u, plan_.epsilon1));
     }
@@ -515,8 +755,12 @@ bool QueryService::Admit(const QueryPair& query) {
     ++cache_hit_lookups_;  // recorded in bulk after the admission pass
   }
   if (rr_w_needed) {
+    if (journal) {
+      rollback_charges_.emplace_back(w, ledger_.Spent(w));
+      rollback_authorized_.push_back(w);
+    }
     CNE_CHECK(store_.Authorize(w) == NoisyViewStore::Admission::kAuthorized);
-    if (persist_) {
+    if (journal) {
       persist_->wal->Append(MakeAuthorized(w));
       persist_->wal->Append(MakeCharge(w, plan_.epsilon1));
     }
@@ -524,14 +768,16 @@ bool QueryService::Admit(const QueryPair& query) {
     ++cache_hit_lookups_;  // Contains(w) held above: a pure cache hit
   }
   if (lap_u) {
+    if (journal) rollback_charges_.emplace_back(u, ledger_.Spent(u));
     CNE_CHECK(ledger_.TryCharge(u, plan_.epsilon2));
-    if (persist_) persist_->wal->Append(MakeCharge(u, plan_.epsilon2));
+    if (journal) persist_->wal->Append(MakeCharge(u, plan_.epsilon2));
   }
   if (lap_w) {
+    if (journal) rollback_charges_.emplace_back(w, ledger_.Spent(w));
     CNE_CHECK(ledger_.TryCharge(w, plan_.epsilon2));
-    if (persist_) persist_->wal->Append(MakeCharge(w, plan_.epsilon2));
+    if (journal) persist_->wal->Append(MakeCharge(w, plan_.epsilon2));
   }
-  return true;
+  return RejectReason::kNone;
 }
 
 double QueryService::Answer(const PlannedQuery& planned) const {

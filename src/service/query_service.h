@@ -59,6 +59,40 @@ inline std::optional<ServiceAlgorithm> ParseServiceAlgorithm(
   return ParseProtocolKind(name);
 }
 
+/// The service's durability health (see docs/ARCHITECTURE.md, "Failure
+/// model & degradation"). Transitions are one-way within a process except
+/// kDegradedReadOnly -> kHealthy via a successful Checkpoint(), which
+/// re-establishes a journal; a restart always recovers to kHealthy from
+/// the last durable state.
+enum class ServiceHealth : uint8_t {
+  /// Journaling (when persistent) and serving normally.
+  kHealthy = 0,
+  /// The WAL failed (append/fsync, or restart after a checkpoint).
+  /// In-memory state is intact — every failed batch was rolled back — but
+  /// new charges cannot be made durable, so anything needing one is
+  /// refused. Queries over already-released views still answer: they are
+  /// pure post-processing of public data, no new budget, no new noise.
+  kDegradedReadOnly = 1,
+  /// An unexpected failure mid-release/execute left in-memory state
+  /// untrusted; the service refuses everything. Restart to recover.
+  kFailed = 2,
+};
+
+const char* ServiceHealthName(ServiceHealth health);
+
+/// Why a query was rejected (ServiceAnswer::reason).
+enum class RejectReason : uint8_t {
+  kNone = 0,        ///< not rejected
+  kBudget = 1,      ///< the ledger could not afford the query's releases
+  kReadOnly = 2,    ///< degraded mode refused a query needing a new charge
+  /// The batch's WAL seal failed: every charge was rolled back, no noise
+  /// was drawn, and the whole submission reports this reason.
+  kDurability = 3,
+  kServiceFailed = 4,  ///< the service is in ServiceHealth::kFailed
+};
+
+const char* RejectReasonName(RejectReason reason);
+
 /// Service configuration, fixed for the service lifetime.
 struct ServiceOptions {
   ServiceAlgorithm algorithm = ServiceAlgorithm::kOneR;
@@ -99,6 +133,17 @@ struct ServiceOptions {
   /// budgets, zero re-randomized views.
   std::string snapshot_dir;
 
+  /// Snapshot-commit attempts per Checkpoint() (>= 1). A transient IO
+  /// failure is retried with exponential backoff; the last good snapshot
+  /// stays in place throughout (atomic rename-on-commit) and each failed
+  /// attempt's temp file is quarantined for inspection.
+  int checkpoint_attempts = 3;
+
+  /// Base of the exponential backoff between checkpoint attempts
+  /// (attempt k sleeps base * 2^k milliseconds). 0 disables sleeping —
+  /// tests inject deterministic faults and need no wall-clock delay.
+  double checkpoint_backoff_ms = 10.0;
+
   /// Observability level (obs/metrics.h). kFull records per-phase latency
   /// histograms (admission, wal_fsync, release, plan, execute,
   /// post_process, checkpoint) plus counters; kCounters keeps only the
@@ -123,9 +168,10 @@ struct RecoveryStats {
 struct ServiceAnswer {
   QueryPair query;
   double estimate = 0.0;
-  /// True when the budget ledger could not afford the query's releases;
-  /// `estimate` is meaningless then.
+  /// True when the query was not answered; `estimate` is meaningless then
+  /// and `reason` says why (budget, degraded mode, a failed seal, ...).
   bool rejected = false;
+  RejectReason reason = RejectReason::kNone;
 };
 
 /// Outcome of one Submit: answers plus service-lifetime accounting.
@@ -135,7 +181,18 @@ struct ServiceReport {
   // This submission.
   uint64_t answered = 0;
   uint64_t rejected = 0;
+  uint64_t rejected_budget = 0;       ///< RejectReason::kBudget
+  uint64_t rejected_unavailable = 0;  ///< kReadOnly/kDurability/kServiceFailed
   double seconds = 0.0;
+
+  /// Service health after this submission.
+  ServiceHealth health = ServiceHealth::kHealthy;
+
+  /// True when this submission's admissions are durable (or persistence
+  /// is off). False when the WAL seal failed — the batch was rolled back
+  /// and every answer carries RejectReason::kDurability — or when a
+  /// degraded service answered read-only queries with no journal at all.
+  bool sealed = true;
 
   // Planner accounting for this submission (zero when the planner was
   // disabled or nothing was admitted).
@@ -203,6 +260,17 @@ class QueryService {
   /// True when the service journals to a snapshot directory.
   bool persistent() const { return persist_ != nullptr; }
 
+  /// Current durability health (see ServiceHealth). A WAL failure flips a
+  /// persistent service to kDegradedReadOnly; a successful Checkpoint()
+  /// heals it back to kHealthy.
+  ServiceHealth health() const { return health_; }
+
+  /// The Laplace substream counter after the last sealed submission — in
+  /// effect, the number of queries whose admission is durable. Exposed for
+  /// recovery harnesses that need to know how much of a workload a killed
+  /// service had committed.
+  uint64_t next_noise_stream() const { return next_noise_stream_; }
+
   /// Recovery accounting from construction (all zero when persistence is
   /// disabled or the directory was empty).
   const RecoveryStats& recovery() const { return recovery_; }
@@ -220,14 +288,33 @@ class QueryService {
   struct PlannedQuery {
     QueryPair query;
     bool admitted = false;
+    RejectReason reason = RejectReason::kNone;
     uint64_t noise_stream = 0;  ///< Laplace substream (MultiR family)
   };
 
   /// Sequential, deterministic admission of one query: checks that every
   /// charge fits, then commits them all (or none). Committed charges and
   /// view authorizations are journaled ahead of the release phase when
-  /// persistence is on.
-  bool Admit(const QueryPair& query);
+  /// persistence is on, and recorded in the rollback scratch so a failed
+  /// seal can revoke them. kNone means admitted.
+  RejectReason Admit(const QueryPair& query);
+
+  /// Seal-failure recovery: restores the ledger rows, revokes the store
+  /// authorizations, and rewinds the substream counter recorded during
+  /// this submission's admission pass, then marks every answer rejected
+  /// with RejectReason::kDurability. After it returns, in-memory state is
+  /// exactly what it was before Submit.
+  void RollbackUnsealedSubmit(uint64_t noise_stream_mark,
+                              const std::vector<PlannedQuery>& plan,
+                              ServiceReport& report);
+
+  /// Flips health to kDegradedReadOnly (from kHealthy) and records the
+  /// transition (counter, gauge, warning log).
+  void EnterDegraded(const std::string& why);
+
+  /// Fills the per-submission tallies, lifetime accounting, and metrics
+  /// snapshot of `report` — the common tail of every Submit outcome.
+  void FinalizeReport(ServiceReport& report, double seconds);
 
   /// Opens the snapshot directory: recovers snapshot + WAL state when
   /// present, then leaves a WAL handle ready for appending.
@@ -264,6 +351,7 @@ class QueryService {
 
   std::unique_ptr<Persistence> persist_;  ///< null without snapshot_dir
   RecoveryStats recovery_;
+  ServiceHealth health_ = ServiceHealth::kHealthy;
 
   // Observability (obs/). The registry owns the metrics; the raw pointers
   // are the hot-path handles, null whenever the metrics level (or the
@@ -274,6 +362,15 @@ class QueryService {
   obs::Counter* c_rejected_ = nullptr;    ///< queries rejected at admission
   obs::Counter* c_submits_ = nullptr;     ///< Submit calls
   obs::Counter* c_checkpoints_ = nullptr; ///< Checkpoint calls
+  // Fault / degradation accounting (all zero in a healthy lifetime).
+  obs::Counter* c_rejected_budget_ = nullptr;       ///< kBudget rejections
+  obs::Counter* c_rejected_unavailable_ = nullptr;  ///< degraded rejections
+  obs::Counter* c_wal_failures_ = nullptr;          ///< failed seals/raises
+  obs::Counter* c_submit_rollbacks_ = nullptr;      ///< unsealed rollbacks
+  obs::Counter* c_checkpoint_failures_ = nullptr;   ///< failed commit tries
+  obs::Counter* c_checkpoint_retries_ = nullptr;    ///< commit re-attempts
+  obs::Counter* c_health_transitions_ = nullptr;    ///< state changes
+  obs::Gauge* g_health_ = nullptr;                  ///< ServiceHealth value
   obs::LatencyHistogram* h_admission_ = nullptr;     ///< per query
   obs::LatencyHistogram* h_wal_fsync_ = nullptr;     ///< per submit seal
   obs::LatencyHistogram* h_release_ = nullptr;       ///< per submit barrier
@@ -287,6 +384,14 @@ class QueryService {
   std::vector<PlannedQueryRef> refs_;
   std::vector<double> estimates_;
   uint64_t cache_hit_lookups_ = 0;  ///< flushed to the store per Submit
+
+  // Rollback scratch for the current submission (persistent + healthy
+  // only): each ledger mutation's prior spend, recorded *before* the
+  // charge, and each vertex authorized. A failed seal replays charges in
+  // reverse — exact doubles, no refund arithmetic — and revokes the
+  // authorizations.
+  std::vector<std::pair<LayeredVertex, double>> rollback_charges_;
+  std::vector<LayeredVertex> rollback_authorized_;
 };
 
 }  // namespace cne

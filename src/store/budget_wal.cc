@@ -10,6 +10,7 @@
 
 #include "util/binary_io.h"
 #include "util/crc32.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace cne {
@@ -66,11 +67,16 @@ void BudgetWal::Rewrite(const std::string& path, uint64_t epoch,
   ByteWriter out;
   EncodeHeader(epoch, out);
   for (const WalRecord& record : records) EncodeRecord(record, out);
-  WriteFileAtomic(path, out.data());
+  const std::span<const uint8_t> parts[] = {out.data()};
+  // "walreset", not "wal": the append path's wal.append/wal.fsync sites
+  // target the per-submit seal, and arming those must not also fail the
+  // atomic rewrite that recovery and checkpoints use.
+  WriteFileAtomic(path, parts, {.site = "walreset"});
 }
 
 WalReplay BudgetWal::Read(const std::string& path) {
-  const std::vector<uint8_t> bytes = ReadFileBytes(path);
+  // Sites wal.open / wal.read (err, short, corrupt — see failpoint.h).
+  const std::vector<uint8_t> bytes = ReadFileBytes(path, "wal");
   if (bytes.size() < kHeaderBytes) {
     throw std::runtime_error(path + ": WAL shorter than its header");
   }
@@ -151,8 +157,18 @@ void BudgetWal::Sync() {
   }
   size_t written = 0;
   while (written < buffer_.size()) {
-    const ssize_t n =
-        ::write(fd_, buffer_.data() + written, buffer_.size() - written);
+    size_t chunk = buffer_.size() - written;
+    // wal.append faults: err poisons mid-write (the on-disk tail is then
+    // torn, exactly like a real partial append); short writes part of the
+    // chunk and continues, exercising the resume path.
+    const fail::Injected fp = fail::Hit("wal", ".append");
+    if (fp.action == fail::Action::kError) {
+      errno = fp.error;
+      Poison();
+      ThrowErrno("cannot append to WAL", path_);
+    }
+    if (fp.action == fail::Action::kShort) chunk = fp.ShortenedLen(chunk);
+    const ssize_t n = ::write(fd_, buffer_.data() + written, chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
       // The file may now hold a partial record and a retry would desync
@@ -164,10 +180,18 @@ void BudgetWal::Sync() {
     written += static_cast<size_t>(n);
   }
   buffer_.clear();
-  if (::fsync(fd_) != 0) {
+  int fsync_rc = ::fsync(fd_);
+  int fsync_errno = errno;
+  if (const fail::Injected fp = fail::Hit("wal", ".fsync");
+      fp.action == fail::Action::kError) {
+    fsync_rc = -1;
+    fsync_errno = fp.error;
+  }
+  if (fsync_rc != 0) {
     // A second fsync after a failed one can report success without
     // durability (the kernel clears the error); never retry over it.
     Poison();
+    errno = fsync_errno;
     ThrowErrno("cannot fsync WAL", path_);
   }
 }

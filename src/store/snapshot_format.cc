@@ -78,11 +78,22 @@ void SnapshotWriter::Commit(const std::string& path) {
   for (const Section& section : sections_) {
     parts.push_back(section.payload);
   }
-  WriteFileAtomic(path, parts);
+  // Sites snapshot.open/.write/.fsync/.rename/.dirfsync; each section is
+  // one write call, so snapshot.write=err@N fails the Nth part. A failed
+  // commit quarantines the temp file instead of unlinking it — the
+  // checkpoint retry loop writes a fresh one, and the operator keeps the
+  // evidence.
+  AtomicWriteOptions options;
+  options.site = "snapshot";
+  options.quarantine_tmp = true;
+  WriteFileAtomic(path, parts, options);
 }
 
 SnapshotReader::SnapshotReader(const std::string& path)
-    : path_(path), bytes_(ReadFileBytes(path)) {
+    // Sites snapshot.open / snapshot.read; a corrupt injection flips a
+    // byte before the TOC CRC validation below, exercising the
+    // corruption-detection path end to end.
+    : path_(path), bytes_(ReadFileBytes(path, "snapshot")) {
   constexpr size_t kHeaderBytes = 8 + 4 + 8 + 4;
   if (bytes_.size() < kHeaderBytes) {
     Fail(path_, "truncated snapshot header");

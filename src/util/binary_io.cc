@@ -7,8 +7,9 @@
 #include <bit>
 #include <cerrno>
 #include <cstring>
-#include <fstream>
 #include <stdexcept>
+
+#include "util/failpoint.h"
 
 namespace cne {
 
@@ -47,19 +48,6 @@ bool FileExists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
 }
 
-std::vector<uint8_t> ReadFileBytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw std::runtime_error("cannot open " + path);
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::vector<uint8_t> bytes(static_cast<size_t>(size));
-  if (size > 0 &&
-      !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
-    throw std::runtime_error("cannot read " + path);
-  }
-  return bytes;
-}
-
 namespace {
 
 void ThrowErrno(const std::string& what, const std::string& path) {
@@ -67,19 +55,92 @@ void ThrowErrno(const std::string& what, const std::string& path) {
                            std::strerror(errno));
 }
 
+// An injected kError fault: sets errno like the failed syscall would.
+bool InjectError(const fail::Injected& injected) {
+  if (injected.action != fail::Action::kError) return false;
+  errno = injected.error;
+  return true;
+}
+
 // fsync the directory holding `path` so the rename itself is durable.
-void SyncParentDir(const std::string& path) {
+// Throws when the directory fsync *fails*; filesystems that cannot sync
+// directories at all (EINVAL/ENOTSUP) keep the historical best-effort
+// behavior, as does a directory that refuses to open.
+void SyncParentDir(const std::string& path, std::string_view site) {
   const size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path.substr(0, slash == 0 ? 1 : slash);
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) return;  // best effort: some filesystems refuse dir opens
-  ::fsync(fd);
+  int rc = ::fsync(fd);
+  int saved_errno = errno;
+  if (const fail::Injected fp = fail::Hit(site, ".dirfsync");
+      fp.action == fail::Action::kError) {
+    rc = -1;
+    saved_errno = fp.error;
+  }
   ::close(fd);
+  if (rc != 0 && saved_errno != EINVAL && saved_errno != ENOTSUP) {
+    errno = saved_errno;
+    ThrowErrno("cannot fsync directory of", path);
+  }
 }
 
 }  // namespace
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path,
+                                   std::string_view site) {
+  if (InjectError(fail::Hit(site, ".open"))) ThrowErrno("cannot open", path);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) ThrowErrno("cannot open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int saved_errno = errno;
+    ::close(fd);
+    errno = saved_errno;
+    ThrowErrno("cannot stat", path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  // A short/corrupt injection at <site>.read simulates a file shrinking
+  // or rotting underneath us between stat and read.
+  size_t limit = size;
+  const fail::Injected read_fault = fail::Hit(site, ".read");
+  if (InjectError(read_fault)) {
+    ::close(fd);
+    errno = read_fault.error;
+    ThrowErrno("cannot read", path);
+  }
+  if (read_fault.action == fail::Action::kShort) {
+    limit = read_fault.ShortenedLen(size);
+  }
+  std::vector<uint8_t> bytes(size);
+  size_t got = 0;
+  while (got < limit) {
+    const ssize_t n = ::read(fd, bytes.data() + got, limit - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved_errno = errno;
+      ::close(fd);
+      errno = saved_errno;
+      ThrowErrno("cannot read", path);
+    }
+    if (n == 0) break;  // EOF before st_size: truncated under us
+    got += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  if (got != size) {
+    // Returning fewer bytes than the file holds would hand the caller a
+    // zero-padded buffer that may still parse; corruption must throw.
+    throw std::runtime_error("short read of " + path + ": got " +
+                             std::to_string(got) + " of " +
+                             std::to_string(size) + " bytes");
+  }
+  if (read_fault.action == fail::Action::kCorrupt && !bytes.empty()) {
+    bytes[read_fault.amount % bytes.size()] ^= 0xFF;
+  }
+  return bytes;
+}
 
 void WriteFileAtomic(const std::string& path,
                      std::span<const uint8_t> bytes) {
@@ -88,36 +149,81 @@ void WriteFileAtomic(const std::string& path,
 }
 
 void WriteFileAtomic(const std::string& path,
-                     std::span<const std::span<const uint8_t>> parts) {
+                     std::span<const std::span<const uint8_t>> parts,
+                     const AtomicWriteOptions& options) {
   const std::string tmp = path + ".tmp";
+  // Failure cleanup: the destination is untouched either way; quarantine
+  // preserves the partial temp file as `<path>.tmp.quarantine` evidence.
+  const auto discard_tmp = [&] {
+    if (options.quarantine_tmp) {
+      const std::string quarantine = tmp + ".quarantine";
+      if (::rename(tmp.c_str(), quarantine.c_str()) == 0) return;
+    }
+    ::unlink(tmp.c_str());
+  };
+  if (InjectError(fail::Hit(options.site, ".open"))) {
+    ThrowErrno("cannot create", tmp);
+  }
   const int fd =
       ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) ThrowErrno("cannot create", tmp);
   for (const std::span<const uint8_t> bytes : parts) {
     size_t written = 0;
     while (written < bytes.size()) {
-      const ssize_t n =
-          ::write(fd, bytes.data() + written, bytes.size() - written);
+      size_t chunk = bytes.size() - written;
+      // One evaluation per write call: a multi-part commit (snapshot
+      // sections) hits <site>.write once per section, so "fail the 3rd
+      // section" is expressible as <site>.write=err@3.
+      const fail::Injected fp = fail::Hit(options.site, ".write");
+      if (InjectError(fp)) {
+        const int saved_errno = errno;
+        ::close(fd);
+        discard_tmp();
+        errno = saved_errno;
+        ThrowErrno("cannot write", tmp);
+      }
+      if (fp.action == fail::Action::kShort) {
+        chunk = fp.ShortenedLen(chunk);
+      }
+      const ssize_t n = ::write(fd, bytes.data() + written, chunk);
       if (n < 0) {
         if (errno == EINTR) continue;
+        const int saved_errno = errno;
         ::close(fd);
-        ::unlink(tmp.c_str());
+        discard_tmp();
+        errno = saved_errno;
         ThrowErrno("cannot write", tmp);
       }
       written += static_cast<size_t>(n);
     }
   }
-  if (::fsync(fd) != 0) {
+  int fsync_rc = ::fsync(fd);
+  int fsync_errno = errno;
+  if (const fail::Injected fp = fail::Hit(options.site, ".fsync");
+      fp.action == fail::Action::kError) {
+    fsync_rc = -1;
+    fsync_errno = fp.error;
+  }
+  if (fsync_rc != 0) {
     ::close(fd);
-    ::unlink(tmp.c_str());
+    discard_tmp();
+    errno = fsync_errno;
     ThrowErrno("cannot fsync", tmp);
   }
   ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
+  if (InjectError(fail::Hit(options.site, ".rename"))) {
+    const int saved_errno = errno;
+    discard_tmp();
+    errno = saved_errno;
     ThrowErrno("cannot rename into", path);
   }
-  SyncParentDir(path);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved_errno = errno;
+    discard_tmp();
+    errno = saved_errno;
+    ThrowErrno("cannot rename into", path);
+  }
+  SyncParentDir(path, options.site);
 }
 
 }  // namespace cne

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cne {
@@ -102,22 +103,43 @@ class ByteReader {
 /// True when `path` names an existing regular file.
 bool FileExists(const std::string& path);
 
-/// Reads a whole file into memory. Throws std::runtime_error when the
-/// file cannot be opened or read.
-std::vector<uint8_t> ReadFileBytes(const std::string& path);
+/// Reads a whole file into memory. Throws std::runtime_error (with errno
+/// text) when the file cannot be opened or read, and when fewer bytes
+/// arrive than the file's size reported — a partial read is corruption,
+/// never silently returned. `site` prefixes the fault-injection sites
+/// consulted along the way: `<site>.open` and `<site>.read`
+/// (util/failpoint.h; "wal.read" simulates a short read, etc.).
+std::vector<uint8_t> ReadFileBytes(const std::string& path,
+                                   std::string_view site = "file");
+
+/// Behavior knobs for WriteFileAtomic.
+struct AtomicWriteOptions {
+  /// Prefix of the fault-injection sites consulted at each step:
+  /// `<site>.open`, `<site>.write`, `<site>.fsync`, `<site>.rename`,
+  /// `<site>.dirfsync` (util/failpoint.h).
+  std::string_view site = "file";
+
+  /// On failure, rename the temp file to `<path>.tmp.quarantine` instead
+  /// of unlinking it, preserving the partial write as evidence for
+  /// operators (used by snapshot checkpoints, which retry over it).
+  bool quarantine_tmp = false;
+};
 
 /// Writes `bytes` to `path` atomically: temp file in the same directory,
 /// fsync, rename over the target, fsync the directory. Readers see either
 /// the old complete file or the new complete file, never a mix — the
 /// commit primitive behind snapshot rename-on-commit and WAL resets.
-/// Throws std::runtime_error on any IO failure.
+/// Throws std::runtime_error (with errno text) on any IO failure,
+/// including a failed directory fsync — the rename's durability is then
+/// unknown, though the destination is still never torn.
 void WriteFileAtomic(const std::string& path, std::span<const uint8_t> bytes);
 
 /// Multi-part variant: writes the concatenation of `parts` without ever
 /// materializing it in one buffer, so committing a section-structured
 /// file (header + payloads) peaks at one copy of the data, not two.
 void WriteFileAtomic(const std::string& path,
-                     std::span<const std::span<const uint8_t>> parts);
+                     std::span<const std::span<const uint8_t>> parts,
+                     const AtomicWriteOptions& options = {});
 
 }  // namespace cne
 

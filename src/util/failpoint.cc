@@ -1,0 +1,305 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+
+#if CNE_FAILPOINTS_ENABLED
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/rng.h"
+#endif
+
+namespace cne::fail {
+
+uint64_t Injected::ShortenedLen(uint64_t requested) const {
+  if (requested == 0) return 0;
+  uint64_t len =
+      percent ? requested * std::min<uint64_t>(amount, 100) / 100 : amount;
+  // Never 0: write loops re-issue the remainder, and a zero-progress
+  // injection would spin them forever.
+  len = std::clamp<uint64_t>(len, 1, requested);
+  return len;
+}
+
+#if !CNE_FAILPOINTS_ENABLED
+
+void Configure(const std::string& spec, uint64_t /*seed*/) {
+  // Silently accepting a spec the build cannot honor would turn a fault
+  // drill into a no-op that *passes*; refuse instead.
+  if (!spec.empty()) {
+    throw std::runtime_error(
+        "failpoints were compiled out (CNE_FAILPOINTS_ENABLED=0); "
+        "cannot configure \"" + spec + "\"");
+  }
+}
+
+#else  // CNE_FAILPOINTS_ENABLED
+
+namespace internal {
+std::atomic<uint32_t> g_armed_sites{0};
+}  // namespace internal
+
+namespace {
+
+/// When an armed site fires.
+enum class Trigger : uint8_t {
+  kAlways,
+  kNth,      ///< the Nth evaluation only
+  kFromNth,  ///< every evaluation from the Nth on
+  kProb,     ///< each evaluation with probability p
+};
+
+struct Site {
+  Action action = Action::kNone;
+  int error = EIO;
+  uint64_t amount = 0;
+  bool percent = false;
+  Trigger trigger = Trigger::kAlways;
+  uint64_t n = 0;    ///< kNth / kFromNth threshold (1-based)
+  double p = 0.0;    ///< kProb per-evaluation probability
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  Rng rng{0};        ///< kProb stream, seeded per site by Configure
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Site> sites;
+};
+
+Registry& TheRegistry() {
+  static Registry* registry = new Registry;  // leaked: used in atexit paths
+  return *registry;
+}
+
+[[noreturn]] void BadSpec(const std::string& entry, const std::string& why) {
+  throw std::runtime_error("bad failpoint spec \"" + entry + "\": " + why);
+}
+
+uint64_t ParseUint(const std::string& entry, std::string_view text) {
+  if (text.empty()) BadSpec(entry, "expected a number");
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      BadSpec(entry, "expected a number, got \"" + std::string(text) + "\"");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+int ParseErrnoName(const std::string& entry, std::string_view name) {
+  static constexpr std::pair<std::string_view, int> kNames[] = {
+      {"EIO", EIO},       {"ENOSPC", ENOSPC}, {"EDQUOT", EDQUOT},
+      {"EROFS", EROFS},   {"EACCES", EACCES}, {"ENOENT", ENOENT},
+      {"EBADF", EBADF},   {"EINTR", EINTR},   {"EMFILE", EMFILE},
+      {"ENOMEM", ENOMEM}, {"EFBIG", EFBIG},
+  };
+  for (const auto& [known, value] : kNames) {
+    if (name == known) return value;
+  }
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') {
+    return static_cast<int>(ParseUint(entry, name));
+  }
+  BadSpec(entry, "unknown errno \"" + std::string(name) + "\"");
+}
+
+// Parses "kind[:param][@trigger]" into `site` (trigger fields excluded —
+// handled by the caller, which strips the '@' part first).
+void ParseAction(const std::string& entry, std::string_view action,
+                 Site& site) {
+  std::string_view kind = action;
+  std::string_view param;
+  if (const size_t colon = action.find(':'); colon != std::string_view::npos) {
+    kind = action.substr(0, colon);
+    param = action.substr(colon + 1);
+  }
+  if (kind == "err") {
+    site.action = Action::kError;
+    site.error = param.empty() ? EIO : ParseErrnoName(entry, param);
+  } else if (kind == "short") {
+    site.action = Action::kShort;
+    if (param.empty()) {
+      site.amount = 50;
+      site.percent = true;
+    } else if (param.back() == '%') {
+      site.amount = ParseUint(entry, param.substr(0, param.size() - 1));
+      site.percent = true;
+      if (site.amount > 100) BadSpec(entry, "percentage above 100");
+    } else {
+      site.amount = ParseUint(entry, param);
+      site.percent = false;
+    }
+  } else if (kind == "corrupt") {
+    site.action = Action::kCorrupt;
+    site.amount = param.empty() ? 0 : ParseUint(entry, param);
+  } else {
+    BadSpec(entry, "unknown action \"" + std::string(kind) + "\"");
+  }
+}
+
+void ParseTrigger(const std::string& entry, std::string_view trigger,
+                  Site& site) {
+  if (trigger.empty()) BadSpec(entry, "empty trigger after '@'");
+  if (trigger.back() == '%') {
+    const uint64_t percent =
+        ParseUint(entry, trigger.substr(0, trigger.size() - 1));
+    if (percent > 100) BadSpec(entry, "probability above 100%");
+    site.trigger = Trigger::kProb;
+    site.p = static_cast<double>(percent) / 100.0;
+  } else if (trigger.back() == '+') {
+    site.trigger = Trigger::kFromNth;
+    site.n = ParseUint(entry, trigger.substr(0, trigger.size() - 1));
+    if (site.n == 0) BadSpec(entry, "hit counts are 1-based");
+  } else {
+    site.trigger = Trigger::kNth;
+    site.n = ParseUint(entry, trigger);
+    if (site.n == 0) BadSpec(entry, "hit counts are 1-based");
+  }
+}
+
+std::string_view Strip(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+const char* ActionName(Action action) {
+  switch (action) {
+    case Action::kNone:
+      return "off";
+    case Action::kError:
+      return "err";
+    case Action::kShort:
+      return "short";
+    case Action::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+}  // namespace
+
+namespace internal {
+
+Injected Evaluate(std::string_view prefix, std::string_view suffix) {
+  Registry& registry = TheRegistry();
+  std::string name;
+  name.reserve(prefix.size() + suffix.size());
+  name.append(prefix).append(suffix);
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.sites.find(name);
+  if (it == registry.sites.end()) return {};
+  Site& site = it->second;
+  ++site.hits;
+  bool fire = false;
+  switch (site.trigger) {
+    case Trigger::kAlways:
+      fire = true;
+      break;
+    case Trigger::kNth:
+      fire = site.hits == site.n;
+      break;
+    case Trigger::kFromNth:
+      fire = site.hits >= site.n;
+      break;
+    case Trigger::kProb:
+      fire = site.rng.NextDouble() < site.p;
+      break;
+  }
+  if (!fire) return {};
+  ++site.fires;
+  Injected injected;
+  injected.action = site.action;
+  injected.error = site.error;
+  injected.amount = site.amount;
+  injected.percent = site.percent;
+  return injected;
+}
+
+}  // namespace internal
+
+void Configure(const std::string& spec, uint64_t seed) {
+  // Parse into a fresh map first so a malformed entry leaves the active
+  // configuration untouched.
+  std::map<std::string, Site> parsed;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find_first_of(",;", begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry(Strip(spec.substr(begin, end - begin)));
+    begin = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      BadSpec(entry, "expected site=action");
+    }
+    const std::string name(Strip(std::string_view(entry).substr(0, eq)));
+    std::string_view action = Strip(std::string_view(entry).substr(eq + 1));
+    if (action == "off") {
+      parsed.erase(name);
+      continue;
+    }
+    Site site;
+    if (const size_t at = action.find('@'); at != std::string_view::npos) {
+      ParseTrigger(entry, action.substr(at + 1), site);
+      action = action.substr(0, at);
+    }
+    ParseAction(entry, action, site);
+    // Independent per-site streams: two probabilistic sites armed by one
+    // spec must not mirror each other's draws.
+    site.rng = Rng(seed).Fork(std::hash<std::string>{}(name));
+    parsed[name] = site;
+  }
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites = std::move(parsed);
+  internal::g_armed_sites.store(
+      static_cast<uint32_t>(registry.sites.size()),
+      std::memory_order_relaxed);
+}
+
+void Clear() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites.clear();
+  internal::g_armed_sites.store(0, std::memory_order_relaxed);
+}
+
+uint64_t HitCount(const std::string& site) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t FireCount(const std::string& site) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.fires;
+}
+
+std::string Describe() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::string out;
+  for (const auto& [name, site] : registry.sites) {
+    if (!out.empty()) out += ',';
+    out += name;
+    out += '=';
+    out += ActionName(site.action);
+  }
+  return out;
+}
+
+#endif  // CNE_FAILPOINTS_ENABLED
+
+}  // namespace cne::fail

@@ -1,0 +1,145 @@
+// Deterministic fault injection (failpoints).
+//
+// Durability code is dominated by error paths that never run in healthy
+// environments: a failed WAL fsync, a short snapshot write, a rename that
+// returns ENOSPC, a flipped byte under a valid-looking file. This module
+// lets tests and operators make exactly those paths fire, deterministically,
+// at named *sites* threaded through the IO seams (util/binary_io,
+// store/budget_wal, store/snapshot_format, service/query_service).
+//
+// A site is a dotted name such as "wal.fsync" or "snapshot.write". Code
+// consults a site with `fail::Hit("wal", ".fsync")` and acts on the returned
+// `Injected` — simulate the errno, shorten the write, flip a byte. Sites are
+// configured from a spec string (one or more entries, ','- or ';'-separated):
+//
+//   entry   := site '=' action
+//   action  := 'off' | kind [':' param] ['@' trigger]
+//   kind    := 'err'     fail with an errno (param: errno name or number,
+//                        default EIO)
+//            | 'short'   truncate the operation (param: byte count, or 'N%'
+//                        of the requested amount; default 50%)
+//            | 'corrupt' flip one byte (param: byte offset, default 0)
+//   trigger := N         fire on the Nth evaluation only (1-based)
+//            | N '+'     fire on every evaluation from the Nth on
+//            | P '%'     fire each evaluation with probability P/100,
+//                        drawn from a per-site seeded RNG
+//
+// Examples: "wal.fsync=err:EIO@3", "snapshot.write=short:17%",
+// "wal.append=err:ENOSPC@25%", "snapshot.corrupt=corrupt:12".
+// Without a trigger the site fires on every evaluation.
+//
+// Determinism: probabilistic triggers draw from an Rng seeded by
+// `Configure`'s seed and the site name, so a fault schedule replays
+// identically for the same spec + seed. Counting triggers are per-site
+// evaluation counts; both reset on every Configure/Clear.
+//
+// Overhead: the unarmed fast path is one relaxed atomic load and a
+// predicted-not-taken branch — no allocation, no lock, no site-name
+// construction. Compiling with CNE_FAILPOINTS_ENABLED=0 removes the
+// framework entirely: Hit() becomes a constant-empty inline the optimizer
+// deletes, and Configure() rejects any non-empty spec so a forgotten
+// --failpoints flag fails loudly instead of silently doing nothing.
+
+#ifndef CNE_UTIL_FAILPOINT_H_
+#define CNE_UTIL_FAILPOINT_H_
+
+// Compile-time kill switch. Defaults to on; build with
+// -DCNE_FAILPOINTS_ENABLED=0 (CMake: -DCNE_FAILPOINTS=OFF) to compile the
+// framework out of every translation unit.
+#ifndef CNE_FAILPOINTS_ENABLED
+#define CNE_FAILPOINTS_ENABLED 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cne::fail {
+
+/// What an armed site injects. kNone means "proceed normally".
+enum class Action : uint8_t {
+  kNone = 0,
+  kError,    ///< simulate a syscall failure with `error` as errno
+  kShort,    ///< truncate the operation to ShortenedLen() bytes
+  kCorrupt,  ///< flip the byte at offset `amount` (mod buffer size)
+};
+
+/// The verdict of one site evaluation. Contextually convertible to bool:
+/// true when a fault should be injected.
+struct Injected {
+  Action action = Action::kNone;
+  int error = 0;         ///< errno to simulate (kError)
+  uint64_t amount = 0;   ///< byte count / percent (kShort), offset (kCorrupt)
+  bool percent = false;  ///< `amount` is a percentage of the request
+
+  explicit operator bool() const { return action != Action::kNone; }
+
+  /// Length a kShort injection truncates a `requested`-byte operation to.
+  /// Clamped to [1, requested] (0 only when requested == 0) so retry loops
+  /// that re-issue the remainder always make progress.
+  uint64_t ShortenedLen(uint64_t requested) const;
+};
+
+#if CNE_FAILPOINTS_ENABLED
+
+namespace internal {
+/// Number of armed sites; 0 keeps Hit() on its fast path.
+extern std::atomic<uint32_t> g_armed_sites;
+/// Slow path: resolves the site and evaluates its trigger.
+Injected Evaluate(std::string_view prefix, std::string_view suffix);
+}  // namespace internal
+
+/// True in builds that compile the framework in.
+inline constexpr bool kCompiledIn = true;
+
+/// Evaluates the site named by the concatenation `prefix + suffix` (split
+/// so callers that parameterize a site family — e.g. WriteFileAtomic's
+/// "<prefix>.write" — never build strings on the unarmed path). Returns
+/// what to inject; kNone when the site is not armed.
+inline Injected Hit(std::string_view prefix, std::string_view suffix = {}) {
+  if (internal::g_armed_sites.load(std::memory_order_relaxed) == 0) {
+    return {};
+  }
+  return internal::Evaluate(prefix, suffix);
+}
+
+/// Replaces the active configuration with `spec` (grammar above; empty
+/// clears everything). Trigger state and hit counts reset. Probabilistic
+/// triggers derive their streams from `seed` and the site name. Throws
+/// std::runtime_error on malformed specs.
+void Configure(const std::string& spec, uint64_t seed = 0);
+
+/// Disarms every site and resets all counts.
+void Clear();
+
+/// Evaluations of `site` since it was configured (0 if unknown).
+uint64_t HitCount(const std::string& site);
+
+/// Evaluations of `site` that injected a fault (0 if unknown).
+uint64_t FireCount(const std::string& site);
+
+/// The active configuration, one "site=action" per entry, sorted —
+/// for logs and error reports.
+std::string Describe();
+
+#else  // !CNE_FAILPOINTS_ENABLED
+
+inline constexpr bool kCompiledIn = false;
+
+inline Injected Hit(std::string_view, std::string_view = {}) { return {}; }
+
+/// Compiled out: rejects any non-empty spec so a configured-but-inert
+/// failpoint run fails loudly. Declared here, defined in failpoint.cc.
+void Configure(const std::string& spec, uint64_t seed = 0);
+
+inline void Clear() {}
+inline uint64_t HitCount(const std::string&) { return 0; }
+inline uint64_t FireCount(const std::string&) { return 0; }
+inline std::string Describe() { return {}; }
+
+#endif  // CNE_FAILPOINTS_ENABLED
+
+}  // namespace cne::fail
+
+#endif  // CNE_UTIL_FAILPOINT_H_

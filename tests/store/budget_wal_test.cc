@@ -177,6 +177,90 @@ TEST(BudgetWalTest, RewriteCompactsToExactlyTheGivenRecords) {
   std::filesystem::remove(path);
 }
 
+// --- Exhaustive torn-tail coverage: a crash can cut or rot the file at
+// --- ANY byte, so every offset is tested, not a sampled handful.
+
+constexpr size_t kHeaderBytes = 20;  // magic u64 + version u32 + epoch u64
+constexpr size_t kRecordBytes = 21;  // type u8 + u64 + u64 + crc u32
+
+// Five records, two seals: [Charge, Sealed, Charge, Authorized, Sealed].
+// Committed prefix by parsed-record count n: n>=5 -> 5, n in [2,4] -> 2
+// (the first seal), n<2 -> 0.
+std::vector<uint8_t> FiveRecordWal(const std::string& path) {
+  BudgetWal::Reset(path, /*epoch=*/4);
+  {
+    BudgetWal wal(path);
+    wal.Append(Charge(Layer::kLower, 1, 1.0));
+    wal.Append(Sealed(1));
+    wal.Append(Charge(Layer::kLower, 2, 1.0));
+    wal.Append(Authorized(Layer::kLower, 3));
+    wal.Append(Sealed(2));
+    wal.Sync();
+  }
+  return ReadFileBytes(path);
+}
+
+size_t ExpectedCommitted(size_t parsed_records) {
+  if (parsed_records >= 5) return 5;
+  if (parsed_records >= 2) return 2;
+  return 0;
+}
+
+TEST(BudgetWalTornTest, TruncationAtEveryByteDropsExactlyTheUncommitted) {
+  const std::string path = TempPath("wal_exhaustive_trunc.wal");
+  const std::vector<uint8_t> full = FiveRecordWal(path);
+  ASSERT_EQ(full.size(), kHeaderBytes + 5 * kRecordBytes);
+
+  // Cutting into the header is not a torn tail — it is not a WAL at all.
+  for (size_t t = 0; t < kHeaderBytes; ++t) {
+    WriteFileAtomic(path, std::span<const uint8_t>(full.data(), t));
+    EXPECT_THROW(BudgetWal::Read(path), std::runtime_error) << "cut at " << t;
+  }
+
+  for (size_t t = kHeaderBytes; t <= full.size(); ++t) {
+    WriteFileAtomic(path, std::span<const uint8_t>(full.data(), t));
+    const WalReplay replay = BudgetWal::Read(path);
+    const size_t parsed = (t - kHeaderBytes) / kRecordBytes;
+    const size_t remainder = (t - kHeaderBytes) % kRecordBytes;
+    ASSERT_EQ(replay.records.size(), parsed) << "cut at " << t;
+    EXPECT_EQ(replay.committed, ExpectedCommitted(parsed)) << "cut at " << t;
+    // A cut exactly on a record boundary is indistinguishable from a
+    // clean shutdown mid-batch: complete records, no torn tail.
+    EXPECT_EQ(replay.torn_tail, remainder != 0) << "cut at " << t;
+    EXPECT_EQ(replay.dropped_bytes, remainder) << "cut at " << t;
+
+    // Recovery compacts to the committed prefix; the compacted log reads
+    // back clean with nothing further to drop.
+    BudgetWal::Rewrite(path, replay.epoch,
+                       std::span<const WalRecord>(replay.records.data(),
+                                                  replay.committed));
+    const WalReplay compacted = BudgetWal::Read(path);
+    EXPECT_FALSE(compacted.torn_tail) << "cut at " << t;
+    EXPECT_EQ(compacted.records.size(), replay.committed) << "cut at " << t;
+    EXPECT_EQ(compacted.committed, replay.committed) << "cut at " << t;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(BudgetWalTornTest, FlippingEveryByteOfTheFinalRecordDropsIt) {
+  const std::string path = TempPath("wal_exhaustive_flip.wal");
+  const std::vector<uint8_t> full = FiveRecordWal(path);
+  const size_t final_record = kHeaderBytes + 4 * kRecordBytes;
+  for (size_t offset = final_record; offset < full.size(); ++offset) {
+    std::vector<uint8_t> bytes = full;
+    bytes[offset] ^= 0xFF;
+    WriteFileAtomic(path, bytes);
+    const WalReplay replay = BudgetWal::Read(path);
+    // The record CRC covers every body byte, and a flipped CRC no longer
+    // matches the intact body: either way the record must not parse.
+    EXPECT_TRUE(replay.torn_tail) << "flip at " << offset;
+    ASSERT_EQ(replay.records.size(), 4u) << "flip at " << offset;
+    EXPECT_EQ(replay.committed, 2u) << "flip at " << offset;
+    EXPECT_EQ(replay.dropped_bytes, kRecordBytes) << "flip at " << offset;
+  }
+  std::filesystem::remove(path);
+}
+
 TEST(BudgetWalTest, ForeignAndMissingFilesThrow) {
   const std::string path = TempPath("wal_foreign.wal");
   ByteWriter garbage;

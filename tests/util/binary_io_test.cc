@@ -2,12 +2,14 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "util/crc32.h"
+#include "util/failpoint.h"
 
 namespace cne {
 namespace {
@@ -122,6 +124,177 @@ TEST(FileIoTest, MissingFileThrows) {
   EXPECT_THROW(ReadFileBytes(TempPath("does_not_exist.bin")),
                std::runtime_error);
 }
+
+TEST(FileIoTest, ErrnoTextReachesTheException) {
+  try {
+    ReadFileBytes(TempPath("does_not_exist.bin"));
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    // Every syscall failure must carry the strerror text — a bare
+    // "cannot open" with no cause is undebuggable in a crash report.
+    EXPECT_NE(std::string(e.what()).find("No such file"), std::string::npos)
+        << e.what();
+  }
+}
+
+#if CNE_FAILPOINTS_ENABLED
+
+// --- Disk-full (and friends) drills for the atomic-write commit path:
+// --- whatever step fails, the destination is either absent or the
+// --- complete old file — never torn, never the new bytes partially.
+
+class AtomicWriteFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fail::Clear(); }
+
+  static std::vector<uint8_t> Payload(uint8_t fill) {
+    return std::vector<uint8_t>(4096, fill);
+  }
+
+  // Destination holds exactly the old payload; no stray temp file.
+  static void ExpectOldFileIntact(const std::string& path) {
+    ASSERT_TRUE(FileExists(path));
+    EXPECT_EQ(ReadFileBytes(path), Payload(0xAA));
+    EXPECT_FALSE(FileExists(path + ".tmp"));
+  }
+};
+
+TEST_F(AtomicWriteFaultTest, EnospcAtEveryStepLeavesOldFileComplete) {
+  for (const char* step : {"open", "write", "fsync", "rename"}) {
+    const std::string path =
+        TempPath(std::string("atomic_enospc_") + step + ".bin");
+    WriteFileAtomic(path, Payload(0xAA));
+    fail::Configure(std::string("t.") + step + "=err:ENOSPC");
+    AtomicWriteOptions options;
+    options.site = "t";
+    const std::vector<uint8_t> next = Payload(0xBB);
+    const std::span<const uint8_t> parts[] = {next};
+    try {
+      WriteFileAtomic(path, parts, options);
+      FAIL() << "expected ENOSPC at step " << step;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("No space left"),
+                std::string::npos)
+          << step << ": " << e.what();
+    }
+    ExpectOldFileIntact(path);
+    fail::Clear();
+    std::filesystem::remove(path);
+  }
+}
+
+TEST_F(AtomicWriteFaultTest, EnospcWithNoPriorFileLeavesNothing) {
+  const std::string path = TempPath("atomic_enospc_fresh.bin");
+  std::filesystem::remove(path);
+  fail::Configure("t.write=err:ENOSPC");
+  AtomicWriteOptions options;
+  options.site = "t";
+  const std::vector<uint8_t> bytes = Payload(0xBB);
+  const std::span<const uint8_t> parts[] = {bytes};
+  EXPECT_THROW(WriteFileAtomic(path, parts, options), std::runtime_error);
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST_F(AtomicWriteFaultTest, QuarantineKeepsTheFailedTempFile) {
+  const std::string path = TempPath("atomic_quarantine.bin");
+  WriteFileAtomic(path, Payload(0xAA));
+  fail::Configure("t.fsync=err:EIO");
+  AtomicWriteOptions options;
+  options.site = "t";
+  options.quarantine_tmp = true;
+  const std::vector<uint8_t> bytes = Payload(0xBB);
+  const std::span<const uint8_t> parts[] = {bytes};
+  EXPECT_THROW(WriteFileAtomic(path, parts, options), std::runtime_error);
+  ExpectOldFileIntact(path);
+  EXPECT_TRUE(FileExists(path + ".tmp.quarantine"));
+  std::filesystem::remove(path + ".tmp.quarantine");
+  std::filesystem::remove(path);
+}
+
+TEST_F(AtomicWriteFaultTest, ShortWritesRetryToCompletion) {
+  // A short write is not an error — the loop must re-issue the remainder
+  // and commit the full payload.
+  const std::string path = TempPath("atomic_short.bin");
+  fail::Configure("t.write=short:7");
+  AtomicWriteOptions options;
+  options.site = "t";
+  const std::vector<uint8_t> bytes = Payload(0xCC);
+  const std::span<const uint8_t> parts[] = {bytes};
+  WriteFileAtomic(path, parts, options);
+  fail::Clear();
+  EXPECT_EQ(ReadFileBytes(path), Payload(0xCC));
+  std::filesystem::remove(path);
+}
+
+TEST_F(AtomicWriteFaultTest, DirFsyncFailureThrowsAfterCommit) {
+  // The rename itself succeeded, so the new content is in place — but the
+  // caller is told durability is not guaranteed.
+  const std::string path = TempPath("atomic_dirfsync.bin");
+  fail::Configure("t.dirfsync=err:EIO");
+  AtomicWriteOptions options;
+  options.site = "t";
+  const std::vector<uint8_t> bytes = Payload(0xDD);
+  const std::span<const uint8_t> parts[] = {bytes};
+  EXPECT_THROW(WriteFileAtomic(path, parts, options), std::runtime_error);
+  fail::Clear();
+  EXPECT_EQ(ReadFileBytes(path), Payload(0xDD));
+  std::filesystem::remove(path);
+}
+
+class ReadFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fail::Clear(); }
+};
+
+TEST_F(ReadFaultTest, ShortReadThrowsInsteadOfZeroPadding) {
+  const std::string path = TempPath("read_short.bin");
+  WriteFileAtomic(path, std::vector<uint8_t>(1000, 0x11));
+  fail::Configure("t.read=short:100");
+  try {
+    ReadFileBytes(path, "t");
+    FAIL() << "expected a short-read throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("short read"), std::string::npos)
+        << e.what();
+  }
+  fail::Clear();
+  std::filesystem::remove(path);
+}
+
+TEST_F(ReadFaultTest, TruncatedUnderneathThrowsWithoutFailpoints) {
+  // The real-world version of the short read: the file shrinks between
+  // fstat and read (no failpoint involved — genuine EOF handling).
+  const std::string path = TempPath("read_truncated.bin");
+  WriteFileAtomic(path, std::vector<uint8_t>(64, 0x22));
+  {
+    // Re-open with truncation to 10 bytes *after* measuring: simulate by
+    // writing a shorter file non-atomically over the same inode.
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("0123456789", 10);
+  }
+  const auto bytes = ReadFileBytes(path);  // consistent again: fine
+  EXPECT_EQ(bytes.size(), 10u);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ReadFaultTest, CorruptInjectionFlipsExactlyOneByte) {
+  const std::string path = TempPath("read_corrupt.bin");
+  const std::vector<uint8_t> clean(32, 0x00);
+  WriteFileAtomic(path, clean);
+  fail::Configure("t.read=corrupt:5");
+  const auto corrupted = ReadFileBytes(path, "t");
+  fail::Clear();
+  ASSERT_EQ(corrupted.size(), clean.size());
+  EXPECT_EQ(corrupted[5], 0xFF);
+  for (size_t i = 0; i < corrupted.size(); ++i) {
+    if (i != 5) {
+      EXPECT_EQ(corrupted[i], 0x00) << i;
+    }
+  }
+}
+
+#endif  // CNE_FAILPOINTS_ENABLED
 
 }  // namespace
 }  // namespace cne

@@ -1,0 +1,209 @@
+// The failpoint framework itself: spec grammar, actions, triggers,
+// counters, the kill switch. Fault-injection tests elsewhere assume all
+// of this works, so it gets its own exhaustive unit coverage.
+
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cne::fail {
+namespace {
+
+#if CNE_FAILPOINTS_ENABLED
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Clear(); }
+};
+
+TEST_F(FailpointTest, CompiledInAndUnarmedByDefault) {
+  EXPECT_TRUE(kCompiledIn);
+  EXPECT_FALSE(static_cast<bool>(Hit("wal", ".fsync")));
+  EXPECT_FALSE(static_cast<bool>(Hit("anything")));
+}
+
+TEST_F(FailpointTest, ErrorActionCarriesNamedErrno) {
+  Configure("wal.fsync=err:ENOSPC");
+  const Injected fp = Hit("wal", ".fsync");
+  ASSERT_TRUE(static_cast<bool>(fp));
+  EXPECT_EQ(fp.action, Action::kError);
+  EXPECT_EQ(fp.error, ENOSPC);
+  // The prefix/suffix split is purely an allocation dodge: the full name
+  // in one piece resolves to the same site.
+  EXPECT_TRUE(static_cast<bool>(Hit("wal.fsync")));
+  // A different site stays quiet.
+  EXPECT_FALSE(static_cast<bool>(Hit("wal", ".append")));
+}
+
+TEST_F(FailpointTest, ErrorDefaultsToEioAndAcceptsNumbers) {
+  Configure("a=err");
+  EXPECT_EQ(Hit("a").error, EIO);
+  Configure("a=err:28");
+  EXPECT_EQ(Hit("a").error, 28);
+}
+
+TEST_F(FailpointTest, ShortActionPercentAndBytes) {
+  Configure("s=short:17%");
+  Injected fp = Hit("s");
+  ASSERT_EQ(fp.action, Action::kShort);
+  EXPECT_TRUE(fp.percent);
+  EXPECT_EQ(fp.ShortenedLen(100), 17u);
+  EXPECT_EQ(fp.ShortenedLen(3), 1u);  // clamped up: progress guaranteed
+  EXPECT_EQ(fp.ShortenedLen(0), 0u);
+
+  Configure("s=short:5");
+  fp = Hit("s");
+  EXPECT_FALSE(fp.percent);
+  EXPECT_EQ(fp.ShortenedLen(100), 5u);
+  EXPECT_EQ(fp.ShortenedLen(3), 3u);  // clamped down to the request
+
+  Configure("s=short");  // default: 50%
+  fp = Hit("s");
+  EXPECT_TRUE(fp.percent);
+  EXPECT_EQ(fp.ShortenedLen(100), 50u);
+}
+
+TEST_F(FailpointTest, CorruptActionCarriesOffset) {
+  Configure("c=corrupt:12");
+  const Injected fp = Hit("c");
+  EXPECT_EQ(fp.action, Action::kCorrupt);
+  EXPECT_EQ(fp.amount, 12u);
+  Configure("c=corrupt");
+  EXPECT_EQ(Hit("c").amount, 0u);
+}
+
+TEST_F(FailpointTest, NthTriggerFiresExactlyOnce) {
+  Configure("x=err@3");
+  EXPECT_FALSE(static_cast<bool>(Hit("x")));
+  EXPECT_FALSE(static_cast<bool>(Hit("x")));
+  EXPECT_TRUE(static_cast<bool>(Hit("x")));
+  EXPECT_FALSE(static_cast<bool>(Hit("x")));
+  EXPECT_EQ(HitCount("x"), 4u);
+  EXPECT_EQ(FireCount("x"), 1u);
+}
+
+TEST_F(FailpointTest, FromNthTriggerFiresForever) {
+  Configure("x=err@2+");
+  EXPECT_FALSE(static_cast<bool>(Hit("x")));
+  EXPECT_TRUE(static_cast<bool>(Hit("x")));
+  EXPECT_TRUE(static_cast<bool>(Hit("x")));
+  EXPECT_EQ(FireCount("x"), 2u);
+}
+
+TEST_F(FailpointTest, ProbabilisticTriggerIsSeededAndDeterministic) {
+  constexpr int kTrials = 400;
+  const auto pattern = [](uint64_t seed) {
+    Configure("p=err@30%", seed);
+    std::string fires;
+    for (int i = 0; i < kTrials; ++i) {
+      fires += static_cast<bool>(Hit("p")) ? '1' : '0';
+    }
+    return fires;
+  };
+  const std::string a = pattern(7);
+  const std::string b = pattern(7);
+  EXPECT_EQ(a, b);  // same spec + seed replays identically
+  EXPECT_NE(a, pattern(8));
+  const auto ones = static_cast<int>(std::count(a.begin(), a.end(), '1'));
+  EXPECT_GT(ones, kTrials / 10);      // fires sometimes...
+  EXPECT_LT(ones, kTrials / 2);       // ...but nowhere near always
+}
+
+TEST_F(FailpointTest, EdgeProbabilitiesNeverAndAlways) {
+  Configure("p=err@0%");
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(static_cast<bool>(Hit("p")));
+  Configure("p=err@100%");
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(static_cast<bool>(Hit("p")));
+}
+
+TEST_F(FailpointTest, MultipleEntriesSeparatorsAndWhitespace) {
+  Configure(" a.b = err:EROFS ; c = short:10 , d=corrupt:3 ");
+  EXPECT_EQ(Hit("a", ".b").error, EROFS);
+  EXPECT_EQ(Hit("c").action, Action::kShort);
+  EXPECT_EQ(Hit("d").action, Action::kCorrupt);
+}
+
+TEST_F(FailpointTest, OffRemovesAnEarlierEntry) {
+  Configure("a=err,b=err,a=off");
+  EXPECT_FALSE(static_cast<bool>(Hit("a")));
+  EXPECT_TRUE(static_cast<bool>(Hit("b")));
+  EXPECT_EQ(Describe(), "b=err");
+}
+
+TEST_F(FailpointTest, ConfigureReplacesTheWholeConfiguration) {
+  Configure("a=err");
+  Configure("b=err");
+  EXPECT_FALSE(static_cast<bool>(Hit("a")));
+  EXPECT_TRUE(static_cast<bool>(Hit("b")));
+  Configure("");
+  EXPECT_FALSE(static_cast<bool>(Hit("b")));
+}
+
+TEST_F(FailpointTest, MalformedSpecsThrowAndLeaveConfigUntouched) {
+  Configure("good=err:EIO");
+  for (const char* bad :
+       {"noequals", "=err", "x=bogus", "x=err:EWHAT", "x=err@",
+        "x=err@0", "x=short:banana", "x=short:200%", "x=err@200%"}) {
+    EXPECT_THROW(Configure(bad), std::runtime_error) << bad;
+    EXPECT_TRUE(static_cast<bool>(Hit("good"))) << bad;
+  }
+}
+
+TEST_F(FailpointTest, ClearDisarmsAndResetsCounts) {
+  Configure("x=err");
+  (void)Hit("x");
+  EXPECT_EQ(FireCount("x"), 1u);
+  Clear();
+  EXPECT_FALSE(static_cast<bool>(Hit("x")));
+  EXPECT_EQ(HitCount("x"), 0u);
+  EXPECT_EQ(FireCount("x"), 0u);
+}
+
+#ifdef NDEBUG
+TEST_F(FailpointTest, UnarmedFastPathIsCheap) {
+  // The guard that keeps failpoints shippable: an unarmed Hit is one
+  // relaxed load. The bound is deliberately loose (a slow CI machine must
+  // not flake) — it exists to catch an accidental lock or allocation on
+  // the fast path, which would blow past it by orders of magnitude.
+  Clear();
+  constexpr int kCalls = 1'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  bool any = false;
+  for (int i = 0; i < kCalls; ++i) {
+    any |= static_cast<bool>(Hit("wal", ".fsync"));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(any);
+  const double ns_per_call =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()) /
+      kCalls;
+  EXPECT_LT(ns_per_call, 150.0);
+}
+#endif  // NDEBUG
+
+#else  // !CNE_FAILPOINTS_ENABLED
+
+TEST(FailpointCompiledOutTest, StubsAreInertAndConfigureRefusesSpecs) {
+  EXPECT_FALSE(kCompiledIn);
+  EXPECT_FALSE(static_cast<bool>(Hit("wal", ".fsync")));
+  EXPECT_NO_THROW(Configure(""));
+  // A fault drill against a binary that cannot inject faults must fail
+  // loudly, not silently pass faultless.
+  EXPECT_THROW(Configure("wal.fsync=err"), std::runtime_error);
+  EXPECT_EQ(HitCount("wal.fsync"), 0u);
+  EXPECT_EQ(FireCount("wal.fsync"), 0u);
+  EXPECT_EQ(Describe(), "");
+}
+
+#endif  // CNE_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace cne::fail

@@ -11,6 +11,7 @@
 //              --seed=7 --out=answers.txt --json]
 //             [--snapshot-dir=DIR --checkpoint-every=N]
 //             [--metrics-level=off|counters|full --metrics-json=PATH]
+//             [--failpoints=SPEC --failpoints-seed=S]
 //
 // Workload files hold one `<upper|lower> <u> <w>` query per line
 // (src/service/workload.h). Without --workload, a hot-set workload of
@@ -35,6 +36,18 @@
 // writes the metrics object alone to PATH (diff two with `cne_metrics`);
 // --metrics-level=off|counters|full (default full) is the runtime kill
 // switch.
+//
+// Fault drills: --failpoints=SPEC arms deterministic fault injection
+// (grammar in src/util/failpoint.h, e.g. "wal.fsync=err:EIO@3"), seeded
+// by --failpoints-seed for the probabilistic triggers. In a binary built
+// with -DCNE_FAILPOINTS=OFF the flag is refused loudly rather than
+// silently ignored. Faults exercise the service's degradation path (docs/
+// ARCHITECTURE.md, "Failure model & degradation"); the run keeps serving
+// read-only when the journal fails instead of dying.
+//
+// Exit codes: 0 success; 1 runtime error; 2 usage error; 3 finished but
+// the service degraded to read-only; 4 the service failed mid-execution;
+// 5 finished healthy but a checkpoint could not be written.
 
 #include <algorithm>
 #include <cstdio>
@@ -48,6 +61,7 @@
 #include "service/workload.h"
 #include "tool_common.h"
 #include "util/cli.h"
+#include "util/failpoint.h"
 
 using namespace cne;
 
@@ -62,6 +76,7 @@ int Usage() {
                "                 [--snapshot-dir=DIR --checkpoint-every=N]\n"
                "                 [--metrics-level=off|counters|full "
                "--metrics-json=PATH]\n"
+               "                 [--failpoints=SPEC --failpoints-seed=S]\n"
                "see the header of tools/cne_serve.cc for details\n");
   return 2;
 }
@@ -74,6 +89,8 @@ void PrintReport(const ServiceReport& report, const ServiceOptions& options,
         "{\"algorithm\": \"%s\", \"epsilon\": %g, \"lifetime_budget\": %g,\n"
         " \"threads\": %d, \"queries\": %zu, \"answered\": %llu, "
         "\"rejected\": %llu,\n"
+        " \"rejected_budget\": %llu, \"rejected_unavailable\": %llu,\n"
+        " \"health\": \"%s\", \"sealed\": %s,\n"
         " \"seconds\": %.6f, \"qps\": %.1f,\n"
         " \"vertices_released\": %llu, \"cache_hit_rate\": %.4f, "
         "\"uploaded_bytes\": %.0f,\n"
@@ -86,8 +103,11 @@ void PrintReport(const ServiceReport& report, const ServiceOptions& options,
                                       : options.epsilon,
         options.num_threads, report.answers.size(),
         static_cast<unsigned long long>(report.answered),
-        static_cast<unsigned long long>(report.rejected), report.seconds,
-        report.QueriesPerSecond(),
+        static_cast<unsigned long long>(report.rejected),
+        static_cast<unsigned long long>(report.rejected_budget),
+        static_cast<unsigned long long>(report.rejected_unavailable),
+        ServiceHealthName(report.health), report.sealed ? "true" : "false",
+        report.seconds, report.QueriesPerSecond(),
         static_cast<unsigned long long>(report.store.releases), hit_rate,
         report.store.UploadedBytes(),
         static_cast<unsigned long long>(report.budget_vertices_charged),
@@ -102,10 +122,15 @@ void PrintReport(const ServiceReport& report, const ServiceOptions& options,
               ToString(options.algorithm), options.epsilon,
               options.lifetime_budget > 0.0 ? options.lifetime_budget
                                             : options.epsilon);
-  std::printf("queries            %zu (%llu answered, %llu rejected)\n",
+  std::printf("queries            %zu (%llu answered, %llu rejected: "
+              "%llu budget, %llu unavailable)\n",
               report.answers.size(),
               static_cast<unsigned long long>(report.answered),
-              static_cast<unsigned long long>(report.rejected));
+              static_cast<unsigned long long>(report.rejected),
+              static_cast<unsigned long long>(report.rejected_budget),
+              static_cast<unsigned long long>(report.rejected_unavailable));
+  std::printf("health             %s%s\n", ServiceHealthName(report.health),
+              report.sealed ? "" : " (some batches were not journaled)");
   std::printf("throughput         %.1f queries/s (%.3fs on %d thread%s)\n",
               report.QueriesPerSecond(), report.seconds,
               options.num_threads, options.num_threads == 1 ? "" : "s");
@@ -134,6 +159,10 @@ void PrintReport(const ServiceReport& report, const ServiceOptions& options,
 void FoldReport(ServiceReport&& batch, ServiceReport& total) {
   total.answered += batch.answered;
   total.rejected += batch.rejected;
+  total.rejected_budget += batch.rejected_budget;
+  total.rejected_unavailable += batch.rejected_unavailable;
+  total.health = batch.health;  // the latest batch knows the final state
+  total.sealed = total.sealed && batch.sealed;
   total.seconds += batch.seconds;
   total.groups_formed += batch.groups_formed;
   total.planner_seconds += batch.planner_seconds;
@@ -211,6 +240,22 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    const std::string failpoints = cl.GetString("failpoints");
+    if (!failpoints.empty()) {
+      try {
+        fail::Configure(failpoints,
+                        static_cast<uint64_t>(cl.GetInt("failpoints-seed", 0)));
+        std::fprintf(stderr, "failpoints armed: %s\n",
+                     fail::Describe().c_str());
+      } catch (const std::exception& e) {
+        // Covers both a malformed spec and a binary compiled with
+        // -DCNE_FAILPOINTS=OFF — a fault drill must never run faultless
+        // silently.
+        std::fprintf(stderr, "error: --failpoints: %s\n", e.what());
+        return 2;
+      }
+    }
+
     QueryService service(graph, options);
     if (service.persistent() && service.recovery().snapshot_loaded) {
       std::fprintf(stderr,
@@ -227,21 +272,45 @@ int main(int argc, char** argv) {
 
     // Submit in checkpoint-sized batches (one batch when N = 0), with a
     // final checkpoint so a clean shutdown restarts from snapshot alone.
+    // A failed checkpoint is reported, not fatal: the WAL keeps the run
+    // durable (or the service degrades to read-only and says so in the
+    // exit code).
     ServiceReport report;
+    bool checkpoint_failed = false;
+    const auto try_checkpoint = [&]() {
+      try {
+        report.checkpoint_seconds = service.Checkpoint();
+      } catch (const std::exception& e) {
+        checkpoint_failed = true;
+        std::fprintf(stderr, "warning: checkpoint failed: %s\n", e.what());
+      }
+    };
     const size_t batch_size =
         checkpoint_every > 0 ? checkpoint_every : workload.size();
-    for (size_t begin = 0; begin < workload.size(); begin += batch_size) {
-      const size_t end = std::min(workload.size(), begin + batch_size);
-      FoldReport(service.Submit({workload.begin() + begin,
-                                 workload.begin() + end}),
-                 report);
-      if (service.persistent() && checkpoint_every > 0 &&
-          end < workload.size()) {
-        report.checkpoint_seconds = service.Checkpoint();
+    try {
+      for (size_t begin = 0; begin < workload.size(); begin += batch_size) {
+        const size_t end = std::min(workload.size(), begin + batch_size);
+        FoldReport(service.Submit({workload.begin() + begin,
+                                   workload.begin() + end}),
+                   report);
+        if (service.persistent() && checkpoint_every > 0 &&
+            end < workload.size()) {
+          try_checkpoint();
+        }
       }
+    } catch (const std::exception& e) {
+      // A mid-execution failure latches ServiceHealth::kFailed and
+      // rethrows; durable state is intact on disk, this process is done.
+      if (service.health() == ServiceHealth::kFailed) {
+        std::fprintf(stderr, "error: service failed mid-execution: %s\n",
+                     e.what());
+        return 4;
+      }
+      throw;
     }
-    if (service.persistent()) {
-      report.checkpoint_seconds = service.Checkpoint();
+    if (service.persistent() &&
+        service.health() != ServiceHealth::kFailed) {
+      try_checkpoint();
     }
     if (options.metrics_level != obs::MetricsLevel::kOff) {
       // Re-snapshot after the final checkpoint so its span is included.
@@ -273,7 +342,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "wrote %zu answers to %s\n",
                    report.answers.size(), out_path.c_str());
     }
-    return 0;
+    switch (service.health()) {
+      case ServiceHealth::kFailed:
+        std::fprintf(stderr, "error: service failed mid-execution\n");
+        return 4;
+      case ServiceHealth::kDegradedReadOnly:
+        std::fprintf(stderr,
+                     "warning: service finished degraded (read-only)\n");
+        return 3;
+      case ServiceHealth::kHealthy:
+        break;
+    }
+    return checkpoint_failed ? 5 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
