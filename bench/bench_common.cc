@@ -11,6 +11,7 @@
 #endif
 
 #include "graph/graph_stats.h"
+#include "util/cpu_features.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -156,7 +157,9 @@ std::string HardwareContextJson() {
 #endif
   std::ostringstream out;
   out << "{\"hardware_concurrency\": " << std::thread::hardware_concurrency()
-      << ", \"affinity_cores\": " << affinity << "}";
+      << ", \"affinity_cores\": " << affinity << ", \"simd_level\": \""
+      << SimdLevelName(ActiveSimdLevel()) << "\", \"simd_detected\": \""
+      << SimdLevelName(DetectedSimdLevel()) << "\"}";
   return out.str();
 }
 

@@ -47,6 +47,7 @@
 #include "service/query_service.h"
 #include "service/workload.h"
 #include "util/cli.h"
+#include "util/cpu_features.h"
 #include "util/timer.h"
 
 using namespace cne;
@@ -83,6 +84,9 @@ ServiceRun RunService(const BipartiteGraph& graph, ServiceOptions options,
     if (r + 1 == repeats) run.last = std::move(report);
   }
   run.seconds = timer.Seconds();
+  // Submit no longer snapshots the registry (too costly per batch); pull
+  // the cumulative snapshot once, outside the timed loop.
+  run.last.metrics = service.SnapshotMetrics();
   run.answers = run.last.answers;
   return run;
 }
@@ -348,8 +352,9 @@ int main(int argc, char** argv) {
     json << "\n    {\"shape\": " << bench::GraphShapeJson(dataset)
          << ",\n     \"source_degree\": " << g.Degree(layer, source)
          << ", \"candidates\": " << workload.size()
-         << ", \"repeats\": " << scale_repeats
-         << ", \"unplanned_seconds\": " << off.seconds
+         << ", \"repeats\": " << scale_repeats << ", \"simd_level\": \""
+         << SimdLevelName(ActiveSimdLevel())
+         << "\", \"unplanned_seconds\": " << off.seconds
          << ", \"planned_seconds\": " << on.seconds
          << ", \"speedup_vs_unplanned\": "
          << (on.seconds > 0.0 ? off.seconds / on.seconds : 0.0)

@@ -15,6 +15,14 @@
 //   --smoke             small CI configuration (one dataset, 2k queries,
 //                       threads 1,2)
 //
+// Besides the per-dataset sweeps, a `thread_scaling` section sweeps the
+// first dataset from 1 thread up to every core this process may run on
+// and gates on the result: with 2+ cores available, peak throughput must
+// beat the 1-thread baseline or the bench exits non-zero (a scaling
+// regression — e.g. a new serial section — should fail CI loudly, not
+// drift into the archive). On a 1-core machine the gate is skipped with a
+// warning, since no sweep can demonstrate scaling there.
+//
 // The default workload is 10k queries over a 64-vertex hot set: the
 // regime the service is built for, where almost every query is a cache
 // hit on the shared noisy views and throughput is bounded by
@@ -26,16 +34,37 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "bench_common.h"
 #include "service/query_service.h"
 #include "service/workload.h"
 #include "util/cli.h"
+#include "util/cpu_features.h"
 
 using namespace cne;
 
 namespace {
+
+// Cores this process may actually run on (the affinity mask, not the
+// machine): a CI container pinned to one core must skip the scaling gate
+// even when the host has dozens.
+int CoresAvailable() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    return CPU_COUNT(&mask);
+  }
+#endif
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
 
 struct ThreadResult {
   int threads = 0;
@@ -192,7 +221,7 @@ int main(int argc, char** argv) {
       run.threads = threads;
       run.seconds = report.seconds;
       run.qps = report.QueriesPerSecond();
-      run.phases_json = bench::PhasesJson(report.metrics, "         ");
+      run.phases_json = bench::PhasesJson(service.SnapshotMetrics(), "         ");
       result.runs.push_back(run);
       std::fprintf(stderr, "%s  threads=%d  %.3fs  %.0f qps\n",
                    spec.code.c_str(), threads, run.seconds, run.qps);
@@ -226,6 +255,67 @@ int main(int argc, char** argv) {
   }
   json << "\n  ],\n";
 
+  // ---- Thread-scaling gate: 1..nproc sweep over the first dataset.
+  bool scaling_ok = true;
+  {
+    const int cores = CoresAvailable();
+    const DatasetSpec spec = ResolveDatasets(options.datasets)[0];
+    json << "  \"thread_scaling\": {\"cores_available\": " << cores
+         << ", \"dataset\": \"" << spec.code << "\"";
+    if (cores < 2) {
+      std::fprintf(stderr,
+                   "WARNING: only %d core(s) available; thread-scaling "
+                   "gate skipped (cannot demonstrate scaling on one "
+                   "core)\n",
+                   cores);
+      json << ", \"skipped\": true, \"runs\": []},\n";
+    } else {
+      const BipartiteGraph& g = bench::CachedDataset(spec);
+      Rng workload_rng(options.seed);
+      const std::vector<QueryPair> workload = MakeHotSetWorkload(
+          g, spec.query_layer, queries, hot, workload_rng);
+      // 1, 2, 4, ... plus the full affinity count itself.
+      std::vector<int> sweep;
+      for (int t = 1; t < cores; t *= 2) sweep.push_back(t);
+      sweep.push_back(cores);
+      double base_qps = 0.0;
+      double peak_qps = 0.0;
+      json << ", \"skipped\": false, \"runs\": [";
+      for (size_t i = 0; i < sweep.size(); ++i) {
+        ServiceOptions service_options;
+        service_options.algorithm = *algorithm;
+        service_options.epsilon = options.epsilon;
+        service_options.num_threads = sweep[i];
+        service_options.seed = options.seed;
+        QueryService service(g, service_options);
+        const ServiceReport report = service.Submit(workload);
+        const double qps = report.QueriesPerSecond();
+        if (sweep[i] == 1) base_qps = qps;
+        peak_qps = std::max(peak_qps, qps);
+        std::fprintf(stderr, "thread_scaling threads=%d %.0f qps\n",
+                     sweep[i], qps);
+        json << (i ? "," : "") << "\n    {\"threads\": " << sweep[i]
+             << ", \"qps\": " << qps << "}";
+      }
+      const double speedup = base_qps > 0.0 ? peak_qps / base_qps : 0.0;
+      // With 2+ cores, multi-threaded peak merely matching the 1-thread
+      // baseline means parallel execution buys nothing — a regression in
+      // this service, whose execution phase is embarrassingly parallel.
+      constexpr double kMinSpeedup = 1.15;
+      scaling_ok = speedup >= kMinSpeedup;
+      if (!scaling_ok) {
+        std::fprintf(stderr,
+                     "THREAD-SCALING REGRESSION: peak %.0f qps is only "
+                     "%.2fx the 1-thread %.0f qps (gate: %.2fx) with %d "
+                     "cores available\n",
+                     peak_qps, speedup, base_qps, kMinSpeedup, cores);
+      }
+      json << "\n  ], \"speedup\": " << speedup
+           << ", \"min_speedup\": " << kMinSpeedup << ", \"passed\": "
+           << (scaling_ok ? "true" : "false") << "},\n";
+    }
+  }
+
   // ---- Scale section: hot-set-size sweep over generated BX-shaped
   // ---- graphs. Queries/second under the widest thread count is the
   // ---- canonical metric; the hot-set axis varies cache-sharing pressure.
@@ -258,16 +348,18 @@ int main(int argc, char** argv) {
       // Admission tail latency rides along as a second gated metric
       // (lower is better): it bounds per-query service overhead
       // independently of the execution phase that dominates qps.
-      const obs::PhaseStats* admission = report.metrics.Phase("admission");
+      const obs::MetricsSnapshot run_metrics = service.SnapshotMetrics();
+      const obs::PhaseStats* admission = run_metrics.Phase("admission");
       json << "\n    {\"shape\": " << bench::GraphShapeJson(dataset)
            << ",\n     \"hot_set\": " << scale_hot
            << ", \"queries\": " << workload.size()
-           << ", \"threads\": " << threads
+           << ", \"threads\": " << threads << ", \"simd_level\": \""
+           << SimdLevelName(ActiveSimdLevel()) << "\""
            << ", \"seconds\": " << report.seconds
            << ", \"vertices_released\": " << report.store.releases
            << ", \"cache_hit_rate\": " << report.store.CacheHitRate()
            << ",\n     \"phases\": "
-           << bench::PhasesJson(report.metrics, "     ")
+           << bench::PhasesJson(run_metrics, "     ")
            << ",\n     \"scale_metric\": "
            << bench::ScaleMetricJson("qps", report.QueriesPerSecond(), true)
            << ",\n     \"extra_scale_metrics\": ["
@@ -286,5 +378,5 @@ int main(int argc, char** argv) {
     out << json.str();
     std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   }
-  return 0;
+  return scaling_ok ? 0 : 1;
 }

@@ -39,6 +39,7 @@
 #include "service/workload.h"
 #include "util/binary_io.h"
 #include "util/cli.h"
+#include "util/cpu_features.h"
 #include "util/timer.h"
 
 using namespace cne;
@@ -296,8 +297,9 @@ int main(int argc, char** argv) {
     entry << "{\"shape\": " << bench::GraphShapeJson(dataset)
           << ",\n     \"hot_set\": " << hot
           << ", \"checkpointed_queries\": " << sw1.size()
-          << ", \"wal_queries\": " << sw2.size()
-          << ",\n     \"checkpoint_seconds\": " << s_save
+          << ", \"wal_queries\": " << sw2.size() << ", \"simd_level\": \""
+          << SimdLevelName(ActiveSimdLevel())
+          << "\",\n     \"checkpoint_seconds\": " << s_save
           << ", \"snapshot_bytes\": " << s_bytes
           << ", \"warm_start_seconds\": " << s_warm
           << ", \"wal_replay_records\": " << s_wal_records

@@ -13,8 +13,10 @@ same shape (e.g. per-phase latency quantiles). Every metric is gated.
 Metrics are matched across files by the entry's axes — the generator draw
 count and exponent (from `shape`) plus whichever bench axis the entry
 carries (`hot_set` for ext_service, `candidates` for ext_batch;
-ext_intersect and ext_snapshot are fully identified by the shape) — plus
-the metric name. The check fails when a matched metric regresses by more
+ext_intersect and ext_snapshot are fully identified by the shape), the
+entry's `simd_level` when present (numbers from different ISA levels are
+different experiments, not regressions of each other) — plus the metric
+name. The check fails when a matched metric regresses by more
 than the threshold in the direction `higher_is_better` declares; metric
 names ending in `_p99_seconds` are always gated lower-is-better, whatever
 the file claims — a latency quantile that "improves" by growing is a bug
@@ -50,6 +52,11 @@ def entry_axes(entry):
         shape.get("exponent"),
         entry.get("hot_set"),
         entry.get("candidates"),
+        # SIMD level is an axis, not noise: a baseline recorded on an
+        # AVX-512 machine must not gate a scalar-only runner (the numbers
+        # differ by an order of magnitude by design). Mismatched levels
+        # fall out as skip/new entries instead of false regressions.
+        entry.get("simd_level"),
     )
 
 
@@ -86,12 +93,14 @@ def load_scale(path):
 
 
 def describe(key):
-    draws, exponent, hot_set, candidates, _name = key
+    draws, exponent, hot_set, candidates, simd_level, _name = key
     parts = [f"draws={draws}", f"exp={exponent}"]
     if hot_set is not None:
         parts.append(f"hot_set={hot_set}")
     if candidates is not None:
         parts.append(f"candidates={candidates}")
+    if simd_level is not None:
+        parts.append(f"simd={simd_level}")
     return " ".join(parts)
 
 

@@ -4,9 +4,167 @@
 #include <bit>
 #include <utility>
 
+#include "graph/set_ops_cost.h"
+#include "graph/set_ops_kernels.h"
 #include "util/logging.h"
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <xmmintrin.h>
+#endif
+
 namespace cne {
+
+namespace simd {
+
+uint64_t AndPopcountScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return count;
+}
+
+uint64_t OrPopcountScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i] | b[i]));
+  }
+  return count;
+}
+
+uint64_t PopcountScalar(const uint64_t* w, size_t n) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(w[i]));
+  }
+  return count;
+}
+
+const WordKernels& WordKernelsFor(SimdLevel level) {
+  static constexpr WordKernels kScalarKernels = {
+      &AndPopcountScalar, &OrPopcountScalar, &PopcountScalar};
+#if CNE_HAVE_X86_SIMD
+  static constexpr WordKernels kAvx2Kernels = {
+      &AndPopcountAvx2, &OrPopcountAvx2, &PopcountAvx2};
+  static constexpr WordKernels kAvx512Kernels = {
+      &AndPopcountAvx512, &OrPopcountAvx512, &PopcountAvx512};
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return kAvx512Kernels;
+    case SimdLevel::kAvx2:
+      return kAvx2Kernels;
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  return kScalarKernels;
+}
+
+}  // namespace simd
+
+// ---- calibrated cost model ----
+
+namespace {
+#include "graph/set_ops_calibration.inc"
+}  // namespace
+
+const KernelCostTable& CostTableFor(SimdLevel level) {
+  return kDefaultCostTables[static_cast<int>(level)];
+}
+
+double PredictKernelNs(SetKernel kernel, uint64_t work,
+                       const KernelCostTable& table) {
+  const double per_unit =
+      table.ns_per_unit[static_cast<int>(kernel)][WorkBucket(work)];
+  return per_unit * static_cast<double>(work);
+}
+
+const char* SetKernelName(SetKernel kernel) {
+  switch (kernel) {
+    case SetKernel::kScalarMerge:
+      return "scalar_merge";
+    case SetKernel::kGalloping:
+      return "galloping";
+    case SetKernel::kBitmapAnd:
+      return "bitmap_and";
+    case SetKernel::kProbeBitmap:
+      return "probe_bitmap";
+    case SetKernel::kBitmapProbe:
+      return "bitmap_probe";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The chooser shared by IntersectionSize and DispatchedKernelName: the
+// operand representations fix the applicable kernels, the calibrated
+// table prices them, argmin wins. Falls back to the pre-calibration
+// kGallopRatio rule if a table entry is unusable (<= 0).
+SetKernel ChooseIntersectKernel(const SetView& a, const SetView& b) {
+  if (a.IsBitmap() && b.IsBitmap()) {
+    const size_t words_a = a.bitmap().Words().size();
+    const size_t words_b = b.bitmap().Words().size();
+    const KernelCostTable& table = ActiveCostTable();
+    const uint64_t and_work = BitmapAndWork(words_a, words_b);
+    // The skip-zero probe walks the lower-popcount operand's words.
+    const bool a_sparse = a.Size() <= b.Size();
+    const uint64_t probe_work = BitmapProbeWork(
+        a_sparse ? words_a : words_b, a_sparse ? a.Size() : b.Size());
+    const double and_ns = PredictKernelNs(SetKernel::kBitmapAnd, and_work,
+                                          table);
+    const double probe_ns = PredictKernelNs(SetKernel::kBitmapProbe,
+                                            probe_work, table);
+    if (and_ns <= 0 || probe_ns <= 0) return SetKernel::kBitmapAnd;
+    return probe_ns < and_ns ? SetKernel::kBitmapProbe : SetKernel::kBitmapAnd;
+  }
+  if (a.IsBitmap() || b.IsBitmap()) return SetKernel::kProbeBitmap;
+  const uint64_t small = std::min(a.Size(), b.Size());
+  const uint64_t large = std::max(a.Size(), b.Size());
+  const KernelCostTable& table = ActiveCostTable();
+  const double merge_ns = PredictKernelNs(SetKernel::kScalarMerge,
+                                          MergeWork(small, large), table);
+  const double gallop_ns = PredictKernelNs(SetKernel::kGalloping,
+                                           GallopWork(small, large), table);
+  if (merge_ns <= 0 || gallop_ns <= 0) {
+    return large / (small + 1) >= kGallopRatio ? SetKernel::kGalloping
+                                               : SetKernel::kScalarMerge;
+  }
+  return gallop_ns < merge_ns ? SetKernel::kGalloping
+                              : SetKernel::kScalarMerge;
+}
+
+inline void PrefetchLine(const void* p) {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+#else
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#endif
+}
+
+// How many candidates ahead of the current one BatchIntersectionSize
+// prefetches. Far enough to cover a DRAM miss (~100ns) at typical
+// per-candidate kernel times, near enough not to thrash L1.
+constexpr size_t kBatchPrefetchDistance = 8;
+
+}  // namespace
+
+void PrefetchSetView(const SetView& view) {
+  if (view.IsBitmap()) {
+    const std::span<const uint64_t> words = view.bitmap().Words();
+    if (!words.empty()) {
+      PrefetchLine(words.data());
+      // Second line too: the first vector iteration of a 512-bit kernel
+      // consumes a full 64-byte line, and most bitmaps span many lines.
+      if (words.size() > 8) PrefetchLine(words.data() + 8);
+    }
+    return;
+  }
+  const std::span<const VertexId> ids = view.sorted();
+  if (!ids.empty()) PrefetchLine(ids.data());
+}
 
 DenseBitset DenseBitset::FromWords(std::vector<uint64_t> words,
                                    VertexId num_bits) {
@@ -19,15 +177,15 @@ DenseBitset DenseBitset::FromWords(std::vector<uint64_t> words,
         << "bits set beyond the domain in the trailing word";
   }
   DenseBitset bits;
-  bits.words_ = std::move(words);
+  // Copy into the 64-byte-aligned storage; snapshot records deserialize
+  // into a plain vector, which cannot be moved across allocators.
+  bits.words_.assign(words.begin(), words.end());
   bits.num_bits_ = num_bits;
   return bits;
 }
 
 uint64_t DenseBitset::Count() const {
-  uint64_t count = 0;
-  for (uint64_t word : words_) count += std::popcount(word);
-  return count;
+  return simd::ActiveWordKernels().popcount(words_.data(), words_.size());
 }
 
 std::vector<VertexId> DenseBitset::ToSortedVector(size_t hint) const {
@@ -96,9 +254,22 @@ uint64_t IntersectBitmapAnd(const DenseBitset& a, const DenseBitset& b) {
   const std::span<const uint64_t> wa = a.Words();
   const std::span<const uint64_t> wb = b.Words();
   const size_t n = std::min(wa.size(), wb.size());
+  return simd::ActiveWordKernels().and_popcount(wa.data(), wb.data(), n);
+}
+
+uint64_t IntersectBitmapProbe(const DenseBitset& sparse,
+                              const DenseBitset& dense) {
+  const std::span<const uint64_t> ws = sparse.Words();
+  const std::span<const uint64_t> wd = dense.Words();
+  const size_t n = std::min(ws.size(), wd.size());
   uint64_t count = 0;
+  // Deliberately scalar: the win over the vector AND is skipping the
+  // dense-side load on every zero word of the sparse side, which a
+  // branchless vector sweep cannot do.
   for (size_t i = 0; i < n; ++i) {
-    count += std::popcount(wa[i] & wb[i]);
+    const uint64_t w = ws[i];
+    if (w == 0) continue;
+    count += static_cast<uint64_t>(std::popcount(w & wd[i]));
   }
   return count;
 }
@@ -113,15 +284,20 @@ uint64_t IntersectProbeBitmap(std::span<const VertexId> probes,
 }
 
 uint64_t IntersectionSize(const SetView& a, const SetView& b) {
-  if (a.IsBitmap() && b.IsBitmap()) {
-    return IntersectBitmapAnd(a.bitmap(), b.bitmap());
-  }
-  if (a.IsBitmap()) return IntersectProbeBitmap(b.sorted(), a.bitmap());
-  if (b.IsBitmap()) return IntersectProbeBitmap(a.sorted(), b.bitmap());
-  const uint64_t small = std::min(a.Size(), b.Size());
-  const uint64_t large = std::max(a.Size(), b.Size());
-  if (large / (small + 1) >= kGallopRatio) {
-    return IntersectGalloping(a.sorted(), b.sorted());
+  switch (ChooseIntersectKernel(a, b)) {
+    case SetKernel::kBitmapAnd:
+      return IntersectBitmapAnd(a.bitmap(), b.bitmap());
+    case SetKernel::kBitmapProbe:
+      return a.Size() <= b.Size()
+                 ? IntersectBitmapProbe(a.bitmap(), b.bitmap())
+                 : IntersectBitmapProbe(b.bitmap(), a.bitmap());
+    case SetKernel::kProbeBitmap:
+      return a.IsBitmap() ? IntersectProbeBitmap(b.sorted(), a.bitmap())
+                          : IntersectProbeBitmap(a.sorted(), b.bitmap());
+    case SetKernel::kGalloping:
+      return IntersectGalloping(a.sorted(), b.sorted());
+    case SetKernel::kScalarMerge:
+      break;
   }
   return IntersectScalarMerge(a.sorted(), b.sorted());
 }
@@ -129,17 +305,28 @@ uint64_t IntersectionSize(const SetView& a, const SetView& b) {
 void BatchIntersectionSize(const SetView& base,
                            std::span<const SetView> candidates,
                            std::span<uint64_t> out) {
+  CNE_CHECK(out.size() == candidates.size())
+      << "output size " << out.size() << " does not match "
+      << candidates.size() << " candidates";
   if (base.IsBitmap()) {
     const DenseBitset& bits = base.bitmap();
     for (size_t i = 0; i < candidates.size(); ++i) {
+      if (i + kBatchPrefetchDistance < candidates.size()) {
+        PrefetchSetView(candidates[i + kBatchPrefetchDistance]);
+      }
       const SetView& c = candidates[i];
-      out[i] = c.IsBitmap() ? IntersectBitmapAnd(bits, c.bitmap())
+      // Bitmap × bitmap goes through the calibrated chooser (bitmap_and
+      // vs the skip-zero probe); sorted candidates always probe.
+      out[i] = c.IsBitmap() ? IntersectionSize(base, c)
                             : IntersectProbeBitmap(c.sorted(), bits);
     }
     return;
   }
   const std::span<const VertexId> ids = base.sorted();
   for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i + kBatchPrefetchDistance < candidates.size()) {
+      PrefetchSetView(candidates[i + kBatchPrefetchDistance]);
+    }
     const SetView& c = candidates[i];
     if (c.IsBitmap()) {
       out[i] = IntersectProbeBitmap(ids, c.bitmap());
@@ -153,11 +340,7 @@ void BatchIntersectionSize(const SetView& base,
 }
 
 const char* DispatchedKernelName(const SetView& a, const SetView& b) {
-  if (a.IsBitmap() && b.IsBitmap()) return "bitmap_and";
-  if (a.IsBitmap() || b.IsBitmap()) return "probe_bitmap";
-  const uint64_t small = std::min(a.Size(), b.Size());
-  const uint64_t large = std::max(a.Size(), b.Size());
-  return large / (small + 1) >= kGallopRatio ? "galloping" : "scalar_merge";
+  return SetKernelName(ChooseIntersectKernel(a, b));
 }
 
 uint64_t UnionScalarMerge(std::span<const VertexId> a,
@@ -183,14 +366,9 @@ uint64_t UnionBitmapOr(const DenseBitset& a, const DenseBitset& b) {
   const std::span<const uint64_t> wb = b.Words();
   const std::span<const uint64_t> longer = wa.size() >= wb.size() ? wa : wb;
   const size_t n = std::min(wa.size(), wb.size());
-  uint64_t count = 0;
-  for (size_t i = 0; i < n; ++i) {
-    count += std::popcount(wa[i] | wb[i]);
-  }
-  for (size_t i = n; i < longer.size(); ++i) {
-    count += std::popcount(longer[i]);
-  }
-  return count;
+  const simd::WordKernels& kernels = simd::ActiveWordKernels();
+  return kernels.or_popcount(wa.data(), wb.data(), n) +
+         kernels.popcount(longer.data() + n, longer.size() - n);
 }
 
 uint64_t UnionSize(const SetView& a, const SetView& b) {

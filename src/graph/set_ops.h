@@ -5,25 +5,42 @@
 // *dense*: the expected noisy degree is d(1-p) + (n-d)p, so at ε = 1
 // (p ≈ 0.269) a noisy row covers ~27% of the opposite layer. One scalar
 // sorted merge cannot serve that whole density range well, so this module
-// provides two set representations and four kernels, plus a dispatcher
-// that picks the kernel from the operand representations and sizes:
+// provides two set representations and five kernels, plus a dispatcher
+// that picks the kernel from the operand representations and a
+// *calibrated* per-kernel cost model (set_ops_cost.h):
 //
 //   representation      kernel                    regime
 //   ------------------  ------------------------  --------------------------
 //   sorted × sorted     IntersectScalarMerge      comparable sizes
-//   sorted × sorted     IntersectGalloping        size ratio ≥ kGallopRatio
+//   sorted × sorted     IntersectGalloping        skewed sizes
 //   bitmap × bitmap     IntersectBitmapAnd        dense × dense (word AND +
-//                                                 popcount, 64 ids/cycle-ish)
+//                                                 popcount; SIMD below)
+//   bitmap × bitmap     IntersectBitmapProbe      sparse × dense bitmaps
+//                                                 (skip-zero word AND)
 //   sorted × bitmap     IntersectProbeBitmap      sparse × dense (O(1) probes)
 //
-// All four kernels return exactly the same count on equivalent inputs; the
-// property test (tests/graph/set_ops_test.cc) and the every-run self-check
-// in bench/ext_intersect.cc enforce this.
+// The word kernels (AND/OR + popcount, DenseBitset::Count) dispatch at
+// runtime onto per-ISA implementations — portable scalar, AVX2
+// nibble-LUT popcount, AVX-512 vpopcntq — probed via CPUID in
+// util/cpu_features and overridable with CNE_SIMD_LEVEL for tests and
+// benches (see set_ops_kernels.h).
+//
+// Alignment contract: DenseBitset word storage is 64-byte aligned, so a
+// 512-bit vector load of words [8k, 8k+8) never splits a cache line and
+// the AVX-512 kernels need no peeling prologue. SetView::Bitmap operands
+// inherit the contract from the DenseBitset they borrow.
+//
+// All kernels return exactly the same count on equivalent inputs at every
+// ISA level; the property tests (tests/graph/set_ops_test.cc,
+// tests/graph/simd_parity_test.cc) and the every-run self-check in
+// bench/ext_intersect.cc enforce this.
 
 #ifndef CNE_GRAPH_SET_OPS_H_
 #define CNE_GRAPH_SET_OPS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <new>
 #include <span>
 #include <vector>
 
@@ -31,9 +48,48 @@
 
 namespace cne {
 
+namespace detail {
+
+/// Minimal over-aligning allocator: storage for DenseBitset words. The
+/// 64-byte alignment is a correctness-adjacent perf contract (see the
+/// header comment), not an optimization a future refactor may drop.
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace detail
+
+/// 64-byte-aligned word storage — the representation behind DenseBitset.
+using AlignedWordVector =
+    std::vector<uint64_t, detail::AlignedAllocator<uint64_t, 64>>;
+
 /// Packed bitmap over the id domain [0, NumBits()): bit i is stored in word
 /// i/64. The dense-set representation behind NoisyNeighborSet's bitmap
-/// storage mode and the bitmap intersection kernels.
+/// storage mode and the bitmap intersection kernels. Word storage is
+/// 64-byte aligned (alignment contract above).
 class DenseBitset {
  public:
   DenseBitset() = default;
@@ -48,6 +104,7 @@ class DenseBitset {
   /// for bitmap-mode noisy views. `words` must be exactly
   /// (num_bits + 63) / 64 long with every bit at or beyond num_bits zero
   /// (fatal check otherwise: trailing garbage would corrupt popcounts).
+  /// Copies into aligned storage; serialized snapshots carry plain words.
   static DenseBitset FromWords(std::vector<uint64_t> words,
                                VertexId num_bits);
 
@@ -59,7 +116,7 @@ class DenseBitset {
     return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
   }
 
-  /// Number of set bits (popcount over all words).
+  /// Number of set bits (popcount over all words, SIMD-dispatched).
   uint64_t Count() const;
 
   std::span<const uint64_t> Words() const { return words_; }
@@ -69,7 +126,7 @@ class DenseBitset {
   std::vector<VertexId> ToSortedVector(size_t hint = 0) const;
 
  private:
-  std::vector<uint64_t> words_;
+  AlignedWordVector words_;
   VertexId num_bits_ = 0;
 };
 
@@ -106,8 +163,10 @@ class SetView {
   uint64_t size_ = 0;
 };
 
-/// Sorted × sorted size ratio beyond which the dispatcher switches from the
-/// scalar merge to galloping search.
+/// Sorted × sorted size ratio beyond which the *union* dispatcher (and the
+/// cost-model fallback, when a calibration entry is absent) switches from
+/// the scalar merge to galloping search. The intersection dispatcher
+/// itself prices merge vs galloping from the calibrated table.
 inline constexpr uint64_t kGallopRatio = 32;
 
 /// Scalar two-pointer merge over two sorted unique id ranges. The baseline
@@ -122,33 +181,49 @@ uint64_t IntersectScalarMerge(std::span<const VertexId> a,
 uint64_t IntersectGalloping(std::span<const VertexId> a,
                             std::span<const VertexId> b);
 
-/// Dense × dense kernel: 64-bit word AND + popcount. The bitsets may cover
-/// different domains; bits beyond the shorter domain cannot intersect.
+/// Dense × dense kernel: word AND + popcount, SIMD-dispatched (AVX2
+/// nibble-LUT / AVX-512 vpopcntq). The bitsets may cover different
+/// domains; bits beyond the shorter domain cannot intersect.
 uint64_t IntersectBitmapAnd(const DenseBitset& a, const DenseBitset& b);
+
+/// Sparse × dense bitmap kernel: walk `sparse`'s words, skip zero words,
+/// AND+popcount the rest against `dense`. Loads only half the data of
+/// IntersectBitmapAnd when `sparse` is mostly zero words; same count.
+uint64_t IntersectBitmapProbe(const DenseBitset& sparse,
+                              const DenseBitset& dense);
 
 /// Sparse × dense kernel: probe each sorted id into the bitmap, O(1) per
 /// probe. Ids at or beyond the bitmap's domain count as absent.
 uint64_t IntersectProbeBitmap(std::span<const VertexId> probes,
                               const DenseBitset& bits);
 
-/// Adaptive dispatcher: picks the kernel from the operand representations
-/// (bitmap × bitmap → word AND, sorted × bitmap → probe) and, for
-/// sorted × sorted, from the size ratio (galloping past kGallopRatio,
-/// scalar merge otherwise). Always equals IntersectScalarMerge on the
-/// equivalent sorted inputs.
+/// Adaptive dispatcher. Representations fix the candidate set (bitmap ×
+/// bitmap → {word AND, skip-zero probe}, sorted × bitmap → probe, sorted ×
+/// sorted → {merge, galloping}); within it, the calibrated cost model
+/// (set_ops_cost.h) predicts each kernel's ns from the operand sizes and
+/// the active SIMD level and runs the argmin. Always equals
+/// IntersectScalarMerge on the equivalent sorted inputs.
 uint64_t IntersectionSize(const SetView& a, const SetView& b);
 
 /// One-vs-many intersection: writes |base ∩ candidates[i]| into out[i] for
 /// every candidate. Same counts as calling IntersectionSize per pair — the
 /// point is the execution shape: the base operand's representation is
 /// resolved once outside the loop (its words or its sorted span stay hot in
-/// cache while every candidate streams past it), instead of re-dispatching
-/// and re-loading the shared row N times. This is the kernel under the
-/// workload planner's grouped execution and the shared-source loops of
-/// apps/topk and apps/projection. Requires out.size() == candidates.size().
+/// cache while every candidate streams past it), and each candidate's
+/// backing storage is software-prefetched a fixed distance ahead of its
+/// turn, so the per-candidate loads the hardware prefetcher cannot predict
+/// (they hop between unrelated view allocations) are already in flight.
+/// This is the kernel under the workload planner's grouped execution and
+/// the shared-source loops of apps/topk and apps/projection. Requires
+/// out.size() == candidates.size().
 void BatchIntersectionSize(const SetView& base,
                            std::span<const SetView> candidates,
                            std::span<uint64_t> out);
+
+/// Issues a prefetch for the first cache lines of `view`'s backing storage
+/// (bitmap words or sorted ids). Used by BatchIntersectionSize and the
+/// service GroupExecutor to overlap candidate-view loads with compute.
+void PrefetchSetView(const SetView& view);
 
 /// Name of the kernel the dispatcher would run for (a, b); for logs and the
 /// ext_intersect bench.
@@ -161,8 +236,8 @@ const char* DispatchedKernelName(const SetView& a, const SetView& b);
 uint64_t UnionScalarMerge(std::span<const VertexId> a,
                           std::span<const VertexId> b);
 
-/// Dense × dense union: 64-bit word OR + popcount over the overlapping
-/// words, plus the popcount of the longer operand's tail.
+/// Dense × dense union: word OR + popcount over the overlapping words
+/// (SIMD-dispatched), plus the popcount of the longer operand's tail.
 uint64_t UnionBitmapOr(const DenseBitset& a, const DenseBitset& b);
 
 /// Adaptive union dispatcher: bitmap × bitmap → word OR + popcount; any

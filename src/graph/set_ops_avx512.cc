@@ -1,0 +1,67 @@
+// AVX-512 word kernels (see set_ops_kernels.h). This TU alone is
+// compiled with -mavx512f -mavx512bw -mavx512vl -mavx512vpopcntdq;
+// nothing here may be called before the CPUID dispatch in
+// util/cpu_features confirms the whole tier (WordKernelsFor enforces
+// that).
+//
+// The body is the natural form the instruction set was built for:
+// vpandq/vporq + native vpopcntq (VPOPCNTDQ), eight words per
+// iteration. The ragged tail — word counts not divisible by 8, i.e.
+// domain % 512 != 0 — is handled with a masked zero-fill load
+// (_mm512_maskz_loadu_epi64) instead of a scalar epilogue, so even a
+// 1-word bitset takes the vector path and the parity tests cover the
+// mask arithmetic.
+
+#include "graph/set_ops_kernels.h"
+
+#if CNE_HAVE_X86_SIMD
+
+#include <immintrin.h>
+
+namespace cne {
+namespace simd {
+
+namespace {
+
+template <typename Combine>
+inline uint64_t Sweep(const uint64_t* a, const uint64_t* b, size_t n,
+                      Combine combine) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(combine(va, vb)));
+  }
+  if (i < n) {
+    const __mmask8 tail =
+        static_cast<__mmask8>((1u << (n - i)) - 1u);
+    const __m512i va = _mm512_maskz_loadu_epi64(tail, a + i);
+    const __m512i vb = _mm512_maskz_loadu_epi64(tail, b + i);
+    // Zero-filled lanes contribute popcount 0 whatever `combine` is
+    // (AND, OR, and identity all map 0,0 -> 0).
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(combine(va, vb)));
+  }
+  return static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+}
+
+}  // namespace
+
+uint64_t AndPopcountAvx512(const uint64_t* a, const uint64_t* b, size_t n) {
+  return Sweep(a, b, n,
+               [](__m512i x, __m512i y) { return _mm512_and_si512(x, y); });
+}
+
+uint64_t OrPopcountAvx512(const uint64_t* a, const uint64_t* b, size_t n) {
+  return Sweep(a, b, n,
+               [](__m512i x, __m512i y) { return _mm512_or_si512(x, y); });
+}
+
+uint64_t PopcountAvx512(const uint64_t* w, size_t n) {
+  return Sweep(w, w, n, [](__m512i x, __m512i) { return x; });
+}
+
+}  // namespace simd
+}  // namespace cne
+
+#endif  // CNE_HAVE_X86_SIMD

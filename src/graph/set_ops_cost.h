@@ -1,0 +1,119 @@
+// Calibrated kernel-choice cost model for the set-operation dispatcher.
+//
+// The old dispatcher picked kernels from hard-coded representation and
+// size-ratio heuristics, and BENCH_intersect.json showed what that
+// costs: dispatch_auto reached 54x over scalar where the best kernel
+// per cell reaches 65x, with outright mispicks at mid density. This
+// model replaces the heuristics with measured numbers.
+//
+// Every kernel's running time is (to first order) linear in a kernel-
+// specific *work* count computable from the operand sizes alone:
+//
+//   scalar_merge  |a| + |b|              two-pointer sweep
+//   galloping     s * (1 + log2(l/s+1))  s needles, log-cost lookups
+//   bitmap_and    min(words_a, words_b)  word AND + popcount
+//   probe_bitmap  |probes|               O(1) bitmap tests
+//   bitmap_probe  words_s + |s|          skip-zero word AND (sparse side)
+//
+// What is NOT constant is the cost *per unit of work*: it moves with
+// fixed call overhead at tiny sizes and with the cache level the
+// operands stream from at large ones — and for the word kernels it
+// moves with the active SIMD tier. So the table is per (ISA level,
+// kernel, log2-work bucket): ns-per-unit measured by tools/cne_calibrate
+// on a density x size grid and baked in as a checked-in default
+// (set_ops_calibration.inc). The dispatcher predicts each applicable
+// kernel's ns as ns_per_unit[kernel][bucket(work)] * work and runs the
+// argmin; the ext_intersect bench records how far the pick lands from
+// the best applicable kernel per grid cell.
+//
+// Regenerate the default table with:
+//   build/tools/cne_calibrate --emit-inc > src/graph/set_ops_calibration.inc
+
+#ifndef CNE_GRAPH_SET_OPS_COST_H_
+#define CNE_GRAPH_SET_OPS_COST_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cpu_features.h"
+
+namespace cne {
+
+/// The intersection kernels the calibrated chooser prices. (Union
+/// kernels reuse the same unit costs: or+popcount has the same shape as
+/// and+popcount, and the merge/galloping structure is shared.)
+enum class SetKernel : int {
+  kScalarMerge = 0,
+  kGalloping = 1,
+  kBitmapAnd = 2,
+  kProbeBitmap = 3,
+  kBitmapProbe = 4,
+};
+
+inline constexpr int kNumSetKernels = 5;
+
+/// log2-work buckets: bucket b holds work in [2^(b-1), 2^b), bucket 0
+/// holds work <= 1. 22 buckets cover work up to 2^21 (2M units — a
+/// 128Mi-bit bitmap's word count); larger work clamps into the top
+/// bucket, where cost-per-unit has flattened to DRAM bandwidth anyway.
+inline constexpr int kNumWorkBuckets = 22;
+
+/// ns-per-work-unit for each (kernel, bucket) at one ISA level.
+struct KernelCostTable {
+  double ns_per_unit[kNumSetKernels][kNumWorkBuckets];
+};
+
+inline int WorkBucket(uint64_t work) {
+  const int b = std::bit_width(work);  // 0 for work == 0
+  return b >= kNumWorkBuckets ? kNumWorkBuckets - 1 : b;
+}
+
+// ---- work counts (shared by the dispatcher and the calibration tool) ----
+
+inline uint64_t MergeWork(uint64_t size_a, uint64_t size_b) {
+  return size_a + size_b;
+}
+
+inline uint64_t GallopWork(uint64_t small, uint64_t large) {
+  if (small == 0) return 1;
+  if (large < small) {
+    const uint64_t t = small;
+    small = large;
+    large = t;
+  }
+  return small * (1 + std::bit_width(large / small + 1));
+}
+
+inline uint64_t BitmapAndWork(size_t words_a, size_t words_b) {
+  const size_t w = words_a < words_b ? words_a : words_b;
+  return w == 0 ? 1 : w;
+}
+
+inline uint64_t ProbeWork(uint64_t probes) { return probes == 0 ? 1 : probes; }
+
+inline uint64_t BitmapProbeWork(size_t sparse_words, uint64_t sparse_size) {
+  const uint64_t w = sparse_words + sparse_size;
+  return w == 0 ? 1 : w;
+}
+
+/// Predicted nanoseconds for running `kernel` over `work` units.
+double PredictKernelNs(SetKernel kernel, uint64_t work,
+                       const KernelCostTable& table);
+
+/// The checked-in calibration for one ISA level (set_ops_calibration.inc).
+const KernelCostTable& CostTableFor(SimdLevel level);
+
+/// Table for the currently active level — what the dispatcher prices with.
+inline const KernelCostTable& ActiveCostTable() {
+  return CostTableFor(ActiveSimdLevel());
+}
+
+/// Canonical kernel name ("scalar_merge", "galloping", "bitmap_and",
+/// "probe_bitmap", "bitmap_probe") — matches DispatchedKernelName and the
+/// BENCH_intersect.json kernel rows.
+const char* SetKernelName(SetKernel kernel);
+
+}  // namespace cne
+
+#endif  // CNE_GRAPH_SET_OPS_COST_H_

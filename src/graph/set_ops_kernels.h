@@ -1,0 +1,82 @@
+// Internal: per-ISA word-kernel entry points behind graph/set_ops.
+//
+// Each ISA tier lives in its own translation unit compiled with that
+// tier's arch flags (src/CMakeLists.txt sets them per file), so the
+// vector instructions can never leak into code that runs before the
+// CPUID dispatch picks a level:
+//
+//   set_ops.cc        — the scalar reference kernels (std::popcount),
+//                       always compiled with the base arch flags.
+//   set_ops_avx2.cc   — 256-bit AND/OR + nibble-LUT vpshufb popcount
+//                       (Mula's algorithm; AVX2 has no vector popcount).
+//   set_ops_avx512.cc — 512-bit vpandq/vporq + native vpopcntq
+//                       (VPOPCNTDQ), masked loads for the ragged tail
+//                       when the word count is not a multiple of 8
+//                       (domain % 512 != 0).
+//
+// All three agree bit-for-bit on every input; tests/graph/simd_parity
+// and the ext_intersect --self-check sweep enforce it at every level.
+// The function-pointer table is resolved per call from
+// ActiveSimdLevel() — one relaxed atomic load — so tests and benches
+// can re-point it mid-process via ForceSimdLevel().
+//
+// Contract: `a`, `b`, `w` point at readable uint64_t ranges of length
+// `n`. DenseBitset word storage is 64-byte aligned (alignment contract
+// in set_ops.h), so vector loads from word 0 never split a cache line;
+// the kernels still use unaligned load encodings, which cost nothing on
+// aligned addresses and keep subspan callers legal.
+
+#ifndef CNE_GRAPH_SET_OPS_KERNELS_H_
+#define CNE_GRAPH_SET_OPS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cpu_features.h"
+
+// The vector TUs exist only on x86-64; elsewhere WordKernelsFor returns
+// scalar for every level (and cpu_features never detects above scalar).
+#if defined(__x86_64__) || defined(_M_X64)
+#define CNE_HAVE_X86_SIMD 1
+#else
+#define CNE_HAVE_X86_SIMD 0
+#endif
+
+namespace cne {
+namespace simd {
+
+/// popcount(a[i] & b[i]), popcount(a[i] | b[i]), popcount(w[i]) summed
+/// over i in [0, n).
+struct WordKernels {
+  uint64_t (*and_popcount)(const uint64_t* a, const uint64_t* b, size_t n);
+  uint64_t (*or_popcount)(const uint64_t* a, const uint64_t* b, size_t n);
+  uint64_t (*popcount)(const uint64_t* w, size_t n);
+};
+
+uint64_t AndPopcountScalar(const uint64_t* a, const uint64_t* b, size_t n);
+uint64_t OrPopcountScalar(const uint64_t* a, const uint64_t* b, size_t n);
+uint64_t PopcountScalar(const uint64_t* w, size_t n);
+
+#if CNE_HAVE_X86_SIMD
+uint64_t AndPopcountAvx2(const uint64_t* a, const uint64_t* b, size_t n);
+uint64_t OrPopcountAvx2(const uint64_t* a, const uint64_t* b, size_t n);
+uint64_t PopcountAvx2(const uint64_t* w, size_t n);
+
+uint64_t AndPopcountAvx512(const uint64_t* a, const uint64_t* b, size_t n);
+uint64_t OrPopcountAvx512(const uint64_t* a, const uint64_t* b, size_t n);
+uint64_t PopcountAvx512(const uint64_t* w, size_t n);
+#endif
+
+/// The kernel table for one ISA tier; `level` must not exceed
+/// DetectedSimdLevel() (guaranteed by ActiveSimdLevel()/ForceSimdLevel).
+const WordKernels& WordKernelsFor(SimdLevel level);
+
+/// Table for the level the process is currently dispatching on.
+inline const WordKernels& ActiveWordKernels() {
+  return WordKernelsFor(ActiveSimdLevel());
+}
+
+}  // namespace simd
+}  // namespace cne
+
+#endif  // CNE_GRAPH_SET_OPS_KERNELS_H_

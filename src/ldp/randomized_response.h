@@ -101,10 +101,16 @@ class NoisyNeighborSet {
 enum class RrStorage { kAuto, kSorted, kBitmap };
 
 /// Expected-density threshold at and above which kAuto packs the release
-/// into a bitmap. At 1/16 the bitmap (n/8 bytes) is at most half the
-/// sorted vector's memory (4 bytes/id) and word-AND intersection is far
-/// past its win over the merge kernels (crossover near density 1/128).
-inline constexpr double kBitmapDensityThreshold = 1.0 / 16.0;
+/// into a bitmap. Set at the intersection-cost crossover (near density
+/// 1/128, where the word kernels overtake the merge family): the old
+/// 1/16 memory-halving threshold left mid-density releases (e.g. 0.01 at
+/// ε≈3) in sorted vectors, forcing the dispatcher through a 2.4×-slower
+/// merge where the bitmap kernels — now SIMD — win outright
+/// (BENCH_intersect.json, 0.01×0.01 cell). Memory still favors the
+/// bitmap here: n/8 bytes vs 4 bytes/id breaks even at density 1/32,
+/// and below that the bitmap costs at most 4× the sorted row — bounded,
+/// and bought back many times over on the query path.
+inline constexpr double kBitmapDensityThreshold = 1.0 / 128.0;
 
 /// Domains smaller than one bitmap word stay sorted under kAuto: there is
 /// nothing to win and the sorted path keeps the tiny-domain distribution

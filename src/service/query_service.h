@@ -212,8 +212,10 @@ struct ServiceReport {
   double checkpoint_seconds = 0.0;     ///< duration of the last Checkpoint()
 
   /// Service-lifetime metrics (counters + per-phase latency quantiles,
-  /// obs/metrics.h). Empty at metrics_level = kOff; counters only at
-  /// kCounters. Cumulative, so the latest report supersedes earlier ones.
+  /// obs/metrics.h). Submit leaves this EMPTY — a registry snapshot is
+  /// too expensive for the per-batch hot path — so callers that want it
+  /// fill it from QueryService::SnapshotMetrics() at their own cadence.
+  /// Cumulative, so the latest snapshot supersedes earlier ones.
   obs::MetricsSnapshot metrics;
 
   /// Answered queries per second. Rejections are excluded — they take

@@ -155,6 +155,10 @@ void GroupExecutor::ExecuteRun(const QueryGroup& group,
       for (const GroupItem& item : items) {
         candidate_views_.push_back(
             store_.View({layer, item.candidate}).View());
+        // Start each view's backing storage toward cache while the rest
+        // of the group is still being resolved from the store; the batch
+        // kernel's own N-ahead prefetch takes over from there.
+        PrefetchSetView(candidate_views_.back());
       }
       counts_.resize(items.size());
       BatchIntersectionSize(source_view.View(), candidate_views_, counts_);
@@ -184,6 +188,7 @@ void GroupExecutor::ExecuteRun(const QueryGroup& group,
         for (const GroupItem& item : items) {
           candidate_views_.push_back(
               store_.View({layer, item.candidate}).View());
+          PrefetchSetView(candidate_views_.back());
         }
         counts_.resize(items.size());
         BatchIntersectionSize(SetView::Sorted(neighbors), candidate_views_,
@@ -232,6 +237,7 @@ void GroupExecutor::ExecuteRun(const QueryGroup& group,
       for (const GroupItem& item : items) {
         candidate_views_.push_back(
             store_.View({layer, item.candidate}).View());
+        PrefetchSetView(candidate_views_.back());
         candidate_sorted_.push_back(
             SetView::Sorted(graph_.Neighbors(layer, item.candidate)));
       }

@@ -141,19 +141,22 @@ class GroupExecutor {
 
  private:
   /// One item per stride gets the clock pair; the estimate loops run a few
-  /// ns per item, so the stride must amortize two ~40 ns clock reads to a
-  /// sub-ns per-item cost.
-  static constexpr size_t kSampleStride = 64;
+  /// ns per item (post-SIMD), so the stride must amortize two ~40 ns clock
+  /// reads to a centi-ns per-item cost.
+  static constexpr size_t kSampleStride = 512;
 
   /// Runs one role-homogeneous span of items (`source_as_u` tells which
   /// role the source plays in all of them).
   void ExecuteRun(const QueryGroup& group, std::span<const GroupItem> items,
                   bool source_as_u, std::span<double> estimates);
 
-  /// Calls body(i) for i in [0, n). With post-process timing enabled, the
-  /// first item of every kSampleStride-item chunk is clocked and recorded;
-  /// the rest run in a tight inner loop with no per-item branch, so the
-  /// compiler optimizes the common path exactly as if timing were off.
+  /// Calls body(i) for i in [0, n). With post-process timing enabled, one
+  /// item per kSampleStride is clocked and recorded; the rest run in a
+  /// tight inner loop with no per-item branch, so the compiler optimizes
+  /// the common path exactly as if timing were off. The countdown persists
+  /// across calls: groups are often far smaller than the stride, and
+  /// restarting per call would clock every group's first item — at tens of
+  /// ns per clock pair that alone would dominate a ~60 ns/query submit.
   template <typename Body>
   void ForEachSampled(size_t n, Body&& body) {
     if (post_process_ == nullptr) {
@@ -162,12 +165,16 @@ class GroupExecutor {
     }
     size_t i = 0;
     while (i < n) {
-      const uint64_t t0 = obs::NowNanos();
-      body(i);
-      post_process_->Record(obs::NowNanos() - t0);
-      ++i;
-      const size_t chunk_end = std::min(n, i + (kSampleStride - 1));
-      for (; i < chunk_end; ++i) body(i);
+      const size_t burn = std::min(n - i, sample_countdown_);
+      sample_countdown_ -= burn;
+      for (const size_t chunk_end = i + burn; i < chunk_end; ++i) body(i);
+      if (i < n) {
+        const uint64_t t0 = obs::NowNanos();
+        body(i);
+        post_process_->Record(obs::NowNanos() - t0);
+        ++i;
+        sample_countdown_ = kSampleStride - 1;
+      }
     }
   }
 
@@ -177,6 +184,7 @@ class GroupExecutor {
   const NoisyViewStore& store_;
   const Rng& noise_root_;
   obs::LatencyHistogram* post_process_;
+  size_t sample_countdown_ = 0;  ///< items until the next clocked sample
 
   // Scratch reused across groups.
   std::vector<SetView> candidate_views_;

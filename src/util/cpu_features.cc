@@ -1,0 +1,145 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define CNE_X86_64 1
+#include <cpuid.h>
+#else
+#define CNE_X86_64 0
+#endif
+
+namespace cne {
+
+namespace {
+
+#if CNE_X86_64
+
+// XCR0 via xgetbv; only valid once CPUID.1:ECX[OSXSAVE] confirmed the
+// instruction exists and the OS manages extended state.
+uint64_t Xgetbv0() {
+  uint32_t eax = 0, edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+
+SimdLevel ProbeHardware() {
+  uint32_t eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return SimdLevel::kScalar;
+  constexpr uint32_t kOsxsave = 1u << 27;
+  constexpr uint32_t kAvx = 1u << 28;
+  if ((ecx & kOsxsave) == 0 || (ecx & kAvx) == 0) return SimdLevel::kScalar;
+
+  const uint64_t xcr0 = Xgetbv0();
+  constexpr uint64_t kXmmYmm = 0x6;  // bits 1 (SSE) and 2 (AVX)
+  if ((xcr0 & kXmmYmm) != kXmmYmm) return SimdLevel::kScalar;
+
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) {
+    return SimdLevel::kScalar;
+  }
+  constexpr uint32_t kAvx2 = 1u << 5;
+  if ((ebx & kAvx2) == 0) return SimdLevel::kScalar;
+
+  // AVX-512 tier: F (foundation), BW (byte/word for full mask ops), VL
+  // (128/256-bit encodings), and the VPOPCNTDQ extension the AND+popcount
+  // kernel is built around — plus OS support for opmask + ZMM state.
+  constexpr uint32_t kAvx512F = 1u << 16;
+  constexpr uint32_t kAvx512Bw = 1u << 30;
+  constexpr uint32_t kAvx512Vl = 1u << 31;
+  constexpr uint32_t kVpopcntdq = 1u << 14;  // in ECX
+  constexpr uint64_t kOpmaskZmm = 0xe0;      // XCR0 bits 5..7
+  const bool avx512 = (ebx & kAvx512F) != 0 && (ebx & kAvx512Bw) != 0 &&
+                      (ebx & kAvx512Vl) != 0 && (ecx & kVpopcntdq) != 0 &&
+                      (xcr0 & kOpmaskZmm) == kOpmaskZmm;
+  return avx512 ? SimdLevel::kAvx512 : SimdLevel::kAvx2;
+}
+
+#else  // !CNE_X86_64
+
+SimdLevel ProbeHardware() { return SimdLevel::kScalar; }
+
+#endif
+
+SimdLevel ClampToDetected(SimdLevel requested, const char* origin) {
+  const SimdLevel detected = DetectedSimdLevel();
+  if (static_cast<int>(requested) <= static_cast<int>(detected)) {
+    return requested;
+  }
+  CNE_LOG(kWarning) << origin << " requested SIMD level "
+                    << SimdLevelName(requested)
+                    << " but this machine only supports "
+                    << SimdLevelName(detected) << "; clamping";
+  return detected;
+}
+
+SimdLevel InitialActiveLevel() {
+  const char* env = std::getenv("CNE_SIMD_LEVEL");
+  if (env == nullptr || env[0] == '\0') return DetectedSimdLevel();
+  const std::optional<SimdLevel> parsed = ParseSimdLevel(env);
+  if (!parsed.has_value()) {
+    CNE_LOG(kWarning) << "CNE_SIMD_LEVEL='" << env
+                      << "' is not scalar|avx2|avx512; using detected level "
+                      << SimdLevelName(DetectedSimdLevel());
+    return DetectedSimdLevel();
+  }
+  return ClampToDetected(*parsed, "CNE_SIMD_LEVEL");
+}
+
+// -1 = not yet resolved. Resolution is idempotent (env + CPUID are
+// stable), so a benign first-use race costs at most a duplicate probe.
+std::atomic<int> g_active_level{-1};
+
+}  // namespace
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel level = ProbeHardware();
+  return level;
+}
+
+SimdLevel ActiveSimdLevel() {
+  int level = g_active_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(InitialActiveLevel());
+    g_active_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(level);
+}
+
+void ForceSimdLevel(SimdLevel level) {
+  g_active_level.store(
+      static_cast<int>(ClampToDetected(level, "ForceSimdLevel")),
+      std::memory_order_relaxed);
+}
+
+std::vector<SimdLevel> AvailableSimdLevels() {
+  std::vector<SimdLevel> levels;
+  for (int l = 0; l <= static_cast<int>(DetectedSimdLevel()); ++l) {
+    levels.push_back(static_cast<SimdLevel>(l));
+  }
+  return levels;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+std::optional<SimdLevel> ParseSimdLevel(std::string_view name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  return std::nullopt;
+}
+
+}  // namespace cne

@@ -7,6 +7,7 @@
 #include "graph/set_ops.h"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -261,17 +262,34 @@ TEST(SetOpsDispatchTest, PicksTheExpectedKernel) {
   std::vector<VertexId> small = {1, 2, 3};
   std::vector<VertexId> large(400);
   for (VertexId v = 0; v < 400; ++v) large[v] = v;
-  DenseBitset bits(400);
-  bits.Set(1);
+  DenseBitset sparse_bits(400);
+  sparse_bits.Set(1);
+  // A genuinely dense pair: every bit over a multi-thousand-word domain,
+  // so the skip-zero probe has no zero words to skip and the calibrated
+  // chooser must price the straight vector AND cheaper.
+  constexpr VertexId kDenseDomain = 1 << 18;
+  DenseBitset dense_bits(kDenseDomain);
+  for (VertexId v = 0; v < kDenseDomain; ++v) dense_bits.Set(v);
 
   const SetView s = SetView::Sorted(small);
   const SetView l = SetView::Sorted(large);
-  const SetView b = SetView::Bitmap(bits, 1);
+  const SetView sparse = SetView::Bitmap(sparse_bits, 1);
+  const SetView dense = SetView::Bitmap(dense_bits, kDenseDomain);
   EXPECT_STREQ(DispatchedKernelName(s, l), "galloping");
-  EXPECT_STREQ(DispatchedKernelName(s, s), "scalar_merge");
   EXPECT_STREQ(DispatchedKernelName(l, l), "scalar_merge");
-  EXPECT_STREQ(DispatchedKernelName(s, b), "probe_bitmap");
-  EXPECT_STREQ(DispatchedKernelName(b, b), "bitmap_and");
+  // Tiny equal-size sets cost a few ns under either sorted kernel; the
+  // calibrated tables may price them either way, but the choice must
+  // stay inside the sorted pair.
+  const std::string tiny = DispatchedKernelName(s, s);
+  EXPECT_TRUE(tiny == "scalar_merge" || tiny == "galloping") << tiny;
+  EXPECT_STREQ(DispatchedKernelName(s, sparse), "probe_bitmap");
+  EXPECT_STREQ(DispatchedKernelName(dense, dense), "bitmap_and");
+  // Sparse × dense bitmaps sit on the calibrated bitmap_and/bitmap_probe
+  // boundary — which side wins is the cost table's call, not a contract —
+  // but the choice must stay inside the bitmap pair.
+  const std::string sparse_dense = DispatchedKernelName(sparse, dense);
+  EXPECT_TRUE(sparse_dense == "bitmap_and" || sparse_dense == "bitmap_probe")
+      << sparse_dense;
 }
 
 }  // namespace

@@ -172,9 +172,13 @@ TEST(StorageModeTest, AutoPicksBitmapOnlyForDenseReleases) {
   // ε = 1 → p ≈ 0.269: dense regime for any degree.
   EXPECT_TRUE(UseBitmapStorage(0, 1000, 1.0));
   EXPECT_TRUE(UseBitmapStorage(100, 1000, 1.0));
-  // ε = 4 → p ≈ 0.018 < 1/16: sparse unless the degree itself is dense.
-  EXPECT_FALSE(UseBitmapStorage(0, 1000, 4.0));
-  EXPECT_TRUE(UseBitmapStorage(500, 1000, 4.0));
+  // ε = 4 → p ≈ 0.018: above the 1/128 intersection-cost crossover even
+  // at degree 0 (sorted under the old 1/16 memory threshold — the
+  // mid-density regime the dispatcher used to serve with a slow merge).
+  EXPECT_TRUE(UseBitmapStorage(0, 1000, 4.0));
+  // ε = 6 → p ≈ 0.0025 < 1/128: sparse unless the degree itself is dense.
+  EXPECT_FALSE(UseBitmapStorage(0, 1000, 6.0));
+  EXPECT_TRUE(UseBitmapStorage(500, 1000, 6.0));
   // Tiny domains always stay sorted.
   EXPECT_FALSE(UseBitmapStorage(10, kBitmapMinDomain - 1, 1.0));
 }
@@ -187,12 +191,12 @@ TEST(StorageModeTest, ApplyRespectsAutoAndExplicitHints) {
   // ε = 1 on a 100-domain: auto must pack a bitmap.
   EXPECT_TRUE(ApplyRandomizedResponse(g, {Layer::kUpper, 0}, 1.0, rng)
                   .IsBitmap());
-  // ε = 5 (p ≈ 0.0067) with degree 10 over a 1000-domain: expected noisy
-  // density ≈ 0.017 < 1/16, auto must stay sorted.
-  GraphBuilder sparse_b(1, 1000);
+  // ε = 7 (p ≈ 0.0009) with degree 10 over a 10000-domain: expected noisy
+  // density ≈ 0.002 < 1/128, auto must stay sorted.
+  GraphBuilder sparse_b(1, 10000);
   for (VertexId l = 0; l < 10; ++l) sparse_b.AddEdge(0, l);
   const BipartiteGraph sparse_g = sparse_b.Build();
-  EXPECT_FALSE(ApplyRandomizedResponse(sparse_g, {Layer::kUpper, 0}, 5.0,
+  EXPECT_FALSE(ApplyRandomizedResponse(sparse_g, {Layer::kUpper, 0}, 7.0,
                                        rng)
                    .IsBitmap());
   // Explicit hints pin the representation either way.

@@ -152,10 +152,10 @@ TEST_F(ChaosTest, WalAppendFailureRejectsBatchExactly) {
       // The rollback is exact: no charge kept, no substream consumed.
       EXPECT_EQ(service.next_noise_stream(), streams_before) << label;
       ExpectSameLedgers(reference.ledger(), service.ledger(), label);
-      EXPECT_EQ(rejected.metrics.CounterValue("wal_failures"), 1u) << label;
-      EXPECT_EQ(rejected.metrics.CounterValue("submit_rollbacks"), 1u)
-          << label;
-      EXPECT_EQ(rejected.metrics.CounterValue("queries_rejected_unavailable"),
+      const obs::MetricsSnapshot counters = service.SnapshotMetrics();
+      EXPECT_EQ(counters.CounterValue("wal_failures"), 1u) << label;
+      EXPECT_EQ(counters.CounterValue("submit_rollbacks"), 1u) << label;
+      EXPECT_EQ(counters.CounterValue("queries_rejected_unavailable"),
                 w2.size())
           << label;
     }  // kill the degraded service without healing it
@@ -205,7 +205,7 @@ TEST_F(ChaosTest, WalFsyncFailureRollsBackAndHeals) {
   EXPECT_TRUE(healed.sealed);
   ExpectSameAnswers(reference.Submit(w2), healed, "healed w2");
   ExpectSameLedgers(reference.ledger(), service.ledger(), "healed");
-  EXPECT_EQ(healed.metrics.CounterValue("health_transitions"), 2u);
+  EXPECT_EQ(service.SnapshotMetrics().CounterValue("health_transitions"), 2u);
 }
 
 TEST_F(ChaosTest, ReadOnlyModeAnswersCachedViewsAndRefusesNewCharges) {

@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -78,29 +80,37 @@ TEST(MetricsOverheadTest, FullInstrumentationCostsUnderFivePercent) {
   full_service.Submit(workload);
 
   // Up to three measurement blocks, keeping the smallest observed
-  // overhead: the gate exists to catch regressions an order of magnitude
-  // above the noise floor, and a retry absorbs the occasional block where
-  // scheduling noise lands asymmetrically despite the interleaving.
+  // overhead. Each block's statistic is the MEDIAN of per-rep paired
+  // ratios, not a ratio of block minima: when ctest runs suites in
+  // parallel on few cores, a preemption slice that lands on one level's
+  // best rep skews a min-based ratio arbitrarily, while a slice spanning
+  // a back-to-back off/full pair inflates both sides and leaves that
+  // pair's ratio honest — and the median discards the few pairs it cuts
+  // through. (Same statistic the intersect bench uses for dispatch_gap.)
   double off_best = 1e100;
   double full_best = 1e100;
   double overhead = 1.0;
   for (int attempt = 0; attempt < 3 && !(overhead < 0.05); ++attempt) {
-    double off_block = 1e100;
-    double full_block = 1e100;
+    std::vector<double> ratios;
+    ratios.reserve(24);
     for (int rep = 0; rep < 24; ++rep) {
-      off_block = std::min(off_block, TimedRep(off_service, workload));
-      full_block = std::min(full_block, TimedRep(full_service, workload));
+      const double off_rep = TimedRep(off_service, workload);
+      const double full_rep = TimedRep(full_service, workload);
+      off_best = std::min(off_best, off_rep);
+      full_best = std::min(full_best, full_rep);
+      ratios.push_back(full_rep / off_rep);
     }
-    const double block_overhead = (full_block - off_block) / off_block;
-    if (block_overhead < overhead) {
-      overhead = block_overhead;
-      off_best = off_block;
-      full_best = full_block;
-    }
+    std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2,
+                     ratios.end());
+    const double block_overhead = ratios[ratios.size() / 2] - 1.0;
+    overhead = std::min(overhead, block_overhead);
   }
 
   ASSERT_LT(off_best, 1e100);
   ASSERT_LT(full_best, 1e100);
+  std::cout << "measured overhead: " << overhead * 100 << "% (best rep "
+            << off_best * 1e6 << " us off, " << full_best * 1e6
+            << " us full per " << workload.size() << "-query submit)\n";
   // <5% is the subsystem's contract (docs/ARCHITECTURE.md Observability).
   EXPECT_LT(overhead, 0.05)
       << "metrics_level=full costs " << overhead * 100 << "% ("
@@ -123,9 +133,10 @@ TEST(MetricsOverheadTest, OffLevelReportsNoMetrics) {
   options.seed = 7;
   options.metrics_level = obs::MetricsLevel::kOff;
   QueryService service(graph, options);
-  const ServiceReport report = service.Submit(workload);
-  EXPECT_TRUE(report.metrics.phases.empty());
-  EXPECT_TRUE(report.metrics.counters.empty());
+  service.Submit(workload);
+  const obs::MetricsSnapshot metrics = service.SnapshotMetrics();
+  EXPECT_TRUE(metrics.phases.empty());
+  EXPECT_TRUE(metrics.counters.empty());
 }
 
 TEST(MetricsOverheadTest, FullLevelReportsEveryPhase) {
@@ -142,17 +153,17 @@ TEST(MetricsOverheadTest, FullLevelReportsEveryPhase) {
   options.seed = 7;
   QueryService service(graph, options);  // metrics_level defaults to full
   const ServiceReport report = service.Submit(workload);
+  const obs::MetricsSnapshot metrics = service.SnapshotMetrics();
 
   for (const char* phase : {"admission", "wal_fsync", "release", "plan",
                             "execute", "post_process", "checkpoint",
                             "release_build"}) {
-    ASSERT_NE(report.metrics.Phase(phase), nullptr) << phase;
+    ASSERT_NE(metrics.Phase(phase), nullptr) << phase;
   }
-  EXPECT_GT(report.metrics.Phase("admission")->count, 0u);
-  EXPECT_GT(report.metrics.Phase("execute")->count, 0u);
-  EXPECT_EQ(report.metrics.Phase("checkpoint")->count, 0u);  // none yet
-  EXPECT_EQ(report.metrics.CounterValue("queries_submitted"),
-            workload.size());
+  EXPECT_GT(metrics.Phase("admission")->count, 0u);
+  EXPECT_GT(metrics.Phase("execute")->count, 0u);
+  EXPECT_EQ(metrics.Phase("checkpoint")->count, 0u);  // none yet
+  EXPECT_EQ(metrics.CounterValue("queries_submitted"), workload.size());
   // Answers must be byte-identical across metrics levels — observability
   // never touches the noise or the estimates.
   ServiceOptions off = options;

@@ -400,19 +400,24 @@ TEST(PersistenceTest, KillRestoreOnGeneratedScaleGraph) {
   const BipartiteGraph g = BuildSyntheticGraph(spec, cache_dir);
   ASSERT_GT(g.NumEdges(), uint64_t{kDefaultCsrBlockEdges});
 
-  // ε1 = 3 puts the RR flip probability (~0.047) under the 1/16 bitmap
+  // ε1 = 6 puts the RR flip probability (~0.0025) under the 1/128 bitmap
   // density threshold, so hub views go bitmap via their d/n term while
-  // typical power-law vertices stay sorted — the mixed regime the views
-  // section must round-trip.
+  // typical power-law vertices (average degree ~6 on a 5000-id domain)
+  // stay sorted — the mixed regime the views section must round-trip.
   ServiceOptions options = MakeOptions(ServiceAlgorithm::kMultiRSS);
-  options.epsilon = 6.0;
-  options.lifetime_budget = 12.0;
-  // A wide hot set reaches past the hubs: its tail vertices have d/n
-  // below the bitmap threshold, so their views stay sorted.
+  options.epsilon = 12.0;
+  options.lifetime_budget = 24.0;
+  // A wide hot set reaches past the hubs: the generator assigns weights
+  // by id, so low ids are hubs (bitmap via d/n) and the hot set must
+  // stretch to ranks whose degree sits below the threshold's ~26-edge
+  // crossover on the 5000-id domain for sorted views to appear at all.
   Rng workload_rng(31);
-  const auto w1 = MakeHotSetWorkload(g, Layer::kLower, 120, 256, workload_rng);
-  const auto w2 = MakeHotSetWorkload(g, Layer::kLower, 100, 256, workload_rng);
-  const auto w3 = MakeHotSetWorkload(g, Layer::kLower, 120, 256, workload_rng);
+  const auto w1 =
+      MakeHotSetWorkload(g, Layer::kLower, 120, 1024, workload_rng);
+  const auto w2 =
+      MakeHotSetWorkload(g, Layer::kLower, 100, 1024, workload_rng);
+  const auto w3 =
+      MakeHotSetWorkload(g, Layer::kLower, 120, 1024, workload_rng);
 
   QueryService reference(g, options);
   reference.Submit(w1);

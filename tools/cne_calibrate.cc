@@ -1,0 +1,306 @@
+// cne_calibrate — measures the per-kernel cost tables the set-operation
+// dispatcher prices kernels with (graph/set_ops_cost.h).
+//
+// For every ISA level this machine can execute, every kernel, and every
+// log2-work bucket, the tool builds operands whose kernel-specific work
+// count lands mid-bucket, times the kernel until a measurement budget is
+// spent, and reports the best-of-blocks ns per work unit. Best-of rather
+// than mean for the usual reason: timing noise is one-sided.
+//
+// Usage:
+//   cne_calibrate                 # human-readable table
+//   cne_calibrate --emit-inc      # src/graph/set_ops_calibration.inc body
+//   cne_calibrate --min-ms=5      # per-cell measurement budget
+//
+// Regenerate the checked-in default with:
+//   build/tools/cne_calibrate --emit-inc > src/graph/set_ops_calibration.inc
+//
+// Levels above DetectedSimdLevel() cannot be measured; their rows repeat
+// the highest measured level (annotated in the emitted file). A machine
+// that can actually run those levels never reads the copied rows — its
+// own regeneration overwrites them — and a machine that cannot, cannot
+// dispatch on them either.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/set_ops.h"
+#include "graph/set_ops_cost.h"
+#include "util/cli.h"
+#include "util/cpu_features.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace cne {
+namespace {
+
+uint64_t g_sink = 0;
+
+// Mid-bucket work target: bucket b covers [2^(b-1), 2^b), so aim at
+// 1.5 * 2^(b-1). Bucket 0 only holds work 0, which the work functions
+// never produce; it inherits bucket 1's value.
+uint64_t BucketTargetWork(int bucket) {
+  if (bucket <= 1) return 1;
+  return (uint64_t{3} << (bucket - 1)) / 2;
+}
+
+// Operand kit for one bucket of one kernel. Only the members the kernel
+// reads are populated.
+struct Operands {
+  std::vector<VertexId> sorted_a;
+  std::vector<VertexId> sorted_b;
+  DenseBitset bits_a;
+  DenseBitset bits_b;
+  uint64_t work = 1;
+};
+
+std::vector<VertexId> RandomSorted(uint64_t size, VertexId domain, Rng& rng) {
+  std::vector<VertexId> ids;
+  for (;;) {
+    // Oversample to absorb duplicate draws, then dedup in one pass.
+    while (ids.size() < size + size / 4 + 8) {
+      ids.push_back(static_cast<VertexId>(rng.UniformInt(domain)));
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    if (ids.size() >= size) {
+      ids.resize(size);
+      return ids;
+    }
+  }
+}
+
+DenseBitset RandomBits(VertexId domain, double density, Rng& rng) {
+  DenseBitset bits(domain);
+  const uint64_t target = static_cast<uint64_t>(density * domain);
+  for (uint64_t i = 0; i < target; ++i) {
+    bits.Set(static_cast<VertexId>(rng.UniformInt(domain)));
+  }
+  return bits;
+}
+
+Operands BuildOperands(SetKernel kernel, int bucket, Rng& rng) {
+  const uint64_t w = BucketTargetWork(bucket);
+  Operands ops;
+  switch (kernel) {
+    case SetKernel::kScalarMerge: {
+      // Two comparable sorted lists, ~50% overlap. work = |a| + |b|.
+      const uint64_t half = std::max<uint64_t>(1, w / 2);
+      const VertexId domain = static_cast<VertexId>(half * 3 + 7);
+      ops.sorted_a = RandomSorted(half, domain, rng);
+      ops.sorted_b = RandomSorted(half, domain, rng);
+      ops.work = MergeWork(ops.sorted_a.size(), ops.sorted_b.size());
+      break;
+    }
+    case SetKernel::kGalloping: {
+      // Fixed 64:1 skew: work = s * (1 + bit_width(64 + 1)) = 8s.
+      const uint64_t small = std::max<uint64_t>(1, w / 8);
+      const uint64_t large = small * 64;
+      const VertexId domain = static_cast<VertexId>(large * 2 + 7);
+      ops.sorted_a = RandomSorted(small, domain, rng);
+      ops.sorted_b = RandomSorted(large, domain, rng);
+      ops.work = GallopWork(ops.sorted_a.size(), ops.sorted_b.size());
+      break;
+    }
+    case SetKernel::kBitmapAnd: {
+      // work = min word count; density where the kernel actually runs.
+      const VertexId domain = static_cast<VertexId>(w * 64);
+      ops.bits_a = RandomBits(domain, 0.3, rng);
+      ops.bits_b = RandomBits(domain, 0.3, rng);
+      ops.work = BitmapAndWork(ops.bits_a.Words().size(),
+                               ops.bits_b.Words().size());
+      break;
+    }
+    case SetKernel::kProbeBitmap: {
+      // work = probe count, against a domain 32x the probes.
+      const VertexId domain = static_cast<VertexId>(std::max<uint64_t>(
+          64, w * 32));
+      ops.sorted_a = RandomSorted(w, domain, rng);
+      ops.bits_b = RandomBits(domain, 0.25, rng);
+      ops.work = ProbeWork(ops.sorted_a.size());
+      break;
+    }
+    case SetKernel::kBitmapProbe: {
+      // work = sparse words + sparse popcount, with the sparse side in
+      // its home regime: ~1 set bit per 3 words, so most words skip.
+      const uint64_t words = std::max<uint64_t>(1, w * 3 / 4);
+      const VertexId domain = static_cast<VertexId>(words * 64);
+      ops.bits_a = RandomBits(domain, 1.0 / 192.0, rng);
+      ops.bits_b = RandomBits(domain, 0.3, rng);
+      ops.work = BitmapProbeWork(ops.bits_a.Words().size(),
+                                 ops.bits_a.Count());
+      break;
+    }
+  }
+  return ops;
+}
+
+uint64_t RunKernelOnce(SetKernel kernel, const Operands& ops) {
+  switch (kernel) {
+    case SetKernel::kScalarMerge:
+      return IntersectScalarMerge(ops.sorted_a, ops.sorted_b);
+    case SetKernel::kGalloping:
+      return IntersectGalloping(ops.sorted_a, ops.sorted_b);
+    case SetKernel::kBitmapAnd:
+      return IntersectBitmapAnd(ops.bits_a, ops.bits_b);
+    case SetKernel::kProbeBitmap:
+      return IntersectProbeBitmap(ops.sorted_a, ops.bits_b);
+    case SetKernel::kBitmapProbe:
+      return IntersectBitmapProbe(ops.bits_a, ops.bits_b);
+  }
+  return 0;
+}
+
+// Best-of-blocks ns per work unit for one operand kit at the currently
+// forced SIMD level.
+double MeasureCell(SetKernel kernel, const Operands& ops, double min_ms) {
+  // Size one block to ~min_ms/8 using a quick pilot, then keep the
+  // fastest of 4 blocks.
+  int iters = 1;
+  double pilot_s = 0;
+  for (;;) {
+    Timer timer;
+    for (int i = 0; i < iters; ++i) g_sink += RunKernelOnce(kernel, ops);
+    pilot_s = timer.Seconds();
+    if (pilot_s * 1e3 >= min_ms / 8 || iters > (1 << 28)) break;
+    iters *= 2;
+  }
+  double best_s_per_iter = pilot_s / iters;
+  for (int block = 0; block < 3; ++block) {
+    Timer timer;
+    for (int i = 0; i < iters; ++i) g_sink += RunKernelOnce(kernel, ops);
+    best_s_per_iter = std::min(best_s_per_iter, timer.Seconds() / iters);
+  }
+  return best_s_per_iter * 1e9 / static_cast<double>(ops.work);
+}
+
+KernelCostTable MeasureLevel(SimdLevel level, double min_ms) {
+  ForceSimdLevel(level);
+  KernelCostTable table{};
+  for (int k = 0; k < kNumSetKernels; ++k) {
+    // One deterministic stream per kernel so every level times the same
+    // operand shapes and the per-level differences are the kernels'.
+    Rng rng(1000 + static_cast<uint64_t>(k));
+    bool measured[kNumWorkBuckets] = {};
+    for (int b = 1; b < kNumWorkBuckets; ++b) {
+      const Operands ops = BuildOperands(static_cast<SetKernel>(k), b, rng);
+      // Record under the bucket the realized work actually lands in —
+      // kernels with a work floor (galloping's skew multiplier) cannot
+      // hit the smallest targets, and mislabeling those rows would feed
+      // the dispatcher fiction exactly where calls are densest.
+      const int actual = WorkBucket(ops.work);
+      const double ns = MeasureCell(static_cast<SetKernel>(k), ops, min_ms);
+      if (!measured[actual] || ns < table.ns_per_unit[k][actual]) {
+        table.ns_per_unit[k][actual] = ns;
+        measured[actual] = true;
+      }
+    }
+    // Fill unmeasured buckets from the nearest measured neighbor below
+    // (or above, for a leading gap) so every lookup sees a sane value.
+    double last = 0;
+    bool seen = false;
+    for (int b = 0; b < kNumWorkBuckets; ++b) {
+      if (measured[b]) {
+        last = table.ns_per_unit[k][b];
+        seen = true;
+      } else if (seen) {
+        table.ns_per_unit[k][b] = last;
+      }
+    }
+    for (int b = kNumWorkBuckets - 1; b >= 0; --b) {
+      if (measured[b]) {
+        last = table.ns_per_unit[k][b];
+      } else if (table.ns_per_unit[k][b] == 0) {
+        table.ns_per_unit[k][b] = last;
+      }
+    }
+  }
+  return table;
+}
+
+void EmitInc(const std::vector<KernelCostTable>& tables, int measured_levels) {
+  std::printf(
+      "// Default kernel cost tables: ns-per-work-unit per (ISA level, "
+      "kernel,\n"
+      "// log2-work bucket), measured by tools/cne_calibrate. Regenerate "
+      "with:\n"
+      "//   build/tools/cne_calibrate --emit-inc > "
+      "src/graph/set_ops_calibration.inc\n");
+  if (measured_levels < kNumSimdLevels) {
+    std::printf(
+        "//\n"
+        "// Levels above %s were not executable on the calibrating machine;\n"
+        "// their rows repeat the highest measured level.\n",
+        SimdLevelName(static_cast<SimdLevel>(measured_levels - 1)));
+  }
+  std::printf(
+      "\ninline constexpr KernelCostTable "
+      "kDefaultCostTables[kNumSimdLevels] = {\n");
+  for (int l = 0; l < kNumSimdLevels; ++l) {
+    std::printf("    // ---- %s ----\n    {{\n",
+                SimdLevelName(static_cast<SimdLevel>(l)));
+    const KernelCostTable& t = tables[std::min(l, measured_levels - 1)];
+    for (int k = 0; k < kNumSetKernels; ++k) {
+      std::printf("        // %s\n        {",
+                  SetKernelName(static_cast<SetKernel>(k)));
+      for (int b = 0; b < kNumWorkBuckets; ++b) {
+        std::printf("%s%.4g", b == 0 ? "" : ", ", t.ns_per_unit[k][b]);
+      }
+      std::printf("},\n");
+    }
+    std::printf("    }},\n");
+  }
+  std::printf("};\n");
+}
+
+void PrintHuman(const std::vector<KernelCostTable>& tables,
+                int measured_levels) {
+  for (int l = 0; l < measured_levels; ++l) {
+    std::printf("== %s (ns per work unit) ==\n",
+                SimdLevelName(static_cast<SimdLevel>(l)));
+    std::printf("%-14s", "bucket");
+    for (int b = 1; b < kNumWorkBuckets; ++b) std::printf("%8d", b);
+    std::printf("\n");
+    for (int k = 0; k < kNumSetKernels; ++k) {
+      std::printf("%-14s", SetKernelName(static_cast<SetKernel>(k)));
+      for (int b = 1; b < kNumWorkBuckets; ++b) {
+        std::printf("%8.3f", tables[l].ns_per_unit[k][b]);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  const CommandLine cl(argc, argv);
+  const double min_ms = cl.GetDouble("min-ms", 4.0);
+  const bool emit_inc = cl.GetBool("emit-inc");
+
+  const std::vector<SimdLevel> levels = AvailableSimdLevels();
+  std::vector<KernelCostTable> tables;
+  for (SimdLevel level : levels) {
+    if (!emit_inc) {
+      std::fprintf(stderr, "calibrating %s...\n", SimdLevelName(level));
+    }
+    tables.push_back(MeasureLevel(level, min_ms));
+  }
+  ForceSimdLevel(DetectedSimdLevel());
+
+  if (emit_inc) {
+    EmitInc(tables, static_cast<int>(levels.size()));
+  } else {
+    PrintHuman(tables, static_cast<int>(levels.size()));
+  }
+  // Defeat whole-program DCE of the measurement loops.
+  std::fprintf(stderr, "checksum %llu\n",
+               static_cast<unsigned long long>(g_sink));
+  return 0;
+}
+
+}  // namespace
+}  // namespace cne
+
+int main(int argc, char** argv) { return cne::Main(argc, argv); }

@@ -173,9 +173,9 @@ void FoldReport(ServiceReport&& batch, ServiceReport& total) {
   total.snapshot_load_seconds = batch.snapshot_load_seconds;
   total.wal_replay_records = batch.wal_replay_records;
   total.checkpoint_seconds = batch.checkpoint_seconds;
-  // The metrics snapshot is cumulative over the service lifetime, so the
-  // latest one covers every earlier batch.
-  total.metrics = std::move(batch.metrics);
+  // total.metrics is filled once at the end from SnapshotMetrics() —
+  // Submit no longer snapshots the registry, and the cumulative snapshot
+  // covers every batch anyway.
   std::move(batch.answers.begin(), batch.answers.end(),
             std::back_inserter(total.answers));
 }
