@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   algorithms.push_back(MakeMultiRDS());
 
   TextTable table({"algorithm", "mean", "stddev", "p05", "median", "p95",
-                   "bias"});
+                   "p99", "p999", "bias"});
   Rng master(options.seed);
   for (const auto& algorithm : algorithms) {
     Rng rng = master.Split();
@@ -64,6 +64,8 @@ int main(int argc, char** argv) {
         .AddDouble(s.p05, 2)
         .AddDouble(s.median, 2)
         .AddDouble(s.p95, 2)
+        .AddDouble(s.p99, 2)
+        .AddDouble(s.p999, 2)
         .AddDouble(s.mean - truth, 2);
 
     if (!options.csv) {

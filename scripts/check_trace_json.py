@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Gate the Chrome-trace JSON written by `cne_serve --trace-out`.
+
+Structural checks (any failure fails the gate):
+  - the document has a non-empty `traceEvents` array
+  - every event is a complete event: ph == "X", string name, numeric
+    ts/dur >= 0, integer pid/tid, and an integer args.submit
+  - events are sorted by ts (the serializer's contract; viewers tolerate
+    any order but the nesting check below depends on it)
+  - per tid, spans strictly nest: an event starting inside an open span
+    must end inside it too (TraceSpans are scoped objects, so a partial
+    overlap means the serializer or the ring drain is broken)
+
+Accounting check, per retained "submit" root span longer than 100 us:
+  - the sum of its direct children's durations must not exceed 1.05x the
+    root's duration (children are disjoint sub-intervals of the root;
+    beyond-tolerance overshoot means overlapping or mis-parented spans)
+  - the direct children must cover at least half of the root (the service
+    wraps every heavyweight phase in a named span, so a root mostly made
+    of untracked time means a phase span went missing)
+  Short roots skip both: cache-hit submits do almost nothing between
+  span entry/exit, so their coverage is dominated by clock quanta.
+
+Ring overwrite can drop *whole* spans (oldest first), which may orphan a
+retained child or drop a root entirely — both are fine: the nesting check
+only constrains retained pairs, and the accounting check only runs for
+retained roots. A root whose children were partially dropped can only
+undershoot the children-sum bound, not overshoot it.
+
+Usage:
+    scripts/check_trace_json.py TRACE.json
+
+Exit status: 0 when every check passes, 1 on a failed check, 2 on
+unreadable or malformed input.
+"""
+
+import json
+import signal
+import sys
+
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+CHILD_SUM_TOLERANCE = 1.05
+MIN_COVERAGE = 0.5
+MIN_ROOT_MICROS = 100.0
+
+
+def fail(message):
+    print(f"check_trace_json: FAIL: {message}")
+    return 1
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: check_trace_json.py TRACE.json")
+        return 2
+    path = argv[1]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace_json: cannot load {path}: {e}")
+        return 2
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"check_trace_json: {path} has no traceEvents")
+        return 2
+
+    failures = 0
+    last_ts = -1.0
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            return fail(f"traceEvents[{i}] is not an object")
+        if e.get("ph") != "X":
+            failures += fail(f"traceEvents[{i}] ph is {e.get('ph')!r}, "
+                             "want 'X' (complete event)")
+            continue
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            failures += fail(f"traceEvents[{i}] has no name")
+        for key in ("ts", "dur"):
+            v = e.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                failures += fail(
+                    f"traceEvents[{i}] {key} is {v!r}, want a number >= 0")
+        for key in ("pid", "tid"):
+            v = e.get(key)
+            if not isinstance(v, int) or isinstance(v, bool):
+                failures += fail(
+                    f"traceEvents[{i}] {key} is {v!r}, want an integer")
+        submit = e.get("args", {}).get("submit")
+        if not isinstance(submit, int) or isinstance(submit, bool):
+            failures += fail(
+                f"traceEvents[{i}] args.submit is {submit!r}, "
+                "want an integer")
+        ts = e.get("ts", 0.0)
+        if isinstance(ts, (int, float)) and ts < last_ts:
+            failures += fail(
+                f"traceEvents[{i}] ts {ts} < previous ts {last_ts}: "
+                "events must be sorted")
+        if isinstance(ts, (int, float)):
+            last_ts = ts
+    if failures:
+        return 1
+
+    # Per-tid nesting + direct-children accounting in one sweep. The stack
+    # holds (end_ts, child_sum_accumulator) per open span; submit roots
+    # additionally register in `roots` for the final accounting report.
+    stacks = {}  # tid -> list of [end, name, index, child_micros]
+    roots = []   # (submit, dur, direct_child_micros)
+
+    def close(frame):
+        if frame[1] == "submit":
+            event = events[frame[2]]
+            roots.append((event["args"]["submit"], float(event["dur"]),
+                          frame[3]))
+
+    for i, e in enumerate(events):
+        tid = e["tid"]
+        ts, dur = float(e["ts"]), float(e["dur"])
+        end = ts + dur
+        stack = stacks.setdefault(tid, [])
+        while stack and ts >= stack[-1][0] - 1e-9:
+            close(stack.pop())
+        if stack:
+            open_end = stack[-1][0]
+            if end > open_end + 1e-6:
+                failures += fail(
+                    f"traceEvents[{i}] ({e['name']}, tid {tid}) starts "
+                    f"inside an open span but ends {end - open_end:.3f} us "
+                    "after it: spans on one thread must nest")
+            else:
+                stack[-1][3] += dur  # a direct child of the enclosing span
+        stack.append([end, e["name"], i, 0.0])
+    for stack in stacks.values():
+        while stack:
+            close(stack.pop())
+    if failures:
+        return 1
+
+    checked = 0
+    for submit, dur, child_micros in roots:
+        if dur <= MIN_ROOT_MICROS:
+            continue
+        checked += 1
+        if child_micros > dur * CHILD_SUM_TOLERANCE:
+            failures += fail(
+                f"submit {submit}: direct children sum to "
+                f"{child_micros:.1f} us > {CHILD_SUM_TOLERANCE}x the root's "
+                f"{dur:.1f} us")
+        elif child_micros < dur * MIN_COVERAGE:
+            failures += fail(
+                f"submit {submit}: direct children cover only "
+                f"{child_micros:.1f} of {dur:.1f} us "
+                f"(< {MIN_COVERAGE:.0%}): a phase span is missing")
+    if failures:
+        return 1
+
+    print(f"check_trace_json: OK: {len(events)} events, "
+          f"{len(roots)} submit roots ({checked} accounting-checked), "
+          f"{len(stacks)} threads")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,6 +21,16 @@ void BudgetLedger::RaiseLifetimeBudget(double new_budget) {
   CNE_CHECK(new_budget >= lifetime_budget_)
       << "lifetime budgets only go up: recorded charges cannot be undone";
   lifetime_budget_ = new_budget;
+  // A top-up can un-exhaust vertices; recount against the new bound. The
+  // caller guarantees no concurrent charges, so the walk is consistent.
+  uint64_t exhausted = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, spent] : shard.spent) {
+      if (lifetime_budget_ - spent <= kTolerance) ++exhausted;
+    }
+  }
+  exhausted_.store(exhausted, std::memory_order_relaxed);
 }
 
 bool BudgetLedger::TryCharge(LayeredVertex vertex, double epsilon) {
@@ -33,7 +43,11 @@ bool BudgetLedger::TryCharge(LayeredVertex vertex, double epsilon) {
     if (spent == 0.0) shard.spent.erase(key);  // keep "charged" exact
     return false;
   }
+  const bool was_exhausted = lifetime_budget_ - spent <= kTolerance;
   spent += epsilon;
+  if (!was_exhausted && lifetime_budget_ - spent <= kTolerance) {
+    exhausted_.fetch_add(1, std::memory_order_relaxed);
+  }
   return true;
 }
 
@@ -74,6 +88,33 @@ double BudgetLedger::MinRemaining() const {
   return lifetime_budget_ - max_spent;
 }
 
+BudgetLedgerTelemetry BudgetLedger::GetTelemetry(size_t bins) const {
+  BudgetLedgerTelemetry t;
+  t.lifetime_budget = lifetime_budget_;
+  if (bins == 0) bins = 1;
+  t.residual_histogram.assign(bins, 0);
+  double max_spent = 0.0;
+  const double bin_width = lifetime_budget_ / static_cast<double>(bins);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, spent] : shard.spent) {
+      ++t.charged_vertices;
+      t.total_spent += spent;
+      const double remaining = lifetime_budget_ - spent;
+      t.sum_remaining += remaining;
+      if (remaining <= kTolerance) ++t.exhausted_vertices;
+      max_spent = std::max(max_spent, spent);
+      size_t bin = remaining <= 0.0
+                       ? 0
+                       : static_cast<size_t>(remaining / bin_width);
+      if (bin >= bins) bin = bins - 1;  // remaining == lifetime lands here
+      ++t.residual_histogram[bin];
+    }
+  }
+  t.min_remaining = lifetime_budget_ - max_spent;
+  return t;
+}
+
 void BudgetLedger::Serialize(ByteWriter& out) const {
   const std::vector<VertexBudget> entries = Snapshot();
   out.F64(lifetime_budget_);
@@ -105,7 +146,11 @@ void BudgetLedger::Replay(LayeredVertex vertex, double epsilon) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   double& spent = shard.spent[key];
+  const bool was_exhausted = lifetime_budget_ - spent <= kTolerance;
   spent += epsilon;
+  if (!was_exhausted && lifetime_budget_ - spent <= kTolerance) {
+    exhausted_.fetch_add(1, std::memory_order_relaxed);
+  }
   CNE_CHECK(spent <= lifetime_budget_ + kTolerance)
       << "replayed charge overdraws " << LayerName(vertex.layer)
       << " vertex " << vertex.id << ": " << spent << " of "
@@ -117,10 +162,20 @@ void BudgetLedger::RestoreSpent(LayeredVertex vertex, double spent) {
   const uint64_t key = PackLayeredVertex(vertex);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.spent.find(key);
+  const bool was_exhausted =
+      it != shard.spent.end() && lifetime_budget_ - it->second <= kTolerance;
+  const bool now_exhausted =
+      spent != 0.0 && lifetime_budget_ - spent <= kTolerance;
   if (spent == 0.0) {
     shard.spent.erase(key);
   } else {
     shard.spent[key] = spent;
+  }
+  if (was_exhausted && !now_exhausted) {
+    exhausted_.fetch_sub(1, std::memory_order_relaxed);
+  } else if (!was_exhausted && now_exhausted) {
+    exhausted_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

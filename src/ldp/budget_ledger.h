@@ -20,6 +20,7 @@
 #ifndef CNE_LDP_BUDGET_LEDGER_H_
 #define CNE_LDP_BUDGET_LEDGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
@@ -35,6 +36,23 @@ struct VertexBudget {
   LayeredVertex vertex;
   double spent = 0.0;
   double remaining = 0.0;
+};
+
+/// Aggregate spend telemetry over all charged vertices, extracted in one
+/// sharded walk (see BudgetLedger::GetTelemetry). Budget exhaustion is
+/// this service's disk-full: the burn-down fields exist so an operator
+/// sees it coming instead of discovering it as rejects.
+struct BudgetLedgerTelemetry {
+  double lifetime_budget = 0.0;
+  uint64_t charged_vertices = 0;
+  uint64_t exhausted_vertices = 0;  ///< remaining ≤ tolerance
+  double total_spent = 0.0;
+  double min_remaining = 0.0;  ///< lifetime budget when nothing charged
+  double sum_remaining = 0.0;  ///< Σ remaining over charged vertices
+
+  /// Bin i counts charged vertices with remaining ε in
+  /// [i, i+1) * lifetime_budget / bins (last bin closed above).
+  std::vector<uint64_t> residual_histogram;
 };
 
 /// Tracks per-vertex ε consumption against a fixed lifetime budget.
@@ -76,6 +94,20 @@ class BudgetLedger {
   /// Smallest remaining budget over charged vertices; the full lifetime
   /// budget when nothing was charged.
   double MinRemaining() const;
+
+  /// Number of vertices whose remaining budget is (approximately) zero —
+  /// any further charge to them will be rejected. O(1): maintained as an
+  /// atomic alongside the spend table, so it is safe to export as a gauge
+  /// after every submission without walking the shards.
+  uint64_t NumExhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+
+  /// All burn-down aggregates plus a `bins`-bucket residual-ε histogram in
+  /// a single walk over the shards. Heavier than NumExhausted (touches
+  /// every charged row); intended for report finalization and snapshot
+  /// tooling, not per-submit paths.
+  BudgetLedgerTelemetry GetTelemetry(size_t bins = 8) const;
 
   /// Every charged vertex with its spent/remaining budget, sorted by
   /// (layer, id) so reports are deterministic.
@@ -129,6 +161,9 @@ class BudgetLedger {
 
   double lifetime_budget_;
   Shard shards_[kNumShards];
+  /// Vertices with remaining ≤ tolerance; updated on every transition a
+  /// charge/replay/restore makes across the exhaustion boundary.
+  std::atomic<uint64_t> exhausted_{0};
 };
 
 }  // namespace cne

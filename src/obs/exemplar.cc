@@ -1,0 +1,47 @@
+#include "obs/exemplar.h"
+
+#include <algorithm>
+
+namespace cne::obs {
+
+void ExemplarReservoir::Offer(uint64_t nanos, const Exemplar& exemplar) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (kept_.size() < kCapacity) {
+    kept_.push_back(exemplar);
+    if (kept_.size() == kCapacity) {
+      uint64_t floor = UINT64_MAX;
+      for (const Exemplar& e : kept_) {
+        floor = std::min(floor,
+                         static_cast<uint64_t>(e.seconds * 1e9));
+      }
+      floor_nanos_.store(floor, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (nanos <= floor_nanos_.load(std::memory_order_relaxed)) return;
+  // Replace the smallest kept exemplar, then recompute the floor.
+  size_t smallest = 0;
+  for (size_t i = 1; i < kept_.size(); ++i) {
+    if (kept_[i].seconds < kept_[smallest].seconds) smallest = i;
+  }
+  kept_[smallest] = exemplar;
+  uint64_t floor = UINT64_MAX;
+  for (const Exemplar& e : kept_) {
+    floor = std::min(floor, static_cast<uint64_t>(e.seconds * 1e9));
+  }
+  floor_nanos_.store(floor, std::memory_order_relaxed);
+}
+
+std::vector<Exemplar> ExemplarReservoir::Snapshot() const {
+  std::vector<Exemplar> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = kept_;
+  }
+  std::sort(out.begin(), out.end(), [](const Exemplar& a, const Exemplar& b) {
+    return a.seconds > b.seconds;
+  });
+  return out;
+}
+
+}  // namespace cne::obs

@@ -1,0 +1,79 @@
+// Tail-latency exemplars: per-phase reservoirs retaining the K slowest
+// samples *with context* — which kernel ran, operand representations and
+// sizes, SIMD level, submit/query ids — so a p999 spike in a phase table
+// resolves to a named cause without re-running under a profiler.
+//
+// The hot-path contract mirrors the rest of cne_obs: callers that already
+// decided to time a sample (the 1-in-N sampled paths) ask WouldAccept()
+// first — one relaxed load against the reservoir's current admission
+// floor — and only build the context struct and take the mutex when the
+// sample would actually displace a kept exemplar. Under a steady workload
+// the floor converges to the Kth-slowest latency, so offers become
+// vanishingly rare.
+
+#ifndef CNE_OBS_EXEMPLAR_H_
+#define CNE_OBS_EXEMPLAR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cne::obs {
+
+/// One retained slow sample. Pointer fields reference static strings
+/// (kernel dispatch names, SIMD level names) — never owned.
+struct Exemplar {
+  double seconds = 0.0;  ///< the sampled latency
+  uint64_t submit = 0;   ///< submit sequence number it occurred in
+
+  bool has_query = false;  ///< true when layer/u/w identify a query pair
+  uint8_t layer = 0;       ///< CommonNeighborLayer as uint8_t
+  uint32_t u = 0;
+  uint32_t w = 0;
+
+  const char* kernel = nullptr;  ///< dispatched set-ops kernel, if any
+  const char* repr_u = nullptr;  ///< operand representation ("sorted"/"bitmap")
+  const char* repr_w = nullptr;
+  uint64_t size_u = 0;  ///< operand cardinalities
+  uint64_t size_w = 0;
+  const char* simd = nullptr;  ///< active SIMD level name
+};
+
+/// Fixed-capacity K-slowest reservoir. WouldAccept is wait-free; Offer
+/// takes a small mutex and is expected to be rare (see header comment).
+class ExemplarReservoir {
+ public:
+  static constexpr size_t kCapacity = 4;
+
+  /// True when a sample of this duration would enter the reservoir.
+  /// Always true until the reservoir first fills.
+  bool WouldAccept(uint64_t nanos) const {
+    return nanos > floor_nanos_.load(std::memory_order_relaxed);
+  }
+
+  /// Inserts the exemplar if it is still slower than the current floor
+  /// (the floor may have risen since WouldAccept).
+  void Offer(uint64_t nanos, const Exemplar& exemplar);
+
+  /// Retained exemplars, slowest first.
+  std::vector<Exemplar> Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Exemplar> kept_;  ///< unsorted; at most kCapacity
+  /// Admission floor: 0 until kept_ is full, then the smallest kept
+  /// latency in nanoseconds.
+  std::atomic<uint64_t> floor_nanos_{0};
+};
+
+/// A named reservoir snapshot, as carried by MetricsSnapshot.
+struct PhaseExemplars {
+  std::string phase;
+  std::vector<Exemplar> exemplars;
+};
+
+}  // namespace cne::obs
+
+#endif  // CNE_OBS_EXEMPLAR_H_

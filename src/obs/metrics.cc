@@ -254,7 +254,58 @@ std::string MetricsSnapshot::ToJson(int indent) const {
         << ", \"max_seconds\": " << FormatSecondsJson(p.max_seconds) << "}";
   }
   if (!phases.empty()) out << "\n" << pad << "  ";
-  out << "]\n" << pad << "}";
+  out << "]";
+  if (!exemplars.empty()) {
+    out << ",\n" << pad << "  \"exemplars\": {";
+    for (size_t i = 0; i < exemplars.size(); ++i) {
+      const PhaseExemplars& pe = exemplars[i];
+      if (i) out << ",";
+      out << "\n" << pad << "    \"" << pe.phase << "\": [";
+      for (size_t j = 0; j < pe.exemplars.size(); ++j) {
+        const Exemplar& e = pe.exemplars[j];
+        if (j) out << ",";
+        out << "\n"
+            << pad << "      {\"seconds\": " << FormatSecondsJson(e.seconds)
+            << ", \"submit\": " << e.submit;
+        if (e.has_query) {
+          out << ", \"layer\": " << static_cast<unsigned>(e.layer)
+              << ", \"u\": " << e.u << ", \"w\": " << e.w;
+        }
+        if (e.kernel != nullptr) out << ", \"kernel\": \"" << e.kernel << "\"";
+        if (e.repr_u != nullptr) {
+          out << ", \"repr_u\": \"" << e.repr_u << "\", \"size_u\": " << e.size_u;
+        }
+        if (e.repr_w != nullptr) {
+          out << ", \"repr_w\": \"" << e.repr_w << "\", \"size_w\": " << e.size_w;
+        }
+        if (e.simd != nullptr) out << ", \"simd\": \"" << e.simd << "\"";
+        out << "}";
+      }
+      out << "\n" << pad << "    ]";
+    }
+    out << "\n" << pad << "  }";
+  }
+  if (budget.present) {
+    out << ",\n"
+        << pad << "  \"budget\": {\"lifetime_budget\": "
+        << FormatSecondsJson(budget.lifetime_budget)
+        << ", \"charged_vertices\": " << budget.charged_vertices
+        << ", \"exhausted_vertices\": " << budget.exhausted_vertices
+        << ", \"total_spent\": " << FormatSecondsJson(budget.total_spent)
+        << ", \"min_remaining\": " << FormatSecondsJson(budget.min_remaining)
+        << ", \"sum_remaining\": " << FormatSecondsJson(budget.sum_remaining)
+        << ", \"spent_rr\": " << FormatSecondsJson(budget.spent_rr)
+        << ", \"spent_laplace\": " << FormatSecondsJson(budget.spent_laplace)
+        << ", \"projected_submits_to_exhaustion\": "
+        << FormatSecondsJson(budget.projected_submits_to_exhaustion)
+        << ", \"residual_histogram\": [";
+    for (size_t i = 0; i < budget.residual_histogram.size(); ++i) {
+      if (i) out << ", ";
+      out << budget.residual_histogram[i];
+    }
+    out << "]}";
+  }
+  out << "\n" << pad << "}";
   return out.str();
 }
 
@@ -284,6 +335,39 @@ std::string MetricsSnapshot::ToTable() const {
     }
     out << "\n";
   }
+  for (const PhaseExemplars& pe : exemplars) {
+    out << "exemplars[" << pe.phase << "]:\n";
+    for (const Exemplar& e : pe.exemplars) {
+      out << "  " << FormatDuration(e.seconds) << " submit=" << e.submit;
+      if (e.has_query) {
+        out << " layer=" << static_cast<unsigned>(e.layer) << " u=" << e.u
+            << " w=" << e.w;
+      }
+      if (e.kernel != nullptr) out << " kernel=" << e.kernel;
+      if (e.repr_u != nullptr) {
+        out << " " << e.repr_u << "[" << e.size_u << "]";
+      }
+      if (e.repr_w != nullptr) {
+        out << "x" << e.repr_w << "[" << e.size_w << "]";
+      }
+      if (e.simd != nullptr) out << " simd=" << e.simd;
+      out << "\n";
+    }
+  }
+  if (budget.present) {
+    char line[224];
+    std::snprintf(line, sizeof(line),
+                  "budget: lifetime=%.4g charged=%llu exhausted=%llu "
+                  "spent=%.4g (rr=%.4g lap=%.4g) min_rem=%.4g "
+                  "proj_submits=%.4g\n",
+                  budget.lifetime_budget,
+                  static_cast<unsigned long long>(budget.charged_vertices),
+                  static_cast<unsigned long long>(budget.exhausted_vertices),
+                  budget.total_spent, budget.spent_rr, budget.spent_laplace,
+                  budget.min_remaining,
+                  budget.projected_submits_to_exhaustion);
+    out << line;
+  }
   return out.str();
 }
 
@@ -310,6 +394,13 @@ LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+ExemplarReservoir* MetricsRegistry::GetExemplars(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = exemplars_[name];
+  if (!slot) slot = std::make_unique<ExemplarReservoir>();
+  return slot.get();
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot out;
@@ -321,6 +412,11 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   }
   for (const auto& [name, histogram] : histograms_) {
     out.phases.push_back(MakePhaseStats(name, histogram->Snapshot()));
+  }
+  for (const auto& [name, reservoir] : exemplars_) {
+    std::vector<Exemplar> kept = reservoir->Snapshot();
+    if (kept.empty()) continue;
+    out.exemplars.push_back(PhaseExemplars{name, std::move(kept)});
   }
   return out;
 }

@@ -30,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/exemplar.h"
+
 namespace cne::obs {
 
 /// Runtime kill switch for the whole subsystem.
@@ -176,15 +178,45 @@ struct PhaseStats {
   double max_seconds = 0.0;
 };
 
-/// Point-in-time export of a registry: cumulative counters, gauges, and
-/// per-phase quantiles. Plain data, safe to copy into reports.
+/// Privacy-budget burn-down telemetry, filled from BudgetLedger spend
+/// telemetry plus the service's per-protocol spend counters. The ledger is
+/// this system's disk: `exhausted_vertices` is the "disk full" gauge, and
+/// `projected_submits_to_exhaustion` extrapolates the observed per-submit
+/// spend rate over the remaining budget.
+struct BudgetBurnDown {
+  bool present = false;  ///< false when the service runs without a ledger
+
+  double lifetime_budget = 0.0;     ///< per-vertex lifetime ε
+  uint64_t charged_vertices = 0;    ///< vertices with any recorded spend
+  uint64_t exhausted_vertices = 0;  ///< vertices with ~0 remaining ε
+  double total_spent = 0.0;         ///< Σ spent over charged vertices
+  double min_remaining = 0.0;       ///< tightest surviving vertex budget
+  double sum_remaining = 0.0;       ///< Σ remaining over charged vertices
+  double spent_rr = 0.0;            ///< ε spent via randomized response
+  double spent_laplace = 0.0;       ///< ε spent via Laplace releases
+
+  /// Residual-ε histogram: bin i counts charged vertices whose remaining
+  /// budget falls in [i, i+1) * lifetime_budget / bins.size().
+  std::vector<uint64_t> residual_histogram;
+
+  /// Submits until the first vertex class exhausts at the observed spend
+  /// rate; -1 when no spend has been observed yet.
+  double projected_submits_to_exhaustion = -1.0;
+};
+
+/// Point-in-time export of a registry: cumulative counters, gauges,
+/// per-phase quantiles, tail exemplars, and budget burn-down. Plain data,
+/// safe to copy into reports.
 struct MetricsSnapshot {
   /// Schema version of ToJson(); bump on any field change.
-  static constexpr int kVersion = 1;
+  /// v2: added "exemplars" and "budget" sections.
+  static constexpr int kVersion = 2;
 
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, int64_t>> gauges;
   std::vector<PhaseStats> phases;
+  std::vector<PhaseExemplars> exemplars;
+  BudgetBurnDown budget;
 
   /// Phase lookup by name; nullptr when absent.
   const PhaseStats* Phase(const std::string& name) const;
@@ -207,8 +239,10 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   LatencyHistogram* GetHistogram(const std::string& name);
+  ExemplarReservoir* GetExemplars(const std::string& name);
 
-  /// Snapshot of every registered metric, names sorted.
+  /// Snapshot of every registered metric, names sorted. Empty exemplar
+  /// reservoirs are omitted from `exemplars`.
   MetricsSnapshot Snapshot() const;
 
  private:
@@ -216,6 +250,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<ExemplarReservoir>> exemplars_;
 };
 
 /// Extracts PhaseStats from a histogram snapshot.

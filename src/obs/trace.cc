@@ -2,6 +2,10 @@
 
 namespace cne::obs {
 
+namespace trace_internal {
+std::atomic<bool> g_capture_armed{false};
+}  // namespace trace_internal
+
 #if CNE_OBS_ENABLED
 thread_local TraceSpan* TraceSpan::current_ = nullptr;
 #endif

@@ -1,11 +1,21 @@
 // RAII latency spans over obs::LatencyHistogram, with nesting-aware
-// exclusive time and a compile-time kill switch.
+// exclusive time, optional trace-event capture, and a compile-time kill
+// switch.
 //
-// A TraceSpan constructed with a null histogram is a complete no-op (no
-// clock read). With a histogram it records, on destruction, the span's
-// *exclusive* time — wall time minus the wall time of spans nested inside
-// it on the same thread — so a phase table sums to the pipeline total
-// instead of double-counting parents and children.
+// A TraceSpan constructed with a null histogram and no name is a complete
+// no-op (no clock read). With a histogram it records, on destruction, the
+// span's *exclusive* time — wall time minus the wall time of spans nested
+// inside it on the same thread — so a phase table sums to the pipeline
+// total instead of double-counting parents and children.
+//
+// A *named* span additionally publishes a complete trace event (name,
+// start, total duration) to the installed TraceSink (obs/trace_export.h)
+// whenever capture is armed — i.e. a sink is installed and the current
+// submit scope is sampled. A named span with a null histogram exists only
+// for the trace: it joins the nesting stack and emits an event, but
+// records nowhere, and collapses back to a no-op the moment capture is
+// off — so pipeline-shaped wrapper spans cost nothing outside a sampled
+// trace scope.
 //
 // Compiling with -DCNE_OBS_ENABLED=0 reduces every span to an empty object
 // and NowNanos stays available for manual timing.
@@ -13,6 +23,7 @@
 #ifndef CNE_OBS_TRACE_H_
 #define CNE_OBS_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -23,6 +34,19 @@
 #endif
 
 namespace cne::obs {
+
+namespace trace_internal {
+
+/// True while a TraceSink is installed AND the current submit scope is
+/// sampled (obs/trace_export.h flips it). Named spans read it with one
+/// relaxed load; everything else never touches it.
+extern std::atomic<bool> g_capture_armed;
+
+/// Forwards one finished span to the installed sink (trace_export.cc).
+void EmitSpanEvent(const char* name, uint64_t start_nanos,
+                   uint64_t end_nanos);
+
+}  // namespace trace_internal
 
 /// Monotonic nanosecond clock (steady_clock; ~20-25 ns per read).
 inline uint64_t NowNanos() {
@@ -36,19 +60,37 @@ inline uint64_t NowNanos() {
 
 class TraceSpan {
  public:
-  /// Null histogram => no-op span (no clock read, no thread-local touch).
-  explicit TraceSpan(LatencyHistogram* histogram) : histogram_(histogram) {
-    if (histogram_ == nullptr) return;
+  /// Null histogram and null name => no-op span (no clock read, no
+  /// thread-local touch). A name alone activates the span only while
+  /// trace capture is armed.
+  explicit TraceSpan(LatencyHistogram* histogram,
+                     const char* name = nullptr)
+      : histogram_(histogram) {
+    if (histogram_ == nullptr &&
+        (name == nullptr ||
+         !trace_internal::g_capture_armed.load(std::memory_order_relaxed))) {
+      return;
+    }
+    name_ = name;
+    active_ = true;
     parent_ = current_;
     current_ = this;
     start_nanos_ = NowNanos();
   }
 
   ~TraceSpan() {
-    if (histogram_ == nullptr) return;
-    const uint64_t total = NowNanos() - start_nanos_;
-    const uint64_t exclusive = total > child_nanos_ ? total - child_nanos_ : 0;
-    histogram_->Record(exclusive);
+    if (!active_) return;
+    const uint64_t end_nanos = NowNanos();
+    const uint64_t total = end_nanos - start_nanos_;
+    if (histogram_ != nullptr) {
+      const uint64_t exclusive =
+          total > child_nanos_ ? total - child_nanos_ : 0;
+      histogram_->Record(exclusive);
+    }
+    if (name_ != nullptr &&
+        trace_internal::g_capture_armed.load(std::memory_order_relaxed)) {
+      trace_internal::EmitSpanEvent(name_, start_nanos_, end_nanos);
+    }
     if (parent_ != nullptr) parent_->child_nanos_ += total;
     current_ = parent_;
   }
@@ -58,6 +100,8 @@ class TraceSpan {
 
  private:
   LatencyHistogram* histogram_;
+  const char* name_ = nullptr;
+  bool active_ = false;
   TraceSpan* parent_ = nullptr;
   uint64_t start_nanos_ = 0;
   uint64_t child_nanos_ = 0;
@@ -69,7 +113,7 @@ class TraceSpan {
 
 class TraceSpan {
  public:
-  explicit TraceSpan(LatencyHistogram*) {}
+  explicit TraceSpan(LatencyHistogram*, const char* = nullptr) {}
 };
 
 #endif  // CNE_OBS_ENABLED

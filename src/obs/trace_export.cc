@@ -1,0 +1,194 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+namespace cne::obs {
+namespace {
+
+/// The installed sink. Emitters read it with one relaxed load; install and
+/// uninstall are control-plane stores from the owning thread.
+std::atomic<TraceSink*> g_sink{nullptr};
+
+/// Monotonic sink generation counter. Each TraceSink takes a fresh id at
+/// construction, and the thread-local buffer cache keys on it, so a stale
+/// cache from a destroyed sink can never alias a new sink that happens to
+/// reuse the same address.
+std::atomic<uint64_t> g_generation{0};
+
+struct ThreadCache {
+  uint64_t generation = 0;
+  void* buffer = nullptr;  // TraceSink::ThreadBuffer*, typed at use site
+};
+
+thread_local ThreadCache t_cache;
+
+}  // namespace
+
+namespace trace_internal {
+
+void EmitSpanEvent(const char* name, uint64_t start_nanos,
+                   uint64_t end_nanos) {
+  TraceSink* sink = g_sink.load(std::memory_order_relaxed);
+  if (sink == nullptr) return;
+  sink->Emit(name, start_nanos, end_nanos - start_nanos);
+}
+
+}  // namespace trace_internal
+
+TraceSink::TraceSink(TraceSinkOptions options)
+    : options_([&options] {
+        if (options.ring_capacity == 0) options.ring_capacity = 1;
+        if (options.sample_period == 0) options.sample_period = 1;
+        return options;
+      }()),
+      generation_(g_generation.fetch_add(1, std::memory_order_relaxed) + 1) {}
+
+TraceSink::~TraceSink() { Uninstall(); }
+
+void TraceSink::Install() {
+  TraceSink* expected = nullptr;
+  if (!g_sink.compare_exchange_strong(expected, this,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "TraceSink::Install: another sink is already installed\n");
+    std::abort();
+  }
+  installed_ = true;
+}
+
+void TraceSink::Uninstall() {
+  if (!installed_) return;
+  trace_internal::g_capture_armed.store(false, std::memory_order_relaxed);
+  g_sink.store(nullptr, std::memory_order_release);
+  installed_ = false;
+}
+
+TraceSink* TraceSink::Current() {
+  return g_sink.load(std::memory_order_relaxed);
+}
+
+void TraceSink::BeginSubmitScope(uint64_t submit_id) {
+  scope_submit_.store(submit_id, std::memory_order_relaxed);
+  const bool sampled = (scopes_begun_++ % options_.sample_period) == 0;
+  trace_internal::g_capture_armed.store(sampled, std::memory_order_relaxed);
+}
+
+void TraceSink::EndSubmitScope() {
+  trace_internal::g_capture_armed.store(false, std::memory_order_relaxed);
+}
+
+TraceSink::ThreadBuffer* TraceSink::BufferForThisThread() {
+  if (t_cache.generation == generation_) {
+    return static_cast<ThreadBuffer*>(t_cache.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto buffer = std::make_unique<ThreadBuffer>(
+      options_.ring_capacity, static_cast<uint32_t>(buffers_.size() + 1));
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  t_cache.generation = generation_;
+  t_cache.buffer = raw;
+  return raw;
+}
+
+void TraceSink::Emit(const char* name, uint64_t start_nanos,
+                     uint64_t dur_nanos) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  const uint64_t n = buffer->count.load(std::memory_order_relaxed);
+  TraceEvent& slot = buffer->ring[n % buffer->ring.size()];
+  slot.name = name;
+  slot.start_nanos = start_nanos;
+  slot.dur_nanos = dur_nanos;
+  slot.submit = scope_submit_.load(std::memory_order_relaxed);
+  buffer->count.store(n + 1, std::memory_order_release);
+}
+
+uint64_t TraceSink::EventsRetained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t retained = 0;
+  for (const auto& buffer : buffers_) {
+    retained += std::min<uint64_t>(
+        buffer->count.load(std::memory_order_acquire), buffer->ring.size());
+  }
+  return retained;
+}
+
+uint64_t TraceSink::EventsDropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    const uint64_t count = buffer->count.load(std::memory_order_acquire);
+    if (count > buffer->ring.size()) dropped += count - buffer->ring.size();
+  }
+  return dropped;
+}
+
+std::string TraceSink::ToChromeJson() const {
+  struct Drained {
+    TraceEvent event;
+    uint32_t tid;
+  };
+  std::vector<Drained> events;
+  uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      const uint64_t count = buffer->count.load(std::memory_order_acquire);
+      const uint64_t capacity = buffer->ring.size();
+      if (count > capacity) dropped += count - capacity;
+      const uint64_t retained = std::min<uint64_t>(count, capacity);
+      const uint64_t first = count - retained;
+      for (uint64_t i = first; i < count; ++i) {
+        events.push_back({buffer->ring[i % capacity], buffer->tid});
+      }
+    }
+  }
+
+  // Chrome trace viewers tolerate any order, but sorted output lets the
+  // checker verify nesting with a simple per-tid stack: ts ascending, and
+  // on ties the longer (outer) span first.
+  std::sort(events.begin(), events.end(),
+            [](const Drained& a, const Drained& b) {
+              if (a.event.start_nanos != b.event.start_nanos) {
+                return a.event.start_nanos < b.event.start_nanos;
+              }
+              return a.event.dur_nanos > b.event.dur_nanos;
+            });
+
+  uint64_t base = 0;
+  if (!events.empty()) base = events.front().event.start_nanos;
+
+  // Microseconds with sub-microsecond resolution preserved; Perfetto
+  // accepts fractional ts/dur. Span names are static C identifiers from
+  // TraceSpan sites, so no string escaping is needed.
+  const auto micros = [](uint64_t nanos) {
+    return static_cast<double>(nanos) / 1000.0;
+  };
+
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(3);
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n";
+  out << "  \"otherData\": {\"events_retained\": " << events.size()
+      << ", \"events_dropped\": " << dropped << "},\n";
+  out << "  \"traceEvents\": [";
+  bool first = true;
+  for (const Drained& d : events) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"name\": \""
+        << (d.event.name != nullptr ? d.event.name : "(unnamed)")
+        << "\", \"ph\": \"X\", \"ts\": " << micros(d.event.start_nanos - base)
+        << ", \"dur\": " << micros(d.event.dur_nanos)
+        << ", \"pid\": 1, \"tid\": " << d.tid
+        << ", \"args\": {\"submit\": " << d.event.submit << "}}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace cne::obs

@@ -1,0 +1,156 @@
+// Per-thread trace-event capture behind the TraceSpan stack, exported as
+// Chrome-trace-event JSON (opens directly in Perfetto / chrome://tracing).
+//
+// A TraceSink owns one lock-light ring buffer per emitting thread. Named
+// TraceSpans publish complete ("X") events — name, start, total duration,
+// the current submit id — into their own thread's ring; the ring
+// overwrites its oldest events when full, so capture never blocks or
+// allocates on the hot path (the per-event cost is a thread-local cache
+// check plus one slot write and a release store).
+//
+// Capture is scoped to submissions: the query service opens a
+// SubmitTraceScope around each Submit, and the sink samples one scope in
+// every `sample_period`. Outside a sampled scope the armed flag
+// (obs/trace.h) is down and named spans collapse to no-ops, which is how
+// the <5% observability overhead contract survives tracing: an idle sink
+// costs exactly one relaxed load per named span.
+//
+// Serialization: ToChromeJson() drains every ring into one JSON document
+// sorted by timestamp. Nesting is implicit in the format — viewers (and
+// scripts/check_trace_json.py) reconstruct span trees from interval
+// containment per tid, which holds by construction because spans on one
+// thread strictly nest.
+//
+// Thread-safety: Emit is safe from any thread; Install/Uninstall,
+// Begin/EndSubmitScope, and ToChromeJson are control-plane calls expected
+// from one coordinating thread (the service owner) with no Submit in
+// flight during ToChromeJson.
+
+#ifndef CNE_OBS_TRACE_EXPORT_H_
+#define CNE_OBS_TRACE_EXPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cne::obs {
+
+/// One captured span, as stored in a thread ring.
+struct TraceEvent {
+  const char* name = nullptr;  ///< static string from the TraceSpan site
+  uint64_t start_nanos = 0;    ///< NowNanos() at span entry
+  uint64_t dur_nanos = 0;      ///< total (inclusive) span duration
+  uint64_t submit = 0;         ///< submit scope the span belongs to
+};
+
+struct TraceSinkOptions {
+  /// Events retained per emitting thread; the ring overwrites its oldest
+  /// event when full. Power of two recommended (the index math is a mod).
+  size_t ring_capacity = 4096;
+
+  /// Capture every Nth submit scope (1 = every submit). Sampling whole
+  /// scopes rather than individual events keeps retained span trees
+  /// complete — a partial tree is useless for drill-down.
+  uint64_t sample_period = 1;
+};
+
+/// Installable trace-event collector. At most one sink is installed at a
+/// time; the destructor uninstalls automatically.
+class TraceSink {
+ public:
+  explicit TraceSink(TraceSinkOptions options = {});
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Makes this sink the process-wide capture target. Fatal check if
+  /// another sink is already installed.
+  void Install();
+
+  /// Detaches this sink (no-op when not installed). Buffered events stay
+  /// readable through ToChromeJson().
+  void Uninstall();
+
+  /// The installed sink, or nullptr. One relaxed atomic load.
+  static TraceSink* Current();
+
+  /// Opens a submit capture scope: decides whether this scope is sampled
+  /// and arms named-span capture accordingly. Must be balanced with
+  /// EndSubmitScope (use SubmitTraceScope).
+  void BeginSubmitScope(uint64_t submit_id);
+  void EndSubmitScope();
+
+  /// Appends one event to the calling thread's ring (registering the ring
+  /// on the thread's first emit). Called by the TraceSpan destructor via
+  /// trace_internal::EmitSpanEvent; safe from any thread.
+  void Emit(const char* name, uint64_t start_nanos, uint64_t dur_nanos);
+
+  /// Events currently retained across all rings / dropped to overwrite.
+  uint64_t EventsRetained() const;
+  uint64_t EventsDropped() const;
+
+  /// All retained events as a Chrome-trace-event JSON document:
+  /// {"traceEvents": [{"name", "ph": "X", "ts", "dur", "pid", "tid",
+  /// "args": {"submit"}}, ...]} with ts/dur in microseconds relative to
+  /// the earliest retained event, sorted by ts (ties: longest first, so
+  /// parents precede their children).
+  std::string ToChromeJson() const;
+
+ private:
+  struct ThreadBuffer {
+    explicit ThreadBuffer(size_t capacity, uint32_t tid)
+        : ring(capacity), tid(tid) {}
+    std::vector<TraceEvent> ring;
+    /// Total events ever emitted; ring[i % capacity] holds the live tail.
+    /// Release store after the slot write so a drain on another thread
+    /// sees initialized slots.
+    std::atomic<uint64_t> count{0};
+    uint32_t tid;
+  };
+
+  ThreadBuffer* BufferForThisThread();
+
+  const TraceSinkOptions options_;
+  const uint64_t generation_;  ///< distinguishes sinks across lifetimes
+
+  std::atomic<uint64_t> scope_submit_{0};
+  uint64_t scopes_begun_ = 0;  ///< drives 1-in-sample_period selection
+  bool installed_ = false;
+
+  mutable std::mutex mutex_;  ///< guards buffers_ registration and drains
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII submit scope: inert when disabled or when no sink is installed.
+class SubmitTraceScope {
+ public:
+  SubmitTraceScope(bool enabled, uint64_t submit_id) {
+#if CNE_OBS_ENABLED
+    if (!enabled) return;
+    sink_ = TraceSink::Current();
+    if (sink_ != nullptr) sink_->BeginSubmitScope(submit_id);
+#else
+    (void)enabled;
+    (void)submit_id;
+#endif
+  }
+  ~SubmitTraceScope() {
+    if (sink_ != nullptr) sink_->EndSubmitScope();
+  }
+
+  SubmitTraceScope(const SubmitTraceScope&) = delete;
+  SubmitTraceScope& operator=(const SubmitTraceScope&) = delete;
+
+ private:
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace cne::obs
+
+#endif  // CNE_OBS_TRACE_EXPORT_H_

@@ -4,6 +4,7 @@
 
 #include "obs/trace.h"
 #include "store/snapshot_format.h"
+#include "util/cpu_features.h"
 #include "util/logging.h"
 
 namespace cne {
@@ -79,7 +80,9 @@ void NoisyViewStore::MaterializeAuthorized(ThreadPool& pool) {
       const uint64_t t0 = build_histogram_ != nullptr ? obs::NowNanos() : 0;
       std::unique_ptr<NoisyNeighborSet> view = Generate(vertex);
       if (build_histogram_ != nullptr) {
-        build_histogram_->Record(obs::NowNanos() - t0);
+        const uint64_t dt = obs::NowNanos() - t0;
+        build_histogram_->Record(dt);
+        OfferBuildExemplar(vertex, *view, dt);
       }
       std::lock_guard<std::mutex> lock(slow_mutex_);
       if (table.state[vertex.id].load(std::memory_order_acquire) !=
@@ -88,6 +91,25 @@ void NoisyViewStore::MaterializeAuthorized(ThreadPool& pool) {
       }
     }
   });
+}
+
+void NoisyViewStore::OfferBuildExemplar(LayeredVertex vertex,
+                                        const NoisyNeighborSet& view,
+                                        uint64_t nanos) const {
+  if (build_exemplars_ == nullptr || !build_exemplars_->WouldAccept(nanos)) {
+    return;
+  }
+  obs::Exemplar e;
+  e.seconds = static_cast<double>(nanos) * 1e-9;
+  e.submit = build_submit_;
+  e.has_query = true;  // u == w: the released vertex, not a pair
+  e.layer = static_cast<uint8_t>(vertex.layer);
+  e.u = vertex.id;
+  e.w = vertex.id;
+  e.repr_u = view.IsBitmap() ? "bitmap" : "sorted";
+  e.size_u = view.Size();
+  e.simd = SimdLevelName(ActiveSimdLevel());
+  build_exemplars_->Offer(nanos, e);
 }
 
 const NoisyNeighborSet* NoisyViewStore::Get(LayeredVertex vertex) {
@@ -124,7 +146,9 @@ const NoisyNeighborSet* NoisyViewStore::Get(LayeredVertex vertex) {
   const uint64_t t0 = build_histogram_ != nullptr ? obs::NowNanos() : 0;
   std::unique_ptr<NoisyNeighborSet> built = Generate(vertex);
   if (build_histogram_ != nullptr) {
-    build_histogram_->Record(obs::NowNanos() - t0);
+    const uint64_t dt = obs::NowNanos() - t0;
+    build_histogram_->Record(dt);
+    OfferBuildExemplar(vertex, *built, dt);
   }
   Publish(vertex, std::move(built));
   return table.view[vertex.id].load(std::memory_order_acquire);

@@ -138,6 +138,20 @@ class NoisyViewStore {
     build_histogram_ = histogram;
   }
 
+  /// Installs a build-latency exemplar reservoir: the slowest view builds
+  /// are retained with the released vertex (exemplar u == w == vertex id),
+  /// the built representation/size, and the SIMD level. Only effective
+  /// when a build histogram is also installed (exemplars ride the same
+  /// clocked samples). Same set-before-use contract as the histogram.
+  void set_build_exemplars(obs::ExemplarReservoir* exemplars) {
+    build_exemplars_ = exemplars;
+  }
+
+  /// Stamps subsequent build exemplars with the current submit sequence
+  /// number. Called by the query service at each Submit; not synchronized
+  /// against in-flight builds (builds happen inside the same Submit).
+  void set_build_submit(uint64_t submit_id) { build_submit_ = submit_id; }
+
   Stats stats() const;
 
   // ---- persistence hooks (store/snapshot_format.h) ----
@@ -206,6 +220,11 @@ class NoisyViewStore {
   /// records its upload.
   void Publish(LayeredVertex vertex, std::unique_ptr<NoisyNeighborSet> view);
 
+  /// Offers one clocked build to the exemplar reservoir (no-op when none
+  /// is installed or the build is faster than the admission floor).
+  void OfferBuildExemplar(LayeredVertex vertex, const NoisyNeighborSet& view,
+                          uint64_t nanos) const;
+
   const BipartiteGraph& graph_;
   const double epsilon_;
   const Rng base_rng_;
@@ -219,6 +238,8 @@ class NoisyViewStore {
   std::vector<LayeredVertex> pending_;  ///< authorized, not yet built
 
   obs::LatencyHistogram* build_histogram_ = nullptr;  ///< null = off
+  obs::ExemplarReservoir* build_exemplars_ = nullptr;  ///< null = off
+  uint64_t build_submit_ = 0;  ///< submit id stamped on build exemplars
 
   std::atomic<uint64_t> lookups_{0};
   std::atomic<uint64_t> releases_{0};

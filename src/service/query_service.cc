@@ -7,11 +7,13 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <stdexcept>
 #include <thread>
 
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "service/workload_planner.h"
 #include "store/budget_wal.h"
 #include "util/failpoint.h"
@@ -130,6 +132,12 @@ void QueryService::InitMetrics() {
   g_health_ = metrics_.GetGauge("health");
   g_health_->Set(static_cast<int64_t>(health_));
   metrics_.GetGauge("threads")->Set(pool_.NumThreads());
+  // Budget burn-down: per-mechanism spend counters in integer micro-ε
+  // (u64 counters cannot carry doubles; 1 µε resolution is far below any
+  // meaningful privacy increment) and the exhausted-vertex gauge.
+  c_spend_rr_ = metrics_.GetCounter("budget_spent_rr_microeps");
+  c_spend_laplace_ = metrics_.GetCounter("budget_spent_laplace_microeps");
+  g_budget_exhausted_ = metrics_.GetGauge("budget_exhausted_vertices");
   if (options_.metrics_level != obs::MetricsLevel::kFull) return;
   // Register the full phase taxonomy up front so every snapshot carries
   // every phase row, zero-count phases included — schema over sparsity.
@@ -141,6 +149,13 @@ void QueryService::InitMetrics() {
   h_post_process_ = metrics_.GetHistogram("post_process");
   h_checkpoint_ = metrics_.GetHistogram("checkpoint");
   store_.set_build_histogram(metrics_.GetHistogram("release_build"));
+  // Tail exemplars ride the phases that already clock individual samples
+  // (1-in-N admission/post-process strides, per-view builds), so the only
+  // per-sample cost is one relaxed load against the reservoir floor.
+  ex_admission_ = metrics_.GetExemplars("admission");
+  ex_post_process_ = metrics_.GetExemplars("post_process");
+  ex_release_build_ = metrics_.GetExemplars("release_build");
+  store_.set_build_exemplars(ex_release_build_);
 #endif
 }
 
@@ -286,7 +301,7 @@ double QueryService::Checkpoint() {
         "a failed service cannot checkpoint: in-memory state is not "
         "trustworthy; restart and recover from the last durable state");
   }
-  const obs::TraceSpan span(h_checkpoint_);
+  const obs::TraceSpan span(h_checkpoint_, "checkpoint");
   if (c_checkpoints_ != nullptr) c_checkpoints_->Add();
   Timer timer;
   const uint64_t next_epoch = persist_->epoch + 1;
@@ -395,6 +410,7 @@ void QueryService::RaiseLifetimeBudget(double new_budget) {
 
 ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   Timer timer;
+  ++submit_seq_;
   ServiceReport report;
   report.answers.resize(queries.size());
 
@@ -415,6 +431,15 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
     return report;
   }
 
+  // Trace capture scope: the installed TraceSink (if any) samples whole
+  // submits; inside a sampled scope the named spans below publish trace
+  // events. The scope and the submit root span are declared in this order
+  // so the root span's destructor — which emits the event — runs while
+  // capture is still armed. Both deflate to no-ops without a sink.
+  const obs::SubmitTraceScope trace_scope(
+      options_.metrics_level == obs::MetricsLevel::kFull, submit_seq_);
+  const obs::TraceSpan submit_span(nullptr, "submit");
+
   // A batch journals only while healthy: degraded mode admits nothing
   // that needs a charge, so there is nothing to make durable.
   const bool journaling =
@@ -431,6 +456,9 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   // queries, so running it sequentially makes accept/reject decisions —
   // and hence everything downstream — independent of thread count.
   cache_hit_lookups_ = 0;
+  submit_spend_rr_ = 0.0;
+  submit_spend_laplace_ = 0.0;
+  if (ex_release_build_ != nullptr) store_.set_build_submit(submit_seq_);
   rollback_charges_.clear();
   rollback_authorized_.clear();
   const uint64_t noise_stream_mark = next_noise_stream_;
@@ -453,18 +481,35 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
       plan[i].noise_stream = next_noise_stream_++;
     }
   };
-  if (h_admission_ == nullptr) {
-    for (size_t i = 0; i < queries.size(); ++i) admit_one(i);
-  } else {
-    constexpr size_t kAdmitStride = 1024;
-    size_t i = 0;
-    while (i < queries.size()) {
-      const uint64_t t0 = obs::NowNanos();
-      admit_one(i);
-      h_admission_->Record(obs::NowNanos() - t0);
-      ++i;
-      const size_t chunk_end = std::min(queries.size(), i + (kAdmitStride - 1));
-      for (; i < chunk_end; ++i) admit_one(i);
+  {
+    const obs::TraceSpan admission_span(nullptr, "admission");
+    if (h_admission_ == nullptr) {
+      for (size_t i = 0; i < queries.size(); ++i) admit_one(i);
+    } else {
+      constexpr size_t kAdmitStride = 1024;
+      size_t i = 0;
+      while (i < queries.size()) {
+        const uint64_t t0 = obs::NowNanos();
+        admit_one(i);
+        const uint64_t dt = obs::NowNanos() - t0;
+        h_admission_->Record(dt);
+        // Exemplar offer only on the already-clocked 1-in-stride sample,
+        // and only when it would displace a kept exemplar.
+        if (ex_admission_ != nullptr && ex_admission_->WouldAccept(dt)) {
+          obs::Exemplar e;
+          e.seconds = static_cast<double>(dt) * 1e-9;
+          e.submit = submit_seq_;
+          e.has_query = true;
+          e.layer = static_cast<uint8_t>(queries[i].layer);
+          e.u = queries[i].u;
+          e.w = queries[i].w;
+          ex_admission_->Offer(dt, e);
+        }
+        ++i;
+        const size_t chunk_end =
+            std::min(queries.size(), i + (kAdmitStride - 1));
+        for (; i < chunk_end; ++i) admit_one(i);
+      }
     }
   }
   if (c_submits_ != nullptr) {
@@ -482,7 +527,7 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   // read-only instead of answering over a journal that never happened.
   if (journaling) {
     try {
-      const obs::TraceSpan wal_span(h_wal_fsync_);
+      const obs::TraceSpan wal_span(h_wal_fsync_, "wal_fsync");
       WalRecord seal;
       seal.type = WalRecordType::kSubmitSealed;
       seal.counter = next_noise_stream_;
@@ -503,7 +548,19 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
   }
   // Cache-hit stats flush only after the batch is known to stand, so a
   // rolled-back submission leaves the store's counters exactly as found.
+  // Same for the per-mechanism spend counters: the failed-seal path
+  // returned above, leaving the burn-down exactly as before the batch.
   store_.RecordCacheHits(cache_hit_lookups_);
+  if (c_spend_rr_ != nullptr) {
+    if (submit_spend_rr_ > 0.0) {
+      c_spend_rr_->Add(
+          static_cast<uint64_t>(std::llround(submit_spend_rr_ * 1e6)));
+    }
+    if (submit_spend_laplace_ > 0.0) {
+      c_spend_laplace_->Add(
+          static_cast<uint64_t>(std::llround(submit_spend_laplace_ * 1e6)));
+    }
+  }
 
   try {
     // Deterministic mid-execution fault hook: fires after the seal, so a
@@ -519,7 +576,7 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
     // release span is the submit-level barrier wall time; per-view build
     // latency lands in the store's release_build histogram.
     {
-      const obs::TraceSpan release_span(h_release_);
+      const obs::TraceSpan release_span(h_release_, "release");
       store_.MaterializeAuthorized(pool_);
     }
 
@@ -530,7 +587,7 @@ ServiceReport QueryService::Submit(const std::vector<QueryPair>& queries) {
     if (options_.enable_planner && queries.size() >= kMinQueriesToPlan) {
       ExecutePlanned(plan, report);
     } else {
-      const obs::TraceSpan execute_span(h_execute_);
+      const obs::TraceSpan execute_span(h_execute_, "execute");
       pool_.ParallelFor(plan.size(), [&](size_t begin, size_t end) {
         obs::SampledRecorder sampler(h_post_process_);
         for (size_t i = begin; i < end; ++i) {
@@ -626,6 +683,9 @@ void QueryService::FinalizeReport(ServiceReport& report, double seconds) {
   report.budget_vertices_charged = ledger_.NumChargedVertices();
   report.budget_total_spent = ledger_.TotalSpent();
   report.budget_min_remaining = ledger_.MinRemaining();
+  if (g_budget_exhausted_ != nullptr) {
+    g_budget_exhausted_->Set(static_cast<int64_t>(ledger_.NumExhausted()));
+  }
   report.snapshot_load_seconds = recovery_.snapshot_load_seconds;
   report.wal_replay_records = recovery_.wal_replay_records;
   if (persist_) {
@@ -638,12 +698,46 @@ void QueryService::FinalizeReport(ServiceReport& report, double seconds) {
   // snapshot pull it with SnapshotMetrics() at their own cadence.
 }
 
+obs::MetricsSnapshot QueryService::SnapshotMetrics() const {
+  obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+#if CNE_OBS_ENABLED
+  if (options_.metrics_level == obs::MetricsLevel::kOff) return snapshot;
+  // Budget burn-down: one sharded ledger walk plus the per-mechanism
+  // counters. This runs at snapshot cadence, never per submit.
+  const BudgetLedgerTelemetry t = ledger_.GetTelemetry();
+  obs::BudgetBurnDown& budget = snapshot.budget;
+  budget.present = true;
+  budget.lifetime_budget = t.lifetime_budget;
+  budget.charged_vertices = t.charged_vertices;
+  budget.exhausted_vertices = t.exhausted_vertices;
+  budget.total_spent = t.total_spent;
+  budget.min_remaining = t.min_remaining;
+  budget.sum_remaining = t.sum_remaining;
+  budget.residual_histogram = t.residual_histogram;
+  if (c_spend_rr_ != nullptr) {
+    budget.spent_rr = static_cast<double>(c_spend_rr_->Value()) * 1e-6;
+    budget.spent_laplace =
+        static_cast<double>(c_spend_laplace_->Value()) * 1e-6;
+  }
+  // Projection: at the observed mean ε burn per submit, how many more
+  // submits until the charged population's remaining budget is gone. A
+  // cache-dominated steady state burns ~0 per submit, so the projection
+  // legitimately grows without bound; -1 means no spend observed at all.
+  const uint64_t submits = snapshot.CounterValue("submits");
+  if (submits > 0 && t.total_spent > 0.0) {
+    const double per_submit = t.total_spent / static_cast<double>(submits);
+    budget.projected_submits_to_exhaustion = t.sum_remaining / per_submit;
+  }
+#endif
+  return snapshot;
+}
+
 void QueryService::ExecutePlanned(const std::vector<PlannedQuery>& plan,
                                   ServiceReport& report) {
   Timer plan_timer;
   const WorkloadPlan* planned = nullptr;
   {
-    const obs::TraceSpan plan_span(h_plan_);
+    const obs::TraceSpan plan_span(h_plan_, "plan");
     refs_.clear();
     refs_.reserve(plan.size());
     for (size_t i = 0; i < plan.size(); ++i) {
@@ -674,11 +768,17 @@ void QueryService::ExecutePlanned(const std::vector<PlannedQuery>& plan,
   // few µs, so per-group spans would spend a measurable share of the
   // execute phase measuring it. The histogram's quantiles describe chunk
   // latencies; per-query tail latency lives in post_process.
+  // The main-thread wrapper spans the whole fan-out for the trace (its
+  // duration is the execute phase's wall time); worker chunks emit their
+  // own "execute_chunk" events on their own threads, which the trace
+  // renders as separate tid tracks.
+  const obs::TraceSpan execute_wrapper(nullptr, "execute");
   pool_.ParallelFor(
       workload.groups.size(), [&](size_t begin, size_t end) {
-        const obs::TraceSpan execute_span(h_execute_);
+        const obs::TraceSpan execute_span(h_execute_, "execute_chunk");
         GroupExecutor executor(graph_, plan_, debias_, store_, noise_root_,
-                               h_post_process_);
+                               h_post_process_, ex_post_process_,
+                               submit_seq_);
         for (size_t g = begin; g < end; ++g) {
           executor.Execute(workload, workload.groups[g], estimates);
         }
@@ -749,6 +849,7 @@ RejectReason QueryService::Admit(const QueryPair& query) {
       rollback_authorized_.push_back(u);
     }
     CNE_CHECK(store_.Authorize(u) == NoisyViewStore::Admission::kAuthorized);
+    if (c_spend_rr_ != nullptr) submit_spend_rr_ += plan_.epsilon1;
     if (journal) {
       persist_->wal->Append(MakeAuthorized(u));
       persist_->wal->Append(MakeCharge(u, plan_.epsilon1));
@@ -762,6 +863,7 @@ RejectReason QueryService::Admit(const QueryPair& query) {
       rollback_authorized_.push_back(w);
     }
     CNE_CHECK(store_.Authorize(w) == NoisyViewStore::Admission::kAuthorized);
+    if (c_spend_rr_ != nullptr) submit_spend_rr_ += plan_.epsilon1;
     if (journal) {
       persist_->wal->Append(MakeAuthorized(w));
       persist_->wal->Append(MakeCharge(w, plan_.epsilon1));
@@ -772,11 +874,13 @@ RejectReason QueryService::Admit(const QueryPair& query) {
   if (lap_u) {
     if (journal) rollback_charges_.emplace_back(u, ledger_.Spent(u));
     CNE_CHECK(ledger_.TryCharge(u, plan_.epsilon2));
+    if (c_spend_laplace_ != nullptr) submit_spend_laplace_ += plan_.epsilon2;
     if (journal) persist_->wal->Append(MakeCharge(u, plan_.epsilon2));
   }
   if (lap_w) {
     if (journal) rollback_charges_.emplace_back(w, ledger_.Spent(w));
     CNE_CHECK(ledger_.TryCharge(w, plan_.epsilon2));
+    if (c_spend_laplace_ != nullptr) submit_spend_laplace_ += plan_.epsilon2;
     if (journal) persist_->wal->Append(MakeCharge(w, plan_.epsilon2));
   }
   return RejectReason::kNone;

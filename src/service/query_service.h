@@ -282,8 +282,10 @@ class QueryService {
   const NoisyViewStore& store() const { return store_; }
 
   /// Current cumulative metrics without submitting anything (the same
-  /// snapshot every ServiceReport carries). Empty at kOff.
-  obs::MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
+  /// snapshot every ServiceReport carries): counters, gauges, per-phase
+  /// quantiles, tail exemplars, and the ledger's budget burn-down
+  /// (BudgetBurnDown). Empty at kOff.
+  obs::MetricsSnapshot SnapshotMetrics() const;
 
  private:
   struct Persistence;  // snapshot paths + WAL handle (query_service.cc)
@@ -380,12 +382,28 @@ class QueryService {
   obs::LatencyHistogram* h_execute_ = nullptr;       ///< per group / chunk
   obs::LatencyHistogram* h_post_process_ = nullptr;  ///< per query, sampled
   obs::LatencyHistogram* h_checkpoint_ = nullptr;    ///< per checkpoint
+  // Budget burn-down telemetry (≥ kCounters): per-protocol ε spend in
+  // integer micro-ε (counters are u64) and the exhausted-vertex gauge.
+  obs::Counter* c_spend_rr_ = nullptr;       ///< RR ε spent, micro-ε
+  obs::Counter* c_spend_laplace_ = nullptr;  ///< Laplace ε spent, micro-ε
+  obs::Gauge* g_budget_exhausted_ = nullptr; ///< ledger NumExhausted
+  // Tail exemplar reservoirs (kFull): slowest clocked samples per phase,
+  // with kernel/operand context (obs/exemplar.h).
+  obs::ExemplarReservoir* ex_admission_ = nullptr;
+  obs::ExemplarReservoir* ex_post_process_ = nullptr;
+  obs::ExemplarReservoir* ex_release_build_ = nullptr;
 
   // Submit-level scratch, reused across submissions (Submit is not
   // reentrant by contract).
   std::vector<PlannedQueryRef> refs_;
   std::vector<double> estimates_;
   uint64_t cache_hit_lookups_ = 0;  ///< flushed to the store per Submit
+  uint64_t submit_seq_ = 0;         ///< 1-based id of the current Submit
+  // Per-mechanism ε spent by the current submission, flushed to the
+  // micro-ε counters only once the batch seals — a rolled-back batch must
+  // leave the burn-down counters exactly as found.
+  double submit_spend_rr_ = 0.0;
+  double submit_spend_laplace_ = 0.0;
 
   // Rollback scratch for the current submission (persistent + healthy
   // only): each ledger mutation's prior spend, recorded *before* the

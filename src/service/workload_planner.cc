@@ -4,6 +4,7 @@
 
 #include "graph/set_ops.h"
 #include "ldp/laplace_mechanism.h"
+#include "util/cpu_features.h"
 #include "util/logging.h"
 
 namespace cne {
@@ -111,13 +112,17 @@ GroupExecutor::GroupExecutor(const BipartiteGraph& graph,
                              const DebiasConstants& debias,
                              const NoisyViewStore& store,
                              const Rng& noise_root,
-                             obs::LatencyHistogram* post_process)
+                             obs::LatencyHistogram* post_process,
+                             obs::ExemplarReservoir* exemplars,
+                             uint64_t submit_id)
     : graph_(graph),
       plan_(plan),
       debias_(debias),
       store_(store),
       noise_root_(noise_root),
-      post_process_(post_process) {}
+      post_process_(post_process),
+      exemplars_(exemplars),
+      submit_(submit_id) {}
 
 void GroupExecutor::Execute(const WorkloadPlan& plan,
                             const QueryGroup& group,
@@ -143,6 +148,34 @@ void GroupExecutor::ExecuteRun(const QueryGroup& group,
   if (items.empty()) return;
   const Layer layer = group.source.layer;
 
+  // Exemplar hook for a clocked sample: builds the full context — the
+  // reconstructed query pair, the batch kernel that the operand shapes
+  // dispatch to, both operand representations/sizes, the SIMD level —
+  // but only when the sample is slow enough to displace a kept exemplar
+  // (one relaxed load otherwise). `a` is the source-side operand of the
+  // batch pass, `b` the candidate-side one.
+  const auto offer = [&](std::span<const GroupItem> run_items, size_t i,
+                         uint64_t dt, const SetView& a, const SetView& b,
+                         bool run_source_as_u) {
+    if (exemplars_ == nullptr || !exemplars_->WouldAccept(dt)) return;
+    obs::Exemplar e;
+    e.seconds = static_cast<double>(dt) * 1e-9;
+    e.submit = submit_;
+    e.has_query = true;
+    e.layer = static_cast<uint8_t>(layer);
+    e.u = run_source_as_u ? group.source.id : run_items[i].candidate;
+    e.w = run_source_as_u ? run_items[i].candidate : group.source.id;
+    e.kernel = DispatchedKernelName(a, b);
+    const char* repr_a = a.IsBitmap() ? "bitmap" : "sorted";
+    const char* repr_b = b.IsBitmap() ? "bitmap" : "sorted";
+    e.repr_u = run_source_as_u ? repr_a : repr_b;
+    e.size_u = run_source_as_u ? a.Size() : b.Size();
+    e.repr_w = run_source_as_u ? repr_b : repr_a;
+    e.size_w = run_source_as_u ? b.Size() : a.Size();
+    e.simd = SimdLevelName(ActiveSimdLevel());
+    exemplars_->Offer(dt, e);
+  };
+
   switch (plan_.kind) {
     case ProtocolKind::kNaive:
     case ProtocolKind::kOneR: {
@@ -162,18 +195,27 @@ void GroupExecutor::ExecuteRun(const QueryGroup& group,
       }
       counts_.resize(items.size());
       BatchIntersectionSize(source_view.View(), candidate_views_, counts_);
+      const auto on_sample = [&](size_t i, uint64_t dt) {
+        offer(items, i, dt, source_view.View(), candidate_views_[i], true);
+      };
       if (plan_.kind == ProtocolKind::kNaive) {
-        ForEachSampled(items.size(), [&](size_t i) {
-          estimates[items[i].slot] = static_cast<double>(counts_[i]);
-        });
+        ForEachSampled(
+            items.size(),
+            [&](size_t i) {
+              estimates[items[i].slot] = static_cast<double>(counts_[i]);
+            },
+            on_sample);
       } else {
-        ForEachSampled(items.size(), [&](size_t i) {
-          const uint64_t n1 = counts_[i];
-          const uint64_t n2 =
-              source_view.Size() + candidate_views_[i].Size() - n1;
-          estimates[items[i].slot] =
-              OneRFromCounts(debias_, n1, n2, opposite);
-        });
+        ForEachSampled(
+            items.size(),
+            [&](size_t i) {
+              const uint64_t n1 = counts_[i];
+              const uint64_t n2 =
+                  source_view.Size() + candidate_views_[i].Size() - n1;
+              estimates[items[i].slot] =
+                  OneRFromCounts(debias_, n1, n2, opposite);
+            },
+            on_sample);
       }
       return;
     }
@@ -193,13 +235,19 @@ void GroupExecutor::ExecuteRun(const QueryGroup& group,
         counts_.resize(items.size());
         BatchIntersectionSize(SetView::Sorted(neighbors), candidate_views_,
                               counts_);
-        ForEachSampled(items.size(), [&](size_t i) {
-          const double f_u = SingleSourceFromCounts(debias_, counts_[i],
-                                                    neighbors.size());
-          Rng rng = noise_root_.Fork(items[i].noise_stream);
-          estimates[items[i].slot] =
-              LaplaceMechanism(f_u, debias_.stay, plan_.epsilon2, rng);
-        });
+        ForEachSampled(
+            items.size(),
+            [&](size_t i) {
+              const double f_u = SingleSourceFromCounts(debias_, counts_[i],
+                                                        neighbors.size());
+              Rng rng = noise_root_.Fork(items[i].noise_stream);
+              estimates[items[i].slot] =
+                  LaplaceMechanism(f_u, debias_.stay, plan_.epsilon2, rng);
+            },
+            [&](size_t i, uint64_t dt) {
+              offer(items, i, dt, SetView::Sorted(neighbors),
+                    candidate_views_[i], true);
+            });
       } else {
         // The source is the released side: its view is resolved once and
         // every candidate's true neighbor list probes into it.
@@ -213,13 +261,19 @@ void GroupExecutor::ExecuteRun(const QueryGroup& group,
         counts_.resize(items.size());
         BatchIntersectionSize(source_view.View(), candidate_sorted_,
                               counts_);
-        ForEachSampled(items.size(), [&](size_t i) {
-          const double f_u = SingleSourceFromCounts(
-              debias_, counts_[i], candidate_sorted_[i].Size());
-          Rng rng = noise_root_.Fork(items[i].noise_stream);
-          estimates[items[i].slot] =
-              LaplaceMechanism(f_u, debias_.stay, plan_.epsilon2, rng);
-        });
+        ForEachSampled(
+            items.size(),
+            [&](size_t i) {
+              const double f_u = SingleSourceFromCounts(
+                  debias_, counts_[i], candidate_sorted_[i].Size());
+              Rng rng = noise_root_.Fork(items[i].noise_stream);
+              estimates[items[i].slot] =
+                  LaplaceMechanism(f_u, debias_.stay, plan_.epsilon2, rng);
+            },
+            [&](size_t i, uint64_t dt) {
+              offer(items, i, dt, source_view.View(), candidate_sorted_[i],
+                    false);
+            });
       }
       return;
     }
@@ -251,21 +305,27 @@ void GroupExecutor::ExecuteRun(const QueryGroup& group,
       // view; reverse_counts_[i] the other way around. Map them onto the
       // protocol's (u, w) roles and draw f_u's noise before f_w's,
       // exactly as the per-query path does.
-      ForEachSampled(items.size(), [&](size_t i) {
-        const double f_source = SingleSourceFromCounts(
-            debias_, counts_[i], source_neighbors.size());
-        const double f_candidate = SingleSourceFromCounts(
-            debias_, reverse_counts_[i], candidate_sorted_[i].Size());
-        Rng rng = noise_root_.Fork(items[i].noise_stream);
-        const double first = source_as_u ? f_source : f_candidate;
-        const double second = source_as_u ? f_candidate : f_source;
-        const double f_u =
-            LaplaceMechanism(first, debias_.stay, plan_.epsilon2, rng);
-        const double f_w =
-            LaplaceMechanism(second, debias_.stay, plan_.epsilon2, rng);
-        estimates[items[i].slot] =
-            CombineDoubleSource(plan_.alpha, f_u, f_w);
-      });
+      ForEachSampled(
+          items.size(),
+          [&](size_t i) {
+            const double f_source = SingleSourceFromCounts(
+                debias_, counts_[i], source_neighbors.size());
+            const double f_candidate = SingleSourceFromCounts(
+                debias_, reverse_counts_[i], candidate_sorted_[i].Size());
+            Rng rng = noise_root_.Fork(items[i].noise_stream);
+            const double first = source_as_u ? f_source : f_candidate;
+            const double second = source_as_u ? f_candidate : f_source;
+            const double f_u =
+                LaplaceMechanism(first, debias_.stay, plan_.epsilon2, rng);
+            const double f_w =
+                LaplaceMechanism(second, debias_.stay, plan_.epsilon2, rng);
+            estimates[items[i].slot] =
+                CombineDoubleSource(plan_.alpha, f_u, f_w);
+          },
+          [&](size_t i, uint64_t dt) {
+            offer(items, i, dt, SetView::Sorted(source_neighbors),
+                  candidate_views_[i], source_as_u);
+          });
       return;
     }
   }

@@ -130,10 +130,14 @@ class GroupExecutor {
   /// the parent of the per-query Laplace substreams. `post_process`, when
   /// non-null, receives chunk-sampled per-query post-processing latencies
   /// (one item per kSampleStride is clocked; see ForEachSampled).
+  /// `exemplars`, when non-null, additionally retains the slowest sampled
+  /// items with their kernel/operand context, tagged `submit_id`.
   GroupExecutor(const BipartiteGraph& graph, const ProtocolPlan& plan,
                 const DebiasConstants& debias, const NoisyViewStore& store,
                 const Rng& noise_root,
-                obs::LatencyHistogram* post_process = nullptr);
+                obs::LatencyHistogram* post_process = nullptr,
+                obs::ExemplarReservoir* exemplars = nullptr,
+                uint64_t submit_id = 0);
 
   /// Computes every item's estimate into estimates[item.slot].
   void Execute(const WorkloadPlan& plan, const QueryGroup& group,
@@ -157,8 +161,8 @@ class GroupExecutor {
   /// across calls: groups are often far smaller than the stride, and
   /// restarting per call would clock every group's first item — at tens of
   /// ns per clock pair that alone would dominate a ~60 ns/query submit.
-  template <typename Body>
-  void ForEachSampled(size_t n, Body&& body) {
+  template <typename Body, typename OnSample>
+  void ForEachSampled(size_t n, Body&& body, OnSample&& on_sample) {
     if (post_process_ == nullptr) {
       for (size_t i = 0; i < n; ++i) body(i);
       return;
@@ -171,11 +175,21 @@ class GroupExecutor {
       if (i < n) {
         const uint64_t t0 = obs::NowNanos();
         body(i);
-        post_process_->Record(obs::NowNanos() - t0);
+        const uint64_t dt = obs::NowNanos() - t0;
+        post_process_->Record(dt);
+        // Exemplar hook, on already-clocked samples only: the call site
+        // builds the context (kernel, operands) when the sample is slow
+        // enough to displace a kept exemplar.
+        on_sample(i, dt);
         ++i;
         sample_countdown_ = kSampleStride - 1;
       }
     }
+  }
+
+  template <typename Body>
+  void ForEachSampled(size_t n, Body&& body) {
+    ForEachSampled(n, std::forward<Body>(body), [](size_t, uint64_t) {});
   }
 
   const BipartiteGraph& graph_;
@@ -184,6 +198,8 @@ class GroupExecutor {
   const NoisyViewStore& store_;
   const Rng& noise_root_;
   obs::LatencyHistogram* post_process_;
+  obs::ExemplarReservoir* exemplars_;
+  uint64_t submit_;              ///< submit id stamped on exemplars
   size_t sample_countdown_ = 0;  ///< items until the next clocked sample
 
   // Scratch reused across groups.

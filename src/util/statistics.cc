@@ -88,6 +88,7 @@ Summary Summarize(const std::vector<double>& values) {
   s.p05 = QuantileSorted(sorted, 0.05);
   s.p95 = QuantileSorted(sorted, 0.95);
   s.p99 = QuantileSorted(sorted, 0.99);
+  s.p999 = QuantileSorted(sorted, 0.999);
   return s;
 }
 

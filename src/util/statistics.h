@@ -60,6 +60,7 @@ struct Summary {
   double p05 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
 };
 
 /// Computes a `Summary` of `values` (copies and sorts internally).

@@ -144,6 +144,76 @@ TEST(BudgetLedgerTest, ReplayAccumulatesLikeTheOriginalCharges) {
   EXPECT_FALSE(replayed.TryCharge(kV0, 1.0));
 }
 
+TEST(BudgetLedgerTest, NumExhaustedTracksBoundaryTransitions) {
+  BudgetLedger ledger(2.0);
+  EXPECT_EQ(ledger.NumExhausted(), 0u);
+  ASSERT_TRUE(ledger.TryCharge(kV0, 1.0));
+  EXPECT_EQ(ledger.NumExhausted(), 0u);
+  ASSERT_TRUE(ledger.TryCharge(kV0, 1.0));  // kV0 hits the boundary
+  EXPECT_EQ(ledger.NumExhausted(), 1u);
+  ASSERT_TRUE(ledger.TryCharge(kV1, 2.0));
+  EXPECT_EQ(ledger.NumExhausted(), 2u);
+
+  // Rollback across the boundary un-exhausts; an exact re-restore
+  // re-exhausts.
+  ledger.RestoreSpent(kV0, 1.0);
+  EXPECT_EQ(ledger.NumExhausted(), 1u);
+  ledger.RestoreSpent(kV0, 2.0);
+  EXPECT_EQ(ledger.NumExhausted(), 2u);
+
+  // Raising the budget gives every vertex headroom again.
+  ledger.RaiseLifetimeBudget(3.0);
+  EXPECT_EQ(ledger.NumExhausted(), 0u);
+}
+
+TEST(BudgetLedgerTest, ReplayAndDeserializeMaintainNumExhausted) {
+  BudgetLedger ledger(1.0);
+  ledger.Replay(kV0, 1.0);
+  EXPECT_EQ(ledger.NumExhausted(), 1u);
+
+  ByteWriter out;
+  ledger.Serialize(out);
+  BudgetLedger restored(1.0);
+  ByteReader in(out.data());
+  restored.Deserialize(in);
+  EXPECT_EQ(restored.NumExhausted(), 1u);
+}
+
+TEST(BudgetLedgerTest, TelemetryAggregatesAndBinsResiduals) {
+  BudgetLedger ledger(2.0);
+  ASSERT_TRUE(ledger.TryCharge(kV0, 2.0));                  // remaining 0
+  ASSERT_TRUE(ledger.TryCharge(kV1, 0.5));                  // remaining 1.5
+  ASSERT_TRUE(ledger.TryCharge({Layer::kUpper, 4}, 1.1));   // remaining 0.9
+
+  const BudgetLedgerTelemetry t = ledger.GetTelemetry(/*bins=*/4);
+  EXPECT_DOUBLE_EQ(t.lifetime_budget, 2.0);
+  EXPECT_EQ(t.charged_vertices, 3u);
+  EXPECT_EQ(t.exhausted_vertices, 1u);
+  EXPECT_NEAR(t.total_spent, 3.6, 1e-12);
+  EXPECT_NEAR(t.min_remaining, 0.0, 1e-12);
+  EXPECT_NEAR(t.sum_remaining, 2.4, 1e-12);
+  // Bin width 0.5: remaining 0 -> bin 0, 0.9 -> bin 1, 1.5 -> bin 3.
+  ASSERT_EQ(t.residual_histogram.size(), 4u);
+  EXPECT_EQ(t.residual_histogram[0], 1u);
+  EXPECT_EQ(t.residual_histogram[1], 1u);
+  EXPECT_EQ(t.residual_histogram[2], 0u);
+  EXPECT_EQ(t.residual_histogram[3], 1u);
+  // The histogram always accounts for every charged vertex.
+  uint64_t binned = 0;
+  for (uint64_t c : t.residual_histogram) binned += c;
+  EXPECT_EQ(binned, t.charged_vertices);
+}
+
+TEST(BudgetLedgerTest, TelemetryOnFreshLedgerIsEmpty) {
+  BudgetLedger ledger(1.5);
+  const BudgetLedgerTelemetry t = ledger.GetTelemetry();
+  EXPECT_EQ(t.charged_vertices, 0u);
+  EXPECT_EQ(t.exhausted_vertices, 0u);
+  EXPECT_DOUBLE_EQ(t.total_spent, 0.0);
+  EXPECT_DOUBLE_EQ(t.min_remaining, 1.5);
+  EXPECT_DOUBLE_EQ(t.sum_remaining, 0.0);
+}
+
 TEST(BudgetLedgerDeathTest, ReplayOverdraftIsFatalNotRejected) {
   BudgetLedger ledger(1.0);
   ledger.Replay(kV0, 1.0);

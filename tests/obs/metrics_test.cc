@@ -243,6 +243,127 @@ TEST(MetricsSnapshotTest, ToJsonRoundTripsThroughParser) {
   EXPECT_TRUE(saw_idle);
 }
 
+TEST(ExemplarReservoirTest, KeepsTheKSlowestSamples) {
+  ExemplarReservoir reservoir;
+  // Below capacity everything is accepted.
+  EXPECT_TRUE(reservoir.WouldAccept(1));
+  for (uint64_t nanos : {100u, 400u, 200u, 300u}) {
+    Exemplar e;
+    e.seconds = static_cast<double>(nanos) * 1e-9;
+    e.submit = nanos;
+    reservoir.Offer(nanos, e);
+  }
+  // Full: the floor is the smallest kept latency (100 ns).
+  EXPECT_FALSE(reservoir.WouldAccept(50));
+  EXPECT_FALSE(reservoir.WouldAccept(100));
+  EXPECT_TRUE(reservoir.WouldAccept(150));
+
+  Exemplar slow;
+  slow.seconds = 500e-9;
+  slow.submit = 500;
+  reservoir.Offer(500, slow);
+
+  const std::vector<Exemplar> kept = reservoir.Snapshot();
+  ASSERT_EQ(kept.size(), ExemplarReservoir::kCapacity);
+  // Sorted slowest-first; the 100 ns sample was displaced.
+  EXPECT_EQ(kept.front().submit, 500u);
+  EXPECT_EQ(kept.back().submit, 200u);
+  for (size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_GE(kept[i - 1].seconds, kept[i].seconds);
+  }
+}
+
+TEST(ExemplarReservoirTest, RegistryHandlesAreStableAndSnapshotSkipsEmpty) {
+  MetricsRegistry registry;
+  ExemplarReservoir* r = registry.GetExemplars("admission");
+  EXPECT_EQ(registry.GetExemplars("admission"), r);
+  registry.GetExemplars("post_process");  // stays empty
+
+  Exemplar e;
+  e.seconds = 1e-3;
+  e.submit = 7;
+  r->Offer(1000000, e);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.exemplars.size(), 1u);
+  EXPECT_EQ(snapshot.exemplars[0].phase, "admission");
+  ASSERT_EQ(snapshot.exemplars[0].exemplars.size(), 1u);
+  EXPECT_EQ(snapshot.exemplars[0].exemplars[0].submit, 7u);
+}
+
+TEST(MetricsSnapshotTest, JsonCarriesExemplarsWithContext) {
+  MetricsRegistry registry;
+  ExemplarReservoir* r = registry.GetExemplars("post_process");
+  Exemplar e;
+  e.seconds = 2.5e-3;
+  e.submit = 11;
+  e.has_query = true;
+  e.layer = 1;
+  e.u = 3;
+  e.w = 9;
+  e.kernel = "merge";
+  e.repr_u = "sorted";
+  e.size_u = 128;
+  e.repr_w = "bitmap";
+  e.size_w = 4096;
+  e.simd = "avx2";
+  r->Offer(2500000, e);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(registry.Snapshot().ToJson(), &doc, &error))
+      << error;
+  const JsonValue& list = doc["exemplars"]["post_process"];
+  ASSERT_EQ(list.AsArray().size(), 1u);
+  const JsonValue& out = list.AsArray()[0];
+  EXPECT_NEAR(out["seconds"].AsDouble(), 2.5e-3, 1e-9);
+  EXPECT_EQ(out["submit"].AsDouble(), 11.0);
+  EXPECT_EQ(out["layer"].AsDouble(), 1.0);
+  EXPECT_EQ(out["u"].AsDouble(), 3.0);
+  EXPECT_EQ(out["w"].AsDouble(), 9.0);
+  EXPECT_EQ(out["kernel"].AsString(), "merge");
+  EXPECT_EQ(out["repr_u"].AsString(), "sorted");
+  EXPECT_EQ(out["size_u"].AsDouble(), 128.0);
+  EXPECT_EQ(out["repr_w"].AsString(), "bitmap");
+  EXPECT_EQ(out["size_w"].AsDouble(), 4096.0);
+  EXPECT_EQ(out["simd"].AsString(), "avx2");
+}
+
+TEST(MetricsSnapshotTest, JsonCarriesBudgetBurnDownWhenPresent) {
+  MetricsRegistry registry;
+  MetricsSnapshot snapshot = registry.Snapshot();
+  // Absent by default: no "budget" key at all.
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(snapshot.ToJson(), &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("budget"), nullptr);
+
+  snapshot.budget.present = true;
+  snapshot.budget.lifetime_budget = 2.0;
+  snapshot.budget.charged_vertices = 10;
+  snapshot.budget.exhausted_vertices = 3;
+  snapshot.budget.total_spent = 14.5;
+  snapshot.budget.min_remaining = 0.0;
+  snapshot.budget.sum_remaining = 5.5;
+  snapshot.budget.spent_rr = 10.0;
+  snapshot.budget.spent_laplace = 4.5;
+  snapshot.budget.residual_histogram = {3, 0, 2, 5};
+  snapshot.budget.projected_submits_to_exhaustion = 1.5;
+  ASSERT_TRUE(JsonValue::Parse(snapshot.ToJson(), &doc, &error)) << error;
+  const JsonValue& budget = doc["budget"];
+  EXPECT_EQ(budget["lifetime_budget"].AsDouble(), 2.0);
+  EXPECT_EQ(budget["charged_vertices"].AsDouble(), 10.0);
+  EXPECT_EQ(budget["exhausted_vertices"].AsDouble(), 3.0);
+  EXPECT_NEAR(budget["total_spent"].AsDouble(), 14.5, 1e-12);
+  EXPECT_NEAR(budget["sum_remaining"].AsDouble(), 5.5, 1e-12);
+  EXPECT_NEAR(budget["spent_rr"].AsDouble(), 10.0, 1e-12);
+  EXPECT_NEAR(budget["spent_laplace"].AsDouble(), 4.5, 1e-12);
+  EXPECT_NEAR(budget["projected_submits_to_exhaustion"].AsDouble(), 1.5,
+              1e-12);
+  ASSERT_EQ(budget["residual_histogram"].AsArray().size(), 4u);
+  EXPECT_EQ(budget["residual_histogram"].AsArray()[3].AsDouble(), 5.0);
+}
+
 TEST(MetricsLevelTest, ParseAndName) {
   EXPECT_EQ(ParseMetricsLevel("off"), MetricsLevel::kOff);
   EXPECT_EQ(ParseMetricsLevel("counters"), MetricsLevel::kCounters);

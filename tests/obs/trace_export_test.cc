@@ -1,0 +1,201 @@
+#include "obs/trace_export.h"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace cne::obs {
+namespace {
+
+TEST(TraceSinkTest, NoSinkInstalledNamedSpansAreInert) {
+  ASSERT_EQ(TraceSink::Current(), nullptr);
+  // Must not crash or touch any sink state.
+  const TraceSpan span(nullptr, "orphan");
+}
+
+TEST(TraceSinkTest, CapturesNamedSpansInsideSampledScopes) {
+  TraceSink sink;
+  sink.Install();
+  EXPECT_EQ(TraceSink::Current(), &sink);
+  {
+    const SubmitTraceScope scope(true, 7);
+    const TraceSpan span(nullptr, "submit");
+  }
+  sink.Uninstall();
+  EXPECT_EQ(TraceSink::Current(), nullptr);
+  EXPECT_EQ(sink.EventsRetained(), 1u);
+  EXPECT_EQ(sink.EventsDropped(), 0u);
+}
+
+TEST(TraceSinkTest, DisabledScopeCapturesNothing) {
+  TraceSink sink;
+  sink.Install();
+  {
+    const SubmitTraceScope scope(false, 1);
+    const TraceSpan span(nullptr, "submit");
+  }
+  sink.Uninstall();
+  EXPECT_EQ(sink.EventsRetained(), 0u);
+}
+
+TEST(TraceSinkTest, OutsideAnyScopeNamedSpansDoNotEmit) {
+  TraceSink sink;
+  sink.Install();
+  { const TraceSpan span(nullptr, "submit"); }
+  sink.Uninstall();
+  EXPECT_EQ(sink.EventsRetained(), 0u);
+}
+
+TEST(TraceSinkTest, HistogramSpansRecordAlwaysButEmitOnlyWhenArmed) {
+  LatencyHistogram histogram;
+  TraceSink sink;
+  sink.Install();
+  {
+    const SubmitTraceScope scope(true, 3);
+    const TraceSpan span(&histogram, "execute");
+  }
+  { const TraceSpan span(&histogram, "execute"); }  // outside any scope
+  sink.Uninstall();
+  EXPECT_EQ(histogram.Snapshot().count, 2u);
+  EXPECT_EQ(sink.EventsRetained(), 1u);
+}
+
+TEST(TraceSinkTest, SamplePeriodKeepsEveryNthScope) {
+  TraceSinkOptions options;
+  options.sample_period = 2;
+  TraceSink sink(options);
+  sink.Install();
+  for (uint64_t submit = 1; submit <= 4; ++submit) {
+    const SubmitTraceScope scope(true, submit);
+    const TraceSpan span(nullptr, "submit");
+  }
+  sink.Uninstall();
+  EXPECT_EQ(sink.EventsRetained(), 2u);
+
+  // The retained scopes are the 1st and 3rd, identified by submit id.
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(sink.ToChromeJson(), &doc, &error)) << error;
+  std::set<double> submits;
+  for (const JsonValue& e : doc["traceEvents"].AsArray()) {
+    submits.insert(e["args"]["submit"].AsDouble());
+  }
+  EXPECT_EQ(submits, (std::set<double>{1.0, 3.0}));
+}
+
+TEST(TraceSinkTest, RingOverwritesOldestEvents) {
+  TraceSinkOptions options;
+  options.ring_capacity = 4;
+  TraceSink sink(options);
+  sink.Install();
+  {
+    const SubmitTraceScope scope(true, 1);
+    for (int i = 0; i < 10; ++i) {
+      const TraceSpan span(nullptr, "tick");
+    }
+  }
+  sink.Uninstall();
+  EXPECT_EQ(sink.EventsRetained(), 4u);
+  EXPECT_EQ(sink.EventsDropped(), 6u);
+}
+
+TEST(TraceSinkTest, ChromeJsonIsWellFormedAndSorted) {
+  TraceSink sink;
+  sink.Install();
+  {
+    const SubmitTraceScope scope(true, 42);
+    const TraceSpan outer(nullptr, "submit");
+    { const TraceSpan inner(nullptr, "admission"); }
+    { const TraceSpan inner(nullptr, "release"); }
+  }
+  sink.Uninstall();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(sink.ToChromeJson(), &doc, &error)) << error;
+  EXPECT_EQ(doc["otherData"]["events_retained"].AsDouble(), 3.0);
+  EXPECT_EQ(doc["otherData"]["events_dropped"].AsDouble(), 0.0);
+  const auto& events = doc["traceEvents"].AsArray();
+  ASSERT_EQ(events.size(), 3u);
+  double last_ts = -1.0;
+  for (const JsonValue& e : events) {
+    EXPECT_TRUE(e["name"].IsString());
+    EXPECT_EQ(e["ph"].AsString(), "X");
+    ASSERT_TRUE(e.Find("ts") != nullptr && e["ts"].IsNumber());
+    EXPECT_GE(e["ts"].AsDouble(), last_ts);
+    last_ts = e["ts"].AsDouble();
+    EXPECT_GE(e["dur"].AsDouble(), 0.0);
+    EXPECT_EQ(e["pid"].AsDouble(), 1.0);
+    EXPECT_EQ(e["args"]["submit"].AsDouble(), 42.0);
+  }
+  // The root starts first and (on a ts tie) sorts before its children, so
+  // Perfetto reconstructs it as the parent.
+  EXPECT_EQ(events[0]["name"].AsString(), "submit");
+  EXPECT_EQ(events[0]["ts"].AsDouble(), 0.0);  // ts is relative to the base
+}
+
+TEST(TraceSinkTest, ThreadsGetDistinctTids) {
+  TraceSink sink;
+  sink.Install();
+  {
+    const SubmitTraceScope scope(true, 5);
+    { const TraceSpan span(nullptr, "execute_chunk"); }
+    std::thread worker([] { const TraceSpan span(nullptr, "execute_chunk"); });
+    worker.join();
+  }
+  sink.Uninstall();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(sink.ToChromeJson(), &doc, &error)) << error;
+  std::set<double> tids;
+  for (const JsonValue& e : doc["traceEvents"].AsArray()) {
+    tids.insert(e["tid"].AsDouble());
+  }
+  EXPECT_EQ(tids.size(), 2u);
+}
+
+TEST(TraceSinkTest, ExceptionUnwindStillEmitsEvents) {
+  TraceSink sink;
+  sink.Install();
+  try {
+    const SubmitTraceScope scope(true, 9);
+    const TraceSpan span(nullptr, "submit");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  sink.Uninstall();
+  EXPECT_EQ(sink.EventsRetained(), 1u);
+}
+
+TEST(TraceSinkTest, ReinstallAfterUninstallStartsCleanBuffers) {
+  // The thread-local buffer cache keys on the sink generation: a second
+  // sink must not inherit (or scribble over) the first sink's rings.
+  TraceSink first;
+  first.Install();
+  {
+    const SubmitTraceScope scope(true, 1);
+    const TraceSpan span(nullptr, "submit");
+  }
+  first.Uninstall();
+  ASSERT_EQ(first.EventsRetained(), 1u);
+
+  TraceSink second;
+  second.Install();
+  {
+    const SubmitTraceScope scope(true, 2);
+    const TraceSpan span(nullptr, "submit");
+  }
+  second.Uninstall();
+  EXPECT_EQ(second.EventsRetained(), 1u);
+  EXPECT_EQ(first.EventsRetained(), 1u);  // untouched by the second run
+}
+
+}  // namespace
+}  // namespace cne::obs

@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -83,6 +84,58 @@ TEST(TraceSpanTest, SiblingsDoNotInheritChildTime) {
   // The second child span is near-instant: its p-low must be far below
   // the sleeping first span.
   EXPECT_LT(child_snap.QuantileNanos(0.0), 5e6);
+  EXPECT_GE(child_snap.QuantileNanos(1.0), 8e6);
+}
+
+TEST(TraceSpanTest, ExceptionUnwindRecordsAndRestoresTheStack) {
+  // A span destroyed by stack unwinding must record exactly like a normal
+  // exit and must pop itself from the thread-local span stack — a stale
+  // parent pointer would corrupt every later span on this thread.
+  LatencyHistogram outer_hist, inner_hist;
+  try {
+    const TraceSpan outer(&outer_hist);
+    const TraceSpan inner(&inner_hist);
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(outer_hist.Snapshot().count, 1u);
+  EXPECT_EQ(inner_hist.Snapshot().count, 1u);
+
+  // The stack is clean: a fresh root span sleeps alone, and a would-be
+  // leaked parent from the unwound pair cannot absorb its time as child
+  // time (which would drive the root's exclusive time toward zero).
+  LatencyHistogram fresh_hist;
+  {
+    const TraceSpan fresh(&fresh_hist);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(fresh_hist.Snapshot().QuantileNanos(0.5), 8e6);
+}
+
+TEST(TraceSpanTest, ExceptionUnwindDoesNotLeakNestingAcrossSubmits) {
+  // Simulates the service pattern: submit #1 dies mid-phase, submit #2
+  // runs the same phases. The second submit's parent/child exclusive
+  // accounting must be unaffected by the first one's unwind.
+  LatencyHistogram parent_hist, child_hist;
+  try {
+    const TraceSpan parent(&parent_hist);
+    const TraceSpan child(&child_hist);
+    throw std::runtime_error("submit failed");
+  } catch (const std::runtime_error&) {
+  }
+  {
+    const TraceSpan parent(&parent_hist);
+    {
+      const TraceSpan child(&child_hist);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  const HistogramSnapshot parent_snap = parent_hist.Snapshot();
+  const HistogramSnapshot child_snap = child_hist.Snapshot();
+  EXPECT_EQ(parent_snap.count, 2u);
+  EXPECT_EQ(child_snap.count, 2u);
+  // The second parent's exclusive time excludes its child's 10 ms sleep.
+  EXPECT_LT(parent_snap.QuantileNanos(1.0), 5e6);
   EXPECT_GE(child_snap.QuantileNanos(1.0), 8e6);
 }
 

@@ -107,6 +107,16 @@ TEST(SummarizeTest, P99TracksTheTail) {
   EXPECT_LE(s.p99, s.max);
 }
 
+TEST(SummarizeTest, P999TracksTheExtremeTail) {
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) values.push_back(static_cast<double>(i));
+  const Summary s = Summarize(values);
+  // QuantileSorted interpolates at 0.999 * (1000 - 1) = position 998.001.
+  EXPECT_NEAR(s.p999, 999.001, 1e-9);
+  EXPECT_GE(s.p999, s.p99);
+  EXPECT_LE(s.p999, s.max);
+}
+
 TEST(QuantileTest, Interpolation) {
   const std::vector<double> sorted = {0.0, 10.0};
   EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.0), 0.0);

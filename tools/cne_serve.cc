@@ -11,6 +11,7 @@
 //              --seed=7 --out=answers.txt --json]
 //             [--snapshot-dir=DIR --checkpoint-every=N]
 //             [--metrics-level=off|counters|full --metrics-json=PATH]
+//             [--trace-out=PATH --trace-sample=N --trace-buffer=N]
 //             [--failpoints=SPEC --failpoints-seed=S]
 //
 // Workload files hold one `<upper|lower> <u> <w>` query per line
@@ -37,6 +38,13 @@
 // --metrics-level=off|counters|full (default full) is the runtime kill
 // switch.
 //
+// Tracing: --trace-out=PATH captures per-span trace events during the run
+// and writes them as Chrome-trace-event JSON (open in Perfetto or
+// chrome://tracing, or inspect with `cne_trace`). Requires
+// --metrics-level=full. --trace-sample=N keeps every Nth submission's
+// span tree (default 1: all); --trace-buffer=N sets the per-thread event
+// ring capacity (default 4096; oldest events are overwritten when full).
+//
 // Fault drills: --failpoints=SPEC arms deterministic fault injection
 // (grammar in src/util/failpoint.h, e.g. "wal.fsync=err:EIO@3"), seeded
 // by --failpoints-seed for the probabilistic triggers. In a binary built
@@ -54,9 +62,11 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/trace_export.h"
 #include "service/query_service.h"
 #include "service/workload.h"
 #include "tool_common.h"
@@ -76,6 +86,8 @@ int Usage() {
                "                 [--snapshot-dir=DIR --checkpoint-every=N]\n"
                "                 [--metrics-level=off|counters|full "
                "--metrics-json=PATH]\n"
+               "                 [--trace-out=PATH --trace-sample=N "
+               "--trace-buffer=N]\n"
                "                 [--failpoints=SPEC --failpoints-seed=S]\n"
                "see the header of tools/cne_serve.cc for details\n");
   return 2;
@@ -240,6 +252,24 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    const std::string trace_path = cl.GetString("trace-out");
+    std::unique_ptr<obs::TraceSink> trace_sink;
+    if (!trace_path.empty()) {
+      if (options.metrics_level != obs::MetricsLevel::kFull) {
+        std::fprintf(stderr,
+                     "error: --trace-out needs --metrics-level=full "
+                     "(tracing rides on the full-level span stack)\n");
+        return 2;
+      }
+      obs::TraceSinkOptions trace_options;
+      trace_options.ring_capacity = static_cast<size_t>(
+          std::max<long long>(1, cl.GetInt("trace-buffer", 4096)));
+      trace_options.sample_period = static_cast<uint64_t>(
+          std::max<long long>(1, cl.GetInt("trace-sample", 1)));
+      trace_sink = std::make_unique<obs::TraceSink>(trace_options);
+      trace_sink->Install();
+    }
+
     const std::string failpoints = cl.GetString("failpoints");
     if (!failpoints.empty()) {
       try {
@@ -326,6 +356,20 @@ int main(int argc, char** argv) {
       }
       metrics_out << report.metrics.ToJson() << '\n';
       std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+    }
+
+    if (trace_sink != nullptr) {
+      trace_sink->Uninstall();
+      std::ofstream trace_out(trace_path);
+      if (!trace_out) throw std::runtime_error("cannot write " + trace_path);
+      trace_out << trace_sink->ToChromeJson();
+      std::fprintf(stderr,
+                   "wrote %llu trace events (%llu dropped) to %s\n",
+                   static_cast<unsigned long long>(
+                       trace_sink->EventsRetained()),
+                   static_cast<unsigned long long>(
+                       trace_sink->EventsDropped()),
+                   trace_path.c_str());
     }
 
     const std::string out_path = cl.GetString("out");

@@ -79,8 +79,10 @@ ViewsSummary SummarizeViews(const ViewsSection& views) {
 struct LedgerSummary {
   double lifetime_budget = 0.0;
   uint64_t entries = 0;
+  uint64_t exhausted = 0;  ///< residual <= 1e-9 (BudgetLedger's tolerance)
   double total_spent = 0.0;
   double min_remaining = 0.0;
+  double sum_remaining = 0.0;  ///< unspent budget across charged vertices
   std::vector<uint64_t> histogram;  ///< residual-budget counts
 };
 
@@ -95,6 +97,8 @@ LedgerSummary SummarizeLedger(ByteReader in, size_t bins) {
     const double spent = in.F64();
     const double remaining = s.lifetime_budget - spent;
     s.total_spent += spent;
+    s.sum_remaining += remaining;
+    if (remaining <= 1e-9) ++s.exhausted;
     if (remaining < s.min_remaining) s.min_remaining = remaining;
     size_t bin = s.lifetime_budget > 0.0
                      ? static_cast<size_t>(remaining / s.lifetime_budget *
@@ -201,10 +205,12 @@ int main(int argc, char** argv) {
           views.bitmap, views.sorted, views.noisy_edges);
       std::printf(
           " \"ledger\": {\"lifetime_budget\": %g, \"vertices\": %" PRIu64
-          ", \"total_spent\": %g, \"min_remaining\": %g,\n"
+          ", \"exhausted\": %" PRIu64
+          ", \"total_spent\": %g, \"min_remaining\": %g, "
+          "\"sum_remaining\": %g,\n"
           "  \"residual_histogram\": [",
-          ledger.lifetime_budget, ledger.entries, ledger.total_spent,
-          ledger.min_remaining);
+          ledger.lifetime_budget, ledger.entries, ledger.exhausted,
+          ledger.total_spent, ledger.min_remaining, ledger.sum_remaining);
       PrintHistogram(ledger, true);
       std::printf("]}");
     } else {
@@ -233,9 +239,12 @@ int main(int argc, char** argv) {
                   views.bitmap, views.sorted, views.pending,
                   views.noisy_edges);
       std::printf("ledger     budget %g, %" PRIu64
-                  " vertices charged, %.3f eps total, min residual %.6f\n",
-                  ledger.lifetime_budget, ledger.entries,
-                  ledger.total_spent, ledger.min_remaining);
+                  " vertices charged (%" PRIu64
+                  " exhausted), %.3f eps total, min residual %.6f, "
+                  "%.3f eps unspent\n",
+                  ledger.lifetime_budget, ledger.entries, ledger.exhausted,
+                  ledger.total_spent, ledger.min_remaining,
+                  ledger.sum_remaining);
       PrintHistogram(ledger, false);
     }
 
